@@ -1,0 +1,43 @@
+// Ablation: block interval (batching window) in Quorum. Larger blocks
+// amortize consensus but stretch latency; tiny intervals waste consensus
+// rounds. The serial-execution bound caps throughput regardless — the
+// taxonomy's point that consensus is not Quorum's bottleneck.
+
+#include "bench_util.h"
+
+namespace dicho::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: Quorum block interval (uniform 1KB updates)");
+  printf("%-12s %10s %16s\n", "interval", "tps", "p50 latency");
+  BenchScale scale;
+  scale.record_count = 10000;
+  scale.measure = 10 * sim::kSec;
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 1000;
+
+  for (sim::Time interval :
+       {50 * sim::kMs, 200 * sim::kMs, 800 * sim::kMs, 3200 * sim::kMs}) {
+    World w;
+    systems::QuorumConfig config;
+    config.num_nodes = 5;
+    config.block_interval = interval;
+    auto quorum = std::make_unique<systems::QuorumSystem>(&w.sim, &w.net,
+                                                          &w.costs, config);
+    quorum->Start();
+    w.sim.RunFor(1 * sim::kSec);
+    auto m = RunYcsb(&w, quorum.get(), wcfg, scale, 0, /*arrival=*/280);
+    printf("%9.0fms %8.0f %13.0fms\n", interval / sim::kMs, m.throughput_tps,
+           m.txn_latency_us.Percentile(50) / 1000.0);
+    fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main() {
+  dicho::bench::Run();
+  return 0;
+}

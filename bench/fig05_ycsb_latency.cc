@@ -1,0 +1,53 @@
+// Reproduces Fig. 5: YCSB latency with *unsaturated* systems (open-loop
+// arrivals well below capacity), 1 KB records, 5 nodes.
+//
+// Paper shapes: update latency — Fabric seconds-scale (~1.9-3.5 s),
+// Quorum ~0.5 s, databases < 100 ms; query latency — Fabric ~9 ms,
+// Quorum ~4 ms, databases < 1 ms.
+
+#include "bench_util.h"
+
+namespace dicho::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig 5: YCSB latency, unsaturated (ms)");
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 1000;
+  BenchScale scale;
+  scale.record_count = 5000;
+  scale.measure = 10 * sim::kSec;
+
+  printf("%-8s %14s %14s\n", "system", "update p50", "query p50");
+
+  auto row = [&](const char* name, auto make, double update_rate) {
+    // Update latency.
+    double update_ms, query_ms;
+    {
+      World w;
+      auto system = make(&w);
+      auto m = RunYcsb(&w, system.get(), wcfg, scale, 0, update_rate);
+      update_ms = m.txn_latency_us.Percentile(50) / 1000.0;
+    }
+    {
+      World w;
+      auto system = make(&w);
+      auto m = RunYcsb(&w, system.get(), wcfg, scale, 1.0, 200);
+      query_ms = m.query_latency_us.Percentile(50) / 1000.0;
+    }
+    printf("%-8s %12.1fms %12.2fms\n", name, update_ms, query_ms);
+  };
+
+  row("etcd", [](World* w) { return MakeEtcd(w, 5); }, 2000);
+  row("tidb", [](World* w) { return MakeTidb(w, 5, 5); }, 1000);
+  row("fabric", [](World* w) { return MakeFabric(w, 5); }, 300);
+  row("quorum", [](World* w) { return MakeQuorum(w, 5); }, 60);
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main() {
+  dicho::bench::Run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 8: (a) Fabric's per-phase transaction latency when
+// unsaturated vs saturated — validation becomes the bottleneck and blocks
+// pile up once the request rate exceeds capacity; (b) query latency
+// breakdown — Fabric is dominated by client authentication, TiDB by data
+// access.
+
+#include "bench_util.h"
+
+namespace dicho::bench {
+namespace {
+
+void PhaseRow(const char* label, workload::RunMetrics* m) {
+  printf("%-12s execute=%7.1fms order=%7.1fms validate=%8.1fms total=%8.1fms\n",
+         label, m->phase_us["execute"].Mean() / 1000.0,
+         m->phase_us["order"].Mean() / 1000.0,
+         m->phase_us["validate"].Mean() / 1000.0,
+         m->txn_latency_us.Mean() / 1000.0);
+}
+
+void RunFabricBreakdown() {
+  PrintHeader("Fig 8a: Fabric latency breakdown, unsaturated vs saturated");
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 1000;
+  BenchScale scale;
+  scale.record_count = 20000;
+  scale.measure = 10 * sim::kSec;
+
+  {
+    World w;
+    auto fabric = MakeFabric(&w, 5);
+    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/500);
+    PhaseRow("unsaturated", &m);
+  }
+  {
+    World w;
+    auto fabric = MakeFabric(&w, 5);
+    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/1800);
+    PhaseRow("saturated", &m);
+    printf("  (validation queue at a peer after the run: %.0f ms of backlog)\n",
+           fabric->ValidationBacklog(1) / 1000.0);
+  }
+}
+
+void RunQueryBreakdown() {
+  PrintHeader("Fig 8b: query latency breakdown (ms)");
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 1000;
+  BenchScale scale;
+  scale.record_count = 5000;
+  scale.measure = 8 * sim::kSec;
+  {
+    World w;
+    auto fabric = MakeFabric(&w, 5);
+    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 1.0, /*arrival=*/200);
+    printf("%-8s auth=%6.2fms read+net=%6.2fms total=%6.2fms\n", "fabric",
+           m.phase_us["auth"].Mean() / 1000.0,
+           (m.query_latency_us.Mean() - m.phase_us["auth"].Mean()) / 1000.0,
+           m.query_latency_us.Mean() / 1000.0);
+  }
+  {
+    World w;
+    auto tidb = MakeTidb(&w, 5, 5);
+    auto m = RunYcsb(&w, tidb.get(), wcfg, scale, 1.0, /*arrival=*/200);
+    printf("%-8s auth=%6.2fms read+net=%6.2fms total=%6.2fms\n", "tidb", 0.0,
+           m.query_latency_us.Mean() / 1000.0,
+           m.query_latency_us.Mean() / 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main() {
+  dicho::bench::RunFabricBreakdown();
+  dicho::bench::RunQueryBreakdown();
+  return 0;
+}

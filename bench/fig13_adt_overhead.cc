@@ -1,0 +1,56 @@
+// Reproduces Fig. 13: per-record storage overhead of the two authenticated
+// data structures — Fabric v0.6's Merkle Bucket Tree (1000 buckets,
+// fan-out 4) vs Quorum's Merkle Patricia Trie (16-byte keys). Real bytes
+// measured on real structures; 10K records like the paper.
+//
+// Paper shape: MBT adds ~24 B/record (fixed-depth tree amortized across
+// records); MPT adds >1 KB/record (copy-on-write path nodes per insert,
+// never pruned by the archival node store).
+
+#include <cstdio>
+
+#include "adt/mbt.h"
+#include "adt/mpt.h"
+#include "common/random.h"
+
+namespace dicho::bench {
+namespace {
+
+void Run() {
+  printf("\n=== Fig 13: tamper-evidence storage overhead per record ===\n");
+  const size_t kValueSizes[] = {10, 100, 1000};
+  const int kRecords = 10000;
+  printf("%-8s %18s %24s %22s\n", "size", "MBT overhead", "MPT overhead (archival)",
+         "MPT overhead (live)");
+
+  for (size_t value_size : kValueSizes) {
+    Rng rng(value_size);
+    adt::MerkleBucketTree mbt(1000, 4);
+    adt::MerklePatriciaTrie mpt;
+    uint64_t data_bytes = 0;
+    for (int i = 0; i < kRecords; i++) {
+      std::string key = rng.Bytes(16);  // 16-byte keys, like the paper
+      std::string value = rng.Bytes(value_size);
+      data_bytes += key.size() + value.size();
+      mbt.Put(key, value);
+      mpt.Put(key, value);
+    }
+    uint64_t mbt_per_record = mbt.OverheadBytes() / kRecords;
+    uint64_t mpt_archival = (mpt.TotalNodeBytes() - data_bytes) / kRecords;
+    uint64_t mpt_live = (mpt.ReachableBytes() - data_bytes) / kRecords;
+    printf("%6zuB %16lluB %22lluB %20lluB\n", value_size,
+           static_cast<unsigned long long>(mbt_per_record),
+           static_cast<unsigned long long>(mpt_archival),
+           static_cast<unsigned long long>(mpt_live));
+  }
+  printf("(MBT depth is capped at ceil(log4 1000) = 5 regardless of data; "
+         "MPT path length follows the 32-nibble key)\n");
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main() {
+  dicho::bench::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Fig. 14: sharded systems under a skewed (theta = 1) workload
+// of two-record transactions, 3 nodes per shard, scaling the node count.
+//
+// Paper shapes: TiDB > Spanner (abort-fast OCC beats lock-waiting under
+// contention); AHL is far behind both (PBFT per shard + BFT 2PC); periodic
+// shard reconfiguration costs AHL a further ~30%.
+
+#include "bench_util.h"
+
+namespace dicho::bench {
+namespace {
+
+constexpr uint64_t kRecords = 20000;
+
+workload::YcsbConfig TwoRecordSkewed() {
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 1000;
+  wcfg.theta = 1.0;
+  wcfg.ops_per_txn = 2;
+  return wcfg;
+}
+
+template <typename System>
+double Measure(World* w, System* system, size_t clients = 256) {
+  workload::YcsbConfig wcfg = TwoRecordSkewed();
+  wcfg.record_count = kRecords;
+  workload::YcsbWorkload workload(wcfg, 7);
+  LoadYcsb(system, &workload, kRecords);
+  workload::DriverConfig dcfg;
+  dcfg.num_clients = clients;
+  dcfg.warmup = 3 * sim::kSec;
+  dcfg.measure = 10 * sim::kSec;
+  workload::Driver driver(&w->sim, system,
+                          [&workload] { return workload.NextTxn(); }, dcfg);
+  return driver.Run().throughput_tps;
+}
+
+void Run() {
+  PrintHeader(
+      "Fig 14: sharded systems, theta=1, 2-record txns, 3 nodes/shard");
+  const uint32_t kShards[] = {2, 4, 6};
+  printf("%-12s", "system");
+  for (uint32_t s : kShards) printf("  %2u shards", s);
+  printf("\n");
+
+  printf("%-12s", "tidb");
+  for (uint32_t shards : kShards) {
+    World w;
+    // Sharded mode: replication factor 3 instead of full replication.
+    auto tidb = MakeTidb(&w, shards, shards * 3, /*replication=*/3);
+    printf(" %10.0f", Measure(&w, tidb.get()));
+    fflush(stdout);
+  }
+  printf("\n%-12s", "spanner");
+  for (uint32_t shards : kShards) {
+    World w;
+    systems::SpannerConfig config;
+    config.num_shards = shards;
+    auto spanner = std::make_unique<systems::SpannerLikeSystem>(
+        &w.sim, &w.net, &w.costs, config);
+    printf(" %10.0f", Measure(&w, spanner.get()));
+    fflush(stdout);
+  }
+  printf("\n%-12s", "ahl-fixed");
+  for (uint32_t shards : kShards) {
+    World w;
+    systems::AhlConfig config;
+    config.num_shards = shards;
+    config.epoch = 0;  // no reconfiguration
+    auto ahl = std::make_unique<systems::AhlSystem>(&w.sim, &w.net, &w.costs,
+                                                    config);
+    ahl->Start();
+    w.sim.RunFor(500 * sim::kMs);
+    printf(" %10.0f", Measure(&w, ahl.get(), /*clients=*/128));
+    fflush(stdout);
+  }
+  printf("\n%-12s", "ahl-reconf");
+  for (uint32_t shards : kShards) {
+    World w;
+    systems::AhlConfig config;
+    config.num_shards = shards;
+    config.epoch = 7 * sim::kSec;
+    config.reconfig_pause = 3 * sim::kSec;
+    auto ahl = std::make_unique<systems::AhlSystem>(&w.sim, &w.net, &w.costs,
+                                                    config);
+    ahl->Start();
+    w.sim.RunFor(500 * sim::kMs);
+    printf(" %10.0f", Measure(&w, ahl.get(), /*clients=*/128));
+    fflush(stdout);
+  }
+  printf("\n");
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main() {
+  dicho::bench::Run();
+  return 0;
+}

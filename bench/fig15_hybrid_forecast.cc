@@ -1,0 +1,139 @@
+// Reproduces Fig. 15 / Section 5.6: the back-of-the-envelope framework for
+// hybrid blockchain-database throughput. Two parts:
+//   1. The forecaster's predictions vs the reported numbers of the six
+//      published hybrids (the paper's figure).
+//   2. *Composed, runnable* hybrids built from the same taxonomy choices
+//      with the fusion builder, measured on the simulator — the measured
+//      ordering must agree with the forecast ordering.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "hybrid/builder.h"
+#include "hybrid/forecast.h"
+
+namespace dicho::bench {
+namespace {
+
+using hybrid::SystemDescriptor;
+
+double MeasureHybrid(SystemDescriptor design) {
+  World w(11);
+  hybrid::HybridConfig config;
+  config.design = design;
+  config.num_nodes = 4;
+  config.pow.mean_block_interval = 1 * sim::kSec;
+  hybrid::HybridSystem system(&w.sim, &w.net, &w.costs, config);
+  system.Start();
+  w.sim.RunFor(1 * sim::kSec);
+
+  workload::YcsbConfig wcfg;
+  wcfg.record_count = 10000;
+  wcfg.record_size = 100;
+  workload::YcsbWorkload workload(wcfg, 5);
+  for (int i = 0; i < 10000; i++) {
+    system.Load(workload.KeyAt(i), workload.RandomValue());
+  }
+  workload::DriverConfig dcfg;
+  dcfg.num_clients = 256;
+  dcfg.warmup = 3 * sim::kSec;
+  dcfg.measure = 10 * sim::kSec;
+  workload::Driver driver(&w.sim, &system,
+                          [&workload] { return workload.NextTxn(); }, dcfg);
+  return driver.Run().throughput_tps;
+}
+
+void Run() {
+  PrintHeader("Fig 15 (1/2): forecast vs reported numbers of published hybrids");
+  hybrid::ThroughputForecaster forecaster;
+  auto hybrids = hybrid::Figure15Hybrids();
+  std::sort(hybrids.begin(), hybrids.end(),
+            [](const auto& a, const auto& b) {
+              return a.reported_tps > b.reported_tps;
+            });
+  printf("%s", forecaster.Report(hybrids).c_str());
+
+  int checked = 0, agreed = 0;
+  for (const auto& a : hybrids) {
+    for (const auto& b : hybrids) {
+      if (a.reported_tps > b.reported_tps * 1.5) {
+        checked++;
+        agreed += forecaster.Predict(a).expected_tps >
+                  forecaster.Predict(b).expected_tps;
+      }
+    }
+  }
+  printf("pairwise ranking agreement: %d/%d\n", agreed, checked);
+
+  PrintHeader("Fig 15 (2/2): composed runnable hybrids (fusion builder)");
+  std::vector<SystemDescriptor> designs;
+  {
+    SystemDescriptor d;
+    d.name = "veritas-like";
+    d.replication = hybrid::ReplicationModel::kStorageBased;
+    d.approach = hybrid::ReplicationApproach::kSharedLog;
+    d.failure = hybrid::FailureModel::kCft;
+    d.concurrency = hybrid::ConcurrencyModel::kOccCommit;
+    d.ledger = hybrid::LedgerAbstraction::kChain;
+    designs.push_back(d);
+  }
+  {
+    SystemDescriptor d;
+    d.name = "chainify-like";
+    d.replication = hybrid::ReplicationModel::kTxnBased;
+    d.approach = hybrid::ReplicationApproach::kSharedLog;
+    d.failure = hybrid::FailureModel::kCft;
+    d.concurrency = hybrid::ConcurrencyModel::kConcurrent;
+    d.ledger = hybrid::LedgerAbstraction::kChain;
+    designs.push_back(d);
+  }
+  {
+    SystemDescriptor d;
+    d.name = "falcon-like";
+    d.replication = hybrid::ReplicationModel::kStorageBased;
+    d.approach = hybrid::ReplicationApproach::kConsensus;
+    d.failure = hybrid::FailureModel::kBft;
+    d.concurrency = hybrid::ConcurrencyModel::kOccCommit;
+    d.ledger = hybrid::LedgerAbstraction::kChain;
+    d.index = hybrid::StateIndex::kMbt;
+    designs.push_back(d);
+  }
+  {
+    SystemDescriptor d;
+    d.name = "bigchain-like";
+    d.replication = hybrid::ReplicationModel::kTxnBased;
+    d.approach = hybrid::ReplicationApproach::kConsensus;
+    d.failure = hybrid::FailureModel::kBft;
+    d.concurrency = hybrid::ConcurrencyModel::kConcurrent;
+    d.ledger = hybrid::LedgerAbstraction::kChain;
+    designs.push_back(d);
+  }
+  {
+    SystemDescriptor d;
+    d.name = "blockchaindb-like";
+    d.replication = hybrid::ReplicationModel::kStorageBased;
+    d.approach = hybrid::ReplicationApproach::kConsensus;
+    d.failure = hybrid::FailureModel::kPow;
+    d.concurrency = hybrid::ConcurrencyModel::kSerial;
+    d.ledger = hybrid::LedgerAbstraction::kChain;
+    d.index = hybrid::StateIndex::kMpt;
+    designs.push_back(d);
+  }
+
+  printf("%-20s %12s %12s\n", "design", "measured", "forecast");
+  for (const auto& design : designs) {
+    double measured = MeasureHybrid(design);
+    double forecast = forecaster.Predict(design).expected_tps;
+    printf("%-20s %9.0f tps %9.0f tps\n", design.name.c_str(), measured,
+           forecast);
+    fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main() {
+  dicho::bench::Run();
+  return 0;
+}

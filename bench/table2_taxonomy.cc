@@ -1,0 +1,15 @@
+// Reproduces Table 2: the taxonomy of transactional systems along the four
+// design dimensions, generated from the machine-readable descriptors the
+// fusion framework uses.
+
+#include <cstdio>
+
+#include "hybrid/taxonomy.h"
+
+int main() {
+  printf("\n=== Table 2: systems in the four-dimensional design space ===\n");
+  printf("%s", dicho::hybrid::RenderTaxonomyTable(
+                   dicho::hybrid::Table2Systems())
+                   .c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Table 4: throughput (tps) with varying number of nodes under
+// full replication, uniform YCSB updates.
+//
+// Paper shapes: Fabric decays (validation cost grows with the all-peers
+// endorsement policy: 1560 -> 528); Quorum is flat (~230, serial-execution
+// bound, consensus underutilized); TiDB peaks at an intermediate size then
+// softens; etcd starts highest and decays with consensus group size
+// (19282 -> 6076).
+
+#include "bench_util.h"
+
+namespace dicho::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 4: throughput vs cluster size, full replication");
+  const uint32_t kNodes[] = {3, 7, 11, 15, 19};
+  printf("%-8s", "system");
+  for (uint32_t n : kNodes) printf("%8u", n);
+  printf("\n");
+
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 1000;
+  BenchScale scale;
+  scale.record_count = 20000;
+  scale.measure = 10 * sim::kSec;
+
+  printf("%-8s", "fabric");
+  for (uint32_t n : kNodes) {
+    World w;
+    auto fabric = MakeFabric(&w, n);
+    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/2200);
+    printf("%8.0f", m.throughput_tps);
+    fflush(stdout);
+  }
+  printf("\n%-8s", "quorum");
+  for (uint32_t n : kNodes) {
+    World w;
+    auto quorum = MakeQuorum(&w, n);
+    auto m = RunYcsb(&w, quorum.get(), wcfg, scale, 0, /*arrival=*/280);
+    printf("%8.0f", m.throughput_tps);
+    fflush(stdout);
+  }
+  printf("\n%-8s", "tidb");
+  for (uint32_t n : kNodes) {
+    World w;
+    auto tidb = MakeTidb(&w, n, n);
+    auto m = RunYcsb(&w, tidb.get(), wcfg, scale);
+    printf("%8.0f", m.throughput_tps);
+    fflush(stdout);
+  }
+  printf("\n%-8s", "etcd");
+  for (uint32_t n : kNodes) {
+    World w;
+    auto etcd = MakeEtcd(&w, n);
+    auto m = RunYcsb(&w, etcd.get(), wcfg, scale);
+    printf("%8.0f", m.throughput_tps);
+    fflush(stdout);
+  }
+  printf("\n");
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main() {
+  dicho::bench::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table 5: TiDB throughput when independently varying the number
+// of (stateless) TiDB servers and TiKV storage nodes under full replication.
+//
+// Paper shapes: with few servers, the SQL layer is the bottleneck (columns
+// grow left to right); with many TiKV nodes, replication overhead outweighs
+// hot-spot alleviation (rows soften top to bottom).
+
+#include "bench_util.h"
+
+namespace dicho::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 5: TiDB servers (columns) x TiKV nodes (rows), tps");
+  const uint32_t kSizes[] = {3, 7, 11, 19};
+  printf("%10s", "tikv\\tidb");
+  for (uint32_t servers : kSizes) printf("%8u", servers);
+  printf("\n");
+
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 1000;
+  BenchScale scale;
+  scale.record_count = 20000;
+  scale.measure = 8 * sim::kSec;
+  scale.warmup = 2 * sim::kSec;
+
+  for (uint32_t tikv : kSizes) {
+    printf("%10u", tikv);
+    for (uint32_t servers : kSizes) {
+      World w;
+      auto tidb = MakeTidb(&w, servers, tikv);
+      auto m = RunYcsb(&w, tidb.get(), wcfg, scale);
+      printf("%8.0f", m.throughput_tps);
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main() {
+  dicho::bench::Run();
+  return 0;
+}

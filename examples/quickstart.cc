@@ -1,0 +1,74 @@
+// Quickstart: spin up a 4-peer Fabric-style permissioned blockchain on the
+// deterministic simulator, submit transactions through the public API,
+// query the state, and verify the ledger.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "systems/fabric.h"
+
+using namespace dicho;  // examples favour brevity
+
+int main() {
+  // One simulated world: virtual clock, a 1 Gb LAN, calibrated cost model.
+  sim::Simulator simulator(/*seed=*/42);
+  sim::SimNetwork network(&simulator, sim::NetworkConfig{});
+  sim::CostModel costs;
+
+  // A 4-peer Fabric network with a 3-orderer Raft ordering service.
+  systems::FabricConfig config;
+  config.num_peers = 4;
+  systems::FabricSystem fabric(&simulator, &network, &costs, config);
+  fabric.Start();
+  simulator.RunFor(1 * sim::kSec);  // let the orderers elect a leader
+
+  printf("ordering service ready: %s\n", fabric.Ready() ? "yes" : "no");
+
+  // Submit a few key-value transactions.
+  int committed = 0;
+  for (int i = 0; i < 5; i++) {
+    core::TxnRequest txn;
+    txn.txn_id = i + 1;
+    txn.client_id = 1;
+    txn.contract = "ycsb";
+    txn.ops = {{core::OpType::kWrite, "asset" + std::to_string(i),
+                "owner-alice"}};
+    fabric.Submit(txn, [&](const core::TxnResult& result) {
+      printf("txn %d: %s in %.0f ms (execute %.0f / order %.0f / validate "
+             "%.0f ms)\n",
+             i, result.status.ToString().c_str(), result.latency() / 1000.0,
+             result.phase_us.count("execute")
+                 ? result.phase_us.at("execute") / 1000.0
+                 : 0.0,
+             result.phase_us.count("order")
+                 ? result.phase_us.at("order") / 1000.0
+                 : 0.0,
+             result.phase_us.count("validate")
+                 ? result.phase_us.at("validate") / 1000.0
+                 : 0.0);
+      committed += result.status.ok();
+    });
+    simulator.RunFor(2 * sim::kSec);
+  }
+  printf("committed %d/5\n", committed);
+
+  // Read one key back (no consensus needed for queries).
+  fabric.Query({/*client_id=*/1, "asset0"}, [](const core::ReadResult& r) {
+    printf("query asset0 -> '%s' in %.1f ms\n", r.value.c_str(),
+           r.latency() / 1000.0);
+  });
+  simulator.RunFor(1 * sim::kSec);
+
+  // Every peer holds the full hash-linked ledger; verify it end to end.
+  for (sim::NodeId peer = 0; peer < 4; peer++) {
+    const ledger::Chain& chain = fabric.chain_of(peer);
+    printf("peer %u: height=%llu txns=%llu ledger=%llu bytes, verify=%s\n",
+           peer, static_cast<unsigned long long>(chain.height()),
+           static_cast<unsigned long long>(chain.TotalTxns()),
+           static_cast<unsigned long long>(chain.TotalBytes()),
+           chain.Verify().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "adt/mbt.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace dicho::adt {
+
+MerkleBucketTree::MerkleBucketTree(size_t num_buckets, size_t fanout)
+    : num_buckets_(num_buckets == 0 ? 1 : num_buckets),
+      fanout_(fanout < 2 ? 2 : fanout),
+      buckets_(num_buckets_),
+      bucket_digests_(num_buckets_, crypto::ZeroDigest()) {
+  // Build the fixed interior levels over the (initially empty) buckets.
+  size_t width = num_buckets_;
+  while (width > 1) {
+    width = (width + fanout_ - 1) / fanout_;
+    levels_.emplace_back(width, crypto::ZeroDigest());
+  }
+  if (levels_.empty()) {
+    levels_.emplace_back(1, crypto::ZeroDigest());  // single-bucket tree
+  }
+  // Initialize digests bottom-up so an empty tree has a well-defined root.
+  for (size_t b = 0; b < num_buckets_; b++) bucket_digests_[b] = BucketDigest(b);
+  for (size_t b = 0; b < num_buckets_; b += fanout_) RecomputePath(b);
+}
+
+size_t MerkleBucketTree::BucketOf(const Slice& key) const {
+  crypto::Digest d = crypto::Sha256Of(key);
+  uint64_t h = 0;
+  for (int i = 0; i < 8; i++) h = (h << 8) | d[i];
+  return h % num_buckets_;
+}
+
+crypto::Digest MerkleBucketTree::EntryDigest(const Slice& key,
+                                             const Slice& value) {
+  std::string buf;
+  PutLengthPrefixed(&buf, key);
+  buf.append(value.data(), value.size());
+  return crypto::Sha256Of(buf);
+}
+
+crypto::Digest MerkleBucketTree::BucketDigest(size_t index) const {
+  const auto& bucket = buckets_[index];
+  if (bucket.empty()) return crypto::ZeroDigest();
+  crypto::Sha256 h;
+  for (const auto& [k, v] : bucket) {
+    crypto::Digest e = EntryDigest(k, v);
+    h.Update(e.data(), e.size());
+  }
+  return h.Finish();
+}
+
+void MerkleBucketTree::RecomputePath(size_t bucket_index) {
+  bucket_digests_[bucket_index] = BucketDigest(bucket_index);
+  // Level 0 is computed from bucket digests; level i from level i-1.
+  size_t child_index = bucket_index;
+  const std::vector<crypto::Digest>* child_level = &bucket_digests_;
+  for (auto& level : levels_) {
+    size_t group = child_index / fanout_;
+    size_t begin = group * fanout_;
+    size_t end = std::min(begin + fanout_, child_level->size());
+    crypto::Sha256 h;
+    for (size_t i = begin; i < end; i++) {
+      h.Update((*child_level)[i].data(), (*child_level)[i].size());
+    }
+    level[group] = h.Finish();
+    child_index = group;
+    child_level = &level;
+  }
+}
+
+Status MerkleBucketTree::Put(const Slice& key, const Slice& value) {
+  size_t b = BucketOf(key);
+  auto& bucket = buckets_[b];
+  auto it = bucket.find(key.ToString());
+  if (it == bucket.end()) {
+    bucket.emplace(key.ToString(), value.ToString());
+    count_++;
+    data_bytes_ += key.size() + value.size();
+  } else {
+    data_bytes_ += value.size();
+    data_bytes_ -= it->second.size();
+    it->second = value.ToString();
+  }
+  RecomputePath(b);
+  return Status::Ok();
+}
+
+Status MerkleBucketTree::Delete(const Slice& key) {
+  size_t b = BucketOf(key);
+  auto& bucket = buckets_[b];
+  auto it = bucket.find(key.ToString());
+  if (it == bucket.end()) return Status::NotFound();
+  data_bytes_ -= it->first.size() + it->second.size();
+  bucket.erase(it);
+  count_--;
+  RecomputePath(b);
+  return Status::Ok();
+}
+
+Status MerkleBucketTree::Get(const Slice& key, std::string* value) const {
+  const auto& bucket = buckets_[BucketOf(key)];
+  auto it = bucket.find(key.ToString());
+  if (it == bucket.end()) return Status::NotFound();
+  *value = it->second;
+  return Status::Ok();
+}
+
+crypto::Digest MerkleBucketTree::RootDigest() const {
+  return levels_.back()[0];
+}
+
+uint64_t MerkleBucketTree::OverheadBytes() const {
+  uint64_t digests = bucket_digests_.size() + count_;
+  for (const auto& level : levels_) digests += level.size();
+  return digests * 32;
+}
+
+Status MerkleBucketTree::Prove(const Slice& key, Proof* proof) const {
+  size_t b = BucketOf(key);
+  const auto& bucket = buckets_[b];
+  auto it = bucket.find(key.ToString());
+  if (it == bucket.end()) return Status::NotFound();
+
+  proof->bucket_index = b;
+  proof->bucket_entries.clear();
+  proof->steps.clear();
+  size_t pos = 0, i = 0;
+  for (const auto& [k, v] : bucket) {
+    if (k == key.ToString()) pos = i;
+    proof->bucket_entries.push_back(EntryDigest(k, v));
+    i++;
+  }
+  proof->entry_index = pos;
+
+  size_t child_index = b;
+  const std::vector<crypto::Digest>* child_level = &bucket_digests_;
+  for (const auto& level : levels_) {
+    Proof::LevelStep step;
+    size_t group = child_index / fanout_;
+    size_t begin = group * fanout_;
+    size_t end = std::min(begin + fanout_, child_level->size());
+    for (size_t j = begin; j < end; j++) {
+      step.group.push_back((*child_level)[j]);
+    }
+    step.position = child_index - begin;
+    proof->steps.push_back(std::move(step));
+    child_index = group;
+    child_level = &level;
+  }
+  return Status::Ok();
+}
+
+bool VerifyMbtProof(const crypto::Digest& root, const Slice& key,
+                    const Slice& value, const MerkleBucketTree::Proof& proof) {
+  if (proof.entry_index >= proof.bucket_entries.size()) return false;
+  // The record's digest must sit at the claimed slot.
+  std::string buf;
+  PutLengthPrefixed(&buf, key);
+  buf.append(value.data(), value.size());
+  if (proof.bucket_entries[proof.entry_index] != crypto::Sha256Of(buf)) {
+    return false;
+  }
+  // Bucket digest from entries.
+  crypto::Sha256 h;
+  for (const auto& e : proof.bucket_entries) h.Update(e.data(), e.size());
+  crypto::Digest running = h.Finish();
+
+  for (const auto& step : proof.steps) {
+    if (step.position >= step.group.size()) return false;
+    if (step.group[step.position] != running) return false;
+    crypto::Sha256 parent;
+    for (const auto& d : step.group) parent.Update(d.data(), d.size());
+    running = parent.Finish();
+  }
+  return running == root;
+}
+
+}  // namespace dicho::adt

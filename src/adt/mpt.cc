@@ -1,0 +1,385 @@
+#include "adt/mpt.h"
+
+#include <array>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace dicho::adt {
+namespace {
+
+// Node serialization. Nibbles are stored one per byte — marginally larger
+// than Ethereum's hex-prefix packing but simpler to audit; the storage
+// overhead comparison (Fig. 13) is unaffected in shape.
+constexpr char kLeafTag = 'L';
+constexpr char kExtTag = 'E';
+constexpr char kBranchTag = 'B';
+
+struct ParsedNode {
+  char tag = 0;
+  std::vector<uint8_t> path;           // leaf/ext
+  std::string value;                   // leaf/branch
+  bool has_value = false;              // branch
+  std::string child;                   // ext: child hash bytes
+  std::array<std::string, 16> children;  // branch: empty = absent
+};
+
+void AppendPath(std::string* out, const std::vector<uint8_t>& path,
+                size_t from) {
+  PutVarint32(out, static_cast<uint32_t>(path.size() - from));
+  for (size_t i = from; i < path.size(); i++) {
+    out->push_back(static_cast<char>(path[i]));
+  }
+}
+
+bool ParsePath(Slice* in, std::vector<uint8_t>* path) {
+  uint32_t len;
+  if (!GetVarint32(in, &len) || in->size() < len) return false;
+  path->clear();
+  path->reserve(len);
+  for (uint32_t i = 0; i < len; i++) {
+    path->push_back(static_cast<uint8_t>((*in)[i]));
+  }
+  in->RemovePrefix(len);
+  return true;
+}
+
+std::string SerializeLeaf(const std::vector<uint8_t>& path, size_t from,
+                          const Slice& value) {
+  std::string out(1, kLeafTag);
+  AppendPath(&out, path, from);
+  PutLengthPrefixed(&out, value);
+  return out;
+}
+
+std::string SerializeExt(const std::vector<uint8_t>& path,
+                         const std::string& child_hash) {
+  std::string out(1, kExtTag);
+  AppendPath(&out, path, 0);
+  PutLengthPrefixed(&out, child_hash);
+  return out;
+}
+
+std::string SerializeBranch(const std::array<std::string, 16>& children,
+                            bool has_value, const Slice& value) {
+  std::string out(1, kBranchTag);
+  uint32_t bitmap = 0;
+  for (int i = 0; i < 16; i++) {
+    if (!children[i].empty()) bitmap |= (1u << i);
+  }
+  if (has_value) bitmap |= (1u << 16);
+  PutVarint32(&out, bitmap);
+  for (int i = 0; i < 16; i++) {
+    if (!children[i].empty()) PutLengthPrefixed(&out, children[i]);
+  }
+  if (has_value) PutLengthPrefixed(&out, value);
+  return out;
+}
+
+bool ParseNode(const std::string& raw, ParsedNode* node) {
+  if (raw.empty()) return false;
+  Slice in(raw);
+  node->tag = in[0];
+  in.RemovePrefix(1);
+  if (node->tag == kLeafTag) {
+    Slice value;
+    if (!ParsePath(&in, &node->path) || !GetLengthPrefixed(&in, &value)) {
+      return false;
+    }
+    node->value = value.ToString();
+    node->has_value = true;
+    return in.empty();
+  }
+  if (node->tag == kExtTag) {
+    Slice child;
+    if (!ParsePath(&in, &node->path) || !GetLengthPrefixed(&in, &child) ||
+        child.size() != 32) {
+      return false;
+    }
+    node->child = child.ToString();
+    return in.empty();
+  }
+  if (node->tag == kBranchTag) {
+    uint32_t bitmap;
+    if (!GetVarint32(&in, &bitmap)) return false;
+    for (int i = 0; i < 16; i++) {
+      if (bitmap & (1u << i)) {
+        Slice child;
+        if (!GetLengthPrefixed(&in, &child) || child.size() != 32) {
+          return false;
+        }
+        node->children[i] = child.ToString();
+      }
+    }
+    node->has_value = (bitmap & (1u << 16)) != 0;
+    if (node->has_value) {
+      Slice value;
+      if (!GetLengthPrefixed(&in, &value)) return false;
+      node->value = value.ToString();
+    }
+    return in.empty();
+  }
+  return false;
+}
+
+size_t CommonPrefix(const std::vector<uint8_t>& a, size_t a_from,
+                    const std::vector<uint8_t>& b, size_t b_from) {
+  size_t n = 0;
+  while (a_from + n < a.size() && b_from + n < b.size() &&
+         a[a_from + n] == b[b_from + n]) {
+    n++;
+  }
+  return n;
+}
+
+std::vector<uint8_t> SubPath(const std::vector<uint8_t>& p, size_t from) {
+  return std::vector<uint8_t>(p.begin() + static_cast<long>(from), p.end());
+}
+
+}  // namespace
+
+MerklePatriciaTrie::Nibbles MerklePatriciaTrie::ToNibbles(const Slice& key) {
+  Nibbles out;
+  out.reserve(key.size() * 2);
+  for (size_t i = 0; i < key.size(); i++) {
+    uint8_t b = static_cast<uint8_t>(key[i]);
+    out.push_back(b >> 4);
+    out.push_back(b & 0xF);
+  }
+  return out;
+}
+
+std::string MerklePatriciaTrie::Store(const std::string& serialized) {
+  std::string hash = crypto::DigestBytes(crypto::Sha256Of(serialized));
+  auto [it, inserted] = nodes_.emplace(hash, serialized);
+  if (inserted) {
+    total_node_bytes_ += 32 + serialized.size();
+  }
+  (void)it;
+  last_update_nodes_++;
+  return hash;
+}
+
+const std::string* MerklePatriciaTrie::Load(const Digest& digest) const {
+  auto it = nodes_.find(crypto::DigestBytes(digest));
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Status MerklePatriciaTrie::Put(const Slice& key, const Slice& value) {
+  Nibbles path = ToNibbles(key);
+  std::string existing;
+  bool existed = Get(key, &existing).ok();
+  last_update_nodes_ = 0;
+  root_hash_bytes_ = InsertAt(root_hash_bytes_, path, 0, value);
+  root_ = crypto::DigestFromBytes(root_hash_bytes_);
+  if (!existed) size_++;
+  return Status::Ok();
+}
+
+std::string MerklePatriciaTrie::InsertAt(const std::string& node_hash,
+                                         const Nibbles& path, size_t depth,
+                                         const Slice& value) {
+  if (node_hash.empty()) {
+    return Store(SerializeLeaf(path, depth, value));
+  }
+  auto it = nodes_.find(node_hash);
+  assert(it != nodes_.end());
+  ParsedNode node;
+  bool ok = ParseNode(it->second, &node);
+  assert(ok);
+  (void)ok;
+
+  Nibbles rest = SubPath(path, depth);
+
+  if (node.tag == kLeafTag) {
+    if (node.path == rest) {
+      return Store(SerializeLeaf(path, depth, value));  // overwrite
+    }
+    size_t cp = CommonPrefix(node.path, 0, rest, 0);
+    std::array<std::string, 16> children;
+    bool branch_has_value = false;
+    std::string branch_value;
+    // Existing leaf's continuation.
+    if (node.path.size() == cp) {
+      branch_has_value = true;
+      branch_value = node.value;
+    } else {
+      Nibbles lp = SubPath(node.path, cp);
+      uint8_t idx = lp[0];
+      children[idx] = Store(SerializeLeaf(lp, 1, node.value));
+    }
+    // New key's continuation.
+    if (rest.size() == cp) {
+      branch_has_value = true;
+      branch_value = value.ToString();
+    } else {
+      Nibbles np = SubPath(rest, cp);
+      uint8_t idx = np[0];
+      children[idx] = Store(SerializeLeaf(np, 1, value));
+    }
+    std::string branch =
+        Store(SerializeBranch(children, branch_has_value, branch_value));
+    if (cp > 0) {
+      Nibbles shared(rest.begin(), rest.begin() + static_cast<long>(cp));
+      return Store(SerializeExt(shared, branch));
+    }
+    return branch;
+  }
+
+  if (node.tag == kExtTag) {
+    size_t cp = CommonPrefix(node.path, 0, rest, 0);
+    if (cp == node.path.size()) {
+      std::string child = InsertAt(node.child, path, depth + cp, value);
+      return Store(SerializeExt(node.path, child));
+    }
+    // Split the extension at cp.
+    std::array<std::string, 16> children;
+    bool branch_has_value = false;
+    std::string branch_value;
+    // The extension's remainder.
+    {
+      Nibbles ep = SubPath(node.path, cp);
+      uint8_t idx = ep[0];
+      if (ep.size() == 1) {
+        children[idx] = node.child;
+      } else {
+        children[idx] = Store(SerializeExt(SubPath(ep, 1), node.child));
+      }
+    }
+    // The new key's remainder.
+    if (rest.size() == cp) {
+      branch_has_value = true;
+      branch_value = value.ToString();
+    } else {
+      Nibbles np = SubPath(rest, cp);
+      children[np[0]] = Store(SerializeLeaf(np, 1, value));
+    }
+    std::string branch =
+        Store(SerializeBranch(children, branch_has_value, branch_value));
+    if (cp > 0) {
+      Nibbles shared(rest.begin(), rest.begin() + static_cast<long>(cp));
+      return Store(SerializeExt(shared, branch));
+    }
+    return branch;
+  }
+
+  // Branch.
+  if (rest.empty()) {
+    return Store(SerializeBranch(node.children, true, value));
+  }
+  uint8_t idx = rest[0];
+  node.children[idx] = InsertAt(node.children[idx], path, depth + 1, value);
+  return Store(SerializeBranch(node.children, node.has_value, node.value));
+}
+
+Status MerklePatriciaTrie::Get(const Slice& key, std::string* value) const {
+  if (root_hash_bytes_.empty()) return Status::NotFound();
+  Nibbles path = ToNibbles(key);
+  return GetAt(root_hash_bytes_, path, 0, value, nullptr);
+}
+
+Status MerklePatriciaTrie::GetAt(const std::string& node_hash,
+                                 const Nibbles& path, size_t depth,
+                                 std::string* value,
+                                 std::vector<std::string>* proof_nodes) const {
+  if (node_hash.empty()) return Status::NotFound();
+  auto it = nodes_.find(node_hash);
+  if (it == nodes_.end()) return Status::Corruption("dangling node hash");
+  if (proof_nodes != nullptr) proof_nodes->push_back(it->second);
+  ParsedNode node;
+  if (!ParseNode(it->second, &node)) return Status::Corruption("bad node");
+
+  Nibbles rest = SubPath(path, depth);
+  if (node.tag == kLeafTag) {
+    if (node.path != rest) return Status::NotFound();
+    *value = node.value;
+    return Status::Ok();
+  }
+  if (node.tag == kExtTag) {
+    size_t cp = CommonPrefix(node.path, 0, rest, 0);
+    if (cp != node.path.size()) return Status::NotFound();
+    return GetAt(node.child, path, depth + cp, value, proof_nodes);
+  }
+  // Branch.
+  if (rest.empty()) {
+    if (!node.has_value) return Status::NotFound();
+    *value = node.value;
+    return Status::Ok();
+  }
+  return GetAt(node.children[rest[0]], path, depth + 1, value, proof_nodes);
+}
+
+Status MerklePatriciaTrie::Prove(const Slice& key, Proof* proof) const {
+  proof->nodes.clear();
+  if (root_hash_bytes_.empty()) return Status::NotFound();
+  Nibbles path = ToNibbles(key);
+  std::string value;
+  return GetAt(root_hash_bytes_, path, 0, &value, &proof->nodes);
+}
+
+uint64_t MerklePatriciaTrie::ReachableBytes() const {
+  return ReachableBytesAt(root_hash_bytes_);
+}
+
+uint64_t MerklePatriciaTrie::ReachableBytesAt(
+    const std::string& node_hash) const {
+  if (node_hash.empty()) return 0;
+  auto it = nodes_.find(node_hash);
+  if (it == nodes_.end()) return 0;
+  ParsedNode node;
+  if (!ParseNode(it->second, &node)) return 0;
+  uint64_t total = 32 + it->second.size();
+  if (node.tag == kExtTag) {
+    total += ReachableBytesAt(node.child);
+  } else if (node.tag == kBranchTag) {
+    for (const auto& child : node.children) {
+      total += ReachableBytesAt(child);
+    }
+  }
+  return total;
+}
+
+bool VerifyMptProof(const crypto::Digest& root, const Slice& key,
+                    const Slice& value,
+                    const MerklePatriciaTrie::Proof& proof) {
+  if (proof.nodes.empty()) return false;
+  std::vector<uint8_t> path;
+  for (size_t i = 0; i < key.size(); i++) {
+    uint8_t b = static_cast<uint8_t>(key[i]);
+    path.push_back(b >> 4);
+    path.push_back(b & 0xF);
+  }
+
+  std::string expected = crypto::DigestBytes(root);
+  size_t depth = 0;
+  for (size_t n = 0; n < proof.nodes.size(); n++) {
+    const std::string& raw = proof.nodes[n];
+    if (crypto::DigestBytes(crypto::Sha256Of(raw)) != expected) return false;
+    ParsedNode node;
+    if (!ParseNode(raw, &node)) return false;
+    std::vector<uint8_t> rest(path.begin() + static_cast<long>(depth),
+                              path.end());
+    if (node.tag == kLeafTag) {
+      return n == proof.nodes.size() - 1 && node.path == rest &&
+             Slice(node.value) == value;
+    }
+    if (node.tag == kExtTag) {
+      size_t cp = CommonPrefix(node.path, 0, rest, 0);
+      if (cp != node.path.size()) return false;
+      depth += cp;
+      expected = node.child;
+      continue;
+    }
+    // Branch.
+    if (rest.empty()) {
+      return n == proof.nodes.size() - 1 && node.has_value &&
+             Slice(node.value) == value;
+    }
+    if (node.children[rest[0]].empty()) return false;
+    expected = node.children[rest[0]];
+    depth += 1;
+  }
+  return false;  // ran out of nodes before reaching the terminal
+}
+
+}  // namespace dicho::adt

@@ -1,0 +1,94 @@
+#ifndef DICHO_ADT_MPT_H_
+#define DICHO_ADT_MPT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+
+namespace dicho::adt {
+
+/// Merkle Patricia Trie — the authenticated state index of Ethereum and
+/// Quorum. Keys are split into 4-bit nibbles; three node kinds:
+///   leaf      (remaining path, value)
+///   extension (shared path, child hash)
+///   branch    (16 child hashes + optional value)
+/// Every node is content-addressed: stored under SHA-256 of its
+/// serialization, so the root digest commits to the entire state and every
+/// update copy-writes the path from leaf to root (this is the per-commit
+/// "MPT reconstruction" cost the paper measures in Section 5.3.3).
+///
+/// Deletion is not supported: the benchmarked blockchain state stores are
+/// insert/update-only (documented in DESIGN.md).
+class MerklePatriciaTrie {
+ public:
+  MerklePatriciaTrie() = default;
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value) const;
+
+  /// Digest committing to the whole key-value state; ZeroDigest when empty.
+  crypto::Digest RootDigest() const { return root_; }
+
+  /// Number of distinct keys.
+  size_t size() const { return size_; }
+
+  /// Access path for `key`: the serialized nodes from root to the terminal
+  /// node. Verifiable against the root digest without any other state.
+  struct Proof {
+    std::vector<std::string> nodes;
+  };
+  Status Prove(const Slice& key, Proof* proof) const;
+
+  /// Storage accounting ------------------------------------------------------
+  /// Bytes of every node ever written (archival store: all historical
+  /// versions reachable from old roots).
+  uint64_t TotalNodeBytes() const { return total_node_bytes_; }
+  /// Bytes of nodes reachable from the current root (live state), including
+  /// the 32-byte content hash each node is filed under.
+  uint64_t ReachableBytes() const;
+  /// Nodes currently stored.
+  size_t node_count() const { return nodes_.size(); }
+  /// Nodes written by the most recent Put (path length — proxy for the
+  /// hashing work per update).
+  size_t last_update_nodes() const { return last_update_nodes_; }
+
+ private:
+  using Digest = crypto::Digest;
+  using Nibbles = std::vector<uint8_t>;
+
+  static Nibbles ToNibbles(const Slice& key);
+
+  std::string Store(const std::string& serialized);
+  const std::string* Load(const Digest& digest) const;
+
+  /// Recursive insert: returns the new node's digest (as raw bytes).
+  std::string InsertAt(const std::string& node_hash, const Nibbles& path,
+                       size_t depth, const Slice& value);
+  Status GetAt(const std::string& node_hash, const Nibbles& path, size_t depth,
+               std::string* value,
+               std::vector<std::string>* proof_nodes) const;
+  uint64_t ReachableBytesAt(const std::string& node_hash) const;
+
+  Digest root_ = crypto::ZeroDigest();
+  std::string root_hash_bytes_;  // empty when trie empty
+  std::map<std::string, std::string> nodes_;  // hash bytes -> serialized node
+  uint64_t total_node_bytes_ = 0;
+  size_t size_ = 0;
+  size_t last_update_nodes_ = 0;
+};
+
+/// Verifies an MPT access path: checks that proof.nodes[0] hashes to `root`,
+/// each node links to the next, and the terminal node binds `key` to
+/// `value`.
+bool VerifyMptProof(const crypto::Digest& root, const Slice& key,
+                    const Slice& value, const MerklePatriciaTrie::Proof& proof);
+
+}  // namespace dicho::adt
+
+#endif  // DICHO_ADT_MPT_H_

@@ -1,0 +1,37 @@
+#ifndef DICHO_COMMON_CODING_H_
+#define DICHO_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace dicho {
+
+// Little-endian fixed-width and LEB128 varint encoders used by the storage
+// engines, the ledger serialization, and network message size accounting.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint32 length followed by the bytes.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+
+/// Each getter consumes bytes from the front of `input` on success and
+/// returns false (input unspecified) on malformed data.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixed(Slice* input, Slice* result);
+
+/// Bytes needed to encode `value` as a varint64.
+int VarintLength(uint64_t value);
+
+}  // namespace dicho
+
+#endif  // DICHO_COMMON_CODING_H_

@@ -1,0 +1,28 @@
+#ifndef DICHO_COMMON_CRC32C_H_
+#define DICHO_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dicho::crc32c {
+
+/// CRC-32C (Castagnoli) of data[0, n), continuing from `init_crc` which must
+/// be the CRC of preceding bytes (0 for a fresh computation).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Masked CRC stored in files so that CRCs of CRC-bearing payloads do not
+/// collide with CRCs of raw data (LevelDB idiom).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8ul;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace dicho::crc32c
+
+#endif  // DICHO_COMMON_CRC32C_H_

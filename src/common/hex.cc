@@ -1,0 +1,39 @@
+#include "common/hex.h"
+
+namespace dicho {
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(const Slice& data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (size_t i = 0; i < data.size(); i++) {
+    unsigned char c = static_cast<unsigned char>(data[i]);
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+std::string FromHex(const Slice& hex) {
+  if (hex.size() % 2 != 0) return "";
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexVal(hex[i]);
+    int lo = HexVal(hex[i + 1]);
+    if (hi < 0 || lo < 0) return "";
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace dicho

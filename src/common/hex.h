@@ -1,0 +1,19 @@
+#ifndef DICHO_COMMON_HEX_H_
+#define DICHO_COMMON_HEX_H_
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace dicho {
+
+/// Lowercase hex encoding of raw bytes (digest pretty-printing).
+std::string ToHex(const Slice& data);
+
+/// Inverse of ToHex; returns empty string on malformed input of odd length or
+/// non-hex characters.
+std::string FromHex(const Slice& hex);
+
+}  // namespace dicho
+
+#endif  // DICHO_COMMON_HEX_H_

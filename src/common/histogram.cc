@@ -1,0 +1,16 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dicho {
+
+std::string Histogram::Summary() {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%zu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f", count(),
+           Mean(), Percentile(50), Percentile(95), Percentile(99), Max());
+  return buf;
+}
+
+}  // namespace dicho

@@ -1,0 +1,86 @@
+#ifndef DICHO_COMMON_HISTOGRAM_H_
+#define DICHO_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dicho {
+
+/// Latency/throughput statistics accumulator. Stores raw samples (double,
+/// unit-agnostic — callers use microseconds by convention) and answers mean /
+/// percentile / min / max queries. Not thread-safe; the simulator is
+/// single-threaded by design.
+class Histogram {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    if (samples_.empty()) return 0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    if (samples_.empty()) return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// p in [0, 100].
+  double Percentile(double p) {
+    if (samples_.empty()) return 0;
+    EnsureSorted();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  double Median() { return Percentile(50); }
+
+  /// Population standard deviation.
+  double StdDev() const {
+    if (samples_.size() < 2) return 0;
+    double mean = Mean();
+    double acc = 0;
+    for (double v : samples_) acc += (v - mean) * (v - mean);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  /// "count=... mean=... p50=... p99=... max=..." summary line.
+  std::string Summary();
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace dicho
+
+#endif  // DICHO_COMMON_HISTOGRAM_H_

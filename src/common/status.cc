@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace dicho {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace dicho

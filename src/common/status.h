@@ -1,0 +1,115 @@
+#ifndef DICHO_COMMON_STATUS_H_
+#define DICHO_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dicho {
+
+/// Error category returned by fallible operations across the library.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kInvalidArgument,
+  kAborted,          // transaction aborted (conflict, stale read, ...)
+  kConflict,         // write-write / read-write conflict detected
+  kUnavailable,      // no quorum / leader unknown / partitioned
+  kTimedOut,
+  kNotSupported,
+  kAlreadyExists,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a short human-readable name such as "NotFound".
+const char* StatusCodeName(StatusCode code);
+
+/// Status carries the outcome of an operation: an OK singleton or an error
+/// code plus message. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Corruption(std::string m = "") {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Aborted(std::string m = "") {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Conflict(std::string m = "") {
+    return Status(StatusCode::kConflict, std::move(m));
+  }
+  static Status Unavailable(std::string m = "") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status TimedOut(std::string m = "") {
+    return Status(StatusCode::kTimedOut, std::move(m));
+  }
+  static Status NotSupported(std::string m = "") {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status IoError(std::string m = "") {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Internal(std::string m = "") {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is a Status or a value; the database-style alternative to
+/// exceptions (which this codebase does not use).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok().
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T&& TakeValue() { return std::move(value_); }
+
+  /// value() if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace dicho
+
+#endif  // DICHO_COMMON_STATUS_H_

@@ -1,0 +1,361 @@
+#include "consensus/pbft.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dicho::consensus {
+
+namespace {
+constexpr uint64_t kCtrlMsgBytes = 160;  // header + digest + signature
+
+std::string DigestOf(const std::string& cmd) {
+  return crypto::DigestBytes(crypto::Sha256Of(cmd));
+}
+}  // namespace
+
+BftNode::BftNode(sim::Simulator* sim, sim::SimNetwork* net,
+                 const sim::CostModel* costs, NodeId id,
+                 std::vector<NodeId> all, BftConfig config, ApplyFn apply)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      id_(id),
+      all_(std::move(all)),
+      config_(config),
+      apply_(std::move(apply)),
+      cpu_(sim) {
+  std::sort(all_.begin(), all_.end());
+}
+
+void BftNode::Start() {}
+
+void BftNode::Charge(std::function<void()> fn) {
+  // Verify the signature on the incoming message, then process. The O(n^2)
+  // signed traffic per instance is charged here.
+  cpu_.Submit(costs_->sig_verify_us + costs_->msg_handling_us,
+              [this, fn = std::move(fn)] {
+                if (!crashed_) fn();
+              });
+}
+
+void BftNode::Broadcast(uint64_t bytes,
+                        std::function<void(BftNode*)> deliver) {
+  for (NodeId peer : all_) {
+    if (peer == id_) continue;
+    BftNode* target = group_.at(peer);
+    net_->Send(id_, peer, bytes, [target, deliver] {
+      target->Charge([target, deliver] { deliver(target); });
+    });
+  }
+  deliver(this);  // self-delivery, no network or signature cost
+}
+
+void BftNode::Submit(std::string cmd, SubmitCallback cb) {
+  if (crashed_) {
+    cb(Status::Unavailable("node crashed"), 0);
+    return;
+  }
+  std::string digest = DigestOf(cmd);
+  pending_subs_[digest] = PendingSubmission{cmd, std::move(cb)};
+  ArmViewChangeTimer();
+  // PBFT clients broadcast requests to every replica; each replica monitors
+  // the request for execution and starts a view change if the primary stalls
+  // on it. Without this, only the submitting replica would ever time out and
+  // a single view-change vote cannot reach quorum.
+  for (NodeId peer : all_) {
+    if (peer == id_) continue;
+    BftNode* target = group_.at(peer);
+    net_->Send(id_, peer, kCtrlMsgBytes + cmd.size(), [target, cmd] {
+      target->Charge([target, cmd] { target->NoteRequest(cmd); });
+    });
+  }
+  ForwardToPrimary(std::move(cmd));
+}
+
+void BftNode::NoteRequest(const std::string& cmd) {
+  std::string digest = DigestOf(cmd);
+  if (executed_digests_.count(digest) > 0) return;
+  if (pending_subs_.count(digest) > 0) return;
+  pending_subs_[digest] = PendingSubmission{cmd, nullptr};
+  ArmViewChangeTimer();
+  if (IsPrimary()) PrimaryPropose(cmd);
+}
+
+void BftNode::ForwardToPrimary(std::string cmd) {
+  if (IsPrimary()) {
+    PrimaryPropose(std::move(cmd));
+    return;
+  }
+  NodeId p = primary();
+  BftNode* target = group_.at(p);
+  net_->Send(id_, p, kCtrlMsgBytes + cmd.size(),
+             [target, cmd = std::move(cmd)]() mutable {
+               target->Charge([target, cmd = std::move(cmd)]() mutable {
+                 if (target->IsPrimary()) target->PrimaryPropose(std::move(cmd));
+               });
+             });
+}
+
+void BftNode::PrimaryPropose(std::string cmd) {
+  std::string cmd_digest = DigestOf(cmd);
+  if (proposed_digests_.count(cmd_digest) > 0 ||
+      executed_digests_.count(cmd_digest) > 0) {
+    return;  // duplicate relay of a request already in flight
+  }
+  if (in_view_change_) {
+    queued_.emplace_back(std::move(cmd));
+    return;
+  }
+  proposed_digests_.insert(cmd_digest);
+  uint64_t seq = next_seq_++;
+  uint64_t view = view_;
+  std::string digest = DigestOf(cmd);
+
+  if (equivocate_) {
+    // Byzantine primary: conflicting proposals to the two halves.
+    std::string evil_cmd = cmd + "#equivocation";
+    size_t half = all_.size() / 2;
+    size_t idx = 0;
+    for (NodeId peer : all_) {
+      if (peer == id_) continue;
+      const std::string& c = (idx < half) ? cmd : evil_cmd;
+      std::string d = DigestOf(c);
+      BftNode* target = group_.at(peer);
+      net_->Send(id_, peer, kCtrlMsgBytes + c.size(),
+                 [target, me = id_, view, seq, d, c] {
+                   target->Charge([target, me, view, seq, d, c] {
+                     target->HandlePrePrepare(me, view, seq, d, c);
+                   });
+                 });
+      idx++;
+    }
+    HandlePrePrepare(id_, view, seq, digest, cmd);
+    return;
+  }
+
+  Broadcast(kCtrlMsgBytes + cmd.size(),
+            [me = id_, view, seq, digest, cmd](BftNode* n) {
+              n->HandlePrePrepare(me, view, seq, digest, cmd);
+            });
+}
+
+void BftNode::HandlePrePrepare(NodeId from, uint64_t view, uint64_t seq,
+                               const std::string& digest,
+                               const std::string& cmd) {
+  if (crashed_ || view != view_ || in_view_change_) return;
+  if (from != primary()) return;  // only the primary proposes
+  Instance& inst = instances_[seq];
+  if (!inst.digest.empty() && inst.view == view) return;  // first one wins
+  inst.cmd = cmd;
+  inst.digest = digest;
+  inst.view = view;
+
+  std::string vote_digest = digest;
+  if (equivocate_) vote_digest = DigestOf(digest + "#garbage");
+  Broadcast(kCtrlMsgBytes, [me = id_, view, seq, vote_digest](BftNode* n) {
+    n->HandlePrepare(me, view, seq, vote_digest);
+  });
+  // Prepares/commits may have raced ahead of this pre-prepare.
+  CheckProgress(view, seq);
+}
+
+void BftNode::CheckProgress(uint64_t view, uint64_t seq) {
+  Instance& inst = instances_[seq];
+  if (inst.digest.empty() || inst.view != view) return;
+  if (!inst.prepared && inst.prepares[inst.digest].size() >= 2 * f()) {
+    inst.prepared = true;
+    if (!inst.sent_commit) {
+      inst.sent_commit = true;
+      std::string digest = inst.digest;
+      Broadcast(kCtrlMsgBytes, [me = id_, view, seq, digest](BftNode* n) {
+        n->HandleCommit(me, view, seq, digest);
+      });
+    }
+  }
+  if (!inst.committed && inst.commits[inst.digest].size() >= Quorum()) {
+    inst.committed = true;
+    MaybeExecute();
+  }
+}
+
+void BftNode::HandlePrepare(NodeId from, uint64_t view, uint64_t seq,
+                            const std::string& digest) {
+  if (crashed_ || view != view_ || in_view_change_) return;
+  Instance& inst = instances_[seq];
+  inst.prepares[digest].insert(from);
+  CheckProgress(view, seq);
+}
+
+void BftNode::HandleCommit(NodeId from, uint64_t view, uint64_t seq,
+                           const std::string& digest) {
+  if (crashed_ || view != view_ || in_view_change_) return;
+  Instance& inst = instances_[seq];
+  inst.commits[digest].insert(from);
+  CheckProgress(view, seq);
+}
+
+void BftNode::MaybeExecute() {
+  while (true) {
+    auto it = instances_.find(last_executed_ + 1);
+    if (it == instances_.end() || !it->second.committed) return;
+    uint64_t seq = it->first;
+    Instance& inst = it->second;
+    last_executed_ = seq;
+    executed_log_[seq] = inst.cmd;
+    executed_digests_.insert(DigestOf(inst.cmd));
+    if (apply_) apply_(seq, inst.cmd);
+    auto sub = pending_subs_.find(inst.digest);
+    if (sub != pending_subs_.end()) {
+      if (sub->second.cb) sub->second.cb(Status::Ok(), seq);
+      pending_subs_.erase(sub);
+    }
+  }
+}
+
+void BftNode::ArmViewChangeTimer() {
+  uint64_t epoch = ++timer_epoch_;
+  uint64_t executed_snapshot = last_executed_;
+  sim_->Schedule(config_.view_change_timeout, [this, epoch,
+                                               executed_snapshot] {
+    if (crashed_ || epoch != timer_epoch_) return;
+    if (pending_subs_.empty()) return;
+    if (last_executed_ > executed_snapshot) {
+      // Progress is being made; re-arm and keep waiting.
+      ArmViewChangeTimer();
+      return;
+    }
+    StartViewChange(view_ + 1);
+  });
+}
+
+void BftNode::StartViewChange(uint64_t new_view) {
+  if (new_view <= view_) return;
+  in_view_change_ = true;
+  view_changes_++;
+  std::map<uint64_t, std::string> prepared;
+  for (const auto& [seq, inst] : instances_) {
+    if (seq > last_executed_ && inst.prepared) prepared[seq] = inst.cmd;
+  }
+  Broadcast(kCtrlMsgBytes + 64 * prepared.size(),
+            [me = id_, new_view, prepared](BftNode* n) {
+              n->HandleViewChange(me, new_view, prepared);
+            });
+}
+
+void BftNode::HandleViewChange(
+    NodeId from, uint64_t new_view,
+    const std::map<uint64_t, std::string>& prepared_cmds) {
+  if (crashed_ || new_view <= view_) return;
+  view_change_votes_[new_view].insert(from);
+  auto& merged = view_change_prepared_[new_view];
+  for (const auto& [seq, cmd] : prepared_cmds) {
+    merged.emplace(seq, cmd);  // first report wins; honest reports agree
+  }
+  if (view_change_votes_[new_view].size() >= Quorum()) {
+    EnterView(new_view);
+  } else if (view_change_votes_[new_view].size() >= f() + 1 &&
+             !in_view_change_) {
+    // Join an in-progress view change (avoids waiting for our own timer).
+    StartViewChange(new_view);
+  }
+}
+
+void BftNode::EnterView(uint64_t new_view) {
+  view_ = new_view;
+  in_view_change_ = false;
+  timer_epoch_++;  // cancel stale timers
+  if (!pending_subs_.empty()) ArmViewChangeTimer();
+
+  uint64_t max_seq = last_executed_;
+  for (const auto& [seq, inst] : instances_) max_seq = std::max(max_seq, seq);
+  const auto merged = view_change_prepared_[new_view];
+
+  if (IsPrimary()) {
+    for (const auto& [seq, cmd] : merged) max_seq = std::max(max_seq, seq);
+    next_seq_ = max_seq + 1;
+    // Re-propose prepared-but-unexecuted requests at their original seqs.
+    for (const auto& [seq, cmd] : merged) {
+      if (seq <= last_executed_) continue;
+      uint64_t view = view_;
+      std::string digest = DigestOf(cmd);
+      // Reset the instance for the new view.
+      instances_[seq] = Instance{};
+      Broadcast(kCtrlMsgBytes + cmd.size(),
+                [me = id_, view, seq, digest, cmd](BftNode* n) {
+                  n->HandlePrePrepare(me, view, seq, digest, cmd);
+                });
+    }
+    // Drain queued and pending submissions.
+    auto queued = std::move(queued_);
+    queued_.clear();
+    for (auto& cmd : queued) PrimaryPropose(std::move(cmd));
+  }
+  // Clear per-view instance state for unexecuted seqs so the new view's
+  // pre-prepares are accepted cleanly.
+  for (auto& [seq, inst] : instances_) {
+    if (seq > last_executed_ && inst.view < new_view && !inst.committed) {
+      inst = Instance{};
+    }
+  }
+  // Re-forward pending requests to the new primary (it dedups by digest).
+  for (auto& [digest, sub] : pending_subs_) {
+    ForwardToPrimary(sub.cmd);
+  }
+}
+
+void BftNode::Crash() {
+  crashed_ = true;
+  net_->SetNodeDown(id_, true);
+  for (auto& [digest, sub] : pending_subs_) {
+    sub.cb(Status::Unavailable("node crashed"), 0);
+  }
+  pending_subs_.clear();
+  cpu_.ResetBacklog();
+}
+
+void BftNode::Restart() {
+  crashed_ = false;
+  net_->SetNodeDown(id_, false);
+  in_view_change_ = false;
+  // View and executed log persist (stable storage); timers rearm on demand.
+}
+
+std::unique_ptr<BftCluster> BftCluster::Create(
+    sim::Simulator* sim, sim::SimNetwork* net, const sim::CostModel* costs,
+    const std::vector<NodeId>& ids, BftConfig config,
+    std::function<void(NodeId, uint64_t, const std::string&)> apply) {
+  auto cluster = std::unique_ptr<BftCluster>(new BftCluster());
+  for (NodeId id : ids) {
+    BftNode::ApplyFn node_apply;
+    if (apply) {
+      node_apply = [apply, id](uint64_t seq, const std::string& cmd) {
+        apply(id, seq, cmd);
+      };
+    }
+    cluster->nodes_[id] = std::make_unique<BftNode>(
+        sim, net, costs, id, ids, config, std::move(node_apply));
+  }
+  std::map<NodeId, BftNode*> group;
+  for (auto& [id, node] : cluster->nodes_) group[id] = node.get();
+  for (auto& [id, node] : cluster->nodes_) node->SetGroup(group);
+  return cluster;
+}
+
+BftNode* BftCluster::primary() {
+  for (auto& [id, node] : nodes_) {
+    if (node->IsPrimary()) return node.get();
+  }
+  return nullptr;
+}
+
+std::vector<BftNode*> BftCluster::all() {
+  std::vector<BftNode*> out;
+  for (auto& [id, node] : nodes_) out.push_back(node.get());
+  return out;
+}
+
+void BftCluster::StartAll() {
+  for (auto& [id, node] : nodes_) node->Start();
+}
+
+}  // namespace dicho::consensus

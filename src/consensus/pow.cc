@@ -1,0 +1,122 @@
+#include "consensus/pow.h"
+
+#include <algorithm>
+
+namespace dicho::consensus {
+
+namespace {
+constexpr uint64_t kBlockHeaderBytes = 128;
+}
+
+PowNetwork::PowNetwork(sim::Simulator* sim, sim::SimNetwork* net,
+                       std::vector<NodeId> miners, PowConfig config,
+                       ApplyFn apply)
+    : sim_(sim),
+      net_(net),
+      miners_(std::move(miners)),
+      config_(config),
+      apply_(std::move(apply)) {
+  for (NodeId m : miners_) {
+    tip_[m] = 0;
+    tip_height_[m] = 0;
+    mining_epoch_[m] = 0;
+    confirmed_height_[m] = 0;
+  }
+}
+
+void PowNetwork::Start() {
+  for (NodeId m : miners_) ScheduleMining(m);
+}
+
+void PowNetwork::Submit(std::string txn, ConfirmCallback cb) {
+  mempool_.emplace_back(std::move(txn), std::move(cb));
+}
+
+void PowNetwork::ScheduleMining(NodeId miner) {
+  uint64_t epoch = ++mining_epoch_[miner];
+  // Each of n miners solves at rate 1/(n * mean), so the network solves at
+  // 1/mean.
+  Time delay = sim_->rng()->Exponential(
+      config_.mean_block_interval * static_cast<double>(miners_.size()));
+  sim_->Schedule(delay, [this, miner, epoch] { OnBlockFound(miner, epoch); });
+}
+
+void PowNetwork::OnBlockFound(NodeId miner, uint64_t epoch) {
+  if (epoch != mining_epoch_[miner]) return;  // preempted by a received block
+  if (net_->IsDown(miner)) {
+    ScheduleMining(miner);
+    return;
+  }
+  Block block;
+  block.id = next_block_id_++;
+  block.parent = tip_[miner];
+  block.height = tip_height_[miner] + 1;
+  block.miner = miner;
+  uint64_t bytes = kBlockHeaderBytes;
+  size_t take = std::min(mempool_.size(), config_.max_txns_per_block);
+  for (size_t i = 0; i < take; i++) {
+    block.txns.push_back(mempool_[i].first);
+    awaiting_confirm_[mempool_[i].first] = std::move(mempool_[i].second);
+    bytes += mempool_[i].first.size();
+  }
+  mempool_.erase(mempool_.begin(), mempool_.begin() + static_cast<long>(take));
+  blocks_[block.id] = block;
+  blocks_mined_++;
+
+  // Adopt own block and broadcast.
+  tip_[miner] = block.id;
+  tip_height_[miner] = block.height;
+  ConfirmUpTo(miner, block.id);
+  ScheduleMining(miner);
+  for (NodeId peer : miners_) {
+    if (peer == miner) continue;
+    uint64_t block_id = block.id;
+    net_->Send(miner, peer, bytes,
+               [this, peer, block_id] { DeliverBlock(peer, block_id); });
+  }
+}
+
+void PowNetwork::DeliverBlock(NodeId node, uint64_t block_id) {
+  const Block& block = blocks_.at(block_id);
+  if (block.height <= tip_height_[node]) {
+    // Competing block at the same or lower height: a fork.
+    if (block.height == tip_height_[node] && tip_[node] != block_id) forks_++;
+    return;
+  }
+  tip_[node] = block_id;
+  tip_height_[node] = block.height;
+  // Receiving a longer chain preempts the current mining attempt.
+  ScheduleMining(node);
+  ConfirmUpTo(node, block_id);
+}
+
+void PowNetwork::ConfirmUpTo(NodeId node, uint64_t tip_id) {
+  const Block& tip_block = blocks_.at(tip_id);
+  if (tip_block.height < static_cast<uint64_t>(config_.confirm_depth)) return;
+  uint64_t confirm_to = tip_block.height - config_.confirm_depth;
+  if (confirm_to <= confirmed_height_[node]) return;
+
+  // Collect the path from tip down to the last confirmed height.
+  std::vector<const Block*> path;
+  const Block* b = &tip_block;
+  while (b->height > confirmed_height_[node]) {
+    if (b->height <= confirm_to) path.push_back(b);
+    if (b->parent == 0) break;
+    b = &blocks_.at(b->parent);
+  }
+  std::reverse(path.begin(), path.end());
+  for (const Block* blk : path) {
+    for (const auto& txn : blk->txns) {
+      if (apply_) apply_(node, blk->height, txn);
+      auto it = awaiting_confirm_.find(txn);
+      if (it != awaiting_confirm_.end()) {
+        confirmed_txns_++;
+        if (it->second) it->second(Status::Ok(), blk->height);
+        awaiting_confirm_.erase(it);
+      }
+    }
+  }
+  confirmed_height_[node] = confirm_to;
+}
+
+}  // namespace dicho::consensus

@@ -1,0 +1,96 @@
+#ifndef DICHO_CONSENSUS_POW_H_
+#define DICHO_CONSENSUS_POW_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dicho::consensus {
+
+using sim::NodeId;
+using sim::Time;
+
+struct PowConfig {
+  /// Mean interval between blocks found across the whole network (Bitcoin:
+  /// 600 s; a permissioned PoW like BlockchainDB's: seconds).
+  Time mean_block_interval = 10 * sim::kSec;
+  /// Blocks buried this deep count as confirmed.
+  int confirm_depth = 2;
+  size_t max_txns_per_block = 1000;
+};
+
+/// Proof-of-work longest-chain network. Mining is simulated: each miner's
+/// time-to-solution is exponential with mean n * mean_block_interval, so the
+/// network as a whole finds blocks at the configured rate. Forks happen
+/// organically when two miners solve within a propagation delay of each
+/// other; the longest-chain rule resolves them, and transactions only
+/// confirm once buried confirm_depth blocks deep — which is exactly the
+/// liveness-over-safety tradeoff the paper attributes to public chains
+/// (Section 3.1.3).
+class PowNetwork {
+ public:
+  using ConfirmCallback = std::function<void(Status, uint64_t height)>;
+  /// apply(node, height, txn) once per confirmed transaction per node.
+  using ApplyFn =
+      std::function<void(NodeId, uint64_t height, const std::string& txn)>;
+
+  PowNetwork(sim::Simulator* sim, sim::SimNetwork* net,
+             std::vector<NodeId> miners, PowConfig config, ApplyFn apply);
+
+  /// Begins mining on every node.
+  void Start();
+
+  /// Adds a transaction to the global mempool; `cb` fires when its block is
+  /// confirm_depth-deep on the miner that first included it.
+  void Submit(std::string txn, ConfirmCallback cb);
+
+  // Introspection ------------------------------------------------------------
+  uint64_t blocks_mined() const { return blocks_mined_; }
+  uint64_t forks_observed() const { return forks_; }
+  uint64_t chain_height(NodeId node) const { return tip_height_.at(node); }
+  uint64_t confirmed_txns() const { return confirmed_txns_; }
+
+ private:
+  struct Block {
+    uint64_t id;
+    uint64_t parent;  // 0 = genesis
+    uint64_t height;
+    NodeId miner;
+    std::vector<std::string> txns;
+  };
+
+  void ScheduleMining(NodeId miner);
+  void OnBlockFound(NodeId miner, uint64_t mining_epoch);
+  void DeliverBlock(NodeId node, uint64_t block_id);
+  void ConfirmUpTo(NodeId node, uint64_t tip_id);
+
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  std::vector<NodeId> miners_;
+  PowConfig config_;
+  ApplyFn apply_;
+
+  std::map<uint64_t, Block> blocks_;
+  uint64_t next_block_id_ = 1;
+  std::vector<std::pair<std::string, ConfirmCallback>> mempool_;
+  std::map<std::string, ConfirmCallback> awaiting_confirm_;  // txn -> cb
+
+  std::map<NodeId, uint64_t> tip_;         // node -> block id (0 = genesis)
+  std::map<NodeId, uint64_t> tip_height_;  // node -> height
+  std::map<NodeId, uint64_t> mining_epoch_;
+  std::map<NodeId, uint64_t> confirmed_height_;  // applied/confirmed prefix
+  uint64_t blocks_mined_ = 0;
+  uint64_t forks_ = 0;
+  uint64_t confirmed_txns_ = 0;
+};
+
+}  // namespace dicho::consensus
+
+#endif  // DICHO_CONSENSUS_POW_H_

@@ -1,0 +1,419 @@
+#include "consensus/raft.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dicho::consensus {
+
+namespace {
+// Rough wire sizes for traffic accounting.
+constexpr uint64_t kVoteMsgBytes = 64;
+constexpr uint64_t kAppendHeaderBytes = 64;
+constexpr uint64_t kRespBytes = 48;
+}  // namespace
+
+RaftNode::RaftNode(sim::Simulator* sim, sim::SimNetwork* net,
+                   const sim::CostModel* costs, NodeId id,
+                   std::vector<NodeId> peers, RaftConfig config, ApplyFn apply)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      id_(id),
+      peers_(std::move(peers)),
+      config_(config),
+      apply_(std::move(apply)),
+      cpu_(sim) {}
+
+void RaftNode::Start() { ArmElectionTimer(); }
+
+void RaftNode::SendTo(NodeId peer, uint64_t bytes,
+                      std::function<void()> handler) {
+  net_->Send(id_, peer, bytes, std::move(handler));
+}
+
+void RaftNode::ArmElectionTimer() {
+  uint64_t epoch = ++election_epoch_;
+  Time timeout =
+      config_.election_timeout_min +
+      sim_->rng()->NextDouble() *
+          (config_.election_timeout_max - config_.election_timeout_min);
+  sim_->Schedule(timeout, [this, epoch] { OnElectionTimeout(epoch); });
+}
+
+void RaftNode::OnElectionTimeout(uint64_t epoch) {
+  if (crashed_ || epoch != election_epoch_) return;
+  if (role_ == RaftRole::kLeader) return;
+  BecomeCandidate();
+}
+
+void RaftNode::BecomeFollower(uint64_t term) {
+  bool term_changed = term != current_term_;
+  current_term_ = term;
+  if (term_changed) voted_for_ = -1;
+  if (role_ == RaftRole::kLeader) {
+    // Fail outstanding proposals: a new leader may still commit them, but
+    // this node can no longer confirm.
+    for (auto& [index, cb] : pending_) {
+      cb(Status::Unavailable("leadership lost"), index);
+    }
+    pending_.clear();
+  }
+  role_ = RaftRole::kFollower;
+  ArmElectionTimer();
+}
+
+void RaftNode::BecomeCandidate() {
+  role_ = RaftRole::kCandidate;
+  current_term_++;
+  voted_for_ = static_cast<int64_t>(id_);
+  votes_ = 1;
+  ArmElectionTimer();
+
+  uint64_t term = current_term_;
+  uint64_t last_index = log_.size();
+  uint64_t last_term = LastLogTerm();
+  for (NodeId peer : peers_) {
+    RaftNode* target = group_.at(peer);
+    SendTo(peer, kVoteMsgBytes, [target, me = id_, term, last_index,
+                                 last_term] {
+      target->HandleRequestVote(me, term, last_index, last_term);
+    });
+  }
+  // Single-node group edge case.
+  if (peers_.empty()) BecomeLeader();
+}
+
+void RaftNode::HandleRequestVote(NodeId from, uint64_t term,
+                                 uint64_t last_log_index,
+                                 uint64_t last_log_term) {
+  if (crashed_) return;
+  if (term > current_term_) BecomeFollower(term);
+  bool granted = false;
+  if (term == current_term_ &&
+      (voted_for_ == -1 || voted_for_ == static_cast<int64_t>(from))) {
+    // Election restriction: candidate's log must be at least as up to date.
+    bool up_to_date =
+        last_log_term > LastLogTerm() ||
+        (last_log_term == LastLogTerm() && last_log_index >= log_.size());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = static_cast<int64_t>(from);
+      ArmElectionTimer();  // granting a vote defers our own candidacy
+    }
+  }
+  uint64_t reply_term = current_term_;
+  RaftNode* target = group_.at(from);
+  SendTo(from, kRespBytes, [target, me = id_, reply_term, granted] {
+    target->HandleVoteResponse(me, reply_term, granted);
+  });
+}
+
+void RaftNode::HandleVoteResponse(NodeId /*from*/, uint64_t term,
+                                  bool granted) {
+  if (crashed_) return;
+  if (term > current_term_) {
+    BecomeFollower(term);
+    return;
+  }
+  if (role_ != RaftRole::kCandidate || term != current_term_ || !granted) {
+    return;
+  }
+  votes_++;
+  if (votes_ >= MajoritySize()) BecomeLeader();
+}
+
+void RaftNode::BecomeLeader() {
+  role_ = RaftRole::kLeader;
+  leader_hint_ = id_;
+  next_index_.clear();
+  match_index_.clear();
+  inflight_.clear();
+  for (NodeId peer : peers_) {
+    next_index_[peer] = log_.size() + 1;
+    match_index_[peer] = 0;
+  }
+  SendHeartbeats();
+}
+
+void RaftNode::SendHeartbeats() {
+  if (crashed_ || role_ != RaftRole::kLeader) return;
+  for (NodeId peer : peers_) {
+    SendAppendTo(peer);
+  }
+  sim_->Schedule(config_.heartbeat_interval, [this, term = current_term_] {
+    if (term == current_term_) SendHeartbeats();
+  });
+}
+
+void RaftNode::Propose(std::string cmd, CommitCallback cb) {
+  if (crashed_ || role_ != RaftRole::kLeader) {
+    cb(Status::Unavailable("not leader"), 0);
+    return;
+  }
+  log_.push_back({current_term_, std::move(cmd)});
+  uint64_t index = log_.size();
+  pending_[index] = std::move(cb);
+  ScheduleFlush();
+  if (peers_.empty()) {
+    commit_index_ = log_.size();
+    ApplyCommitted();
+  }
+}
+
+void RaftNode::ScheduleFlush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  sim_->Schedule(config_.append_interval, [this] {
+    flush_scheduled_ = false;
+    FlushAppends();
+  });
+}
+
+void RaftNode::FlushAppends() {
+  if (crashed_ || role_ != RaftRole::kLeader) return;
+  // Per-entry leader processing (log handling, batching), charged exactly
+  // once per entry; the per-follower marshaling cost is charged inside
+  // SendAppendTo so streamed re-sends pay it too. Together: the leader CPU
+  // + NIC bottleneck that bends etcd's scaling curve (Table 4).
+  uint64_t newly_accepted =
+      log_.size() > flush_processed_ ? log_.size() - flush_processed_ : 0;
+  flush_processed_ = log_.size();
+  Time cost = static_cast<Time>(newly_accepted) * costs_->raft_leader_base_us;
+  cpu_.Submit(cost, [this, term = current_term_] {
+    if (crashed_ || role_ != RaftRole::kLeader || term != current_term_) {
+      return;
+    }
+    for (NodeId peer : peers_) {
+      // Only ship to followers that are actually behind — flushing everyone
+      // on every wakeup would send O(N^2) redundant batches.
+      if (next_index_[peer] <= log_.size()) SendAppendTo(peer);
+    }
+  });
+}
+
+void RaftNode::SendAppendTo(NodeId peer) {
+  uint64_t next = next_index_[peer];
+  AppendEntriesArgs args;
+  args.term = current_term_;
+  args.leader = id_;
+  args.prev_index = next - 1;
+  args.prev_term = args.prev_index == 0 ? 0 : log_[args.prev_index - 1].term;
+  args.leader_commit = commit_index_;
+  uint64_t bytes = kAppendHeaderBytes;
+  // While an entry batch is in flight to this follower, send heartbeats
+  // only — re-shipping the backlog every 50 ms snowballs the egress queue.
+  auto inflight = inflight_.find(peer);
+  bool allow_entries =
+      inflight == inflight_.end() ||
+      sim_->Now() - inflight->second.since > 4 * config_.heartbeat_interval;
+  if (allow_entries) {
+    for (uint64_t i = next;
+         i <= log_.size() && args.entries.size() < config_.max_batch &&
+         bytes < config_.max_batch_bytes;
+         i++) {
+      args.entries.push_back(log_[i - 1]);
+      bytes += 16 + log_[i - 1].cmd.size();
+    }
+    if (!args.entries.empty()) {
+      inflight_[peer] =
+          Inflight{sim_->Now(), args.prev_index + args.entries.size()};
+    }
+  }
+  RaftNode* target = group_.at(peer);
+  if (args.entries.empty()) {
+    SendTo(peer, bytes, [target, args] { target->HandleAppendEntries(args); });
+    return;
+  }
+  // Per-entry marshaling work for this follower occupies the leader CPU
+  // before the batch hits the wire.
+  Time cost = static_cast<Time>(args.entries.size()) *
+              costs_->raft_leader_per_follower_us;
+  cpu_.Submit(cost, [this, peer, target, bytes, args = std::move(args)] {
+    if (crashed_ || role_ != RaftRole::kLeader) return;
+    SendTo(peer, bytes, [target, args] { target->HandleAppendEntries(args); });
+  });
+}
+
+void RaftNode::HandleAppendEntries(const AppendEntriesArgs& args) {
+  if (crashed_) return;
+  if (args.term > current_term_ ||
+      (args.term == current_term_ && role_ == RaftRole::kCandidate)) {
+    BecomeFollower(args.term);
+  }
+  bool success = false;
+  uint64_t match = 0;
+  if (args.term == current_term_) {
+    leader_hint_ = args.leader;
+    ArmElectionTimer();
+    // Log consistency check.
+    if (args.prev_index == 0 ||
+        (args.prev_index <= log_.size() &&
+         log_[args.prev_index - 1].term == args.prev_term)) {
+      success = true;
+      // Append/overwrite entries.
+      uint64_t index = args.prev_index;
+      for (const auto& entry : args.entries) {
+        index++;
+        if (index <= log_.size()) {
+          if (log_[index - 1].term != entry.term) {
+            log_.resize(index - 1);  // conflict: truncate suffix
+            log_.push_back(entry);
+          }
+        } else {
+          log_.push_back(entry);
+        }
+      }
+      match = args.prev_index + args.entries.size();
+      if (args.leader_commit > commit_index_) {
+        // Commit only up to the last entry this RPC proved consistent with
+        // the leader (Raft §5.3: "min(leaderCommit, index of last new
+        // entry)") — log_.size() here would let an empty heartbeat commit a
+        // conflicting suffix that has not been reconciled yet.
+        uint64_t new_commit = std::min<uint64_t>(args.leader_commit, match);
+        if (new_commit > commit_index_) {
+          commit_index_ = new_commit;
+          ApplyCommitted();
+        }
+      }
+    }
+  }
+  uint64_t reply_term = current_term_;
+  RaftNode* target = group_.at(args.leader);
+  // Follower-side processing cost.
+  Time cost = costs_->msg_handling_us;
+  cpu_.Submit(cost, [this, target, leader = args.leader, reply_term, success,
+                     match] {
+    if (crashed_) return;
+    SendTo(leader, kRespBytes, [target, me = id_, reply_term, success, match] {
+      target->HandleAppendResponse(me, reply_term, success, match);
+    });
+  });
+}
+
+void RaftNode::HandleAppendResponse(NodeId from, uint64_t term, bool success,
+                                    uint64_t match_index) {
+  if (crashed_) return;
+  if (term > current_term_) {
+    BecomeFollower(term);
+    return;
+  }
+  if (role_ != RaftRole::kLeader || term != current_term_) return;
+  auto inflight = inflight_.find(from);
+  if (inflight != inflight_.end() &&
+      (!success || match_index >= inflight->second.through)) {
+    inflight_.erase(inflight);  // the batch (or its rejection) came back
+  }
+  if (success) {
+    if (match_index > match_index_[from]) {
+      match_index_[from] = match_index;
+      next_index_[from] = match_index + 1;
+      AdvanceCommit();
+    }
+    // More backlog for this follower and nothing in flight? Stream the next
+    // batch. (If a batch is still in flight, its ack will trigger the next
+    // ship — re-sending here would ping-pong empty appends at RTT speed.)
+    if (next_index_[from] <= log_.size() &&
+        inflight_.find(from) == inflight_.end()) {
+      SendAppendTo(from);
+    }
+  } else {
+    // Back off nextIndex and retry.
+    if (next_index_[from] > 1) next_index_[from]--;
+    SendAppendTo(from);
+  }
+}
+
+void RaftNode::AdvanceCommit() {
+  // Find the highest index replicated on a majority with entry.term ==
+  // current term (Raft commit rule §5.4.2).
+  std::vector<uint64_t> matches;
+  matches.push_back(log_.size());  // self
+  for (const auto& [peer, match] : match_index_) matches.push_back(match);
+  std::sort(matches.begin(), matches.end(), std::greater<>());
+  uint64_t majority_match = matches[MajoritySize() - 1];
+  if (majority_match > commit_index_ &&
+      log_[majority_match - 1].term == current_term_) {
+    commit_index_ = majority_match;
+    ApplyCommitted();
+  }
+}
+
+void RaftNode::ApplyCommitted() {
+  while (last_applied_ < commit_index_) {
+    last_applied_++;
+    if (apply_) apply_(last_applied_, log_[last_applied_ - 1].cmd);
+    auto it = pending_.find(last_applied_);
+    if (it != pending_.end()) {
+      it->second(Status::Ok(), last_applied_);
+      pending_.erase(it);
+    }
+  }
+}
+
+void RaftNode::Crash() {
+  crashed_ = true;
+  net_->SetNodeDown(id_, true);
+  // Volatile leader state is lost; fail outstanding callbacks.
+  for (auto& [index, cb] : pending_) {
+    cb(Status::Unavailable("node crashed"), index);
+  }
+  pending_.clear();
+  cpu_.ResetBacklog();
+}
+
+void RaftNode::Restart() {
+  crashed_ = false;
+  net_->SetNodeDown(id_, false);
+  role_ = RaftRole::kFollower;
+  votes_ = 0;
+  commit_index_ = 0;  // re-learn from leader; applied state is volatile here
+  last_applied_ = 0;
+  flush_scheduled_ = false;
+  next_index_.clear();
+  match_index_.clear();
+  ArmElectionTimer();
+}
+
+std::unique_ptr<RaftCluster> RaftCluster::Create(
+    sim::Simulator* sim, sim::SimNetwork* net, const sim::CostModel* costs,
+    const std::vector<NodeId>& ids, RaftConfig config,
+    std::function<void(NodeId, uint64_t, const std::string&)> apply) {
+  auto cluster = std::unique_ptr<RaftCluster>(new RaftCluster());
+  for (NodeId id : ids) {
+    std::vector<NodeId> peers;
+    for (NodeId other : ids) {
+      if (other != id) peers.push_back(other);
+    }
+    RaftNode::ApplyFn node_apply;
+    if (apply) {
+      node_apply = [apply, id](uint64_t index, const std::string& cmd) {
+        apply(id, index, cmd);
+      };
+    }
+    cluster->nodes_[id] = std::make_unique<RaftNode>(
+        sim, net, costs, id, std::move(peers), config, std::move(node_apply));
+  }
+  std::map<NodeId, RaftNode*> group;
+  for (auto& [id, node] : cluster->nodes_) group[id] = node.get();
+  for (auto& [id, node] : cluster->nodes_) node->SetGroup(group);
+  return cluster;
+}
+
+RaftNode* RaftCluster::leader() {
+  for (auto& [id, node] : nodes_) {
+    if (node->IsLeader()) return node.get();
+  }
+  return nullptr;
+}
+
+std::vector<RaftNode*> RaftCluster::all() {
+  std::vector<RaftNode*> out;
+  for (auto& [id, node] : nodes_) out.push_back(node.get());
+  return out;
+}
+
+void RaftCluster::StartAll() {
+  for (auto& [id, node] : nodes_) node->Start();
+}
+
+}  // namespace dicho::consensus

@@ -1,0 +1,193 @@
+#ifndef DICHO_CONSENSUS_RAFT_H_
+#define DICHO_CONSENSUS_RAFT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dicho::consensus {
+
+using sim::NodeId;
+using sim::Time;
+
+/// Raft timing/batching parameters. Defaults model an etcd-like LAN
+/// deployment.
+struct RaftConfig {
+  Time election_timeout_min = 150 * sim::kMs;
+  Time election_timeout_max = 300 * sim::kMs;
+  Time heartbeat_interval = 50 * sim::kMs;
+  /// Proposals are micro-batched into one AppendEntries flush per window.
+  Time append_interval = 1 * sim::kMs;
+  size_t max_batch = 2000;
+  /// Cap on one AppendEntries payload (etcd's max message size idiom).
+  uint64_t max_batch_bytes = 1ull << 20;
+};
+
+enum class RaftRole { kFollower, kCandidate, kLeader };
+
+/// One Raft replica (Ongaro & Ousterhout) as a deterministic event-driven
+/// state machine on the simulator: randomized elections, log replication
+/// with per-follower nextIndex backtracking, majority commit, crash/restart
+/// with persistent (term, votedFor, log) state. CPU costs for replication
+/// work are charged to the node's CpuResource from the CostModel, which is
+/// what makes the leader the throughput bottleneck as the group grows
+/// (paper Table 4, etcd row).
+class RaftNode {
+ public:
+  /// Applied exactly once per committed entry, in log order, on every
+  /// live replica.
+  using ApplyFn = std::function<void(uint64_t index, const std::string& cmd)>;
+  /// Completion for Propose: Ok + log index once committed, or an error
+  /// (leadership lost, not leader).
+  using CommitCallback = std::function<void(Status, uint64_t index)>;
+
+  RaftNode(sim::Simulator* sim, sim::SimNetwork* net,
+           const sim::CostModel* costs, NodeId id, std::vector<NodeId> peers,
+           RaftConfig config, ApplyFn apply);
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  /// Wires up direct pointers to the other replicas (single-process sim).
+  void SetGroup(std::map<NodeId, RaftNode*> group) { group_ = std::move(group); }
+
+  /// Arms the election timer; call once on every node after SetGroup.
+  void Start();
+
+  /// Leader-only: replicate `cmd`; `cb` fires on commit or when leadership
+  /// is lost. On a non-leader fails immediately with Unavailable.
+  void Propose(std::string cmd, CommitCallback cb);
+
+  /// Failure injection.
+  void Crash();
+  void Restart();
+
+  // Introspection ------------------------------------------------------------
+  NodeId id() const { return id_; }
+  RaftRole role() const { return role_; }
+  bool IsLeader() const { return role_ == RaftRole::kLeader && !crashed_; }
+  bool crashed() const { return crashed_; }
+  uint64_t current_term() const { return current_term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  uint64_t log_size() const { return log_.size(); }
+  NodeId leader_hint() const { return leader_hint_; }
+  sim::CpuResource* cpu() { return &cpu_; }
+  const RaftConfig& config() const { return config_; }
+
+  /// Committed command at 1-based log index (test oracle).
+  const std::string& CommittedEntry(uint64_t index) const {
+    return log_[index - 1].cmd;
+  }
+
+ private:
+  struct LogEntry {
+    uint64_t term;
+    std::string cmd;
+  };
+  struct AppendEntriesArgs {
+    uint64_t term;
+    NodeId leader;
+    uint64_t prev_index;
+    uint64_t prev_term;
+    std::vector<LogEntry> entries;
+    uint64_t leader_commit;
+  };
+
+  void BecomeFollower(uint64_t term);
+  void BecomeCandidate();
+  void BecomeLeader();
+  void ArmElectionTimer();
+  void OnElectionTimeout(uint64_t epoch);
+  void SendHeartbeats();
+  void ScheduleFlush();
+  void FlushAppends();
+  void SendAppendTo(NodeId peer);
+  void AdvanceCommit();
+  void ApplyCommitted();
+
+  void HandleRequestVote(NodeId from, uint64_t term, uint64_t last_log_index,
+                         uint64_t last_log_term);
+  void HandleVoteResponse(NodeId from, uint64_t term, bool granted);
+  void HandleAppendEntries(const AppendEntriesArgs& args);
+  void HandleAppendResponse(NodeId from, uint64_t term, bool success,
+                            uint64_t match_index);
+
+  uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
+  size_t MajoritySize() const { return (peers_.size() + 1) / 2 + 1; }
+  void SendTo(NodeId peer, uint64_t bytes, std::function<void()> handler);
+
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  const sim::CostModel* costs_;
+  NodeId id_;
+  std::vector<NodeId> peers_;  // excluding self
+  RaftConfig config_;
+  ApplyFn apply_;
+  std::map<NodeId, RaftNode*> group_;
+  sim::CpuResource cpu_;
+
+  // Persistent state (survives Crash/Restart).
+  uint64_t current_term_ = 0;
+  int64_t voted_for_ = -1;
+  std::vector<LogEntry> log_;  // 1-based indexing: log_[i-1]
+
+  // Volatile state.
+  RaftRole role_ = RaftRole::kFollower;
+  bool crashed_ = false;
+  uint64_t commit_index_ = 0;
+  uint64_t last_applied_ = 0;
+  NodeId leader_hint_ = 0;
+  uint64_t election_epoch_ = 0;  // invalidates stale timers
+  size_t votes_ = 0;
+
+  // Leader state.
+  std::map<NodeId, uint64_t> next_index_;
+  std::map<NodeId, uint64_t> match_index_;
+  // In-flight tracking (etcd's Progress): while an entry-carrying append is
+  // unacknowledged, further sends stay empty (heartbeats) instead of
+  // re-shipping the backlog. Tracks when the batch was sent (loss recovery
+  // timeout) and through which index it extends (so heartbeat acks don't
+  // clear it).
+  struct Inflight {
+    Time since = 0;
+    uint64_t through = 0;
+  };
+  std::map<NodeId, Inflight> inflight_;
+  std::map<uint64_t, CommitCallback> pending_;  // log index -> callback
+  bool flush_scheduled_ = false;
+  uint64_t flush_processed_ = 0;  // entries whose base CPU cost was charged
+};
+
+/// Convenience owner for a whole Raft group on one simulator.
+class RaftCluster {
+ public:
+  /// Builds a cluster where every node shares one apply function that also
+  /// receives the node id.
+  static std::unique_ptr<RaftCluster> Create(
+      sim::Simulator* sim, sim::SimNetwork* net, const sim::CostModel* costs,
+      const std::vector<NodeId>& ids, RaftConfig config,
+      std::function<void(NodeId, uint64_t, const std::string&)> apply);
+
+  RaftNode* node(NodeId id) { return nodes_.at(id).get(); }
+  /// The current leader, or nullptr if none (unstable period).
+  RaftNode* leader();
+  std::vector<RaftNode*> all();
+  void StartAll();
+
+ private:
+  RaftCluster() = default;
+  std::map<NodeId, std::unique_ptr<RaftNode>> nodes_;
+};
+
+}  // namespace dicho::consensus
+
+#endif  // DICHO_CONSENSUS_RAFT_H_

@@ -1,0 +1,213 @@
+#include "contract/contract.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dicho::contract {
+
+Status KvContract::Execute(const core::TxnRequest& request, StateView* view,
+                           WriteSet* writes,
+                           std::map<std::string, std::string>* result_reads) {
+  for (const auto& op : request.ops) {
+    switch (op.type) {
+      case core::OpType::kRead: {
+        std::string value;
+        Status s = view->Get(op.key, &value);
+        if (!s.ok() && !s.IsNotFound()) return s;
+        if (result_reads != nullptr) (*result_reads)[op.key] = value;
+        break;
+      }
+      case core::OpType::kWrite:
+        writes->emplace_back(op.key, op.value);
+        break;
+      case core::OpType::kReadModifyWrite: {
+        std::string value;
+        Status s = view->Get(op.key, &value);
+        if (!s.ok() && !s.IsNotFound()) return s;
+        if (result_reads != nullptr) (*result_reads)[op.key] = value;
+        writes->emplace_back(op.key, op.value);
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+sim::Time KvContract::ExecCost(const core::TxnRequest& request,
+                               const sim::CostModel& costs) const {
+  return static_cast<sim::Time>(request.ops.size()) * costs.native_op_us;
+}
+
+std::string SmallbankContract::EncodeBalance(int64_t cents) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(cents));
+  return buf;
+}
+
+int64_t SmallbankContract::DecodeBalance(const std::string& value) {
+  if (value.empty()) return 0;
+  return strtoll(value.c_str(), nullptr, 10);
+}
+
+namespace {
+
+Status ReadBalance(StateView* view, const std::string& key, int64_t* balance,
+                   std::map<std::string, std::string>* result_reads) {
+  std::string value;
+  Status s = view->Get(key, &value);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  if (s.IsNotFound()) {
+    *balance = 0;
+  } else {
+    *balance = SmallbankContract::DecodeBalance(value);
+  }
+  if (result_reads != nullptr) (*result_reads)[key] = value;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SmallbankContract::Execute(
+    const core::TxnRequest& request, StateView* view, WriteSet* writes,
+    std::map<std::string, std::string>* result_reads) {
+  const auto& m = request.method;
+  const auto& args = request.args;
+
+  if (m == "balance") {
+    if (args.size() != 1) return Status::InvalidArgument("balance(cust)");
+    int64_t chk, sav;
+    Status s = ReadBalance(view, CheckingKey(args[0]), &chk, result_reads);
+    if (!s.ok()) return s;
+    return ReadBalance(view, SavingsKey(args[0]), &sav, result_reads);
+  }
+
+  if (m == "deposit_checking") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("deposit_checking(cust, amt)");
+    }
+    int64_t amount = DecodeBalance(args[1]);
+    if (amount < 0) return Status::Aborted("negative deposit");
+    int64_t chk;
+    Status s = ReadBalance(view, CheckingKey(args[0]), &chk, result_reads);
+    if (!s.ok()) return s;
+    writes->emplace_back(CheckingKey(args[0]), EncodeBalance(chk + amount));
+    return Status::Ok();
+  }
+
+  if (m == "transact_savings") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("transact_savings(cust, amt)");
+    }
+    int64_t amount = DecodeBalance(args[1]);
+    int64_t sav;
+    Status s = ReadBalance(view, SavingsKey(args[0]), &sav, result_reads);
+    if (!s.ok()) return s;
+    if (sav + amount < 0) return Status::Aborted("insufficient savings");
+    writes->emplace_back(SavingsKey(args[0]), EncodeBalance(sav + amount));
+    return Status::Ok();
+  }
+
+  if (m == "write_check") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("write_check(cust, amt)");
+    }
+    int64_t amount = DecodeBalance(args[1]);
+    int64_t chk, sav;
+    Status s = ReadBalance(view, CheckingKey(args[0]), &chk, result_reads);
+    if (!s.ok()) return s;
+    s = ReadBalance(view, SavingsKey(args[0]), &sav, result_reads);
+    if (!s.ok()) return s;
+    // Overdraft beyond total funds incurs a $1 penalty (Smallbank spec).
+    int64_t penalty = (amount > chk + sav) ? 100 : 0;
+    writes->emplace_back(CheckingKey(args[0]),
+                         EncodeBalance(chk - amount - penalty));
+    return Status::Ok();
+  }
+
+  if (m == "amalgamate") {
+    if (args.size() != 2) return Status::InvalidArgument("amalgamate(c1, c2)");
+    int64_t sav1, chk1, chk2;
+    Status s = ReadBalance(view, SavingsKey(args[0]), &sav1, result_reads);
+    if (!s.ok()) return s;
+    s = ReadBalance(view, CheckingKey(args[0]), &chk1, result_reads);
+    if (!s.ok()) return s;
+    s = ReadBalance(view, CheckingKey(args[1]), &chk2, result_reads);
+    if (!s.ok()) return s;
+    writes->emplace_back(SavingsKey(args[0]), EncodeBalance(0));
+    writes->emplace_back(CheckingKey(args[0]), EncodeBalance(0));
+    writes->emplace_back(CheckingKey(args[1]),
+                         EncodeBalance(chk2 + sav1 + chk1));
+    return Status::Ok();
+  }
+
+  if (m == "send_payment") {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("send_payment(c1, c2, amt)");
+    }
+    int64_t amount = DecodeBalance(args[2]);
+    int64_t chk1, chk2;
+    Status s = ReadBalance(view, CheckingKey(args[0]), &chk1, result_reads);
+    if (!s.ok()) return s;
+    s = ReadBalance(view, CheckingKey(args[1]), &chk2, result_reads);
+    if (!s.ok()) return s;
+    if (chk1 < amount) return Status::Aborted("insufficient funds");
+    writes->emplace_back(CheckingKey(args[0]), EncodeBalance(chk1 - amount));
+    writes->emplace_back(CheckingKey(args[1]), EncodeBalance(chk2 + amount));
+    return Status::Ok();
+  }
+
+  return Status::NotSupported("unknown smallbank method: " + m);
+}
+
+sim::Time SmallbankContract::ExecCost(const core::TxnRequest& request,
+                                      const sim::CostModel& costs) const {
+  // Each method touches 1-3 records; charge per state access.
+  size_t accesses = 2;
+  if (request.method == "amalgamate") accesses = 3;
+  if (request.method == "send_payment") accesses = 2;
+  if (request.method == "deposit_checking") accesses = 1;
+  return static_cast<sim::Time>(accesses) * costs.native_op_us;
+}
+
+std::vector<std::string> StaticKeySet(const core::TxnRequest& request) {
+  std::vector<std::string> keys;
+  for (const auto& op : request.ops) keys.push_back(op.key);
+  if (request.contract == "smallbank" && !request.args.empty()) {
+    const auto& m = request.method;
+    const auto& a = request.args;
+    if (m == "balance" || m == "write_check") {
+      keys.push_back(SmallbankContract::CheckingKey(a[0]));
+      keys.push_back(SmallbankContract::SavingsKey(a[0]));
+    } else if (m == "deposit_checking") {
+      keys.push_back(SmallbankContract::CheckingKey(a[0]));
+    } else if (m == "transact_savings") {
+      keys.push_back(SmallbankContract::SavingsKey(a[0]));
+    } else if (m == "amalgamate" && a.size() >= 2) {
+      keys.push_back(SmallbankContract::SavingsKey(a[0]));
+      keys.push_back(SmallbankContract::CheckingKey(a[0]));
+      keys.push_back(SmallbankContract::CheckingKey(a[1]));
+    } else if (m == "send_payment" && a.size() >= 2) {
+      keys.push_back(SmallbankContract::CheckingKey(a[0]));
+      keys.push_back(SmallbankContract::CheckingKey(a[1]));
+    }
+  }
+  return keys;
+}
+
+void ContractRegistry::Register(std::unique_ptr<Contract> contract) {
+  contracts_[contract->name()] = std::move(contract);
+}
+
+Contract* ContractRegistry::Lookup(const std::string& name) const {
+  auto it = contracts_.find(name);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<ContractRegistry> ContractRegistry::CreateDefault() {
+  auto registry = std::make_unique<ContractRegistry>();
+  registry->Register(std::make_unique<KvContract>());
+  registry->Register(std::make_unique<SmallbankContract>());
+  return registry;
+}
+
+}  // namespace dicho::contract

@@ -1,0 +1,122 @@
+#ifndef DICHO_CONTRACT_CONTRACT_H_
+#define DICHO_CONTRACT_CONTRACT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "core/types.h"
+#include "sim/cost_model.h"
+
+namespace dicho::contract {
+
+/// Read access offered to contract code during execution. Implementations
+/// wrap whatever state the host system exposes (MPT state in Quorum, the
+/// peer's committed KV state in Fabric, a TiKV snapshot in TiDB) and record
+/// the read set as a side effect when the host needs it for OCC.
+class StateView {
+ public:
+  virtual ~StateView() = default;
+  /// NotFound when the key has no value; other errors abort execution.
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+};
+
+/// A key ordered write set produced by executing a transaction.
+using WriteSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Smart-contract / stored-procedure interface. The same contract code runs
+/// inside every system composition: blockchains execute it during their
+/// execute (or pre-execute) phase; databases execute it inside their
+/// concurrency-control envelope. This is the paper's observation that with
+/// smart contracts, blockchains handle the same transactional workloads as
+/// databases.
+class Contract {
+ public:
+  virtual ~Contract() = default;
+
+  /// Runs the transaction logic: reads through `view`, emits `writes`, and
+  /// returns the read results in *result_reads (may be null). An Aborted
+  /// status means an application-level constraint failed (e.g. overdraft).
+  virtual Status Execute(const core::TxnRequest& request, StateView* view,
+                         WriteSet* writes,
+                         std::map<std::string, std::string>* result_reads) = 0;
+
+  /// Modeled CPU time to run this transaction once on one node.
+  virtual sim::Time ExecCost(const core::TxnRequest& request,
+                             const sim::CostModel& costs) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Executes TxnRequest::ops directly against the state (the YCSB workload
+/// family: read / write / read-modify-write on opaque records).
+class KvContract : public Contract {
+ public:
+  Status Execute(const core::TxnRequest& request, StateView* view,
+                 WriteSet* writes,
+                 std::map<std::string, std::string>* result_reads) override;
+  sim::Time ExecCost(const core::TxnRequest& request,
+                     const sim::CostModel& costs) const override;
+  std::string name() const override { return "ycsb"; }
+};
+
+/// The Smallbank OLTP benchmark: checking+savings accounts and six
+/// transaction profiles with application constraints. Account keys are
+/// "chk:<id>" and "sav:<id>", values are decimal-encoded balances.
+/// Methods (args):
+///   balance(cust)                 read both balances
+///   deposit_checking(cust, amt)   add to checking
+///   transact_savings(cust, amt)   add amt (may be negative); aborts if the
+///                                 result would be negative
+///   write_check(cust, amt)        deduct from checking; overdraft incurs a
+///                                 $1 penalty (never aborts)
+///   amalgamate(c1, c2)            move all of c1's funds into c2's checking
+///   send_payment(c1, c2, amt)     checking->checking; aborts on
+///                                 insufficient funds
+class SmallbankContract : public Contract {
+ public:
+  static std::string CheckingKey(const std::string& customer) {
+    return "chk:" + customer;
+  }
+  static std::string SavingsKey(const std::string& customer) {
+    return "sav:" + customer;
+  }
+  static std::string EncodeBalance(int64_t cents);
+  static int64_t DecodeBalance(const std::string& value);
+
+  Status Execute(const core::TxnRequest& request, StateView* view,
+                 WriteSet* writes,
+                 std::map<std::string, std::string>* result_reads) override;
+  sim::Time ExecCost(const core::TxnRequest& request,
+                     const sim::CostModel& costs) const override;
+  std::string name() const override { return "smallbank"; }
+};
+
+/// The full set of keys a transaction may touch, derivable from the request
+/// alone (the built-in workloads have no data-dependent key accesses).
+/// Database compositions use this to prefetch snapshot reads and to build
+/// 2PL lock sets before executing the contract locally.
+std::vector<std::string> StaticKeySet(const core::TxnRequest& request);
+
+/// Registry mapping TxnRequest::contract to an implementation; systems hold
+/// one and dispatch per transaction.
+class ContractRegistry {
+ public:
+  /// Builds a registry with the built-in contracts ("ycsb", "smallbank").
+  static std::unique_ptr<ContractRegistry> CreateDefault();
+
+  void Register(std::unique_ptr<Contract> contract);
+  /// nullptr when unknown.
+  Contract* Lookup(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Contract>> contracts_;
+};
+
+}  // namespace dicho::contract
+
+#endif  // DICHO_CONTRACT_CONTRACT_H_

@@ -1,0 +1,278 @@
+#include "contract/minivm.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dicho::contract {
+namespace {
+
+int64_t AsInt(const std::string& cell) {
+  return cell.empty() ? 0 : strtoll(cell.c_str(), nullptr, 10);
+}
+
+std::string FromInt(int64_t v) { return std::to_string(v); }
+
+struct OpNameEntry {
+  const char* name;
+  OpCode op;
+  bool has_operand;
+};
+
+constexpr OpNameEntry kOpTable[] = {
+    {"PUSH", OpCode::kPush, true},   {"ARG", OpCode::kArg, true},
+    {"POP", OpCode::kPop, false},    {"DUP", OpCode::kDup, false},
+    {"SWAP", OpCode::kSwap, false},  {"CONCAT", OpCode::kConcat, false},
+    {"ADD", OpCode::kAdd, false},    {"SUB", OpCode::kSub, false},
+    {"MUL", OpCode::kMul, false},    {"DIV", OpCode::kDiv, false},
+    {"LT", OpCode::kLt, false},      {"GT", OpCode::kGt, false},
+    {"EQ", OpCode::kEq, false},      {"NOT", OpCode::kNot, false},
+    {"JMP", OpCode::kJmp, true},     {"JZ", OpCode::kJz, true},
+    {"SLOAD", OpCode::kSload, false}, {"SSTORE", OpCode::kSstore, false},
+    {"ABORT", OpCode::kAbort, false}, {"HALT", OpCode::kHalt, false},
+};
+
+}  // namespace
+
+Result<Program> Assemble(const std::string& source) {
+  Program program;
+  std::map<std::string, size_t> labels;
+  std::vector<std::pair<size_t, std::string>> fixups;  // instr idx -> label
+
+  std::istringstream stream(source);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    line_no++;
+    // Strip comments and whitespace.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank
+
+    if (word.back() == ':') {
+      labels[word.substr(0, word.size() - 1)] = program.size();
+      if (!(ls >> word)) continue;  // label-only line
+    }
+
+    const OpNameEntry* entry = nullptr;
+    for (const auto& e : kOpTable) {
+      if (word == e.name) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown opcode " + word);
+    }
+    Instruction instr{entry->op, ""};
+    if (entry->has_operand) {
+      if (!(ls >> instr.operand)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": missing operand for " + word);
+      }
+      if (entry->op == OpCode::kJmp || entry->op == OpCode::kJz) {
+        fixups.emplace_back(program.size(), instr.operand);
+      }
+    }
+    program.push_back(std::move(instr));
+  }
+
+  for (const auto& [index, label] : fixups) {
+    auto it = labels.find(label);
+    if (it == labels.end()) {
+      return Status::InvalidArgument("undefined label " + label);
+    }
+    program[index].operand = std::to_string(it->second);
+  }
+  return program;
+}
+
+Status RunProgram(const Program& program, const core::TxnRequest& request,
+                  StateView* view, WriteSet* writes, uint64_t gas_limit,
+                  uint64_t* gas_used) {
+  std::vector<std::string> stack;
+  // Writes within the run must be read-your-own-writes visible.
+  std::map<std::string, std::string> local_writes;
+  uint64_t gas = 0;
+  size_t pc = 0;
+
+  auto pop = [&](std::string* out) -> bool {
+    if (stack.empty()) return false;
+    *out = std::move(stack.back());
+    stack.pop_back();
+    return true;
+  };
+
+  while (pc < program.size()) {
+    const Instruction& instr = program[pc];
+    bool is_state =
+        instr.op == OpCode::kSload || instr.op == OpCode::kSstore;
+    gas += is_state ? kGasState : kGasPlain;
+    if (gas > gas_limit) {
+      if (gas_used != nullptr) *gas_used = gas;
+      return Status::Aborted("out of gas");
+    }
+    pc++;
+
+    std::string a, b;
+    switch (instr.op) {
+      case OpCode::kPush:
+        stack.push_back(instr.operand);
+        break;
+      case OpCode::kArg: {
+        size_t idx = static_cast<size_t>(AsInt(instr.operand));
+        if (idx >= request.args.size()) {
+          return Status::InvalidArgument("ARG index out of range");
+        }
+        stack.push_back(request.args[idx]);
+        break;
+      }
+      case OpCode::kPop:
+        if (!pop(&a)) return Status::Corruption("stack underflow");
+        break;
+      case OpCode::kDup:
+        if (stack.empty()) return Status::Corruption("stack underflow");
+        stack.push_back(stack.back());
+        break;
+      case OpCode::kSwap:
+        if (stack.size() < 2) return Status::Corruption("stack underflow");
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        break;
+      case OpCode::kConcat:
+        if (!pop(&b) || !pop(&a)) return Status::Corruption("stack underflow");
+        stack.push_back(a + b);
+        break;
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kLt:
+      case OpCode::kGt:
+      case OpCode::kEq: {
+        if (!pop(&b) || !pop(&a)) return Status::Corruption("stack underflow");
+        int64_t x = AsInt(a), y = AsInt(b);
+        int64_t r = 0;
+        switch (instr.op) {
+          case OpCode::kAdd: r = x + y; break;
+          case OpCode::kSub: r = x - y; break;
+          case OpCode::kMul: r = x * y; break;
+          case OpCode::kDiv:
+            if (y == 0) return Status::Aborted("division by zero");
+            r = x / y;
+            break;
+          case OpCode::kLt: r = x < y; break;
+          case OpCode::kGt: r = x > y; break;
+          case OpCode::kEq: r = x == y; break;
+          default: break;
+        }
+        stack.push_back(FromInt(r));
+        break;
+      }
+      case OpCode::kNot:
+        if (!pop(&a)) return Status::Corruption("stack underflow");
+        stack.push_back(AsInt(a) == 0 ? "1" : "0");
+        break;
+      case OpCode::kJmp:
+        pc = static_cast<size_t>(AsInt(instr.operand));
+        break;
+      case OpCode::kJz:
+        if (!pop(&a)) return Status::Corruption("stack underflow");
+        if (a.empty() || AsInt(a) == 0) {
+          pc = static_cast<size_t>(AsInt(instr.operand));
+        }
+        break;
+      case OpCode::kSload: {
+        if (!pop(&a)) return Status::Corruption("stack underflow");
+        auto local = local_writes.find(a);
+        if (local != local_writes.end()) {
+          stack.push_back(local->second);
+        } else {
+          std::string value;
+          Status s = view->Get(a, &value);
+          if (!s.ok() && !s.IsNotFound()) return s;
+          stack.push_back(value);
+        }
+        break;
+      }
+      case OpCode::kSstore:
+        if (!pop(&b) || !pop(&a)) return Status::Corruption("stack underflow");
+        local_writes[a] = b;
+        break;
+      case OpCode::kAbort:
+        if (gas_used != nullptr) *gas_used = gas;
+        return Status::Aborted("contract abort");
+      case OpCode::kHalt:
+        pc = program.size();
+        break;
+    }
+  }
+  if (gas_used != nullptr) *gas_used = gas;
+  for (auto& [key, value] : local_writes) {
+    writes->emplace_back(key, std::move(value));
+  }
+  return Status::Ok();
+}
+
+void VmContract::AddMethod(const std::string& method, Program program) {
+  methods_[method] = std::move(program);
+}
+
+Status VmContract::Execute(const core::TxnRequest& request, StateView* view,
+                           WriteSet* writes,
+                           std::map<std::string, std::string>* result_reads) {
+  auto it = methods_.find(request.method);
+  if (it == methods_.end()) it = methods_.find("");
+  if (it == methods_.end()) {
+    return Status::NotSupported("no program for method " + request.method);
+  }
+  (void)result_reads;
+  return RunProgram(it->second, request, view, writes, gas_limit_,
+                    &last_gas_used_);
+}
+
+sim::Time VmContract::ExecCost(const core::TxnRequest& request,
+                               const sim::CostModel& costs) const {
+  auto it = methods_.find(request.method);
+  if (it == methods_.end()) it = methods_.find("");
+  if (it == methods_.end()) return 0;
+  // Static estimate: assume each instruction executes once.
+  uint64_t gas = 0;
+  for (const auto& instr : it->second) {
+    bool is_state =
+        instr.op == OpCode::kSload || instr.op == OpCode::kSstore;
+    gas += is_state ? kGasState : kGasPlain;
+  }
+  return static_cast<sim::Time>(gas) * costs.vm_step_us;
+}
+
+Program CompileKvOps(const std::vector<core::Op>& ops) {
+  Program program;
+  for (const auto& op : ops) {
+    switch (op.type) {
+      case core::OpType::kRead:
+        program.push_back({OpCode::kPush, op.key});
+        program.push_back({OpCode::kSload, ""});
+        program.push_back({OpCode::kPop, ""});
+        break;
+      case core::OpType::kWrite:
+        program.push_back({OpCode::kPush, op.key});
+        program.push_back({OpCode::kPush, op.value});
+        program.push_back({OpCode::kSstore, ""});
+        break;
+      case core::OpType::kReadModifyWrite:
+        program.push_back({OpCode::kPush, op.key});
+        program.push_back({OpCode::kSload, ""});
+        program.push_back({OpCode::kPop, ""});
+        program.push_back({OpCode::kPush, op.key});
+        program.push_back({OpCode::kPush, op.value});
+        program.push_back({OpCode::kSstore, ""});
+        break;
+    }
+  }
+  program.push_back({OpCode::kHalt, ""});
+  return program;
+}
+
+}  // namespace dicho::contract

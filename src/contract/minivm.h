@@ -1,0 +1,102 @@
+#ifndef DICHO_CONTRACT_MINIVM_H_
+#define DICHO_CONTRACT_MINIVM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "contract/contract.h"
+
+namespace dicho::contract {
+
+/// MiniVM opcodes. The VM is a stack machine over string cells; arithmetic
+/// opcodes interpret cells as decimal int64.
+enum class OpCode : uint8_t {
+  kPush = 0,   // operand: literal            -> push literal
+  kArg,        // operand: index as literal   -> push args[index]
+  kPop,        // pop
+  kDup,        // duplicate top
+  kSwap,       // swap top two
+  kConcat,     // pop b, a                    -> push a+b (string concat)
+  kAdd,        // pop b, a                    -> push a+b
+  kSub,        // pop b, a                    -> push a-b
+  kMul,
+  kDiv,        // division by zero aborts execution
+  kLt,         // pop b, a                    -> push a<b ? "1" : "0"
+  kGt,
+  kEq,
+  kNot,        // pop a                       -> push a==0 ? "1" : "0"
+  kJmp,        // operand: label              -> unconditional jump
+  kJz,         // operand: label              -> pop; jump if 0/empty
+  kSload,      // pop key                     -> push state[key] ("" if absent)
+  kSstore,     // pop value, key              -> state[key] = value
+  kAbort,      // terminate with Aborted
+  kHalt,       // terminate with Ok
+};
+
+struct Instruction {
+  OpCode op;
+  std::string operand;  // literal / arg index / resolved jump target
+};
+
+using Program = std::vector<Instruction>;
+
+/// Assembles text like
+///     PUSH acct1
+///     SLOAD
+///     PUSH 100
+///     ADD
+///     PUSH acct1
+///     SWAP
+///     SSTORE
+///     HALT
+/// with `label:` lines and JMP/JZ label operands. String literals with
+/// spaces are not supported (keys in the workloads have none).
+Result<Program> Assemble(const std::string& source);
+
+/// Gas schedule: 1 per plain op, 20 per state access (EVM-flavoured).
+constexpr uint64_t kGasPlain = 1;
+constexpr uint64_t kGasState = 20;
+
+/// Executes `program`; reads/writes go through the StateView/WriteSet like
+/// any other contract. Returns gas consumed via *gas_used.
+Status RunProgram(const Program& program, const core::TxnRequest& request,
+                  StateView* view, WriteSet* writes, uint64_t gas_limit,
+                  uint64_t* gas_used);
+
+/// A Contract backed by MiniVM bytecode: one program per method. Quorum runs
+/// contracts through this path (order-execute blockchains interpret
+/// bytecode; the per-gas cost feeds the performance model).
+class VmContract : public Contract {
+ public:
+  explicit VmContract(std::string name, uint64_t gas_limit = 1000000)
+      : name_(std::move(name)), gas_limit_(gas_limit) {}
+
+  /// Registers bytecode for a method. Empty method = default program.
+  void AddMethod(const std::string& method, Program program);
+
+  Status Execute(const core::TxnRequest& request, StateView* view,
+                 WriteSet* writes,
+                 std::map<std::string, std::string>* result_reads) override;
+  sim::Time ExecCost(const core::TxnRequest& request,
+                     const sim::CostModel& costs) const override;
+  std::string name() const override { return name_; }
+
+  uint64_t last_gas_used() const { return last_gas_used_; }
+
+ private:
+  std::string name_;
+  uint64_t gas_limit_;
+  std::map<std::string, Program> methods_;
+  uint64_t last_gas_used_ = 0;
+};
+
+/// Compiles a YCSB-style op list into MiniVM bytecode — how the Quorum
+/// composition turns a client transaction into "EVM" execution.
+Program CompileKvOps(const std::vector<core::Op>& ops);
+
+}  // namespace dicho::contract
+
+#endif  // DICHO_CONTRACT_MINIVM_H_

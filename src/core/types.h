@@ -1,0 +1,133 @@
+#ifndef DICHO_CORE_TYPES_H_
+#define DICHO_CORE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace dicho::core {
+
+/// One key-value operation inside a transaction.
+enum class OpType : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  /// Read the record, then write it back modified — the paper's skew
+  /// experiments use single-record read-modify-write transactions.
+  kReadModifyWrite = 2,
+};
+
+struct Op {
+  OpType type;
+  std::string key;
+  std::string value;  // for writes
+};
+
+/// A transaction as submitted by a client: a contract invocation
+/// (contract + method + args) or an explicit op list (KV workloads use
+/// ops; Smallbank uses method/args).
+struct TxnRequest {
+  uint64_t txn_id = 0;
+  uint64_t client_id = 0;
+  std::string contract;  // "ycsb" | "smallbank" | user-registered
+  std::string method;
+  std::vector<std::string> args;
+  std::vector<Op> ops;
+
+  /// Approximate wire size (drives the network model).
+  uint64_t PayloadBytes() const {
+    uint64_t total = 64 + contract.size() + method.size();
+    for (const auto& a : args) total += a.size() + 4;
+    for (const auto& op : ops) total += op.key.size() + op.value.size() + 8;
+    return total;
+  }
+
+  std::string Serialize() const;
+  static bool Deserialize(const std::string& data, TxnRequest* out);
+};
+
+/// Why a transaction aborted — the paper breaks abort rates down by cause
+/// (Fig. 9b, Fig. 10b discussion).
+enum class AbortReason : uint8_t {
+  kNone = 0,
+  kWriteConflict,           // write-write (TiDB/Percolator)
+  kReadConflict,            // stale read version (Fabric MVCC check)
+  kInconsistentEndorsement, // peers returned diverging simulation results
+  kContention,              // latch/lock acquisition failed or timed out
+  kConstraint,              // application logic abort (e.g. overdraft)
+  kUnavailable,             // no leader / node down
+  kOther,
+};
+
+const char* AbortReasonName(AbortReason reason);
+
+/// Outcome delivered to the client, with the phase-level latency breakdown
+/// used by the Fig. 8 experiments.
+struct TxnResult {
+  Status status;
+  AbortReason reason = AbortReason::kNone;
+  sim::Time submit_time = 0;
+  sim::Time finish_time = 0;
+  /// Phase name -> time spent (e.g. "execute", "order", "validate",
+  /// "commit"; database systems use "parse", "prewrite", "commit").
+  std::map<std::string, sim::Time> phase_us;
+  /// Values returned by read operations, keyed by record key.
+  std::map<std::string, std::string> reads;
+
+  sim::Time latency() const { return finish_time - submit_time; }
+};
+
+using TxnCallback = std::function<void(const TxnResult&)>;
+
+/// A read-only query (served without consensus in every benchmarked
+/// system — paper Section 2.1).
+struct ReadRequest {
+  uint64_t client_id = 0;
+  std::string key;
+};
+
+struct ReadResult {
+  Status status;
+  std::string value;
+  sim::Time submit_time = 0;
+  sim::Time finish_time = 0;
+  std::map<std::string, sim::Time> phase_us;
+
+  sim::Time latency() const { return finish_time - submit_time; }
+};
+
+using ReadCallback = std::function<void(const ReadResult&)>;
+
+/// Aggregate counters every system maintains.
+struct SystemStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  std::map<AbortReason, uint64_t> aborts_by_reason;
+  uint64_t queries = 0;
+
+  double AbortRate() const {
+    uint64_t total = committed + aborted;
+    return total == 0 ? 0.0 : static_cast<double>(aborted) / total;
+  }
+};
+
+/// Common interface of every system composition in src/systems and every
+/// hybrid built by the fusion framework — the "transactional system" the
+/// paper's taxonomy ranges over.
+class TransactionalSystem {
+ public:
+  virtual ~TransactionalSystem() = default;
+
+  virtual void Submit(const TxnRequest& request, TxnCallback cb) = 0;
+  virtual void Query(const ReadRequest& request, ReadCallback cb) = 0;
+  virtual const SystemStats& stats() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dicho::core
+
+#endif  // DICHO_CORE_TYPES_H_

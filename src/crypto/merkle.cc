@@ -1,0 +1,62 @@
+#include "crypto/merkle.h"
+
+#include <cassert>
+
+namespace dicho::crypto {
+
+MerkleTree::MerkleTree(const std::vector<std::string>& leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = ZeroDigest();
+    return;
+  }
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    level.push_back(Sha256Of(leaf));
+  }
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      if (i + 1 < prev.size()) {
+        next.push_back(Sha256Pair(prev[i], prev[i + 1]));
+      } else {
+        next.push_back(prev[i]);  // odd node promoted unchanged
+      }
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::Prove(uint64_t index) const {
+  assert(index < leaf_count_);
+  MerkleProof proof;
+  proof.leaf_index = index;
+  uint64_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); lvl++) {
+    const auto& level = levels_[lvl];
+    uint64_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.steps.push_back({level[sibling], /*sibling_on_left=*/pos % 2 == 1});
+    }
+    // When pos is the promoted odd node there is no sibling at this level.
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool VerifyMerkleProof(const Slice& leaf_content, const MerkleProof& proof,
+                       const Digest& root) {
+  Digest running = Sha256Of(leaf_content);
+  for (const auto& step : proof.steps) {
+    running = step.sibling_on_left ? Sha256Pair(step.sibling, running)
+                                   : Sha256Pair(running, step.sibling);
+  }
+  return running == root;
+}
+
+}  // namespace dicho::crypto

@@ -1,0 +1,55 @@
+#ifndef DICHO_CRYPTO_MERKLE_H_
+#define DICHO_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace dicho::crypto {
+
+/// One step of a Merkle audit path: the sibling digest and whether the
+/// sibling sits on the left of the running hash.
+struct MerkleProofStep {
+  Digest sibling;
+  bool sibling_on_left;
+};
+
+/// Audit path from a leaf to the root of a binary Merkle tree.
+struct MerkleProof {
+  uint64_t leaf_index = 0;
+  std::vector<MerkleProofStep> steps;
+};
+
+/// Binary Merkle tree over an ordered list of byte strings, as used for the
+/// transaction root in block headers. Odd nodes are promoted (Bitcoin-style
+/// duplication is deliberately avoided to keep proofs unambiguous).
+class MerkleTree {
+ public:
+  /// Builds the tree over leaf *contents* (each is hashed first).
+  explicit MerkleTree(const std::vector<std::string>& leaves);
+
+  /// Root digest; ZeroDigest() for an empty tree.
+  const Digest& root() const { return root_; }
+  size_t leaf_count() const { return leaf_count_; }
+
+  /// Audit path for leaf `index`. Pre-condition: index < leaf_count().
+  MerkleProof Prove(uint64_t index) const;
+
+ private:
+  size_t leaf_count_;
+  // levels_[0] = leaf hashes, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+  Digest root_;
+};
+
+/// Replays an audit path: hashes `leaf_content`, folds in siblings, compares
+/// with `root`.
+bool VerifyMerkleProof(const Slice& leaf_content, const MerkleProof& proof,
+                       const Digest& root);
+
+}  // namespace dicho::crypto
+
+#endif  // DICHO_CRYPTO_MERKLE_H_

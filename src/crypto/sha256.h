@@ -1,0 +1,55 @@
+#ifndef DICHO_CRYPTO_SHA256_H_
+#define DICHO_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace dicho::crypto {
+
+/// 32-byte digest type used across the ledger, Merkle structures, and
+/// authenticated indexes.
+using Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4), implemented from scratch — no external
+/// crypto dependency.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(const Slice& s) { Update(s.data(), s.size()); }
+  /// Finalizes and returns the digest; the object must be Reset() before
+  /// reuse.
+  Digest Finish();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// One-shot convenience.
+Digest Sha256Of(const Slice& data);
+/// Hash of the concatenation of two digests (Merkle interior nodes).
+Digest Sha256Pair(const Digest& a, const Digest& b);
+
+/// Digest -> lowercase hex.
+std::string DigestHex(const Digest& d);
+/// Digest -> raw 32 bytes as std::string (for map keys / serialization).
+std::string DigestBytes(const Digest& d);
+/// Raw 32 bytes -> Digest. Pre-condition: bytes.size() == 32.
+Digest DigestFromBytes(const Slice& bytes);
+
+/// All-zero digest (genesis parent, empty-tree root sentinel).
+Digest ZeroDigest();
+
+}  // namespace dicho::crypto
+
+#endif  // DICHO_CRYPTO_SHA256_H_

@@ -1,0 +1,60 @@
+#include "crypto/signature.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace dicho::crypto {
+namespace {
+
+// Deterministic per-id secret. In a deployment this would be the party's
+// private key; here it is derivable so any node can verify (symmetric analog
+// of looking up the public key in the membership service of a permissioned
+// network).
+std::string SecretForId(uint64_t id) {
+  std::string seed = "dicho-identity-";
+  PutFixed64(&seed, id);
+  return DigestBytes(Sha256Of(seed));
+}
+
+}  // namespace
+
+Digest HmacSha256(const Slice& key, const Slice& message) {
+  uint8_t k[64];
+  memset(k, 0, sizeof(k));
+  if (key.size() > 64) {
+    Digest kd = Sha256Of(key);
+    memcpy(k, kd.data(), kd.size());
+  } else {
+    memcpy(k, key.data(), key.size());
+  }
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; i++) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad, 64);
+  inner.Update(message);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, 64);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+Signer::Signer(uint64_t id) : id_(id), secret_(SecretForId(id)) {}
+
+std::string Signer::Sign(const Slice& message) const {
+  return DigestBytes(HmacSha256(secret_, message));
+}
+
+bool VerifySignature(uint64_t signer_id, const Slice& message,
+                     const Slice& signature) {
+  if (signature.size() != 32) return false;
+  std::string expected = DigestBytes(HmacSha256(SecretForId(signer_id), message));
+  return Slice(expected) == signature;
+}
+
+}  // namespace dicho::crypto

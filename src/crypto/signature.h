@@ -1,0 +1,42 @@
+#ifndef DICHO_CRYPTO_SIGNATURE_H_
+#define DICHO_CRYPTO_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace dicho::crypto {
+
+/// HMAC-SHA256(key, message).
+Digest HmacSha256(const Slice& key, const Slice& message);
+
+/// A signing identity. Real public-key cryptography is substituted by a
+/// keyed-hash scheme (documented in DESIGN.md): every party derives its
+/// "public key" deterministically from its id, and a signature is
+/// HMAC-SHA256 under a key derived from the id. Signatures are therefore
+/// *actually verifiable* — a tampered message or a wrong signer id fails
+/// verification — while the CPU cost of production ECDSA enters the
+/// performance model through sim::CostModel instead.
+class Signer {
+ public:
+  explicit Signer(uint64_t id);
+
+  uint64_t id() const { return id_; }
+
+  /// 32-byte signature over `message`.
+  std::string Sign(const Slice& message) const;
+
+ private:
+  uint64_t id_;
+  std::string secret_;
+};
+
+/// Verifies `signature` over `message` for the party `signer_id`.
+bool VerifySignature(uint64_t signer_id, const Slice& message,
+                     const Slice& signature);
+
+}  // namespace dicho::crypto
+
+#endif  // DICHO_CRYPTO_SIGNATURE_H_

@@ -1,0 +1,140 @@
+#ifndef DICHO_HYBRID_BUILDER_H_
+#define DICHO_HYBRID_BUILDER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/mbt.h"
+#include "adt/mpt.h"
+#include "consensus/pbft.h"
+#include "consensus/pow.h"
+#include "consensus/raft.h"
+#include "contract/contract.h"
+#include "core/types.h"
+#include "hybrid/taxonomy.h"
+#include "ledger/ledger.h"
+#include "sharedlog/shared_log.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "txn/occ.h"
+
+namespace dicho::hybrid {
+
+using sim::NodeId;
+using sim::Time;
+
+struct HybridConfig {
+  SystemDescriptor design;
+  uint32_t num_nodes = 4;
+  NodeId client_node = 1000;
+  NodeId base_node = 800;
+  /// Batching for consensus-based transports.
+  Time batch_interval = 50 * sim::kMs;
+  size_t max_batch = 500;
+  consensus::RaftConfig raft;
+  consensus::BftConfig bft;
+  sharedlog::SharedLogConfig log;
+  consensus::PowConfig pow;
+};
+
+/// A *runnable* hybrid blockchain–database system composed from taxonomy
+/// choices — the fusion the paper's framework is meant to guide. Pick any
+/// point in the design space (replication model x approach x failure model
+/// x concurrency x ledger x index) and this class wires the corresponding
+/// substrates from this library into a TransactionalSystem:
+///
+///   - kTxnBased: the ordered stream carries whole transactions; every node
+///     executes them against its own state (out-of-the-database
+///     blockchains: BRD, ChainifyDB, BigchainDB).
+///   - kStorageBased: a coordinator executes once, recording read versions;
+///     the stream carries write-sets, optionally OCC-validated at commit
+///     (out-of-the-blockchain databases: Veritas, FalconDB, BlockchainDB).
+///   - approach/failure choose the transport: Raft, PBFT/Tendermint-style
+///     BFT, a Kafka-style shared log, simulated PoW, or primary-backup.
+///   - ledger: every node additionally maintains the hash-linked chain.
+///   - index: state writes pay MPT/MBT maintenance, and node 0 keeps the
+///     real authenticated structure so the digest is actually verifiable.
+class HybridSystem : public core::TransactionalSystem {
+ public:
+  HybridSystem(sim::Simulator* sim, sim::SimNetwork* net,
+               const sim::CostModel* costs, HybridConfig config);
+
+  void Start();
+
+  void Submit(const core::TxnRequest& request, core::TxnCallback cb) override;
+  void Query(const core::ReadRequest& request, core::ReadCallback cb) override;
+  const core::SystemStats& stats() const override { return stats_; }
+  std::string name() const override { return config_.design.name; }
+
+  void Load(const std::string& key, const std::string& value);
+
+  const txn::VersionedState& state_of(size_t node_index) const {
+    return nodes_[node_index]->state;
+  }
+  /// Ledger bytes on node 0 (0 when the design has no ledger).
+  uint64_t LedgerBytes() const;
+  /// Root digest of the authenticated index (zero when index == kPlain).
+  crypto::Digest StateDigest() const;
+  const HybridConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    explicit Node(sim::Simulator* sim) : cpu(sim) {}
+    txn::VersionedState state;
+    ledger::Chain chain;
+    sim::CpuResource cpu;
+  };
+  struct PendingTxn {
+    core::TxnRequest request;
+    core::TxnCallback cb;
+    Time submit_time = 0;
+  };
+
+  bool IsTxnBased() const {
+    return config_.design.replication == ReplicationModel::kTxnBased;
+  }
+  Time IndexCost(uint64_t bytes) const;
+  Time ExecCost(const core::TxnRequest& request) const;
+
+  /// Produces the envelope to replicate for one transaction (executes at the
+  /// coordinator for storage-based designs).
+  ledger::LedgerTxn MakeEnvelope(const PendingTxn& pending);
+  void EnqueueForOrdering(std::shared_ptr<PendingTxn> pending);
+  void FlushBatch();
+  void Disseminate(const std::string& batch);
+  /// Applies an ordered batch on one node; node 0 completes client waits.
+  void ApplyBatch(size_t node_index, const std::string& batch);
+  void Finish(uint64_t txn_id, bool valid, core::AbortReason reason);
+
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  const sim::CostModel* costs_;
+  HybridConfig config_;
+  std::vector<NodeId> node_ids_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<contract::ContractRegistry> contracts_;
+
+  // Transports (exactly one is instantiated).
+  std::unique_ptr<consensus::RaftCluster> raft_;
+  std::unique_ptr<consensus::BftCluster> bft_;
+  std::unique_ptr<sharedlog::SharedLog> shared_log_;
+  std::unique_ptr<consensus::PowNetwork> pow_;
+
+  // Real authenticated index on node 0.
+  std::unique_ptr<adt::MerklePatriciaTrie> mpt_;
+  std::unique_ptr<adt::MerkleBucketTree> mbt_;
+
+  std::deque<ledger::LedgerTxn> batch_queue_;
+  std::map<uint64_t, std::shared_ptr<PendingTxn>> inflight_;
+  bool batch_timer_armed_ = false;
+  core::SystemStats stats_;
+};
+
+}  // namespace dicho::hybrid
+
+#endif  // DICHO_HYBRID_BUILDER_H_

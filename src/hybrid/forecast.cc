@@ -1,0 +1,71 @@
+#include "hybrid/forecast.h"
+
+#include <cstdio>
+
+namespace dicho::hybrid {
+
+Forecast ThroughputForecaster::Predict(const SystemDescriptor& system) const {
+  double tps = system.replication == ReplicationModel::kTxnBased
+                   ? factors_.txn_based_base_tps
+                   : factors_.storage_based_base_tps;
+  switch (system.approach) {
+    case ReplicationApproach::kConsensus:
+      tps *= factors_.consensus_factor;
+      break;
+    case ReplicationApproach::kSharedLog:
+      tps *= factors_.shared_log_factor;
+      break;
+    case ReplicationApproach::kPrimaryBackup:
+      tps *= factors_.primary_backup_factor;
+      break;
+  }
+  switch (system.failure) {
+    case FailureModel::kCft:
+      tps *= factors_.cft_factor;
+      break;
+    case FailureModel::kBft:
+      tps *= factors_.bft_factor;
+      break;
+    case FailureModel::kPow:
+      tps *= factors_.pow_factor;
+      break;
+  }
+  switch (system.concurrency) {
+    case ConcurrencyModel::kSerial:
+      tps *= factors_.serial_factor;
+      break;
+    case ConcurrencyModel::kOccCommit:
+      tps *= factors_.occ_commit_factor;
+      break;
+    case ConcurrencyModel::kConcurrent:
+      tps *= factors_.concurrent_factor;
+      break;
+  }
+  if (system.ledger == LedgerAbstraction::kChain) {
+    tps *= factors_.ledger_factor;
+  }
+  Forecast f;
+  f.expected_tps = tps;
+  f.low_tps = tps / 2;
+  f.high_tps = tps * 2;
+  return f;
+}
+
+std::string ThroughputForecaster::Report(
+    const std::vector<SystemDescriptor>& systems) const {
+  std::string out;
+  char buf[256];
+  snprintf(buf, sizeof(buf), "%-14s %12s %22s %12s\n", "System",
+           "predicted", "band", "reported");
+  out += buf;
+  for (const auto& system : systems) {
+    Forecast f = Predict(system);
+    snprintf(buf, sizeof(buf), "%-14s %9.0f tps [%7.0f, %8.0f] %9.0f tps\n",
+             system.name.c_str(), f.expected_tps, f.low_tps, f.high_tps,
+             system.reported_tps);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dicho::hybrid

@@ -1,0 +1,63 @@
+#ifndef DICHO_HYBRID_FORECAST_H_
+#define DICHO_HYBRID_FORECAST_H_
+
+#include <string>
+
+#include "hybrid/taxonomy.h"
+
+namespace dicho::hybrid {
+
+/// Back-of-the-envelope throughput forecast for a hybrid design — the
+/// paper's Section 5.6 framework. The model is multiplicative over the
+/// design choices, with the replication model as the dominant factor and
+/// the failure model second, exactly as the paper argues:
+///
+///   peak ≈ base(replication model)
+///          x factor(replication approach)
+///          x factor(failure model)
+///          x factor(concurrency)
+///          x factor(ledger maintenance)
+///
+/// The factors are fitted to this library's measured systems plus the
+/// reported numbers of the Fig. 15 hybrids; the claim being reproduced is
+/// that this two-level rule *ranks* hybrids correctly (e.g. Veritas's 29k
+/// vs ChainifyDB's 6.1k), not that it predicts absolute numbers.
+struct ForecastFactors {
+  double txn_based_base_tps = 4000;
+  double storage_based_base_tps = 20000;
+  double consensus_factor = 1.0;
+  double shared_log_factor = 1.5;
+  double primary_backup_factor = 1.8;
+  double cft_factor = 1.0;
+  double bft_factor = 0.25;
+  double pow_factor = 0.01;
+  double serial_factor = 0.35;
+  double occ_commit_factor = 0.8;
+  double concurrent_factor = 1.0;
+  double ledger_factor = 0.85;
+};
+
+struct Forecast {
+  double expected_tps = 0;
+  /// The model is order-of-magnitude; the band spans /2 .. x2.
+  double low_tps = 0;
+  double high_tps = 0;
+};
+
+class ThroughputForecaster {
+ public:
+  explicit ThroughputForecaster(ForecastFactors factors = {})
+      : factors_(factors) {}
+
+  Forecast Predict(const SystemDescriptor& system) const;
+
+  /// "name: predicted ~Xk tps (reported Yk)" table for a set of systems.
+  std::string Report(const std::vector<SystemDescriptor>& systems) const;
+
+ private:
+  const ForecastFactors factors_;
+};
+
+}  // namespace dicho::hybrid
+
+#endif  // DICHO_HYBRID_FORECAST_H_

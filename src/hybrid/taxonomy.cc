@@ -1,0 +1,172 @@
+#include "hybrid/taxonomy.h"
+
+#include <cstdio>
+
+namespace dicho::hybrid {
+
+const char* ToString(ReplicationModel v) {
+  switch (v) {
+    case ReplicationModel::kTxnBased:
+      return "txn-based";
+    case ReplicationModel::kStorageBased:
+      return "storage-based";
+  }
+  return "?";
+}
+
+const char* ToString(ReplicationApproach v) {
+  switch (v) {
+    case ReplicationApproach::kConsensus:
+      return "consensus";
+    case ReplicationApproach::kSharedLog:
+      return "shared-log";
+    case ReplicationApproach::kPrimaryBackup:
+      return "primary-backup";
+  }
+  return "?";
+}
+
+const char* ToString(FailureModel v) {
+  switch (v) {
+    case FailureModel::kCft:
+      return "CFT";
+    case FailureModel::kBft:
+      return "BFT";
+    case FailureModel::kPow:
+      return "PoW";
+  }
+  return "?";
+}
+
+const char* ToString(ConcurrencyModel v) {
+  switch (v) {
+    case ConcurrencyModel::kSerial:
+      return "serial";
+    case ConcurrencyModel::kOccCommit:
+      return "concurrent-exec/serial-commit";
+    case ConcurrencyModel::kConcurrent:
+      return "concurrent";
+  }
+  return "?";
+}
+
+const char* ToString(LedgerAbstraction v) {
+  switch (v) {
+    case LedgerAbstraction::kNone:
+      return "no";
+    case LedgerAbstraction::kChain:
+      return "yes";
+  }
+  return "?";
+}
+
+const char* ToString(StateIndex v) {
+  switch (v) {
+    case StateIndex::kPlain:
+      return "plain";
+    case StateIndex::kMpt:
+      return "MPT";
+    case StateIndex::kMbt:
+      return "MBT";
+  }
+  return "?";
+}
+
+std::vector<SystemDescriptor> Table2Systems() {
+  using RM = ReplicationModel;
+  using RA = ReplicationApproach;
+  using FM = FailureModel;
+  using CM = ConcurrencyModel;
+  using LA = LedgerAbstraction;
+  using SI = StateIndex;
+  // {name, category, replication, approach, failure, protocol, concurrency,
+  //  ledger, index, sharding, 2pc, reported_tps}
+  return {
+      {"Ethereum", "Permissionless Blockchain", RM::kTxnBased, RA::kConsensus,
+       FM::kPow, "PoW", CM::kSerial, LA::kChain, SI::kMpt, false, false, 0},
+      {"Eth2", "Permissionless Blockchain", RM::kTxnBased, RA::kConsensus,
+       FM::kBft, "PoS+Casper", CM::kSerial, LA::kChain, SI::kMpt, true, false,
+       0},
+      {"Quorum v2.2", "Permissioned Blockchain", RM::kTxnBased, RA::kConsensus,
+       FM::kCft, "Raft/IBFT", CM::kSerial, LA::kChain, SI::kMpt, false, false,
+       0},
+      {"Fabric v2.2", "Permissioned Blockchain", RM::kTxnBased, RA::kSharedLog,
+       FM::kCft, "Raft orderers", CM::kOccCommit, LA::kChain, SI::kPlain,
+       false, false, 0},
+      {"Fabric v0.6", "Permissioned Blockchain", RM::kTxnBased, RA::kConsensus,
+       FM::kBft, "PBFT", CM::kSerial, LA::kChain, SI::kMbt, false, false, 0},
+      {"EOS", "Permissioned Blockchain", RM::kTxnBased, RA::kConsensus,
+       FM::kBft, "DPoS", CM::kSerial, LA::kChain, SI::kPlain, false, false, 0},
+      {"FISCO BCOS", "Permissioned Blockchain", RM::kTxnBased, RA::kConsensus,
+       FM::kBft, "Raft/PBFT", CM::kSerial, LA::kChain, SI::kMpt, false, false,
+       0},
+      {"TiDB v4.0", "NewSQL Database", RM::kStorageBased, RA::kConsensus,
+       FM::kCft, "Raft", CM::kConcurrent, LA::kNone, SI::kPlain, true, true,
+       0},
+      {"CockroachDB", "NewSQL Database", RM::kStorageBased, RA::kConsensus,
+       FM::kCft, "Raft", CM::kConcurrent, LA::kNone, SI::kPlain, true, true,
+       0},
+      {"Spanner", "NewSQL Database", RM::kStorageBased, RA::kConsensus,
+       FM::kCft, "Paxos", CM::kConcurrent, LA::kNone, SI::kPlain, true, true,
+       0},
+      {"H-Store", "NewSQL Database", RM::kStorageBased, RA::kPrimaryBackup,
+       FM::kCft, "primary-backup", CM::kConcurrent, LA::kNone, SI::kPlain,
+       true, true, 0},
+      {"etcd v3.3", "NoSQL Database", RM::kStorageBased, RA::kConsensus,
+       FM::kCft, "Raft", CM::kSerial, LA::kNone, SI::kPlain, false, false, 0},
+      {"Cassandra", "NoSQL Database", RM::kStorageBased, RA::kPrimaryBackup,
+       FM::kCft, "primary-backup", CM::kConcurrent, LA::kNone, SI::kPlain,
+       true, false, 0},
+      {"DynamoDB", "NoSQL Database", RM::kStorageBased, RA::kPrimaryBackup,
+       FM::kCft, "primary-backup", CM::kConcurrent, LA::kNone, SI::kPlain,
+       true, false, 0},
+      {"BlockchainDB", "Out-of-the-Blockchain DB", RM::kStorageBased,
+       RA::kConsensus, FM::kPow, "PoW", CM::kSerial, LA::kChain, SI::kMpt,
+       true, false, 150},
+      {"Veritas", "Out-of-the-Blockchain DB", RM::kStorageBased,
+       RA::kSharedLog, FM::kCft, "Kafka", CM::kOccCommit, LA::kChain,
+       SI::kPlain, false, false, 29000},
+      {"FalconDB", "Out-of-the-Blockchain DB", RM::kStorageBased,
+       RA::kConsensus, FM::kBft, "Tendermint", CM::kOccCommit, LA::kChain,
+       SI::kMbt, false, false, 2200},
+      {"BRD", "Out-of-the-Database Blockchain", RM::kTxnBased, RA::kSharedLog,
+       FM::kBft, "Kafka+BFT-SMaRt", CM::kConcurrent, LA::kChain, SI::kPlain,
+       false, false, 2700},
+      {"ChainifyDB", "Out-of-the-Database Blockchain", RM::kTxnBased,
+       RA::kSharedLog, FM::kCft, "Kafka", CM::kConcurrent, LA::kChain,
+       SI::kPlain, false, false, 6100},
+      {"BigchainDB", "Out-of-the-Database Blockchain", RM::kTxnBased,
+       RA::kConsensus, FM::kBft, "Tendermint", CM::kConcurrent, LA::kChain,
+       SI::kPlain, false, false, 1000},
+  };
+}
+
+std::vector<SystemDescriptor> Figure15Hybrids() {
+  std::vector<SystemDescriptor> hybrids;
+  for (const auto& row : Table2Systems()) {
+    if (row.reported_tps > 0) hybrids.push_back(row);
+  }
+  return hybrids;
+}
+
+std::string RenderTaxonomyTable(const std::vector<SystemDescriptor>& rows) {
+  std::string out;
+  char buf[512];
+  snprintf(buf, sizeof(buf), "%-14s %-30s %-14s %-14s %-4s %-16s %-30s %-7s %-6s %-6s\n",
+           "System", "Category", "Replication", "Approach", "FM", "Protocol",
+           "Concurrency", "Ledger", "Index", "Shard");
+  out += buf;
+  out += std::string(150, '-') + "\n";
+  for (const auto& r : rows) {
+    snprintf(buf, sizeof(buf),
+             "%-14s %-30s %-14s %-14s %-4s %-16s %-30s %-7s %-6s %-6s\n",
+             r.name.c_str(), r.category.c_str(), ToString(r.replication),
+             ToString(r.approach), ToString(r.failure), r.protocol.c_str(),
+             ToString(r.concurrency), ToString(r.ledger), ToString(r.index),
+             r.sharding ? "yes" : "no");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dicho::hybrid

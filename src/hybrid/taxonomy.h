@@ -1,0 +1,89 @@
+#ifndef DICHO_HYBRID_TAXONOMY_H_
+#define DICHO_HYBRID_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+namespace dicho::hybrid {
+
+/// The four design dimensions of the paper's taxonomy (Table 1), plus the
+/// finer-grained choices inside each.
+
+/// What gets replicated (Section 3.1.1).
+enum class ReplicationModel {
+  kTxnBased,      // the ledger of whole transactions (blockchains)
+  kStorageBased,  // read/write operations on top of storage (databases)
+};
+
+/// How replicas are kept consistent (Section 3.1.2).
+enum class ReplicationApproach {
+  kConsensus,      // state-machine replication via a consensus protocol
+  kSharedLog,      // external ordered log (Kafka/Corfu); ordering decoupled
+  kPrimaryBackup,  // primary synchronizes backups
+};
+
+/// Failure model tolerated by the replication protocol (Section 3.1.3).
+enum class FailureModel {
+  kCft,  // crash failures (Raft/Paxos)
+  kBft,  // Byzantine failures (PBFT/IBFT/Tendermint)
+  kPow,  // Byzantine + open membership (proof of work)
+};
+
+/// Concurrency of transaction execution (Section 3.2).
+enum class ConcurrencyModel {
+  kSerial,      // one at a time, deterministic (most blockchains)
+  kOccCommit,   // concurrent execution, optimistic serial commit (Fabric)
+  kConcurrent,  // full database concurrency control
+};
+
+/// Storage model (Section 3.3.1).
+enum class LedgerAbstraction {
+  kNone,   // latest state only
+  kChain,  // append-only hash-linked ledger kept alongside the state
+};
+
+/// State index / tamper evidence (Section 3.3.2).
+enum class StateIndex {
+  kPlain,  // B-tree / LSM, no authentication
+  kMpt,    // Merkle Patricia Trie
+  kMbt,    // Merkle Bucket Tree
+};
+
+const char* ToString(ReplicationModel v);
+const char* ToString(ReplicationApproach v);
+const char* ToString(FailureModel v);
+const char* ToString(ConcurrencyModel v);
+const char* ToString(LedgerAbstraction v);
+const char* ToString(StateIndex v);
+
+/// One row of the paper's Table 2: a system located in the design space.
+struct SystemDescriptor {
+  std::string name;
+  std::string category;  // e.g. "Permissioned Blockchain", "NewSQL", ...
+  ReplicationModel replication = ReplicationModel::kTxnBased;
+  ReplicationApproach approach = ReplicationApproach::kConsensus;
+  FailureModel failure = FailureModel::kCft;
+  std::string protocol;  // human-readable: "Raft", "PBFT", "PoW", "Kafka"...
+  ConcurrencyModel concurrency = ConcurrencyModel::kSerial;
+  LedgerAbstraction ledger = LedgerAbstraction::kNone;
+  StateIndex index = StateIndex::kPlain;
+  bool sharding = false;
+  bool two_pc = false;
+  /// Throughput reported in its paper (tps), 0 if unknown — used to check
+  /// the forecaster's ranking (Fig. 15).
+  double reported_tps = 0;
+};
+
+/// The full Table 2: every system the paper classifies, as data.
+std::vector<SystemDescriptor> Table2Systems();
+
+/// The six hybrid systems of Fig. 15 (subset of Table 2 with reported
+/// numbers).
+std::vector<SystemDescriptor> Figure15Hybrids();
+
+/// Renders descriptors as an aligned text table (bench table2_taxonomy).
+std::string RenderTaxonomyTable(const std::vector<SystemDescriptor>& rows);
+
+}  // namespace dicho::hybrid
+
+#endif  // DICHO_HYBRID_TAXONOMY_H_

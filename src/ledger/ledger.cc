@@ -1,0 +1,186 @@
+#include "ledger/ledger.h"
+
+#include "common/coding.h"
+
+namespace dicho::ledger {
+
+std::string LedgerTxn::Serialize() const {
+  std::string out;
+  PutFixed64(&out, txn_id);
+  PutFixed64(&out, client_id);
+  PutLengthPrefixed(&out, payload);
+  PutLengthPrefixed(&out, client_signature);
+  PutVarint32(&out, static_cast<uint32_t>(endorsements.size()));
+  for (const auto& [endorser, sig] : endorsements) {
+    PutFixed64(&out, endorser);
+    PutLengthPrefixed(&out, sig);
+  }
+  PutVarint32(&out, static_cast<uint32_t>(read_set.size()));
+  for (const auto& [key, version] : read_set) {
+    PutLengthPrefixed(&out, key);
+    PutFixed64(&out, version);
+  }
+  PutVarint32(&out, static_cast<uint32_t>(write_set.size()));
+  for (const auto& [key, value] : write_set) {
+    PutLengthPrefixed(&out, key);
+    PutLengthPrefixed(&out, value);
+  }
+  out.push_back(valid ? 1 : 0);
+  return out;
+}
+
+bool LedgerTxn::Deserialize(const std::string& data, LedgerTxn* out) {
+  Slice in(data);
+  Slice payload, sig;
+  uint32_t n;
+  if (!GetFixed64(&in, &out->txn_id) || !GetFixed64(&in, &out->client_id) ||
+      !GetLengthPrefixed(&in, &payload) || !GetLengthPrefixed(&in, &sig) ||
+      !GetVarint32(&in, &n)) {
+    return false;
+  }
+  out->payload = payload.ToString();
+  out->client_signature = sig.ToString();
+  out->endorsements.clear();
+  for (uint32_t i = 0; i < n; i++) {
+    uint64_t endorser;
+    Slice esig;
+    if (!GetFixed64(&in, &endorser) || !GetLengthPrefixed(&in, &esig)) {
+      return false;
+    }
+    out->endorsements.emplace_back(endorser, esig.ToString());
+  }
+  if (!GetVarint32(&in, &n)) return false;
+  out->read_set.clear();
+  for (uint32_t i = 0; i < n; i++) {
+    Slice key;
+    uint64_t version;
+    if (!GetLengthPrefixed(&in, &key) || !GetFixed64(&in, &version)) {
+      return false;
+    }
+    out->read_set.emplace_back(key.ToString(), version);
+  }
+  if (!GetVarint32(&in, &n)) return false;
+  out->write_set.clear();
+  for (uint32_t i = 0; i < n; i++) {
+    Slice key, value;
+    if (!GetLengthPrefixed(&in, &key) || !GetLengthPrefixed(&in, &value)) {
+      return false;
+    }
+    out->write_set.emplace_back(key.ToString(), value.ToString());
+  }
+  if (in.size() != 1) return false;
+  out->valid = in[0] != 0;
+  return true;
+}
+
+std::string BlockHeader::Serialize() const {
+  std::string out;
+  PutFixed64(&out, number);
+  out.append(reinterpret_cast<const char*>(parent.data()), parent.size());
+  out.append(reinterpret_cast<const char*>(txn_root.data()), txn_root.size());
+  out.append(reinterpret_cast<const char*>(state_digest.data()),
+             state_digest.size());
+  PutFixed64(&out, timestamp_us);
+  return out;
+}
+
+void Block::SealTxnRoot() {
+  std::vector<std::string> leaves;
+  leaves.reserve(txns.size());
+  for (const auto& txn : txns) leaves.push_back(txn.Serialize());
+  header.txn_root = crypto::MerkleTree(leaves).root();
+}
+
+std::string Block::Serialize() const {
+  std::string out = header.Serialize();
+  PutVarint32(&out, static_cast<uint32_t>(txns.size()));
+  for (const auto& txn : txns) PutLengthPrefixed(&out, txn.Serialize());
+  return out;
+}
+
+bool Block::Deserialize(const std::string& data, Block* out) {
+  Slice in(data);
+  if (in.size() < 8 + 32 * 3 + 8) return false;
+  if (!GetFixed64(&in, &out->header.number)) return false;
+  out->header.parent = crypto::DigestFromBytes(Slice(in.data(), 32));
+  in.RemovePrefix(32);
+  out->header.txn_root = crypto::DigestFromBytes(Slice(in.data(), 32));
+  in.RemovePrefix(32);
+  out->header.state_digest = crypto::DigestFromBytes(Slice(in.data(), 32));
+  in.RemovePrefix(32);
+  if (!GetFixed64(&in, &out->header.timestamp_us)) return false;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return false;
+  out->txns.clear();
+  for (uint32_t i = 0; i < n; i++) {
+    Slice txn_bytes;
+    if (!GetLengthPrefixed(&in, &txn_bytes)) return false;
+    LedgerTxn txn;
+    if (!LedgerTxn::Deserialize(txn_bytes.ToString(), &txn)) return false;
+    out->txns.push_back(std::move(txn));
+  }
+  return in.empty();
+}
+
+Status Chain::Append(Block block) {
+  if (block.header.number != blocks_.size()) {
+    return Status::InvalidArgument("non-sequential block number");
+  }
+  crypto::Digest expected_parent =
+      blocks_.empty() ? crypto::ZeroDigest() : blocks_.back().header.Hash();
+  if (block.header.parent != expected_parent) {
+    return Status::Corruption("parent hash mismatch");
+  }
+  // Verify the claimed transaction root.
+  std::vector<std::string> leaves;
+  for (const auto& txn : block.txns) leaves.push_back(txn.Serialize());
+  if (crypto::MerkleTree(leaves).root() != block.header.txn_root) {
+    return Status::Corruption("txn root mismatch");
+  }
+  total_bytes_ += block.ByteSize();
+  total_txns_ += block.txns.size();
+  blocks_.push_back(std::move(block));
+  return Status::Ok();
+}
+
+crypto::Digest Chain::TipDigest() const {
+  return blocks_.empty() ? crypto::ZeroDigest() : blocks_.back().header.Hash();
+}
+
+Status Chain::Verify() const {
+  crypto::Digest parent = crypto::ZeroDigest();
+  for (size_t i = 0; i < blocks_.size(); i++) {
+    const Block& block = blocks_[i];
+    if (block.header.number != i) {
+      return Status::Corruption("block number broken at " + std::to_string(i));
+    }
+    if (block.header.parent != parent) {
+      return Status::Corruption("hash link broken at block " +
+                                std::to_string(i));
+    }
+    std::vector<std::string> leaves;
+    for (const auto& txn : block.txns) leaves.push_back(txn.Serialize());
+    if (crypto::MerkleTree(leaves).root() != block.header.txn_root) {
+      return Status::Corruption("txn root broken at block " +
+                                std::to_string(i));
+    }
+    parent = block.header.Hash();
+  }
+  return Status::Ok();
+}
+
+Result<crypto::MerkleProof> Chain::ProveTxn(uint64_t block_number,
+                                            uint64_t txn_index) const {
+  if (block_number >= blocks_.size()) {
+    return Status::NotFound("no such block");
+  }
+  const Block& block = blocks_[block_number];
+  if (txn_index >= block.txns.size()) {
+    return Status::NotFound("no such txn");
+  }
+  std::vector<std::string> leaves;
+  for (const auto& txn : block.txns) leaves.push_back(txn.Serialize());
+  return crypto::MerkleTree(leaves).Prove(txn_index);
+}
+
+}  // namespace dicho::ledger

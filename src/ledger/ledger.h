@@ -1,0 +1,98 @@
+#ifndef DICHO_LEDGER_LEDGER_H_
+#define DICHO_LEDGER_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace dicho::ledger {
+
+/// A transaction as recorded on the ledger: the full client request plus
+/// replication-level context (signatures, read/write sets, validity). This
+/// is the paper's "transaction-based replication" unit — the ledger keeps
+/// enough application-level information to re-verify execution (Section
+/// 3.1.1), which is also why it costs so much more storage than a database
+/// (Fig. 12).
+struct LedgerTxn {
+  uint64_t txn_id = 0;
+  uint64_t client_id = 0;
+  std::string payload;          // serialized TxnRequest
+  std::string client_signature; // 32B in our scheme
+  /// Endorsement signatures (Fabric) or empty (order-execute chains).
+  std::vector<std::pair<uint64_t, std::string>> endorsements;
+  /// MVCC read set: key -> version observed during simulation.
+  std::vector<std::pair<std::string, uint64_t>> read_set;
+  /// Write set applied on commit.
+  std::vector<std::pair<std::string, std::string>> write_set;
+  bool valid = true;  // set false by validation (aborted txns stay on chain)
+
+  std::string Serialize() const;
+  static bool Deserialize(const std::string& data, LedgerTxn* out);
+  uint64_t ByteSize() const { return Serialize().size(); }
+};
+
+struct BlockHeader {
+  uint64_t number = 0;
+  crypto::Digest parent = crypto::ZeroDigest();
+  crypto::Digest txn_root = crypto::ZeroDigest();   // Merkle root over txns
+  crypto::Digest state_digest = crypto::ZeroDigest();  // after applying block
+  uint64_t timestamp_us = 0;
+
+  std::string Serialize() const;
+  crypto::Digest Hash() const { return crypto::Sha256Of(Serialize()); }
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<LedgerTxn> txns;
+
+  /// Recomputes header.txn_root from the transactions.
+  void SealTxnRoot();
+  std::string Serialize() const;
+  static bool Deserialize(const std::string& data, Block* out);
+  uint64_t ByteSize() const { return Serialize().size(); }
+};
+
+/// The append-only hash-linked chain of blocks. Verify() recomputes every
+/// hash link and Merkle root, so any bit flipped anywhere in history is
+/// detected — the tamper-evidence property databases lack (Section 3.3.1).
+class Chain {
+ public:
+  Chain() = default;
+
+  /// Appends after checking the parent link and txn root. The genesis block
+  /// (number 0) must have a zero parent.
+  Status Append(Block block);
+
+  uint64_t height() const { return blocks_.size(); }
+  const Block& block(uint64_t number) const { return blocks_[number]; }
+  crypto::Digest TipDigest() const;
+
+  /// Full-chain integrity check.
+  Status Verify() const;
+
+  /// Merkle inclusion proof that `txn_index` of `block_number` is on chain.
+  Result<crypto::MerkleProof> ProveTxn(uint64_t block_number,
+                                       uint64_t txn_index) const;
+
+  /// Ledger storage consumed (Fig. 12's "block storage").
+  uint64_t TotalBytes() const { return total_bytes_; }
+  uint64_t TotalTxns() const { return total_txns_; }
+
+  /// TESTING ONLY: direct mutable access used by tamper-detection tests.
+  Block* MutableBlockForTest(uint64_t number) { return &blocks_[number]; }
+
+ private:
+  std::vector<Block> blocks_;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_txns_ = 0;
+};
+
+}  // namespace dicho::ledger
+
+#endif  // DICHO_LEDGER_LEDGER_H_

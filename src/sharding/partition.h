@@ -1,0 +1,66 @@
+#ifndef DICHO_SHARDING_PARTITION_H_
+#define DICHO_SHARDING_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace dicho::sharding {
+
+/// Maps keys to shards. Databases pick the scheme per workload (paper
+/// Section 3.4.1); blockchains inherit whatever the formation protocol
+/// fixes.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual uint32_t ShardOf(const Slice& key) const = 0;
+  virtual uint32_t num_shards() const = 0;
+};
+
+/// Uniform hash partitioning.
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(uint32_t num_shards) : num_shards_(num_shards) {}
+
+  uint32_t ShardOf(const Slice& key) const override {
+    crypto::Digest d = crypto::Sha256Of(key);
+    uint64_t h = 0;
+    for (int i = 0; i < 8; i++) h = (h << 8) | d[i];
+    return static_cast<uint32_t>(h % num_shards_);
+  }
+  uint32_t num_shards() const override { return num_shards_; }
+
+ private:
+  uint32_t num_shards_;
+};
+
+/// Range partitioning over sorted split points: shard i covers
+/// [splits[i-1], splits[i]), shard 0 covers (-inf, splits[0]).
+class RangePartitioner : public Partitioner {
+ public:
+  explicit RangePartitioner(std::vector<std::string> splits)
+      : splits_(std::move(splits)) {}
+
+  uint32_t ShardOf(const Slice& key) const override {
+    uint32_t shard = 0;
+    for (const auto& split : splits_) {
+      if (key.Compare(split) < 0) break;
+      shard++;
+    }
+    return shard;
+  }
+  uint32_t num_shards() const override {
+    return static_cast<uint32_t>(splits_.size() + 1);
+  }
+
+ private:
+  std::vector<std::string> splits_;
+};
+
+}  // namespace dicho::sharding
+
+#endif  // DICHO_SHARDING_PARTITION_H_

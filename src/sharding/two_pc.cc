@@ -1,0 +1,114 @@
+#include "sharding/two_pc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dicho::sharding {
+
+namespace {
+constexpr uint64_t kCtrlBytes = 64;
+}
+
+void TwoPcCoordinator::Run(uint64_t txn_id,
+                           std::vector<TwoPcParticipant> participants,
+                           std::function<void(Status)> cb) {
+  auto pending = std::make_shared<Pending>();
+  pending->participants = participants;
+  pending->cb = std::move(cb);
+  pending_[txn_id] = pending;
+
+  size_t total = participants.size();
+  for (const auto& participant : participants) {
+    // PREPARE to each participant.
+    net_->Send(node_, participant.node, kCtrlBytes,
+               [this, txn_id, participant, pending, total] {
+                 participant.prepare(
+                     txn_id, [this, txn_id, pending, total,
+                              from = participant.node](bool vote) {
+                       // Vote back to the coordinator.
+                       net_->Send(from, node_, kCtrlBytes,
+                                  [this, txn_id, pending, total, vote] {
+                                    pending->votes_received++;
+                                    pending->all_yes &= vote;
+                                    if (pending->votes_received < total) return;
+                                    // Decision point.
+                                    if (crash_before_decision_) {
+                                      blocked_++;
+                                      return;  // participants stay prepared
+                                    }
+                                    bool commit = pending->all_yes;
+                                    if (commit) {
+                                      committed_++;
+                                    } else {
+                                      aborted_++;
+                                    }
+                                    for (const auto& p :
+                                         pending->participants) {
+                                      net_->Send(node_, p.node, kCtrlBytes,
+                                                 [p, txn_id, commit] {
+                                                   p.finish(txn_id, commit);
+                                                 });
+                                    }
+                                    pending_.erase(txn_id);
+                                    pending->cb(commit
+                                                    ? Status::Ok()
+                                                    : Status::Aborted(
+                                                          "participant voted no"));
+                                  });
+                     });
+               });
+  }
+}
+
+namespace {
+
+/// log(n choose k) via lgamma for numerical stability.
+double LogChoose(uint32_t n, uint32_t k) {
+  if (k > n) return -INFINITY;
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+}  // namespace
+
+double ShardFailureProbability(uint32_t n_nodes, uint32_t n_byzantine,
+                               uint32_t shard_size, double threshold) {
+  if (shard_size == 0 || shard_size > n_nodes) return 0.0;
+  uint32_t bad_needed =
+      static_cast<uint32_t>(std::ceil(threshold * shard_size));
+  if (bad_needed == 0) return 1.0;
+  double p = 0.0;
+  uint32_t max_bad = std::min(n_byzantine, shard_size);
+  for (uint32_t k = bad_needed; k <= max_bad; k++) {
+    double log_p = LogChoose(n_byzantine, k) +
+                   LogChoose(n_nodes - n_byzantine, shard_size - k) -
+                   LogChoose(n_nodes, shard_size);
+    p += std::exp(log_p);
+  }
+  return std::min(p, 1.0);
+}
+
+double AnyShardFailureProbability(uint32_t n_nodes, uint32_t n_byzantine,
+                                  uint32_t shard_size, double threshold,
+                                  uint32_t num_shards) {
+  double single = ShardFailureProbability(n_nodes, n_byzantine, shard_size,
+                                          threshold);
+  // Union bound / independence approximation.
+  return 1.0 - std::pow(1.0 - single, num_shards);
+}
+
+std::vector<std::vector<NodeId>> RandomShardAssignment(
+    const std::vector<NodeId>& nodes, uint32_t shard_size, Rng* rng) {
+  std::vector<NodeId> shuffled = nodes;
+  for (size_t i = shuffled.size() - 1; i > 0; i--) {
+    std::swap(shuffled[i], shuffled[rng->Uniform(i + 1)]);
+  }
+  std::vector<std::vector<NodeId>> shards;
+  for (size_t i = 0; i + shard_size <= shuffled.size(); i += shard_size) {
+    shards.emplace_back(shuffled.begin() + static_cast<long>(i),
+                        shuffled.begin() + static_cast<long>(i + shard_size));
+  }
+  return shards;
+}
+
+}  // namespace dicho::sharding

@@ -1,0 +1,94 @@
+#ifndef DICHO_SHARDING_TWO_PC_H_
+#define DICHO_SHARDING_TWO_PC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dicho::sharding {
+
+using sim::NodeId;
+using sim::Time;
+
+/// A participant's hooks in a two-phase commit. `prepare` must eventually
+/// call its callback with the vote; `finish` applies or discards the staged
+/// work.
+struct TwoPcParticipant {
+  NodeId node = 0;  // where the participant lives (network endpoint)
+  std::function<void(uint64_t txn_id, std::function<void(bool vote)>)> prepare;
+  std::function<void(uint64_t txn_id, bool commit)> finish;
+};
+
+/// Textbook 2PC with a single trusted coordinator — the database-side
+/// atomic-commit protocol (paper Section 3.4.2). The coordinator is a
+/// *trust and availability* single point: CrashDuringCommit() models the
+/// classic blocking anomaly where prepared participants wait forever. The
+/// BFT-replicated alternative lives in systems/ahl.
+class TwoPcCoordinator {
+ public:
+  TwoPcCoordinator(sim::Simulator* sim, sim::SimNetwork* net,
+                   NodeId coordinator_node)
+      : sim_(sim), net_(net), node_(coordinator_node) {}
+
+  /// Runs the full protocol; cb(Ok) on commit, cb(Aborted) when any vote is
+  /// no. If the coordinator crashes mid-protocol the callback never fires
+  /// and participants stay prepared (blocked).
+  void Run(uint64_t txn_id, std::vector<TwoPcParticipant> participants,
+           std::function<void(Status)> cb);
+
+  /// Crash injection: the coordinator dies after collecting votes but
+  /// before sending any decision for transactions started after this call.
+  void CrashBeforeDecision() { crash_before_decision_ = true; }
+  bool crashed() const { return crash_before_decision_; }
+
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+  /// Transactions whose participants are stuck in prepared state.
+  uint64_t blocked() const { return blocked_; }
+
+ private:
+  struct Pending {
+    std::vector<TwoPcParticipant> participants;
+    std::function<void(Status)> cb;
+    size_t votes_received = 0;
+    bool all_yes = true;
+  };
+
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  NodeId node_;
+  bool crash_before_decision_ = false;
+  std::map<uint64_t, std::shared_ptr<Pending>> pending_;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+  uint64_t blocked_ = 0;
+};
+
+/// Shard-formation security analysis (paper Section 3.4.1): sampling a
+/// shard of size s from n nodes of which b are Byzantine, the probability
+/// that the shard contains at least ceil(s * threshold) bad nodes — a
+/// hypergeometric tail. Blockchains must keep this negligible for *every*
+/// shard, which forces large shards and periodic re-formation.
+double ShardFailureProbability(uint32_t n_nodes, uint32_t n_byzantine,
+                               uint32_t shard_size, double threshold);
+
+/// Probability at least one of `num_shards` independent-ish samples fails.
+double AnyShardFailureProbability(uint32_t n_nodes, uint32_t n_byzantine,
+                                  uint32_t shard_size, double threshold,
+                                  uint32_t num_shards);
+
+/// Randomly assigns `nodes` into shards of `shard_size` (sybil-resistant
+/// randomness assumed established by PoW/PoS upstream).
+std::vector<std::vector<NodeId>> RandomShardAssignment(
+    const std::vector<NodeId>& nodes, uint32_t shard_size, Rng* rng);
+
+}  // namespace dicho::sharding
+
+#endif  // DICHO_SHARDING_TWO_PC_H_

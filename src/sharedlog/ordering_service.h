@@ -1,0 +1,100 @@
+#ifndef DICHO_SHAREDLOG_ORDERING_SERVICE_H_
+#define DICHO_SHAREDLOG_ORDERING_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "consensus/raft.h"
+#include "sim/cost_model.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dicho::sharedlog {
+
+using sim::NodeId;
+using sim::Time;
+
+struct OrderingConfig {
+  /// Block cut parameters (Fabric: BatchTimeout / MaxMessageCount).
+  Time batch_timeout = 250 * sim::kMs;
+  size_t max_block_txns = 500;
+  consensus::RaftConfig raft;
+};
+
+/// An ordered block of opaque envelopes, as delivered to peers.
+struct OrderedBlock {
+  uint64_t number = 0;
+  std::vector<std::string> envelopes;
+
+  uint64_t ByteSize() const {
+    uint64_t total = 64;
+    for (const auto& e : envelopes) total += e.size();
+    return total;
+  }
+};
+
+/// Fabric's ordering service: a small fixed group of orderers (three in the
+/// paper's setup) that runs Raft among itself, batches client envelopes into
+/// blocks, and streams the block sequence to subscribed peers. From the
+/// peers' perspective this is a *shared log* — they consume a totally
+/// ordered block stream without participating in consensus, which is why
+/// peer count does not add consensus cost in Fabric (paper Section 5.2.2).
+class OrderingService {
+ public:
+  using DeliverFn = std::function<void(const OrderedBlock&)>;
+
+  OrderingService(sim::Simulator* sim, sim::SimNetwork* net,
+                  const sim::CostModel* costs, std::vector<NodeId> orderer_ids,
+                  OrderingConfig config);
+
+  /// Elects the Raft leader among the orderers; call before submitting.
+  void Start();
+
+  /// Submits one envelope from node `from`; `cb` fires once the envelope is
+  /// cut into a block and that block commits in the orderer Raft group.
+  void Submit(NodeId from, std::string envelope, std::function<void(Status)> cb);
+
+  /// Registers a peer to receive every block, in order, over the network.
+  void Subscribe(NodeId peer, DeliverFn fn);
+
+  uint64_t blocks_cut() const { return blocks_cut_; }
+  bool HasLeader() const;
+
+ private:
+  struct PendingEnvelope {
+    std::string envelope;
+    std::function<void(Status)> cb;
+  };
+  struct Subscriber {
+    NodeId node;
+    DeliverFn fn;
+  };
+
+  void ArmBatchTimer();
+  void CutBlock();
+  void OnBlockCommitted(const std::string& serialized);
+  consensus::RaftNode* Leader();
+
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  std::vector<NodeId> orderer_ids_;
+  OrderingConfig config_;
+  std::unique_ptr<consensus::RaftCluster> raft_;
+  std::vector<PendingEnvelope> queue_;
+  std::vector<Subscriber> subscribers_;
+  uint64_t next_block_number_ = 0;
+  uint64_t blocks_cut_ = 0;
+  bool timer_armed_ = false;
+};
+
+/// Serialization helpers for blocks traveling through the orderer Raft log.
+std::string SerializeOrderedBlock(const OrderedBlock& block);
+bool DeserializeOrderedBlock(const std::string& data, OrderedBlock* block);
+
+}  // namespace dicho::sharedlog
+
+#endif  // DICHO_SHAREDLOG_ORDERING_SERVICE_H_

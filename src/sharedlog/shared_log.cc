@@ -1,0 +1,68 @@
+#include "sharedlog/shared_log.h"
+
+namespace dicho::sharedlog {
+
+SharedLog::SharedLog(sim::Simulator* sim, sim::SimNetwork* net, NodeId broker,
+                     SharedLogConfig config)
+    : sim_(sim), net_(net), broker_(broker), config_(config), cpu_(sim) {}
+
+void SharedLog::Append(NodeId from, std::string record, AppendCallback cb) {
+  uint64_t bytes = 64 + record.size();
+  net_->Send(from, broker_, bytes,
+             [this, from, record = std::move(record), cb = std::move(cb)]() mutable {
+               cpu_.Submit(config_.append_cost_us, [this, from,
+                                                    record = std::move(record),
+                                                    cb = std::move(cb)]() mutable {
+                 log_.push_back(std::move(record));
+                 uint64_t offset = log_.size() - 1;
+                 if (!tick_armed_) {
+                   tick_armed_ = true;
+                   sim_->Schedule(config_.delivery_interval,
+                                  [this] { DeliveryTick(); });
+                 }
+                 if (cb) {
+                   net_->Send(broker_, from, 48,
+                              [cb = std::move(cb), offset] {
+                                cb(Status::Ok(), offset);
+                              });
+                 }
+               });
+             });
+}
+
+void SharedLog::Subscribe(NodeId subscriber, DeliverFn fn) {
+  subscribers_.push_back(Subscriber{subscriber, std::move(fn), 0});
+  if (!tick_armed_ && !log_.empty()) {
+    tick_armed_ = true;
+    sim_->Schedule(config_.delivery_interval, [this] { DeliveryTick(); });
+  }
+}
+
+void SharedLog::DeliveryTick() {
+  tick_armed_ = false;
+  bool backlog = false;
+  for (auto& sub : subscribers_) {
+    // Ship this subscriber's backlog as one batched push.
+    if (sub.next_offset >= log_.size()) continue;
+    uint64_t begin = sub.next_offset;
+    uint64_t end = log_.size();
+    uint64_t bytes = 64;
+    for (uint64_t i = begin; i < end; i++) bytes += log_[i].size();
+    DeliverFn fn = sub.fn;
+    net_->Send(broker_, sub.node, bytes, [this, fn, begin, end] {
+      for (uint64_t i = begin; i < end; i++) {
+        fn(i, log_[i]);
+      }
+    });
+    sub.next_offset = end;
+    backlog = true;
+  }
+  (void)backlog;
+  // Keep ticking while there are subscribers (new records keep flowing).
+  if (!subscribers_.empty()) {
+    tick_armed_ = true;
+    sim_->Schedule(config_.delivery_interval, [this] { DeliveryTick(); });
+  }
+}
+
+}  // namespace dicho::sharedlog

@@ -1,0 +1,64 @@
+#ifndef DICHO_SIM_CPU_H_
+#define DICHO_SIM_CPU_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.h"
+
+namespace dicho::sim {
+
+/// A serial service station: models one execution thread of a node (e.g.,
+/// the block-validation thread in Fabric, the EVM in Quorum, a TiKV apply
+/// thread). Jobs are served FIFO; queueing delay emerges naturally when the
+/// offered load exceeds capacity — this is exactly the mechanism behind the
+/// paper's Fig. 8a (validation latency blow-up when Fabric saturates).
+class CpuResource {
+ public:
+  explicit CpuResource(Simulator* sim) : sim_(sim) {}
+
+  CpuResource(const CpuResource&) = delete;
+  CpuResource& operator=(const CpuResource&) = delete;
+
+  /// Enqueues a job needing `service_time`; `done` fires when it completes.
+  void Submit(Time service_time, std::function<void()> done) {
+    Time start = busy_until_ > sim_->Now() ? busy_until_ : sim_->Now();
+    busy_until_ = start + service_time;
+    total_busy_ += service_time;
+    outstanding_++;
+    sim_->ScheduleAt(busy_until_, [this, done = std::move(done)]() {
+      outstanding_--;
+      done();
+    });
+  }
+
+  /// Wall-clock instant the queue drains if nothing else is submitted.
+  Time busy_until() const { return busy_until_; }
+
+  /// Jobs submitted but not yet completed (queued + in service).
+  uint64_t outstanding() const { return outstanding_; }
+
+  /// Current queueing delay a new job would see before starting service.
+  Time backlog() const {
+    return busy_until_ > sim_->Now() ? busy_until_ - sim_->Now() : 0;
+  }
+
+  /// Total virtual time spent serving jobs (utilization accounting).
+  Time total_busy() const { return total_busy_; }
+
+  /// Drops all queued work accounting (crash): jobs already scheduled still
+  /// fire their callbacks, so components must guard with their own epoch
+  /// checks; this only resets the backlog so a restarted node is not stuck
+  /// behind pre-crash work.
+  void ResetBacklog() { busy_until_ = sim_->Now(); }
+
+ private:
+  Simulator* sim_;
+  Time busy_until_ = 0;
+  Time total_busy_ = 0;
+  uint64_t outstanding_ = 0;
+};
+
+}  // namespace dicho::sim
+
+#endif  // DICHO_SIM_CPU_H_

@@ -1,0 +1,79 @@
+#include "sim/network.h"
+
+namespace dicho::sim {
+
+namespace {
+constexpr int kNoGroup = -1;
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, uint64_t size_bytes,
+                      std::function<void()> handler) {
+  messages_sent_++;
+  bytes_sent_ += size_bytes;
+  bytes_by_sender_[from] += size_bytes;
+
+  if (IsDown(from)) return;  // sender crashed mid-send: message lost
+  if (config_.drop_rate > 0 && sim_->rng()->Bernoulli(config_.drop_rate)) {
+    return;
+  }
+
+  // Serialize on the sender's NIC: transmission begins when the uplink
+  // frees up and occupies it for size/bandwidth.
+  Time transmit = static_cast<Time>(size_bytes) / config_.bandwidth_bytes_per_us;
+  Time& egress = egress_busy_until_[from];
+  Time start = egress > sim_->Now() ? egress : sim_->Now();
+  egress = start + transmit;
+  Time delay = (egress - sim_->Now()) + config_.base_latency_us;
+  if (config_.jitter_us > 0) {
+    delay += sim_->rng()->NextDouble() * config_.jitter_us;
+  }
+
+  // Partition and crash state are re-checked at delivery time so that messages
+  // in flight when a failure is injected are affected too.
+  sim_->Schedule(delay, [this, from, to, handler = std::move(handler)]() {
+    if (IsDown(to)) return;
+    if (!CanCommunicate(from, to)) return;
+    messages_delivered_++;
+    handler();
+  });
+}
+
+void SimNetwork::SetNodeDown(NodeId node, bool down) {
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
+
+void SimNetwork::Partition(const std::vector<std::vector<NodeId>>& groups) {
+  partitioned_ = true;
+  group_of_.clear();
+  for (size_t g = 0; g < groups.size(); g++) {
+    for (NodeId n : groups[g]) {
+      if (group_of_.size() <= n) group_of_.resize(n + 1, kNoGroup);
+      group_of_[n] = static_cast<int>(g);
+    }
+  }
+}
+
+void SimNetwork::HealPartition() {
+  partitioned_ = false;
+  group_of_.clear();
+}
+
+Time SimNetwork::EgressBacklog(NodeId node) const {
+  auto it = egress_busy_until_.find(node);
+  if (it == egress_busy_until_.end() || it->second <= sim_->Now()) return 0;
+  return it->second - sim_->Now();
+}
+
+bool SimNetwork::CanCommunicate(NodeId a, NodeId b) const {
+  if (!partitioned_) return true;
+  int ga = a < group_of_.size() ? group_of_[a] : kNoGroup;
+  int gb = b < group_of_.size() ? group_of_[b] : kNoGroup;
+  if (ga == kNoGroup || gb == kNoGroup) return true;
+  return ga == gb;
+}
+
+}  // namespace dicho::sim

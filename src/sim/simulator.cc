@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+namespace dicho::sim {
+
+uint64_t Simulator::RunUntil(Time t) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the closure handle (cheap shared state) then pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    n++;
+    executed_++;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+uint64_t Simulator::Run(uint64_t max_events) {
+  uint64_t n = 0;
+  while (!queue_.empty() && n < max_events) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    n++;
+    executed_++;
+  }
+  return n;
+}
+
+}  // namespace dicho::sim

@@ -1,0 +1,81 @@
+#ifndef DICHO_SIM_SIMULATOR_H_
+#define DICHO_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dicho::sim {
+
+/// Virtual time in microseconds.
+using Time = double;
+
+constexpr Time kUs = 1.0;
+constexpr Time kMs = 1000.0;
+constexpr Time kSec = 1000000.0;
+
+/// Deterministic discrete-event simulator. All distributed components in
+/// dicho (consensus protocols, networks, system pipelines) are event-driven
+/// state machines scheduled here; a run with the same seed replays
+/// identically. Single-threaded by design — determinism is what lets the
+/// safety property tests enumerate failure schedules.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 42) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time Now() const { return now_; }
+  Rng* rng() { return &rng_; }
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to 0.
+  void Schedule(Time delay, std::function<void()> fn) {
+    ScheduleAt(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  void ScheduleAt(Time t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs events until the queue drains or virtual time would exceed `t`.
+  /// Returns the number of events executed.
+  uint64_t RunUntil(Time t);
+
+  /// Runs events for `d` of virtual time from now.
+  uint64_t RunFor(Time d) { return RunUntil(now_ + d); }
+
+  /// Runs until the event queue is empty (or the safety cap of
+  /// `max_events` fires — runaway protection for tests).
+  uint64_t Run(uint64_t max_events = UINT64_MAX);
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;  // tie-break for determinism
+    std::function<void()> fn;
+  };
+  struct EventGreater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventGreater> queue_;
+};
+
+}  // namespace dicho::sim
+
+#endif  // DICHO_SIM_SIMULATOR_H_

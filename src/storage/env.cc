@@ -1,0 +1,252 @@
+#include "storage/env.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+namespace dicho::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+struct MemFileMap {
+  std::map<std::string, std::shared_ptr<std::string>> files;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<std::string> contents)
+      : contents_(std::move(contents)) {}
+
+  Status Append(const Slice& data) override {
+    contents_->append(data.data(), data.size());
+    return Status::Ok();
+  }
+  Status Sync() override { return Status::Ok(); }
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  std::shared_ptr<std::string> contents_;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<std::string> contents)
+      : contents_(std::move(contents)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              std::string* /*scratch*/) const override {
+    if (offset > contents_->size()) {
+      return Status::IoError("read past end of file");
+    }
+    size_t avail = contents_->size() - offset;
+    if (n > avail) n = avail;
+    *result = Slice(contents_->data() + offset, n);
+    return Status::Ok();
+  }
+
+  uint64_t Size() const override { return contents_->size(); }
+
+ private:
+  std::shared_ptr<std::string> contents_;
+};
+
+class MemEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& name,
+                         std::unique_ptr<WritableFile>* file) override {
+    auto contents = std::make_shared<std::string>();
+    files_.files[name] = contents;
+    *file = std::make_unique<MemWritableFile>(contents);
+    return Status::Ok();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& name,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    auto it = files_.files.find(name);
+    if (it == files_.files.end()) return Status::NotFound(name);
+    *file = std::make_unique<MemRandomAccessFile>(it->second);
+    return Status::Ok();
+  }
+
+  Status ReadFileToString(const std::string& name, std::string* data) override {
+    auto it = files_.files.find(name);
+    if (it == files_.files.end()) return Status::NotFound(name);
+    *data = *it->second;
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& name) override {
+    return files_.files.count(name) > 0;
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    if (files_.files.erase(name) == 0) return Status::NotFound(name);
+    return Status::Ok();
+  }
+
+  Status ListFiles(const std::string& dir,
+                   std::vector<std::string>* names) override {
+    names->clear();
+    std::string prefix = dir;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    for (const auto& [name, _] : files_.files) {
+      if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = name.substr(prefix.size());
+        if (rest.find('/') == std::string::npos) names->push_back(rest);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CreateDirIfMissing(const std::string& /*dir*/) override {
+    return Status::Ok();
+  }
+
+ private:
+  MemFileMap files_;
+};
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+// ---------------------------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(FILE* f) : f_(f) {}
+  ~PosixWritableFile() override {
+    if (f_ != nullptr) fclose(f_);
+  }
+
+  Status Append(const Slice& data) override {
+    if (fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::IoError("fwrite failed");
+    }
+    return Status::Ok();
+  }
+  Status Sync() override {
+    if (fflush(f_) != 0) return Status::IoError("fflush failed");
+    return Status::Ok();
+  }
+  Status Close() override {
+    if (f_ != nullptr) {
+      int r = fclose(f_);
+      f_ = nullptr;
+      if (r != 0) return Status::IoError("fclose failed");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  FILE* f_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(FILE* f, uint64_t size) : f_(f), size_(size) {}
+  ~PosixRandomAccessFile() override {
+    if (f_ != nullptr) fclose(f_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              std::string* scratch) const override {
+    scratch->resize(n);
+    if (fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("fseek failed");
+    }
+    size_t got = fread(scratch->data(), 1, n, f_);
+    scratch->resize(got);
+    *result = Slice(*scratch);
+    return Status::Ok();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  FILE* f_;
+  uint64_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& name,
+                         std::unique_ptr<WritableFile>* file) override {
+    FILE* f = fopen(name.c_str(), "wb");
+    if (f == nullptr) return Status::IoError("cannot open " + name);
+    *file = std::make_unique<PosixWritableFile>(f);
+    return Status::Ok();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& name,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    FILE* f = fopen(name.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound(name);
+    fseek(f, 0, SEEK_END);
+    uint64_t size = static_cast<uint64_t>(ftell(f));
+    *file = std::make_unique<PosixRandomAccessFile>(f, size);
+    return Status::Ok();
+  }
+
+  Status ReadFileToString(const std::string& name, std::string* data) override {
+    FILE* f = fopen(name.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound(name);
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    data->resize(static_cast<size_t>(size));
+    size_t got = fread(data->data(), 1, data->size(), f);
+    fclose(f);
+    if (got != data->size()) return Status::IoError("short read on " + name);
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& name) override {
+    struct stat st;
+    return stat(name.c_str(), &st) == 0;
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    if (remove(name.c_str()) != 0) return Status::IoError("remove " + name);
+    return Status::Ok();
+  }
+
+  Status ListFiles(const std::string& dir,
+                   std::vector<std::string>* names) override {
+    names->clear();
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return Status::IoError("opendir " + dir);
+    struct dirent* entry;
+    while ((entry = readdir(d)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names->push_back(name);
+    }
+    closedir(d);
+    return Status::Ok();
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (mkdir(dir.c_str(), 0755) != 0) {
+      struct stat st;
+      if (stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        return Status::Ok();
+      }
+      return Status::IoError("mkdir " + dir);
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+std::unique_ptr<Env> NewPosixEnv() { return std::make_unique<PosixEnv>(); }
+
+}  // namespace dicho::storage

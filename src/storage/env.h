@@ -1,0 +1,62 @@
+#ifndef DICHO_STORAGE_ENV_H_
+#define DICHO_STORAGE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace dicho::storage {
+
+/// Append-only file handle (WAL, SSTable under construction).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Positioned-read file handle (SSTable).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to n bytes at `offset` into *result (backed by *scratch when
+  /// the implementation needs a copy).
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      std::string* scratch) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Filesystem abstraction in the LevelDB idiom. MemEnv keeps files in RAM —
+/// the default for simulations and tests (including crash-recovery tests,
+/// which "reopen" a database against the same MemEnv). PosixEnv hits the
+/// real filesystem.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewWritableFile(const std::string& name,
+                                 std::unique_ptr<WritableFile>* file) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& name, std::unique_ptr<RandomAccessFile>* file) = 0;
+  virtual Status ReadFileToString(const std::string& name,
+                                  std::string* data) = 0;
+  virtual bool FileExists(const std::string& name) = 0;
+  virtual Status DeleteFile(const std::string& name) = 0;
+  virtual Status ListFiles(const std::string& dir,
+                           std::vector<std::string>* names) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+};
+
+/// In-memory Env; files live in a map owned by the Env instance.
+std::unique_ptr<Env> NewMemEnv();
+
+/// Real-filesystem Env (stdio-based).
+std::unique_ptr<Env> NewPosixEnv();
+
+}  // namespace dicho::storage
+
+#endif  // DICHO_STORAGE_ENV_H_

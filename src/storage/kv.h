@@ -1,0 +1,76 @@
+#ifndef DICHO_STORAGE_KV_H_
+#define DICHO_STORAGE_KV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace dicho::storage {
+
+/// Forward iterator over an ordered key space, positioned on key/value pairs.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  /// Pre-condition for key()/value(): Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+};
+
+/// An atomically applied batch of updates (RocksDB WriteBatch idiom).
+class WriteBatch {
+ public:
+  void Put(const Slice& key, const Slice& value) {
+    ops_.push_back({OpType::kPut, key.ToString(), value.ToString()});
+  }
+  void Delete(const Slice& key) {
+    ops_.push_back({OpType::kDelete, key.ToString(), ""});
+  }
+  void Clear() { ops_.clear(); }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  enum class OpType : uint8_t { kPut = 0, kDelete = 1 };
+  struct Op {
+    OpType type;
+    std::string key;
+    std::string value;
+  };
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// Ordered key-value store interface implemented by the LSM engine, the
+/// B+-tree engine, and the trivial map-backed baseline. System compositions
+/// program against this, which is what lets Table 2's "Index (Storage
+/// Engine)" column be a pluggable choice.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+  virtual Status Write(const WriteBatch& batch) = 0;
+  /// Iterator over live (non-deleted) entries in key order. The iterator
+  /// observes a snapshot taken at creation time where the engine supports
+  /// snapshots; otherwise behaviour under concurrent mutation is undefined.
+  virtual std::unique_ptr<Iterator> NewIterator() = 0;
+
+  /// Approximate resident bytes of keys+values (storage-cost experiments).
+  virtual uint64_t ApproximateSize() const = 0;
+};
+
+}  // namespace dicho::storage
+
+#endif  // DICHO_STORAGE_KV_H_

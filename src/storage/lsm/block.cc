@@ -1,0 +1,151 @@
+#include "storage/lsm/block.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace dicho::storage::lsm {
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  assert(!finished_);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    // Shared prefix with the previous key.
+    size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) shared++;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  size_t non_shared = key.size() - shared;
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, non_shared);
+  counter_++;
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t r : restarts_) {
+    PutFixed32(&buffer_, r);
+  }
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  last_key_.clear();
+  finished_ = false;
+}
+
+Block::Block(std::string contents) : data_(std::move(contents)) {
+  if (data_.size() < 4) {
+    num_restarts_ = 0;
+    restarts_offset_ = 0;
+    return;
+  }
+  num_restarts_ = DecodeFixed32(data_.data() + data_.size() - 4);
+  uint64_t trailer = 4 + static_cast<uint64_t>(num_restarts_) * 4;
+  if (trailer > data_.size()) {  // corrupt
+    num_restarts_ = 0;
+    restarts_offset_ = 0;
+    return;
+  }
+  restarts_offset_ = static_cast<uint32_t>(data_.size() - trailer);
+}
+
+Block::Iter::Iter(const Block* block)
+    : block_(block),
+      num_restarts_(block->num_restarts_),
+      restarts_offset_(block->restarts_offset_),
+      current_(restarts_offset_) {}
+
+uint32_t Block::Iter::RestartPoint(uint32_t index) const {
+  return DecodeFixed32(block_->data_.data() + restarts_offset_ + 4 * index);
+}
+
+void Block::Iter::SeekToRestart(uint32_t index) {
+  key_.clear();
+  current_ = RestartPoint(index);
+  next_ = current_;
+  ParseCurrent();
+}
+
+bool Block::Iter::ParseCurrent() {
+  current_ = next_;
+  if (current_ >= restarts_offset_) {
+    current_ = restarts_offset_;
+    return false;
+  }
+  Slice input(block_->data_.data() + current_, restarts_offset_ - current_);
+  uint32_t shared, non_shared, value_len;
+  if (!GetVarint32(&input, &shared) || !GetVarint32(&input, &non_shared) ||
+      !GetVarint32(&input, &value_len) ||
+      input.size() < non_shared + value_len || shared > key_.size()) {
+    current_ = restarts_offset_;  // treat corruption as end
+    return false;
+  }
+  key_.resize(shared);
+  key_.append(input.data(), non_shared);
+  value_ = Slice(input.data() + non_shared, value_len);
+  next_ = static_cast<uint32_t>(value_.data() + value_len -
+                                block_->data_.data());
+  return true;
+}
+
+void Block::Iter::SeekToFirst() {
+  if (num_restarts_ == 0) {
+    current_ = restarts_offset_;
+    return;
+  }
+  SeekToRestart(0);
+}
+
+void Block::Iter::Next() {
+  assert(Valid());
+  ParseCurrent();
+}
+
+void Block::Iter::Seek(const Slice& target) {
+  if (num_restarts_ == 0) {
+    current_ = restarts_offset_;
+    return;
+  }
+  // Binary search over restart points: find the last restart whose key is
+  // < target, then scan forward.
+  uint32_t left = 0, right = num_restarts_ - 1;
+  while (left < right) {
+    uint32_t mid = (left + right + 1) / 2;
+    // Parse the full key at the restart point (shared == 0 there).
+    uint32_t offset = RestartPoint(mid);
+    Slice input(block_->data_.data() + offset, restarts_offset_ - offset);
+    uint32_t shared, non_shared, value_len;
+    if (!GetVarint32(&input, &shared) || !GetVarint32(&input, &non_shared) ||
+        !GetVarint32(&input, &value_len)) {
+      current_ = restarts_offset_;
+      return;
+    }
+    Slice restart_key(input.data(), non_shared);
+    if (CompareInternalKey(restart_key, target) < 0) {
+      left = mid;
+    } else {
+      right = mid - 1;
+    }
+  }
+  SeekToRestart(left);
+  while (Valid() && CompareInternalKey(Slice(key_), target) < 0) {
+    ParseCurrent();
+  }
+}
+
+}  // namespace dicho::storage::lsm

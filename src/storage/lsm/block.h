@@ -1,0 +1,98 @@
+#ifndef DICHO_STORAGE_LSM_BLOCK_H_
+#define DICHO_STORAGE_LSM_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "storage/kv.h"
+#include "storage/lsm/format.h"
+
+namespace dicho::storage::lsm {
+
+/// Builds a sorted block with shared-prefix key compression and restart
+/// points (LevelDB block format):
+///   entry: varint32 shared | varint32 non_shared | varint32 value_len |
+///          key_delta | value
+///   trailer: fixed32 restart_offset * n | fixed32 n
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16)
+      : restart_interval_(restart_interval) {
+    restarts_.push_back(0);
+  }
+
+  /// Keys must be added in strictly increasing order (by the caller's
+  /// comparator).
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart trailer and returns the finished block contents.
+  Slice Finish();
+
+  void Reset();
+  size_t CurrentSizeEstimate() const {
+    return buffer_.size() + restarts_.size() * 4 + 4;
+  }
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  std::string last_key_;
+  bool finished_ = false;
+};
+
+/// Immutable parsed block; iterates entries and supports Seek via binary
+/// search over restart points. Keys compare with CompareInternalKey.
+class Block {
+ public:
+  /// Takes ownership of the block contents.
+  explicit Block(std::string contents);
+
+  size_t size() const { return data_.size(); }
+
+  class Iter : public storage::Iterator {
+   public:
+    explicit Iter(const Block* block);
+
+    bool Valid() const override { return current_ < restarts_offset_; }
+    void SeekToFirst() override;
+    void Seek(const Slice& target) override;
+    void Next() override;
+    Slice key() const override { return Slice(key_); }
+    Slice value() const override { return value_; }
+
+   private:
+    void SeekToRestart(uint32_t index);
+    /// Parses the entry at current_, filling key_/value_; returns false on
+    /// corruption or end.
+    bool ParseCurrent();
+    uint32_t RestartPoint(uint32_t index) const;
+
+    const Block* block_;
+    uint32_t num_restarts_;
+    uint32_t restarts_offset_;  // where the trailer begins == end of entries
+    uint32_t current_ = 0;      // offset of current entry
+    uint32_t next_ = 0;         // offset just past current entry
+    std::string key_;
+    Slice value_;
+  };
+
+  std::unique_ptr<Iter> NewIterator() const {
+    return std::make_unique<Iter>(this);
+  }
+
+ private:
+  friend class Iter;
+  std::string data_;
+  uint32_t num_restarts_;
+  uint32_t restarts_offset_;
+};
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_BLOCK_H_

@@ -1,0 +1,70 @@
+#include "storage/lsm/bloom.h"
+
+namespace dicho::storage::lsm {
+namespace {
+
+// 32-bit FNV-style hash with seed, adequate for bloom probing.
+uint32_t BloomHash(const Slice& key, uint32_t seed) {
+  uint32_t h = seed ^ 0x811C9DC5u;
+  for (size_t i = 0; i < key.size(); i++) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 0x01000193u;
+  }
+  // Final avalanche.
+  h ^= h >> 16;
+  h *= 0x85EBCA6Bu;
+  h ^= h >> 13;
+  return h;
+}
+
+}  // namespace
+
+BloomFilterPolicy::BloomFilterPolicy(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // k = bits_per_key * ln(2), clamped to [1, 30].
+  k_ = static_cast<int>(bits_per_key * 0.69);
+  if (k_ < 1) k_ = 1;
+  if (k_ > 30) k_ = 30;
+}
+
+void BloomFilterPolicy::CreateFilter(const std::vector<Slice>& keys,
+                                     std::string* dst) const {
+  size_t bits = keys.size() * static_cast<size_t>(bits_per_key_);
+  if (bits < 64) bits = 64;
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  const size_t init_size = dst->size();
+  dst->resize(init_size + bytes, 0);
+  dst->push_back(static_cast<char>(k_));  // probes recorded in the filter
+  char* array = dst->data() + init_size;
+
+  for (const Slice& key : keys) {
+    // Double hashing: h1 + i*h2.
+    uint32_t h1 = BloomHash(key, 0);
+    uint32_t h2 = BloomHash(key, 0x9E3779B9u) | 1;
+    for (int i = 0; i < k_; i++) {
+      uint32_t bit = (h1 + static_cast<uint32_t>(i) * h2) % bits;
+      array[bit / 8] |= static_cast<char>(1 << (bit % 8));
+    }
+  }
+}
+
+bool BloomFilterPolicy::KeyMayMatch(const Slice& key,
+                                    const Slice& filter) const {
+  if (filter.size() < 2) return true;  // degenerate filter: cannot exclude
+  const size_t bytes = filter.size() - 1;
+  const size_t bits = bytes * 8;
+  const int k = filter[filter.size() - 1];
+  if (k < 1 || k > 30) return true;  // unknown encoding: be conservative
+
+  uint32_t h1 = BloomHash(key, 0);
+  uint32_t h2 = BloomHash(key, 0x9E3779B9u) | 1;
+  for (int i = 0; i < k; i++) {
+    uint32_t bit = (h1 + static_cast<uint32_t>(i) * h2) % bits;
+    if ((filter[bit / 8] & (1 << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dicho::storage::lsm

@@ -1,0 +1,34 @@
+#ifndef DICHO_STORAGE_LSM_BLOOM_H_
+#define DICHO_STORAGE_LSM_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace dicho::storage::lsm {
+
+/// Standard double-hashing bloom filter (the RocksDB/LevelDB construction)
+/// attached to each SSTable so point reads skip tables that cannot contain
+/// the key.
+class BloomFilterPolicy {
+ public:
+  /// `bits_per_key` ~ 10 gives ~1% false positives.
+  explicit BloomFilterPolicy(int bits_per_key = 10);
+
+  /// Serializes a filter over `keys` into *dst (appended).
+  void CreateFilter(const std::vector<Slice>& keys, std::string* dst) const;
+
+  /// May return true for keys not in the set (false positive), never false
+  /// for keys that are.
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const;
+
+ private:
+  int bits_per_key_;
+  int k_;  // number of probes
+};
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_BLOOM_H_

@@ -1,0 +1,666 @@
+#include "storage/lsm/db.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+#include "storage/lsm/merge_iterator.h"
+
+namespace dicho::storage::lsm {
+
+void EncodeBatchPayload(SequenceNumber first_seq, const WriteBatch& batch,
+                        std::string* out) {
+  PutFixed64(out, first_seq);
+  PutFixed32(out, static_cast<uint32_t>(batch.size()));
+  for (const auto& op : batch.ops()) {
+    out->push_back(static_cast<char>(op.type));
+    PutLengthPrefixed(out, op.key);
+    if (op.type == WriteBatch::OpType::kPut) {
+      PutLengthPrefixed(out, op.value);
+    }
+  }
+}
+
+bool DecodeBatchPayload(const Slice& payload, SequenceNumber* first_seq,
+                        WriteBatch* batch) {
+  Slice input = payload;
+  uint64_t seq;
+  uint32_t count;
+  if (!GetFixed64(&input, &seq) || !GetFixed32(&input, &count)) return false;
+  *first_seq = seq;
+  batch->Clear();
+  for (uint32_t i = 0; i < count; i++) {
+    if (input.empty()) return false;
+    auto type = static_cast<WriteBatch::OpType>(input[0]);
+    input.RemovePrefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixed(&input, &key)) return false;
+    if (type == WriteBatch::OpType::kPut) {
+      if (!GetLengthPrefixed(&input, &value)) return false;
+      batch->Put(key, value);
+    } else if (type == WriteBatch::OpType::kDelete) {
+      batch->Delete(key);
+    } else {
+      return false;
+    }
+  }
+  return input.empty();
+}
+
+LsmDb::LsmDb(const LsmOptions& options)
+    : options_(options),
+      env_(options.env),
+      mem_(std::make_unique<MemTable>()),
+      levels_(kNumLevels) {}
+
+Status LsmDb::Open(const LsmOptions& options, std::unique_ptr<LsmDb>* db) {
+  if (options.env == nullptr) {
+    return Status::InvalidArgument("LsmOptions.env is required");
+  }
+  auto d = std::unique_ptr<LsmDb>(new LsmDb(options));
+  Status s = options.env->CreateDirIfMissing(options.path);
+  if (!s.ok()) return s;
+  s = d->Recover();
+  if (!s.ok()) return s;
+  *db = std::move(d);
+  return Status::Ok();
+}
+
+std::string LsmDb::TableFileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06llu.sst", static_cast<unsigned long long>(number));
+  return options_.path + buf;
+}
+
+std::string LsmDb::WalFileName() const { return options_.path + "/wal.log"; }
+std::string LsmDb::ManifestFileName() const {
+  return options_.path + "/MANIFEST";
+}
+
+Status LsmDb::Recover() {
+  // Manifest: full snapshot of the level layout.
+  if (env_->FileExists(ManifestFileName())) {
+    std::string data;
+    Status s = env_->ReadFileToString(ManifestFileName(), &data);
+    if (!s.ok()) return s;
+    Slice input(data);
+    uint64_t num_levels;
+    if (!GetFixed64(&input, &next_file_number_) ||
+        !GetFixed64(&input, &last_seq_) || !GetVarint64(&input, &num_levels) ||
+        num_levels != kNumLevels) {
+      return Status::Corruption("bad manifest header");
+    }
+    for (int level = 0; level < kNumLevels; level++) {
+      uint64_t count;
+      if (!GetVarint64(&input, &count)) return Status::Corruption("manifest");
+      for (uint64_t i = 0; i < count; i++) {
+        FileMeta meta;
+        Slice smallest, largest;
+        if (!GetFixed64(&input, &meta.number) ||
+            !GetFixed64(&input, &meta.size) ||
+            !GetLengthPrefixed(&input, &smallest) ||
+            !GetLengthPrefixed(&input, &largest)) {
+          return Status::Corruption("manifest file entry");
+        }
+        meta.smallest = smallest.ToString();
+        meta.largest = largest.ToString();
+        levels_[level].push_back(meta);
+      }
+    }
+  }
+  Status s = ReplayWal();
+  if (!s.ok()) return s;
+  return NewWal();
+}
+
+Status LsmDb::ReplayWal() {
+  if (!env_->FileExists(WalFileName())) return Status::Ok();
+  std::string contents;
+  Status s = env_->ReadFileToString(WalFileName(), &contents);
+  if (!s.ok()) return s;
+  LogReader reader(std::move(contents));
+  std::string payload;
+  while (reader.ReadRecord(&payload)) {
+    SequenceNumber first_seq;
+    WriteBatch batch;
+    if (!DecodeBatchPayload(payload, &first_seq, &batch)) {
+      return Status::Corruption("bad WAL batch");
+    }
+    // Records already covered by a flushed memtable carry sequences at or
+    // below the manifest's last_seq snapshot... flushes rewrite the WAL, so
+    // every record here is newer than the last flush by construction.
+    ApplyToMem(batch, first_seq);
+    if (first_seq + batch.size() - 1 > last_seq_) {
+      last_seq_ = first_seq + batch.size() - 1;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LsmDb::NewWal() {
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(WalFileName(), &file);
+  if (!s.ok()) return s;
+  wal_ = std::make_unique<LogWriter>(std::move(file));
+  // Re-log the current memtable contents (recovery path) so the fresh WAL
+  // is complete. Simpler than keeping the old WAL: we only reach here with a
+  // small memtable.
+  if (mem_->entry_count() > 0) {
+    auto it = mem_->NewIterator();
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      WriteBatch one;
+      Slice ikey = it->key();
+      if (ExtractValueType(ikey) == ValueType::kDeletion) {
+        one.Delete(ExtractUserKey(ikey));
+      } else {
+        one.Put(ExtractUserKey(ikey), it->value());
+      }
+      std::string payload;
+      EncodeBatchPayload(ExtractSequence(ikey), one, &payload);
+      s = wal_->AddRecord(payload);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LsmDb::PersistManifest() {
+  std::string out;
+  PutFixed64(&out, next_file_number_);
+  PutFixed64(&out, last_seq_);
+  PutVarint64(&out, kNumLevels);
+  for (int level = 0; level < kNumLevels; level++) {
+    PutVarint64(&out, levels_[level].size());
+    for (const auto& meta : levels_[level]) {
+      PutFixed64(&out, meta.number);
+      PutFixed64(&out, meta.size);
+      PutLengthPrefixed(&out, meta.smallest);
+      PutLengthPrefixed(&out, meta.largest);
+    }
+  }
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(ManifestFileName(), &file);
+  if (!s.ok()) return s;
+  s = file->Append(out);
+  if (!s.ok()) return s;
+  return file->Close();
+}
+
+Status LsmDb::Put(const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(batch);
+}
+
+Status LsmDb::Delete(const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Status LsmDb::Write(const WriteBatch& batch) {
+  if (batch.empty()) return Status::Ok();
+  SequenceNumber first_seq = last_seq_ + 1;
+
+  std::string payload;
+  EncodeBatchPayload(first_seq, batch, &payload);
+  Status s = wal_->AddRecord(payload);
+  if (!s.ok()) return s;
+  if (options_.sync_wal) {
+    s = wal_->Sync();
+    if (!s.ok()) return s;
+  }
+
+  s = ApplyToMem(batch, first_seq);
+  if (!s.ok()) return s;
+  last_seq_ = first_seq + batch.size() - 1;
+  for (const auto& op : batch.ops()) {
+    stats_.bytes_ingested += op.key.size() + op.value.size();
+  }
+  return MaybeFlush();
+}
+
+Status LsmDb::ApplyToMem(const WriteBatch& batch, SequenceNumber first_seq) {
+  SequenceNumber seq = first_seq;
+  for (const auto& op : batch.ops()) {
+    mem_->Add(seq, op.type == WriteBatch::OpType::kPut ? ValueType::kValue
+                                                       : ValueType::kDeletion,
+              op.key, op.value);
+    seq++;
+  }
+  return Status::Ok();
+}
+
+Status LsmDb::MaybeFlush() {
+  if (mem_->ApproximateMemoryUsage() < options_.write_buffer_size) {
+    return Status::Ok();
+  }
+  Status s = FlushMemTable();
+  if (!s.ok()) return s;
+  return MaybeCompact();
+}
+
+Status LsmDb::Flush() {
+  if (mem_->entry_count() == 0) return Status::Ok();
+  Status s = FlushMemTable();
+  if (!s.ok()) return s;
+  return MaybeCompact();
+}
+
+Status LsmDb::FlushMemTable() {
+  if (mem_->entry_count() == 0) return Status::Ok();
+  uint64_t number = next_file_number_++;
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(TableFileName(number), &file);
+  if (!s.ok()) return s;
+
+  TableBuilder builder(file.get(), options_.block_size,
+                       options_.bloom_bits_per_key);
+  auto it = mem_->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    builder.Add(it->key(), it->value());
+  }
+  s = builder.Finish();
+  if (!s.ok()) return s;
+  s = file->Close();
+  if (!s.ok()) return s;
+
+  FileMeta meta;
+  meta.number = number;
+  meta.size = builder.file_size();
+  meta.smallest = builder.first_key();
+  meta.largest = builder.last_key();
+  levels_[0].push_back(meta);
+
+  stats_.flushes++;
+  stats_.bytes_written += meta.size;
+
+  mem_ = std::make_unique<MemTable>();
+  // Fresh WAL: flushed writes are durable in the table now.
+  s = NewWal();
+  if (!s.ok()) return s;
+  return PersistManifest();
+}
+
+uint64_t LsmDb::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& meta : levels_[level]) total += meta.size;
+  return total;
+}
+
+uint64_t LsmDb::MaxBytesForLevel(int level) const {
+  uint64_t bytes = options_.level_base_bytes;
+  for (int i = 1; i < level; i++) bytes *= 10;
+  return bytes;
+}
+
+int LsmDb::BottommostOccupiedLevel() const {
+  for (int level = kNumLevels - 1; level >= 0; level--) {
+    if (!levels_[level].empty()) return level;
+  }
+  return 0;
+}
+
+Status LsmDb::MaybeCompact() {
+  while (true) {
+    if (static_cast<int>(levels_[0].size()) >= options_.l0_compaction_trigger) {
+      Status s = CompactLevel(0);
+      if (!s.ok()) return s;
+      continue;
+    }
+    bool did = false;
+    for (int level = 1; level < kNumLevels - 1; level++) {
+      if (LevelBytes(level) > MaxBytesForLevel(level)) {
+        Status s = CompactLevel(level);
+        if (!s.ok()) return s;
+        did = true;
+        break;
+      }
+    }
+    if (!did) return Status::Ok();
+  }
+}
+
+std::vector<FileMeta> LsmDb::OverlappingFiles(int level,
+                                              const Slice& smallest_user,
+                                              const Slice& largest_user) const {
+  std::vector<FileMeta> result;
+  for (const auto& meta : levels_[level]) {
+    Slice file_small = ExtractUserKey(meta.smallest);
+    Slice file_large = ExtractUserKey(meta.largest);
+    if (file_large.Compare(smallest_user) < 0) continue;
+    if (file_small.Compare(largest_user) > 0) continue;
+    result.push_back(meta);
+  }
+  return result;
+}
+
+Status LsmDb::CompactLevel(int level) {
+  std::vector<FileMeta> level_inputs;
+  if (level == 0) {
+    level_inputs = levels_[0];  // L0 files overlap; take all
+  } else {
+    if (levels_[level].empty()) return Status::Ok();
+    size_t idx = compact_ptr_[level] % levels_[level].size();
+    compact_ptr_[level]++;
+    level_inputs.push_back(levels_[level][idx]);
+  }
+  if (level_inputs.empty()) return Status::Ok();
+
+  // Key range of the inputs.
+  std::string smallest = level_inputs[0].smallest;
+  std::string largest = level_inputs[0].largest;
+  for (const auto& meta : level_inputs) {
+    if (CompareInternalKey(meta.smallest, smallest) < 0) {
+      smallest = meta.smallest;
+    }
+    if (CompareInternalKey(meta.largest, largest) > 0) largest = meta.largest;
+  }
+  std::vector<FileMeta> next_inputs = OverlappingFiles(
+      level + 1, ExtractUserKey(smallest), ExtractUserKey(largest));
+
+  return DoCompaction(level_inputs, level, next_inputs, level + 1);
+}
+
+Status LsmDb::DoCompaction(const std::vector<FileMeta>& level_inputs,
+                           int level,
+                           const std::vector<FileMeta>& next_inputs,
+                           int output_level) {
+  // Children newest-first: L0 files newest-last in the vector (appended on
+  // flush) => iterate reversed; then next-level files.
+  std::vector<std::unique_ptr<storage::Iterator>> children;
+  for (auto it = level_inputs.rbegin(); it != level_inputs.rend(); ++it) {
+    Result<Table*> t = GetTable(it->number);
+    if (!t.ok()) return t.status();
+    children.push_back(t.value()->NewIterator());
+  }
+  for (const auto& meta : next_inputs) {
+    Result<Table*> t = GetTable(meta.number);
+    if (!t.ok()) return t.status();
+    children.push_back(t.value()->NewIterator());
+  }
+  MergingIterator merged(std::move(children));
+
+  const bool bottommost = output_level >= BottommostOccupiedLevel();
+
+  std::vector<FileMeta> outputs;
+  std::unique_ptr<WritableFile> out_file;
+  std::unique_ptr<TableBuilder> builder;
+  uint64_t out_number = 0;
+
+  auto open_output = [&]() -> Status {
+    out_number = next_file_number_++;
+    Status s = env_->NewWritableFile(TableFileName(out_number), &out_file);
+    if (!s.ok()) return s;
+    builder = std::make_unique<TableBuilder>(
+        out_file.get(), options_.block_size, options_.bloom_bits_per_key);
+    return Status::Ok();
+  };
+  auto close_output = [&]() -> Status {
+    if (builder == nullptr || builder->num_entries() == 0) {
+      if (out_file != nullptr) {
+        out_file->Close();
+        env_->DeleteFile(TableFileName(out_number));
+      }
+      builder.reset();
+      out_file.reset();
+      return Status::Ok();
+    }
+    Status s = builder->Finish();
+    if (!s.ok()) return s;
+    s = out_file->Close();
+    if (!s.ok()) return s;
+    FileMeta meta;
+    meta.number = out_number;
+    meta.size = builder->file_size();
+    meta.smallest = builder->first_key();
+    meta.largest = builder->last_key();
+    outputs.push_back(meta);
+    stats_.bytes_written += meta.size;
+    builder.reset();
+    out_file.reset();
+    return Status::Ok();
+  };
+
+  std::string current_user_key;
+  bool has_current = false;
+  for (merged.SeekToFirst(); merged.Valid(); merged.Next()) {
+    Slice ikey = merged.key();
+    Slice user_key = ExtractUserKey(ikey);
+    // Keep only the newest version of each user key (no snapshot pinning —
+    // see header contract).
+    if (has_current && user_key == Slice(current_user_key)) continue;
+    current_user_key = user_key.ToString();
+    has_current = true;
+
+    if (bottommost && ExtractValueType(ikey) == ValueType::kDeletion) {
+      continue;  // tombstone reached the bottom: drop it
+    }
+
+    if (builder == nullptr) {
+      Status s = open_output();
+      if (!s.ok()) return s;
+    }
+    builder->Add(ikey, merged.value());
+    if (builder->file_size() >= options_.max_output_file_bytes) {
+      Status s = close_output();
+      if (!s.ok()) return s;
+    }
+  }
+  Status s = close_output();
+  if (!s.ok()) return s;
+
+  // Install: remove inputs, add outputs.
+  auto remove_files = [&](int lvl, const std::vector<FileMeta>& files) {
+    auto& level_files = levels_[lvl];
+    for (const auto& meta : files) {
+      for (size_t i = 0; i < level_files.size(); i++) {
+        if (level_files[i].number == meta.number) {
+          level_files.erase(level_files.begin() + i);
+          break;
+        }
+      }
+      table_cache_.erase(meta.number);
+      env_->DeleteFile(TableFileName(meta.number));
+    }
+  };
+  remove_files(level, level_inputs);
+  remove_files(output_level, next_inputs);
+  auto& out_level_files = levels_[output_level];
+  out_level_files.insert(out_level_files.end(), outputs.begin(), outputs.end());
+  // Keep levels >= 1 sorted by smallest key for readability of debug dumps.
+  if (output_level >= 1) {
+    std::sort(out_level_files.begin(), out_level_files.end(),
+              [](const FileMeta& a, const FileMeta& b) {
+                return CompareInternalKey(a.smallest, b.smallest) < 0;
+              });
+  }
+  stats_.compactions++;
+  return PersistManifest();
+}
+
+Result<Table*> LsmDb::GetTable(uint64_t number) {
+  auto it = table_cache_.find(number);
+  if (it != table_cache_.end()) return it->second.get();
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = env_->NewRandomAccessFile(TableFileName(number), &file);
+  if (!s.ok()) return s;
+  std::unique_ptr<Table> table;
+  s = Table::Open(std::move(file), &table);
+  if (!s.ok()) return s;
+  Table* raw = table.get();
+  table_cache_[number] = std::move(table);
+  return raw;
+}
+
+Status LsmDb::Get(const Slice& key, std::string* value) {
+  return GetAt(key, last_seq_, value);
+}
+
+Status LsmDb::GetAt(const Slice& key, SequenceNumber snapshot,
+                    std::string* value) {
+  stats_.gets++;
+  bool found = false;
+  Status s = mem_->Get(key, snapshot, value, &found);
+  if (found) return s;
+  return GetFromTables(key, snapshot, value, &found);
+}
+
+Status LsmDb::GetFromTables(const Slice& key, SequenceNumber snapshot,
+                            std::string* value, bool* found) {
+  *found = false;
+  std::string lookup = MakeInternalKey(key, snapshot, kValueTypeForSeek);
+
+  auto check_table = [&](const FileMeta& meta) -> Status {
+    // Range prune.
+    if (key.Compare(ExtractUserKey(meta.smallest)) < 0 ||
+        key.Compare(ExtractUserKey(meta.largest)) > 0) {
+      return Status::NotFound();
+    }
+    Result<Table*> t = GetTable(meta.number);
+    if (!t.ok()) return t.status();
+    stats_.table_probes++;
+    uint64_t neg_before = t.value()->bloom_negatives();
+    std::string ikey_found, v;
+    Status s = t.value()->Get(lookup, &ikey_found, &v);
+    if (t.value()->bloom_negatives() > neg_before) stats_.bloom_skips++;
+    if (s.IsNotFound()) return s;
+    if (!s.ok()) return s;
+    // Visible version found (sequence <= snapshot guaranteed by seek key).
+    *found = true;
+    if (ExtractValueType(ikey_found) == ValueType::kDeletion) {
+      return Status::NotFound("tombstone");
+    }
+    *value = std::move(v);
+    return Status::Ok();
+  };
+
+  // L0: newest file first (files appended in flush order).
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    Status s = check_table(*it);
+    if (*found) return s;
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  // Deeper levels: at most one file can contain the key.
+  for (int level = 1; level < kNumLevels; level++) {
+    for (const auto& meta : levels_[level]) {
+      if (key.Compare(ExtractUserKey(meta.smallest)) >= 0 &&
+          key.Compare(ExtractUserKey(meta.largest)) <= 0) {
+        Status s = check_table(meta);
+        if (*found) return s;
+        if (!s.ok() && !s.IsNotFound()) return s;
+      }
+    }
+  }
+  return Status::NotFound();
+}
+
+namespace {
+
+/// Iterator over live user keys at a snapshot: collapses versions, hides
+/// tombstones and entries newer than the snapshot.
+class DbIterator : public storage::Iterator {
+ public:
+  DbIterator(std::unique_ptr<MergingIterator> merged, SequenceNumber snapshot)
+      : merged_(std::move(merged)), snapshot_(snapshot) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    merged_->SeekToFirst();
+    FindNextUserEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    merged_->Seek(MakeInternalKey(target, snapshot_, kValueTypeForSeek));
+    FindNextUserEntry();
+  }
+
+  void Next() override {
+    assert(valid_);
+    SkipRemainingVersions();
+    FindNextUserEntry();
+  }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return Slice(value_); }
+
+ private:
+  void SkipRemainingVersions() {
+    while (merged_->Valid() &&
+           ExtractUserKey(merged_->key()) == Slice(key_)) {
+      merged_->Next();
+    }
+  }
+
+  void FindNextUserEntry() {
+    valid_ = false;
+    while (merged_->Valid()) {
+      Slice ikey = merged_->key();
+      if (ExtractSequence(ikey) > snapshot_) {
+        merged_->Next();
+        continue;
+      }
+      Slice user_key = ExtractUserKey(ikey);
+      if (ExtractValueType(ikey) == ValueType::kDeletion) {
+        // Skip every version of this deleted key.
+        key_ = user_key.ToString();
+        SkipRemainingVersions();
+        continue;
+      }
+      key_ = user_key.ToString();
+      value_ = merged_->value().ToString();
+      valid_ = true;
+      return;
+    }
+  }
+
+  std::unique_ptr<MergingIterator> merged_;
+  SequenceNumber snapshot_;
+  bool valid_ = false;
+  std::string key_;
+  std::string value_;
+};
+
+}  // namespace
+
+std::unique_ptr<storage::Iterator> LsmDb::NewIterator() {
+  std::vector<std::unique_ptr<storage::Iterator>> children;
+  children.push_back(mem_->NewIterator());
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    Result<Table*> t = GetTable(it->number);
+    if (t.ok()) children.push_back(t.value()->NewIterator());
+  }
+  for (int level = 1; level < kNumLevels; level++) {
+    for (const auto& meta : levels_[level]) {
+      Result<Table*> t = GetTable(meta.number);
+      if (t.ok()) children.push_back(t.value()->NewIterator());
+    }
+  }
+  auto merged = std::make_unique<MergingIterator>(std::move(children));
+  return std::make_unique<DbIterator>(std::move(merged), last_seq_);
+}
+
+uint64_t LsmDb::TotalTableBytes() const {
+  uint64_t total = 0;
+  for (int level = 0; level < kNumLevels; level++) total += LevelBytes(level);
+  return total;
+}
+
+uint64_t LsmDb::ApproximateSize() const {
+  return TotalTableBytes() + mem_->ApproximateMemoryUsage();
+}
+
+Status LsmDb::CompactAll() {
+  Status s = Flush();
+  if (!s.ok()) return s;
+  for (int level = 0; level < kNumLevels - 1; level++) {
+    while (!levels_[level].empty()) {
+      s = CompactLevel(level);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dicho::storage::lsm

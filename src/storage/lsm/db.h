@@ -1,0 +1,143 @@
+#ifndef DICHO_STORAGE_LSM_DB_H_
+#define DICHO_STORAGE_LSM_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/kv.h"
+#include "storage/lsm/format.h"
+#include "storage/lsm/memtable.h"
+#include "storage/lsm/sstable.h"
+#include "storage/lsm/wal.h"
+
+namespace dicho::storage::lsm {
+
+struct LsmOptions {
+  Env* env = nullptr;          // required
+  std::string path;            // directory (logical prefix under MemEnv)
+  size_t write_buffer_size = 1 << 20;  // flush memtable beyond this
+  int l0_compaction_trigger = 4;
+  size_t block_size = 4096;
+  int bloom_bits_per_key = 10;
+  uint64_t level_base_bytes = 4ull << 20;  // L1 size target; 10x per level
+  uint64_t max_output_file_bytes = 2ull << 20;
+  bool sync_wal = false;
+};
+
+/// Metadata for one on-disk table.
+struct FileMeta {
+  uint64_t number = 0;
+  uint64_t size = 0;
+  std::string smallest;  // internal keys
+  std::string largest;
+};
+
+/// Counters exposed for the storage experiments and the ablation benches.
+struct LsmStats {
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bytes_written = 0;     // table bytes produced (write amp numerator)
+  uint64_t bytes_ingested = 0;    // user bytes accepted
+  uint64_t gets = 0;
+  uint64_t table_probes = 0;      // tables consulted across all Gets
+  uint64_t bloom_skips = 0;       // probes avoided by bloom filters
+};
+
+/// Log-structured merge-tree storage engine: WAL + skiplist memtable +
+/// leveled SSTables with bloom filters, in the LevelDB/RocksDB architecture.
+/// Flush and compaction run synchronously inside the writing call —
+/// single-threaded by design to stay deterministic under the simulator.
+class LsmDb : public KvStore {
+ public:
+  static Status Open(const LsmOptions& options, std::unique_ptr<LsmDb>* db);
+  ~LsmDb() override = default;
+
+  LsmDb(const LsmDb&) = delete;
+  LsmDb& operator=(const LsmDb&) = delete;
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Write(const WriteBatch& batch) override;
+  std::unique_ptr<storage::Iterator> NewIterator() override;
+  uint64_t ApproximateSize() const override;
+
+  /// Snapshot handle = sequence number; reads at the snapshot see exactly
+  /// the writes applied before GetSnapshot().
+  SequenceNumber GetSnapshot() const { return last_seq_; }
+  Status GetAt(const Slice& key, SequenceNumber snapshot, std::string* value);
+
+  /// Forces the memtable out to L0 (testing / shutdown).
+  Status Flush();
+  /// Compacts everything down to the last occupied level.
+  Status CompactAll();
+
+  const LsmStats& stats() const { return stats_; }
+  int NumFilesAtLevel(int level) const {
+    return static_cast<int>(levels_[level].size());
+  }
+  uint64_t TotalTableBytes() const;
+  SequenceNumber last_sequence() const { return last_seq_; }
+
+  static constexpr int kNumLevels = 7;
+
+ private:
+  explicit LsmDb(const LsmOptions& options);
+
+  Status Recover();
+  Status ReplayWal();
+  Status PersistManifest();
+  Status NewWal();
+
+  Status ApplyToMem(const WriteBatch& batch, SequenceNumber first_seq);
+  Status MaybeFlush();
+  Status FlushMemTable();
+  Status MaybeCompact();
+  Status CompactLevel(int level);
+  /// Merges `inputs` (newest first) into `output_level`, replacing
+  /// `inputs` in the level metadata. Drops shadowed versions; drops
+  /// tombstones when `output_level` is the bottommost occupied level.
+  Status DoCompaction(const std::vector<FileMeta>& level_inputs, int level,
+                      const std::vector<FileMeta>& next_inputs,
+                      int output_level);
+
+  std::vector<FileMeta> OverlappingFiles(int level, const Slice& smallest_user,
+                                         const Slice& largest_user) const;
+  uint64_t LevelBytes(int level) const;
+  uint64_t MaxBytesForLevel(int level) const;
+  int BottommostOccupiedLevel() const;
+
+  Status GetFromTables(const Slice& key, SequenceNumber snapshot,
+                       std::string* value, bool* found);
+  Result<Table*> GetTable(uint64_t number);
+  std::string TableFileName(uint64_t number) const;
+  std::string WalFileName() const;
+  std::string ManifestFileName() const;
+
+  LsmOptions options_;
+  Env* env_;
+  SequenceNumber last_seq_ = 0;
+  uint64_t next_file_number_ = 1;
+
+  std::unique_ptr<MemTable> mem_;
+  std::unique_ptr<LogWriter> wal_;
+  std::vector<std::vector<FileMeta>> levels_;
+  std::map<uint64_t, std::unique_ptr<Table>> table_cache_;
+  size_t compact_ptr_[kNumLevels] = {0};  // round-robin pick per level
+  LsmStats stats_;
+};
+
+/// Serializes a WriteBatch + starting sequence into a WAL payload and back.
+void EncodeBatchPayload(SequenceNumber first_seq, const WriteBatch& batch,
+                        std::string* out);
+bool DecodeBatchPayload(const Slice& payload, SequenceNumber* first_seq,
+                        WriteBatch* batch);
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_DB_H_

@@ -1,0 +1,100 @@
+#ifndef DICHO_STORAGE_LSM_FORMAT_H_
+#define DICHO_STORAGE_LSM_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace dicho::storage::lsm {
+
+/// Sequence numbers order all writes; type distinguishes puts from
+/// tombstones. An *internal key* is `user_key || fixed64(seq << 8 | type)`,
+/// ordered by user key ascending then sequence descending — so the newest
+/// version of a key sorts first (LevelDB layout).
+using SequenceNumber = uint64_t;
+
+constexpr SequenceNumber kMaxSequence = (1ull << 56) - 1;
+
+enum class ValueType : uint8_t {
+  kDeletion = 0,
+  kValue = 1,
+};
+
+/// kValue sorts after kDeletion in the tag so that when seq ties are
+/// impossible anyway this choice is inert; kValueForSeek uses the highest
+/// type so Seek(user_key, seq) positions at or before any entry with that
+/// (key, seq).
+constexpr ValueType kValueTypeForSeek = ValueType::kValue;
+
+inline uint64_t PackTag(SequenceNumber seq, ValueType type) {
+  return (seq << 8) | static_cast<uint8_t>(type);
+}
+
+inline void AppendInternalKey(std::string* dst, const Slice& user_key,
+                              SequenceNumber seq, ValueType type) {
+  dst->append(user_key.data(), user_key.size());
+  PutFixed64(dst, PackTag(seq, type));
+}
+
+inline std::string MakeInternalKey(const Slice& user_key, SequenceNumber seq,
+                                   ValueType type) {
+  std::string s;
+  AppendInternalKey(&s, user_key, seq, type);
+  return s;
+}
+
+/// Pre-condition: ikey.size() >= 8.
+inline Slice ExtractUserKey(const Slice& ikey) {
+  return Slice(ikey.data(), ikey.size() - 8);
+}
+
+inline uint64_t ExtractTag(const Slice& ikey) {
+  return DecodeFixed64(ikey.data() + ikey.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& ikey) {
+  return ExtractTag(ikey) >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& ikey) {
+  return static_cast<ValueType>(ExtractTag(ikey) & 0xff);
+}
+
+/// user key ascending, then sequence (and type) descending.
+inline int CompareInternalKey(const Slice& a, const Slice& b) {
+  int r = ExtractUserKey(a).Compare(ExtractUserKey(b));
+  if (r != 0) return r;
+  uint64_t atag = ExtractTag(a);
+  uint64_t btag = ExtractTag(b);
+  if (atag > btag) return -1;
+  if (atag < btag) return +1;
+  return 0;
+}
+
+struct InternalKeyComparator {
+  int operator()(const Slice& a, const Slice& b) const {
+    return CompareInternalKey(a, b);
+  }
+};
+
+/// Location of a block within an SSTable file.
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, offset);
+    PutVarint64(dst, size);
+  }
+  bool DecodeFrom(Slice* input) {
+    return GetVarint64(input, &offset) && GetVarint64(input, &size);
+  }
+};
+
+constexpr uint64_t kTableMagic = 0xD1C80DB0C0FFEE42ull;
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_FORMAT_H_

@@ -1,0 +1,51 @@
+#include "storage/lsm/memtable.h"
+
+#include "common/coding.h"
+
+namespace dicho::storage::lsm {
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
+                   const Slice& value) {
+  std::string entry;
+  std::string ikey = MakeInternalKey(key, seq, type);
+  PutLengthPrefixed(&entry, ikey);
+  PutLengthPrefixed(&entry, value);
+  mem_usage_ += entry.size() + 32;  // node overhead estimate
+  table_.Insert(entry);
+}
+
+Status MemTable::Get(const Slice& key, SequenceNumber snapshot,
+                     std::string* value, bool* found) const {
+  *found = false;
+  Iterator it(&table_);
+  it.Seek(MakeInternalKey(key, snapshot, kValueTypeForSeek));
+  if (!it.Valid()) return Status::NotFound();
+  Slice ikey = it.key();
+  if (ExtractUserKey(ikey) != key) return Status::NotFound();
+  *found = true;
+  if (ExtractValueType(ikey) == ValueType::kDeletion) {
+    return Status::NotFound("tombstone");
+  }
+  *value = it.value().ToString();
+  return Status::Ok();
+}
+
+void MemTable::Iterator::Seek(const Slice& internal_target) {
+  std::string entry;
+  PutLengthPrefixed(&entry, internal_target);
+  iter_.Seek(entry);
+  Decode();
+}
+
+void MemTable::Iterator::Decode() {
+  if (!iter_.Valid()) {
+    ikey_ = Slice();
+    value_ = Slice();
+    return;
+  }
+  Slice entry(iter_.key());
+  GetLengthPrefixed(&entry, &ikey_);
+  GetLengthPrefixed(&entry, &value_);
+}
+
+}  // namespace dicho::storage::lsm

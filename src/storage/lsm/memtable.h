@@ -1,0 +1,88 @@
+#ifndef DICHO_STORAGE_LSM_MEMTABLE_H_
+#define DICHO_STORAGE_LSM_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/kv.h"
+#include "storage/lsm/format.h"
+#include "storage/lsm/skiplist.h"
+
+namespace dicho::storage::lsm {
+
+/// In-memory write buffer over a skip list of encoded entries. Entry layout:
+///   varint32 internal_key_len | internal_key | varint32 value_len | value
+/// The skip list orders entries by internal key, so all versions of a user
+/// key are adjacent, newest first.
+class MemTable {
+ public:
+  /// Orders encoded entries by the embedded internal key.
+  struct EntryComparator {
+    int operator()(const std::string& a, const std::string& b) const {
+      Slice ia(a), ib(b);
+      Slice ka, kb;
+      GetLengthPrefixed(&ia, &ka);
+      GetLengthPrefixed(&ib, &kb);
+      return CompareInternalKey(ka, kb);
+    }
+  };
+  using Table = SkipList<std::string, EntryComparator>;
+
+  MemTable() : table_(EntryComparator{}) {}
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  /// Looks up the newest version of `key` visible at `snapshot`. Sets *found
+  /// to whether any version (value or tombstone) was seen; returns Ok with
+  /// the value only when the newest visible version is a put.
+  Status Get(const Slice& key, SequenceNumber snapshot, std::string* value,
+             bool* found) const;
+
+  uint64_t ApproximateMemoryUsage() const { return mem_usage_; }
+  size_t entry_count() const { return table_.size(); }
+
+  /// Iterator yielding internal keys + values in internal-key order.
+  class Iterator : public storage::Iterator {
+   public:
+    explicit Iterator(const Table* t) : iter_(t) {}
+
+    bool Valid() const override { return iter_.Valid(); }
+    void SeekToFirst() override {
+      iter_.SeekToFirst();
+      Decode();
+    }
+    void Seek(const Slice& internal_target) override;
+    void Next() override {
+      iter_.Next();
+      Decode();
+    }
+    /// Internal key (user key + tag).
+    Slice key() const override { return ikey_; }
+    Slice value() const override { return value_; }
+
+   private:
+    void Decode();
+    Table::Iterator iter_;
+    Slice ikey_;
+    Slice value_;
+  };
+
+  std::unique_ptr<Iterator> NewIterator() const {
+    return std::make_unique<Iterator>(&table_);
+  }
+
+ private:
+  Table table_;
+  uint64_t mem_usage_ = 0;
+};
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_MEMTABLE_H_

@@ -1,0 +1,60 @@
+#ifndef DICHO_STORAGE_LSM_MERGE_ITERATOR_H_
+#define DICHO_STORAGE_LSM_MERGE_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/kv.h"
+#include "storage/lsm/format.h"
+
+namespace dicho::storage::lsm {
+
+/// K-way merge over child iterators ordered by internal key. When two
+/// children are positioned on equal internal keys (cannot happen for
+/// distinct sequence numbers) the earlier child wins; children should be
+/// supplied newest-source-first.
+class MergingIterator : public storage::Iterator {
+ public:
+  explicit MergingIterator(
+      std::vector<std::unique_ptr<storage::Iterator>> children)
+      : children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+ private:
+  void FindSmallest() {
+    current_ = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (current_ == nullptr ||
+          CompareInternalKey(child->key(), current_->key()) < 0) {
+        current_ = child.get();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<storage::Iterator>> children_;
+  storage::Iterator* current_ = nullptr;
+};
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_MERGE_ITERATOR_H_

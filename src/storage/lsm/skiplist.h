@@ -1,0 +1,133 @@
+#ifndef DICHO_STORAGE_LSM_SKIPLIST_H_
+#define DICHO_STORAGE_LSM_SKIPLIST_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dicho::storage::lsm {
+
+/// Ordered skip list, the memtable's core structure (LevelDB/RocksDB
+/// default). Keys are owned by the list; Comparator is a functor with
+/// `int operator()(const Key&, const Key&)` returning <0/0/>0.
+///
+/// Duplicate keys are the caller's responsibility to avoid (the memtable's
+/// internal keys embed a unique sequence number so duplicates cannot occur).
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  explicit SkipList(Comparator cmp, uint64_t seed = 0xDECAF)
+      : compare_(cmp),
+        rng_(seed),
+        head_(NewNode(Key(), kMaxHeight)),
+        max_height_(1) {}
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+  }
+
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    assert(x == nullptr || compare_(key, x->key) != 0);
+    (void)x;
+
+    int height = RandomHeight();
+    if (height > max_height_) {
+      for (int i = max_height_; i < height; i++) prev[i] = head_;
+      max_height_ = height;
+    }
+    Node* node = NewNode(key, height);
+    for (int i = 0; i < height; i++) {
+      node->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = node;
+    }
+    size_++;
+  }
+
+  bool Contains(const Key& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && compare_(key, x->key) == 0;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Forward iterator; invalidated only by destruction of the list.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->next[0];
+    }
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->next[0]; }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr unsigned int kBranching = 4;
+
+  struct Node {
+    Key key;
+    std::vector<Node*> next;
+    Node(const Key& k, int height) : key(k), next(height, nullptr) {}
+  };
+
+  Node* NewNode(const Key& key, int height) { return new Node(key, height); }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rng_.Uniform(kBranching) == 0) height++;
+    return height;
+  }
+
+  /// First node with key >= target; fills prev[] when non-null.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    while (true) {
+      Node* next = x->next[level];
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        level--;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Rng rng_;
+  Node* const head_;
+  int max_height_;
+  size_t size_ = 0;
+};
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_SKIPLIST_H_

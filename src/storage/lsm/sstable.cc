@@ -1,0 +1,250 @@
+#include "storage/lsm/sstable.h"
+
+#include <cassert>
+#include <functional>
+
+#include "common/coding.h"
+
+namespace dicho::storage::lsm {
+
+TableBuilder::TableBuilder(WritableFile* file, size_t block_size,
+                           int bloom_bits_per_key)
+    : file_(file),
+      block_size_(block_size),
+      bloom_(bloom_bits_per_key),
+      data_block_(),
+      index_block_() {}
+
+void TableBuilder::Add(const Slice& ikey, const Slice& value) {
+  if (num_entries_ == 0) first_key_ = ikey.ToString();
+  if (pending_index_) {
+    // The previous data block ended; index it under its last key now that we
+    // know where the block boundary is.
+    std::string handle_enc;
+    pending_handle_.EncodeTo(&handle_enc);
+    index_block_.Add(pending_index_key_, handle_enc);
+    pending_index_ = false;
+  }
+
+  user_keys_.push_back(ExtractUserKey(ikey).ToString());
+  data_block_.Add(ikey, value);
+  last_key_ = ikey.ToString();
+  num_entries_++;
+
+  if (data_block_.CurrentSizeEstimate() >= block_size_) {
+    FlushDataBlock();
+  }
+}
+
+void TableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return;
+  Slice contents = data_block_.Finish();
+  WriteBlock(contents, &pending_handle_);
+  pending_index_key_ = last_key_;
+  pending_index_ = true;
+  data_block_.Reset();
+}
+
+Status TableBuilder::WriteBlock(const Slice& contents, BlockHandle* handle) {
+  handle->offset = offset_;
+  handle->size = contents.size();
+  Status s = file_->Append(contents);
+  offset_ += contents.size();
+  return s;
+}
+
+Status TableBuilder::Finish() {
+  FlushDataBlock();
+  if (pending_index_) {
+    std::string handle_enc;
+    pending_handle_.EncodeTo(&handle_enc);
+    index_block_.Add(pending_index_key_, handle_enc);
+    pending_index_ = false;
+  }
+
+  // Filter block.
+  std::string filter_contents;
+  std::vector<Slice> key_slices;
+  key_slices.reserve(user_keys_.size());
+  for (const auto& k : user_keys_) key_slices.emplace_back(k);
+  bloom_.CreateFilter(key_slices, &filter_contents);
+  BlockHandle filter_handle;
+  Status s = WriteBlock(filter_contents, &filter_handle);
+  if (!s.ok()) return s;
+
+  // Index block.
+  BlockHandle index_handle;
+  s = WriteBlock(index_block_.Finish(), &index_handle);
+  if (!s.ok()) return s;
+
+  // Footer: fixed-size would be simpler but varint handles are fine if we
+  // pad to a fixed 48-byte footer.
+  std::string footer;
+  filter_handle.EncodeTo(&footer);
+  index_handle.EncodeTo(&footer);
+  footer.resize(40);  // pad handles region
+  PutFixed64(&footer, kTableMagic);
+  s = file_->Append(footer);
+  if (!s.ok()) return s;
+  offset_ += footer.size();
+  return file_->Sync();
+}
+
+Status Table::Open(std::unique_ptr<RandomAccessFile> file,
+                   std::unique_ptr<Table>* table) {
+  uint64_t size = file->Size();
+  if (size < 48) return Status::Corruption("table too small");
+
+  std::string scratch;
+  Slice footer;
+  Status s = file->Read(size - 48, 48, &footer, &scratch);
+  if (!s.ok()) return s;
+  if (footer.size() != 48) return Status::Corruption("bad footer length");
+  uint64_t magic = DecodeFixed64(footer.data() + 40);
+  if (magic != kTableMagic) return Status::Corruption("bad table magic");
+
+  Slice handles(footer.data(), 40);
+  BlockHandle filter_handle, index_handle;
+  if (!filter_handle.DecodeFrom(&handles) ||
+      !index_handle.DecodeFrom(&handles)) {
+    return Status::Corruption("bad block handles");
+  }
+
+  auto t = std::unique_ptr<Table>(new Table());
+  t->file_ = std::move(file);
+
+  s = t->ReadBlockContents(filter_handle, &t->filter_);
+  if (!s.ok()) return s;
+  std::string index_contents;
+  s = t->ReadBlockContents(index_handle, &index_contents);
+  if (!s.ok()) return s;
+  t->index_ = std::make_unique<Block>(std::move(index_contents));
+
+  *table = std::move(t);
+  return Status::Ok();
+}
+
+Status Table::ReadBlockContents(const BlockHandle& handle,
+                                std::string* out) const {
+  std::string scratch;
+  Slice result;
+  Status s = file_->Read(handle.offset, handle.size, &result, &scratch);
+  if (!s.ok()) return s;
+  if (result.size() != handle.size) return Status::Corruption("short block read");
+  *out = result.ToString();
+  return Status::Ok();
+}
+
+Status Table::Get(const Slice& ikey, std::string* ikey_found,
+                  std::string* value) {
+  if (!bloom_.KeyMayMatch(ExtractUserKey(ikey), filter_)) {
+    bloom_negatives_++;
+    return Status::NotFound();
+  }
+  auto index_iter = index_->NewIterator();
+  index_iter->Seek(ikey);
+  if (!index_iter->Valid()) return Status::NotFound();
+
+  BlockHandle handle;
+  Slice handle_slice = index_iter->value();
+  if (!handle.DecodeFrom(&handle_slice)) {
+    return Status::Corruption("bad index entry");
+  }
+  std::string contents;
+  Status s = ReadBlockContents(handle, &contents);
+  if (!s.ok()) return s;
+  Block block(std::move(contents));
+  auto it = block.NewIterator();
+  it->Seek(ikey);
+  if (!it->Valid()) return Status::NotFound();
+  if (ExtractUserKey(it->key()) != ExtractUserKey(ikey)) {
+    return Status::NotFound();
+  }
+  *ikey_found = it->key().ToString();
+  *value = it->value().ToString();
+  return Status::Ok();
+}
+
+namespace {
+
+/// Two-level iterator: walks the index block; materializes one data block at
+/// a time.
+class TableIteratorImpl : public storage::Iterator {
+ public:
+  TableIteratorImpl(const Table* table, const Block* index,
+                    const std::function<Status(const BlockHandle&, std::string*)>&
+                        read_block)
+      : index_iter_(index->NewIterator()), read_block_(read_block) {
+    (void)table;
+  }
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyBlocksForward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyBlocksForward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyBlocksForward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+ private:
+  void InitDataBlock() {
+    data_block_.reset();
+    data_iter_.reset();
+    if (!index_iter_->Valid()) return;
+    BlockHandle handle;
+    Slice v = index_iter_->value();
+    if (!handle.DecodeFrom(&v)) return;
+    std::string contents;
+    if (!read_block_(handle, &contents).ok()) return;
+    data_block_ = std::make_unique<Block>(std::move(contents));
+    data_iter_ = data_block_->NewIterator();
+  }
+
+  void SkipEmptyBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  std::unique_ptr<storage::Iterator> index_iter_;
+  std::function<Status(const BlockHandle&, std::string*)> read_block_;
+  std::unique_ptr<Block> data_block_;
+  std::unique_ptr<Block::Iter> data_iter_;
+};
+
+}  // namespace
+
+std::unique_ptr<storage::Iterator> Table::NewIterator() const {
+  return std::make_unique<TableIteratorImpl>(
+      this, index_.get(),
+      [this](const BlockHandle& h, std::string* out) {
+        return ReadBlockContents(h, out);
+      });
+}
+
+}  // namespace dicho::storage::lsm

@@ -1,0 +1,95 @@
+#ifndef DICHO_STORAGE_LSM_SSTABLE_H_
+#define DICHO_STORAGE_LSM_SSTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/kv.h"
+#include "storage/lsm/block.h"
+#include "storage/lsm/bloom.h"
+#include "storage/lsm/format.h"
+
+namespace dicho::storage::lsm {
+
+/// SSTable file layout:
+///   [data block]* [filter block] [index block] [footer]
+/// The index block maps the last internal key of each data block to its
+/// BlockHandle. The filter block is one bloom filter over every user key in
+/// the table. Footer: filter handle | index handle | fixed64 magic.
+class TableBuilder {
+ public:
+  TableBuilder(WritableFile* file, size_t block_size = 4096,
+               int bloom_bits_per_key = 10);
+
+  /// Keys are internal keys and must be added in increasing internal-key
+  /// order.
+  void Add(const Slice& ikey, const Slice& value);
+
+  /// Flushes everything and writes the footer. No Adds after this.
+  Status Finish();
+
+  uint64_t file_size() const { return offset_; }
+  uint64_t num_entries() const { return num_entries_; }
+  /// Last internal key added (valid after >= 1 Add).
+  const std::string& last_key() const { return last_key_; }
+  const std::string& first_key() const { return first_key_; }
+
+ private:
+  void FlushDataBlock();
+  Status WriteBlock(const Slice& contents, BlockHandle* handle);
+
+  WritableFile* file_;
+  size_t block_size_;
+  BloomFilterPolicy bloom_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  std::vector<std::string> user_keys_;  // for the bloom filter
+  std::string first_key_;
+  std::string last_key_;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  bool pending_index_ = false;
+  std::string pending_index_key_;
+  BlockHandle pending_handle_;
+};
+
+/// Reader over a finished SSTable. Thread-compatible; the simulator is
+/// single-threaded.
+class Table {
+ public:
+  /// Opens and parses footer + index + filter.
+  static Status Open(std::unique_ptr<RandomAccessFile> file,
+                     std::unique_ptr<Table>* table);
+
+  /// Point lookup for the newest entry with user key == user key of `ikey`
+  /// and sequence <= sequence of `ikey`. On hit fills *ikey_found and
+  /// *value. Returns NotFound when the table has no visible version
+  /// (bloom filter negative or key absent).
+  Status Get(const Slice& ikey, std::string* ikey_found, std::string* value);
+
+  /// Iterator over all (internal key, value) entries.
+  std::unique_ptr<storage::Iterator> NewIterator() const;
+
+  uint64_t bloom_negatives() const { return bloom_negatives_; }
+
+ private:
+  Table() = default;
+  Status ReadBlockContents(const BlockHandle& handle, std::string* out) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  std::unique_ptr<Block> index_;
+  std::string filter_;
+  BloomFilterPolicy bloom_;
+  uint64_t bloom_negatives_ = 0;
+
+  friend class TableIterator;
+};
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_SSTABLE_H_

@@ -1,0 +1,43 @@
+#include "storage/lsm/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace dicho::storage::lsm {
+
+Status LogWriter::AddRecord(const Slice& payload) {
+  std::string header;
+  uint32_t crc = crc32c::Value(payload.data(), payload.size());
+  PutFixed32(&header, crc32c::Mask(crc));
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  Status s = file_->Append(header);
+  if (!s.ok()) return s;
+  return file_->Append(payload);
+}
+
+bool LogReader::ReadRecord(std::string* payload, bool* corruption_detected) {
+  if (corruption_detected != nullptr) *corruption_detected = false;
+  if (pos_ + 8 > contents_.size()) {
+    if (corruption_detected != nullptr && pos_ != contents_.size()) {
+      *corruption_detected = true;  // torn header
+    }
+    return false;
+  }
+  uint32_t masked_crc = DecodeFixed32(contents_.data() + pos_);
+  uint32_t len = DecodeFixed32(contents_.data() + pos_ + 4);
+  if (pos_ + 8 + len > contents_.size()) {
+    if (corruption_detected != nullptr) *corruption_detected = true;  // torn body
+    return false;
+  }
+  const char* body = contents_.data() + pos_ + 8;
+  uint32_t actual = crc32c::Value(body, len);
+  if (crc32c::Unmask(masked_crc) != actual) {
+    if (corruption_detected != nullptr) *corruption_detected = true;
+    return false;
+  }
+  payload->assign(body, len);
+  pos_ += 8 + len;
+  return true;
+}
+
+}  // namespace dicho::storage::lsm

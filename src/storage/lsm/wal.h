@@ -1,0 +1,49 @@
+#ifndef DICHO_STORAGE_LSM_WAL_H_
+#define DICHO_STORAGE_LSM_WAL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace dicho::storage::lsm {
+
+/// Write-ahead-log writer. Record framing:
+///   fixed32 masked_crc32c(payload) | fixed32 length | payload
+/// Torn tails (partial record at the end after a crash) are detected by the
+/// reader and treated as end-of-log, which is the standard recovery
+/// contract: a write is durable iff its record is fully framed.
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  Status AddRecord(const Slice& payload);
+  Status Sync() { return file_->Sync(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+};
+
+/// Reads records back; stops cleanly at a torn or corrupt tail.
+class LogReader {
+ public:
+  /// `contents` is the whole log file.
+  explicit LogReader(std::string contents)
+      : contents_(std::move(contents)), pos_(0) {}
+
+  /// Returns true and fills *payload while intact records remain.
+  /// *corruption_detected (optional) reports whether the stop was due to a
+  /// bad CRC / torn record rather than clean EOF.
+  bool ReadRecord(std::string* payload, bool* corruption_detected = nullptr);
+
+ private:
+  std::string contents_;
+  size_t pos_;
+};
+
+}  // namespace dicho::storage::lsm
+
+#endif  // DICHO_STORAGE_LSM_WAL_H_

@@ -1,0 +1,82 @@
+#ifndef DICHO_STORAGE_MEMKV_H_
+#define DICHO_STORAGE_MEMKV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "storage/kv.h"
+
+namespace dicho::storage {
+
+/// Reference KvStore over std::map — the oracle the property tests compare
+/// the real engines against, and a lightweight state backend for unit tests.
+class MemKv : public KvStore {
+ public:
+  Status Put(const Slice& key, const Slice& value) override {
+    auto [it, inserted] = map_.insert_or_assign(key.ToString(), value.ToString());
+    (void)it;
+    (void)inserted;
+    return Status::Ok();
+  }
+
+  Status Delete(const Slice& key) override {
+    map_.erase(key.ToString());
+    return Status::Ok();
+  }
+
+  Status Get(const Slice& key, std::string* value) override {
+    auto it = map_.find(key.ToString());
+    if (it == map_.end()) return Status::NotFound();
+    *value = it->second;
+    return Status::Ok();
+  }
+
+  Status Write(const WriteBatch& batch) override {
+    for (const auto& op : batch.ops()) {
+      if (op.type == WriteBatch::OpType::kPut) {
+        map_[op.key] = op.value;
+      } else {
+        map_.erase(op.key);
+      }
+    }
+    return Status::Ok();
+  }
+
+  class Iter : public Iterator {
+   public:
+    explicit Iter(const std::map<std::string, std::string>* m) : map_(m) {}
+    bool Valid() const override { return it_ != map_->end(); }
+    void SeekToFirst() override { it_ = map_->begin(); }
+    void Seek(const Slice& target) override {
+      it_ = map_->lower_bound(target.ToString());
+    }
+    void Next() override { ++it_; }
+    Slice key() const override { return Slice(it_->first); }
+    Slice value() const override { return Slice(it_->second); }
+
+   private:
+    const std::map<std::string, std::string>* map_;
+    std::map<std::string, std::string>::const_iterator it_;
+  };
+
+  std::unique_ptr<Iterator> NewIterator() override {
+    return std::make_unique<Iter>(&map_);
+  }
+
+  uint64_t ApproximateSize() const override {
+    uint64_t total = 0;
+    for (const auto& [k, v] : map_) total += k.size() + v.size();
+    return total;
+  }
+
+  size_t size() const { return map_.size(); }
+  const std::map<std::string, std::string>& map() const { return map_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace dicho::storage
+
+#endif  // DICHO_STORAGE_MEMKV_H_

@@ -1,0 +1,239 @@
+#include "systems/ahl.h"
+
+#include <set>
+
+namespace dicho::systems {
+
+namespace {
+
+constexpr NodeId kAhlBase = 700;
+
+class ShardStateView : public contract::StateView {
+ public:
+  explicit ShardStateView(
+      std::function<const std::string*(const std::string&)> lookup)
+      : lookup_(std::move(lookup)) {}
+  Status Get(const Slice& key, std::string* value) override {
+    const std::string* v = lookup_(key.ToString());
+    if (v == nullptr) return Status::NotFound();
+    *value = *v;
+    return Status::Ok();
+  }
+
+ private:
+  std::function<const std::string*(const std::string&)> lookup_;
+};
+
+}  // namespace
+
+AhlSystem::AhlSystem(sim::Simulator* sim, sim::SimNetwork* net,
+                     const sim::CostModel* costs, AhlConfig config)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      config_(config),
+      partitioner_(config.num_shards),
+      shard_state_(config.num_shards),
+      contracts_(contract::ContractRegistry::CreateDefault()) {
+  consensus::BftConfig bft = config_.bft;
+  bft.forced_f = static_cast<int>(config_.forced_f);
+  NodeId next = kAhlBase;
+  // The reference committee (BFT 2PC coordinator shard).
+  {
+    std::vector<NodeId> ids;
+    for (uint32_t i = 0; i < config_.nodes_per_shard; i++) ids.push_back(next++);
+    committee_ = consensus::BftCluster::Create(sim, net, costs, ids, bft,
+                                               nullptr);
+  }
+  for (uint32_t s = 0; s < config_.num_shards; s++) {
+    std::vector<NodeId> ids;
+    for (uint32_t i = 0; i < config_.nodes_per_shard; i++) ids.push_back(next++);
+    shard_bft_.push_back(consensus::BftCluster::Create(
+        sim, net, costs, ids, bft,
+        [this, s](NodeId node, uint64_t, const std::string& cmd) {
+          // Apply once, on the shard's first node (shared state object).
+          if (node == shard_bft_[s]->all()[0]->id()) ApplyShardEntry(s, cmd);
+        }));
+  }
+}
+
+void AhlSystem::Start() {
+  committee_->StartAll();
+  for (auto& shard : shard_bft_) shard->StartAll();
+  if (config_.epoch > 0) ScheduleReconfiguration();
+}
+
+void AhlSystem::ScheduleReconfiguration() {
+  sim_->Schedule(config_.epoch, [this] {
+    // Drain and reshuffle: shards stop accepting work for the pause window.
+    reconfiguring_ = true;
+    reconfigurations_++;
+    sim_->Schedule(config_.reconfig_pause, [this] {
+      reconfiguring_ = false;
+      ScheduleReconfiguration();
+    });
+  });
+}
+
+void AhlSystem::ApplyShardEntry(uint32_t shard, const std::string& cmd) {
+  core::TxnRequest request;
+  if (!core::TxnRequest::Deserialize(cmd, &request)) return;
+  ShardStateView view([this, shard](const std::string& key) -> const std::string* {
+    auto it = shard_state_[shard].find(key);
+    return it == shard_state_[shard].end() ? nullptr : &it->second;
+  });
+  contract::Contract* contract = contracts_->Lookup(
+      request.contract.empty() ? "ycsb" : request.contract);
+  if (contract == nullptr) return;
+  contract::WriteSet writes;
+  if (contract->Execute(request, &view, &writes, nullptr).ok()) {
+    for (const auto& [key, value] : writes) {
+      // Only this shard's keys are applied here; cross-shard requests are
+      // replicated to every involved shard.
+      if (partitioner_.ShardOf(key) == shard) {
+        shard_state_[shard][key] = value;
+      }
+    }
+  }
+}
+
+void AhlSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
+  auto txn = std::make_shared<PendingTxn>();
+  txn->request = request;
+  txn->cb = std::move(cb);
+  txn->submit_time = sim_->Now();
+
+  if (reconfiguring_) {
+    // Shards are reconfiguring: the request waits for the new epoch.
+    sim_->Schedule(config_.reconfig_pause, [this, txn] {
+      Submit(txn->request, std::move(txn->cb));
+    });
+    return;
+  }
+
+  std::set<uint32_t> shard_set;
+  for (const auto& key : contract::StaticKeySet(request)) {
+    shard_set.insert(partitioner_.ShardOf(key));
+  }
+  if (shard_set.empty()) shard_set.insert(0);
+  if (shard_set.size() == 1) {
+    SubmitSingleShard(txn, *shard_set.begin());
+  } else {
+    SubmitCrossShard(txn,
+                     std::vector<uint32_t>(shard_set.begin(), shard_set.end()));
+  }
+}
+
+void AhlSystem::SubmitSingleShard(std::shared_ptr<PendingTxn> txn,
+                                  uint32_t shard) {
+  consensus::BftNode* entry = shard_bft_[shard]->all()[0];
+  std::string cmd = txn->request.Serialize();
+  net_->Send(config_.client_node, entry->id(), txn->request.PayloadBytes() + 96,
+             [this, txn, entry, cmd = std::move(cmd)]() mutable {
+               entry->Submit(std::move(cmd), [this, txn](Status s, uint64_t) {
+                 Finish(txn, s,
+                        s.ok() ? core::AbortReason::kNone
+                               : core::AbortReason::kUnavailable);
+               });
+             });
+}
+
+void AhlSystem::SubmitCrossShard(std::shared_ptr<PendingTxn> txn,
+                                 std::vector<uint32_t> shards) {
+  // BFT 2PC: (1) the reference committee reaches consensus on the
+  // transaction (prepare decision is now fault-tolerant), (2) every
+  // involved shard runs consensus to lock/stage it, (3) the committee
+  // reaches consensus on the commit decision, (4) shards apply. Steps 2 and
+  // 4 are folded into one shard consensus each here; the committee rounds
+  // are real BFT instances.
+  consensus::BftNode* committee_entry = committee_->all()[0];
+  std::string cmd = txn->request.Serialize();
+  std::string prepare_cmd = "prepare:" + cmd;
+
+  net_->Send(
+      config_.client_node, committee_entry->id(),
+      txn->request.PayloadBytes() + 96,
+      [this, txn, committee_entry, cmd, prepare_cmd, shards]() mutable {
+        committee_entry->Submit(prepare_cmd, [this, txn, cmd, shards](
+                                                 Status s, uint64_t) {
+          if (!s.ok()) {
+            Finish(txn, s, core::AbortReason::kUnavailable);
+            return;
+          }
+          // Each shard replicates the staged transaction via its own BFT.
+          auto remaining = std::make_shared<size_t>(shards.size());
+          for (uint32_t shard : shards) {
+            consensus::BftNode* entry = shard_bft_[shard]->all()[0];
+            entry->Submit(cmd, [this, txn, remaining](Status vote, uint64_t) {
+              if (!vote.ok()) {
+                if (*remaining != 0) {
+                  *remaining = 0;
+                  Finish(txn, vote, core::AbortReason::kUnavailable);
+                }
+                return;
+              }
+              if (*remaining == 0 || --(*remaining) != 0) return;
+              // Commit decision through the committee.
+              consensus::BftNode* committee_entry2 = committee_->all()[0];
+              committee_entry2->Submit(
+                  "commit:" + std::to_string(txn->request.txn_id),
+                  [this, txn](Status decision, uint64_t) {
+                    Finish(txn, decision,
+                           decision.ok() ? core::AbortReason::kNone
+                                         : core::AbortReason::kUnavailable);
+                  });
+            });
+          }
+        });
+      });
+}
+
+void AhlSystem::Finish(std::shared_ptr<PendingTxn> txn, Status status,
+                       core::AbortReason reason) {
+  core::TxnResult result;
+  result.status = status;
+  result.reason = reason;
+  result.submit_time = txn->submit_time;
+  result.finish_time = sim_->Now();
+  if (status.ok()) {
+    stats_.committed++;
+  } else {
+    stats_.aborted++;
+    stats_.aborts_by_reason[reason]++;
+  }
+  txn->cb(result);
+}
+
+void AhlSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) {
+  stats_.queries++;
+  Time submit_time = sim_->Now();
+  uint32_t shard = partitioner_.ShardOf(request.key);
+  NodeId target = shard_bft_[shard]->all()[0]->id();
+  net_->Send(config_.client_node, target, 64 + request.key.size(),
+             [this, shard, target, key = request.key, cb = std::move(cb),
+              submit_time]() mutable {
+               sim_->Schedule(
+                   costs_->fabric_query_auth_us, [this, shard, target, key,
+                                                  cb = std::move(cb),
+                                                  submit_time]() mutable {
+                     auto it = shard_state_[shard].find(key);
+                     Status s = it == shard_state_[shard].end()
+                                    ? Status::NotFound()
+                                    : Status::Ok();
+                     std::string value =
+                         it == shard_state_[shard].end() ? "" : it->second;
+                     net_->Send(target, config_.client_node, 64 + value.size(),
+                                [this, cb = std::move(cb), submit_time, s,
+                                 value = std::move(value)] {
+                                  core::ReadResult result;
+                                  result.status = s;
+                                  result.value = value;
+                                  result.submit_time = submit_time;
+                                  result.finish_time = sim_->Now();
+                                  cb(result);
+                                });
+                   });
+             });
+}
+
+}  // namespace dicho::systems

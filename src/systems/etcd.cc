@@ -1,0 +1,153 @@
+#include "systems/etcd.h"
+
+namespace dicho::systems {
+
+EtcdSystem::EtcdSystem(sim::Simulator* sim, sim::SimNetwork* net,
+                       const sim::CostModel* costs, EtcdConfig config)
+    : sim_(sim), net_(net), costs_(costs), config_(config) {
+  for (NodeId i = 0; i < config_.num_nodes; i++) node_ids_.push_back(i);
+  raft_ = consensus::RaftCluster::Create(
+      sim, net, costs, node_ids_, config_.raft,
+      [this](NodeId node, uint64_t, const std::string& cmd) {
+        ApplyEntry(node, cmd);
+      });
+  for (NodeId id : node_ids_) {
+    states_[id] = std::make_unique<storage::btree::BTree>();
+    apply_cpu_[id] = std::make_unique<sim::CpuResource>(sim);
+  }
+}
+
+void EtcdSystem::Start() { raft_->StartAll(); }
+
+void EtcdSystem::ApplyEntry(NodeId node, const std::string& cmd) {
+  core::TxnRequest request;
+  if (!core::TxnRequest::Deserialize(cmd, &request)) return;
+  Time cost = 0;
+  storage::btree::BTree* state = states_.at(node).get();
+  for (const auto& op : request.ops) {
+    if (op.type != core::OpType::kRead) {
+      state->Put(op.key, op.value);
+      cost += costs_->BtreeOpCost(op.key.size() + op.value.size());
+    }
+  }
+  // Apply work is real (above); its time is charged to the node so a slow
+  // applier shows up as commit latency.
+  apply_cpu_.at(node)->Submit(cost, [] {});
+}
+
+void EtcdSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
+  // Rejections are delivered asynchronously (a synchronous callback would
+  // let a closed-loop client recurse unboundedly through resubmission).
+  auto reject = [this](core::TxnCallback cb, Status status,
+                       core::AbortReason reason) {
+    Time submit_time = sim_->Now();
+    stats_.aborted++;
+    stats_.aborts_by_reason[reason]++;
+    sim_->Schedule(costs_->msg_handling_us, [cb = std::move(cb), status,
+                                             reason, submit_time, this] {
+      core::TxnResult result;
+      result.status = status;
+      result.reason = reason;
+      result.submit_time = submit_time;
+      result.finish_time = sim_->Now();
+      cb(result);
+    });
+  };
+
+  // etcd's data model: single-op requests, no general transactions (the
+  // paper excludes etcd from Smallbank for exactly this reason).
+  if (request.ops.size() != 1 || !request.method.empty()) {
+    reject(std::move(cb),
+           Status::NotSupported(
+               "etcd does not support general transactional workloads"),
+           core::AbortReason::kOther);
+    return;
+  }
+
+  consensus::RaftNode* leader = raft_->leader();
+  Time submit_time = sim_->Now();
+  if (leader == nullptr) {
+    reject(std::move(cb), Status::Unavailable("no leader"),
+           core::AbortReason::kUnavailable);
+    return;
+  }
+
+  std::string cmd = request.Serialize();
+  uint64_t bytes = request.PayloadBytes();
+  NodeId leader_id = leader->id();
+  // Client -> leader, propose, commit, reply.
+  net_->Send(config_.client_node, leader_id, bytes,
+             [this, leader, cmd = std::move(cmd), cb = std::move(cb),
+              submit_time, leader_id]() mutable {
+               leader->Propose(
+                   std::move(cmd),
+                   [this, cb = std::move(cb), submit_time,
+                    leader_id](Status s, uint64_t) mutable {
+                     // Reply flows back over the network.
+                     net_->Send(leader_id, config_.client_node, 64,
+                                [this, cb = std::move(cb), submit_time, s] {
+                                  core::TxnResult result;
+                                  result.status = s;
+                                  result.submit_time = submit_time;
+                                  result.finish_time = sim_->Now();
+                                  result.phase_us["consensus"] =
+                                      result.finish_time - submit_time;
+                                  if (s.ok()) {
+                                    stats_.committed++;
+                                  } else {
+                                    result.reason =
+                                        core::AbortReason::kUnavailable;
+                                    stats_.aborted++;
+                                    stats_.aborts_by_reason[result.reason]++;
+                                  }
+                                  cb(result);
+                                });
+                   });
+             });
+}
+
+void EtcdSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) {
+  stats_.queries++;
+  consensus::RaftNode* leader = raft_->leader();
+  Time submit_time = sim_->Now();
+  if (leader == nullptr) {
+    core::ReadResult result;
+    result.status = Status::Unavailable("no leader");
+    result.submit_time = submit_time;
+    result.finish_time = sim_->Now();
+    cb(result);
+    return;
+  }
+  NodeId leader_id = leader->id();
+  // Linearizable read served at the leader (ReadIndex-style, no log entry).
+  net_->Send(config_.client_node, leader_id, 64 + request.key.size(),
+             [this, key = request.key, cb = std::move(cb), submit_time,
+              leader_id]() mutable {
+               Time cost = costs_->BtreeOpCost(key.size());
+               apply_cpu_.at(leader_id)->Submit(
+                   cost, [this, key, cb = std::move(cb), submit_time,
+                          leader_id]() mutable {
+                     std::string value;
+                     Status s = states_.at(leader_id)->Get(key, &value);
+                     net_->Send(leader_id, config_.client_node,
+                                64 + value.size(),
+                                [this, cb = std::move(cb), submit_time, s,
+                                 value = std::move(value)] {
+                                  core::ReadResult result;
+                                  result.status = s;
+                                  result.value = value;
+                                  result.submit_time = submit_time;
+                                  result.finish_time = sim_->Now();
+                                  result.phase_us["read"] =
+                                      result.finish_time - submit_time;
+                                  cb(result);
+                                });
+                   });
+             });
+}
+
+uint64_t EtcdSystem::StateBytes() const {
+  return states_.begin()->second->ApproximateSize();
+}
+
+}  // namespace dicho::systems

@@ -1,0 +1,78 @@
+#ifndef DICHO_SYSTEMS_ETCD_H_
+#define DICHO_SYSTEMS_ETCD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/raft.h"
+#include "core/types.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/btree/btree.h"
+
+namespace dicho::systems {
+
+using sim::NodeId;
+using sim::Time;
+
+struct EtcdConfig {
+  uint32_t num_nodes = 5;
+  consensus::RaftConfig raft;
+  /// Client endpoint node id used as the "source" of requests on the wire.
+  NodeId client_node = 1000;
+};
+
+/// etcd-like NoSQL store (Table 2's etcd row): storage-based replication,
+/// one Raft group over all nodes (full replication), serial apply into a
+/// B+-tree (BoltDB-like), no transactions — multi-op requests are rejected,
+/// matching the paper's note that etcd cannot run Smallbank.
+///
+/// Design-dimension choices: storage-based replication / consensus (CFT
+/// Raft) / serial execution / no ledger / B-tree index / no sharding.
+class EtcdSystem : public core::TransactionalSystem {
+ public:
+  EtcdSystem(sim::Simulator* sim, sim::SimNetwork* net,
+             const sim::CostModel* costs, EtcdConfig config);
+
+  /// Elects the leader; run the simulator for ~1 virtual second afterwards.
+  void Start();
+  bool HasLeader() const { return raft_->leader() != nullptr; }
+
+  void Submit(const core::TxnRequest& request, core::TxnCallback cb) override;
+  void Query(const core::ReadRequest& request, core::ReadCallback cb) override;
+  const core::SystemStats& stats() const override { return stats_; }
+  std::string name() const override { return "etcd"; }
+
+  /// Pre-populates every replica directly (benchmark setup; bypasses
+  /// consensus the way a bulk load would).
+  void Load(const std::string& key, const std::string& value) {
+    for (auto& [id, state] : states_) state->Put(key, value);
+  }
+
+  /// Every node's full copy of the state (full replication).
+  storage::btree::BTree* state_of(NodeId node) {
+    return states_.at(node).get();
+  }
+  uint64_t StateBytes() const;
+
+ private:
+  void ApplyEntry(NodeId node, const std::string& cmd);
+
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  const sim::CostModel* costs_;
+  EtcdConfig config_;
+  std::vector<NodeId> node_ids_;
+  std::unique_ptr<consensus::RaftCluster> raft_;
+  std::map<NodeId, std::unique_ptr<storage::btree::BTree>> states_;
+  std::map<NodeId, std::unique_ptr<sim::CpuResource>> apply_cpu_;
+  core::SystemStats stats_;
+};
+
+}  // namespace dicho::systems
+
+#endif  // DICHO_SYSTEMS_ETCD_H_

@@ -1,0 +1,277 @@
+#include "systems/fabric.h"
+
+#include <algorithm>
+
+#include "crypto/signature.h"
+
+namespace dicho::systems {
+
+namespace {
+
+/// Read view over a peer's committed versioned state; records the MVCC
+/// read set as a side effect (Fabric's simulation phase).
+class EndorseView : public contract::StateView {
+ public:
+  EndorseView(const txn::VersionedState* state,
+              std::vector<std::pair<std::string, uint64_t>>* read_set)
+      : state_(state), read_set_(read_set) {}
+
+  Status Get(const Slice& key, std::string* value) override {
+    uint64_t version;
+    state_->Get(key, value, &version);
+    read_set_->emplace_back(key.ToString(), version);
+    if (value->empty() && version == 0) return Status::NotFound();
+    return Status::Ok();
+  }
+
+ private:
+  const txn::VersionedState* state_;
+  std::vector<std::pair<std::string, uint64_t>>* read_set_;
+};
+
+constexpr NodeId kOrdererBase = 200;
+
+}  // namespace
+
+FabricSystem::FabricSystem(sim::Simulator* sim, sim::SimNetwork* net,
+                           const sim::CostModel* costs, FabricConfig config)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      config_(config),
+      contracts_(contract::ContractRegistry::CreateDefault()) {
+  for (NodeId i = 0; i < config_.num_peers; i++) {
+    peer_ids_.push_back(i);
+    peers_[i] = std::make_unique<Peer>(sim);
+  }
+  // The paper fixes three orderers regardless of peer count.
+  std::vector<NodeId> orderers{kOrdererBase, kOrdererBase + 1,
+                               kOrdererBase + 2};
+  ordering_ = std::make_unique<sharedlog::OrderingService>(
+      sim, net, costs, orderers, config_.ordering);
+  for (NodeId peer : peer_ids_) {
+    ordering_->Subscribe(peer, [this, peer](const sharedlog::OrderedBlock& b) {
+      OnBlockDelivered(peer, b);
+    });
+  }
+}
+
+void FabricSystem::Start() { ordering_->Start(); }
+
+void FabricSystem::Submit(const core::TxnRequest& request,
+                          core::TxnCallback cb) {
+  auto pending = std::make_shared<PendingTxn>();
+  pending->request = request;
+  pending->cb = std::move(cb);
+  pending->submit_time = sim_->Now();
+  pending->envelope.txn_id = request.txn_id;
+  pending->envelope.client_id = request.client_id;
+  pending->envelope.payload = request.Serialize();
+  pending->envelope.client_signature =
+      crypto::Signer(request.client_id).Sign(pending->envelope.payload);
+  inflight_[request.txn_id] = pending;
+
+  // Execute phase: proposal broadcast to every endorsing peer; peers
+  // simulate concurrently against their committed state.
+  uint32_t required = EndorsersRequired();
+  uint64_t proposal_bytes = request.PayloadBytes() + 96;
+  for (uint32_t i = 0; i < required; i++) {
+    NodeId peer_id = peer_ids_[i];
+    net_->Send(config_.client_node, peer_id, proposal_bytes,
+               [this, peer_id, pending] {
+                 Peer* peer = peers_.at(peer_id).get();
+                 // Chaincode simulation is concurrent on the peer (its
+                 // endorsement executors), so it is a latency, not a queue.
+                 Time delay = costs_->sig_verify_us + costs_->fabric_endorse_us +
+                              costs_->sig_sign_us;
+                 sim_->Schedule(delay, [this, peer_id, peer, pending] {
+                   std::vector<std::pair<std::string, uint64_t>> read_set;
+                   EndorseView view(&peer->state, &read_set);
+                   contract::Contract* contract = contracts_->Lookup(
+                       pending->request.contract.empty()
+                           ? "ycsb"
+                           : pending->request.contract);
+                   contract::WriteSet writes;
+                   Status exec =
+                       contract == nullptr
+                           ? Status::NotSupported("unknown contract")
+                           : contract->Execute(pending->request, &view,
+                                               &writes, nullptr);
+                   // Endorsement response back to the client.
+                   uint64_t resp_bytes = 96;
+                   for (const auto& [k, v] : writes) {
+                     resp_bytes += k.size() + v.size();
+                   }
+                   net_->Send(peer_id, config_.client_node, resp_bytes,
+                              [this, peer_id, pending, read_set, writes,
+                               exec] {
+                                pending->responses++;
+                                pending->read_sets.push_back(read_set);
+                                if (pending->responses == 1) {
+                                  pending->envelope.read_set = read_set;
+                                  pending->envelope.write_set.assign(
+                                      writes.begin(), writes.end());
+                                  pending->envelope.valid = exec.ok();
+                                }
+                                pending->envelope.endorsements.emplace_back(
+                                    peer_id, std::string(32, 'e'));
+                                if (pending->responses ==
+                                    EndorsersRequired()) {
+                                  OnEndorsementsComplete(pending);
+                                }
+                              });
+                 });
+               });
+  }
+}
+
+void FabricSystem::OnEndorsementsComplete(std::shared_ptr<PendingTxn> pending) {
+  pending->endorsed_time = sim_->Now();
+  // The client must receive *identical* simulation results from all
+  // endorsers; peers at different commit heights return different versions
+  // and the client aborts immediately (paper Section 5.3.2).
+  for (size_t i = 1; i < pending->read_sets.size(); i++) {
+    if (pending->read_sets[i] != pending->read_sets[0]) {
+      pending->endorsement_diverged = true;
+      break;
+    }
+  }
+  if (pending->endorsement_diverged) {
+    FinishTxn(pending->request.txn_id, false,
+              core::AbortReason::kInconsistentEndorsement);
+    return;
+  }
+  if (!pending->envelope.valid) {
+    // Application-level abort discovered during simulation.
+    FinishTxn(pending->request.txn_id, false, core::AbortReason::kConstraint);
+    return;
+  }
+  // Order phase: the endorsed envelope goes to the ordering service.
+  ordering_->Submit(config_.client_node, pending->envelope.Serialize(),
+                    [](Status) {});
+}
+
+void FabricSystem::OnBlockDelivered(NodeId peer_id,
+                                    const sharedlog::OrderedBlock& block) {
+  Peer* peer = peers_.at(peer_id).get();
+  Time delivered = sim_->Now();
+
+  // Validation cost: per transaction, verify the client signature plus one
+  // signature per endorsement (42% of validation time in the paper's
+  // profile), then the MVCC check and the state/ledger write.
+  Time cost = 0;
+  for (const auto& envelope : block.envelopes) {
+    cost += costs_->sig_verify_us;  // client signature
+    cost += static_cast<Time>(EndorsersRequired()) * costs_->sig_verify_us;
+    cost += costs_->fabric_commit_us +
+            costs_->fabric_commit_per_byte_us *
+                static_cast<Time>(envelope.size());
+  }
+  cost /= static_cast<Time>(config_.validation_parallelism);
+
+  auto envelopes = std::make_shared<std::vector<std::string>>(block.envelopes);
+  peer->validate_cpu.Submit(cost, [this, peer_id, peer, envelopes,
+                                   delivered] {
+    ledger::Block ledger_block;
+    ledger_block.header.number = peer->chain.height();
+    ledger_block.header.parent = peer->chain.TipDigest();
+    ledger_block.header.timestamp_us = static_cast<uint64_t>(sim_->Now());
+    uint64_t version = peer->chain.height() + 1;
+
+    for (const auto& env : *envelopes) {
+      ledger::LedgerTxn txn;
+      if (!ledger::LedgerTxn::Deserialize(env, &txn)) continue;
+      // MVCC read-set check against this peer's committed state.
+      std::string conflict;
+      bool valid = txn.valid && peer->state.Validate(txn.read_set, &conflict);
+      txn.valid = valid;
+      if (valid) {
+        peer->state.Apply(txn.write_set, version);
+      }
+      // Aborted transactions stay on the ledger, marked invalid.
+      bool is_completion_peer = peer_id == peer_ids_[0];
+      if (is_completion_peer) {
+        auto it = inflight_.find(txn.txn_id);
+        if (it != inflight_.end()) it->second->ordered_time = delivered;
+        FinishTxn(txn.txn_id, valid,
+                  valid ? core::AbortReason::kNone
+                        : core::AbortReason::kReadConflict);
+      }
+      ledger_block.txns.push_back(std::move(txn));
+    }
+    ledger_block.SealTxnRoot();
+    peer->chain.Append(std::move(ledger_block));
+  });
+}
+
+void FabricSystem::FinishTxn(uint64_t txn_id, bool valid,
+                             core::AbortReason reason) {
+  auto it = inflight_.find(txn_id);
+  if (it == inflight_.end()) return;
+  std::shared_ptr<PendingTxn> pending = it->second;
+  inflight_.erase(it);
+
+  net_->Send(peer_ids_[0], config_.client_node, 64, [this, pending, valid,
+                                                     reason] {
+    core::TxnResult result;
+    result.submit_time = pending->submit_time;
+    result.finish_time = sim_->Now();
+    Time endorsed = pending->endorsed_time > 0 ? pending->endorsed_time
+                                               : result.finish_time;
+    result.phase_us["execute"] = endorsed - pending->submit_time;
+    if (pending->ordered_time > 0) {
+      result.phase_us["order"] = pending->ordered_time - endorsed;
+      result.phase_us["validate"] = result.finish_time - pending->ordered_time;
+    }
+    if (valid) {
+      result.status = Status::Ok();
+      stats_.committed++;
+    } else {
+      result.status = Status::Aborted(core::AbortReasonName(reason));
+      result.reason = reason;
+      stats_.aborted++;
+      stats_.aborts_by_reason[reason]++;
+    }
+    pending->cb(result);
+  });
+}
+
+void FabricSystem::Query(const core::ReadRequest& request,
+                         core::ReadCallback cb) {
+  stats_.queries++;
+  Time submit_time = sim_->Now();
+  NodeId target = peer_ids_[request.client_id % peer_ids_.size()];
+  net_->Send(config_.client_node, target, 64 + request.key.size(),
+             [this, target, key = request.key, cb = std::move(cb),
+              submit_time]() mutable {
+               // Client authentication dominates the Fabric query path
+               // (paper Fig. 8b): x509 chain + channel ACL evaluation.
+               Time delay = costs_->fabric_query_auth_us + costs_->lsm_read_us;
+               sim_->Schedule(delay, [this, target, key, cb = std::move(cb),
+                                      submit_time]() mutable {
+                 std::string value;
+                 uint64_t version;
+                 peers_.at(target)->state.Get(key, &value, &version);
+                 Status s = (value.empty() && version == 0)
+                                ? Status::NotFound()
+                                : Status::Ok();
+                 net_->Send(target, config_.client_node, 64 + value.size(),
+                            [this, cb = std::move(cb), submit_time, s,
+                             value = std::move(value)] {
+                              core::ReadResult result;
+                              result.status = s;
+                              result.value = value;
+                              result.submit_time = submit_time;
+                              result.finish_time = sim_->Now();
+                              result.phase_us["auth"] =
+                                  costs_->fabric_query_auth_us;
+                              result.phase_us["read"] =
+                                  result.finish_time - submit_time -
+                                  costs_->fabric_query_auth_us;
+                              cb(result);
+                            });
+               });
+             });
+}
+
+}  // namespace dicho::systems

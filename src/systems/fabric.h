@@ -1,0 +1,121 @@
+#ifndef DICHO_SYSTEMS_FABRIC_H_
+#define DICHO_SYSTEMS_FABRIC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "contract/contract.h"
+#include "core/types.h"
+#include "ledger/ledger.h"
+#include "sharedlog/ordering_service.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "txn/occ.h"
+
+namespace dicho::systems {
+
+using sim::NodeId;
+using sim::Time;
+
+struct FabricConfig {
+  uint32_t num_peers = 5;
+  /// The paper's endorsement policy: every peer endorses every transaction.
+  /// (Reduce for ablations.)
+  uint32_t endorsers_required = 0;  // 0 = all peers
+  /// Fabric validates blocks serially (its implementation choice — paper
+  /// Section 5.2.1 notes commits *could* be concurrent). Values > 1 model a
+  /// validation pool with that many workers (the ablation bench).
+  uint32_t validation_parallelism = 1;
+  sharedlog::OrderingConfig ordering;
+  NodeId client_node = 1000;
+};
+
+/// Hyperledger Fabric v2.x: an execute-order-validate permissioned
+/// blockchain. Clients collect simulated read/write sets plus signatures
+/// from the peers (concurrent execute phase), submit the endorsed envelope
+/// to a 3-orderer Raft ordering service (a shared log from the peers'
+/// viewpoint), and every peer validates blocks *serially*: per-endorsement
+/// signature checks + an optimistic read-set version check, aborting stale
+/// transactions (paper Sections 3.2, 5.2, 5.3).
+///
+/// Design-dimension choices: transaction-based replication / shared log
+/// (CFT Raft orderers) / concurrent execution + serial commit / ledger /
+/// LSM state without an authenticated index (v1+ dropped the MBT) / no
+/// sharding.
+class FabricSystem : public core::TransactionalSystem {
+ public:
+  FabricSystem(sim::Simulator* sim, sim::SimNetwork* net,
+               const sim::CostModel* costs, FabricConfig config);
+
+  void Start();
+  bool Ready() const { return ordering_->HasLeader(); }
+
+  void Submit(const core::TxnRequest& request, core::TxnCallback cb) override;
+  void Query(const core::ReadRequest& request, core::ReadCallback cb) override;
+  const core::SystemStats& stats() const override { return stats_; }
+  std::string name() const override { return "fabric"; }
+
+  /// Pre-populates every peer's world state directly (benchmark setup).
+  void Load(const std::string& key, const std::string& value) {
+    for (auto& [id, peer] : peers_) peer->state.Apply({{key, value}}, 0);
+  }
+
+  const txn::VersionedState& state_of(NodeId peer) const {
+    return peers_.at(peer)->state;
+  }
+  const ledger::Chain& chain_of(NodeId peer) const {
+    return peers_.at(peer)->chain;
+  }
+  uint64_t LedgerBytes() const { return peers_.at(0)->chain.TotalBytes(); }
+  uint64_t StateBytes() const { return peers_.at(0)->state.DataBytes(); }
+  /// Validation backlog on a peer (saturation diagnostics, Fig. 8a).
+  Time ValidationBacklog(NodeId peer) const {
+    return peers_.at(peer)->validate_cpu.backlog();
+  }
+
+ private:
+  struct Peer {
+    explicit Peer(sim::Simulator* sim) : validate_cpu(sim) {}
+    txn::VersionedState state;
+    ledger::Chain chain;
+    sim::CpuResource validate_cpu;  // the serial validate/commit thread
+  };
+  struct PendingTxn {
+    core::TxnRequest request;
+    core::TxnCallback cb;
+    Time submit_time = 0;
+    Time endorsed_time = 0;
+    Time ordered_time = 0;
+    size_t responses = 0;
+    bool endorsement_diverged = false;
+    ledger::LedgerTxn envelope;
+    std::vector<std::vector<std::pair<std::string, uint64_t>>> read_sets;
+  };
+
+  uint32_t EndorsersRequired() const {
+    return config_.endorsers_required == 0 ? config_.num_peers
+                                           : config_.endorsers_required;
+  }
+  void OnEndorsementsComplete(std::shared_ptr<PendingTxn> pending);
+  void OnBlockDelivered(NodeId peer, const sharedlog::OrderedBlock& block);
+  void FinishTxn(uint64_t txn_id, bool valid, core::AbortReason reason);
+
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  const sim::CostModel* costs_;
+  FabricConfig config_;
+  std::vector<NodeId> peer_ids_;
+  std::map<NodeId, std::unique_ptr<Peer>> peers_;
+  std::unique_ptr<sharedlog::OrderingService> ordering_;
+  std::unique_ptr<contract::ContractRegistry> contracts_;
+  std::map<uint64_t, std::shared_ptr<PendingTxn>> inflight_;
+  core::SystemStats stats_;
+};
+
+}  // namespace dicho::systems
+
+#endif  // DICHO_SYSTEMS_FABRIC_H_

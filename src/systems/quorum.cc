@@ -1,0 +1,298 @@
+#include "systems/quorum.h"
+
+#include <cassert>
+
+#include "crypto/signature.h"
+
+namespace dicho::systems {
+
+namespace {
+
+/// Read view over a node's MPT state.
+class MptView : public contract::StateView {
+ public:
+  explicit MptView(const adt::MerklePatriciaTrie* state) : state_(state) {}
+  Status Get(const Slice& key, std::string* value) override {
+    return state_->Get(key, value);
+  }
+
+ private:
+  const adt::MerklePatriciaTrie* state_;
+};
+
+}  // namespace
+
+QuorumSystem::QuorumSystem(sim::Simulator* sim, sim::SimNetwork* net,
+                           const sim::CostModel* costs, QuorumConfig config)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      config_(config),
+      contracts_(contract::ContractRegistry::CreateDefault()) {
+  for (NodeId i = 0; i < config_.num_nodes; i++) node_ids_.push_back(i);
+  for (NodeId id : node_ids_) {
+    nodes_[id] = std::make_unique<Node>(sim);
+  }
+  auto on_apply = [this](NodeId node, uint64_t, const std::string& cmd) {
+    OnBlockCommitted(node, cmd);
+  };
+  if (config_.consensus == QuorumConsensus::kRaft) {
+    raft_ = consensus::RaftCluster::Create(sim, net, costs, node_ids_,
+                                           config_.raft, on_apply);
+  } else {
+    ibft_ = consensus::BftCluster::Create(sim, net, costs, node_ids_,
+                                          config_.ibft, on_apply);
+  }
+}
+
+void QuorumSystem::Start() {
+  if (raft_ != nullptr) {
+    raft_->StartAll();
+  } else {
+    ibft_->StartAll();
+  }
+  sim_->Schedule(config_.block_interval, [this] { ProposerTick(); });
+}
+
+bool QuorumSystem::HasProposer() const {
+  if (raft_ != nullptr) {
+    return const_cast<consensus::RaftCluster*>(raft_.get())->leader() != nullptr;
+  }
+  return const_cast<consensus::BftCluster*>(ibft_.get())->primary() != nullptr;
+}
+
+NodeId QuorumSystem::ProposerId() const {
+  if (raft_ != nullptr) {
+    auto* leader = const_cast<consensus::RaftCluster*>(raft_.get())->leader();
+    return leader != nullptr ? leader->id() : node_ids_[0];
+  }
+  auto* primary = const_cast<consensus::BftCluster*>(ibft_.get())->primary();
+  return primary != nullptr ? primary->id() : node_ids_[0];
+}
+
+void QuorumSystem::ProposerTick() {
+  if (!mempool_.empty() && HasProposer()) {
+    CutAndProposeBlock();
+  }
+  sim_->Schedule(config_.block_interval, [this] { ProposerTick(); });
+}
+
+Time QuorumSystem::ExecuteTxn(Node* node, const core::TxnRequest& request,
+                              ledger::LedgerTxn* out, bool apply_writes) {
+  contract::Contract* contract = contracts_->Lookup(
+      request.contract.empty() ? "ycsb" : request.contract);
+  Time cost = costs_->sig_verify_us;  // transaction signature check
+  if (contract == nullptr) {
+    out->valid = false;
+    return cost;
+  }
+  MptView view(&node->state);
+  contract::WriteSet writes;
+  Status s = contract->Execute(request, &view, &writes, nullptr);
+
+  // Read ops: state-trie lookups.
+  for (const auto& op : request.ops) {
+    if (op.type == core::OpType::kRead) {
+      cost += costs_->lsm_read_us;
+    }
+  }
+  // Write ops: EVM interpretation + MPT path rebuild per record.
+  for (const auto& [key, value] : writes) {
+    cost += costs_->QuorumOpCost(key.size() + value.size());
+  }
+  if (request.ops.empty()) {
+    // Contract-method transactions (Smallbank): charge the VM base per
+    // state access via the contract's own estimate.
+    cost += contract->ExecCost(request, *costs_);
+  }
+
+  out->valid = s.ok();
+  out->write_set.assign(writes.begin(), writes.end());
+  if (s.ok() && apply_writes) {
+    for (const auto& [key, value] : writes) {
+      node->state.Put(key, value);  // real MPT hashing work
+    }
+  }
+  return cost;
+}
+
+void QuorumSystem::CutAndProposeBlock() {
+  NodeId proposer_id = ProposerId();
+  Node* proposer = nodes_.at(proposer_id).get();
+
+  ledger::Block block;
+  block.header.number = next_block_number_;
+  block.header.parent = proposer->chain.TipDigest();
+  block.header.timestamp_us = static_cast<uint64_t>(sim_->Now());
+
+  Time exec_cost = 0;
+  uint64_t bytes = 0;
+  while (!mempool_.empty() && block.txns.size() < config_.max_block_txns &&
+         bytes < config_.max_block_bytes) {
+    PendingTxn pending = std::move(mempool_.front());
+    mempool_.pop_front();
+    pending.proposed_time = sim_->Now();
+
+    ledger::LedgerTxn txn;
+    txn.txn_id = pending.request.txn_id;
+    txn.client_id = pending.request.client_id;
+    txn.payload = pending.request.Serialize();
+    txn.client_signature =
+        crypto::Signer(pending.request.client_id).Sign(txn.payload);
+    // Serial pre-execution against the proposer's state (applied now — the
+    // proposer's chain head advances as it builds).
+    exec_cost += ExecuteTxn(proposer, pending.request, &txn,
+                            /*apply_writes=*/true);
+    bytes += txn.ByteSize();
+    block.txns.push_back(std::move(txn));
+    inflight_[pending.request.txn_id] = std::move(pending);
+  }
+  if (block.txns.empty()) return;
+  next_block_number_++;
+  block.header.state_digest = proposer->state.RootDigest();
+  block.SealTxnRoot();
+
+  // Remember which blocks this node built so it can skip re-execution when
+  // they commit (geth's miner does not re-process its own blocks).
+  locally_built_[proposer_id].insert(
+      crypto::DigestBytes(block.header.txn_root));
+
+  std::string serialized = block.Serialize();
+  // The pre-execution work occupies the proposer's serial thread; the block
+  // goes to consensus when it finishes.
+  proposer->cpu.Submit(exec_cost, [this, proposer_id,
+                                   serialized = std::move(serialized)] {
+    if (raft_ != nullptr) {
+      consensus::RaftNode* leader = raft_->leader();
+      if (leader == nullptr || leader->id() != proposer_id) return;
+      leader->Propose(serialized, [](Status, uint64_t) {});
+    } else {
+      consensus::BftNode* primary = ibft_->primary();
+      if (primary == nullptr) return;
+      primary->Submit(serialized, [](Status, uint64_t) {});
+    }
+  });
+}
+
+void QuorumSystem::OnBlockCommitted(NodeId node_id, const std::string& cmd) {
+  ledger::Block block;
+  if (!ledger::Block::Deserialize(cmd, &block)) return;
+  Node* node = nodes_.at(node_id).get();
+
+  // The proposer already executed this block while building it; skip its
+  // re-execution.
+  auto& built = locally_built_[node_id];
+  auto built_it = built.find(crypto::DigestBytes(block.header.txn_root));
+  bool already_executed = built_it != built.end();
+  if (already_executed) built.erase(built_it);
+
+  Time cost = 0;
+  if (!already_executed) {
+    for (const auto& txn : block.txns) {
+      core::TxnRequest request;
+      if (!core::TxnRequest::Deserialize(txn.payload, &request)) continue;
+      ledger::LedgerTxn scratch;
+      cost += ExecuteTxn(node, request, &scratch, /*apply_writes=*/false);
+    }
+    // Apply the block's write sets (deterministic replay).
+    for (const auto& txn : block.txns) {
+      if (!txn.valid) continue;
+      for (const auto& [key, value] : txn.write_set) {
+        node->state.Put(key, value);
+      }
+    }
+  }
+
+  // Serial commit on the node's execution thread.
+  auto shared = std::make_shared<ledger::Block>(std::move(block));
+  node->cpu.Submit(cost, [this, node_id, node, shared] {
+    // Fix up the parent pointer for the node's own chain (proposer chains
+    // can briefly diverge in IBFT view changes; benches keep it linear).
+    ledger::Block to_append = *shared;
+    to_append.header.number = node->chain.height();
+    to_append.header.parent = node->chain.TipDigest();
+    to_append.SealTxnRoot();
+    node->chain.Append(std::move(to_append));
+
+    // A fixed non-proposer node acts as the client's local peer: completion
+    // fires when it has committed, so the latency includes the
+    // re-execution (commit) phase like a real client observes.
+    NodeId completion = node_ids_.back();
+    if (completion == ProposerId() && node_ids_.size() > 1) {
+      completion = node_ids_[node_ids_.size() - 2];
+    }
+    if (node_id != completion) return;
+    for (const auto& txn : shared->txns) {
+      auto it = inflight_.find(txn.txn_id);
+      if (it == inflight_.end()) continue;
+      PendingTxn pending = std::move(it->second);
+      inflight_.erase(it);
+      net_->Send(node_id, config_.client_node, 64,
+                 [this, pending = std::move(pending),
+                  valid = txn.valid]() mutable {
+                   core::TxnResult result;
+                   result.submit_time = pending.submit_time;
+                   result.finish_time = sim_->Now();
+                   result.phase_us["proposal"] =
+                       pending.proposed_time - pending.submit_time;
+                   result.phase_us["consensus+commit"] =
+                       result.finish_time - pending.proposed_time;
+                   if (valid) {
+                     result.status = Status::Ok();
+                     stats_.committed++;
+                   } else {
+                     result.status = Status::Aborted("contract aborted");
+                     result.reason = core::AbortReason::kConstraint;
+                     stats_.aborted++;
+                     stats_.aborts_by_reason[result.reason]++;
+                   }
+                   pending.cb(result);
+                 });
+    }
+  });
+}
+
+void QuorumSystem::Submit(const core::TxnRequest& request,
+                          core::TxnCallback cb) {
+  PendingTxn pending;
+  pending.request = request;
+  pending.cb = std::move(cb);
+  pending.submit_time = sim_->Now();
+  // Client sends the signed transaction to the proposer's mempool.
+  net_->Send(config_.client_node, ProposerId(), request.PayloadBytes() + 96,
+             [this, pending = std::move(pending)]() mutable {
+               mempool_.push_back(std::move(pending));
+             });
+}
+
+void QuorumSystem::Query(const core::ReadRequest& request,
+                         core::ReadCallback cb) {
+  stats_.queries++;
+  Time submit_time = sim_->Now();
+  NodeId target = node_ids_[request.client_id % node_ids_.size()];
+  net_->Send(config_.client_node, target, 64 + request.key.size(),
+             [this, target, key = request.key, cb = std::move(cb),
+              submit_time]() mutable {
+               // Served concurrently by the node's RPC layer (no consensus).
+               sim_->Schedule(costs_->quorum_query_us, [this, target, key,
+                                                        cb = std::move(cb),
+                                                        submit_time]() mutable {
+                 std::string value;
+                 Status s = nodes_.at(target)->state.Get(key, &value);
+                 net_->Send(target, config_.client_node, 64 + value.size(),
+                            [this, cb = std::move(cb), submit_time, s,
+                             value = std::move(value)] {
+                              core::ReadResult result;
+                              result.status = s;
+                              result.value = value;
+                              result.submit_time = submit_time;
+                              result.finish_time = sim_->Now();
+                              result.phase_us["evm-read"] =
+                                  result.finish_time - submit_time;
+                              cb(result);
+                            });
+               });
+             });
+}
+
+}  // namespace dicho::systems

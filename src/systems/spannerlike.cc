@@ -1,0 +1,266 @@
+#include "systems/spannerlike.h"
+
+#include <algorithm>
+
+namespace dicho::systems {
+
+namespace {
+
+constexpr NodeId kShardBase = 600;
+
+class MapStateView : public contract::StateView {
+ public:
+  explicit MapStateView(
+      std::function<const std::string*(const std::string&)> lookup)
+      : lookup_(std::move(lookup)) {}
+  Status Get(const Slice& key, std::string* value) override {
+    const std::string* v = lookup_(key.ToString());
+    if (v == nullptr) return Status::NotFound();
+    *value = *v;
+    return Status::Ok();
+  }
+
+ private:
+  std::function<const std::string*(const std::string&)> lookup_;
+};
+
+}  // namespace
+
+SpannerLikeSystem::SpannerLikeSystem(sim::Simulator* sim, sim::SimNetwork* net,
+                                     const sim::CostModel* costs,
+                                     SpannerConfig config)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      config_(config),
+      partitioner_(config.num_shards),
+      contracts_(contract::ContractRegistry::CreateDefault()) {
+  for (uint32_t s = 0; s < config_.num_shards; s++) {
+    auto shard = std::make_unique<Shard>();
+    shard->leader = kShardBase + s * config_.nodes_per_shard;
+    node_cpu_[shard->leader] = std::make_unique<sim::CpuResource>(sim);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Time SpannerLikeSystem::ShardWriteCost(uint64_t bytes) const {
+  return costs_->raft_leader_base_us +
+         costs_->raft_leader_per_follower_us *
+             static_cast<Time>(config_.nodes_per_shard - 1) +
+         costs_->LsmWriteCost(bytes);
+}
+
+Time SpannerLikeSystem::ReplicationDelay() const {
+  return 2 * net_->config().base_latency_us + net_->config().jitter_us +
+         costs_->region_commit_latency_us;
+}
+
+void SpannerLikeSystem::Submit(const core::TxnRequest& request,
+                               core::TxnCallback cb) {
+  auto txn = std::make_shared<Txn>();
+  txn->request = request;
+  txn->cb = std::move(cb);
+  txn->submit_time = sim_->Now();
+  txn->keys = contract::StaticKeySet(request);
+  std::sort(txn->keys.begin(), txn->keys.end());
+  txn->keys.erase(std::unique(txn->keys.begin(), txn->keys.end()),
+                  txn->keys.end());
+  for (const auto& key : txn->keys) {
+    txn->keys_by_shard[partitioner_.ShardOf(key)].push_back(key);
+  }
+  NodeId coord = shards_[0]->leader;
+  net_->Send(config_.client_node, coord, request.PayloadBytes() + 64,
+             [this, txn] { StartAttempt(txn); });
+}
+
+void SpannerLikeSystem::StartAttempt(TxnPtr txn) {
+  txn->attempt++;
+  txn->ts = next_ts_++;  // wound-wait priority: retries get younger, which
+                         // prevents a wounded txn from instantly re-wounding
+  txn->wounded = false;
+  txn->locks_held = 0;
+  AcquireLocks(txn);
+}
+
+void SpannerLikeSystem::AcquireLocks(TxnPtr txn) {
+  if (txn->keys.empty()) {
+    ExecuteAndCommit(txn);
+    return;
+  }
+  uint64_t lock_txn_id = txn->request.txn_id * 1000 + txn->attempt;
+  for (auto& [shard_idx, keys] : txn->keys_by_shard) {
+    Shard* shard = shards_[shard_idx].get();
+    shard->locks.RegisterTxn(lock_txn_id, txn->ts, [this, txn] {
+      // Wounded by an older transaction: abort this attempt (release happens
+      // below, once, via RetryOrAbort).
+      if (!txn->wounded && !txn->finished) {
+        txn->wounded = true;
+        sim_->Schedule(costs_->latch_acquire_us, [this, txn] {
+          ReleaseAll(txn);
+          RetryOrAbort(txn, Status::Conflict("wounded"),
+                       core::AbortReason::kContention);
+        });
+      }
+    });
+  }
+  size_t total = txn->keys.size();
+  for (auto& [shard_idx, keys] : txn->keys_by_shard) {
+    Shard* shard = shards_[shard_idx].get();
+    for (const auto& key : keys) {
+      shard->locks.Acquire(lock_txn_id, key, [this, txn, total] {
+        txn->locks_held++;
+        if (txn->locks_held == total && !txn->wounded && !txn->finished) {
+          ExecuteAndCommit(txn);
+        }
+      });
+    }
+  }
+}
+
+void SpannerLikeSystem::ExecuteAndCommit(TxnPtr txn) {
+  // Reads under locks.
+  MapStateView view([this](const std::string& key) -> const std::string* {
+    Shard* shard = shards_[partitioner_.ShardOf(key)].get();
+    auto it = shard->state.find(key);
+    return it == shard->state.end() ? nullptr : &it->second;
+  });
+  contract::Contract* contract = contracts_->Lookup(
+      txn->request.contract.empty() ? "ycsb" : txn->request.contract);
+  contract::WriteSet writes;
+  core::TxnResult scratch;
+  Status s = contract == nullptr
+                 ? Status::NotSupported("unknown contract")
+                 : contract->Execute(txn->request, &view, &writes,
+                                     &scratch.reads);
+  if (!s.ok()) {
+    ReleaseAll(txn);
+    Finish(txn, s, core::AbortReason::kConstraint);
+    return;
+  }
+
+  // 2PC across the involved shards: prepare (replicated) then commit
+  // (replicated), coordinated by shard 0's leader (trusted).
+  std::map<uint32_t, std::vector<std::pair<std::string, std::string>>>
+      writes_by_shard;
+  for (const auto& [key, value] : writes) {
+    writes_by_shard[partitioner_.ShardOf(key)].emplace_back(key, value);
+  }
+  if (writes_by_shard.empty()) {
+    ReleaseAll(txn);
+    Finish(txn, Status::Ok(), core::AbortReason::kNone);
+    return;
+  }
+
+  auto phases_left = std::make_shared<size_t>(writes_by_shard.size());
+  auto all_writes = std::make_shared<decltype(writes_by_shard)>(
+      std::move(writes_by_shard));
+  for (auto& [shard_idx, shard_writes] : *all_writes) {
+    Shard* shard = shards_[shard_idx].get();
+    uint64_t bytes = 0;
+    for (const auto& [k, v] : shard_writes) bytes += k.size() + v.size();
+    // Prepare: replicate the staged writes in the shard's Paxos group.
+    node_cpu_.at(shard->leader)
+        ->Submit(ShardWriteCost(bytes) + costs_->two_pc_coord_us,
+                 [this, txn, shard, shard_idx, all_writes, phases_left] {
+                   sim_->Schedule(
+                       ReplicationDelay(),
+                       [this, txn, shard, shard_idx, all_writes, phases_left] {
+                         // Commit phase: apply.
+                         for (const auto& [k, v] : (*all_writes)[shard_idx]) {
+                           shard->state[k] = v;
+                         }
+                         node_cpu_.at(shard->leader)
+                             ->Submit(costs_->two_pc_coord_us, [this, txn,
+                                                                phases_left] {
+                               sim_->Schedule(ReplicationDelay(), [this, txn,
+                                                                   phases_left] {
+                                 if (--(*phases_left) == 0 && !txn->finished) {
+                                   ReleaseAll(txn);
+                                   Finish(txn, Status::Ok(),
+                                          core::AbortReason::kNone);
+                                 }
+                               });
+                             });
+                       });
+                 });
+  }
+}
+
+void SpannerLikeSystem::ReleaseAll(TxnPtr txn) {
+  uint64_t lock_txn_id = txn->request.txn_id * 1000 + txn->attempt;
+  for (auto& [shard_idx, keys] : txn->keys_by_shard) {
+    shards_[shard_idx]->locks.ReleaseAll(lock_txn_id);
+  }
+}
+
+void SpannerLikeSystem::RetryOrAbort(TxnPtr txn, Status why,
+                                     core::AbortReason reason) {
+  if (txn->finished) return;
+  if (txn->attempt <= config_.max_retries) {
+    sim_->Schedule(config_.retry_backoff * txn->attempt,
+                   [this, txn] { StartAttempt(txn); });
+    return;
+  }
+  Finish(txn, why, reason);
+}
+
+void SpannerLikeSystem::Finish(TxnPtr txn, Status status,
+                               core::AbortReason reason) {
+  if (txn->finished) return;
+  txn->finished = true;
+  net_->Send(shards_[0]->leader, config_.client_node, 64, [this, txn, status,
+                                                           reason] {
+    core::TxnResult result;
+    result.status = status;
+    result.reason = reason;
+    result.submit_time = txn->submit_time;
+    result.finish_time = sim_->Now();
+    if (status.ok()) {
+      stats_.committed++;
+    } else {
+      stats_.aborted++;
+      stats_.aborts_by_reason[reason]++;
+    }
+    txn->cb(result);
+  });
+}
+
+void SpannerLikeSystem::Query(const core::ReadRequest& request,
+                              core::ReadCallback cb) {
+  stats_.queries++;
+  Time submit_time = sim_->Now();
+  Shard* shard = shards_[partitioner_.ShardOf(request.key)].get();
+  net_->Send(config_.client_node, shard->leader, 64 + request.key.size(),
+             [this, shard, key = request.key, cb = std::move(cb),
+              submit_time]() mutable {
+               node_cpu_.at(shard->leader)
+                   ->Submit(costs_->lsm_read_us, [this, shard, key,
+                                                  cb = std::move(cb),
+                                                  submit_time]() mutable {
+                     auto it = shard->state.find(key);
+                     Status s = it == shard->state.end() ? Status::NotFound()
+                                                         : Status::Ok();
+                     std::string value =
+                         it == shard->state.end() ? "" : it->second;
+                     net_->Send(shard->leader, config_.client_node,
+                                64 + value.size(),
+                                [this, cb = std::move(cb), submit_time, s,
+                                 value = std::move(value)] {
+                                  core::ReadResult result;
+                                  result.status = s;
+                                  result.value = value;
+                                  result.submit_time = submit_time;
+                                  result.finish_time = sim_->Now();
+                                  cb(result);
+                                });
+                   });
+             });
+}
+
+uint64_t SpannerLikeSystem::lock_waits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->locks.waits();
+  return total;
+}
+
+}  // namespace dicho::systems

@@ -1,0 +1,429 @@
+#include "systems/tidb.h"
+
+#include <algorithm>
+
+namespace dicho::systems {
+
+namespace {
+
+constexpr NodeId kServerBase = 300;
+constexpr NodeId kTikvBase = 400;
+constexpr NodeId kPdNode = 500;
+
+/// Contract view over a transaction's prefetched snapshot.
+class SnapshotView : public contract::StateView {
+ public:
+  explicit SnapshotView(const std::map<std::string, std::string>* snapshot)
+      : snapshot_(snapshot) {}
+  Status Get(const Slice& key, std::string* value) override {
+    auto it = snapshot_->find(key.ToString());
+    if (it == snapshot_->end() || it->second.empty()) {
+      return Status::NotFound();
+    }
+    *value = it->second;
+    return Status::Ok();
+  }
+
+ private:
+  const std::map<std::string, std::string>* snapshot_;
+};
+
+}  // namespace
+
+TidbSystem::TidbSystem(sim::Simulator* sim, sim::SimNetwork* net,
+                       const sim::CostModel* costs, TidbConfig config)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      config_(config),
+      partitioner_(config.num_regions),
+      pd_node_(kPdNode),
+      contracts_(contract::ContractRegistry::CreateDefault()) {
+  for (uint32_t i = 0; i < config_.num_tidb_servers; i++) {
+    NodeId id = kServerBase + i;
+    server_ids_.push_back(id);
+    server_cpu_[id] = std::make_unique<sim::CpuResource>(sim);
+  }
+  for (uint32_t i = 0; i < config_.num_tikv_nodes; i++) {
+    NodeId id = kTikvBase + i;
+    tikv_ids_.push_back(id);
+    tikv_cpu_[id] = std::make_unique<sim::CpuResource>(sim);
+  }
+  pd_cpu_ = std::make_unique<sim::CpuResource>(sim);
+  for (uint32_t r = 0; r < config_.num_regions; r++) {
+    auto region = std::make_unique<Region>();
+    region->leader = tikv_ids_[r % tikv_ids_.size()];
+    regions_.push_back(std::move(region));
+  }
+}
+
+Time TidbSystem::RegionWriteCost(uint64_t bytes) const {
+  uint32_t replicas = ReplicationFactor();
+  // Leader-side CPU; under full replication every *other* TiKV node also
+  // charges a follower apply (see ChargeFollowerApplies).
+  return costs_->raft_leader_base_us +
+         costs_->raft_leader_per_follower_us *
+             static_cast<Time>(replicas > 0 ? replicas - 1 : 0) +
+         costs_->LsmWriteCost(bytes);
+}
+
+void TidbSystem::ChargeFollowerApplies(NodeId leader, uint64_t bytes) {
+  uint32_t replicas = ReplicationFactor();
+  uint32_t charged = 0;
+  for (NodeId node : tikv_ids_) {
+    if (node == leader) continue;
+    if (++charged >= replicas) break;
+    // Replication traffic occupies the leader's NIC and the follower's CPU.
+    net_->Send(leader, node, 64 + bytes, [this, node, bytes] {
+      tikv_cpu_.at(node)->Submit(
+          costs_->tikv_follower_apply_us + costs_->LsmWriteCost(bytes), [] {});
+    });
+  }
+}
+
+Time TidbSystem::ReplicationDelay() const {
+  // Majority ack (one round trip to the median follower) plus the region's
+  // WAL-fsync/apply latency.
+  return 2 * net_->config().base_latency_us + net_->config().jitter_us +
+         costs_->region_commit_latency_us;
+}
+
+void TidbSystem::FetchTimestamp(NodeId from, std::function<void(uint64_t)> cb) {
+  net_->Send(from, pd_node_, 48, [this, from, cb = std::move(cb)]() mutable {
+    pd_cpu_->Submit(costs_->tso_request_us,
+                    [this, from, cb = std::move(cb)]() mutable {
+                      uint64_t ts = next_ts_++;
+                      net_->Send(pd_node_, from, 48, [cb, ts] { cb(ts); });
+                    });
+  });
+}
+
+void TidbSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
+  auto txn = std::make_shared<Txn>();
+  txn->request = request;
+  txn->cb = std::move(cb);
+  txn->submit_time = sim_->Now();
+  txn->server = server_ids_[next_server_++ % server_ids_.size()];
+  txn->keys = contract::StaticKeySet(request);
+
+  net_->Send(config_.client_node, txn->server, request.PayloadBytes() + 64,
+             [this, txn] { StartAttempt(txn); });
+}
+
+void TidbSystem::StartAttempt(TxnPtr txn) {
+  txn->attempt++;
+  txn->snapshot.clear();
+  txn->writes.clear();
+  txn->failed = false;
+  Time parse_start = sim_->Now();
+  // SQL layer work on the (stateless) server.
+  server_cpu_.at(txn->server)
+      ->Submit(costs_->sql_parse_us + costs_->sql_execute_us, [this, txn,
+                                                               parse_start] {
+        txn->result.phase_us["parse"] += sim_->Now() - parse_start;
+        FetchTimestamp(txn->server, [this, txn](uint64_t ts) {
+          txn->start_ts = ts;
+          ReadKeys(txn, [this, txn] { ExecuteAndWrite(txn); });
+        });
+      });
+}
+
+void TidbSystem::ReadKeys(TxnPtr txn, std::function<void()> done) {
+  if (txn->keys.empty()) {
+    done();
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(txn->keys.size());
+  auto finish = [txn, remaining, done = std::move(done)]() {
+    if (--(*remaining) == 0 && !txn->failed) done();
+  };
+  for (const auto& key : txn->keys) {
+    ReadOneKey(txn, key, config_.max_read_retries, finish);
+  }
+}
+
+void TidbSystem::ReadOneKey(TxnPtr txn, const std::string& key,
+                            int retries_left, std::function<void()> done) {
+  uint32_t region_idx = partitioner_.ShardOf(key);
+  Region* region = regions_[region_idx].get();
+  NodeId leader = region->leader;
+  net_->Send(txn->server, leader, 64 + key.size(), [this, txn, key, leader,
+                                                    region, retries_left,
+                                                    done]() mutable {
+    tikv_cpu_.at(leader)->Submit(
+        costs_->lsm_read_us, [this, txn, key, leader, region, retries_left,
+                              done]() mutable {
+          std::string value;
+          Status s = region->store.GetSnapshot(key, txn->start_ts, &value);
+          if (s.IsConflict()) {
+            // Blocked by a lock: wait for resolution and retry.
+            if (retries_left > 0 && !txn->failed) {
+              sim_->Schedule(config_.retry_backoff, [this, txn, key,
+                                                     retries_left, done] {
+                ReadOneKey(txn, key, retries_left - 1, done);
+              });
+              return;
+            }
+            if (!txn->failed) {
+              txn->failed = true;
+              RetryOrAbort(txn, Status::Conflict("read blocked by lock"),
+                           core::AbortReason::kContention);
+            }
+            return;
+          }
+          // NotFound reads as empty (fresh key).
+          net_->Send(leader, txn->server, 64 + value.size(),
+                     [txn, key, value = std::move(value), done] {
+                       if (txn->failed) return;
+                       txn->snapshot[key] = value;
+                       done();
+                     });
+        });
+  });
+}
+
+void TidbSystem::ExecuteAndWrite(TxnPtr txn) {
+  contract::Contract* contract = contracts_->Lookup(
+      txn->request.contract.empty() ? "ycsb" : txn->request.contract);
+  if (contract == nullptr) {
+    Finish(txn, Status::NotSupported("unknown contract"),
+           core::AbortReason::kOther);
+    return;
+  }
+  SnapshotView view(&txn->snapshot);
+  Status s = contract->Execute(txn->request, &view, &txn->writes,
+                               &txn->result.reads);
+  if (!s.ok()) {
+    // Application constraint failure: clean abort, no retry.
+    Finish(txn, s, core::AbortReason::kConstraint);
+    return;
+  }
+  if (txn->writes.empty()) {
+    Finish(txn, Status::Ok(), core::AbortReason::kNone);
+    return;
+  }
+  txn->primary = txn->writes[0].first;
+  PrewriteAll(txn);
+}
+
+void TidbSystem::PrewriteAll(TxnPtr txn) {
+  Time prewrite_start = sim_->Now();
+  auto remaining = std::make_shared<size_t>(txn->writes.size());
+  for (const auto& [key, value] : txn->writes) {
+    uint32_t region_idx = partitioner_.ShardOf(key);
+    Region* region = regions_[region_idx].get();
+    NodeId leader = region->leader;
+    uint64_t bytes = 64 + key.size() + value.size();
+    net_->Send(
+        txn->server, leader, bytes,
+        [this, txn, key = key, value = value, leader, region, remaining,
+         prewrite_start] {
+          // The lock is taken on arrival and held through the region's
+          // replication round — the paper's primary-record latch.
+          Status s = region->store.Prewrite(key, value, txn->start_ts,
+                                            txn->primary, txn->request.txn_id);
+          Time cost = RegionWriteCost(key.size() + value.size());
+          if (s.ok()) ChargeFollowerApplies(leader, key.size() + value.size());
+          tikv_cpu_.at(leader)->Submit(cost, [this, txn, key, leader, s,
+                                              remaining, prewrite_start] {
+            sim_->Schedule(ReplicationDelay(), [this, txn, key, leader, s,
+                                                remaining, prewrite_start] {
+              net_->Send(leader, txn->server, 64, [this, txn, s, remaining,
+                                                   prewrite_start] {
+                if (txn->failed) return;
+                if (!s.ok()) {
+                  txn->failed = true;
+                  // Release any locks we did take.
+                  for (const auto& [k, v] : txn->writes) {
+                    (void)v;
+                    regions_[partitioner_.ShardOf(k)]->store.Rollback(
+                        k, txn->start_ts);
+                  }
+                  RetryOrAbort(txn, s,
+                               s.IsConflict()
+                                   ? core::AbortReason::kContention
+                                   : core::AbortReason::kWriteConflict);
+                  return;
+                }
+                if (--(*remaining) == 0) {
+                  txn->result.phase_us["prewrite"] +=
+                      sim_->Now() - prewrite_start;
+                  CommitPrimary(txn);
+                }
+              });
+            });
+          });
+        });
+  }
+}
+
+void TidbSystem::CommitPrimary(TxnPtr txn) {
+  Time commit_start = sim_->Now();
+  FetchTimestamp(txn->server, [this, txn, commit_start](uint64_t commit_ts) {
+    uint32_t region_idx = partitioner_.ShardOf(txn->primary);
+    Region* region = regions_[region_idx].get();
+    NodeId leader = region->leader;
+    net_->Send(txn->server, leader, 96, [this, txn, region, leader, commit_ts,
+                                         commit_start] {
+      Status s = region->store.Commit(txn->primary, txn->start_ts, commit_ts);
+      Time cost = RegionWriteCost(txn->primary.size() + 16);
+      if (s.ok()) ChargeFollowerApplies(leader, txn->primary.size() + 16);
+      tikv_cpu_.at(leader)->Submit(cost, [this, txn, leader, s, commit_ts,
+                                          commit_start] {
+        sim_->Schedule(ReplicationDelay(), [this, txn, leader, s, commit_ts,
+                                            commit_start] {
+          // Secondary keys commit asynchronously (Percolator): fire and
+          // forget, they are recoverable from the primary.
+          for (size_t i = 1; i < txn->writes.size(); i++) {
+            const auto& key = txn->writes[i].first;
+            regions_[partitioner_.ShardOf(key)]->store.Commit(
+                key, txn->start_ts, commit_ts);
+          }
+          net_->Send(leader, txn->server, 64, [this, txn, s, commit_start] {
+            txn->result.phase_us["commit"] += sim_->Now() - commit_start;
+            if (!s.ok()) {
+              Finish(txn, Status::Aborted("primary commit failed"),
+                     core::AbortReason::kWriteConflict);
+              return;
+            }
+            Finish(txn, Status::Ok(), core::AbortReason::kNone);
+          });
+        });
+      });
+    });
+  });
+}
+
+void TidbSystem::RetryOrAbort(TxnPtr txn, Status why,
+                              core::AbortReason reason) {
+  if (txn->attempt <= config_.max_write_retries) {
+    // Back off roughly one lock-hold time and retry with a fresh snapshot —
+    // contention resolution occupying the coordinator (paper 5.3.1).
+    Time backoff = config_.retry_backoff * txn->attempt;
+    sim_->Schedule(backoff, [this, txn] { StartAttempt(txn); });
+    return;
+  }
+  Finish(txn, why, reason);
+}
+
+void TidbSystem::Finish(TxnPtr txn, Status status, core::AbortReason reason) {
+  net_->Send(txn->server, config_.client_node, 64, [this, txn, status,
+                                                    reason] {
+    txn->result.status = status;
+    txn->result.reason = reason;
+    txn->result.submit_time = txn->submit_time;
+    txn->result.finish_time = sim_->Now();
+    if (status.ok()) {
+      stats_.committed++;
+    } else {
+      stats_.aborted++;
+      stats_.aborts_by_reason[reason]++;
+    }
+    txn->cb(txn->result);
+  });
+}
+
+void TidbSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) {
+  stats_.queries++;
+  Time submit_time = sim_->Now();
+  NodeId server = server_ids_[request.client_id % server_ids_.size()];
+  net_->Send(config_.client_node, server, 64 + request.key.size(),
+             [this, server, key = request.key, cb = std::move(cb),
+              submit_time]() mutable {
+               server_cpu_.at(server)->Submit(
+                   costs_->sql_parse_us, [this, server, key,
+                                          cb = std::move(cb),
+                                          submit_time]() mutable {
+                     uint32_t region_idx = partitioner_.ShardOf(key);
+                     Region* region = regions_[region_idx].get();
+                     NodeId leader = region->leader;
+                     net_->Send(server, leader, 64, [this, server, key, region,
+                                                     leader, cb = std::move(cb),
+                                                     submit_time]() mutable {
+                       tikv_cpu_.at(leader)->Submit(
+                           costs_->lsm_read_us,
+                           [this, server, key, region, leader,
+                            cb = std::move(cb), submit_time]() mutable {
+                             std::string value;
+                             Status s = region->store.GetSnapshot(
+                                 key, next_ts_, &value);
+                             net_->Send(
+                                 leader, config_.client_node,
+                                 64 + value.size(),
+                                 [this, cb = std::move(cb), submit_time, s,
+                                  value = std::move(value)] {
+                                   core::ReadResult result;
+                                   result.status = s;
+                                   result.value = value;
+                                   result.submit_time = submit_time;
+                                   result.finish_time = sim_->Now();
+                                   result.phase_us["read"] =
+                                       result.finish_time - submit_time;
+                                   cb(result);
+                                 });
+                           });
+                     });
+                   });
+             });
+}
+
+void TidbSystem::RawPut(const std::string& key, const std::string& value,
+                        std::function<void(Status)> cb) {
+  uint32_t region_idx = partitioner_.ShardOf(key);
+  Region* region = regions_[region_idx].get();
+  NodeId leader = region->leader;
+  net_->Send(config_.client_node, leader, 64 + key.size() + value.size(),
+             [this, key, value, region, leader, cb = std::move(cb)]() mutable {
+               Time cost = costs_->tikv_grpc_us +
+                           RegionWriteCost(key.size() + value.size());
+               tikv_cpu_.at(leader)->Submit(
+                   cost, [this, key, value, region, leader,
+                          cb = std::move(cb)]() mutable {
+                     // Raw mode bypasses the transaction layer entirely.
+                     uint64_t ts = next_ts_++;
+                     region->store.Prewrite(key, value, ts, key, 0);
+                     region->store.Commit(key, ts, next_ts_++);
+                     sim_->Schedule(ReplicationDelay(), [this, leader,
+                                                         cb = std::move(cb)] {
+                       net_->Send(leader, config_.client_node, 48,
+                                  [cb] { cb(Status::Ok()); });
+                     });
+                   });
+             });
+}
+
+void TidbSystem::RawGet(const std::string& key, core::ReadCallback cb) {
+  Time submit_time = sim_->Now();
+  uint32_t region_idx = partitioner_.ShardOf(key);
+  Region* region = regions_[region_idx].get();
+  NodeId leader = region->leader;
+  net_->Send(config_.client_node, leader, 64 + key.size(),
+             [this, key, region, leader, cb = std::move(cb),
+              submit_time]() mutable {
+               tikv_cpu_.at(leader)->Submit(
+                   costs_->lsm_read_us, [this, key, region, leader,
+                                         cb = std::move(cb),
+                                         submit_time]() mutable {
+                     std::string value;
+                     Status s = region->store.GetSnapshot(key, next_ts_, &value);
+                     net_->Send(leader, config_.client_node, 64 + value.size(),
+                                [this, cb = std::move(cb), submit_time, s,
+                                 value = std::move(value)] {
+                                  core::ReadResult result;
+                                  result.status = s;
+                                  result.value = value;
+                                  result.submit_time = submit_time;
+                                  result.finish_time = sim_->Now();
+                                  cb(result);
+                                });
+                   });
+             });
+}
+
+uint64_t TidbSystem::StateBytes() const {
+  uint64_t total = 0;
+  for (const auto& region : regions_) total += region->store.DataBytes();
+  return total;
+}
+
+}  // namespace dicho::systems

@@ -1,0 +1,93 @@
+#include "txn/lock_table.h"
+
+#include <cassert>
+
+namespace dicho::txn {
+
+void LockTable::RegisterTxn(uint64_t txn_id, uint64_t priority_ts,
+                            WoundFn wound) {
+  txns_[txn_id] = TxnInfo{priority_ts, std::move(wound), false, {}};
+}
+
+void LockTable::Acquire(uint64_t txn_id, const std::string& key,
+                        GrantFn granted) {
+  auto txn_it = txns_.find(txn_id);
+  assert(txn_it != txns_.end());
+
+  auto holder_it = holders_.find(key);
+  if (holder_it == holders_.end()) {
+    holders_[key] = txn_id;
+    txn_it->second.held.insert(key);
+    granted();
+    return;
+  }
+  if (holder_it->second == txn_id) {
+    granted();  // re-entrant
+    return;
+  }
+
+  TxnInfo& requester = txn_it->second;
+  TxnInfo& holder = txns_.at(holder_it->second);
+  if (requester.priority_ts < holder.priority_ts && !holder.wounded) {
+    // Wound-wait: the older transaction wounds the younger holder. The
+    // wounded transaction is expected to call ReleaseAll from its wound
+    // callback (or soon after), which hands the lock over.
+    holder.wounded = true;
+    wounds_++;
+    WoundFn wound = holder.wound;
+    queues_[key].push_front({txn_id, std::move(granted)});
+    waits_++;
+    if (wound) wound();
+    return;
+  }
+  // Younger (or equal) requester waits.
+  queues_[key].push_back({txn_id, std::move(granted)});
+  waits_++;
+}
+
+void LockTable::ReleaseAll(uint64_t txn_id) {
+  auto txn_it = txns_.find(txn_id);
+  if (txn_it == txns_.end()) return;
+
+  // Remove from all wait queues first (aborted transactions may be queued).
+  for (auto& [key, queue] : queues_) {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->txn_id == txn_id) {
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::set<std::string> held = std::move(txn_it->second.held);
+  txns_.erase(txn_it);
+  for (const auto& key : held) {
+    holders_.erase(key);
+    GrantNext(key);
+  }
+}
+
+void LockTable::GrantNext(const std::string& key) {
+  auto queue_it = queues_.find(key);
+  if (queue_it == queues_.end()) return;
+  while (!queue_it->second.empty()) {
+    Waiter waiter = std::move(queue_it->second.front());
+    queue_it->second.pop_front();
+    auto txn_it = txns_.find(waiter.txn_id);
+    if (txn_it == txns_.end()) continue;  // waiter already gone
+    holders_[key] = waiter.txn_id;
+    txn_it->second.held.insert(key);
+    if (queue_it->second.empty()) queues_.erase(queue_it);
+    waiter.granted();
+    return;
+  }
+  queues_.erase(queue_it);
+}
+
+bool LockTable::IsHeldBy(const std::string& key, uint64_t txn_id) const {
+  auto it = holders_.find(key);
+  return it != holders_.end() && it->second == txn_id;
+}
+
+}  // namespace dicho::txn

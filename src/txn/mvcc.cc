@@ -1,0 +1,79 @@
+#include "txn/mvcc.h"
+
+namespace dicho::txn {
+
+Status MvccStore::Prewrite(const Slice& key, const Slice& value,
+                           uint64_t start_ts, const Slice& primary_key,
+                           uint64_t txn_id) {
+  Record& record = records_[key.ToString()];
+  if (record.locked) {
+    if (record.lock.start_ts == start_ts) return Status::Ok();  // idempotent
+    return Status::Conflict("key locked by txn " +
+                            std::to_string(record.lock.txn_id));
+  }
+  // Write-write conflict: somebody committed after our snapshot.
+  if (!record.versions.empty() && record.versions.rbegin()->first > start_ts) {
+    return Status::Aborted("write conflict: newer committed version");
+  }
+  record.locked = true;
+  record.lock =
+      Lock{start_ts, txn_id, primary_key.ToString(), value.ToString()};
+  return Status::Ok();
+}
+
+Status MvccStore::Commit(const Slice& key, uint64_t start_ts,
+                         uint64_t commit_ts) {
+  auto it = records_.find(key.ToString());
+  if (it == records_.end() || !it->second.locked ||
+      it->second.lock.start_ts != start_ts) {
+    return Status::NotFound("no matching lock");
+  }
+  Record& record = it->second;
+  data_bytes_ += record.lock.staged_value.size();
+  record.versions[commit_ts] = std::move(record.lock.staged_value);
+  record.locked = false;
+  record.lock = Lock{};
+  return Status::Ok();
+}
+
+Status MvccStore::Rollback(const Slice& key, uint64_t start_ts) {
+  auto it = records_.find(key.ToString());
+  if (it == records_.end()) return Status::Ok();
+  if (it->second.locked && it->second.lock.start_ts == start_ts) {
+    it->second.locked = false;
+    it->second.lock = Lock{};
+  }
+  return Status::Ok();
+}
+
+Status MvccStore::GetSnapshot(const Slice& key, uint64_t ts,
+                              std::string* value) const {
+  auto it = records_.find(key.ToString());
+  if (it == records_.end()) return Status::NotFound();
+  const Record& record = it->second;
+  // A lock from a transaction that started before our snapshot might commit
+  // at a ts below ours — we cannot read around it.
+  if (record.locked && record.lock.start_ts <= ts) {
+    return Status::Conflict("blocked by lock at ts " +
+                            std::to_string(record.lock.start_ts));
+  }
+  // Newest version with commit_ts <= ts.
+  auto version = record.versions.upper_bound(ts);
+  if (version == record.versions.begin()) return Status::NotFound();
+  --version;
+  *value = version->second;
+  return Status::Ok();
+}
+
+bool MvccStore::IsLocked(const Slice& key) const {
+  auto it = records_.find(key.ToString());
+  return it != records_.end() && it->second.locked;
+}
+
+uint64_t MvccStore::LatestCommitTs(const Slice& key) const {
+  auto it = records_.find(key.ToString());
+  if (it == records_.end() || it->second.versions.empty()) return 0;
+  return it->second.versions.rbegin()->first;
+}
+
+}  // namespace dicho::txn

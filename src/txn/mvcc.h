@@ -1,0 +1,75 @@
+#ifndef DICHO_TXN_MVCC_H_
+#define DICHO_TXN_MVCC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace dicho::txn {
+
+/// Percolator-style multi-version store with a lock column — the
+/// transactional layer of TiKV (TiDB's storage). Transactions run
+/// two-phase: Prewrite places locks (primary first) and staged values at
+/// start_ts; Commit replaces locks with write records at commit_ts. Readers
+/// at snapshot `ts` see the newest committed version <= ts and are blocked
+/// (Conflict) by locks from transactions that started before their
+/// snapshot.
+///
+/// The *primary lock* is the linearization point: the transaction is
+/// committed iff the primary's lock has been replaced by a write record —
+/// this is the latch the paper blames for TiDB's collapse under skew
+/// (Section 5.3.1).
+class MvccStore {
+ public:
+  /// Stages `value` under a lock. Errors:
+  ///   Conflict  — another transaction holds a lock on `key`
+  ///   Aborted   — a committed write with commit_ts > start_ts exists
+  ///               (write-write conflict; Percolator aborts)
+  Status Prewrite(const Slice& key, const Slice& value, uint64_t start_ts,
+                  const Slice& primary_key, uint64_t txn_id);
+
+  /// Finalizes the key: lock at start_ts becomes a committed version at
+  /// commit_ts. NotFound if no matching lock (e.g. rolled back).
+  Status Commit(const Slice& key, uint64_t start_ts, uint64_t commit_ts);
+
+  /// Drops the lock and staged value at start_ts. Idempotent.
+  Status Rollback(const Slice& key, uint64_t start_ts);
+
+  /// Snapshot read at `ts`. Errors:
+  ///   Conflict — a lock from a transaction with start_ts <= ts blocks the
+  ///              read (caller retries or resolves)
+  ///   NotFound — no committed version at or before ts
+  Status GetSnapshot(const Slice& key, uint64_t ts, std::string* value) const;
+
+  /// True if `key` carries any lock (introspection / tests).
+  bool IsLocked(const Slice& key) const;
+  /// Newest committed commit_ts for key, 0 if none.
+  uint64_t LatestCommitTs(const Slice& key) const;
+
+  size_t key_count() const { return records_.size(); }
+  uint64_t DataBytes() const { return data_bytes_; }
+
+ private:
+  struct Lock {
+    uint64_t start_ts = 0;
+    uint64_t txn_id = 0;
+    std::string primary;
+    std::string staged_value;
+  };
+  struct Record {
+    // commit_ts -> value, newest = rbegin.
+    std::map<uint64_t, std::string> versions;
+    bool locked = false;
+    Lock lock;
+  };
+
+  std::map<std::string, Record> records_;
+  uint64_t data_bytes_ = 0;
+};
+
+}  // namespace dicho::txn
+
+#endif  // DICHO_TXN_MVCC_H_

@@ -1,0 +1,48 @@
+#include "txn/occ.h"
+
+namespace dicho::txn {
+
+void VersionedState::Get(const Slice& key, std::string* value,
+                         uint64_t* version) const {
+  auto it = state_.find(key.ToString());
+  if (it == state_.end()) {
+    value->clear();
+    *version = 0;
+    return;
+  }
+  *value = it->second.value;
+  *version = it->second.version;
+}
+
+bool VersionedState::Validate(
+    const std::vector<std::pair<std::string, uint64_t>>& read_set,
+    std::string* conflict_key) const {
+  for (const auto& [key, version] : read_set) {
+    auto it = state_.find(key);
+    uint64_t current = it == state_.end() ? 0 : it->second.version;
+    if (current != version) {
+      if (conflict_key != nullptr) *conflict_key = key;
+      return false;
+    }
+  }
+  return true;
+}
+
+void VersionedState::Apply(
+    const std::vector<std::pair<std::string, std::string>>& writes,
+    uint64_t version) {
+  for (const auto& [key, value] : writes) {
+    auto it = state_.find(key);
+    if (it == state_.end()) {
+      data_bytes_ += key.size() + value.size();
+      state_[key] = Entry{value, version};
+    } else {
+      data_bytes_ += value.size();
+      data_bytes_ -= it->second.value.size();
+      it->second.value = value;
+      it->second.version = version;
+    }
+  }
+}
+
+}  // namespace dicho::txn

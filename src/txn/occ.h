@@ -1,0 +1,48 @@
+#ifndef DICHO_TXN_OCC_H_
+#define DICHO_TXN_OCC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace dicho::txn {
+
+/// Version-stamped key-value state with optimistic validation — the commit
+/// path of Fabric (and of Veritas/FalconDB): transactions record the version
+/// of every key they read during simulation; at commit the versions are
+/// checked against the current state, and any staleness aborts the
+/// transaction (paper Section 3.2, Fig. 9's read-write conflicts).
+class VersionedState {
+ public:
+  /// Missing keys read as version 0, empty value.
+  void Get(const Slice& key, std::string* value, uint64_t* version) const;
+
+  /// Checks every (key, version) pair against current state. On mismatch
+  /// returns false and names the first conflicting key.
+  bool Validate(const std::vector<std::pair<std::string, uint64_t>>& read_set,
+                std::string* conflict_key) const;
+
+  /// Applies writes, stamping each written key with `version` (typically the
+  /// committing block height or a commit counter).
+  void Apply(const std::vector<std::pair<std::string, std::string>>& writes,
+             uint64_t version);
+
+  size_t size() const { return state_.size(); }
+  uint64_t DataBytes() const { return data_bytes_; }
+
+ private:
+  struct Entry {
+    std::string value;
+    uint64_t version = 0;
+  };
+  std::map<std::string, Entry> state_;
+  uint64_t data_bytes_ = 0;
+};
+
+}  // namespace dicho::txn
+
+#endif  // DICHO_TXN_OCC_H_

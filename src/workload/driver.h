@@ -1,0 +1,88 @@
+#ifndef DICHO_WORKLOAD_DRIVER_H_
+#define DICHO_WORKLOAD_DRIVER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+#include "core/types.h"
+#include "sim/simulator.h"
+
+namespace dicho::workload {
+
+using sim::Time;
+
+/// Load-generation parameters. Closed loop (num_clients > 0, rate == 0):
+/// each virtual client keeps one request outstanding — the saturation
+/// benchmark mode. Open loop (arrival_rate_tps > 0): Poisson arrivals —
+/// the unsaturated-latency mode.
+struct DriverConfig {
+  size_t num_clients = 64;
+  double arrival_rate_tps = 0;
+  Time warmup = 5 * sim::kSec;
+  Time measure = 20 * sim::kSec;
+  /// Fraction of requests issued as point queries instead of transactions.
+  double query_fraction = 0;
+};
+
+/// Results of one driver run.
+struct RunMetrics {
+  double throughput_tps = 0;
+  double query_throughput_tps = 0;
+  Histogram txn_latency_us;
+  Histogram query_latency_us;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  std::map<core::AbortReason, uint64_t> aborts_by_reason;
+  std::map<std::string, Histogram> phase_us;
+
+  double AbortRate() const {
+    uint64_t total = committed + aborted;
+    return total == 0 ? 0 : static_cast<double>(aborted) / total;
+  }
+  /// One-line summary for the bench harness output.
+  std::string Summary();
+};
+
+/// Drives a TransactionalSystem with a workload on the simulator and
+/// measures throughput/latency/aborts over the measurement window.
+class Driver {
+ public:
+  using TxnGen = std::function<core::TxnRequest()>;
+  using ReadGen = std::function<core::ReadRequest()>;
+
+  Driver(sim::Simulator* sim, core::TransactionalSystem* system,
+         TxnGen txn_gen, DriverConfig config)
+      : Driver(sim, system, std::move(txn_gen), nullptr, config) {}
+
+  Driver(sim::Simulator* sim, core::TransactionalSystem* system,
+         TxnGen txn_gen, ReadGen read_gen, DriverConfig config);
+
+  /// Runs warmup + measurement on the simulator and returns the metrics.
+  RunMetrics Run();
+
+ private:
+  void IssueNext(size_t client);
+  void ScheduleArrival();
+  void Dispatch(size_t client);
+  void OnTxnDone(size_t client, const core::TxnResult& result);
+  void OnReadDone(size_t client, const core::ReadResult& result);
+  bool InWindow(Time t) const {
+    return t >= window_start_ && t < window_end_;
+  }
+
+  sim::Simulator* sim_;
+  core::TransactionalSystem* system_;
+  TxnGen txn_gen_;
+  ReadGen read_gen_;
+  DriverConfig config_;
+  RunMetrics metrics_;
+  Time window_start_ = 0;
+  Time window_end_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dicho::workload
+
+#endif  // DICHO_WORKLOAD_DRIVER_H_

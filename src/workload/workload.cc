@@ -1,0 +1,101 @@
+#include "workload/workload.h"
+
+#include <cstdio>
+
+namespace dicho::workload {
+
+YcsbWorkload::YcsbWorkload(YcsbConfig config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      zipf_(config.record_count, config.theta) {}
+
+std::string YcsbWorkload::KeyAt(uint64_t index) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%010llu",
+           static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string YcsbWorkload::RandomValue() {
+  return rng_.Bytes(EffectiveRecordSize());
+}
+
+core::TxnRequest YcsbWorkload::NextTxn() {
+  core::TxnRequest req;
+  req.txn_id = next_txn_id_++;
+  req.client_id = rng_.Uniform(64);
+  req.contract = "ycsb";
+  for (int i = 0; i < config_.ops_per_txn; i++) {
+    core::Op op;
+    op.key = KeyAt(zipf_.Next(&rng_));
+    if (rng_.NextDouble() < config_.read_fraction) {
+      op.type = core::OpType::kRead;
+    } else {
+      op.type = config_.read_modify_write ? core::OpType::kReadModifyWrite
+                                          : core::OpType::kWrite;
+      op.value = RandomValue();
+    }
+    req.ops.push_back(std::move(op));
+  }
+  return req;
+}
+
+core::ReadRequest YcsbWorkload::NextRead() {
+  core::ReadRequest req;
+  req.client_id = rng_.Uniform(64);
+  req.key = KeyAt(zipf_.Next(&rng_));
+  return req;
+}
+
+SmallbankWorkload::SmallbankWorkload(SmallbankConfig config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      zipf_(config.num_accounts, config.theta) {}
+
+std::string SmallbankWorkload::CustomerAt(uint64_t index) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "cust%08llu",
+           static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string SmallbankWorkload::PickCustomer() {
+  return CustomerAt(zipf_.Next(&rng_));
+}
+
+core::TxnRequest SmallbankWorkload::NextTxn() {
+  core::TxnRequest req;
+  req.txn_id = next_txn_id_++;
+  req.client_id = rng_.Uniform(64);
+  req.contract = "smallbank";
+  std::string c1 = PickCustomer();
+  std::string c2 = PickCustomer();
+  std::string amount = std::to_string(1 + rng_.Uniform(100));
+  // The OLTPBench Smallbank mix: ~15% balance, 15% deposit, 15% transact,
+  // 25% write_check, 15% amalgamate, 15% send_payment.
+  uint64_t dice = rng_.Uniform(100);
+  if (dice < 15) {
+    req.method = "balance";
+    req.args = {c1};
+  } else if (dice < 30) {
+    req.method = "deposit_checking";
+    req.args = {c1, amount};
+  } else if (dice < 45) {
+    req.method = "transact_savings";
+    req.args = {c1, amount};
+  } else if (dice < 70) {
+    req.method = "write_check";
+    req.args = {c1, amount};
+  } else if (dice < 85) {
+    req.method = "amalgamate";
+    while (c2 == c1) c2 = PickCustomer();
+    req.args = {c1, c2};
+  } else {
+    req.method = "send_payment";
+    while (c2 == c1) c2 = PickCustomer();
+    req.args = {c1, c2, amount};
+  }
+  return req;
+}
+
+}  // namespace dicho::workload

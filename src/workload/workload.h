@@ -1,0 +1,86 @@
+#ifndef DICHO_WORKLOAD_WORKLOAD_H_
+#define DICHO_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/types.h"
+
+namespace dicho::workload {
+
+/// YCSB parameters (paper Table 3; defaults = the underlined values).
+struct YcsbConfig {
+  uint64_t record_count = 100000;
+  size_t record_size = 1000;
+  double theta = 0.0;  // Zipfian coefficient; 0 = uniform
+  int ops_per_txn = 1;
+  /// Fraction of *read* ops inside update transactions (0 = update-only).
+  double read_fraction = 0.0;
+  /// Read-modify-write ops instead of blind writes (the paper's skew
+  /// experiments modify a single record: first read, then write back).
+  bool read_modify_write = true;
+  /// Divide record_size by ops_per_txn so the transaction payload stays
+  /// constant across the op-count sweep (paper 5.3.2).
+  bool fix_txn_size = false;
+};
+
+/// Generates YCSB transactions and point queries.
+class YcsbWorkload {
+ public:
+  YcsbWorkload(YcsbConfig config, uint64_t seed = 1);
+
+  core::TxnRequest NextTxn();
+  core::ReadRequest NextRead();
+
+  /// Keys/values for pre-population.
+  std::string KeyAt(uint64_t index) const;
+  std::string RandomValue();
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  size_t EffectiveRecordSize() const {
+    if (!config_.fix_txn_size || config_.ops_per_txn <= 1) {
+      return config_.record_size;
+    }
+    return config_.record_size / static_cast<size_t>(config_.ops_per_txn);
+  }
+
+  YcsbConfig config_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  uint64_t next_txn_id_ = 1;
+};
+
+/// Smallbank parameters: 1M accounts, Zipfian account selection with
+/// theta = 1 in the paper's Fig. 6 setup.
+struct SmallbankConfig {
+  uint64_t num_accounts = 1000000;
+  double theta = 1.0;
+  int64_t initial_checking = 100000;  // cents
+  int64_t initial_savings = 100000;
+};
+
+/// Generates the standard Smallbank transaction mix.
+class SmallbankWorkload {
+ public:
+  SmallbankWorkload(SmallbankConfig config, uint64_t seed = 1);
+
+  core::TxnRequest NextTxn();
+  std::string CustomerAt(uint64_t index) const;
+  const SmallbankConfig& config() const { return config_; }
+
+ private:
+  std::string PickCustomer();
+
+  SmallbankConfig config_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  uint64_t next_txn_id_ = 1;
+};
+
+}  // namespace dicho::workload
+
+#endif  // DICHO_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,157 @@
+#include "adt/mbt.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace dicho::adt {
+namespace {
+
+TEST(MbtTest, DepthIsCappedByConstruction) {
+  MerkleBucketTree tree(1000, 4);
+  // ceil(log4 1000) = 5 — the paper's configuration.
+  EXPECT_EQ(tree.depth(), 5u);
+  MerkleBucketTree small(16, 4);
+  EXPECT_EQ(small.depth(), 2u);
+}
+
+TEST(MbtTest, PutGet) {
+  MerkleBucketTree tree(100, 4);
+  ASSERT_TRUE(tree.Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(tree.Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_TRUE(tree.Get("missing", &value).IsNotFound());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(MbtTest, UpdateAndDelete) {
+  MerkleBucketTree tree(100, 4);
+  ASSERT_TRUE(tree.Put("k", "v1").ok());
+  crypto::Digest r1 = tree.RootDigest();
+  ASSERT_TRUE(tree.Put("k", "v2").ok());
+  EXPECT_NE(tree.RootDigest(), r1);
+  EXPECT_EQ(tree.size(), 1u);
+  ASSERT_TRUE(tree.Delete("k").ok());
+  EXPECT_EQ(tree.size(), 0u);
+  std::string value;
+  EXPECT_TRUE(tree.Get("k", &value).IsNotFound());
+  EXPECT_TRUE(tree.Delete("k").IsNotFound());
+}
+
+TEST(MbtTest, DeleteRestoresPriorRoot) {
+  MerkleBucketTree tree(100, 4);
+  ASSERT_TRUE(tree.Put("a", "1").ok());
+  crypto::Digest before = tree.RootDigest();
+  ASSERT_TRUE(tree.Put("b", "2").ok());
+  ASSERT_TRUE(tree.Delete("b").ok());
+  EXPECT_EQ(tree.RootDigest(), before);
+}
+
+TEST(MbtTest, RootOrderIndependent) {
+  Rng rng(7);
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 300; i++) {
+    kvs.emplace_back("key" + std::to_string(i), rng.Bytes(16));
+  }
+  MerkleBucketTree a(50, 4);
+  for (const auto& [k, v] : kvs) ASSERT_TRUE(a.Put(k, v).ok());
+  for (size_t i = kvs.size() - 1; i > 0; i--) {
+    std::swap(kvs[i], kvs[rng.Uniform(i + 1)]);
+  }
+  MerkleBucketTree b(50, 4);
+  for (const auto& [k, v] : kvs) ASSERT_TRUE(b.Put(k, v).ok());
+  EXPECT_EQ(a.RootDigest(), b.RootDigest());
+}
+
+TEST(MbtTest, RootDetectsAnyMutation) {
+  MerkleBucketTree tree(64, 4);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(tree.Put("key" + std::to_string(i), "v").ok());
+  }
+  crypto::Digest base = tree.RootDigest();
+  ASSERT_TRUE(tree.Put("key77", "mutated").ok());
+  EXPECT_NE(tree.RootDigest(), base);
+}
+
+TEST(MbtTest, FuzzAgainstMap) {
+  MerkleBucketTree tree(128, 4);
+  std::map<std::string, std::string> model;
+  Rng rng(13);
+  for (int i = 0; i < 3000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(500));
+    if (rng.Bernoulli(0.25)) {
+      bool existed = model.erase(key) > 0;
+      EXPECT_EQ(tree.Delete(key).ok(), existed);
+    } else {
+      std::string value = rng.Bytes(1 + rng.Uniform(40));
+      model[key] = value;
+      ASSERT_TRUE(tree.Put(key, value).ok());
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  for (const auto& [k, v] : model) {
+    std::string value;
+    ASSERT_TRUE(tree.Get(k, &value).ok());
+    EXPECT_EQ(value, v);
+  }
+}
+
+// Proof soundness across bucket/fanout configurations.
+class MbtProofSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(MbtProofSweep, ProofsVerifyAndForgeriesFail) {
+  auto [buckets, fanout] = GetParam();
+  MerkleBucketTree tree(buckets, fanout);
+  Rng rng(buckets * 31 + fanout);
+  std::map<std::string, std::string> kvs;
+  for (int i = 0; i < 200; i++) {
+    std::string k = "rec" + std::to_string(i);
+    kvs[k] = rng.Bytes(24);
+    ASSERT_TRUE(tree.Put(k, kvs[k]).ok());
+  }
+  for (const auto& [k, v] : kvs) {
+    MerkleBucketTree::Proof proof;
+    ASSERT_TRUE(tree.Prove(k, &proof).ok());
+    EXPECT_TRUE(VerifyMbtProof(tree.RootDigest(), k, v, proof)) << k;
+    EXPECT_FALSE(VerifyMbtProof(tree.RootDigest(), k, "forged", proof));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MbtProofSweep,
+    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(7, 2),
+                      std::make_tuple(16, 4), std::make_tuple(100, 4),
+                      std::make_tuple(1000, 4), std::make_tuple(1000, 16)));
+
+TEST(MbtTest, ProofRejectsTamperedStep) {
+  MerkleBucketTree tree(64, 4);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(tree.Put("key" + std::to_string(i), "v").ok());
+  }
+  MerkleBucketTree::Proof proof;
+  ASSERT_TRUE(tree.Prove("key5", &proof).ok());
+  ASSERT_FALSE(proof.steps.empty());
+  proof.steps[0].group[0][0] ^= 1;
+  EXPECT_FALSE(VerifyMbtProof(tree.RootDigest(), "key5", "v", proof));
+}
+
+TEST(MbtTest, OverheadIsSmallConstantPerRecord) {
+  // The Fig. 13 effect: MBT overhead per record is tens of bytes because the
+  // tree above the buckets is fixed-size.
+  MerkleBucketTree tree(1000, 4);
+  Rng rng(19);
+  const int kRecords = 10000;
+  for (int i = 0; i < kRecords; i++) {
+    ASSERT_TRUE(tree.Put(rng.Bytes(16), rng.Bytes(100)).ok());
+  }
+  uint64_t per_record = tree.OverheadBytes() / kRecords;
+  EXPECT_LT(per_record, 50u);
+  EXPECT_GT(per_record, 10u);
+}
+
+}  // namespace
+}  // namespace dicho::adt

@@ -1,0 +1,225 @@
+#include "adt/mpt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+
+namespace dicho::adt {
+namespace {
+
+TEST(MptTest, EmptyTrie) {
+  MerklePatriciaTrie trie;
+  EXPECT_EQ(trie.RootDigest(), crypto::ZeroDigest());
+  EXPECT_EQ(trie.size(), 0u);
+  std::string value;
+  EXPECT_TRUE(trie.Get("k", &value).IsNotFound());
+}
+
+TEST(MptTest, PutGetSingle) {
+  MerklePatriciaTrie trie;
+  ASSERT_TRUE(trie.Put("key", "value").ok());
+  std::string value;
+  ASSERT_TRUE(trie.Get("key", &value).ok());
+  EXPECT_EQ(value, "value");
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_NE(trie.RootDigest(), crypto::ZeroDigest());
+}
+
+TEST(MptTest, UpdateChangesRootKeepsSize) {
+  MerklePatriciaTrie trie;
+  ASSERT_TRUE(trie.Put("key", "v1").ok());
+  crypto::Digest r1 = trie.RootDigest();
+  ASSERT_TRUE(trie.Put("key", "v2").ok());
+  EXPECT_NE(trie.RootDigest(), r1);
+  EXPECT_EQ(trie.size(), 1u);
+  std::string value;
+  ASSERT_TRUE(trie.Get("key", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(MptTest, SharedPrefixKeys) {
+  MerklePatriciaTrie trie;
+  // These exercise leaf split, extension split, and branch values.
+  ASSERT_TRUE(trie.Put("abcdef", "1").ok());
+  ASSERT_TRUE(trie.Put("abcxyz", "2").ok());
+  ASSERT_TRUE(trie.Put("abc", "3").ok());     // prefix of both
+  ASSERT_TRUE(trie.Put("abcdefgh", "4").ok());
+  ASSERT_TRUE(trie.Put("zzz", "5").ok());
+  std::string value;
+  ASSERT_TRUE(trie.Get("abcdef", &value).ok());
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(trie.Get("abcxyz", &value).ok());
+  EXPECT_EQ(value, "2");
+  ASSERT_TRUE(trie.Get("abc", &value).ok());
+  EXPECT_EQ(value, "3");
+  ASSERT_TRUE(trie.Get("abcdefgh", &value).ok());
+  EXPECT_EQ(value, "4");
+  ASSERT_TRUE(trie.Get("zzz", &value).ok());
+  EXPECT_EQ(value, "5");
+  EXPECT_TRUE(trie.Get("abcd", &value).IsNotFound());
+  EXPECT_TRUE(trie.Get("ab", &value).IsNotFound());
+}
+
+TEST(MptTest, RootIsOrderIndependent) {
+  // The defining property of an authenticated *index*: the digest commits to
+  // the content, not the insertion history.
+  std::vector<std::pair<std::string, std::string>> kvs;
+  Rng rng(17);
+  for (int i = 0; i < 200; i++) {
+    kvs.emplace_back("key" + std::to_string(i), rng.Bytes(20));
+  }
+  MerklePatriciaTrie a;
+  for (const auto& [k, v] : kvs) ASSERT_TRUE(a.Put(k, v).ok());
+
+  // Shuffle and rebuild.
+  for (size_t i = kvs.size() - 1; i > 0; i--) {
+    std::swap(kvs[i], kvs[rng.Uniform(i + 1)]);
+  }
+  MerklePatriciaTrie b;
+  for (const auto& [k, v] : kvs) ASSERT_TRUE(b.Put(k, v).ok());
+
+  EXPECT_EQ(a.RootDigest(), b.RootDigest());
+}
+
+TEST(MptTest, DistinctContentDistinctRoot) {
+  MerklePatriciaTrie a, b;
+  ASSERT_TRUE(a.Put("k1", "v").ok());
+  ASSERT_TRUE(b.Put("k2", "v").ok());
+  EXPECT_NE(a.RootDigest(), b.RootDigest());
+
+  MerklePatriciaTrie c, d;
+  ASSERT_TRUE(c.Put("k", "v1").ok());
+  ASSERT_TRUE(d.Put("k", "v2").ok());
+  EXPECT_NE(c.RootDigest(), d.RootDigest());
+}
+
+TEST(MptTest, FuzzAgainstMap) {
+  MerklePatriciaTrie trie;
+  std::map<std::string, std::string> model;
+  Rng rng(23);
+  for (int i = 0; i < 3000; i++) {
+    std::string key = rng.Bytes(1 + rng.Uniform(16));
+    std::string value = rng.Bytes(1 + rng.Uniform(64));
+    model[key] = value;
+    ASSERT_TRUE(trie.Put(key, value).ok());
+  }
+  EXPECT_EQ(trie.size(), model.size());
+  for (const auto& [k, v] : model) {
+    std::string value;
+    ASSERT_TRUE(trie.Get(k, &value).ok()) << k;
+    EXPECT_EQ(value, v);
+  }
+  // Absent keys.
+  for (int i = 0; i < 500; i++) {
+    std::string key = "absent" + rng.Bytes(8);
+    if (model.count(key) == 0) {
+      std::string value;
+      EXPECT_TRUE(trie.Get(key, &value).IsNotFound());
+    }
+  }
+}
+
+TEST(MptTest, BinaryKeysWithEmbeddedNulls) {
+  MerklePatriciaTrie trie;
+  std::string k1("\x00\x01", 2), k2("\x00\x02", 2), k3("\x00", 1);
+  ASSERT_TRUE(trie.Put(k1, "a").ok());
+  ASSERT_TRUE(trie.Put(k2, "b").ok());
+  ASSERT_TRUE(trie.Put(k3, "c").ok());
+  std::string value;
+  ASSERT_TRUE(trie.Get(k1, &value).ok());
+  EXPECT_EQ(value, "a");
+  ASSERT_TRUE(trie.Get(k3, &value).ok());
+  EXPECT_EQ(value, "c");
+}
+
+TEST(MptTest, ProofsVerify) {
+  MerklePatriciaTrie trie;
+  std::map<std::string, std::string> kvs;
+  Rng rng(31);
+  for (int i = 0; i < 300; i++) {
+    std::string k = "account" + std::to_string(i);
+    kvs[k] = rng.Bytes(32);
+    ASSERT_TRUE(trie.Put(k, kvs[k]).ok());
+  }
+  for (const auto& [k, v] : kvs) {
+    MerklePatriciaTrie::Proof proof;
+    ASSERT_TRUE(trie.Prove(k, &proof).ok());
+    EXPECT_TRUE(VerifyMptProof(trie.RootDigest(), k, v, proof)) << k;
+  }
+}
+
+TEST(MptTest, ProofRejectsWrongValue) {
+  MerklePatriciaTrie trie;
+  ASSERT_TRUE(trie.Put("k1", "honest").ok());
+  ASSERT_TRUE(trie.Put("k2", "other").ok());
+  MerklePatriciaTrie::Proof proof;
+  ASSERT_TRUE(trie.Prove("k1", &proof).ok());
+  EXPECT_TRUE(VerifyMptProof(trie.RootDigest(), "k1", "honest", proof));
+  EXPECT_FALSE(VerifyMptProof(trie.RootDigest(), "k1", "forged", proof));
+  EXPECT_FALSE(VerifyMptProof(trie.RootDigest(), "k2", "honest", proof));
+}
+
+TEST(MptTest, ProofRejectsStaleRoot) {
+  MerklePatriciaTrie trie;
+  ASSERT_TRUE(trie.Put("k", "v1").ok());
+  MerklePatriciaTrie::Proof proof;
+  ASSERT_TRUE(trie.Prove("k", &proof).ok());
+  crypto::Digest old_root = trie.RootDigest();
+  ASSERT_TRUE(trie.Put("k", "v2").ok());
+  // Old proof still verifies against the old root (historical state)...
+  EXPECT_TRUE(VerifyMptProof(old_root, "k", "v1", proof));
+  // ...but not against the new root.
+  EXPECT_FALSE(VerifyMptProof(trie.RootDigest(), "k", "v1", proof));
+}
+
+TEST(MptTest, ProofRejectsTamperedNode) {
+  MerklePatriciaTrie trie;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(trie.Put("key" + std::to_string(i), "v").ok());
+  }
+  MerklePatriciaTrie::Proof proof;
+  ASSERT_TRUE(trie.Prove("key7", &proof).ok());
+  ASSERT_GT(proof.nodes.size(), 1u);
+  proof.nodes[1][0] ^= 1;
+  EXPECT_FALSE(VerifyMptProof(trie.RootDigest(), "key7", "v", proof));
+}
+
+TEST(MptTest, StorageGrowsWithHistory) {
+  MerklePatriciaTrie trie;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(trie.Put("key" + std::to_string(i), "value").ok());
+  }
+  uint64_t reachable = trie.ReachableBytes();
+  uint64_t total = trie.TotalNodeBytes();
+  EXPECT_GT(reachable, 0u);
+  // Copy-on-write: archival bytes strictly exceed the live state.
+  EXPECT_GT(total, reachable);
+}
+
+TEST(MptTest, PerRecordOverheadIsLarge) {
+  // The Fig. 13 effect. What Quorum writes to LevelDB is the *archival* node
+  // store — copy-on-write path nodes are never pruned — so the measured cost
+  // per record is TotalNodeBytes, and it lands in the several-hundred-bytes
+  // to >1KB range for 16-byte keys.
+  MerklePatriciaTrie trie;
+  Rng rng(41);
+  const int kRecords = 1000;
+  uint64_t data_bytes = 0;
+  for (int i = 0; i < kRecords; i++) {
+    std::string key = rng.Bytes(16);
+    std::string value = rng.Bytes(100);
+    data_bytes += key.size() + value.size();
+    ASSERT_TRUE(trie.Put(key, value).ok());
+  }
+  uint64_t overhead = (trie.TotalNodeBytes() - data_bytes) / kRecords;
+  EXPECT_GT(overhead, 400u);
+  // Live-state overhead is smaller but still well above MBT's.
+  uint64_t live = (trie.ReachableBytes() - data_bytes) / kRecords;
+  EXPECT_GT(live, 50u);
+}
+
+}  // namespace
+}  // namespace dicho::adt

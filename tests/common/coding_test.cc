@@ -1,0 +1,140 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dicho {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  PutFixed32(&s, 0);
+  PutFixed32(&s, 1);
+  PutFixed32(&s, 0xDEADBEEF);
+  PutFixed32(&s, UINT32_MAX);
+  Slice in(s);
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xDEADBEEF);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, UINT32_MAX);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  PutFixed64(&s, 0x0123456789ABCDEFull);
+  Slice in(s);
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string s;
+  PutFixed32(&s, 0x04030201);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], 2);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(s[3], 4);
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  std::string s;
+  for (int shift = 0; shift < 64; shift += 7) {
+    PutVarint64(&s, (1ull << shift) - 1);
+    PutVarint64(&s, 1ull << shift);
+  }
+  PutVarint64(&s, UINT64_MAX);
+  Slice in(s);
+  uint64_t v;
+  for (int shift = 0; shift < 64; shift += 7) {
+    ASSERT_TRUE(GetVarint64(&in, &v));
+    EXPECT_EQ(v, (1ull << shift) - 1);
+    ASSERT_TRUE(GetVarint64(&in, &v));
+    EXPECT_EQ(v, 1ull << shift);
+  }
+  ASSERT_TRUE(GetVarint64(&in, &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  Rng rng(7);
+  for (int i = 0; i < 200; i++) {
+    uint64_t v = rng.Next() >> rng.Uniform(64);
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v)) << v;
+  }
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string s;
+  PutVarint64(&s, 1ull << 40);
+  Slice in(s.data(), s.size() - 1);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string s;
+  PutVarint64(&s, 1ull << 40);
+  Slice in(s);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string s;
+  PutLengthPrefixed(&s, "hello");
+  PutLengthPrefixed(&s, "");
+  PutLengthPrefixed(&s, std::string(300, 'x'));
+  Slice in(s);
+  Slice out;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_EQ(out, Slice("hello"));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_EQ(out.size(), 300u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedFails) {
+  std::string s;
+  PutLengthPrefixed(&s, "hello");
+  Slice in(s.data(), s.size() - 2);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(CodingTest, RandomRoundTripProperty) {
+  Rng rng(99);
+  for (int iter = 0; iter < 100; iter++) {
+    std::vector<uint64_t> values;
+    std::string buf;
+    int n = 1 + static_cast<int>(rng.Uniform(20));
+    for (int i = 0; i < n; i++) {
+      uint64_t v = rng.Next() >> rng.Uniform(64);
+      values.push_back(v);
+      PutVarint64(&buf, v);
+    }
+    Slice in(buf);
+    for (uint64_t expected : values) {
+      uint64_t got;
+      ASSERT_TRUE(GetVarint64(&in, &got));
+      EXPECT_EQ(got, expected);
+    }
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+}  // namespace
+}  // namespace dicho

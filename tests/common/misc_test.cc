@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "common/hex.h"
+#include "common/histogram.h"
+
+namespace dicho {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  char zeros[32] = {0};
+  EXPECT_EQ(crc32c::Value(zeros, 32), 0x8A9136AAu);
+  // "123456789" -> 0xE3069283
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  const char* data = "hello world, this is a crc test";
+  size_t n = strlen(data);
+  uint32_t whole = crc32c::Value(data, n);
+  uint32_t part = crc32c::Value(data, 10);
+  part = crc32c::Extend(part, data + 10, n - 10);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  uint32_t crc = crc32c::Value("abc", 3);
+  EXPECT_NE(crc, crc32c::Mask(crc));
+  EXPECT_EQ(crc, crc32c::Unmask(crc32c::Mask(crc)));
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data(100, 'a');
+  uint32_t before = crc32c::Value(data.data(), data.size());
+  data[50] ^= 1;
+  EXPECT_NE(before, crc32c::Value(data.data(), data.size()));
+}
+
+TEST(HexTest, RoundTrip) {
+  std::string raw("\x00\xff\x10\xab", 4);
+  EXPECT_EQ(ToHex(raw), "00ff10ab");
+  EXPECT_EQ(FromHex("00ff10ab"), raw);
+  EXPECT_EQ(FromHex("00FF10AB"), raw);
+}
+
+TEST(HexTest, MalformedInput) {
+  EXPECT_EQ(FromHex("abc"), "");   // odd length
+  EXPECT_EQ(FromHex("zz"), "");    // non-hex
+  EXPECT_EQ(FromHex(""), "");
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(99), 99.01, 0.1);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, AddAfterPercentileStaysCorrect) {
+  Histogram h;
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 10);
+  h.Add(20);
+  h.Add(0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 10);
+  EXPECT_DOUBLE_EQ(h.Max(), 20);
+}
+
+TEST(HistogramTest, StdDev) {
+  Histogram h;
+  h.Add(2);
+  h.Add(4);
+  h.Add(4);
+  h.Add(4);
+  h.Add(5);
+  h.Add(5);
+  h.Add(7);
+  h.Add(9);
+  EXPECT_NEAR(h.StdDev(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dicho

@@ -1,0 +1,58 @@
+#include "common/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace dicho {
+namespace {
+
+TEST(SliceTest, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, FromString) {
+  std::string str = "abc";
+  Slice s(str);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 'a');
+  EXPECT_EQ(s.ToString(), "abc");
+}
+
+TEST(SliceTest, CompareOrdersBytewise) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  // Prefix orders before extension.
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("ab") < Slice("abc"));
+}
+
+TEST(SliceTest, EqualityIncludesLength) {
+  EXPECT_EQ(Slice("abc"), Slice("abc"));
+  EXPECT_NE(Slice("abc"), Slice("ab"));
+  EXPECT_NE(Slice("abc"), Slice("abd"));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("hello");
+  s.RemovePrefix(2);
+  EXPECT_EQ(s, Slice("llo"));
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("hello").StartsWith("he"));
+  EXPECT_TRUE(Slice("hello").StartsWith(""));
+  EXPECT_FALSE(Slice("hello").StartsWith("hex"));
+  EXPECT_FALSE(Slice("he").StartsWith("hello"));
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompareCorrectly) {
+  std::string a("a\0b", 3);
+  std::string b("a\0c", 3);
+  EXPECT_LT(Slice(a).Compare(Slice(b)), 0);
+  EXPECT_EQ(Slice(a).size(), 3u);
+}
+
+}  // namespace
+}  // namespace dicho

@@ -1,0 +1,60 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dicho {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: key missing");
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::Conflict().IsConflict());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_EQ(Status::TimedOut().code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::InvalidArgument().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotSupported().code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::AlreadyExists().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IoError().code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EmptyMessageOmitsColon) {
+  EXPECT_EQ(Status::Conflict().ToString(), "Conflict");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.ValueOr(9), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(9), 9);
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = r.TakeValue();
+  EXPECT_EQ(v, "payload");
+}
+
+}  // namespace
+}  // namespace dicho

@@ -1,0 +1,127 @@
+#include "consensus/pow.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace dicho::consensus {
+namespace {
+
+struct PowHarness {
+  PowHarness(size_t n, PowConfig config, uint64_t seed = 42)
+      : sim(seed), net(&sim, sim::NetworkConfig{}) {
+    std::vector<NodeId> ids;
+    for (NodeId i = 0; i < n; i++) ids.push_back(i);
+    pow = std::make_unique<PowNetwork>(
+        &sim, &net, ids, config,
+        [this](NodeId node, uint64_t height, const std::string& txn) {
+          applied[node].push_back({height, txn});
+        });
+    pow->Start();
+  }
+
+  sim::Simulator sim;
+  sim::SimNetwork net;
+  std::unique_ptr<PowNetwork> pow;
+  std::map<NodeId, std::vector<std::pair<uint64_t, std::string>>> applied;
+};
+
+TEST(PowTest, MinesBlocksAtConfiguredRate) {
+  PowConfig config;
+  config.mean_block_interval = 1 * sim::kSec;
+  PowHarness h(4, config);
+  h.sim.RunFor(60 * sim::kSec);
+  // ~60 blocks expected; allow wide stochastic slack.
+  EXPECT_GT(h.pow->blocks_mined(), 30u);
+  EXPECT_LT(h.pow->blocks_mined(), 120u);
+}
+
+TEST(PowTest, TransactionsConfirm) {
+  PowConfig config;
+  config.mean_block_interval = 500 * sim::kMs;
+  config.confirm_depth = 2;
+  PowHarness h(4, config);
+  int confirmed = 0;
+  for (int i = 0; i < 20; i++) {
+    h.pow->Submit("txn" + std::to_string(i),
+                  [&](Status s, uint64_t) { confirmed += s.ok(); });
+  }
+  h.sim.RunFor(60 * sim::kSec);
+  EXPECT_EQ(confirmed, 20);
+  EXPECT_EQ(h.pow->confirmed_txns(), 20u);
+}
+
+TEST(PowTest, ConfirmationWaitsForDepth) {
+  PowConfig config;
+  config.mean_block_interval = 1 * sim::kSec;
+  config.confirm_depth = 6;  // Bitcoin-style deep confirmation
+  PowHarness h(3, config);
+  bool confirmed = false;
+  double confirm_time = 0;
+  h.pow->Submit("deep", [&](Status s, uint64_t) {
+    confirmed = s.ok();
+    confirm_time = h.sim.Now();
+  });
+  h.sim.RunFor(60 * sim::kSec);
+  ASSERT_TRUE(confirmed);
+  // At least ~depth block intervals must pass before confirmation.
+  EXPECT_GT(confirm_time, 2 * sim::kSec);
+}
+
+TEST(PowTest, FastMiningOnSlowNetworkForksMore) {
+  // Forks emerge when block interval approaches propagation delay — the
+  // classic PoW security/throughput tension.
+  auto forks_at = [](sim::Time interval) {
+    sim::Simulator sim(7);
+    sim::NetworkConfig ncfg;
+    ncfg.base_latency_us = 50 * sim::kMs;  // sluggish propagation
+    sim::SimNetwork net(&sim, ncfg);
+    std::vector<NodeId> ids{0, 1, 2, 3, 4, 5, 6, 7};
+    PowConfig config;
+    config.mean_block_interval = interval;
+    PowNetwork pow(&sim, &net, ids, config, nullptr);
+    pow.Start();
+    sim.RunFor(200 * sim::kSec);
+    return pow.forks_observed();
+  };
+  uint64_t fast = forks_at(100 * sim::kMs);
+  uint64_t slow = forks_at(10 * sim::kSec);
+  EXPECT_GT(fast, slow * 2 + 2);
+}
+
+TEST(PowTest, CrashedMinerDoesNotStallNetwork) {
+  PowConfig config;
+  config.mean_block_interval = 500 * sim::kMs;
+  PowHarness h(4, config);
+  h.net.SetNodeDown(0, true);
+  bool confirmed = false;
+  h.pow->Submit("txn", [&](Status s, uint64_t) { confirmed = s.ok(); });
+  h.sim.RunFor(60 * sim::kSec);
+  EXPECT_TRUE(confirmed);
+}
+
+TEST(PowTest, AppliedPrefixesConsistent) {
+  PowConfig config;
+  config.mean_block_interval = 300 * sim::kMs;
+  PowHarness h(5, config);
+  for (int i = 0; i < 50; i++) {
+    h.pow->Submit("txn" + std::to_string(i), nullptr);
+  }
+  h.sim.RunFor(120 * sim::kSec);
+  // Confirmed sequences must agree pairwise on the common prefix.
+  for (NodeId a = 0; a < 5; a++) {
+    for (NodeId b = a + 1; b < 5; b++) {
+      const auto& ea = h.applied[a];
+      const auto& eb = h.applied[b];
+      size_t common = std::min(ea.size(), eb.size());
+      for (size_t i = 0; i < common; i++) {
+        EXPECT_EQ(ea[i].second, eb[i].second)
+            << "nodes " << a << "," << b << " diverge at " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dicho::consensus

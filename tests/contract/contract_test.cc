@@ -1,0 +1,202 @@
+#include "contract/contract.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace dicho::contract {
+namespace {
+
+/// StateView over a plain map for contract unit tests.
+class MapView : public StateView {
+ public:
+  explicit MapView(std::map<std::string, std::string>* state)
+      : state_(state) {}
+  Status Get(const Slice& key, std::string* value) override {
+    auto it = state_->find(key.ToString());
+    if (it == state_->end()) return Status::NotFound();
+    *value = it->second;
+    return Status::Ok();
+  }
+
+ private:
+  std::map<std::string, std::string>* state_;
+};
+
+void ApplyWrites(std::map<std::string, std::string>* state,
+                 const WriteSet& writes) {
+  for (const auto& [k, v] : writes) (*state)[k] = v;
+}
+
+core::TxnRequest SmallbankReq(const std::string& method,
+                              std::vector<std::string> args) {
+  core::TxnRequest req;
+  req.contract = "smallbank";
+  req.method = method;
+  req.args = std::move(args);
+  return req;
+}
+
+TEST(KvContractTest, ExecutesOps) {
+  std::map<std::string, std::string> state{{"a", "1"}};
+  MapView view(&state);
+  KvContract contract;
+
+  core::TxnRequest req;
+  req.ops = {{core::OpType::kRead, "a", ""},
+             {core::OpType::kWrite, "b", "2"},
+             {core::OpType::kReadModifyWrite, "a", "9"}};
+  WriteSet writes;
+  std::map<std::string, std::string> reads;
+  ASSERT_TRUE(contract.Execute(req, &view, &writes, &reads).ok());
+  EXPECT_EQ(reads["a"], "1");
+  ASSERT_EQ(writes.size(), 2u);
+  ApplyWrites(&state, writes);
+  EXPECT_EQ(state["b"], "2");
+  EXPECT_EQ(state["a"], "9");
+}
+
+TEST(KvContractTest, ExecCostScalesWithOps) {
+  KvContract contract;
+  sim::CostModel costs;
+  core::TxnRequest one, ten;
+  one.ops.resize(1);
+  ten.ops.resize(10);
+  EXPECT_GT(contract.ExecCost(ten, costs), contract.ExecCost(one, costs) * 5);
+}
+
+class SmallbankTest : public ::testing::Test {
+ protected:
+  void Seed(const std::string& cust, int64_t chk, int64_t sav) {
+    state_[SmallbankContract::CheckingKey(cust)] =
+        SmallbankContract::EncodeBalance(chk);
+    state_[SmallbankContract::SavingsKey(cust)] =
+        SmallbankContract::EncodeBalance(sav);
+  }
+  int64_t Checking(const std::string& cust) {
+    return SmallbankContract::DecodeBalance(
+        state_[SmallbankContract::CheckingKey(cust)]);
+  }
+  int64_t Savings(const std::string& cust) {
+    return SmallbankContract::DecodeBalance(
+        state_[SmallbankContract::SavingsKey(cust)]);
+  }
+  Status Run(const std::string& method, std::vector<std::string> args) {
+    MapView view(&state_);
+    WriteSet writes;
+    Status s = contract_.Execute(SmallbankReq(method, std::move(args)), &view,
+                                 &writes, nullptr);
+    if (s.ok()) ApplyWrites(&state_, writes);
+    return s;
+  }
+
+  std::map<std::string, std::string> state_;
+  SmallbankContract contract_;
+};
+
+TEST_F(SmallbankTest, DepositChecking) {
+  Seed("alice", 1000, 500);
+  ASSERT_TRUE(Run("deposit_checking", {"alice", "250"}).ok());
+  EXPECT_EQ(Checking("alice"), 1250);
+}
+
+TEST_F(SmallbankTest, TransactSavingsRejectsOverdraw) {
+  Seed("alice", 1000, 500);
+  EXPECT_TRUE(Run("transact_savings", {"alice", "-600"}).IsAborted());
+  EXPECT_EQ(Savings("alice"), 500);  // unchanged
+  ASSERT_TRUE(Run("transact_savings", {"alice", "-500"}).ok());
+  EXPECT_EQ(Savings("alice"), 0);
+}
+
+TEST_F(SmallbankTest, WriteCheckAppliesOverdraftPenalty) {
+  Seed("bob", 100, 50);
+  // Within funds: no penalty.
+  ASSERT_TRUE(Run("write_check", {"bob", "120"}).ok());
+  EXPECT_EQ(Checking("bob"), -20);
+  // Beyond total funds: $1 (100 cents) penalty.
+  Seed("carl", 100, 50);
+  ASSERT_TRUE(Run("write_check", {"carl", "200"}).ok());
+  EXPECT_EQ(Checking("carl"), 100 - 200 - 100);
+}
+
+TEST_F(SmallbankTest, SendPaymentMovesMoneyAtomically) {
+  Seed("alice", 1000, 0);
+  Seed("bob", 200, 0);
+  ASSERT_TRUE(Run("send_payment", {"alice", "bob", "300"}).ok());
+  EXPECT_EQ(Checking("alice"), 700);
+  EXPECT_EQ(Checking("bob"), 500);
+}
+
+TEST_F(SmallbankTest, SendPaymentRejectsInsufficientFunds) {
+  Seed("alice", 100, 0);
+  Seed("bob", 0, 0);
+  EXPECT_TRUE(Run("send_payment", {"alice", "bob", "300"}).IsAborted());
+  EXPECT_EQ(Checking("alice"), 100);
+  EXPECT_EQ(Checking("bob"), 0);
+}
+
+TEST_F(SmallbankTest, AmalgamateZeroesSourceAccounts) {
+  Seed("alice", 300, 700);
+  Seed("bob", 50, 0);
+  ASSERT_TRUE(Run("amalgamate", {"alice", "bob"}).ok());
+  EXPECT_EQ(Checking("alice"), 0);
+  EXPECT_EQ(Savings("alice"), 0);
+  EXPECT_EQ(Checking("bob"), 1050);
+}
+
+TEST_F(SmallbankTest, BalanceReadsBoth) {
+  Seed("alice", 42, 43);
+  MapView view(&state_);
+  WriteSet writes;
+  std::map<std::string, std::string> reads;
+  ASSERT_TRUE(contract_
+                  .Execute(SmallbankReq("balance", {"alice"}), &view, &writes,
+                           &reads)
+                  .ok());
+  EXPECT_TRUE(writes.empty());
+  EXPECT_EQ(reads.size(), 2u);
+}
+
+TEST_F(SmallbankTest, UnknownMethodRejected) {
+  EXPECT_EQ(Run("rob_bank", {"alice"}).code(), StatusCode::kNotSupported);
+}
+
+TEST_F(SmallbankTest, MoneyConservedUnderRandomWorkload) {
+  // Conservation invariant: total money only changes via deposits and
+  // overdraft penalties — never by send_payment or amalgamate.
+  Seed("a", 10000, 5000);
+  Seed("b", 10000, 5000);
+  Seed("c", 10000, 5000);
+  int64_t total = 45000;
+  Rng rng(77);
+  for (int i = 0; i < 500; i++) {
+    const char* custs[] = {"a", "b", "c"};
+    std::string c1 = custs[rng.Uniform(3)];
+    std::string c2 = custs[rng.Uniform(3)];
+    if (c1 == c2) continue;
+    std::string amount = std::to_string(rng.Uniform(500));
+    switch (rng.Uniform(2)) {
+      case 0:
+        Run("send_payment", {c1, c2, amount});
+        break;
+      case 1:
+        Run("amalgamate", {c1, c2});
+        break;
+    }
+  }
+  int64_t after = Checking("a") + Savings("a") + Checking("b") + Savings("b") +
+                  Checking("c") + Savings("c");
+  EXPECT_EQ(after, total);
+}
+
+TEST(ContractRegistryTest, DefaultHasBuiltins) {
+  auto registry = ContractRegistry::CreateDefault();
+  EXPECT_NE(registry->Lookup("ycsb"), nullptr);
+  EXPECT_NE(registry->Lookup("smallbank"), nullptr);
+  EXPECT_EQ(registry->Lookup("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace dicho::contract

@@ -1,0 +1,214 @@
+#include "contract/minivm.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dicho::contract {
+namespace {
+
+class MapView : public StateView {
+ public:
+  explicit MapView(std::map<std::string, std::string>* state)
+      : state_(state) {}
+  Status Get(const Slice& key, std::string* value) override {
+    auto it = state_->find(key.ToString());
+    if (it == state_->end()) return Status::NotFound();
+    *value = it->second;
+    return Status::Ok();
+  }
+
+ private:
+  std::map<std::string, std::string>* state_;
+};
+
+Status RunVm(const std::string& asm_src, std::map<std::string, std::string>* state,
+           std::vector<std::string> args = {}, uint64_t* gas = nullptr,
+           uint64_t gas_limit = 100000) {
+  auto program = Assemble(asm_src);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  if (!program.ok()) return program.status();
+  core::TxnRequest req;
+  req.args = std::move(args);
+  MapView view(state);
+  WriteSet writes;
+  Status s = RunProgram(program.value(), req, &view, &writes, gas_limit, gas);
+  if (s.ok()) {
+    for (const auto& [k, v] : writes) (*state)[k] = v;
+  }
+  return s;
+}
+
+TEST(MiniVmTest, StoreAndLoad) {
+  std::map<std::string, std::string> state;
+  ASSERT_TRUE(RunVm("PUSH mykey\n"
+                  "PUSH myvalue\n"
+                  "SSTORE\n"
+                  "HALT\n",
+                  &state)
+                  .ok());
+  EXPECT_EQ(state["mykey"], "myvalue");
+}
+
+TEST(MiniVmTest, ArithmeticIncrement) {
+  std::map<std::string, std::string> state{{"counter", "41"}};
+  ASSERT_TRUE(RunVm("PUSH counter\n"
+                  "PUSH counter\n"
+                  "SLOAD\n"
+                  "PUSH 1\n"
+                  "ADD\n"
+                  "SSTORE\n"
+                  "HALT\n",
+                  &state)
+                  .ok());
+  EXPECT_EQ(state["counter"], "42");
+}
+
+TEST(MiniVmTest, ConditionalBranchAndLoop) {
+  // Sum 1..5 with a loop: exercises labels, JZ, comparisons.
+  std::map<std::string, std::string> state;
+  ASSERT_TRUE(RunVm("PUSH sum\n"
+                  "PUSH 0\n"
+                  "SSTORE\n"
+                  "PUSH i\n"
+                  "PUSH 5\n"
+                  "SSTORE\n"
+                  "loop:\n"
+                  "PUSH i\n"
+                  "SLOAD\n"
+                  "JZ done\n"
+                  "PUSH sum\n"
+                  "PUSH sum\n"
+                  "SLOAD\n"
+                  "PUSH i\n"
+                  "SLOAD\n"
+                  "ADD\n"
+                  "SSTORE\n"
+                  "PUSH i\n"
+                  "PUSH i\n"
+                  "SLOAD\n"
+                  "PUSH 1\n"
+                  "SUB\n"
+                  "SSTORE\n"
+                  "JMP loop\n"
+                  "done:\n"
+                  "HALT\n",
+                  &state)
+                  .ok());
+  EXPECT_EQ(state["sum"], "15");
+}
+
+TEST(MiniVmTest, ArgsAndConcat) {
+  std::map<std::string, std::string> state;
+  ASSERT_TRUE(RunVm("PUSH acct:\n"
+                  "ARG 0\n"
+                  "CONCAT\n"
+                  "ARG 1\n"
+                  "SSTORE\n"
+                  "HALT\n",
+                  &state, {"alice", "100"})
+                  .ok());
+  EXPECT_EQ(state["acct:alice"], "100");
+}
+
+TEST(MiniVmTest, AbortOpcode) {
+  std::map<std::string, std::string> state;
+  EXPECT_TRUE(RunVm("ABORT\n", &state).IsAborted());
+}
+
+TEST(MiniVmTest, OutOfGas) {
+  std::map<std::string, std::string> state;
+  uint64_t gas = 0;
+  Status s = RunVm("loop: JMP loop\n", &state, {}, &gas, /*gas_limit=*/100);
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_GE(gas, 100u);
+}
+
+TEST(MiniVmTest, GasAccountsStateOpsHigher) {
+  std::map<std::string, std::string> state;
+  uint64_t plain_gas = 0, state_gas = 0;
+  ASSERT_TRUE(RunVm("PUSH 1\nPOP\nHALT\n", &state, {}, &plain_gas).ok());
+  ASSERT_TRUE(RunVm("PUSH k\nSLOAD\nPOP\nHALT\n", &state, {}, &state_gas).ok());
+  EXPECT_GT(state_gas, plain_gas + kGasState - 2);
+}
+
+TEST(MiniVmTest, StackUnderflowIsError) {
+  std::map<std::string, std::string> state;
+  EXPECT_TRUE(RunVm("ADD\nHALT\n", &state).IsCorruption());
+}
+
+TEST(MiniVmTest, DivisionByZeroAborts) {
+  std::map<std::string, std::string> state;
+  EXPECT_TRUE(RunVm("PUSH 4\nPUSH 0\nDIV\nHALT\n", &state).IsAborted());
+}
+
+TEST(MiniVmTest, ReadYourOwnWrites) {
+  std::map<std::string, std::string> state;
+  ASSERT_TRUE(RunVm("PUSH k\n"
+                  "PUSH first\n"
+                  "SSTORE\n"
+                  "PUSH out\n"
+                  "PUSH k\n"
+                  "SLOAD\n"
+                  "SSTORE\n"
+                  "HALT\n",
+                  &state)
+                  .ok());
+  EXPECT_EQ(state["out"], "first");
+}
+
+TEST(AssemblerTest, RejectsUnknownOpcode) {
+  EXPECT_FALSE(Assemble("FROBNICATE\n").ok());
+}
+
+TEST(AssemblerTest, RejectsUndefinedLabel) {
+  EXPECT_FALSE(Assemble("JMP nowhere\n").ok());
+}
+
+TEST(AssemblerTest, CommentsAndBlanksIgnored) {
+  auto p = Assemble("# just a comment\n\nPUSH 1  # trailing\nHALT\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().size(), 2u);
+}
+
+TEST(VmContractTest, DispatchesByMethod) {
+  VmContract contract("bank");
+  auto deposit = Assemble("ARG 0\nARG 0\nSLOAD\nARG 1\nADD\nSSTORE\nHALT\n");
+  ASSERT_TRUE(deposit.ok());
+  contract.AddMethod("deposit", deposit.TakeValue());
+
+  std::map<std::string, std::string> state{{"alice", "10"}};
+  MapView view(&state);
+  core::TxnRequest req;
+  req.method = "deposit";
+  req.args = {"alice", "5"};
+  WriteSet writes;
+  ASSERT_TRUE(contract.Execute(req, &view, &writes, nullptr).ok());
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].second, "15");
+  EXPECT_GT(contract.last_gas_used(), 0u);
+
+  req.method = "missing";
+  EXPECT_EQ(contract.Execute(req, &view, &writes, nullptr).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(CompileKvOpsTest, CompiledProgramMatchesDirectExecution) {
+  std::map<std::string, std::string> state{{"k1", "old"}};
+  std::vector<core::Op> ops = {{core::OpType::kRead, "k1", ""},
+                               {core::OpType::kWrite, "k2", "v2"},
+                               {core::OpType::kReadModifyWrite, "k1", "new"}};
+  Program program = CompileKvOps(ops);
+  core::TxnRequest req;
+  MapView view(&state);
+  WriteSet writes;
+  uint64_t gas = 0;
+  ASSERT_TRUE(RunProgram(program, req, &view, &writes, 100000, &gas).ok());
+  for (const auto& [k, v] : writes) state[k] = v;
+  EXPECT_EQ(state["k1"], "new");
+  EXPECT_EQ(state["k2"], "v2");
+  EXPECT_GT(gas, 3 * kGasState);
+}
+
+}  // namespace
+}  // namespace dicho::contract

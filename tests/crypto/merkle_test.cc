@@ -1,0 +1,98 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dicho::crypto {
+namespace {
+
+std::vector<std::string> MakeLeaves(size_t n) {
+  std::vector<std::string> leaves;
+  for (size_t i = 0; i < n; i++) {
+    leaves.push_back("txn-" + std::to_string(i));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_EQ(tree.root(), ZeroDigest());
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeafHash) {
+  MerkleTree tree({"only"});
+  EXPECT_EQ(tree.root(), Sha256Of("only"));
+}
+
+TEST(MerkleTest, TwoLeaves) {
+  MerkleTree tree({"a", "b"});
+  EXPECT_EQ(tree.root(), Sha256Pair(Sha256Of("a"), Sha256Of("b")));
+}
+
+TEST(MerkleTest, RootDependsOnOrder) {
+  MerkleTree ab({"a", "b"});
+  MerkleTree ba({"b", "a"});
+  EXPECT_NE(ab.root(), ba.root());
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree base(leaves);
+  for (size_t i = 0; i < leaves.size(); i++) {
+    auto mutated = leaves;
+    mutated[i] += "!";
+    MerkleTree t(mutated);
+    EXPECT_NE(t.root(), base.root()) << "leaf " << i;
+  }
+}
+
+// Property sweep: proofs verify for every leaf across many tree sizes,
+// including non-powers-of-two where odd-node promotion kicks in.
+class MerkleProofSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleProofSweep, AllProofsVerify) {
+  const size_t n = GetParam();
+  auto leaves = MakeLeaves(n);
+  MerkleTree tree(leaves);
+  for (size_t i = 0; i < n; i++) {
+    MerkleProof proof = tree.Prove(i);
+    EXPECT_TRUE(VerifyMerkleProof(leaves[i], proof, tree.root()))
+        << "n=" << n << " leaf=" << i;
+  }
+}
+
+TEST_P(MerkleProofSweep, ProofForWrongContentFails) {
+  const size_t n = GetParam();
+  auto leaves = MakeLeaves(n);
+  MerkleTree tree(leaves);
+  for (size_t i = 0; i < n; i++) {
+    MerkleProof proof = tree.Prove(i);
+    EXPECT_FALSE(VerifyMerkleProof("forged", proof, tree.root()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 31, 33, 100));
+
+TEST(MerkleTest, ProofAgainstWrongRootFails) {
+  auto leaves = MakeLeaves(10);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.Prove(3);
+  Digest wrong = Sha256Of("other root");
+  EXPECT_FALSE(VerifyMerkleProof(leaves[3], proof, wrong));
+}
+
+TEST(MerkleTest, TamperedProofStepFails) {
+  auto leaves = MakeLeaves(16);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.Prove(5);
+  ASSERT_FALSE(proof.steps.empty());
+  proof.steps[0].sibling[0] ^= 1;
+  EXPECT_FALSE(VerifyMerkleProof(leaves[5], proof, tree.root()));
+}
+
+}  // namespace
+}  // namespace dicho::crypto

@@ -1,0 +1,81 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace dicho::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256Of("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256Of("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256Of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; i++) h.Update(chunk);
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); split++) {
+    Sha256 h;
+    h.Update(msg.data(), split);
+    h.Update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(h.Finish(), Sha256Of(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths straddling the 55/56/64-byte padding boundaries must not crash
+  // and must be distinct.
+  Digest prev = ZeroDigest();
+  for (size_t len : {54, 55, 56, 57, 63, 64, 65, 119, 120, 128}) {
+    Digest d = Sha256Of(std::string(len, 'x'));
+    EXPECT_NE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Sha256Test, ResetReuses) {
+  Sha256 h;
+  h.Update("abc");
+  Digest first = h.Finish();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(h.Finish(), first);
+}
+
+TEST(Sha256Test, PairHashOrderMatters) {
+  Digest a = Sha256Of("a"), b = Sha256Of("b");
+  EXPECT_NE(Sha256Pair(a, b), Sha256Pair(b, a));
+}
+
+TEST(Sha256Test, DigestBytesRoundTrip) {
+  Digest d = Sha256Of("roundtrip");
+  std::string bytes = DigestBytes(d);
+  ASSERT_EQ(bytes.size(), 32u);
+  EXPECT_EQ(DigestFromBytes(bytes), d);
+}
+
+TEST(Sha256Test, ZeroDigestIsAllZero) {
+  Digest z = ZeroDigest();
+  for (uint8_t b : z) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace dicho::crypto

@@ -1,0 +1,70 @@
+#include "crypto/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace dicho::crypto {
+namespace {
+
+TEST(HmacTest, Rfc4231Case2) {
+  // RFC 4231 test case 2: key "Jefe", data "what do ya want for nothing?".
+  Digest mac = HmacSha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(DigestHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  Digest mac = HmacSha256(key, "Hi There");
+  EXPECT_EQ(DigestHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  std::string key(131, '\xaa');
+  Digest mac = HmacSha256(key, "Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(DigestHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  Signer alice(1);
+  std::string sig = alice.Sign("transfer 10 coins");
+  EXPECT_TRUE(VerifySignature(1, "transfer 10 coins", sig));
+}
+
+TEST(SignatureTest, TamperedMessageFails) {
+  Signer alice(1);
+  std::string sig = alice.Sign("transfer 10 coins");
+  EXPECT_FALSE(VerifySignature(1, "transfer 99 coins", sig));
+}
+
+TEST(SignatureTest, WrongSignerFails) {
+  Signer alice(1);
+  std::string sig = alice.Sign("msg");
+  EXPECT_FALSE(VerifySignature(2, "msg", sig));
+}
+
+TEST(SignatureTest, TamperedSignatureFails) {
+  Signer alice(1);
+  std::string sig = alice.Sign("msg");
+  sig[0] ^= 1;
+  EXPECT_FALSE(VerifySignature(1, "msg", sig));
+}
+
+TEST(SignatureTest, WrongLengthFails) {
+  EXPECT_FALSE(VerifySignature(1, "msg", "short"));
+}
+
+TEST(SignatureTest, DistinctSignersDistinctSignatures) {
+  Signer a(1), b(2);
+  EXPECT_NE(a.Sign("msg"), b.Sign("msg"));
+}
+
+TEST(SignatureTest, Deterministic) {
+  Signer a1(1), a2(1);
+  EXPECT_EQ(a1.Sign("msg"), a2.Sign("msg"));
+}
+
+}  // namespace
+}  // namespace dicho::crypto

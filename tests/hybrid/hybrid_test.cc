@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hybrid/builder.h"
+#include "hybrid/forecast.h"
+#include "hybrid/taxonomy.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace dicho::hybrid {
+namespace {
+
+TEST(TaxonomyTest, Table2HasAllCategories) {
+  auto rows = Table2Systems();
+  EXPECT_GE(rows.size(), 20u);
+  auto has = [&](const std::string& name) {
+    return std::any_of(rows.begin(), rows.end(), [&](const auto& r) {
+      return r.name == name;
+    });
+  };
+  EXPECT_TRUE(has("Quorum v2.2"));
+  EXPECT_TRUE(has("Fabric v2.2"));
+  EXPECT_TRUE(has("TiDB v4.0"));
+  EXPECT_TRUE(has("etcd v3.3"));
+  EXPECT_TRUE(has("Veritas"));
+  EXPECT_TRUE(has("ChainifyDB"));
+}
+
+TEST(TaxonomyTest, RenderedTableMentionsDimensions) {
+  std::string table = RenderTaxonomyTable(Table2Systems());
+  EXPECT_NE(table.find("Replication"), std::string::npos);
+  EXPECT_NE(table.find("Concurrency"), std::string::npos);
+  EXPECT_NE(table.find("txn-based"), std::string::npos);
+  EXPECT_NE(table.find("storage-based"), std::string::npos);
+}
+
+TEST(ForecastTest, RanksFigure15HybridsLikeTheirReportedNumbers) {
+  // The paper's claim: replication model + failure model predict the
+  // throughput ordering of the hybrids.
+  ThroughputForecaster forecaster;
+  auto hybrids = Figure15Hybrids();
+  ASSERT_GE(hybrids.size(), 6u);
+  // Spearman-style check: pairwise order agreement between prediction and
+  // reported throughput for all pairs with a >1.5x reported gap.
+  int checked = 0, agreed = 0;
+  for (size_t i = 0; i < hybrids.size(); i++) {
+    for (size_t j = 0; j < hybrids.size(); j++) {
+      if (hybrids[i].reported_tps > hybrids[j].reported_tps * 1.5) {
+        checked++;
+        if (forecaster.Predict(hybrids[i]).expected_tps >
+            forecaster.Predict(hybrids[j]).expected_tps) {
+          agreed++;
+        }
+      }
+    }
+  }
+  ASSERT_GT(checked, 5);
+  EXPECT_EQ(agreed, checked) << "forecast mis-ranks some hybrid pair";
+}
+
+TEST(ForecastTest, StorageBasedCftIsFastestQuadrant) {
+  ThroughputForecaster forecaster;
+  SystemDescriptor base;
+  base.concurrency = ConcurrencyModel::kConcurrent;
+
+  SystemDescriptor storage_cft = base;
+  storage_cft.replication = ReplicationModel::kStorageBased;
+  storage_cft.failure = FailureModel::kCft;
+  SystemDescriptor storage_bft = storage_cft;
+  storage_bft.failure = FailureModel::kBft;
+  SystemDescriptor txn_cft = base;
+  txn_cft.replication = ReplicationModel::kTxnBased;
+  txn_cft.failure = FailureModel::kCft;
+  SystemDescriptor txn_bft = txn_cft;
+  txn_bft.failure = FailureModel::kBft;
+
+  double s_cft = forecaster.Predict(storage_cft).expected_tps;
+  double s_bft = forecaster.Predict(storage_bft).expected_tps;
+  double t_cft = forecaster.Predict(txn_cft).expected_tps;
+  double t_bft = forecaster.Predict(txn_bft).expected_tps;
+  // Replication model dominates; failure model second (paper 5.6).
+  EXPECT_GT(s_cft, s_bft);
+  EXPECT_GT(t_cft, t_bft);
+  EXPECT_GT(s_cft, t_cft);
+  EXPECT_GT(s_bft, t_bft);
+}
+
+// ---------------------------------------------------------------------------
+// Runnable hybrids
+// ---------------------------------------------------------------------------
+
+struct HybridHarness {
+  explicit HybridHarness(SystemDescriptor design, uint32_t nodes = 4)
+      : sim(42), net(&sim, sim::NetworkConfig{}) {
+    HybridConfig config;
+    config.design = std::move(design);
+    config.num_nodes = nodes;
+    config.pow.mean_block_interval = 500 * sim::kMs;
+    system = std::make_unique<HybridSystem>(&sim, &net, &costs, config);
+    system->Start();
+    sim.RunFor(1 * sim::kSec);
+  }
+  sim::Simulator sim;
+  sim::SimNetwork net;
+  sim::CostModel costs;
+  std::unique_ptr<HybridSystem> system;
+};
+
+SystemDescriptor VeritasLike() {
+  SystemDescriptor d;
+  d.name = "veritas-like";
+  d.replication = ReplicationModel::kStorageBased;
+  d.approach = ReplicationApproach::kSharedLog;
+  d.failure = FailureModel::kCft;
+  d.concurrency = ConcurrencyModel::kOccCommit;
+  d.ledger = LedgerAbstraction::kChain;
+  return d;
+}
+
+SystemDescriptor BigchainLike() {
+  SystemDescriptor d;
+  d.name = "bigchain-like";
+  d.replication = ReplicationModel::kTxnBased;
+  d.approach = ReplicationApproach::kConsensus;
+  d.failure = FailureModel::kBft;
+  d.concurrency = ConcurrencyModel::kConcurrent;
+  d.ledger = LedgerAbstraction::kChain;
+  return d;
+}
+
+core::TxnRequest Rmw(uint64_t id, const std::string& key,
+                     const std::string& value) {
+  core::TxnRequest req;
+  req.txn_id = id;
+  req.client_id = id;
+  req.contract = "ycsb";
+  req.ops = {{core::OpType::kReadModifyWrite, key, value}};
+  return req;
+}
+
+TEST(HybridSystemTest, VeritasLikeCommitsAndKeepsLedger) {
+  HybridHarness h(VeritasLike());
+  h.system->Load("k", "0");
+  core::TxnResult result;
+  h.system->Submit(Rmw(1, "k", "v"),
+                   [&](const core::TxnResult& r) { result = r; });
+  h.sim.RunFor(3 * sim::kSec);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(h.system->LedgerBytes(), 0u);
+  // All nodes converge.
+  for (size_t n = 0; n < 4; n++) {
+    std::string value;
+    uint64_t version;
+    h.system->state_of(n).Get("k", &value, &version);
+    EXPECT_EQ(value, "v") << "node " << n;
+  }
+}
+
+TEST(HybridSystemTest, VeritasLikeOccAbortsStaleWriter) {
+  HybridHarness h(VeritasLike());
+  h.system->Load("x", "0");
+  core::TxnResult r1, r2;
+  h.system->Submit(Rmw(1, "x", "a"), [&](const core::TxnResult& r) { r1 = r; });
+  h.system->Submit(Rmw(2, "x", "b"), [&](const core::TxnResult& r) { r2 = r; });
+  h.sim.RunFor(3 * sim::kSec);
+  // Both executed against version 0 at the coordinator; one must lose.
+  EXPECT_TRUE(r1.status.ok() != r2.status.ok());
+}
+
+TEST(HybridSystemTest, BigchainLikeExecutesEverywhere) {
+  HybridHarness h(BigchainLike());
+  h.system->Load(contract::SmallbankContract::CheckingKey("a"), "1000");
+  h.system->Load(contract::SmallbankContract::CheckingKey("b"), "0");
+  core::TxnRequest req;
+  req.txn_id = 1;
+  req.contract = "smallbank";
+  req.method = "send_payment";
+  req.args = {"a", "b", "400"};
+  core::TxnResult result;
+  h.system->Submit(req, [&](const core::TxnResult& r) { result = r; });
+  h.sim.RunFor(5 * sim::kSec);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  for (size_t n = 0; n < 4; n++) {
+    std::string value;
+    uint64_t version;
+    h.system->state_of(n).Get(contract::SmallbankContract::CheckingKey("b"),
+                              &value, &version);
+    EXPECT_EQ(value, "400") << "node " << n;
+  }
+}
+
+TEST(HybridSystemTest, MptIndexedHybridHasVerifiableDigest) {
+  SystemDescriptor d = VeritasLike();
+  d.name = "blockchaindb-like";
+  d.approach = ReplicationApproach::kConsensus;
+  d.failure = FailureModel::kCft;  // CFT for test speed; PoW covered below
+  d.concurrency = ConcurrencyModel::kSerial;
+  d.index = StateIndex::kMpt;
+  HybridHarness h(d);
+  core::TxnResult result;
+  h.system->Submit(Rmw(1, "k", "v"),
+                   [&](const core::TxnResult& r) { result = r; });
+  h.sim.RunFor(3 * sim::kSec);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_NE(h.system->StateDigest(), crypto::ZeroDigest());
+}
+
+TEST(HybridSystemTest, PowTransportConfirms) {
+  SystemDescriptor d;
+  d.name = "pow-hybrid";
+  d.replication = ReplicationModel::kStorageBased;
+  d.approach = ReplicationApproach::kConsensus;
+  d.failure = FailureModel::kPow;
+  d.concurrency = ConcurrencyModel::kSerial;
+  d.ledger = LedgerAbstraction::kChain;
+  HybridHarness h(d);
+  core::TxnResult result;
+  h.system->Submit(Rmw(1, "k", "v"),
+                   [&](const core::TxnResult& r) { result = r; });
+  h.sim.RunFor(30 * sim::kSec);
+  ASSERT_TRUE(result.status.ok());
+  // PoW latency is block-interval scale, far above the CFT hybrids.
+  EXPECT_GT(result.latency(), 500 * sim::kMs);
+}
+
+TEST(HybridSystemTest, PrimaryBackupIsLowestLatencyTransport) {
+  SystemDescriptor d;
+  d.name = "hstore-like";
+  d.replication = ReplicationModel::kStorageBased;
+  d.approach = ReplicationApproach::kPrimaryBackup;
+  d.failure = FailureModel::kCft;
+  d.concurrency = ConcurrencyModel::kConcurrent;
+  HybridHarness h(d);
+  core::TxnResult result;
+  h.system->Submit(Rmw(1, "k", "v"),
+                   [&](const core::TxnResult& r) { result = r; });
+  h.sim.RunFor(2 * sim::kSec);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_LT(result.latency(), 5 * sim::kMs);
+}
+
+TEST(HybridSystemTest, MeasuredThroughputRanksLikeForecast) {
+  // Run a Veritas-like and a BigchainDB-like hybrid under the same load;
+  // the measured ordering must match the forecaster's.
+  auto measure = [](SystemDescriptor design) {
+    sim::Simulator sim(11);
+    sim::SimNetwork net(&sim, sim::NetworkConfig{});
+    sim::CostModel costs;
+    HybridConfig config;
+    config.design = design;
+    config.num_nodes = 4;
+    HybridSystem system(&sim, &net, &costs, config);
+    system.Start();
+    sim.RunFor(1 * sim::kSec);
+
+    workload::YcsbConfig wcfg;
+    wcfg.record_count = 2000;
+    wcfg.record_size = 100;
+    workload::YcsbWorkload workload(wcfg, 5);
+    for (int i = 0; i < 2000; i++) {
+      system.Load(workload.KeyAt(i), workload.RandomValue());
+    }
+    workload::DriverConfig dcfg;
+    dcfg.num_clients = 32;
+    dcfg.warmup = 2 * sim::kSec;
+    dcfg.measure = 5 * sim::kSec;
+    workload::Driver driver(&sim, &system, [&] { return workload.NextTxn(); },
+                            dcfg);
+    return driver.Run().throughput_tps;
+  };
+  double veritas_tps = measure(VeritasLike());
+  double bigchain_tps = measure(BigchainLike());
+  ThroughputForecaster forecaster;
+  double veritas_pred = forecaster.Predict(VeritasLike()).expected_tps;
+  double bigchain_pred = forecaster.Predict(BigchainLike()).expected_tps;
+  EXPECT_GT(veritas_pred, bigchain_pred);
+  EXPECT_GT(veritas_tps, bigchain_tps);
+}
+
+}  // namespace
+}  // namespace dicho::hybrid

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "sharding/partition.h"
+#include "sharding/two_pc.h"
+
+namespace dicho::sharding {
+namespace {
+
+TEST(PartitionTest, HashCoversAllShardsRoughlyEvenly) {
+  HashPartitioner part(8);
+  std::map<uint32_t, int> counts;
+  for (int i = 0; i < 8000; i++) {
+    uint32_t shard = part.ShardOf("key" + std::to_string(i));
+    ASSERT_LT(shard, 8u);
+    counts[shard]++;
+  }
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, 700) << shard;
+    EXPECT_LT(count, 1300) << shard;
+  }
+}
+
+TEST(PartitionTest, HashIsDeterministic) {
+  HashPartitioner a(16), b(16);
+  for (int i = 0; i < 100; i++) {
+    std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(a.ShardOf(key), b.ShardOf(key));
+  }
+}
+
+TEST(PartitionTest, RangeRespectsBoundaries) {
+  RangePartitioner part({"g", "p"});
+  EXPECT_EQ(part.num_shards(), 3u);
+  EXPECT_EQ(part.ShardOf("apple"), 0u);
+  EXPECT_EQ(part.ShardOf("g"), 1u);  // boundary goes right
+  EXPECT_EQ(part.ShardOf("hat"), 1u);
+  EXPECT_EQ(part.ShardOf("zebra"), 2u);
+}
+
+struct TwoPcHarness {
+  TwoPcHarness() : sim(42), net(&sim, sim::NetworkConfig{}), coord(&sim, &net, 0) {}
+
+  /// A participant at `node` voting `vote`, tracking outcomes.
+  TwoPcParticipant Participant(NodeId node, bool vote) {
+    prepared[node] = false;
+    finished[node] = 0;
+    return TwoPcParticipant{
+        node,
+        [this, node, vote](uint64_t, std::function<void(bool)> reply) {
+          prepared[node] = true;
+          reply(vote);
+        },
+        [this, node](uint64_t, bool commit) {
+          finished[node] = commit ? 1 : -1;
+        }};
+  }
+
+  sim::Simulator sim;
+  sim::SimNetwork net;
+  TwoPcCoordinator coord;
+  std::map<NodeId, bool> prepared;
+  std::map<NodeId, int> finished;  // 0 pending, 1 committed, -1 aborted
+};
+
+TEST(TwoPcTest, AllYesCommits) {
+  TwoPcHarness h;
+  Status outcome = Status::Internal("not called");
+  h.coord.Run(1, {h.Participant(1, true), h.Participant(2, true)},
+              [&](Status s) { outcome = s; });
+  h.sim.RunFor(1 * sim::kSec);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(h.finished[1], 1);
+  EXPECT_EQ(h.finished[2], 1);
+  EXPECT_EQ(h.coord.committed(), 1u);
+}
+
+TEST(TwoPcTest, AnyNoAborts) {
+  TwoPcHarness h;
+  Status outcome;
+  h.coord.Run(1, {h.Participant(1, true), h.Participant(2, false)},
+              [&](Status s) { outcome = s; });
+  h.sim.RunFor(1 * sim::kSec);
+  EXPECT_TRUE(outcome.IsAborted());
+  // Atomicity: both sides abort, including the yes-voter.
+  EXPECT_EQ(h.finished[1], -1);
+  EXPECT_EQ(h.finished[2], -1);
+}
+
+TEST(TwoPcTest, CoordinatorCrashBlocksParticipants) {
+  TwoPcHarness h;
+  h.coord.CrashBeforeDecision();
+  bool called = false;
+  h.coord.Run(1, {h.Participant(1, true), h.Participant(2, true)},
+              [&](Status) { called = true; });
+  h.sim.RunFor(2 * sim::kSec);
+  // Participants prepared, then nothing: the classic blocking anomaly.
+  EXPECT_TRUE(h.prepared[1]);
+  EXPECT_TRUE(h.prepared[2]);
+  EXPECT_EQ(h.finished[1], 0);
+  EXPECT_EQ(h.finished[2], 0);
+  EXPECT_FALSE(called);
+  EXPECT_EQ(h.coord.blocked(), 1u);
+}
+
+TEST(ShardFormationTest, FailureProbabilityBasics) {
+  // No Byzantine nodes: formation can never fail.
+  EXPECT_DOUBLE_EQ(ShardFailureProbability(100, 0, 10, 1.0 / 3), 0.0);
+  // All Byzantine: always fails.
+  EXPECT_NEAR(ShardFailureProbability(100, 100, 10, 1.0 / 3), 1.0, 1e-9);
+  // Monotonic in the number of Byzantine nodes.
+  double p10 = ShardFailureProbability(100, 10, 10, 1.0 / 3);
+  double p25 = ShardFailureProbability(100, 25, 10, 1.0 / 3);
+  EXPECT_LT(p10, p25);
+  EXPECT_GT(p10, 0.0);
+}
+
+TEST(ShardFormationTest, BiggerShardsAreSafer) {
+  // The paper's point (3.4.1): shard size must be large enough that the
+  // sampled Byzantine fraction stays below threshold.
+  double small = ShardFailureProbability(600, 150, 12, 1.0 / 3);
+  double large = ShardFailureProbability(600, 150, 120, 1.0 / 3);
+  EXPECT_LT(large, small / 10);
+}
+
+TEST(ShardFormationTest, MatchesMonteCarlo) {
+  const uint32_t n = 60, b = 15, s = 9;
+  const double threshold = 1.0 / 3;
+  double analytic = ShardFailureProbability(n, b, s, threshold);
+  Rng rng(4242);
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < n; i++) nodes.push_back(i);
+  int failures = 0;
+  const int kTrials = 20000;
+  uint32_t bad_needed = static_cast<uint32_t>(std::ceil(threshold * s));
+  for (int t = 0; t < kTrials; t++) {
+    auto shards = RandomShardAssignment(nodes, s, &rng);
+    uint32_t bad = 0;
+    for (NodeId id : shards[0]) {
+      if (id < b) bad++;
+    }
+    if (bad >= bad_needed) failures++;
+  }
+  double empirical = static_cast<double>(failures) / kTrials;
+  EXPECT_NEAR(empirical, analytic, 0.02);
+}
+
+TEST(ShardFormationTest, AnyShardBoundGrowsWithShardCount) {
+  double one = AnyShardFailureProbability(1000, 200, 50, 1.0 / 3, 1);
+  double twenty = AnyShardFailureProbability(1000, 200, 50, 1.0 / 3, 20);
+  EXPECT_GT(twenty, one);
+  EXPECT_LE(twenty, 1.0);
+}
+
+TEST(ShardFormationTest, AssignmentPartitionsNodes) {
+  Rng rng(7);
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < 20; i++) nodes.push_back(i);
+  auto shards = RandomShardAssignment(nodes, 5, &rng);
+  ASSERT_EQ(shards.size(), 4u);
+  std::set<NodeId> seen;
+  for (const auto& shard : shards) {
+    EXPECT_EQ(shard.size(), 5u);
+    for (NodeId id : shard) {
+      EXPECT_TRUE(seen.insert(id).second) << "node in two shards";
+    }
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+}  // namespace
+}  // namespace dicho::sharding

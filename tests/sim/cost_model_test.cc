@@ -1,0 +1,64 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dicho::sim {
+namespace {
+
+// The calibration anchors taken from the paper itself. If these drift, the
+// bench reproductions drift with them — treat this test as the calibration
+// contract.
+
+TEST(CostModelTest, MptReconstructionMatchesPaperAnchors) {
+  CostModel costs;
+  // Paper 5.3.3: 56 us at 10-byte records, 2.5 ms at 5000-byte records.
+  EXPECT_NEAR(costs.MptUpdateCost(10), 56.0, 8.0);
+  EXPECT_NEAR(costs.MptUpdateCost(5000), 2500.0, 120.0);
+}
+
+TEST(CostModelTest, QuorumPerTxnCostMatchesThroughputAnchors) {
+  CostModel costs;
+  // Quorum's serial execution bound: ~1547 tps at 10 B, ~237 tps at 1 KB,
+  // ~58 tps at 5 KB (Fig. 4 / Fig. 11). Cost = sig verify + one op.
+  double txn_10 = costs.sig_verify_us + costs.QuorumOpCost(10);
+  double txn_1k = costs.sig_verify_us + costs.QuorumOpCost(1000);
+  double txn_5k = costs.sig_verify_us + costs.QuorumOpCost(5000);
+  EXPECT_NEAR(1e6 / txn_10, 1547, 250);
+  EXPECT_NEAR(1e6 / txn_1k, 237, 40);
+  EXPECT_NEAR(1e6 / txn_5k, 58, 10);
+}
+
+TEST(CostModelTest, FabricValidationMatchesTable4Regression) {
+  CostModel costs;
+  // Table 4 regression: validation cost ~ fabric_commit + sig * (N + 1);
+  // peak tps = 1e6 / cost. N=3 -> ~1560, N=19 -> ~528.
+  auto peak = [&](int n) {
+    return 1e6 / (costs.fabric_commit_us +
+                  costs.sig_verify_us * static_cast<double>(n + 1));
+  };
+  EXPECT_NEAR(peak(3), 1560, 300);
+  EXPECT_NEAR(peak(19), 528, 120);
+}
+
+TEST(CostModelTest, EtcdLeaderCostMatchesTable4Regression) {
+  CostModel costs;
+  // etcd per-op leader work: base + per-follower * (N-1); Table 4 gives
+  // ~52 us at N=3. (At large N the NIC, not the CPU, binds.)
+  double at3 = costs.raft_leader_base_us + 2 * costs.raft_leader_per_follower_us;
+  EXPECT_NEAR(1e6 / at3, 19282, 6000);
+}
+
+TEST(CostModelTest, BftCostsExceedCftCosts) {
+  CostModel costs;
+  // Every BFT message carries a signature; CFT messages do not — the
+  // structural cost asymmetry of Section 3.1.3.
+  EXPECT_GT(costs.sig_verify_us, 10 * costs.msg_handling_us);
+}
+
+TEST(CostModelTest, MbtUpdateFarCheaperThanMpt) {
+  CostModel costs;
+  EXPECT_LT(costs.MbtUpdateCost(1000) * 5, costs.MptUpdateCost(1000));
+}
+
+}  // namespace
+}  // namespace dicho::sim

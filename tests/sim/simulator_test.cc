@@ -1,0 +1,210 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/network.h"
+
+namespace dicho::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(10, [&] { order.push_back(2); });
+  sim.Schedule(10, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.Schedule(5, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<double>{5, 10}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { fired++; });
+  sim.Schedule(20, [&] { fired++; });
+  sim.RunUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 15);
+  sim.RunUntil(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  double t = -1;
+  sim.Schedule(10, [&] {
+    sim.Schedule(-5, [&] { t = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(t, 10);
+}
+
+TEST(SimulatorTest, DeterministicReplay) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 50; i++) {
+      sim.Schedule(sim.rng()->NextDouble() * 100, [&trace, &sim] {
+        trace.push_back(static_cast<uint64_t>(sim.Now() * 1000));
+      });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimulatorTest, MaxEventsCap) {
+  Simulator sim;
+  // Self-perpetuating event chain; the cap must stop it.
+  std::function<void()> loop = [&] { sim.Schedule(1, loop); };
+  sim.Schedule(1, loop);
+  uint64_t n = sim.Run(100);
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(CpuResourceTest, SerialService) {
+  Simulator sim;
+  CpuResource cpu(&sim);
+  std::vector<double> completions;
+  // Three jobs of 10us each submitted at t=0: complete at 10, 20, 30.
+  for (int i = 0; i < 3; i++) {
+    cpu.Submit(10, [&] { completions.push_back(sim.Now()); });
+  }
+  EXPECT_EQ(cpu.outstanding(), 3u);
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<double>{10, 20, 30}));
+  EXPECT_EQ(cpu.outstanding(), 0u);
+  EXPECT_EQ(cpu.total_busy(), 30);
+}
+
+TEST(CpuResourceTest, IdleGapResetsStart) {
+  Simulator sim;
+  CpuResource cpu(&sim);
+  std::vector<double> completions;
+  cpu.Submit(10, [&] { completions.push_back(sim.Now()); });
+  sim.Schedule(100, [&] {
+    cpu.Submit(10, [&] { completions.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<double>{10, 110}));
+}
+
+TEST(CpuResourceTest, BacklogReflectsQueueing) {
+  Simulator sim;
+  CpuResource cpu(&sim);
+  cpu.Submit(50, [] {});
+  cpu.Submit(50, [] {});
+  EXPECT_EQ(cpu.backlog(), 100);
+}
+
+TEST(SimNetworkTest, DeliversWithLatency) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.base_latency_us = 100;
+  cfg.bandwidth_bytes_per_us = 100;
+  cfg.jitter_us = 0;
+  SimNetwork net(&sim, cfg);
+  double delivered_at = -1;
+  net.Send(0, 1, 1000, [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  // 100 base + 1000/100 bandwidth = 110.
+  EXPECT_DOUBLE_EQ(delivered_at, 110);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(SimNetworkTest, DownNodeDropsAtDelivery) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.jitter_us = 0;
+  SimNetwork net(&sim, cfg);
+  bool delivered = false;
+  net.Send(0, 1, 10, [&] { delivered = true; });
+  // Crash node 1 while the message is in flight.
+  net.SetNodeDown(1, true);
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST(SimNetworkTest, RestartedNodeReceivesAgain) {
+  Simulator sim;
+  SimNetwork net(&sim, NetworkConfig{});
+  net.SetNodeDown(1, true);
+  net.SetNodeDown(1, false);
+  bool delivered = false;
+  net.Send(0, 1, 10, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(SimNetworkTest, PartitionBlocksCrossGroup) {
+  Simulator sim;
+  SimNetwork net(&sim, NetworkConfig{});
+  net.Partition({{0, 1}, {2, 3}});
+  int same = 0, cross = 0;
+  net.Send(0, 1, 10, [&] { same++; });
+  net.Send(0, 2, 10, [&] { cross++; });
+  net.Send(2, 3, 10, [&] { same++; });
+  sim.Run();
+  EXPECT_EQ(same, 2);
+  EXPECT_EQ(cross, 0);
+
+  net.HealPartition();
+  net.Send(0, 2, 10, [&] { cross++; });
+  sim.Run();
+  EXPECT_EQ(cross, 1);
+}
+
+TEST(SimNetworkTest, DropRateLosesSomeMessages) {
+  Simulator sim(1234);
+  NetworkConfig cfg;
+  cfg.drop_rate = 0.5;
+  SimNetwork net(&sim, cfg);
+  int delivered = 0;
+  for (int i = 0; i < 1000; i++) {
+    net.Send(0, 1, 10, [&] { delivered++; });
+  }
+  sim.Run();
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+}
+
+TEST(SimNetworkTest, BytesAccounted) {
+  Simulator sim;
+  SimNetwork net(&sim, NetworkConfig{});
+  net.Send(0, 1, 123, [] {});
+  net.Send(1, 0, 877, [] {});
+  sim.Run();
+  EXPECT_EQ(net.bytes_sent(), 1000u);
+}
+
+}  // namespace
+}  // namespace dicho::sim

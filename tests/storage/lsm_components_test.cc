@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "storage/env.h"
+#include "storage/lsm/block.h"
+#include "storage/lsm/bloom.h"
+#include "storage/lsm/format.h"
+#include "storage/lsm/memtable.h"
+#include "storage/lsm/skiplist.h"
+#include "storage/lsm/sstable.h"
+#include "storage/lsm/wal.h"
+
+namespace dicho::storage::lsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Internal key format
+// ---------------------------------------------------------------------------
+
+TEST(FormatTest, InternalKeyRoundTrip) {
+  std::string ik = MakeInternalKey("user", 42, ValueType::kValue);
+  EXPECT_EQ(ExtractUserKey(ik), Slice("user"));
+  EXPECT_EQ(ExtractSequence(ik), 42u);
+  EXPECT_EQ(ExtractValueType(ik), ValueType::kValue);
+}
+
+TEST(FormatTest, OrderingUserKeyAscThenSeqDesc) {
+  std::string a1 = MakeInternalKey("a", 1, ValueType::kValue);
+  std::string a9 = MakeInternalKey("a", 9, ValueType::kValue);
+  std::string b1 = MakeInternalKey("b", 1, ValueType::kValue);
+  EXPECT_LT(CompareInternalKey(a9, a1), 0);  // newer sorts first
+  EXPECT_LT(CompareInternalKey(a1, b1), 0);
+  EXPECT_LT(CompareInternalKey(a9, b1), 0);
+  EXPECT_EQ(CompareInternalKey(a1, a1), 0);
+}
+
+TEST(FormatTest, DeletionSortsAfterValueAtSameSeq) {
+  std::string v = MakeInternalKey("k", 5, ValueType::kValue);
+  std::string d = MakeInternalKey("k", 5, ValueType::kDeletion);
+  EXPECT_LT(CompareInternalKey(v, d), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Skip list
+// ---------------------------------------------------------------------------
+
+struct IntCmp {
+  int operator()(int a, int b) const { return a < b ? -1 : (a > b ? 1 : 0); }
+};
+
+TEST(SkipListTest, InsertAndContains) {
+  SkipList<int, IntCmp> list{IntCmp{}};
+  std::set<int> model;
+  Rng rng(5);
+  for (int i = 0; i < 2000; i++) {
+    int v = static_cast<int>(rng.Uniform(10000));
+    if (model.insert(v).second) list.Insert(v);
+  }
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_EQ(list.Contains(i), model.count(i) > 0) << i;
+  }
+  EXPECT_EQ(list.size(), model.size());
+}
+
+TEST(SkipListTest, IterationIsSorted) {
+  SkipList<int, IntCmp> list{IntCmp{}};
+  std::set<int> model;
+  Rng rng(7);
+  for (int i = 0; i < 500; i++) {
+    int v = static_cast<int>(rng.Uniform(100000));
+    if (model.insert(v).second) list.Insert(v);
+  }
+  SkipList<int, IntCmp>::Iterator it(&list);
+  auto expect = model.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++expect) {
+    ASSERT_NE(expect, model.end());
+    EXPECT_EQ(it.key(), *expect);
+  }
+  EXPECT_EQ(expect, model.end());
+}
+
+TEST(SkipListTest, SeekFindsLowerBound) {
+  SkipList<int, IntCmp> list{IntCmp{}};
+  for (int v : {10, 20, 30, 40}) list.Insert(v);
+  SkipList<int, IntCmp>::Iterator it(&list);
+  it.Seek(25);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30);
+  it.Seek(40);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 40);
+  it.Seek(41);
+  EXPECT_FALSE(it.Valid());
+}
+
+// ---------------------------------------------------------------------------
+// MemTable
+// ---------------------------------------------------------------------------
+
+TEST(MemTableTest, GetNewestVisibleVersion) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "k", "v1");
+  mem.Add(5, ValueType::kValue, "k", "v5");
+  std::string value;
+  bool found;
+  EXPECT_TRUE(mem.Get("k", 10, &value, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(value, "v5");
+  // Snapshot between the versions sees the old one.
+  EXPECT_TRUE(mem.Get("k", 3, &value, &found).ok());
+  EXPECT_EQ(value, "v1");
+  // Snapshot before both sees nothing.
+  EXPECT_TRUE(mem.Get("k", 0, &value, &found).IsNotFound());
+  EXPECT_FALSE(found);
+}
+
+TEST(MemTableTest, TombstoneHidesValue) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "k", "v");
+  mem.Add(2, ValueType::kDeletion, "k", "");
+  std::string value;
+  bool found;
+  Status s = mem.Get("k", 10, &value, &found);
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_TRUE(found);  // tombstone seen: do not fall through to tables
+}
+
+TEST(MemTableTest, MissingKeyNotFoundNotSeen) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "a", "v");
+  std::string value;
+  bool found;
+  EXPECT_TRUE(mem.Get("zz", 10, &value, &found).IsNotFound());
+  EXPECT_FALSE(found);
+}
+
+TEST(MemTableTest, IteratorYieldsInternalOrder) {
+  MemTable mem;
+  mem.Add(3, ValueType::kValue, "b", "b3");
+  mem.Add(1, ValueType::kValue, "a", "a1");
+  mem.Add(2, ValueType::kValue, "b", "b2");
+  auto it = mem.NewIterator();
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()), Slice("a"));
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()), Slice("b"));
+  EXPECT_EQ(ExtractSequence(it->key()), 3u);  // newer b first
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractSequence(it->key()), 2u);
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; i++) keys.push_back("key" + std::to_string(i));
+  std::vector<Slice> slices(keys.begin(), keys.end());
+  std::string filter;
+  policy.CreateFilter(slices, &filter);
+  for (const auto& k : keys) {
+    EXPECT_TRUE(policy.KeyMayMatch(k, filter)) << k;
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 10000; i++) keys.push_back("key" + std::to_string(i));
+  std::vector<Slice> slices(keys.begin(), keys.end());
+  std::string filter;
+  policy.CreateFilter(slices, &filter);
+  int fp = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (policy.KeyMayMatch("absent" + std::to_string(i), filter)) fp++;
+  }
+  // 10 bits/key gives ~1%; allow generous slack.
+  EXPECT_LT(fp, 400);
+}
+
+TEST(BloomTest, EmptyFilterIsConservative) {
+  BloomFilterPolicy policy(10);
+  EXPECT_TRUE(policy.KeyMayMatch("anything", ""));
+}
+
+// ---------------------------------------------------------------------------
+// Block
+// ---------------------------------------------------------------------------
+
+TEST(BlockTest, BuildAndIterate) {
+  BlockBuilder builder(4);  // small restart interval to exercise restarts
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 100; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%04d", i);
+    kvs.emplace_back(MakeInternalKey(buf, 1, ValueType::kValue),
+                     "value" + std::to_string(i));
+  }
+  for (const auto& [k, v] : kvs) builder.Add(k, v);
+  Block block(builder.Finish().ToString());
+
+  auto it = block.NewIterator();
+  size_t i = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next(), i++) {
+    ASSERT_LT(i, kvs.size());
+    EXPECT_EQ(it->key(), Slice(kvs[i].first));
+    EXPECT_EQ(it->value(), Slice(kvs[i].second));
+  }
+  EXPECT_EQ(i, kvs.size());
+}
+
+TEST(BlockTest, SeekLandsOnLowerBound) {
+  BlockBuilder builder(4);
+  for (int i = 0; i < 50; i += 2) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%04d", i);
+    builder.Add(MakeInternalKey(buf, 1, ValueType::kValue), "v");
+  }
+  Block block(builder.Finish().ToString());
+  auto it = block.NewIterator();
+  // Seek to an absent odd key: lands on the next even one.
+  it->Seek(MakeInternalKey("key0007", kMaxSequence, kValueTypeForSeek));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()), Slice("key0008"));
+  // Seek past the end.
+  it->Seek(MakeInternalKey("key9999", kMaxSequence, kValueTypeForSeek));
+  EXPECT_FALSE(it->Valid());
+  // Seek before the beginning.
+  it->Seek(MakeInternalKey("aaa", kMaxSequence, kValueTypeForSeek));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()), Slice("key0000"));
+}
+
+TEST(BlockTest, EmptyBlock) {
+  BlockBuilder builder;
+  Block block(builder.Finish().ToString());
+  auto it = block.NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, RoundTrip) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile("wal", &file).ok());
+  LogWriter writer(std::move(file));
+  ASSERT_TRUE(writer.AddRecord("first").ok());
+  ASSERT_TRUE(writer.AddRecord("").ok());
+  ASSERT_TRUE(writer.AddRecord(std::string(10000, 'x')).ok());
+
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("wal", &contents).ok());
+  LogReader reader(std::move(contents));
+  std::string rec;
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec, "first");
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec, "");
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec.size(), 10000u);
+  EXPECT_FALSE(reader.ReadRecord(&rec));
+}
+
+TEST(WalTest, TornTailDetected) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile("wal", &file).ok());
+  LogWriter writer(std::move(file));
+  ASSERT_TRUE(writer.AddRecord("complete").ok());
+  ASSERT_TRUE(writer.AddRecord("will-be-torn").ok());
+
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("wal", &contents).ok());
+  contents.resize(contents.size() - 5);  // tear the tail
+  LogReader reader(std::move(contents));
+  std::string rec;
+  bool corrupt = false;
+  ASSERT_TRUE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_EQ(rec, "complete");
+  EXPECT_FALSE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_TRUE(corrupt);
+}
+
+TEST(WalTest, BitFlipDetected) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile("wal", &file).ok());
+  LogWriter writer(std::move(file));
+  ASSERT_TRUE(writer.AddRecord("payload-bytes").ok());
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("wal", &contents).ok());
+  contents[10] ^= 0x40;
+  LogReader reader(std::move(contents));
+  std::string rec;
+  bool corrupt = false;
+  EXPECT_FALSE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_TRUE(corrupt);
+}
+
+// ---------------------------------------------------------------------------
+// SSTable
+// ---------------------------------------------------------------------------
+
+class SstTest : public ::testing::Test {
+ protected:
+  void BuildTable(const std::map<std::string, std::string>& kvs,
+                  SequenceNumber seq = 1) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile("t.sst", &file).ok());
+    TableBuilder builder(file.get(), /*block_size=*/256);
+    for (const auto& [k, v] : kvs) {
+      builder.Add(MakeInternalKey(k, seq, ValueType::kValue), v);
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    ASSERT_TRUE(file->Close().ok());
+
+    std::unique_ptr<RandomAccessFile> raf;
+    ASSERT_TRUE(env_->NewRandomAccessFile("t.sst", &raf).ok());
+    ASSERT_TRUE(Table::Open(std::move(raf), &table_).ok());
+  }
+
+  std::unique_ptr<Env> env_ = NewMemEnv();
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(SstTest, GetAllKeys) {
+  std::map<std::string, std::string> kvs;
+  for (int i = 0; i < 500; i++) {
+    kvs["key" + std::to_string(1000 + i)] = "value" + std::to_string(i);
+  }
+  BuildTable(kvs);
+  for (const auto& [k, v] : kvs) {
+    std::string ikey, value;
+    Status s =
+        table_->Get(MakeInternalKey(k, kMaxSequence, kValueTypeForSeek),
+                    &ikey, &value);
+    ASSERT_TRUE(s.ok()) << k << " " << s.ToString();
+    EXPECT_EQ(value, v);
+  }
+}
+
+TEST_F(SstTest, AbsentKeysNotFound) {
+  std::map<std::string, std::string> kvs;
+  for (int i = 0; i < 200; i++) kvs["key" + std::to_string(2 * i)] = "v";
+  BuildTable(kvs);
+  for (int i = 0; i < 200; i++) {
+    std::string k = "absent" + std::to_string(i);
+    std::string ikey, value;
+    EXPECT_TRUE(table_->Get(MakeInternalKey(k, kMaxSequence, kValueTypeForSeek),
+                            &ikey, &value)
+                    .IsNotFound());
+  }
+  EXPECT_GT(table_->bloom_negatives(), 150u);  // bloom doing its job
+}
+
+TEST_F(SstTest, SnapshotVisibility) {
+  // Two versions of "k" in one table.
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("t.sst", &file).ok());
+  TableBuilder builder(file.get());
+  builder.Add(MakeInternalKey("k", 9, ValueType::kValue), "new");
+  builder.Add(MakeInternalKey("k", 3, ValueType::kValue), "old");
+  ASSERT_TRUE(builder.Finish().ok());
+  ASSERT_TRUE(file->Close().ok());
+  std::unique_ptr<RandomAccessFile> raf;
+  ASSERT_TRUE(env_->NewRandomAccessFile("t.sst", &raf).ok());
+  ASSERT_TRUE(Table::Open(std::move(raf), &table_).ok());
+
+  std::string ikey, value;
+  ASSERT_TRUE(table_->Get(MakeInternalKey("k", 100, kValueTypeForSeek), &ikey,
+                          &value)
+                  .ok());
+  EXPECT_EQ(value, "new");
+  ASSERT_TRUE(
+      table_->Get(MakeInternalKey("k", 5, kValueTypeForSeek), &ikey, &value)
+          .ok());
+  EXPECT_EQ(value, "old");
+}
+
+TEST_F(SstTest, IteratorScansInOrder) {
+  std::map<std::string, std::string> kvs;
+  for (int i = 0; i < 300; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%05d", i * 3);
+    kvs[buf] = "v" + std::to_string(i);
+  }
+  BuildTable(kvs);
+  auto it = table_->NewIterator();
+  auto expect = kvs.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expect) {
+    ASSERT_NE(expect, kvs.end());
+    EXPECT_EQ(ExtractUserKey(it->key()), Slice(expect->first));
+    EXPECT_EQ(it->value(), Slice(expect->second));
+  }
+  EXPECT_EQ(expect, kvs.end());
+}
+
+TEST_F(SstTest, CorruptMagicRejected) {
+  std::map<std::string, std::string> kvs{{"a", "1"}};
+  BuildTable(kvs);
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString("t.sst", &contents).ok());
+  contents[contents.size() - 1] ^= 0xFF;
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("bad.sst", &f).ok());
+  ASSERT_TRUE(f->Append(contents).ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::unique_ptr<RandomAccessFile> raf;
+  ASSERT_TRUE(env_->NewRandomAccessFile("bad.sst", &raf).ok());
+  std::unique_ptr<Table> t;
+  EXPECT_TRUE(Table::Open(std::move(raf), &t).IsCorruption());
+}
+
+}  // namespace
+}  // namespace dicho::storage::lsm

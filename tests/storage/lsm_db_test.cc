@@ -1,0 +1,314 @@
+#include "storage/lsm/db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "storage/env.h"
+
+namespace dicho::storage::lsm {
+namespace {
+
+class LsmDbTest : public ::testing::Test {
+ protected:
+  void Open(size_t write_buffer = 64 * 1024) {
+    LsmOptions options;
+    options.env = env_.get();
+    options.path = "db";
+    options.write_buffer_size = write_buffer;
+    options.level_base_bytes = 256 * 1024;  // small: force multi-level
+    options.max_output_file_bytes = 64 * 1024;
+    ASSERT_TRUE(LsmDb::Open(options, &db_).ok());
+  }
+
+  void Reopen() {
+    db_.reset();
+    Open(last_write_buffer_);
+  }
+
+  std::unique_ptr<Env> env_ = NewMemEnv();
+  std::unique_ptr<LsmDb> db_;
+  size_t last_write_buffer_ = 64 * 1024;
+};
+
+TEST_F(LsmDbTest, PutGet) {
+  Open();
+  ASSERT_TRUE(db_->Put("k1", "v1").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get("k1", &value).ok());
+  EXPECT_EQ(value, "v1");
+  EXPECT_TRUE(db_->Get("missing", &value).IsNotFound());
+}
+
+TEST_F(LsmDbTest, OverwriteReturnsLatest) {
+  Open();
+  ASSERT_TRUE(db_->Put("k", "v1").ok());
+  ASSERT_TRUE(db_->Put("k", "v2").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST_F(LsmDbTest, DeleteHidesKey) {
+  Open();
+  ASSERT_TRUE(db_->Put("k", "v").ok());
+  ASSERT_TRUE(db_->Delete("k").ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get("k", &value).IsNotFound());
+}
+
+TEST_F(LsmDbTest, DeleteSurvivesFlush) {
+  Open();
+  ASSERT_TRUE(db_->Put("k", "v").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Delete("k").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get("k", &value).IsNotFound());
+}
+
+TEST_F(LsmDbTest, WriteBatchIsAtomicallyVisible) {
+  Open();
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  ASSERT_TRUE(db_->Write(batch).ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get("a", &value).IsNotFound());
+  ASSERT_TRUE(db_->Get("b", &value).ok());
+  EXPECT_EQ(value, "2");
+}
+
+TEST_F(LsmDbTest, SnapshotIsolation) {
+  Open();
+  ASSERT_TRUE(db_->Put("k", "v1").ok());
+  SequenceNumber snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put("k", "v2").ok());
+  ASSERT_TRUE(db_->Put("new", "x").ok());
+
+  std::string value;
+  ASSERT_TRUE(db_->GetAt("k", snap, &value).ok());
+  EXPECT_EQ(value, "v1");
+  EXPECT_TRUE(db_->GetAt("new", snap, &value).IsNotFound());
+  ASSERT_TRUE(db_->Get("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST_F(LsmDbTest, FlushCreatesL0File) {
+  Open();
+  ASSERT_TRUE(db_->Put("k", "v").ok());
+  EXPECT_EQ(db_->NumFilesAtLevel(0), 0);
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_EQ(db_->NumFilesAtLevel(0), 1);
+  EXPECT_EQ(db_->stats().flushes, 1u);
+  std::string value;
+  ASSERT_TRUE(db_->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST_F(LsmDbTest, CompactionKeepsDataCorrect) {
+  Open(/*write_buffer=*/8 * 1024);
+  std::map<std::string, std::string> model;
+  Rng rng(3);
+  for (int i = 0; i < 3000; i++) {
+    std::string key = "key" + std::to_string(rng.Uniform(500));
+    std::string value = "v" + std::to_string(i);
+    model[key] = value;
+    ASSERT_TRUE(db_->Put(key, value).ok());
+  }
+  EXPECT_GT(db_->stats().flushes, 0u);
+  EXPECT_GT(db_->stats().compactions, 0u);
+  for (const auto& [k, v] : model) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(k, &value).ok()) << k;
+    EXPECT_EQ(value, v);
+  }
+}
+
+TEST_F(LsmDbTest, IteratorMatchesModel) {
+  Open(/*write_buffer=*/8 * 1024);
+  std::map<std::string, std::string> model;
+  Rng rng(5);
+  for (int i = 0; i < 2000; i++) {
+    std::string key = "key" + std::to_string(rng.Uniform(300));
+    if (rng.Bernoulli(0.2)) {
+      model.erase(key);
+      ASSERT_TRUE(db_->Delete(key).ok());
+    } else {
+      std::string value = "v" + std::to_string(i);
+      model[key] = value;
+      ASSERT_TRUE(db_->Put(key, value).ok());
+    }
+  }
+  auto it = db_->NewIterator();
+  auto expect = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expect) {
+    ASSERT_NE(expect, model.end());
+    EXPECT_EQ(it->key(), Slice(expect->first));
+    EXPECT_EQ(it->value(), Slice(expect->second));
+  }
+  EXPECT_EQ(expect, model.end());
+}
+
+TEST_F(LsmDbTest, IteratorSeek) {
+  Open();
+  for (int i = 0; i < 100; i += 10) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%03d", i);
+    ASSERT_TRUE(db_->Put(buf, "v").ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  auto it = db_->NewIterator();
+  it->Seek("key015");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), Slice("key020"));
+  it->Seek("key090");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), Slice("key090"));
+  it->Seek("zzz");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(LsmDbTest, RecoversFromWalAfterReopen) {
+  Open();
+  ASSERT_TRUE(db_->Put("durable", "yes").ok());
+  ASSERT_TRUE(db_->Put("also", "this").ok());
+  Reopen();  // no flush happened: data must come back from the WAL
+  std::string value;
+  ASSERT_TRUE(db_->Get("durable", &value).ok());
+  EXPECT_EQ(value, "yes");
+  ASSERT_TRUE(db_->Get("also", &value).ok());
+  EXPECT_EQ(value, "this");
+  EXPECT_EQ(db_->last_sequence(), 2u);
+}
+
+TEST_F(LsmDbTest, RecoversTablesAndWal) {
+  Open(/*write_buffer=*/8 * 1024);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 1000; i++) {
+    std::string key = "key" + std::to_string(i);
+    model[key] = "v" + std::to_string(i);
+    ASSERT_TRUE(db_->Put(key, model[key]).ok());
+  }
+  last_write_buffer_ = 8 * 1024;
+  Reopen();
+  for (const auto& [k, v] : model) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(k, &value).ok()) << k;
+    EXPECT_EQ(value, v);
+  }
+}
+
+TEST_F(LsmDbTest, TornWalTailIsIgnoredOnRecovery) {
+  Open();
+  ASSERT_TRUE(db_->Put("safe", "1").ok());
+  ASSERT_TRUE(db_->Put("torn", "2").ok());
+  db_.reset();
+  // Tear the last WAL record.
+  std::string wal;
+  ASSERT_TRUE(env_->ReadFileToString("db/wal.log", &wal).ok());
+  wal.resize(wal.size() - 3);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("db/wal.log", &f).ok());
+  ASSERT_TRUE(f->Append(wal).ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  Open();
+  std::string value;
+  ASSERT_TRUE(db_->Get("safe", &value).ok());
+  EXPECT_TRUE(db_->Get("torn", &value).IsNotFound());
+}
+
+TEST_F(LsmDbTest, CompactAllMovesEverythingDown) {
+  Open(/*write_buffer=*/8 * 1024);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db_->Put("key" + std::to_string(i), std::string(50, 'x')).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_EQ(db_->NumFilesAtLevel(0), 0);
+  std::string value;
+  ASSERT_TRUE(db_->Get("key500", &value).ok());
+}
+
+TEST_F(LsmDbTest, TombstonesDroppedAtBottom) {
+  Open();
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put("key" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Delete("key" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  // Everything was deleted and compacted to the bottom: no table data left.
+  auto it = db_->NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(LsmDbTest, StatsTrackIngestAndWrites) {
+  Open();
+  ASSERT_TRUE(db_->Put("abc", "0123456789").ok());
+  EXPECT_EQ(db_->stats().bytes_ingested, 13u);
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_GT(db_->stats().bytes_written, 0u);
+  EXPECT_GT(db_->TotalTableBytes(), 0u);
+}
+
+// Randomized differential test against the std::map oracle, sweeping
+// write-buffer sizes so flush/compaction paths all get exercised.
+class LsmDbFuzzSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LsmDbFuzzSweep, MatchesOracle) {
+  auto env = NewMemEnv();
+  LsmOptions options;
+  options.env = env.get();
+  options.path = "db";
+  options.write_buffer_size = GetParam();
+  options.level_base_bytes = 64 * 1024;
+  options.max_output_file_bytes = 16 * 1024;
+  std::unique_ptr<LsmDb> db;
+  ASSERT_TRUE(LsmDb::Open(options, &db).ok());
+
+  std::map<std::string, std::string> model;
+  Rng rng(GetParam());
+  for (int i = 0; i < 4000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(400));
+    double dice = rng.NextDouble();
+    if (dice < 0.65) {
+      std::string value = rng.Bytes(1 + rng.Uniform(60));
+      model[key] = value;
+      ASSERT_TRUE(db->Put(key, value).ok());
+    } else if (dice < 0.9) {
+      model.erase(key);
+      ASSERT_TRUE(db->Delete(key).ok());
+    } else {
+      std::string got;
+      Status s = db->Get(key, &got);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(s.IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+        EXPECT_EQ(got, it->second);
+      }
+    }
+  }
+  // Final full scan comparison.
+  auto it = db->NewIterator();
+  auto expect = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expect) {
+    ASSERT_NE(expect, model.end());
+    EXPECT_EQ(it->key(), Slice(expect->first));
+    EXPECT_EQ(it->value(), Slice(expect->second));
+  }
+  EXPECT_EQ(expect, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferSizes, LsmDbFuzzSweep,
+                         ::testing::Values(2 * 1024, 8 * 1024, 32 * 1024,
+                                           1 << 20));
+
+}  // namespace
+}  // namespace dicho::storage::lsm

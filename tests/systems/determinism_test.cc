@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "systems/fabric.h"
+#include "systems/quorum.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace dicho::systems {
+namespace {
+
+// Whole-cluster determinism: identical seeds must give bit-identical
+// results (throughput, event counts, final state digests). This is the
+// property that makes every benchmark in bench/ replayable.
+
+template <typename MakeSystem>
+std::string TraceRun(uint64_t seed, MakeSystem make) {
+  sim::Simulator simulator(seed);
+  sim::SimNetwork network(&simulator, sim::NetworkConfig{});
+  sim::CostModel costs;
+  auto system = make(&simulator, &network, &costs);
+
+  workload::YcsbConfig wcfg;
+  wcfg.record_count = 500;
+  wcfg.record_size = 100;
+  workload::YcsbWorkload workload(wcfg, seed);
+  for (int i = 0; i < 500; i++) {
+    system->Load(workload.KeyAt(i), workload.RandomValue());
+  }
+  workload::DriverConfig dcfg;
+  dcfg.num_clients = 16;
+  dcfg.warmup = 1 * sim::kSec;
+  dcfg.measure = 4 * sim::kSec;
+  workload::Driver driver(&simulator, system.get(),
+                          [&workload] { return workload.NextTxn(); }, dcfg);
+  auto m = driver.Run();
+  return std::to_string(m.committed) + "/" + std::to_string(m.aborted) + "/" +
+         std::to_string(simulator.executed_events()) + "/" +
+         std::to_string(network.messages_sent());
+}
+
+TEST(DeterminismTest, FabricRunsReplayIdentically) {
+  auto make = [](sim::Simulator* simulator, sim::SimNetwork* network,
+                 sim::CostModel* costs) {
+    FabricConfig config;
+    config.num_peers = 4;
+    auto system =
+        std::make_unique<FabricSystem>(simulator, network, costs, config);
+    system->Start();
+    simulator->RunFor(1 * sim::kSec);
+    return system;
+  };
+  EXPECT_EQ(TraceRun(7, make), TraceRun(7, make));
+  EXPECT_NE(TraceRun(7, make), TraceRun(8, make));
+}
+
+TEST(DeterminismTest, QuorumStateDigestsReplayIdentically) {
+  auto run = [](uint64_t seed) {
+    sim::Simulator simulator(seed);
+    sim::SimNetwork network(&simulator, sim::NetworkConfig{});
+    sim::CostModel costs;
+    QuorumConfig config;
+    config.num_nodes = 4;
+    config.block_interval = 100 * sim::kMs;
+    QuorumSystem system(&simulator, &network, &costs, config);
+    system.Start();
+    simulator.RunFor(1 * sim::kSec);
+    for (int i = 0; i < 20; i++) {
+      core::TxnRequest txn;
+      txn.txn_id = i + 1;
+      txn.client_id = i;
+      txn.contract = "ycsb";
+      txn.ops = {{core::OpType::kWrite, "k" + std::to_string(i % 7), "v"}};
+      system.Submit(txn, [](const core::TxnResult&) {});
+    }
+    simulator.RunFor(5 * sim::kSec);
+    return crypto::DigestHex(system.state_of(0).RootDigest());
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+}  // namespace
+}  // namespace dicho::systems

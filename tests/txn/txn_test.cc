@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "txn/lock_table.h"
+#include "txn/mvcc.h"
+#include "txn/occ.h"
+
+namespace dicho::txn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OCC / VersionedState
+// ---------------------------------------------------------------------------
+
+TEST(OccTest, MissingKeysReadVersionZero) {
+  VersionedState state;
+  std::string value;
+  uint64_t version;
+  state.Get("nope", &value, &version);
+  EXPECT_EQ(version, 0u);
+  EXPECT_TRUE(value.empty());
+}
+
+TEST(OccTest, ApplyBumpsVersion) {
+  VersionedState state;
+  state.Apply({{"k", "v1"}}, 1);
+  std::string value;
+  uint64_t version;
+  state.Get("k", &value, &version);
+  EXPECT_EQ(value, "v1");
+  EXPECT_EQ(version, 1u);
+  state.Apply({{"k", "v2"}}, 5);
+  state.Get("k", &value, &version);
+  EXPECT_EQ(version, 5u);
+}
+
+TEST(OccTest, ValidatePassesOnFreshReads) {
+  VersionedState state;
+  state.Apply({{"a", "1"}, {"b", "2"}}, 3);
+  EXPECT_TRUE(state.Validate({{"a", 3}, {"b", 3}, {"absent", 0}}, nullptr));
+}
+
+TEST(OccTest, ValidateFailsOnStaleRead) {
+  VersionedState state;
+  state.Apply({{"a", "1"}}, 1);
+  // A transaction read "a" at version 1; someone commits version 2.
+  state.Apply({{"a", "x"}}, 2);
+  std::string conflict;
+  EXPECT_FALSE(state.Validate({{"a", 1}}, &conflict));
+  EXPECT_EQ(conflict, "a");
+}
+
+TEST(OccTest, SerializabilityUnderInterleaving) {
+  // Classic lost-update scenario: two txns read the same version; the first
+  // commits; the second must fail validation.
+  VersionedState state;
+  state.Apply({{"x", "0"}}, 1);
+  std::vector<std::pair<std::string, uint64_t>> t1_reads = {{"x", 1}};
+  std::vector<std::pair<std::string, uint64_t>> t2_reads = {{"x", 1}};
+  ASSERT_TRUE(state.Validate(t1_reads, nullptr));
+  state.Apply({{"x", "1"}}, 2);  // t1 commits
+  EXPECT_FALSE(state.Validate(t2_reads, nullptr));  // t2 aborts
+}
+
+// ---------------------------------------------------------------------------
+// LockTable (wound-wait)
+// ---------------------------------------------------------------------------
+
+TEST(LockTableTest, GrantsImmediatelyWhenFree) {
+  LockTable locks;
+  locks.RegisterTxn(1, 10, nullptr);
+  bool granted = false;
+  locks.Acquire(1, "k", [&] { granted = true; });
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(locks.IsHeldBy("k", 1));
+}
+
+TEST(LockTableTest, ReentrantAcquire) {
+  LockTable locks;
+  locks.RegisterTxn(1, 10, nullptr);
+  int grants = 0;
+  locks.Acquire(1, "k", [&] { grants++; });
+  locks.Acquire(1, "k", [&] { grants++; });
+  EXPECT_EQ(grants, 2);
+}
+
+TEST(LockTableTest, YoungerWaitsForOlder) {
+  LockTable locks;
+  bool old_wounded = false, young_wounded = false;
+  locks.RegisterTxn(1, 10, [&] { old_wounded = true; });    // older
+  locks.RegisterTxn(2, 20, [&] { young_wounded = true; });  // younger
+  locks.Acquire(1, "k", [] {});
+  bool young_granted = false;
+  locks.Acquire(2, "k", [&] { young_granted = true; });
+  EXPECT_FALSE(young_granted);
+  EXPECT_FALSE(old_wounded);
+  EXPECT_EQ(locks.waits(), 1u);
+  // Older finishes; younger gets the lock.
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(young_granted);
+  EXPECT_TRUE(locks.IsHeldBy("k", 2));
+  EXPECT_FALSE(young_wounded);
+}
+
+TEST(LockTableTest, OlderWoundsYounger) {
+  LockTable locks;
+  bool young_wounded = false;
+  locks.RegisterTxn(2, 20, [&] { young_wounded = true; });
+  locks.RegisterTxn(1, 10, nullptr);
+  locks.Acquire(2, "k", [] {});
+  bool old_granted = false;
+  locks.Acquire(1, "k", [&] { old_granted = true; });
+  EXPECT_TRUE(young_wounded);
+  EXPECT_FALSE(old_granted);  // still waiting for release
+  EXPECT_EQ(locks.wounds(), 1u);
+  // The wounded transaction aborts and releases.
+  locks.ReleaseAll(2);
+  EXPECT_TRUE(old_granted);
+  EXPECT_TRUE(locks.IsHeldBy("k", 1));
+}
+
+TEST(LockTableTest, NoDeadlockUnderOpposingOrders) {
+  // T1 (old) holds a, wants b; T2 (young) holds b, wants a.
+  // Wound-wait: T1 wounds T2; T2 releases; T1 proceeds. No deadlock.
+  LockTable locks;
+  bool t2_wounded = false;
+  locks.RegisterTxn(1, 10, nullptr);
+  locks.RegisterTxn(2, 20, [&] { t2_wounded = true; });
+  locks.Acquire(1, "a", [] {});
+  locks.Acquire(2, "b", [] {});
+  bool t1_has_b = false;
+  locks.Acquire(1, "b", [&] { t1_has_b = true; });
+  EXPECT_TRUE(t2_wounded);
+  // T2, wounded, releases everything (it would also drop its wait on a).
+  locks.ReleaseAll(2);
+  EXPECT_TRUE(t1_has_b);
+  EXPECT_TRUE(locks.IsHeldBy("a", 1));
+  EXPECT_TRUE(locks.IsHeldBy("b", 1));
+}
+
+TEST(LockTableTest, ReleaseRemovesFromWaitQueues) {
+  LockTable locks;
+  locks.RegisterTxn(1, 10, nullptr);
+  locks.RegisterTxn(2, 20, nullptr);
+  locks.RegisterTxn(3, 30, nullptr);
+  locks.Acquire(1, "k", [] {});
+  bool t3_granted = false;
+  locks.Acquire(2, "k", [] {});  // waits
+  locks.Acquire(3, "k", [&] { t3_granted = true; });  // waits behind 2
+  locks.ReleaseAll(2);  // 2 gives up before being granted
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(t3_granted);
+}
+
+// ---------------------------------------------------------------------------
+// MvccStore (Percolator)
+// ---------------------------------------------------------------------------
+
+TEST(MvccTest, PrewriteCommitRead) {
+  MvccStore store;
+  ASSERT_TRUE(store.Prewrite("k", "v", 10, "k", 1).ok());
+  EXPECT_TRUE(store.IsLocked("k"));
+  ASSERT_TRUE(store.Commit("k", 10, 11).ok());
+  EXPECT_FALSE(store.IsLocked("k"));
+  std::string value;
+  ASSERT_TRUE(store.GetSnapshot("k", 11, &value).ok());
+  EXPECT_EQ(value, "v");
+  // A snapshot before the commit sees nothing.
+  EXPECT_TRUE(store.GetSnapshot("k", 10, &value).IsNotFound());
+}
+
+TEST(MvccTest, LockBlocksConflictingPrewrite) {
+  MvccStore store;
+  ASSERT_TRUE(store.Prewrite("k", "v1", 10, "k", 1).ok());
+  EXPECT_TRUE(store.Prewrite("k", "v2", 12, "k", 2).IsConflict());
+  // Idempotent retry by the same transaction is fine.
+  EXPECT_TRUE(store.Prewrite("k", "v1", 10, "k", 1).ok());
+}
+
+TEST(MvccTest, WriteWriteConflictAborts) {
+  MvccStore store;
+  ASSERT_TRUE(store.Prewrite("k", "v1", 10, "k", 1).ok());
+  ASSERT_TRUE(store.Commit("k", 10, 15).ok());
+  // A transaction that began at ts 12 (< 15) must abort on prewrite.
+  EXPECT_TRUE(store.Prewrite("k", "v2", 12, "k", 2).IsAborted());
+  // One that began after the commit proceeds.
+  EXPECT_TRUE(store.Prewrite("k", "v3", 20, "k", 3).ok());
+}
+
+TEST(MvccTest, SnapshotReadsSeeConsistentVersion) {
+  MvccStore store;
+  for (uint64_t i = 1; i <= 5; i++) {
+    ASSERT_TRUE(store.Prewrite("k", "v" + std::to_string(i), i * 10, "k", i).ok());
+    ASSERT_TRUE(store.Commit("k", i * 10, i * 10 + 1).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(store.GetSnapshot("k", 35, &value).ok());
+  EXPECT_EQ(value, "v3");
+  ASSERT_TRUE(store.GetSnapshot("k", 51, &value).ok());
+  EXPECT_EQ(value, "v5");
+}
+
+TEST(MvccTest, ReadBlockedByOlderLock) {
+  MvccStore store;
+  ASSERT_TRUE(store.Prewrite("k", "v", 10, "k", 1).ok());
+  std::string value;
+  // Snapshot at 12 >= lock's start 10: must wait/resolve (Conflict).
+  EXPECT_TRUE(store.GetSnapshot("k", 12, &value).IsConflict());
+  // Snapshot at 5 < lock start: lock is irrelevant, nothing committed.
+  EXPECT_TRUE(store.GetSnapshot("k", 5, &value).IsNotFound());
+}
+
+TEST(MvccTest, RollbackFreesLock) {
+  MvccStore store;
+  ASSERT_TRUE(store.Prewrite("k", "v", 10, "k", 1).ok());
+  ASSERT_TRUE(store.Rollback("k", 10).ok());
+  EXPECT_FALSE(store.IsLocked("k"));
+  EXPECT_TRUE(store.Prewrite("k", "v2", 12, "k", 2).ok());
+  // Commit of the rolled-back txn must fail.
+  EXPECT_TRUE(store.Commit("k", 10, 14).IsNotFound());
+}
+
+TEST(MvccTest, SnapshotIsolationNoLostUpdate) {
+  // Two concurrent read-modify-write transactions on the same key: exactly
+  // one commits (the other hits a lock or a write-write conflict).
+  MvccStore store;
+  ASSERT_TRUE(store.Prewrite("x", "0", 1, "x", 0).ok());
+  ASSERT_TRUE(store.Commit("x", 1, 2).ok());
+
+  // T1 (start 10) and T2 (start 11) both read x.
+  std::string v1, v2;
+  ASSERT_TRUE(store.GetSnapshot("x", 10, &v1).ok());
+  ASSERT_TRUE(store.GetSnapshot("x", 11, &v2).ok());
+
+  // T1 prewrites first.
+  ASSERT_TRUE(store.Prewrite("x", "1", 10, "x", 1).ok());
+  // T2's prewrite hits the lock.
+  EXPECT_TRUE(store.Prewrite("x", "1", 11, "x", 2).IsConflict());
+  ASSERT_TRUE(store.Commit("x", 10, 12).ok());
+  // T2 retries prewrite after the lock clears: now write-write conflict.
+  EXPECT_TRUE(store.Prewrite("x", "1", 11, "x", 2).IsAborted());
+}
+
+TEST(MvccTest, FuzzTwoPhaseProtocol) {
+  // Random interleaving of prewrite/commit/rollback across keys; invariant:
+  // committed versions per key have strictly increasing commit_ts and a read
+  // at any snapshot returns the version with the largest commit_ts <= ts.
+  MvccStore store;
+  Rng rng(9);
+  uint64_t ts = 1;
+  std::map<std::string, std::map<uint64_t, std::string>> model;
+  for (int i = 0; i < 2000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(20));
+    uint64_t start = ts++;
+    std::string value = "v" + std::to_string(i);
+    Status s = store.Prewrite(key, value, start, key, i);
+    if (!s.ok()) continue;
+    if (rng.Bernoulli(0.2)) {
+      ASSERT_TRUE(store.Rollback(key, start).ok());
+    } else {
+      uint64_t commit = ts++;
+      ASSERT_TRUE(store.Commit(key, start, commit).ok());
+      model[key][commit] = value;
+    }
+  }
+  for (const auto& [key, versions] : model) {
+    for (uint64_t probe : {versions.begin()->first, versions.rbegin()->first,
+                           versions.rbegin()->first + 10}) {
+      std::string got;
+      Status s = store.GetSnapshot(key, probe, &got);
+      auto it = model[key].upper_bound(probe);
+      ASSERT_NE(it, model[key].begin());
+      --it;
+      ASSERT_TRUE(s.ok());
+      EXPECT_EQ(got, it->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dicho::txn

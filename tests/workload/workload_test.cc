@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "systems/etcd.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace dicho::workload {
+namespace {
+
+TEST(YcsbTest, KeysAreStableAndDistinct) {
+  YcsbConfig config;
+  YcsbWorkload workload(config);
+  EXPECT_EQ(workload.KeyAt(0), workload.KeyAt(0));
+  std::set<std::string> keys;
+  for (int i = 0; i < 1000; i++) keys.insert(workload.KeyAt(i));
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(YcsbTest, TxnMatchesConfig) {
+  YcsbConfig config;
+  config.record_count = 100;
+  config.record_size = 64;
+  config.ops_per_txn = 4;
+  YcsbWorkload workload(config, 3);
+  core::TxnRequest txn = workload.NextTxn();
+  EXPECT_EQ(txn.contract, "ycsb");
+  ASSERT_EQ(txn.ops.size(), 4u);
+  for (const auto& op : txn.ops) {
+    EXPECT_EQ(op.type, core::OpType::kReadModifyWrite);
+    EXPECT_EQ(op.value.size(), 64u);
+  }
+}
+
+TEST(YcsbTest, TxnIdsAreUnique) {
+  YcsbWorkload workload(YcsbConfig{}, 3);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; i++) ids.insert(workload.NextTxn().txn_id);
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(YcsbTest, FixTxnSizeDividesRecordSize) {
+  YcsbConfig config;
+  config.record_size = 1000;
+  config.ops_per_txn = 10;
+  config.fix_txn_size = true;
+  YcsbWorkload workload(config, 3);
+  core::TxnRequest txn = workload.NextTxn();
+  uint64_t total = 0;
+  for (const auto& op : txn.ops) total += op.value.size();
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(YcsbTest, ReadFractionProducesReads) {
+  YcsbConfig config;
+  config.read_fraction = 1.0;
+  YcsbWorkload workload(config, 3);
+  core::TxnRequest txn = workload.NextTxn();
+  EXPECT_EQ(txn.ops[0].type, core::OpType::kRead);
+}
+
+TEST(YcsbTest, SkewConcentratesKeys) {
+  YcsbConfig uniform_cfg;
+  uniform_cfg.record_count = 1000;
+  uniform_cfg.theta = 0;
+  YcsbConfig skewed_cfg = uniform_cfg;
+  skewed_cfg.theta = 0.99;
+  YcsbWorkload uniform(uniform_cfg, 3), skewed(skewed_cfg, 3);
+  std::map<std::string, int> ucount, scount;
+  for (int i = 0; i < 5000; i++) {
+    ucount[uniform.NextTxn().ops[0].key]++;
+    scount[skewed.NextTxn().ops[0].key]++;
+  }
+  int umax = 0, smax = 0;
+  for (auto& [k, c] : ucount) umax = std::max(umax, c);
+  for (auto& [k, c] : scount) smax = std::max(smax, c);
+  EXPECT_GT(smax, umax * 5);
+}
+
+TEST(SmallbankWorkloadTest, GeneratesValidMix) {
+  SmallbankConfig config;
+  config.num_accounts = 100;
+  SmallbankWorkload workload(config, 3);
+  std::map<std::string, int> methods;
+  for (int i = 0; i < 2000; i++) {
+    core::TxnRequest txn = workload.NextTxn();
+    EXPECT_EQ(txn.contract, "smallbank");
+    methods[txn.method]++;
+    if (txn.method == "send_payment") {
+      ASSERT_EQ(txn.args.size(), 3u);
+      EXPECT_NE(txn.args[0], txn.args[1]);
+    }
+    if (txn.method == "amalgamate") {
+      ASSERT_EQ(txn.args.size(), 2u);
+      EXPECT_NE(txn.args[0], txn.args[1]);
+    }
+  }
+  // All six profiles appear.
+  EXPECT_EQ(methods.size(), 6u);
+  // write_check is the 25% heavy hitter.
+  EXPECT_GT(methods["write_check"], methods["balance"]);
+}
+
+TEST(DriverTest, ClosedLoopMeasuresThroughputAndLatency) {
+  sim::Simulator simulator(42);
+  sim::SimNetwork network(&simulator, sim::NetworkConfig{});
+  sim::CostModel costs;
+  systems::EtcdConfig config;
+  config.num_nodes = 3;
+  systems::EtcdSystem etcd(&simulator, &network, &costs, config);
+  etcd.Start();
+  simulator.RunFor(1 * sim::kSec);
+
+  YcsbConfig wcfg;
+  wcfg.record_count = 100;
+  wcfg.record_size = 64;
+  YcsbWorkload workload(wcfg, 3);
+  DriverConfig dcfg;
+  dcfg.num_clients = 8;
+  dcfg.warmup = 500 * sim::kMs;
+  dcfg.measure = 2 * sim::kSec;
+  Driver driver(&simulator, &etcd, [&] { return workload.NextTxn(); }, dcfg);
+  RunMetrics m = driver.Run();
+  EXPECT_GT(m.throughput_tps, 100);
+  EXPECT_GT(m.committed, 100u);
+  EXPECT_GT(m.txn_latency_us.Mean(), 0);
+  EXPECT_NE(m.Summary().find("tps="), std::string::npos);
+}
+
+TEST(DriverTest, OpenLoopApproximatesArrivalRate) {
+  sim::Simulator simulator(42);
+  sim::SimNetwork network(&simulator, sim::NetworkConfig{});
+  sim::CostModel costs;
+  systems::EtcdConfig config;
+  config.num_nodes = 3;
+  systems::EtcdSystem etcd(&simulator, &network, &costs, config);
+  etcd.Start();
+  simulator.RunFor(1 * sim::kSec);
+
+  YcsbConfig wcfg;
+  wcfg.record_count = 100;
+  wcfg.record_size = 64;
+  YcsbWorkload workload(wcfg, 3);
+  DriverConfig dcfg;
+  dcfg.arrival_rate_tps = 500;  // far below etcd capacity
+  dcfg.warmup = 1 * sim::kSec;
+  dcfg.measure = 4 * sim::kSec;
+  Driver driver(&simulator, &etcd, [&] { return workload.NextTxn(); }, dcfg);
+  RunMetrics m = driver.Run();
+  EXPECT_NEAR(m.throughput_tps, 500, 100);
+}
+
+TEST(DriverTest, QueryFractionSplitsTraffic) {
+  sim::Simulator simulator(42);
+  sim::SimNetwork network(&simulator, sim::NetworkConfig{});
+  sim::CostModel costs;
+  systems::EtcdConfig config;
+  config.num_nodes = 3;
+  systems::EtcdSystem etcd(&simulator, &network, &costs, config);
+  etcd.Start();
+  simulator.RunFor(1 * sim::kSec);
+  etcd.Load("user0000000001", "x");
+
+  YcsbConfig wcfg;
+  wcfg.record_count = 100;
+  wcfg.record_size = 16;
+  YcsbWorkload workload(wcfg, 3);
+  DriverConfig dcfg;
+  dcfg.num_clients = 4;
+  dcfg.warmup = 500 * sim::kMs;
+  dcfg.measure = 2 * sim::kSec;
+  dcfg.query_fraction = 0.5;
+  Driver driver(
+      &simulator, &etcd, [&] { return workload.NextTxn(); },
+      [&] { return workload.NextRead(); }, dcfg);
+  RunMetrics m = driver.Run();
+  EXPECT_GT(m.committed, 0u);
+  EXPECT_GT(m.query_latency_us.count(), 0u);
+}
+
+}  // namespace
+}  // namespace dicho::workload
