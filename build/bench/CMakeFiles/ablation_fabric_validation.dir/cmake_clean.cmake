@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fabric_validation.dir/ablation_fabric_validation.cc.o"
+  "CMakeFiles/ablation_fabric_validation.dir/ablation_fabric_validation.cc.o.d"
+  "ablation_fabric_validation"
+  "ablation_fabric_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fabric_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lsm_bloom.dir/ablation_lsm_bloom.cc.o"
+  "CMakeFiles/ablation_lsm_bloom.dir/ablation_lsm_bloom.cc.o.d"
+  "ablation_lsm_bloom"
+  "ablation_lsm_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lsm_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_smallbank.dir/fig06_smallbank.cc.o"
+  "CMakeFiles/fig06_smallbank.dir/fig06_smallbank.cc.o.d"
+  "fig06_smallbank"
+  "fig06_smallbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_smallbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

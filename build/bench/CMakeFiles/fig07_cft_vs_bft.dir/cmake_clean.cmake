@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cft_vs_bft.dir/fig07_cft_vs_bft.cc.o"
+  "CMakeFiles/fig07_cft_vs_bft.dir/fig07_cft_vs_bft.cc.o.d"
+  "fig07_cft_vs_bft"
+  "fig07_cft_vs_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cft_vs_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

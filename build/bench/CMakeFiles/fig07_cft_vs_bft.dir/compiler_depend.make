@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_cft_vs_bft.
+# This may be replaced when dependencies are built.

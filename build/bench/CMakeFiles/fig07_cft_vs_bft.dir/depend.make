@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_cft_vs_bft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_opcount.dir/fig10_opcount.cc.o"
+  "CMakeFiles/fig10_opcount.dir/fig10_opcount.cc.o.d"
+  "fig10_opcount"
+  "fig10_opcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_opcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_recordsize.dir/fig11_recordsize.cc.o"
+  "CMakeFiles/fig11_recordsize.dir/fig11_recordsize.cc.o.d"
+  "fig11_recordsize"
+  "fig11_recordsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_recordsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

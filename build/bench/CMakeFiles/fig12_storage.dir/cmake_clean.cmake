@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_storage.dir/fig12_storage.cc.o"
+  "CMakeFiles/fig12_storage.dir/fig12_storage.cc.o.d"
+  "fig12_storage"
+  "fig12_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sharding.dir/fig14_sharding.cc.o"
+  "CMakeFiles/fig14_sharding.dir/fig14_sharding.cc.o.d"
+  "fig14_sharding"
+  "fig14_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

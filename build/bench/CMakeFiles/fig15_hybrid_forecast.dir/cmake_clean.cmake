@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_hybrid_forecast.dir/fig15_hybrid_forecast.cc.o"
+  "CMakeFiles/fig15_hybrid_forecast.dir/fig15_hybrid_forecast.cc.o.d"
+  "fig15_hybrid_forecast"
+  "fig15_hybrid_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hybrid_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_scaling.dir/table4_scaling.cc.o"
+  "CMakeFiles/table4_scaling.dir/table4_scaling.cc.o.d"
+  "table4_scaling"
+  "table4_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

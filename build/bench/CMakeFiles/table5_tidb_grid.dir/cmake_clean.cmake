@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_tidb_grid.dir/table5_tidb_grid.cc.o"
+  "CMakeFiles/table5_tidb_grid.dir/table5_tidb_grid.cc.o.d"
+  "table5_tidb_grid"
+  "table5_tidb_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_tidb_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_asset_transfer.dir/asset_transfer.cc.o"
+  "CMakeFiles/example_asset_transfer.dir/asset_transfer.cc.o.d"
+  "example_asset_transfer"
+  "example_asset_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_asset_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

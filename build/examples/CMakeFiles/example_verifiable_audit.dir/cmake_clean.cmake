@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_verifiable_audit.dir/verifiable_audit.cc.o"
+  "CMakeFiles/example_verifiable_audit.dir/verifiable_audit.cc.o.d"
+  "example_verifiable_audit"
+  "example_verifiable_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_verifiable_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adt/mbt.cc" "src/CMakeFiles/dicho.dir/adt/mbt.cc.o" "gcc" "src/CMakeFiles/dicho.dir/adt/mbt.cc.o.d"
+  "/root/repo/src/adt/mpt.cc" "src/CMakeFiles/dicho.dir/adt/mpt.cc.o" "gcc" "src/CMakeFiles/dicho.dir/adt/mpt.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/dicho.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/dicho.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/dicho.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/dicho.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/hex.cc" "src/CMakeFiles/dicho.dir/common/hex.cc.o" "gcc" "src/CMakeFiles/dicho.dir/common/hex.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/dicho.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/dicho.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dicho.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dicho.dir/common/status.cc.o.d"
+  "/root/repo/src/consensus/pbft.cc" "src/CMakeFiles/dicho.dir/consensus/pbft.cc.o" "gcc" "src/CMakeFiles/dicho.dir/consensus/pbft.cc.o.d"
+  "/root/repo/src/consensus/pow.cc" "src/CMakeFiles/dicho.dir/consensus/pow.cc.o" "gcc" "src/CMakeFiles/dicho.dir/consensus/pow.cc.o.d"
+  "/root/repo/src/consensus/raft.cc" "src/CMakeFiles/dicho.dir/consensus/raft.cc.o" "gcc" "src/CMakeFiles/dicho.dir/consensus/raft.cc.o.d"
+  "/root/repo/src/contract/contract.cc" "src/CMakeFiles/dicho.dir/contract/contract.cc.o" "gcc" "src/CMakeFiles/dicho.dir/contract/contract.cc.o.d"
+  "/root/repo/src/contract/minivm.cc" "src/CMakeFiles/dicho.dir/contract/minivm.cc.o" "gcc" "src/CMakeFiles/dicho.dir/contract/minivm.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/CMakeFiles/dicho.dir/core/types.cc.o" "gcc" "src/CMakeFiles/dicho.dir/core/types.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/CMakeFiles/dicho.dir/crypto/merkle.cc.o" "gcc" "src/CMakeFiles/dicho.dir/crypto/merkle.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/dicho.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/dicho.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/signature.cc" "src/CMakeFiles/dicho.dir/crypto/signature.cc.o" "gcc" "src/CMakeFiles/dicho.dir/crypto/signature.cc.o.d"
+  "/root/repo/src/hybrid/builder.cc" "src/CMakeFiles/dicho.dir/hybrid/builder.cc.o" "gcc" "src/CMakeFiles/dicho.dir/hybrid/builder.cc.o.d"
+  "/root/repo/src/hybrid/forecast.cc" "src/CMakeFiles/dicho.dir/hybrid/forecast.cc.o" "gcc" "src/CMakeFiles/dicho.dir/hybrid/forecast.cc.o.d"
+  "/root/repo/src/hybrid/taxonomy.cc" "src/CMakeFiles/dicho.dir/hybrid/taxonomy.cc.o" "gcc" "src/CMakeFiles/dicho.dir/hybrid/taxonomy.cc.o.d"
+  "/root/repo/src/ledger/ledger.cc" "src/CMakeFiles/dicho.dir/ledger/ledger.cc.o" "gcc" "src/CMakeFiles/dicho.dir/ledger/ledger.cc.o.d"
+  "/root/repo/src/sharding/two_pc.cc" "src/CMakeFiles/dicho.dir/sharding/two_pc.cc.o" "gcc" "src/CMakeFiles/dicho.dir/sharding/two_pc.cc.o.d"
+  "/root/repo/src/sharedlog/ordering_service.cc" "src/CMakeFiles/dicho.dir/sharedlog/ordering_service.cc.o" "gcc" "src/CMakeFiles/dicho.dir/sharedlog/ordering_service.cc.o.d"
+  "/root/repo/src/sharedlog/shared_log.cc" "src/CMakeFiles/dicho.dir/sharedlog/shared_log.cc.o" "gcc" "src/CMakeFiles/dicho.dir/sharedlog/shared_log.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/dicho.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/dicho.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/dicho.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/dicho.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/storage/btree/btree.cc" "src/CMakeFiles/dicho.dir/storage/btree/btree.cc.o" "gcc" "src/CMakeFiles/dicho.dir/storage/btree/btree.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/CMakeFiles/dicho.dir/storage/env.cc.o" "gcc" "src/CMakeFiles/dicho.dir/storage/env.cc.o.d"
+  "/root/repo/src/storage/lsm/block.cc" "src/CMakeFiles/dicho.dir/storage/lsm/block.cc.o" "gcc" "src/CMakeFiles/dicho.dir/storage/lsm/block.cc.o.d"
+  "/root/repo/src/storage/lsm/bloom.cc" "src/CMakeFiles/dicho.dir/storage/lsm/bloom.cc.o" "gcc" "src/CMakeFiles/dicho.dir/storage/lsm/bloom.cc.o.d"
+  "/root/repo/src/storage/lsm/db.cc" "src/CMakeFiles/dicho.dir/storage/lsm/db.cc.o" "gcc" "src/CMakeFiles/dicho.dir/storage/lsm/db.cc.o.d"
+  "/root/repo/src/storage/lsm/memtable.cc" "src/CMakeFiles/dicho.dir/storage/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/dicho.dir/storage/lsm/memtable.cc.o.d"
+  "/root/repo/src/storage/lsm/sstable.cc" "src/CMakeFiles/dicho.dir/storage/lsm/sstable.cc.o" "gcc" "src/CMakeFiles/dicho.dir/storage/lsm/sstable.cc.o.d"
+  "/root/repo/src/storage/lsm/wal.cc" "src/CMakeFiles/dicho.dir/storage/lsm/wal.cc.o" "gcc" "src/CMakeFiles/dicho.dir/storage/lsm/wal.cc.o.d"
+  "/root/repo/src/systems/ahl.cc" "src/CMakeFiles/dicho.dir/systems/ahl.cc.o" "gcc" "src/CMakeFiles/dicho.dir/systems/ahl.cc.o.d"
+  "/root/repo/src/systems/etcd.cc" "src/CMakeFiles/dicho.dir/systems/etcd.cc.o" "gcc" "src/CMakeFiles/dicho.dir/systems/etcd.cc.o.d"
+  "/root/repo/src/systems/fabric.cc" "src/CMakeFiles/dicho.dir/systems/fabric.cc.o" "gcc" "src/CMakeFiles/dicho.dir/systems/fabric.cc.o.d"
+  "/root/repo/src/systems/quorum.cc" "src/CMakeFiles/dicho.dir/systems/quorum.cc.o" "gcc" "src/CMakeFiles/dicho.dir/systems/quorum.cc.o.d"
+  "/root/repo/src/systems/spannerlike.cc" "src/CMakeFiles/dicho.dir/systems/spannerlike.cc.o" "gcc" "src/CMakeFiles/dicho.dir/systems/spannerlike.cc.o.d"
+  "/root/repo/src/systems/tidb.cc" "src/CMakeFiles/dicho.dir/systems/tidb.cc.o" "gcc" "src/CMakeFiles/dicho.dir/systems/tidb.cc.o.d"
+  "/root/repo/src/txn/lock_table.cc" "src/CMakeFiles/dicho.dir/txn/lock_table.cc.o" "gcc" "src/CMakeFiles/dicho.dir/txn/lock_table.cc.o.d"
+  "/root/repo/src/txn/mvcc.cc" "src/CMakeFiles/dicho.dir/txn/mvcc.cc.o" "gcc" "src/CMakeFiles/dicho.dir/txn/mvcc.cc.o.d"
+  "/root/repo/src/txn/occ.cc" "src/CMakeFiles/dicho.dir/txn/occ.cc.o" "gcc" "src/CMakeFiles/dicho.dir/txn/occ.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/dicho.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/dicho.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/dicho.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/dicho.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

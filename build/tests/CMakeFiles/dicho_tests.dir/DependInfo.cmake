@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adt/mbt_test.cc" "tests/CMakeFiles/dicho_tests.dir/adt/mbt_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/adt/mbt_test.cc.o.d"
+  "/root/repo/tests/adt/mpt_test.cc" "tests/CMakeFiles/dicho_tests.dir/adt/mpt_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/adt/mpt_test.cc.o.d"
+  "/root/repo/tests/common/coding_test.cc" "tests/CMakeFiles/dicho_tests.dir/common/coding_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/common/coding_test.cc.o.d"
+  "/root/repo/tests/common/misc_test.cc" "tests/CMakeFiles/dicho_tests.dir/common/misc_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/common/misc_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/dicho_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/slice_test.cc" "tests/CMakeFiles/dicho_tests.dir/common/slice_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/common/slice_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/dicho_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/consensus/fault_injection_test.cc" "tests/CMakeFiles/dicho_tests.dir/consensus/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/consensus/fault_injection_test.cc.o.d"
+  "/root/repo/tests/consensus/pbft_test.cc" "tests/CMakeFiles/dicho_tests.dir/consensus/pbft_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/consensus/pbft_test.cc.o.d"
+  "/root/repo/tests/consensus/pow_test.cc" "tests/CMakeFiles/dicho_tests.dir/consensus/pow_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/consensus/pow_test.cc.o.d"
+  "/root/repo/tests/consensus/raft_test.cc" "tests/CMakeFiles/dicho_tests.dir/consensus/raft_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/consensus/raft_test.cc.o.d"
+  "/root/repo/tests/contract/contract_test.cc" "tests/CMakeFiles/dicho_tests.dir/contract/contract_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/contract/contract_test.cc.o.d"
+  "/root/repo/tests/contract/minivm_test.cc" "tests/CMakeFiles/dicho_tests.dir/contract/minivm_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/contract/minivm_test.cc.o.d"
+  "/root/repo/tests/crypto/merkle_test.cc" "tests/CMakeFiles/dicho_tests.dir/crypto/merkle_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/crypto/merkle_test.cc.o.d"
+  "/root/repo/tests/crypto/sha256_test.cc" "tests/CMakeFiles/dicho_tests.dir/crypto/sha256_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/crypto/sha256_test.cc.o.d"
+  "/root/repo/tests/crypto/signature_test.cc" "tests/CMakeFiles/dicho_tests.dir/crypto/signature_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/crypto/signature_test.cc.o.d"
+  "/root/repo/tests/hybrid/hybrid_test.cc" "tests/CMakeFiles/dicho_tests.dir/hybrid/hybrid_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/hybrid/hybrid_test.cc.o.d"
+  "/root/repo/tests/ledger/ledger_test.cc" "tests/CMakeFiles/dicho_tests.dir/ledger/ledger_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/ledger/ledger_test.cc.o.d"
+  "/root/repo/tests/sharding/sharding_test.cc" "tests/CMakeFiles/dicho_tests.dir/sharding/sharding_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/sharding/sharding_test.cc.o.d"
+  "/root/repo/tests/sharedlog/sharedlog_test.cc" "tests/CMakeFiles/dicho_tests.dir/sharedlog/sharedlog_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/sharedlog/sharedlog_test.cc.o.d"
+  "/root/repo/tests/sim/cost_model_test.cc" "tests/CMakeFiles/dicho_tests.dir/sim/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/sim/cost_model_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/dicho_tests.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/storage/btree_test.cc" "tests/CMakeFiles/dicho_tests.dir/storage/btree_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/storage/btree_test.cc.o.d"
+  "/root/repo/tests/storage/env_test.cc" "tests/CMakeFiles/dicho_tests.dir/storage/env_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/storage/env_test.cc.o.d"
+  "/root/repo/tests/storage/lsm_components_test.cc" "tests/CMakeFiles/dicho_tests.dir/storage/lsm_components_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/storage/lsm_components_test.cc.o.d"
+  "/root/repo/tests/storage/lsm_db_test.cc" "tests/CMakeFiles/dicho_tests.dir/storage/lsm_db_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/storage/lsm_db_test.cc.o.d"
+  "/root/repo/tests/systems/determinism_test.cc" "tests/CMakeFiles/dicho_tests.dir/systems/determinism_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/systems/determinism_test.cc.o.d"
+  "/root/repo/tests/systems/fabric_policy_test.cc" "tests/CMakeFiles/dicho_tests.dir/systems/fabric_policy_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/systems/fabric_policy_test.cc.o.d"
+  "/root/repo/tests/systems/sharded_systems_test.cc" "tests/CMakeFiles/dicho_tests.dir/systems/sharded_systems_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/systems/sharded_systems_test.cc.o.d"
+  "/root/repo/tests/systems/systems_test.cc" "tests/CMakeFiles/dicho_tests.dir/systems/systems_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/systems/systems_test.cc.o.d"
+  "/root/repo/tests/txn/txn_test.cc" "tests/CMakeFiles/dicho_tests.dir/txn/txn_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/txn/txn_test.cc.o.d"
+  "/root/repo/tests/workload/workload_test.cc" "tests/CMakeFiles/dicho_tests.dir/workload/workload_test.cc.o" "gcc" "tests/CMakeFiles/dicho_tests.dir/workload/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dicho.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
