@@ -2,34 +2,50 @@
 // amortize consensus but stretch latency; tiny intervals waste consensus
 // rounds. The serial-execution bound caps throughput regardless — the
 // taxonomy's point that consensus is not Quorum's bottleneck.
+//
+// The four interval cells are independent Worlds and run concurrently
+// through RunSweep; rows print in interval order, identical to the serial
+// loop.
 
 #include "bench_util.h"
+#include "parallel.h"
 
 namespace dicho::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Ablation: Quorum block interval (uniform 1KB updates)");
-  printf("%-12s %10s %16s\n", "interval", "tps", "p50 latency");
+struct Row {
+  double tps = 0;
+  double p50_ms = 0;
+};
+
+Row OneRun(sim::Time interval) {
   BenchScale scale;
   scale.record_count = 10000;
   scale.measure = 10 * sim::kSec;
   workload::YcsbConfig wcfg;
   wcfg.record_size = 1000;
 
-  for (sim::Time interval :
-       {50 * sim::kMs, 200 * sim::kMs, 800 * sim::kMs, 3200 * sim::kMs}) {
-    World w;
-    systems::QuorumConfig config;
-    config.num_nodes = 5;
-    config.block_interval = interval;
-    auto quorum = std::make_unique<systems::QuorumSystem>(&w.sim, &w.net,
-                                                          &w.costs, config);
-    quorum->Start();
-    w.sim.RunFor(1 * sim::kSec);
-    auto m = RunYcsb(&w, quorum.get(), wcfg, scale, 0, /*arrival=*/280);
-    printf("%9.0fms %8.0f %13.0fms\n", interval / sim::kMs, m.throughput_tps,
-           m.txn_latency_us.Percentile(50) / 1000.0);
+  World w;
+  systems::QuorumConfig config;
+  config.num_nodes = 5;
+  config.block_interval = interval;
+  auto quorum = std::make_unique<systems::QuorumSystem>(&w.sim, &w.net,
+                                                        &w.costs, config);
+  quorum->Start();
+  w.sim.RunFor(1 * sim::kSec);
+  auto m = RunYcsb(&w, quorum.get(), wcfg, scale, 0, /*arrival=*/280);
+  return {m.throughput_tps, m.txn_latency_us.Percentile(50) / 1000.0};
+}
+
+void Run() {
+  PrintHeader("Ablation: Quorum block interval (uniform 1KB updates)");
+  printf("%-12s %10s %16s\n", "interval", "tps", "p50 latency");
+  const std::vector<sim::Time> intervals = {50 * sim::kMs, 200 * sim::kMs,
+                                            800 * sim::kMs, 3200 * sim::kMs};
+  std::vector<Row> rows = RunSweep(intervals, OneRun);
+  for (size_t i = 0; i < intervals.size(); i++) {
+    printf("%9.0fms %8.0f %13.0fms\n", intervals[i] / sim::kMs, rows[i].tps,
+           rows[i].p50_ms);
     fflush(stdout);
   }
 }

@@ -5,14 +5,33 @@
 // Paper shapes to hold: etcd ≈ TiKV (~15-19k tps) > TiDB (~5k) >
 // Fabric (~1.3k) > Quorum (~0.25k) for updates; queries are much faster for
 // every system, with the databases far below blockchains in latency cost.
+//
+// Each system runs in its own sealed World, so the five update rows (and the
+// four query rows) execute concurrently through RunSweep with output
+// identical to the serial loop.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
 
 #include "bench_util.h"
+#include "parallel.h"
 
 namespace dicho::bench {
 namespace {
 
-void RunUpdateWorkload() {
-  PrintHeader("Fig 4a: YCSB uniform update-only throughput (tps), 5 nodes");
+enum class Fig4System { kEtcd, kTikv, kTidb, kFabric, kQuorum };
+
+std::string Format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+std::string RunUpdateRow(Fig4System which) {
   workload::YcsbConfig wcfg;
   wcfg.record_size = 1000;
   wcfg.theta = 0.0;
@@ -23,94 +42,120 @@ void RunUpdateWorkload() {
   // (the paper uses 100K).
   scale.record_count = 50000;
 
-  {
-    World w;
-    auto etcd = MakeEtcd(&w, 5);
-    auto m = RunYcsb(&w, etcd.get(), wcfg, scale);
-    printf("%-8s %8.0f tps\n", "etcd", m.throughput_tps);
+  switch (which) {
+    case Fig4System::kEtcd: {
+      World w;
+      auto etcd = MakeEtcd(&w, 5);
+      auto m = RunYcsb(&w, etcd.get(), wcfg, scale);
+      return Format("%-8s %8.0f tps\n", "etcd", m.throughput_tps);
+    }
+    case Fig4System::kTikv: {
+      // TiKV standalone: raw KV path, no SQL / transaction layer.
+      World w;
+      auto tidb = MakeTidb(&w, 5, 5);
+      workload::YcsbWorkload workload(
+          [&] {
+            workload::YcsbConfig c = wcfg;
+            c.record_count = scale.record_count;
+            return c;
+          }(),
+          7);
+      LoadYcsb(tidb.get(), &workload, scale.record_count);
+      uint64_t done = 0;
+      Time window_start = w.sim.Now() + scale.warmup;
+      Time window_end = window_start + scale.measure;
+      // Closed loop over the raw path.
+      std::function<void()> issue = [&] {
+        if (w.sim.Now() >= window_end) return;
+        core::TxnRequest req = workload.NextTxn();
+        tidb->RawPut(req.ops[0].key, req.ops[0].value, [&](Status) {
+          if (w.sim.Now() >= window_start && w.sim.Now() < window_end) done++;
+          issue();
+        });
+      };
+      for (size_t c = 0; c < scale.clients; c++) issue();
+      w.sim.RunUntil(window_end + 2 * sim::kSec);
+      return Format("%-8s %8.0f tps\n", "tikv",
+                    static_cast<double>(done) / (scale.measure / sim::kSec));
+    }
+    case Fig4System::kTidb: {
+      World w;
+      auto tidb = MakeTidb(&w, 5, 5);
+      auto m = RunYcsb(&w, tidb.get(), wcfg, scale);
+      return Format("%-8s %8.0f tps\n", "tidb", m.throughput_tps);
+    }
+    case Fig4System::kFabric: {
+      // Block-based systems need an open-loop saturating driver (the paper's
+      // Caliper at peak): closed-loop clients would be latency-bound by the
+      // block cadence.
+      World w;
+      auto fabric = MakeFabric(&w, 5);
+      auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/1350);
+      return Format("%-8s %8.0f tps (abort %.1f%%)\n", "fabric",
+                    m.throughput_tps, m.AbortRate() * 100);
+    }
+    case Fig4System::kQuorum: {
+      World w;
+      auto quorum = MakeQuorum(&w, 5);
+      auto m = RunYcsb(&w, quorum.get(), wcfg, scale, 0, /*arrival=*/280);
+      return Format("%-8s %8.0f tps\n", "quorum", m.throughput_tps);
+    }
   }
-  {
-    // TiKV standalone: raw KV path, no SQL / transaction layer.
-    World w;
-    auto tidb = MakeTidb(&w, 5, 5);
-    workload::YcsbWorkload workload(
-        [&] {
-          workload::YcsbConfig c = wcfg;
-          c.record_count = scale.record_count;
-          return c;
-        }(),
-        7);
-    LoadYcsb(tidb.get(), &workload, scale.record_count);
-    uint64_t done = 0;
-    Time window_start = w.sim.Now() + scale.warmup;
-    Time window_end = window_start + scale.measure;
-    // Closed loop over the raw path.
-    std::function<void()> issue = [&] {
-      if (w.sim.Now() >= window_end) return;
-      core::TxnRequest req = workload.NextTxn();
-      tidb->RawPut(req.ops[0].key, req.ops[0].value, [&](Status) {
-        if (w.sim.Now() >= window_start && w.sim.Now() < window_end) done++;
-        issue();
-      });
-    };
-    for (size_t c = 0; c < scale.clients; c++) issue();
-    w.sim.RunUntil(window_end + 2 * sim::kSec);
-    printf("%-8s %8.0f tps\n", "tikv",
-           static_cast<double>(done) / (scale.measure / sim::kSec));
-  }
-  {
-    World w;
-    auto tidb = MakeTidb(&w, 5, 5);
-    auto m = RunYcsb(&w, tidb.get(), wcfg, scale);
-    printf("%-8s %8.0f tps\n", "tidb", m.throughput_tps);
-  }
-  {
-    // Block-based systems need an open-loop saturating driver (the paper's
-    // Caliper at peak): closed-loop clients would be latency-bound by the
-    // block cadence.
-    World w;
-    auto fabric = MakeFabric(&w, 5);
-    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/1350);
-    printf("%-8s %8.0f tps (abort %.1f%%)\n", "fabric", m.throughput_tps,
-           m.AbortRate() * 100);
-  }
-  {
-    World w;
-    auto quorum = MakeQuorum(&w, 5);
-    auto m = RunYcsb(&w, quorum.get(), wcfg, scale, 0, /*arrival=*/280);
-    printf("%-8s %8.0f tps\n", "quorum", m.throughput_tps);
+  return {};
+}
+
+void RunUpdateWorkload() {
+  PrintHeader("Fig 4a: YCSB uniform update-only throughput (tps), 5 nodes");
+  const std::vector<Fig4System> systems = {
+      Fig4System::kEtcd, Fig4System::kTikv, Fig4System::kTidb,
+      Fig4System::kFabric, Fig4System::kQuorum};
+  for (const std::string& row : RunSweep(systems, RunUpdateRow)) {
+    fputs(row.c_str(), stdout);
   }
 }
 
-void RunQueryWorkload() {
-  PrintHeader("Fig 4b: YCSB uniform query-only throughput (qps), 5 nodes");
+std::string RunQueryRow(Fig4System which) {
   workload::YcsbConfig wcfg;
   wcfg.record_size = 1000;
   BenchScale scale;
   scale.measure = 8 * sim::kSec;
 
   auto report = [](const char* name, const workload::RunMetrics& m) {
-    printf("%-8s %8.0f qps\n", name, m.query_throughput_tps);
+    return Format("%-8s %8.0f qps\n", name, m.query_throughput_tps);
   };
-  {
-    World w;
-    auto etcd = MakeEtcd(&w, 5);
-    report("etcd", RunYcsb(&w, etcd.get(), wcfg, scale, /*query=*/1.0));
+  switch (which) {
+    case Fig4System::kEtcd: {
+      World w;
+      auto etcd = MakeEtcd(&w, 5);
+      return report("etcd", RunYcsb(&w, etcd.get(), wcfg, scale, /*query=*/1.0));
+    }
+    case Fig4System::kTidb: {
+      World w;
+      auto tidb = MakeTidb(&w, 5, 5);
+      return report("tidb", RunYcsb(&w, tidb.get(), wcfg, scale, 1.0));
+    }
+    case Fig4System::kFabric: {
+      World w;
+      auto fabric = MakeFabric(&w, 5);
+      return report("fabric", RunYcsb(&w, fabric.get(), wcfg, scale, 1.0));
+    }
+    case Fig4System::kQuorum: {
+      World w;
+      auto quorum = MakeQuorum(&w, 5);
+      return report("quorum", RunYcsb(&w, quorum.get(), wcfg, scale, 1.0));
+    }
+    default:
+      return {};
   }
-  {
-    World w;
-    auto tidb = MakeTidb(&w, 5, 5);
-    report("tidb", RunYcsb(&w, tidb.get(), wcfg, scale, 1.0));
-  }
-  {
-    World w;
-    auto fabric = MakeFabric(&w, 5);
-    report("fabric", RunYcsb(&w, fabric.get(), wcfg, scale, 1.0));
-  }
-  {
-    World w;
-    auto quorum = MakeQuorum(&w, 5);
-    report("quorum", RunYcsb(&w, quorum.get(), wcfg, scale, 1.0));
+}
+
+void RunQueryWorkload() {
+  PrintHeader("Fig 4b: YCSB uniform query-only throughput (qps), 5 nodes");
+  const std::vector<Fig4System> systems = {
+      Fig4System::kEtcd, Fig4System::kTidb, Fig4System::kFabric,
+      Fig4System::kQuorum};
+  for (const std::string& row : RunSweep(systems, RunQueryRow)) {
+    fputs(row.c_str(), stdout);
   }
 }
 

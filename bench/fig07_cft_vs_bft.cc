@@ -5,18 +5,28 @@
 // throughput (consensus is not Quorum's bottleneck — serial execution is),
 // but IBFT shows larger variance at larger f (bigger quorums, closer to
 // round-change timeouts).
+//
+// All (f, consensus, repetition) cells are independent sealed Worlds, so the
+// 18 runs execute concurrently through RunSweep; the per-f aggregation over
+// the ordered results is unchanged from the serial loop.
 
 #include <cmath>
 
 #include "bench_util.h"
+#include "parallel.h"
 
 namespace dicho::bench {
 namespace {
 
-double OneRun(systems::QuorumConsensus consensus, uint32_t nodes,
-              uint64_t seed) {
-  World w(seed);
-  auto quorum = MakeQuorum(&w, nodes, consensus);
+struct RunConfig {
+  systems::QuorumConsensus consensus;
+  uint32_t nodes;
+  uint64_t seed;
+};
+
+double OneRun(const RunConfig& config) {
+  World w(config.seed);
+  auto quorum = MakeQuorum(&w, config.nodes, config.consensus);
   workload::YcsbConfig wcfg;
   wcfg.record_size = 1000;
   BenchScale scale;
@@ -29,12 +39,25 @@ double OneRun(systems::QuorumConsensus consensus, uint32_t nodes,
 void Run() {
   PrintHeader("Fig 7: Quorum Raft(CFT) vs IBFT(BFT), update workload");
   printf("%-4s %-6s %18s %18s\n", "f", "", "raft (n=2f+1)", "ibft (n=3f+1)");
+  const int kReps = 3;
+  // Config order mirrors the serial loop: per f, alternating raft/ibft reps.
+  std::vector<RunConfig> configs;
+  for (uint32_t f = 1; f <= 3; f++) {
+    for (int rep = 0; rep < kReps; rep++) {
+      configs.push_back({systems::QuorumConsensus::kRaft, 2 * f + 1,
+                         100 + static_cast<uint64_t>(rep)});
+      configs.push_back({systems::QuorumConsensus::kIbft, 3 * f + 1,
+                         200 + static_cast<uint64_t>(rep)});
+    }
+  }
+  std::vector<double> tps = RunSweep(configs, OneRun);
+
+  size_t i = 0;
   for (uint32_t f = 1; f <= 3; f++) {
     double raft_sum = 0, raft_sq = 0, ibft_sum = 0, ibft_sq = 0;
-    const int kReps = 3;
     for (int rep = 0; rep < kReps; rep++) {
-      double r = OneRun(systems::QuorumConsensus::kRaft, 2 * f + 1, 100 + rep);
-      double b = OneRun(systems::QuorumConsensus::kIbft, 3 * f + 1, 200 + rep);
+      double r = tps[i++];
+      double b = tps[i++];
       raft_sum += r;
       raft_sq += r * r;
       ibft_sum += b;

@@ -1,0 +1,165 @@
+// Hot-path microbenchmark: ns/op for the primitives every reproduced figure
+// leans on — SHA-256 (one-shot and incremental), MPT Put/Get/Prove at the
+// paper's value sizes (Section 5.3.3 measures 10 B → 5000 B), and LSM point
+// ops. Emits BENCH_hotpath.json in the working directory so the perf
+// trajectory is tracked from PR to PR (see EXPERIMENTS.md).
+//
+// Usage: micro_hotpath [--quick]
+//   --quick   ~10x fewer iterations; CI smoke mode.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/mpt.h"
+#include "common/random.h"
+#include "crypto/sha256.h"
+#include "storage/env.h"
+#include "storage/lsm/db.h"
+
+namespace dicho::bench {
+namespace {
+
+struct Entry {
+  std::string name;
+  double ns_per_op;
+  uint64_t iters;
+};
+
+std::vector<Entry> g_entries;
+
+// Times fn() over `iters` iterations and records ns/op under `name`.
+template <typename Fn>
+void Measure(const std::string& name, uint64_t iters, Fn fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iters; i++) fn(i);
+  auto t1 = std::chrono::steady_clock::now();
+  double ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(iters);
+  printf("%-36s %12.1f ns/op  (%llu iters)\n", name.c_str(), ns,
+         static_cast<unsigned long long>(iters));
+  fflush(stdout);
+  g_entries.push_back({name, ns, iters});
+}
+
+void BenchSha256(bool quick) {
+  const uint64_t scale = quick ? 1 : 10;
+  for (size_t size : {size_t(10), size_t(100), size_t(1000), size_t(5000)}) {
+    std::string data(size, 'q');
+    volatile uint8_t sink = 0;
+    Measure("sha256_oneshot_" + std::to_string(size) + "B", 20000 * scale,
+            [&](uint64_t i) {
+              data[0] = static_cast<char>(i);
+              sink = crypto::Sha256Hash(data)[0];
+            });
+    Measure("sha256_incremental_" + std::to_string(size) + "B", 20000 * scale,
+            [&](uint64_t i) {
+              data[0] = static_cast<char>(i);
+              crypto::Sha256 h;
+              // Odd chunking exercises the staging buffer.
+              size_t off = 0;
+              while (off < data.size()) {
+                size_t take = std::min<size_t>(97, data.size() - off);
+                h.Update(data.data() + off, take);
+                off += take;
+              }
+              sink = h.Finish()[0];
+            });
+    (void)sink;
+  }
+}
+
+void BenchMpt(bool quick) {
+  const uint64_t scale = quick ? 1 : 10;
+  const uint64_t keys = 5000;
+  for (size_t size : {size_t(10), size_t(1000), size_t(5000)}) {
+    Rng rng(3);
+    std::string value = rng.Bytes(size);
+    std::string tag = std::to_string(size) + "B";
+    adt::MerklePatriciaTrie trie;
+    Measure("mpt_put_" + tag, 2000 * scale, [&](uint64_t i) {
+      trie.Put("acct" + std::to_string(i % keys), value);
+    });
+    std::string out;
+    volatile size_t sink = 0;
+    Measure("mpt_get_" + tag, 10000 * scale, [&](uint64_t i) {
+      trie.Get("acct" + std::to_string(i % 2000), &out);
+      sink = out.size();
+    });
+    adt::MerklePatriciaTrie::Proof proof;
+    Measure("mpt_prove_" + tag, 5000 * scale, [&](uint64_t i) {
+      trie.Prove("acct" + std::to_string(i % 2000), &proof);
+      sink = proof.nodes.size();
+    });
+    (void)sink;
+  }
+}
+
+void BenchLsm(bool quick) {
+  const uint64_t scale = quick ? 1 : 10;
+  auto env = storage::NewMemEnv();
+  storage::lsm::LsmOptions options;
+  options.env = env.get();
+  options.path = "db";
+  std::unique_ptr<storage::lsm::LsmDb> db;
+  if (!storage::lsm::LsmDb::Open(options, &db).ok()) {
+    fprintf(stderr, "lsm open failed, skipping lsm benches\n");
+    return;
+  }
+  Rng rng(7);
+  std::string value = rng.Bytes(100);
+  Measure("lsm_put_100B", 20000 * scale, [&](uint64_t i) {
+    db->Put("key" + std::to_string(i % 20000), value);
+  });
+  db->Flush();
+  std::string out;
+  volatile size_t sink = 0;
+  Measure("lsm_get_100B", 20000 * scale, [&](uint64_t i) {
+    db->Get("key" + std::to_string(i % 20000), &out);
+    sink = out.size();
+  });
+  (void)sink;
+}
+
+void WriteJson(const char* path, bool quick) {
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"micro_hotpath\",\n");
+  fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  fprintf(f, "  \"sha256_hardware_accelerated\": %s,\n",
+          crypto::Sha256UsesHardwareAcceleration() ? "true" : "false");
+  fprintf(f, "  \"ns_per_op\": {\n");
+  for (size_t i = 0; i < g_entries.size(); i++) {
+    fprintf(f, "    \"%s\": %.1f%s\n", g_entries[i].name.c_str(),
+            g_entries[i].ns_per_op, i + 1 < g_entries.size() ? "," : "");
+  }
+  fprintf(f, "  }\n}\n");
+  fclose(f);
+  printf("wrote %s (%zu entries)\n", path, g_entries.size());
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  printf("micro_hotpath%s (sha256 hw accel: %s)\n", quick ? " --quick" : "",
+         dicho::crypto::Sha256UsesHardwareAcceleration() ? "yes" : "no");
+  dicho::bench::BenchSha256(quick);
+  dicho::bench::BenchMpt(quick);
+  dicho::bench::BenchLsm(quick);
+  dicho::bench::WriteJson("BENCH_hotpath.json", quick);
+  return 0;
+}

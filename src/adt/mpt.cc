@@ -1,7 +1,7 @@
 #include "adt/mpt.h"
 
-#include <array>
 #include <cassert>
+#include <cstring>
 
 #include "common/coding.h"
 
@@ -10,83 +10,84 @@ namespace {
 
 // Node serialization. Nibbles are stored one per byte — marginally larger
 // than Ethereum's hex-prefix packing but simpler to audit; the storage
-// overhead comparison (Fig. 13) is unaffected in shape.
+// overhead comparison (Fig. 13) is unaffected in shape. The byte format is
+// frozen: root digests are golden-tested against the original
+// std::map-backed implementation.
 constexpr char kLeafTag = 'L';
 constexpr char kExtTag = 'E';
 constexpr char kBranchTag = 'B';
 
-struct ParsedNode {
+using Digest = crypto::Digest;
+
+// Zero-copy view of a serialized node: path/value are Slices into the
+// arena-resident (or proof-owned) raw bytes, which are stable for the life
+// of the trie; child digests are copied out since they are only 32 bytes.
+struct NodeView {
   char tag = 0;
-  std::vector<uint8_t> path;           // leaf/ext
-  std::string value;                   // leaf/branch
-  bool has_value = false;              // branch
-  std::string child;                   // ext: child hash bytes
-  std::array<std::string, 16> children;  // branch: empty = absent
+  Slice path;                 // leaf/ext: nibbles, one per byte
+  Slice value;                // leaf/branch
+  bool has_value = false;     // branch
+  Digest child;               // ext
+  Digest children[16];        // branch; valid iff bit set in `bitmap`
+  uint32_t bitmap = 0;        // branch: bit i = child i present
 };
 
-void AppendPath(std::string* out, const std::vector<uint8_t>& path,
-                size_t from) {
-  PutVarint32(out, static_cast<uint32_t>(path.size() - from));
-  for (size_t i = from; i < path.size(); i++) {
-    out->push_back(static_cast<char>(path[i]));
-  }
+void AppendPath(std::string* out, const uint8_t* nibbles, size_t n) {
+  PutVarint32(out, static_cast<uint32_t>(n));
+  out->append(reinterpret_cast<const char*>(nibbles), n);
 }
 
-bool ParsePath(Slice* in, std::vector<uint8_t>* path) {
+bool ParsePath(Slice* in, Slice* path) {
   uint32_t len;
   if (!GetVarint32(in, &len) || in->size() < len) return false;
-  path->clear();
-  path->reserve(len);
-  for (uint32_t i = 0; i < len; i++) {
-    path->push_back(static_cast<uint8_t>((*in)[i]));
-  }
+  *path = Slice(in->data(), len);
   in->RemovePrefix(len);
   return true;
 }
 
-std::string SerializeLeaf(const std::vector<uint8_t>& path, size_t from,
-                          const Slice& value) {
-  std::string out(1, kLeafTag);
-  AppendPath(&out, path, from);
-  PutLengthPrefixed(&out, value);
-  return out;
+inline Slice DigestSlice(const Digest& d) {
+  return Slice(reinterpret_cast<const char*>(d.data()), d.size());
 }
 
-std::string SerializeExt(const std::vector<uint8_t>& path,
-                         const std::string& child_hash) {
-  std::string out(1, kExtTag);
-  AppendPath(&out, path, 0);
-  PutLengthPrefixed(&out, child_hash);
-  return out;
+void SerializeLeaf(std::string* out, const uint8_t* path, size_t n,
+                   const Slice& value) {
+  out->clear();
+  out->push_back(kLeafTag);
+  AppendPath(out, path, n);
+  PutLengthPrefixed(out, value);
 }
 
-std::string SerializeBranch(const std::array<std::string, 16>& children,
-                            bool has_value, const Slice& value) {
-  std::string out(1, kBranchTag);
-  uint32_t bitmap = 0;
-  for (int i = 0; i < 16; i++) {
-    if (!children[i].empty()) bitmap |= (1u << i);
-  }
+void SerializeExt(std::string* out, const uint8_t* path, size_t n,
+                  const Digest& child) {
+  out->clear();
+  out->push_back(kExtTag);
+  AppendPath(out, path, n);
+  PutLengthPrefixed(out, DigestSlice(child));
+}
+
+void SerializeBranch(std::string* out, const Digest children[16],
+                     uint32_t child_bitmap, bool has_value,
+                     const Slice& value) {
+  out->clear();
+  out->push_back(kBranchTag);
+  uint32_t bitmap = child_bitmap;
   if (has_value) bitmap |= (1u << 16);
-  PutVarint32(&out, bitmap);
+  PutVarint32(out, bitmap);
   for (int i = 0; i < 16; i++) {
-    if (!children[i].empty()) PutLengthPrefixed(&out, children[i]);
+    if (child_bitmap & (1u << i)) PutLengthPrefixed(out, DigestSlice(children[i]));
   }
-  if (has_value) PutLengthPrefixed(&out, value);
-  return out;
+  if (has_value) PutLengthPrefixed(out, value);
 }
 
-bool ParseNode(const std::string& raw, ParsedNode* node) {
+bool ParseNode(const Slice& raw, NodeView* node) {
   if (raw.empty()) return false;
-  Slice in(raw);
+  Slice in = raw;
   node->tag = in[0];
   in.RemovePrefix(1);
   if (node->tag == kLeafTag) {
-    Slice value;
-    if (!ParsePath(&in, &node->path) || !GetLengthPrefixed(&in, &value)) {
+    if (!ParsePath(&in, &node->path) || !GetLengthPrefixed(&in, &node->value)) {
       return false;
     }
-    node->value = value.ToString();
     node->has_value = true;
     return in.empty();
   }
@@ -96,244 +97,268 @@ bool ParseNode(const std::string& raw, ParsedNode* node) {
         child.size() != 32) {
       return false;
     }
-    node->child = child.ToString();
+    node->child = crypto::DigestFromBytes(child);
     return in.empty();
   }
   if (node->tag == kBranchTag) {
     uint32_t bitmap;
     if (!GetVarint32(&in, &bitmap)) return false;
+    node->bitmap = bitmap & 0xFFFF;
     for (int i = 0; i < 16; i++) {
       if (bitmap & (1u << i)) {
         Slice child;
         if (!GetLengthPrefixed(&in, &child) || child.size() != 32) {
           return false;
         }
-        node->children[i] = child.ToString();
+        node->children[i] = crypto::DigestFromBytes(child);
       }
     }
     node->has_value = (bitmap & (1u << 16)) != 0;
     if (node->has_value) {
-      Slice value;
-      if (!GetLengthPrefixed(&in, &value)) return false;
-      node->value = value.ToString();
+      if (!GetLengthPrefixed(&in, &node->value)) return false;
     }
     return in.empty();
   }
   return false;
 }
 
-size_t CommonPrefix(const std::vector<uint8_t>& a, size_t a_from,
-                    const std::vector<uint8_t>& b, size_t b_from) {
+size_t CommonPrefix(const Slice& a, const uint8_t* b, size_t bn) {
+  const size_t max = a.size() < bn ? a.size() : bn;
   size_t n = 0;
-  while (a_from + n < a.size() && b_from + n < b.size() &&
-         a[a_from + n] == b[b_from + n]) {
-    n++;
-  }
+  while (n < max && static_cast<uint8_t>(a[n]) == b[n]) n++;
   return n;
 }
 
-std::vector<uint8_t> SubPath(const std::vector<uint8_t>& p, size_t from) {
-  return std::vector<uint8_t>(p.begin() + static_cast<long>(from), p.end());
+inline const uint8_t* PathBytes(const Slice& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
 }
 
 }  // namespace
 
-MerklePatriciaTrie::Nibbles MerklePatriciaTrie::ToNibbles(const Slice& key) {
-  Nibbles out;
-  out.reserve(key.size() * 2);
+void MerklePatriciaTrie::ToNibbles(const Slice& key, Nibbles* out) {
+  out->clear();
+  out->reserve(key.size() * 2);
   for (size_t i = 0; i < key.size(); i++) {
     uint8_t b = static_cast<uint8_t>(key[i]);
-    out.push_back(b >> 4);
-    out.push_back(b & 0xF);
+    out->push_back(b >> 4);
+    out->push_back(b & 0xF);
   }
-  return out;
 }
 
-std::string MerklePatriciaTrie::Store(const std::string& serialized) {
-  std::string hash = crypto::DigestBytes(crypto::Sha256Of(serialized));
-  auto [it, inserted] = nodes_.emplace(hash, serialized);
-  if (inserted) {
+MerklePatriciaTrie::Digest MerklePatriciaTrie::Store(const Slice& serialized) {
+  Digest digest = crypto::Sha256Hash(serialized);
+  if (nodes_.Insert(digest, serialized)) {
     total_node_bytes_ += 32 + serialized.size();
   }
-  (void)it;
   last_update_nodes_++;
-  return hash;
-}
-
-const std::string* MerklePatriciaTrie::Load(const Digest& digest) const {
-  auto it = nodes_.find(crypto::DigestBytes(digest));
-  return it == nodes_.end() ? nullptr : &it->second;
+  return digest;
 }
 
 Status MerklePatriciaTrie::Put(const Slice& key, const Slice& value) {
-  Nibbles path = ToNibbles(key);
-  std::string existing;
-  bool existed = Get(key, &existing).ok();
+  ToNibbles(key, &nibbles_scratch_);
   last_update_nodes_ = 0;
-  root_hash_bytes_ = InsertAt(root_hash_bytes_, path, 0, value);
-  root_ = crypto::DigestFromBytes(root_hash_bytes_);
-  if (!existed) size_++;
+  put_replaced_ = false;
+  // Copy the root digest: InsertAt must not read through an alias of root_
+  // while we overwrite it.
+  Digest old_root = root_;
+  root_ = InsertAt(has_root_ ? &old_root : nullptr, nibbles_scratch_, 0, value);
+  has_root_ = true;
+  if (!put_replaced_) size_++;
   return Status::Ok();
 }
 
-std::string MerklePatriciaTrie::InsertAt(const std::string& node_hash,
-                                         const Nibbles& path, size_t depth,
-                                         const Slice& value) {
-  if (node_hash.empty()) {
-    return Store(SerializeLeaf(path, depth, value));
+MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(const Digest* node_digest,
+                                                        const Nibbles& path,
+                                                        size_t depth,
+                                                        const Slice& value) {
+  const uint8_t* rest = path.data() + depth;
+  const size_t rest_n = path.size() - depth;
+
+  if (node_digest == nullptr) {
+    SerializeLeaf(&node_scratch_, rest, rest_n, value);
+    return Store(node_scratch_);
   }
-  auto it = nodes_.find(node_hash);
-  assert(it != nodes_.end());
-  ParsedNode node;
-  bool ok = ParseNode(it->second, &node);
+  Slice raw;
+  bool found = nodes_.Find(*node_digest, &raw);
+  assert(found);
+  (void)found;
+  NodeView node;
+  bool ok = ParseNode(raw, &node);
   assert(ok);
   (void)ok;
 
-  Nibbles rest = SubPath(path, depth);
-
   if (node.tag == kLeafTag) {
-    if (node.path == rest) {
-      return Store(SerializeLeaf(path, depth, value));  // overwrite
+    if (node.path.size() == rest_n &&
+        memcmp(node.path.data(), rest, rest_n) == 0) {
+      put_replaced_ = true;
+      SerializeLeaf(&node_scratch_, rest, rest_n, value);  // overwrite
+      return Store(node_scratch_);
     }
-    size_t cp = CommonPrefix(node.path, 0, rest, 0);
-    std::array<std::string, 16> children;
+    size_t cp = CommonPrefix(node.path, rest, rest_n);
+    Digest children[16];
+    uint32_t bitmap = 0;
     bool branch_has_value = false;
-    std::string branch_value;
+    Slice branch_value;
     // Existing leaf's continuation.
     if (node.path.size() == cp) {
       branch_has_value = true;
       branch_value = node.value;
     } else {
-      Nibbles lp = SubPath(node.path, cp);
-      uint8_t idx = lp[0];
-      children[idx] = Store(SerializeLeaf(lp, 1, node.value));
+      uint8_t idx = PathBytes(node.path)[cp];
+      SerializeLeaf(&node_scratch_, PathBytes(node.path) + cp + 1,
+                    node.path.size() - cp - 1, node.value);
+      children[idx] = Store(node_scratch_);
+      bitmap |= (1u << idx);
     }
     // New key's continuation.
-    if (rest.size() == cp) {
+    if (rest_n == cp) {
       branch_has_value = true;
-      branch_value = value.ToString();
+      branch_value = value;
     } else {
-      Nibbles np = SubPath(rest, cp);
-      uint8_t idx = np[0];
-      children[idx] = Store(SerializeLeaf(np, 1, value));
+      uint8_t idx = rest[cp];
+      SerializeLeaf(&node_scratch_, rest + cp + 1, rest_n - cp - 1, value);
+      children[idx] = Store(node_scratch_);
+      bitmap |= (1u << idx);
     }
-    std::string branch =
-        Store(SerializeBranch(children, branch_has_value, branch_value));
+    SerializeBranch(&node_scratch_, children, bitmap, branch_has_value,
+                    branch_value);
+    Digest branch = Store(node_scratch_);
     if (cp > 0) {
-      Nibbles shared(rest.begin(), rest.begin() + static_cast<long>(cp));
-      return Store(SerializeExt(shared, branch));
+      SerializeExt(&node_scratch_, rest, cp, branch);
+      return Store(node_scratch_);
     }
     return branch;
   }
 
   if (node.tag == kExtTag) {
-    size_t cp = CommonPrefix(node.path, 0, rest, 0);
+    size_t cp = CommonPrefix(node.path, rest, rest_n);
     if (cp == node.path.size()) {
-      std::string child = InsertAt(node.child, path, depth + cp, value);
-      return Store(SerializeExt(node.path, child));
+      Digest child = InsertAt(&node.child, path, depth + cp, value);
+      SerializeExt(&node_scratch_, rest, cp, child);
+      return Store(node_scratch_);
     }
     // Split the extension at cp.
-    std::array<std::string, 16> children;
+    Digest children[16];
+    uint32_t bitmap = 0;
     bool branch_has_value = false;
-    std::string branch_value;
+    Slice branch_value;
     // The extension's remainder.
     {
-      Nibbles ep = SubPath(node.path, cp);
-      uint8_t idx = ep[0];
-      if (ep.size() == 1) {
+      uint8_t idx = PathBytes(node.path)[cp];
+      if (node.path.size() - cp == 1) {
         children[idx] = node.child;
       } else {
-        children[idx] = Store(SerializeExt(SubPath(ep, 1), node.child));
+        SerializeExt(&node_scratch_, PathBytes(node.path) + cp + 1,
+                     node.path.size() - cp - 1, node.child);
+        children[idx] = Store(node_scratch_);
       }
+      bitmap |= (1u << idx);
     }
     // The new key's remainder.
-    if (rest.size() == cp) {
+    if (rest_n == cp) {
       branch_has_value = true;
-      branch_value = value.ToString();
+      branch_value = value;
     } else {
-      Nibbles np = SubPath(rest, cp);
-      children[np[0]] = Store(SerializeLeaf(np, 1, value));
+      uint8_t idx = rest[cp];
+      SerializeLeaf(&node_scratch_, rest + cp + 1, rest_n - cp - 1, value);
+      children[idx] = Store(node_scratch_);
+      bitmap |= (1u << idx);
     }
-    std::string branch =
-        Store(SerializeBranch(children, branch_has_value, branch_value));
+    SerializeBranch(&node_scratch_, children, bitmap, branch_has_value,
+                    branch_value);
+    Digest branch = Store(node_scratch_);
     if (cp > 0) {
-      Nibbles shared(rest.begin(), rest.begin() + static_cast<long>(cp));
-      return Store(SerializeExt(shared, branch));
+      SerializeExt(&node_scratch_, rest, cp, branch);
+      return Store(node_scratch_);
     }
     return branch;
   }
 
   // Branch.
-  if (rest.empty()) {
-    return Store(SerializeBranch(node.children, true, value));
+  if (rest_n == 0) {
+    if (node.has_value) put_replaced_ = true;
+    SerializeBranch(&node_scratch_, node.children, node.bitmap, true, value);
+    return Store(node_scratch_);
   }
   uint8_t idx = rest[0];
-  node.children[idx] = InsertAt(node.children[idx], path, depth + 1, value);
-  return Store(SerializeBranch(node.children, node.has_value, node.value));
+  const Digest* child =
+      (node.bitmap & (1u << idx)) ? &node.children[idx] : nullptr;
+  node.children[idx] = InsertAt(child, path, depth + 1, value);
+  node.bitmap |= (1u << idx);
+  SerializeBranch(&node_scratch_, node.children, node.bitmap, node.has_value,
+                  node.value);
+  return Store(node_scratch_);
 }
 
 Status MerklePatriciaTrie::Get(const Slice& key, std::string* value) const {
-  if (root_hash_bytes_.empty()) return Status::NotFound();
-  Nibbles path = ToNibbles(key);
-  return GetAt(root_hash_bytes_, path, 0, value, nullptr);
+  if (!has_root_) return Status::NotFound();
+  thread_local Nibbles path;
+  ToNibbles(key, &path);
+  return GetAt(root_, path, 0, value, nullptr);
 }
 
-Status MerklePatriciaTrie::GetAt(const std::string& node_hash,
+Status MerklePatriciaTrie::GetAt(const Digest& node_digest,
                                  const Nibbles& path, size_t depth,
                                  std::string* value,
                                  std::vector<std::string>* proof_nodes) const {
-  if (node_hash.empty()) return Status::NotFound();
-  auto it = nodes_.find(node_hash);
-  if (it == nodes_.end()) return Status::Corruption("dangling node hash");
-  if (proof_nodes != nullptr) proof_nodes->push_back(it->second);
-  ParsedNode node;
-  if (!ParseNode(it->second, &node)) return Status::Corruption("bad node");
+  Slice raw;
+  if (!nodes_.Find(node_digest, &raw)) {
+    return Status::Corruption("dangling node hash");
+  }
+  if (proof_nodes != nullptr) proof_nodes->push_back(raw.ToString());
+  NodeView node;
+  if (!ParseNode(raw, &node)) return Status::Corruption("bad node");
 
-  Nibbles rest = SubPath(path, depth);
+  const uint8_t* rest = path.data() + depth;
+  const size_t rest_n = path.size() - depth;
   if (node.tag == kLeafTag) {
-    if (node.path != rest) return Status::NotFound();
-    *value = node.value;
+    if (node.path.size() != rest_n ||
+        memcmp(node.path.data(), rest, rest_n) != 0) {
+      return Status::NotFound();
+    }
+    value->assign(node.value.data(), node.value.size());
     return Status::Ok();
   }
   if (node.tag == kExtTag) {
-    size_t cp = CommonPrefix(node.path, 0, rest, 0);
+    size_t cp = CommonPrefix(node.path, rest, rest_n);
     if (cp != node.path.size()) return Status::NotFound();
     return GetAt(node.child, path, depth + cp, value, proof_nodes);
   }
   // Branch.
-  if (rest.empty()) {
+  if (rest_n == 0) {
     if (!node.has_value) return Status::NotFound();
-    *value = node.value;
+    value->assign(node.value.data(), node.value.size());
     return Status::Ok();
   }
+  if (!(node.bitmap & (1u << rest[0]))) return Status::NotFound();
   return GetAt(node.children[rest[0]], path, depth + 1, value, proof_nodes);
 }
 
 Status MerklePatriciaTrie::Prove(const Slice& key, Proof* proof) const {
   proof->nodes.clear();
-  if (root_hash_bytes_.empty()) return Status::NotFound();
-  Nibbles path = ToNibbles(key);
+  if (!has_root_) return Status::NotFound();
+  thread_local Nibbles path;
+  ToNibbles(key, &path);
   std::string value;
-  return GetAt(root_hash_bytes_, path, 0, &value, &proof->nodes);
+  return GetAt(root_, path, 0, &value, &proof->nodes);
 }
 
 uint64_t MerklePatriciaTrie::ReachableBytes() const {
-  return ReachableBytesAt(root_hash_bytes_);
+  if (!has_root_) return 0;
+  return ReachableBytesAt(root_);
 }
 
-uint64_t MerklePatriciaTrie::ReachableBytesAt(
-    const std::string& node_hash) const {
-  if (node_hash.empty()) return 0;
-  auto it = nodes_.find(node_hash);
-  if (it == nodes_.end()) return 0;
-  ParsedNode node;
-  if (!ParseNode(it->second, &node)) return 0;
-  uint64_t total = 32 + it->second.size();
+uint64_t MerklePatriciaTrie::ReachableBytesAt(const Digest& node_digest) const {
+  Slice raw;
+  if (!nodes_.Find(node_digest, &raw)) return 0;
+  NodeView node;
+  if (!ParseNode(raw, &node)) return 0;
+  uint64_t total = 32 + raw.size();
   if (node.tag == kExtTag) {
     total += ReachableBytesAt(node.child);
   } else if (node.tag == kBranchTag) {
-    for (const auto& child : node.children) {
-      total += ReachableBytesAt(child);
+    for (int i = 0; i < 16; i++) {
+      if (node.bitmap & (1u << i)) total += ReachableBytesAt(node.children[i]);
     }
   }
   return total;
@@ -344,38 +369,40 @@ bool VerifyMptProof(const crypto::Digest& root, const Slice& key,
                     const MerklePatriciaTrie::Proof& proof) {
   if (proof.nodes.empty()) return false;
   std::vector<uint8_t> path;
+  path.reserve(key.size() * 2);
   for (size_t i = 0; i < key.size(); i++) {
     uint8_t b = static_cast<uint8_t>(key[i]);
     path.push_back(b >> 4);
     path.push_back(b & 0xF);
   }
 
-  std::string expected = crypto::DigestBytes(root);
+  Digest expected = root;
   size_t depth = 0;
   for (size_t n = 0; n < proof.nodes.size(); n++) {
     const std::string& raw = proof.nodes[n];
-    if (crypto::DigestBytes(crypto::Sha256Of(raw)) != expected) return false;
-    ParsedNode node;
+    if (crypto::Sha256Hash(raw) != expected) return false;
+    NodeView node;
     if (!ParseNode(raw, &node)) return false;
-    std::vector<uint8_t> rest(path.begin() + static_cast<long>(depth),
-                              path.end());
+    const uint8_t* rest = path.data() + depth;
+    const size_t rest_n = path.size() - depth;
     if (node.tag == kLeafTag) {
-      return n == proof.nodes.size() - 1 && node.path == rest &&
-             Slice(node.value) == value;
+      return n == proof.nodes.size() - 1 && node.path.size() == rest_n &&
+             memcmp(node.path.data(), rest, rest_n) == 0 &&
+             node.value == value;
     }
     if (node.tag == kExtTag) {
-      size_t cp = CommonPrefix(node.path, 0, rest, 0);
+      size_t cp = CommonPrefix(node.path, rest, rest_n);
       if (cp != node.path.size()) return false;
       depth += cp;
       expected = node.child;
       continue;
     }
     // Branch.
-    if (rest.empty()) {
+    if (rest_n == 0) {
       return n == proof.nodes.size() - 1 && node.has_value &&
-             Slice(node.value) == value;
+             node.value == value;
     }
-    if (node.children[rest[0]].empty()) return false;
+    if (!(node.bitmap & (1u << rest[0]))) return false;
     expected = node.children[rest[0]];
     depth += 1;
   }

@@ -2,11 +2,10 @@
 #define DICHO_ADT_MPT_H_
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "adt/node_store.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "crypto/sha256.h"
@@ -22,6 +21,15 @@ namespace dicho::adt {
 /// serialization, so the root digest commits to the entire state and every
 /// update copy-writes the path from leaf to root (this is the per-commit
 /// "MPT reconstruction" cost the paper measures in Section 5.3.3).
+///
+/// Hot-path layout: nodes live in a NodeStore (digest-keyed open-addressing
+/// table over an arena), node parsing is zero-copy over arena Slices, and the
+/// insert recursion walks (path, depth) indexes instead of materializing
+/// per-level sub-paths. Sibling digests are carried verbatim from the parsed
+/// parent, so unchanged subtrees are never re-serialized or re-hashed.
+/// The serialized node format and therefore every root digest and proof are
+/// byte-identical to the original std::map-based implementation (golden
+/// tests assert this).
 ///
 /// Deletion is not supported: the benchmarked blockchain state stores are
 /// insert/update-only (documented in DESIGN.md).
@@ -62,25 +70,32 @@ class MerklePatriciaTrie {
   using Digest = crypto::Digest;
   using Nibbles = std::vector<uint8_t>;
 
-  static Nibbles ToNibbles(const Slice& key);
+  static void ToNibbles(const Slice& key, Nibbles* out);
 
-  std::string Store(const std::string& serialized);
-  const std::string* Load(const Digest& digest) const;
+  Digest Store(const Slice& serialized);
 
-  /// Recursive insert: returns the new node's digest (as raw bytes).
-  std::string InsertAt(const std::string& node_hash, const Nibbles& path,
-                       size_t depth, const Slice& value);
-  Status GetAt(const std::string& node_hash, const Nibbles& path, size_t depth,
+  /// Recursive insert below the node named by `node` (nullptr = empty
+  /// subtree): returns the digest of the replacement node.
+  Digest InsertAt(const Digest* node, const Nibbles& path, size_t depth,
+                  const Slice& value);
+  Status GetAt(const Digest& node, const Nibbles& path, size_t depth,
                std::string* value,
                std::vector<std::string>* proof_nodes) const;
-  uint64_t ReachableBytesAt(const std::string& node_hash) const;
+  uint64_t ReachableBytesAt(const Digest& node) const;
 
   Digest root_ = crypto::ZeroDigest();
-  std::string root_hash_bytes_;  // empty when trie empty
-  std::map<std::string, std::string> nodes_;  // hash bytes -> serialized node
+  bool has_root_ = false;
+  NodeStore nodes_;
   uint64_t total_node_bytes_ = 0;
   size_t size_ = 0;
   size_t last_update_nodes_ = 0;
+  /// True after InsertAt when the Put overwrote an existing key.
+  bool put_replaced_ = false;
+  /// Reused scratch buffers: key nibbles and the node being serialized.
+  /// Safe because every Serialize*→Store pair completes before the parent
+  /// serializes (the recursion returns digests, not buffers).
+  Nibbles nibbles_scratch_;
+  std::string node_scratch_;
 };
 
 /// Verifies an MPT access path: checks that proof.nodes[0] hashes to `root`,

@@ -1,0 +1,126 @@
+#ifndef DICHO_ADT_NODE_STORE_H_
+#define DICHO_ADT_NODE_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace dicho::adt {
+
+/// Content-addressed store for serialized authenticated-index nodes.
+///
+/// Replaces the former std::map<std::string, std::string>: nodes are keyed by
+/// their fixed 32-byte digest in an open-addressing (linear-probe) table whose
+/// bucket hash is the digest's first 8 bytes — the digest is already uniform,
+/// so no extra mixing is needed. Node bytes live in a bump-allocated arena of
+/// stable chunks, so Slices handed out by Find() stay valid for the store's
+/// lifetime and parsing can be zero-copy. Nodes are never deleted (the
+/// benchmarked blockchain stores are archival), which is what makes both the
+/// arena and tombstone-free probing safe.
+class NodeStore {
+ public:
+  NodeStore() : slots_(kInitialSlots) {}
+
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+
+  /// Copies `serialized` into the arena under `digest` unless already
+  /// present. Returns true when a new node was inserted.
+  bool Insert(const crypto::Digest& digest, const Slice& serialized) {
+    if (count_ + 1 > (slots_.size() / 4) * 3) Grow();
+    size_t idx = ProbeStart(digest);
+    while (true) {
+      Slot& slot = slots_[idx];
+      if (slot.data == nullptr) {
+        slot.digest = digest;
+        slot.data = ArenaCopy(serialized);
+        slot.len = static_cast<uint32_t>(serialized.size());
+        count_++;
+        return true;
+      }
+      if (slot.digest == digest) return false;
+      idx = (idx + 1) & (slots_.size() - 1);
+    }
+  }
+
+  /// Serialized node bytes for `digest`, or an empty/invalid Slice if absent
+  /// (check found).
+  bool Find(const crypto::Digest& digest, Slice* out) const {
+    size_t idx = ProbeStart(digest);
+    while (true) {
+      const Slot& slot = slots_[idx];
+      if (slot.data == nullptr) return false;
+      if (slot.digest == digest) {
+        *out = Slice(slot.data, slot.len);
+        return true;
+      }
+      idx = (idx + 1) & (slots_.size() - 1);
+    }
+  }
+
+  size_t size() const { return count_; }
+
+ private:
+  struct Slot {
+    crypto::Digest digest;
+    const char* data = nullptr;  // nullptr = empty slot
+    uint32_t len = 0;
+  };
+
+  static constexpr size_t kInitialSlots = 1024;   // power of two
+  static constexpr size_t kChunkBytes = 256 * 1024;
+
+  size_t ProbeStart(const crypto::Digest& digest) const {
+    uint64_t h;
+    memcpy(&h, digest.data(), sizeof(h));
+    return static_cast<size_t>(h) & (slots_.size() - 1);
+  }
+
+  const char* ArenaCopy(const Slice& bytes) {
+    char* dst;
+    if (bytes.size() > kChunkBytes) {
+      // Oversized node: dedicated chunk; the bump chunk is left untouched.
+      chunks_.emplace_back(new char[bytes.size()]);
+      dst = chunks_.back().get();
+    } else {
+      if (bump_left_ < bytes.size()) {
+        chunks_.emplace_back(new char[kChunkBytes]);
+        bump_ptr_ = chunks_.back().get();
+        bump_left_ = kChunkBytes;
+      }
+      dst = bump_ptr_;
+      bump_ptr_ += bytes.size();
+      bump_left_ -= bytes.size();
+    }
+    memcpy(dst, bytes.data(), bytes.size());
+    return dst;
+  }
+
+  void Grow() {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.data == nullptr) continue;
+      size_t idx = ProbeStart(slot.digest);
+      while (slots_[idx].data != nullptr) {
+        idx = (idx + 1) & (slots_.size() - 1);
+      }
+      slots_[idx] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t count_ = 0;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* bump_ptr_ = nullptr;
+  size_t bump_left_ = 0;
+};
+
+}  // namespace dicho::adt
+
+#endif  // DICHO_ADT_NODE_STORE_H_

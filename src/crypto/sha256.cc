@@ -5,6 +5,13 @@
 
 #include "common/hex.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DICHO_SHA_NI_BUILD 1
+#include <immintrin.h>
+#else
+#define DICHO_SHA_NI_BUILD 0
+#endif
+
 namespace dicho::crypto {
 namespace {
 
@@ -22,70 +29,349 @@ constexpr uint32_t kK[64] = {
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+inline uint32_t Sig0(uint32_t x) {
+  return Rotr(x, 7) ^ Rotr(x, 18) ^ (x >> 3);
+}
+inline uint32_t Sig1(uint32_t x) {
+  return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10);
+}
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+// Compresses `nblocks` consecutive 64-byte blocks into `state`. Fully
+// unrolled: the schedule lives in 16 rotating words and the working variables
+// rotate through the round macro instead of being shuffled every round.
+void CompressPortable(uint32_t state[8], const uint8_t* data, size_t nblocks) {
+  uint32_t a, b, c, d, e, f, g, h;
+#define Rnd(a, b, c, d, e, f, g, h, k, w)                          \
+  do {                                                             \
+    uint32_t t1 = (h) + (Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25)) + \
+                  (((e) & (f)) ^ (~(e) & (g))) + (k) + (w);        \
+    uint32_t t2 = (Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22)) +       \
+                  (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));       \
+    (d) += t1;                                                     \
+    (h) = t1 + t2;                                                 \
+  } while (0)
+
+  while (nblocks--) {
+    uint32_t w0 = LoadBe32(data + 0), w1 = LoadBe32(data + 4);
+    uint32_t w2 = LoadBe32(data + 8), w3 = LoadBe32(data + 12);
+    uint32_t w4 = LoadBe32(data + 16), w5 = LoadBe32(data + 20);
+    uint32_t w6 = LoadBe32(data + 24), w7 = LoadBe32(data + 28);
+    uint32_t w8 = LoadBe32(data + 32), w9 = LoadBe32(data + 36);
+    uint32_t w10 = LoadBe32(data + 40), w11 = LoadBe32(data + 44);
+    uint32_t w12 = LoadBe32(data + 48), w13 = LoadBe32(data + 52);
+    uint32_t w14 = LoadBe32(data + 56), w15 = LoadBe32(data + 60);
+
+    a = state[0], b = state[1], c = state[2], d = state[3];
+    e = state[4], f = state[5], g = state[6], h = state[7];
+
+    Rnd(a, b, c, d, e, f, g, h, kK[0], w0);
+    Rnd(h, a, b, c, d, e, f, g, kK[1], w1);
+    Rnd(g, h, a, b, c, d, e, f, kK[2], w2);
+    Rnd(f, g, h, a, b, c, d, e, kK[3], w3);
+
+    Rnd(e, f, g, h, a, b, c, d, kK[4], w4);
+    Rnd(d, e, f, g, h, a, b, c, kK[5], w5);
+    Rnd(c, d, e, f, g, h, a, b, kK[6], w6);
+    Rnd(b, c, d, e, f, g, h, a, kK[7], w7);
+
+    Rnd(a, b, c, d, e, f, g, h, kK[8], w8);
+    Rnd(h, a, b, c, d, e, f, g, kK[9], w9);
+    Rnd(g, h, a, b, c, d, e, f, kK[10], w10);
+    Rnd(f, g, h, a, b, c, d, e, kK[11], w11);
+
+    Rnd(e, f, g, h, a, b, c, d, kK[12], w12);
+    Rnd(d, e, f, g, h, a, b, c, kK[13], w13);
+    Rnd(c, d, e, f, g, h, a, b, kK[14], w14);
+    Rnd(b, c, d, e, f, g, h, a, kK[15], w15);
+
+    w0 += Sig1(w14) + w9 + Sig0(w1);
+    Rnd(a, b, c, d, e, f, g, h, kK[16], w0);
+    w1 += Sig1(w15) + w10 + Sig0(w2);
+    Rnd(h, a, b, c, d, e, f, g, kK[17], w1);
+    w2 += Sig1(w0) + w11 + Sig0(w3);
+    Rnd(g, h, a, b, c, d, e, f, kK[18], w2);
+    w3 += Sig1(w1) + w12 + Sig0(w4);
+    Rnd(f, g, h, a, b, c, d, e, kK[19], w3);
+
+    w4 += Sig1(w2) + w13 + Sig0(w5);
+    Rnd(e, f, g, h, a, b, c, d, kK[20], w4);
+    w5 += Sig1(w3) + w14 + Sig0(w6);
+    Rnd(d, e, f, g, h, a, b, c, kK[21], w5);
+    w6 += Sig1(w4) + w15 + Sig0(w7);
+    Rnd(c, d, e, f, g, h, a, b, kK[22], w6);
+    w7 += Sig1(w5) + w0 + Sig0(w8);
+    Rnd(b, c, d, e, f, g, h, a, kK[23], w7);
+
+    w8 += Sig1(w6) + w1 + Sig0(w9);
+    Rnd(a, b, c, d, e, f, g, h, kK[24], w8);
+    w9 += Sig1(w7) + w2 + Sig0(w10);
+    Rnd(h, a, b, c, d, e, f, g, kK[25], w9);
+    w10 += Sig1(w8) + w3 + Sig0(w11);
+    Rnd(g, h, a, b, c, d, e, f, kK[26], w10);
+    w11 += Sig1(w9) + w4 + Sig0(w12);
+    Rnd(f, g, h, a, b, c, d, e, kK[27], w11);
+
+    w12 += Sig1(w10) + w5 + Sig0(w13);
+    Rnd(e, f, g, h, a, b, c, d, kK[28], w12);
+    w13 += Sig1(w11) + w6 + Sig0(w14);
+    Rnd(d, e, f, g, h, a, b, c, kK[29], w13);
+    w14 += Sig1(w12) + w7 + Sig0(w15);
+    Rnd(c, d, e, f, g, h, a, b, kK[30], w14);
+    w15 += Sig1(w13) + w8 + Sig0(w0);
+    Rnd(b, c, d, e, f, g, h, a, kK[31], w15);
+
+    w0 += Sig1(w14) + w9 + Sig0(w1);
+    Rnd(a, b, c, d, e, f, g, h, kK[32], w0);
+    w1 += Sig1(w15) + w10 + Sig0(w2);
+    Rnd(h, a, b, c, d, e, f, g, kK[33], w1);
+    w2 += Sig1(w0) + w11 + Sig0(w3);
+    Rnd(g, h, a, b, c, d, e, f, kK[34], w2);
+    w3 += Sig1(w1) + w12 + Sig0(w4);
+    Rnd(f, g, h, a, b, c, d, e, kK[35], w3);
+
+    w4 += Sig1(w2) + w13 + Sig0(w5);
+    Rnd(e, f, g, h, a, b, c, d, kK[36], w4);
+    w5 += Sig1(w3) + w14 + Sig0(w6);
+    Rnd(d, e, f, g, h, a, b, c, kK[37], w5);
+    w6 += Sig1(w4) + w15 + Sig0(w7);
+    Rnd(c, d, e, f, g, h, a, b, kK[38], w6);
+    w7 += Sig1(w5) + w0 + Sig0(w8);
+    Rnd(b, c, d, e, f, g, h, a, kK[39], w7);
+
+    w8 += Sig1(w6) + w1 + Sig0(w9);
+    Rnd(a, b, c, d, e, f, g, h, kK[40], w8);
+    w9 += Sig1(w7) + w2 + Sig0(w10);
+    Rnd(h, a, b, c, d, e, f, g, kK[41], w9);
+    w10 += Sig1(w8) + w3 + Sig0(w11);
+    Rnd(g, h, a, b, c, d, e, f, kK[42], w10);
+    w11 += Sig1(w9) + w4 + Sig0(w12);
+    Rnd(f, g, h, a, b, c, d, e, kK[43], w11);
+
+    w12 += Sig1(w10) + w5 + Sig0(w13);
+    Rnd(e, f, g, h, a, b, c, d, kK[44], w12);
+    w13 += Sig1(w11) + w6 + Sig0(w14);
+    Rnd(d, e, f, g, h, a, b, c, kK[45], w13);
+    w14 += Sig1(w12) + w7 + Sig0(w15);
+    Rnd(c, d, e, f, g, h, a, b, kK[46], w14);
+    w15 += Sig1(w13) + w8 + Sig0(w0);
+    Rnd(b, c, d, e, f, g, h, a, kK[47], w15);
+
+    w0 += Sig1(w14) + w9 + Sig0(w1);
+    Rnd(a, b, c, d, e, f, g, h, kK[48], w0);
+    w1 += Sig1(w15) + w10 + Sig0(w2);
+    Rnd(h, a, b, c, d, e, f, g, kK[49], w1);
+    w2 += Sig1(w0) + w11 + Sig0(w3);
+    Rnd(g, h, a, b, c, d, e, f, kK[50], w2);
+    w3 += Sig1(w1) + w12 + Sig0(w4);
+    Rnd(f, g, h, a, b, c, d, e, kK[51], w3);
+
+    w4 += Sig1(w2) + w13 + Sig0(w5);
+    Rnd(e, f, g, h, a, b, c, d, kK[52], w4);
+    w5 += Sig1(w3) + w14 + Sig0(w6);
+    Rnd(d, e, f, g, h, a, b, c, kK[53], w5);
+    w6 += Sig1(w4) + w15 + Sig0(w7);
+    Rnd(c, d, e, f, g, h, a, b, kK[54], w6);
+    w7 += Sig1(w5) + w0 + Sig0(w8);
+    Rnd(b, c, d, e, f, g, h, a, kK[55], w7);
+
+    w8 += Sig1(w6) + w1 + Sig0(w9);
+    Rnd(a, b, c, d, e, f, g, h, kK[56], w8);
+    w9 += Sig1(w7) + w2 + Sig0(w10);
+    Rnd(h, a, b, c, d, e, f, g, kK[57], w9);
+    w10 += Sig1(w8) + w3 + Sig0(w11);
+    Rnd(g, h, a, b, c, d, e, f, kK[58], w10);
+    w11 += Sig1(w9) + w4 + Sig0(w12);
+    Rnd(f, g, h, a, b, c, d, e, kK[59], w11);
+
+    w12 += Sig1(w10) + w5 + Sig0(w13);
+    Rnd(e, f, g, h, a, b, c, d, kK[60], w12);
+    w13 += Sig1(w11) + w6 + Sig0(w14);
+    Rnd(d, e, f, g, h, a, b, c, kK[61], w13);
+    w14 += Sig1(w12) + w7 + Sig0(w15);
+    Rnd(c, d, e, f, g, h, a, b, kK[62], w14);
+    w15 += Sig1(w13) + w8 + Sig0(w0);
+    Rnd(b, c, d, e, f, g, h, a, kK[63], w15);
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+    data += 64;
+  }
+#undef Rnd
+}
+
+#if DICHO_SHA_NI_BUILD
+// x86 SHA-NI compression: two sha256rnds2 per 4 rounds, schedule kept in four
+// xmm registers. Compiled with a per-function target so the translation unit
+// itself needs no -msha; only ever called after a CPUID check.
+__attribute__((target("sha,sse4.1,ssse3"))) void CompressShaNi(
+    uint32_t state[8], const uint8_t* data, size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack {a..h} into the ABEF/CDGH register layout sha256rnds2 expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  st1 = _mm_shuffle_epi32(st1, 0x1B);
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);
+
+#define QROUND(kidx_hi, kidx_lo, msg_in)                                      \
+  do {                                                                        \
+    __m128i k = _mm_set_epi64x(static_cast<long long>(kidx_hi),               \
+                               static_cast<long long>(kidx_lo));              \
+    __m128i m = _mm_add_epi32((msg_in), k);                                   \
+    st1 = _mm_sha256rnds2_epu32(st1, st0, m);                                 \
+    m = _mm_shuffle_epi32(m, 0x0E);                                           \
+    st0 = _mm_sha256rnds2_epu32(st0, st1, m);                                 \
+  } while (0)
+
+  while (nblocks--) {
+    const __m128i save0 = st0, save1 = st1;
+
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuffle);
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)),
+        kShuffle);
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)),
+        kShuffle);
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)),
+        kShuffle);
+
+    // Rounds 0-15: raw message words.
+    QROUND(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL, msg0);
+    QROUND(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL, msg1);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+    QROUND(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL, msg2);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+    QROUND(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL, msg3);
+
+    // Rounds 16-51: full schedule recurrence, msg registers rotate.
+#define SCHED(mprev3, mprev2, mprev1, mcur)                       \
+  do {                                                            \
+    __m128i t = _mm_alignr_epi8((mcur), (mprev1), 4);             \
+    (mprev3) = _mm_add_epi32((mprev3), t);                        \
+    (mprev3) = _mm_sha256msg2_epu32((mprev3), (mcur));            \
+    (mprev1) = _mm_sha256msg1_epu32((mprev1), (mcur));            \
+  } while (0)
+
+    SCHED(msg0, msg1, msg2, msg3);
+    QROUND(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL, msg0);
+    SCHED(msg1, msg2, msg3, msg0);
+    QROUND(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL, msg1);
+    SCHED(msg2, msg3, msg0, msg1);
+    QROUND(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL, msg2);
+    SCHED(msg3, msg0, msg1, msg2);
+    QROUND(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL, msg3);
+    SCHED(msg0, msg1, msg2, msg3);
+    QROUND(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL, msg0);
+    SCHED(msg1, msg2, msg3, msg0);
+    QROUND(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL, msg1);
+    SCHED(msg2, msg3, msg0, msg1);
+    QROUND(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL, msg2);
+    SCHED(msg3, msg0, msg1, msg2);
+    QROUND(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL, msg3);
+    SCHED(msg0, msg1, msg2, msg3);
+    QROUND(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL, msg0);
+
+    // Rounds 52-63: same rotation — the msg1 feeds in these groups still
+    // prepare the registers consumed two groups later.
+    SCHED(msg1, msg2, msg3, msg0);
+    QROUND(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL, msg1);
+    SCHED(msg2, msg3, msg0, msg1);
+    QROUND(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL, msg2);
+    SCHED(msg3, msg0, msg1, msg2);
+    QROUND(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL, msg3);
+
+    st0 = _mm_add_epi32(st0, save0);
+    st1 = _mm_add_epi32(st1, save1);
+    data += 64;
+  }
+#undef SCHED
+#undef QROUND
+
+  tmp = _mm_shuffle_epi32(st0, 0x1B);
+  st1 = _mm_shuffle_epi32(st1, 0xB1);
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);
+  st1 = _mm_alignr_epi8(st1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+#endif  // DICHO_SHA_NI_BUILD
+
+using CompressFn = void (*)(uint32_t[8], const uint8_t*, size_t);
+
+CompressFn ResolveCompress() {
+#if DICHO_SHA_NI_BUILD
+  if (__builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+      __builtin_cpu_supports("ssse3")) {
+    return &CompressShaNi;
+  }
+#endif
+  return &CompressPortable;
+}
+
+const CompressFn g_compress = ResolveCompress();
+
+constexpr uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                               0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+inline void StoreDigest(const uint32_t state[8], Digest* out) {
+  for (int i = 0; i < 8; i++) {
+    (*out)[i * 4] = static_cast<uint8_t>(state[i] >> 24);
+    (*out)[i * 4 + 1] = static_cast<uint8_t>(state[i] >> 16);
+    (*out)[i * 4 + 2] = static_cast<uint8_t>(state[i] >> 8);
+    (*out)[i * 4 + 3] = static_cast<uint8_t>(state[i]);
+  }
+}
+
+// Writes the final sub-block bytes plus FIPS padding into `tail` (one or two
+// blocks) and compresses them. `rem` < 64 trailing input bytes, `bits` is the
+// total message length in bits.
+inline void FinishTail(uint32_t state[8], const uint8_t* rem_data, size_t rem,
+                       uint64_t bits) {
+  uint8_t tail[128];
+  memcpy(tail, rem_data, rem);
+  tail[rem] = 0x80;
+  const size_t padded = rem < 56 ? 64 : 128;
+  memset(tail + rem + 1, 0, padded - 8 - (rem + 1));
+  for (int i = 0; i < 8; i++) {
+    tail[padded - 8 + i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  }
+  g_compress(state, tail, padded / 64);
+}
 
 }  // namespace
 
-void Sha256::Reset() {
-  state_[0] = 0x6a09e667;
-  state_[1] = 0xbb67ae85;
-  state_[2] = 0x3c6ef372;
-  state_[3] = 0xa54ff53a;
-  state_[4] = 0x510e527f;
-  state_[5] = 0x9b05688c;
-  state_[6] = 0x1f83d9ab;
-  state_[7] = 0x5be0cd19;
-  bit_count_ = 0;
-  buffer_len_ = 0;
+bool Sha256UsesHardwareAcceleration() {
+  return g_compress != &CompressPortable;
 }
 
-void Sha256::ProcessBlock(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; i++) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           (static_cast<uint32_t>(block[i * 4 + 3]));
-  }
-  for (int i = 16; i < 64; i++) {
-    uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; i++) {
-    uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+void Sha256::Reset() {
+  memcpy(state_, kInit, sizeof(state_));
+  bit_count_ = 0;
+  buffer_len_ = 0;
 }
 
 void Sha256::Update(const void* data, size_t len) {
   const auto* p = static_cast<const uint8_t*>(data);
   bit_count_ += static_cast<uint64_t>(len) * 8;
-  while (len > 0) {
+  // Drain a partially filled staging buffer first.
+  if (buffer_len_ != 0) {
     size_t take = 64 - buffer_len_;
     if (take > len) take = len;
     memcpy(buffer_ + buffer_len_, p, take);
@@ -93,52 +379,51 @@ void Sha256::Update(const void* data, size_t len) {
     p += take;
     len -= take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_);
+      g_compress(state_, buffer_, 1);
       buffer_len_ = 0;
     }
+  }
+  // Whole blocks go straight from the caller's buffer.
+  if (len >= 64) {
+    size_t nblocks = len / 64;
+    g_compress(state_, p, nblocks);
+    p += nblocks * 64;
+    len -= nblocks * 64;
+  }
+  if (len > 0) {
+    memcpy(buffer_, p, len);
+    buffer_len_ = len;
   }
 }
 
 Digest Sha256::Finish() {
-  uint64_t bits = bit_count_;
-  // Append 0x80 then zeros until 56 mod 64, then the 64-bit big-endian length.
-  uint8_t pad = 0x80;
-  Update(&pad, 1);
-  uint8_t zero = 0;
-  while (buffer_len_ != 56) {
-    Update(&zero, 1);
-  }
-  uint8_t len_be[8];
-  for (int i = 0; i < 8; i++) {
-    len_be[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
-  }
-  // Bypass Update's bit counting for the length field: Update() already
-  // mutated bit_count_ for padding but the length bytes must not be counted
-  // either; simplest is to feed them through the buffer directly.
-  memcpy(buffer_ + buffer_len_, len_be, 8);
-  ProcessBlock(buffer_);
-
+  FinishTail(state_, buffer_, buffer_len_, bit_count_);
   Digest out;
-  for (int i = 0; i < 8; i++) {
-    out[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
-    out[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
-    out[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
-    out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
-  }
+  StoreDigest(state_, &out);
   return out;
 }
 
-Digest Sha256Of(const Slice& data) {
-  Sha256 h;
-  h.Update(data);
-  return h.Finish();
+Digest Sha256Hash(const Slice& data) {
+  uint32_t state[8];
+  memcpy(state, kInit, sizeof(state));
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
+  const size_t nblocks = data.size() / 64;
+  if (nblocks != 0) g_compress(state, p, nblocks);
+  FinishTail(state, p + nblocks * 64, data.size() - nblocks * 64,
+             static_cast<uint64_t>(data.size()) * 8);
+  Digest out;
+  StoreDigest(state, &out);
+  return out;
 }
 
+Digest Sha256Of(const Slice& data) { return Sha256Hash(data); }
+
 Digest Sha256Pair(const Digest& a, const Digest& b) {
-  Sha256 h;
-  h.Update(a.data(), a.size());
-  h.Update(b.data(), b.size());
-  return h.Finish();
+  // One 64-byte block: hash it directly via the one-shot path.
+  uint8_t block[64];
+  memcpy(block, a.data(), 32);
+  memcpy(block + 32, b.data(), 32);
+  return Sha256Hash(Slice(reinterpret_cast<const char*>(block), 64));
 }
 
 std::string DigestHex(const Digest& d) {

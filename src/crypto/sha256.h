@@ -14,7 +14,10 @@ namespace dicho::crypto {
 using Digest = std::array<uint8_t, 32>;
 
 /// Incremental SHA-256 (FIPS 180-4), implemented from scratch — no external
-/// crypto dependency.
+/// crypto dependency. The compression function is selected once at startup:
+/// x86 SHA-NI when the CPU supports it, otherwise an unrolled portable
+/// implementation. Full input blocks are compressed straight from the
+/// caller's buffer; only sub-block tails are staged.
 class Sha256 {
  public:
   Sha256() { Reset(); }
@@ -27,15 +30,17 @@ class Sha256 {
   Digest Finish();
 
  private:
-  void ProcessBlock(const uint8_t* block);
-
   uint32_t state_[8];
   uint64_t bit_count_;
   uint8_t buffer_[64];
   size_t buffer_len_;
 };
 
-/// One-shot convenience.
+/// One-shot hash. Zero-copy fast path: compresses whole blocks directly from
+/// `data` without the incremental buffer — this is the hot call on the MPT /
+/// Merkle reconstruction path.
+Digest Sha256Hash(const Slice& data);
+/// One-shot convenience (alias of Sha256Hash, kept for existing callers).
 Digest Sha256Of(const Slice& data);
 /// Hash of the concatenation of two digests (Merkle interior nodes).
 Digest Sha256Pair(const Digest& a, const Digest& b);
@@ -49,6 +54,10 @@ Digest DigestFromBytes(const Slice& bytes);
 
 /// All-zero digest (genesis parent, empty-tree root sentinel).
 Digest ZeroDigest();
+
+/// True when the runtime-dispatched SHA-NI compression is in use (exposed for
+/// tests and the hot-path microbenchmark report).
+bool Sha256UsesHardwareAcceleration();
 
 }  // namespace dicho::crypto
 

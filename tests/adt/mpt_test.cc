@@ -63,6 +63,72 @@ TEST(MptTest, SharedPrefixKeys) {
   EXPECT_TRUE(trie.Get("ab", &value).IsNotFound());
 }
 
+// Golden root digests captured from the original std::map-backed node store
+// (seed commit). The node-store/serialization refactor must keep every root
+// byte-identical; if a serialization change is ever intended, these values
+// must be regenerated and the change called out as a breaking format change.
+TEST(MptTest, GoldenRootFixedSequence) {
+  MerklePatriciaTrie trie;
+  const char* kvs[][2] = {{"abcdef", "1"},   {"abcxyz", "2"}, {"abc", "3"},
+                          {"abcdefgh", "4"}, {"zzz", "5"},    {"abc", "3b"}};
+  for (const auto& kv : kvs) ASSERT_TRUE(trie.Put(kv[0], kv[1]).ok());
+  EXPECT_EQ(crypto::DigestHex(trie.RootDigest()),
+            "6291194fa3970936513f708d000510214be76e61ebbd70c006a52343b49a5b12");
+}
+
+TEST(MptTest, GoldenRootRandomSequenceAndAccounting) {
+  MerklePatriciaTrie trie;
+  Rng rng(97);
+  for (int i = 0; i < 100; i++) {
+    std::string k = rng.Bytes(1 + rng.Uniform(24));
+    std::string v = rng.Bytes(rng.Uniform(80));
+    ASSERT_TRUE(trie.Put(k, v).ok());
+  }
+  EXPECT_EQ(crypto::DigestHex(trie.RootDigest()),
+            "79b1ae6b3313ecb4e714b2ffcbd50066ed2b22292db0d3cacf64fdb82f7d65fe");
+  // Storage accounting is part of the frozen behavior too (Fig. 13 inputs).
+  EXPECT_EQ(trie.size(), 99u);
+  EXPECT_EQ(trie.node_count(), 477u);
+  EXPECT_EQ(trie.TotalNodeBytes(), 74835u);
+  EXPECT_EQ(trie.ReachableBytes(), 16774u);
+}
+
+TEST(MptTest, GoldenRootOverwriteHeavy) {
+  MerklePatriciaTrie trie;
+  Rng rng(5);
+  for (int i = 0; i < 300; i++) {
+    std::string k = "acct" + std::to_string(i % 64);
+    std::string v = rng.Bytes(i % 2 ? 10 : 1000);
+    ASSERT_TRUE(trie.Put(k, v).ok());
+  }
+  EXPECT_EQ(crypto::DigestHex(trie.RootDigest()),
+            "a85431aa379165796b68856f7c21306dd2bfc0bdb6a0abc3115e6ff5bcfaafa8");
+}
+
+// Same insert sequence ⇒ same root, and proofs round-trip at paper value
+// sizes (10 B and 5000 B) through the fast hashing/store paths.
+TEST(MptTest, ProveVerifyRoundTripAtPaperValueSizes) {
+  for (size_t value_size : {size_t(10), size_t(5000)}) {
+    MerklePatriciaTrie a, b;
+    Rng rng(71);
+    std::vector<std::pair<std::string, std::string>> kvs;
+    for (int i = 0; i < 64; i++) {
+      kvs.emplace_back("acct" + std::to_string(i), rng.Bytes(value_size));
+    }
+    for (const auto& [k, v] : kvs) {
+      ASSERT_TRUE(a.Put(k, v).ok());
+      ASSERT_TRUE(b.Put(k, v).ok());
+    }
+    ASSERT_EQ(a.RootDigest(), b.RootDigest());
+    for (const auto& [k, v] : kvs) {
+      MerklePatriciaTrie::Proof proof;
+      ASSERT_TRUE(a.Prove(k, &proof).ok());
+      EXPECT_TRUE(VerifyMptProof(a.RootDigest(), k, v, proof)) << k;
+      EXPECT_FALSE(VerifyMptProof(b.RootDigest(), k, "tampered", proof));
+    }
+  }
+}
+
 TEST(MptTest, RootIsOrderIndependent) {
   // The defining property of an authenticated *index*: the digest commits to
   // the content, not the insertion history.

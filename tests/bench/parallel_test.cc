@@ -1,0 +1,88 @@
+#include "bench/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace dicho::bench {
+namespace {
+
+TEST(RunSweepTest, ResultsInConfigOrder) {
+  std::vector<int> configs;
+  for (int i = 0; i < 64; i++) configs.push_back(i);
+  // Vary per-config duration so completion order differs from config order.
+  auto result = RunSweep(configs, [](int c) {
+    std::this_thread::sleep_for(std::chrono::microseconds((c * 37) % 500));
+    return c * c;
+  });
+  ASSERT_EQ(result.size(), configs.size());
+  for (int i = 0; i < 64; i++) EXPECT_EQ(result[i], i * i);
+}
+
+TEST(RunSweepTest, EmptyAndSingle) {
+  EXPECT_TRUE(RunSweep(std::vector<int>{}, [](int c) { return c; }).empty());
+  auto one = RunSweep(std::vector<int>{7}, [](int c) { return c + 1; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 8);
+}
+
+TEST(RunSweepTest, RunsConcurrentlyWhenThreadsAvailable) {
+  if (SweepThreads() < 2) GTEST_SKIP() << "single hardware thread";
+  std::atomic<int> inflight{0};
+  std::atomic<int> peak{0};
+  std::vector<int> configs(8, 0);
+  RunSweep(configs, [&](int) {
+    int now = ++inflight;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    --inflight;
+    return 0;
+  });
+  EXPECT_GT(peak.load(), 1);
+}
+
+// The acceptance property for converting the fig*/table* binaries: a
+// fig04-style sweep (independent sealed Worlds, one system each) must
+// produce results through RunSweep identical to the plain serial loop.
+TEST(RunSweepTest, DeterministicSmallFig04StyleSweep) {
+  struct Config {
+    uint32_t nodes;
+    uint64_t seed;
+  };
+  // Tiny scale: enough virtual time for a few hundred commits per cell.
+  auto run_cell = [](const Config& config) {
+    World w(config.seed);
+    auto etcd = MakeEtcd(&w, config.nodes);
+    workload::YcsbConfig wcfg;
+    wcfg.record_size = 100;
+    BenchScale scale;
+    scale.record_count = 200;
+    scale.clients = 20;
+    scale.warmup = 200 * sim::kMs;
+    scale.measure = 1 * sim::kSec;
+    auto m = RunYcsb(&w, etcd.get(), wcfg, scale);
+    return m.throughput_tps;
+  };
+  const std::vector<Config> configs = {{3, 1}, {5, 2}, {3, 7}, {5, 7}};
+
+  std::vector<double> serial;
+  for (const auto& config : configs) serial.push_back(run_cell(config));
+  std::vector<double> parallel = RunSweep(configs, run_cell);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); i++) {
+    EXPECT_EQ(parallel[i], serial[i]) << "config " << i;
+    EXPECT_GT(serial[i], 0.0) << "config " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dicho::bench

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 namespace dicho::crypto {
 namespace {
 
@@ -58,6 +62,60 @@ TEST(Sha256Test, ResetReuses) {
   h.Reset();
   h.Update("abc");
   EXPECT_EQ(h.Finish(), first);
+}
+
+// The one-shot fast path, the incremental path, and odd-boundary chunked
+// updates must agree for every size straddling the block/padding structure,
+// so the dispatched (SHA-NI or portable) fast paths can't drift.
+TEST(Sha256Test, OneShotIncrementalChunkedEquivalence) {
+  std::string msg;
+  msg.reserve(5000);
+  for (size_t i = 0; i < 5000; i++) {
+    msg.push_back(static_cast<char>((i * 131 + 89) & 0xFF));
+  }
+  // All sizes through two blocks, then strides across the paper's value
+  // range up to 5000 B.
+  std::vector<size_t> sizes;
+  for (size_t n = 0; n <= 130; n++) sizes.push_back(n);
+  for (size_t n = 131; n <= 5000; n += 97) sizes.push_back(n);
+  sizes.push_back(5000);
+
+  for (size_t n : sizes) {
+    Slice data(msg.data(), n);
+    Digest oneshot = Sha256Hash(data);
+    EXPECT_EQ(Sha256Of(data), oneshot) << "n=" << n;
+
+    // Whole-message incremental.
+    Sha256 h;
+    h.Update(data);
+    EXPECT_EQ(h.Finish(), oneshot) << "n=" << n;
+
+    // Chunked at odd boundaries (prime stride, never block-aligned).
+    Sha256 hc;
+    size_t off = 0;
+    for (size_t chunk = 1; off < n; chunk = chunk * 2 + 3) {
+      size_t take = std::min(chunk, n - off);
+      hc.Update(msg.data() + off, take);
+      off += take;
+    }
+    EXPECT_EQ(hc.Finish(), oneshot) << "chunked n=" << n;
+  }
+}
+
+// NIST CAVS-style extra vector: 448-bit two-block message digested
+// incrementally byte-by-byte.
+TEST(Sha256Test, ByteAtATime) {
+  std::string msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  Sha256 h;
+  for (char c : msg) h.Update(&c, 1);
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, PairMatchesConcatenation) {
+  Digest a = Sha256Of("left"), b = Sha256Of("right");
+  std::string cat = DigestBytes(a) + DigestBytes(b);
+  EXPECT_EQ(Sha256Pair(a, b), Sha256Of(cat));
 }
 
 TEST(Sha256Test, PairHashOrderMatters) {
