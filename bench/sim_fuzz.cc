@@ -1,0 +1,248 @@
+// Simulation fuzzer: sweeps seeds through the deterministic fault-injection
+// scenarios in src/testing (nemesis schedules + safety invariant checkers)
+// and prints a one-line repro command for any violating seed. Re-running
+// that command replays the identical world — the whole stack (simulator,
+// network, schedules, workloads) is seed-deterministic.
+//
+//   sim_fuzz --seeds 200                     sweep all scenarios, seeds 1..200
+//   sim_fuzz --scenario raft_partition ...   sweep one scenario
+//   sim_fuzz --scenario X --seed 17          replay one run, print its schedule
+//   sim_fuzz --bug pbft-no-quorum ...        enable a deliberate safety bug
+//   sim_fuzz --expect-violation ...          invert the exit code (CI canary:
+//                                            the injected bug must be caught)
+//   sim_fuzz --list                          print scenarios and bugs
+//
+// Sweeps run in parallel via bench/parallel.h (DICHO_BENCH_THREADS); each
+// run is a sealed world, so results are identical to the serial loop.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "parallel.h"
+#include "testing/harness.h"
+
+namespace dicho::bench {
+namespace {
+
+using testing::AllScenarios;
+using testing::BugInjection;
+using testing::BugName;
+using testing::FindScenario;
+using testing::ParseBugName;
+using testing::RunScenario;
+using testing::Scenario;
+using testing::ScenarioOptions;
+using testing::ScenarioResult;
+
+struct Args {
+  uint64_t seeds = 100;
+  uint64_t start_seed = 1;
+  bool single_seed = false;
+  uint64_t seed = 0;
+  std::string scenario = "all";
+  BugInjection bug = BugInjection::kNone;
+  bool expect_violation = false;
+  bool list = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: sim_fuzz [--seeds N] [--start-seed S0] "
+               "[--scenario NAME|all] [--seed S] [--bug NAME] "
+               "[--expect-violation] [--list]\n");
+}
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = value();
+      if (!v) return false;
+      args->seeds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--start-seed") {
+      const char* v = value();
+      if (!v) return false;
+      args->start_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      args->single_seed = true;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scenario") {
+      const char* v = value();
+      if (!v) return false;
+      args->scenario = v;
+    } else if (arg == "--bug") {
+      const char* v = value();
+      if (!v || !ParseBugName(v, &args->bug)) {
+        std::fprintf(stderr, "sim_fuzz: unknown bug '%s'\n", v ? v : "");
+        return false;
+      }
+    } else if (arg == "--expect-violation") {
+      args->expect_violation = true;
+    } else if (arg == "--list") {
+      args->list = true;
+    } else {
+      std::fprintf(stderr, "sim_fuzz: unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ReproCommand(const ScenarioResult& result) {
+  std::string cmd = "sim_fuzz --scenario " + result.scenario + " --seed " +
+                    std::to_string(result.seed);
+  if (result.bug != BugInjection::kNone) {
+    cmd += std::string(" --bug ") + BugName(result.bug);
+  }
+  return cmd;
+}
+
+void PrintViolations(const ScenarioResult& result) {
+  for (const auto& violation : result.report.violations()) {
+    std::printf("  [%s] %s\n", violation.invariant.c_str(),
+                violation.detail.c_str());
+  }
+}
+
+int RunSingle(const Args& args) {
+  const Scenario* scenario = FindScenario(args.scenario);
+  if (scenario == nullptr) {
+    std::fprintf(stderr,
+                 "sim_fuzz: --seed replay needs a concrete --scenario "
+                 "(got '%s'); see --list\n",
+                 args.scenario.c_str());
+    return 2;
+  }
+  ScenarioOptions options{args.seed, args.bug};
+  ScenarioResult result = RunScenario(*scenario, options);
+  std::printf("scenario %s seed %llu bug %s\n", result.scenario.c_str(),
+              static_cast<unsigned long long>(result.seed),
+              BugName(result.bug));
+  std::printf("fault schedule:\n%s", result.schedule.c_str());
+  std::printf("progress %llu, %llu simulator events\n",
+              static_cast<unsigned long long>(result.progress),
+              static_cast<unsigned long long>(result.sim_events));
+  if (result.ok()) {
+    std::printf("PASS: all invariants held\n");
+  } else {
+    std::printf("VIOLATION:\n");
+    PrintViolations(result);
+  }
+  bool failed = args.expect_violation ? result.ok() : !result.ok();
+  return failed ? 1 : 0;
+}
+
+int RunSweepMode(const Args& args) {
+  std::vector<const Scenario*> scenarios;
+  if (args.scenario == "all") {
+    for (const Scenario& s : AllScenarios()) scenarios.push_back(&s);
+  } else {
+    const Scenario* s = FindScenario(args.scenario);
+    if (s == nullptr) {
+      std::fprintf(stderr, "sim_fuzz: unknown scenario '%s'; see --list\n",
+                   args.scenario.c_str());
+      return 2;
+    }
+    scenarios.push_back(s);
+  }
+
+  struct Cell {
+    const Scenario* scenario;
+    uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (const Scenario* scenario : scenarios) {
+    for (uint64_t i = 0; i < args.seeds; i++) {
+      cells.push_back({scenario, args.start_seed + i});
+    }
+  }
+  const BugInjection bug = args.bug;
+  std::vector<ScenarioResult> results =
+      RunSweep(cells, [bug](const Cell& cell) {
+        return RunScenario(*cell.scenario, ScenarioOptions{cell.seed, bug});
+      });
+
+  uint64_t violations = 0;
+  size_t i = 0;
+  for (const Scenario* scenario : scenarios) {
+    uint64_t bad = 0;
+    uint64_t progress = 0;
+    for (uint64_t s = 0; s < args.seeds; s++) {
+      const ScenarioResult& result = results[i++];
+      progress += result.progress;
+      if (result.ok()) continue;
+      bad++;
+      if (bad <= 5) {  // keep the log bounded; every seed reproduces alone
+        std::printf("VIOLATION in %s seed %llu — repro: %s\n",
+                    result.scenario.c_str(),
+                    static_cast<unsigned long long>(result.seed),
+                    ReproCommand(result).c_str());
+        PrintViolations(result);
+      }
+    }
+    if (bad > 5) {
+      std::printf("  ... and %llu more violating seeds in %s\n",
+                  static_cast<unsigned long long>(bad - 5),
+                  scenario->name.c_str());
+    }
+    violations += bad;
+    std::printf("%-22s %llu seeds, %llu violations, total progress %llu\n",
+                scenario->name.c_str(),
+                static_cast<unsigned long long>(args.seeds),
+                static_cast<unsigned long long>(bad),
+                static_cast<unsigned long long>(progress));
+  }
+
+  if (args.expect_violation) {
+    if (violations == 0) {
+      std::printf("FAIL: expected the injected bug (%s) to be caught, but "
+                  "every seed passed\n",
+                  BugName(args.bug));
+      return 1;
+    }
+    std::printf("OK: injected bug caught in %llu run(s)\n",
+                static_cast<unsigned long long>(violations));
+    return 0;
+  }
+  if (violations > 0) {
+    std::printf("FAIL: %llu violating run(s)\n",
+                static_cast<unsigned long long>(violations));
+    return 1;
+  }
+  std::printf("OK: %zu runs, all invariants held\n", results.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  if (args.list) {
+    std::printf("scenarios:\n");
+    for (const Scenario& scenario : AllScenarios()) {
+      std::printf("  %-22s %s\n", scenario.name.c_str(),
+                  scenario.description.c_str());
+    }
+    std::printf("bugs: none raft-no-quorum pbft-no-quorum\n");
+    return 0;
+  }
+  if (args.single_seed) return RunSingle(args);
+  return RunSweepMode(args);
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main(int argc, char** argv) {
+  return dicho::bench::Main(argc, argv);
+}

@@ -146,6 +146,9 @@ void BftNode::HandlePrePrepare(NodeId from, uint64_t view, uint64_t seq,
   if (from != primary()) return;  // only the primary proposes
   Instance& inst = instances_[seq];
   if (!inst.digest.empty() && inst.view == view) return;  // first one wins
+  // A locally-committed slot is final; a later view's re-proposal of the
+  // same request is redundant and a conflicting one must not clobber it.
+  if (inst.committed) return;
   inst.cmd = cmd;
   inst.digest = digest;
   inst.view = view;
@@ -162,8 +165,12 @@ void BftNode::HandlePrePrepare(NodeId from, uint64_t view, uint64_t seq,
 void BftNode::CheckProgress(uint64_t view, uint64_t seq) {
   Instance& inst = instances_[seq];
   if (inst.digest.empty() || inst.view != view) return;
-  if (!inst.prepared && inst.prepares[inst.digest].size() >= 2 * f()) {
+  const size_t need_prepares =
+      config_.unsafe_skip_prepare_quorum ? 0 : 2 * f();
+  const size_t need_commits = config_.unsafe_skip_prepare_quorum ? 1 : Quorum();
+  if (!inst.prepared && inst.prepares[inst.digest].size() >= need_prepares) {
     inst.prepared = true;
+    prepared_backlog_[seq] = inst.cmd;
     if (!inst.sent_commit) {
       inst.sent_commit = true;
       std::string digest = inst.digest;
@@ -172,7 +179,7 @@ void BftNode::CheckProgress(uint64_t view, uint64_t seq) {
       });
     }
   }
-  if (!inst.committed && inst.commits[inst.digest].size() >= Quorum()) {
+  if (!inst.committed && inst.commits[inst.digest].size() >= need_commits) {
     inst.committed = true;
     MaybeExecute();
   }
@@ -202,6 +209,8 @@ void BftNode::MaybeExecute() {
     Instance& inst = it->second;
     last_executed_ = seq;
     executed_log_[seq] = inst.cmd;
+    prepared_backlog_.erase(seq);
+    if (inst.cmd.empty()) continue;  // null fill: advances seq, applies nothing
     executed_digests_.insert(DigestOf(inst.cmd));
     if (apply_) apply_(seq, inst.cmd);
     auto sub = pending_subs_.find(inst.digest);
@@ -212,29 +221,109 @@ void BftNode::MaybeExecute() {
   }
 }
 
+void BftNode::RequestStateTransfer() {
+  uint64_t after = last_executed_;
+  Broadcast(kCtrlMsgBytes, [me = id_, after](BftNode* n) {
+    n->HandleStateRequest(me, after);
+  });
+}
+
+void BftNode::HandleStateRequest(NodeId from, uint64_t after_seq) {
+  if (crashed_ || from == id_ || last_executed_ <= after_seq) return;
+  std::map<uint64_t, std::string> chunk;
+  uint64_t bytes = kCtrlMsgBytes;
+  for (uint64_t seq = after_seq + 1; seq <= last_executed_; seq++) {
+    auto it = executed_log_.find(seq);
+    if (it == executed_log_.end() || chunk.size() >= 64) break;
+    chunk[seq] = it->second;
+    bytes += 16 + it->second.size();
+  }
+  BftNode* target = group_.at(from);
+  net_->Send(id_, from, bytes, [target, me = id_, chunk] {
+    target->Charge([target, me, chunk] { target->HandleStateReply(me, chunk); });
+  });
+}
+
+void BftNode::HandleStateReply(NodeId from,
+                               const std::map<uint64_t, std::string>& entries) {
+  if (crashed_) return;
+  transfer_votes_.erase(transfer_votes_.begin(),
+                        transfer_votes_.upper_bound(last_executed_));
+  for (const auto& [seq, cmd] : entries) {
+    if (seq > last_executed_) transfer_votes_[seq][cmd].insert(from);
+  }
+  bool advanced = false;
+  while (true) {
+    auto it = transfer_votes_.find(last_executed_ + 1);
+    if (it == transfer_votes_.end()) break;
+    const std::string* winner = nullptr;
+    for (const auto& [cmd, senders] : it->second) {
+      if (senders.size() >= f() + 1) {
+        winner = &cmd;
+        break;
+      }
+    }
+    if (winner == nullptr) break;
+    uint64_t seq = it->first;
+    std::string cmd = *winner;
+    transfer_votes_.erase(it);
+    last_executed_ = seq;
+    executed_log_[seq] = cmd;
+    prepared_backlog_.erase(seq);
+    advanced = true;
+    if (cmd.empty()) continue;  // adopted null fill
+    std::string digest = DigestOf(cmd);
+    executed_digests_.insert(digest);
+    if (apply_) apply_(seq, cmd);
+    auto sub = pending_subs_.find(digest);
+    if (sub != pending_subs_.end()) {
+      if (sub->second.cb) sub->second.cb(Status::Ok(), seq);
+      pending_subs_.erase(sub);
+    }
+  }
+  // The gap may have closed onto locally-committed instances.
+  if (advanced) MaybeExecute();
+}
+
 void BftNode::ArmViewChangeTimer() {
+  // Keep the earliest outstanding deadline: re-arming on every new request
+  // would push the timeout back forever under continuous load, so a faulty
+  // primary would never be voted out (a replica only needs *some* pending
+  // request to stay unexecuted for a full window).
+  if (timer_armed_) return;
+  timer_armed_ = true;
   uint64_t epoch = ++timer_epoch_;
   uint64_t executed_snapshot = last_executed_;
   sim_->Schedule(config_.view_change_timeout, [this, epoch,
                                                executed_snapshot] {
-    if (crashed_ || epoch != timer_epoch_) return;
-    if (pending_subs_.empty()) return;
+    if (epoch != timer_epoch_) return;  // superseded (view entered / crash)
+    timer_armed_ = false;
+    if (crashed_ || pending_subs_.empty()) return;
     if (last_executed_ > executed_snapshot) {
       // Progress is being made; re-arm and keep waiting.
       ArmViewChangeTimer();
       return;
     }
+    // We may be stalled on a sequence gap the rest of the group already
+    // executed past (missed new-view pre-prepare) rather than on a faulty
+    // primary — try to catch up while also rotating the view.
+    RequestStateTransfer();
     StartViewChange(view_ + 1);
   });
 }
 
 void BftNode::StartViewChange(uint64_t new_view) {
   if (new_view <= view_) return;
+  // Never regress to a lower target; re-voting the same target is allowed
+  // (the timer path re-broadcasts, which doubles as retransmission when the
+  // original votes were dropped).
+  if (in_view_change_ && new_view < view_change_target_) return;
   in_view_change_ = true;
+  view_change_target_ = new_view;
   view_changes_++;
   std::map<uint64_t, std::string> prepared;
-  for (const auto& [seq, inst] : instances_) {
-    if (seq > last_executed_ && inst.prepared) prepared[seq] = inst.cmd;
+  for (const auto& [seq, cmd] : prepared_backlog_) {
+    if (seq > last_executed_) prepared[seq] = cmd;
   }
   Broadcast(kCtrlMsgBytes + 64 * prepared.size(),
             [me = id_, new_view, prepared](BftNode* n) {
@@ -254,8 +343,13 @@ void BftNode::HandleViewChange(
   if (view_change_votes_[new_view].size() >= Quorum()) {
     EnterView(new_view);
   } else if (view_change_votes_[new_view].size() >= f() + 1 &&
-             !in_view_change_) {
+             (!in_view_change_ || new_view > view_change_target_)) {
     // Join an in-progress view change (avoids waiting for our own timer).
+    // A replica stuck in an *abandoned* lower view change must still join a
+    // higher one — otherwise nodes that missed a view's quorum keep voting
+    // for a view the rest of the group has moved past, the group splinters
+    // across views, and no future view change can ever reach 2f+1 votes (a
+    // permanent wedge the fuzzer found under loss bursts plus churn).
     StartViewChange(new_view);
   }
 }
@@ -264,17 +358,33 @@ void BftNode::EnterView(uint64_t new_view) {
   view_ = new_view;
   in_view_change_ = false;
   timer_epoch_++;  // cancel stale timers
+  timer_armed_ = false;
   if (!pending_subs_.empty()) ArmViewChangeTimer();
 
-  uint64_t max_seq = last_executed_;
-  for (const auto& [seq, inst] : instances_) max_seq = std::max(max_seq, seq);
   const auto merged = view_change_prepared_[new_view];
 
   if (IsPrimary()) {
+    // The new view's sequence numbering restarts right after everything that
+    // can possibly have committed: executed/committed slots plus the merged
+    // prepared set. Slots above that were never prepared at a quorum (or
+    // they would be in `merged`), so nothing committed there and their
+    // numbers are free for reuse. Deriving next_seq_ from the raw local
+    // instance max instead inflates the sequence space every view — each
+    // re-proposal round appends at ever-higher seqs, the growing gap must
+    // be null-filled and executed sequentially, and the execution frontier
+    // never catches the proposal frontier (a livelock the fuzzer found
+    // under an equivocating primary plus churn).
+    uint64_t max_seq = last_executed_;
+    for (const auto& [seq, inst] : instances_) {
+      if (inst.committed) max_seq = std::max(max_seq, seq);
+    }
     for (const auto& [seq, cmd] : merged) max_seq = std::max(max_seq, seq);
     next_seq_ = max_seq + 1;
-    // Re-propose prepared-but-unexecuted requests at their original seqs.
+    // Re-propose prepared-but-unexecuted requests at their original seqs,
+    // and record their digests so a client retry or pending-request
+    // re-forward cannot allocate the same request a second, higher seq.
     for (const auto& [seq, cmd] : merged) {
+      proposed_digests_.insert(DigestOf(cmd));
       if (seq <= last_executed_) continue;
       uint64_t view = view_;
       std::string digest = DigestOf(cmd);
@@ -284,6 +394,23 @@ void BftNode::EnterView(uint64_t new_view) {
                 [me = id_, view, seq, digest, cmd](BftNode* n) {
                   n->HandlePrePrepare(me, view, seq, digest, cmd);
                 });
+    }
+    // Fill the sequence gaps the old view left (pre-prepares that never
+    // reached a prepare quorum, e.g. under an equivocating primary) with
+    // null requests — PBFT's new-view rule. Execution is strictly
+    // sequential, so an unfilled gap would wedge every seq above it
+    // forever. Safe because anything that committed anywhere is prepared
+    // at 2f+1 replicas and therefore carried in `merged`.
+    for (uint64_t seq = last_executed_ + 1; seq < next_seq_; seq++) {
+      if (merged.count(seq) > 0) continue;
+      auto inst_it = instances_.find(seq);
+      if (inst_it != instances_.end() && inst_it->second.committed) continue;
+      uint64_t view = view_;
+      std::string digest = DigestOf("");
+      instances_[seq] = Instance{};
+      Broadcast(kCtrlMsgBytes, [me = id_, view, seq, digest](BftNode* n) {
+        n->HandlePrePrepare(me, view, seq, digest, "");
+      });
     }
     // Drain queued and pending submissions.
     auto queued = std::move(queued_);
@@ -298,18 +425,26 @@ void BftNode::EnterView(uint64_t new_view) {
     }
   }
   // Re-forward pending requests to the new primary (it dedups by digest).
-  for (auto& [digest, sub] : pending_subs_) {
-    ForwardToPrimary(sub.cmd);
-  }
+  // Snapshot the commands first: if we are the primary the forward proposes
+  // synchronously, and a proposal that reaches execution in the same call
+  // chain erases its entry from pending_subs_ mid-iteration.
+  std::vector<std::string> pending;
+  pending.reserve(pending_subs_.size());
+  for (const auto& [digest, sub] : pending_subs_) pending.push_back(sub.cmd);
+  for (std::string& cmd : pending) ForwardToPrimary(std::move(cmd));
 }
 
 void BftNode::Crash() {
   crashed_ = true;
   net_->SetNodeDown(id_, true);
   for (auto& [digest, sub] : pending_subs_) {
-    sub.cb(Status::Unavailable("node crashed"), 0);
+    // NoteRequest entries carry no client callback (replicas tracking a
+    // request they saw relayed), so cb may be empty here.
+    if (sub.cb) sub.cb(Status::Unavailable("node crashed"), 0);
   }
   pending_subs_.clear();
+  timer_epoch_++;  // cancel outstanding view-change timers
+  timer_armed_ = false;
   cpu_.ResetBacklog();
 }
 

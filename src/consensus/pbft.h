@@ -38,6 +38,14 @@ struct BftConfig {
   /// Overrides the fault threshold derived from n (= (n-1)/3). AHL uses
   /// trusted hardware to run 2f+1-sized shards, e.g. n = 3 with f = 1.
   int forced_f = -1;
+  /// TESTING ONLY — deliberately broken quorum rule: a replica treats an
+  /// accepted pre-prepare as prepared immediately (skipping the 2f matching
+  /// prepares) and commits on its first commit vote (skipping the 2f+1
+  /// commit quorum). Under an equivocating primary this executes divergent
+  /// commands; the simulation-test harness uses it to prove its agreement
+  /// and validity checkers catch real safety bugs. Never enable outside
+  /// tests.
+  bool unsafe_skip_prepare_quorum = false;
 };
 
 /// Practical Byzantine Fault Tolerance (Castro & Liskov) replica for a group
@@ -90,6 +98,9 @@ class BftNode {
   const std::string& ExecutedEntry(uint64_t seq) const {
     return executed_log_.at(seq);
   }
+  /// Whether seq has executed on this node (invariant checkers probe this
+  /// before ExecutedEntry so a gap reports instead of throwing).
+  bool HasExecuted(uint64_t seq) const { return executed_log_.count(seq) > 0; }
 
  private:
   struct Instance {
@@ -124,6 +135,18 @@ class BftNode {
   void HandleCommit(NodeId from, uint64_t view, uint64_t seq,
                     const std::string& digest);
   void MaybeExecute();
+  // State transfer (PBFT checkpoint/catch-up, simplified): a replica that is
+  // stalled behind the cluster asks peers for executed entries above its own
+  // last_executed and adopts a slot once f+1 replies agree on it — at least
+  // one of any f+1 replicas is correct, so the matching value is the
+  // committed one. Without this, a replica that misses a new-view
+  // pre-prepare can never execute past the gap (execution is strictly
+  // sequential), and f+1 such stragglers keep timing out and drag the whole
+  // group through endless view changes.
+  void RequestStateTransfer();
+  void HandleStateRequest(NodeId from, uint64_t after_seq);
+  void HandleStateReply(NodeId from,
+                        const std::map<uint64_t, std::string>& entries);
   void ArmViewChangeTimer();
   void StartViewChange(uint64_t new_view);
   void HandleViewChange(NodeId from, uint64_t new_view,
@@ -147,9 +170,20 @@ class BftNode {
   bool crashed_ = false;
   bool equivocate_ = false;
   bool in_view_change_ = false;
+  uint64_t view_change_target_ = 0;  // view we last voted to change into
 
   std::map<uint64_t, Instance> instances_;        // seq -> state
+  // Prepared certificates (PBFT's P set): seq -> cmd for every request this
+  // replica has prepared but not yet executed. Unlike the per-view Instance
+  // state — which is reset when a view change re-proposes the slot — this
+  // survives across any number of failed views and is what StartViewChange
+  // reports. Dropping a certificate just because an intermediate view made
+  // no progress (e.g. its primary was crashed) loses committed-elsewhere
+  // requests and breaks agreement.
+  std::map<uint64_t, std::string> prepared_backlog_;
   std::map<uint64_t, std::string> executed_log_;  // seq -> cmd
+  // State-transfer tally: seq -> claimed cmd -> replicas claiming it.
+  std::map<uint64_t, std::map<std::string, std::set<NodeId>>> transfer_votes_;
   // digest -> submission waiting to execute on this node.
   std::map<std::string, PendingSubmission> pending_subs_;
   std::set<std::string> proposed_digests_;  // primary dedup (this node)
@@ -159,6 +193,7 @@ class BftNode {
   std::map<uint64_t, std::set<NodeId>> view_change_votes_;
   std::map<uint64_t, std::map<uint64_t, std::string>> view_change_prepared_;
   uint64_t timer_epoch_ = 0;
+  bool timer_armed_ = false;  // an un-superseded timer event is outstanding
 };
 
 /// Builds a wired BFT group of n nodes (n should be 3f+1).

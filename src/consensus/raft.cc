@@ -154,7 +154,7 @@ void RaftNode::Propose(std::string cmd, CommitCallback cb) {
   uint64_t index = log_.size();
   pending_[index] = std::move(cb);
   ScheduleFlush();
-  if (peers_.empty()) {
+  if (peers_.empty() || config_.unsafe_commit_without_quorum) {
     commit_index_ = log_.size();
     ApplyCommitted();
   }

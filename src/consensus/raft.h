@@ -30,6 +30,12 @@ struct RaftConfig {
   size_t max_batch = 2000;
   /// Cap on one AppendEntries payload (etcd's max message size idiom).
   uint64_t max_batch_bytes = 1ull << 20;
+  /// TESTING ONLY — deliberately broken commit rule: the leader commits and
+  /// applies an entry the moment it is appended locally, without waiting for
+  /// majority replication. Used by the simulation-test harness to validate
+  /// that its invariant checkers catch real safety bugs (state-machine
+  /// divergence after partitions/crashes). Never enable outside tests.
+  bool unsafe_commit_without_quorum = false;
 };
 
 enum class RaftRole { kFollower, kCandidate, kLeader };
@@ -87,6 +93,8 @@ class RaftNode {
   const std::string& CommittedEntry(uint64_t index) const {
     return log_[index - 1].cmd;
   }
+  /// Term of the entry at 1-based log index (invariant checkers).
+  uint64_t EntryTerm(uint64_t index) const { return log_[index - 1].term; }
 
  private:
   struct LogEntry {

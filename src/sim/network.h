@@ -58,6 +58,10 @@ class SimNetwork {
   void HealPartition();
 
   void set_drop_rate(double p) { config_.drop_rate = p; }
+  /// Jitter/latency spikes (nemesis fault injection): applies to messages
+  /// sent after the change; in-flight messages keep their sampled delay.
+  void set_jitter(Time jitter_us) { config_.jitter_us = jitter_us; }
+  void set_base_latency(Time latency_us) { config_.base_latency_us = latency_us; }
 
   /// Statistics --------------------------------------------------------------
   uint64_t messages_sent() const { return messages_sent_; }

@@ -1,0 +1,510 @@
+#include "testing/harness.h"
+
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "adt/mpt.h"
+#include "consensus/pbft.h"
+#include "consensus/raft.h"
+#include "core/types.h"
+#include "ledger/ledger.h"
+#include "sim/cost_model.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "systems/quorum.h"
+#include "testing/nemesis.h"
+#include "testing/serializability.h"
+
+namespace dicho::testing {
+
+const char* BugName(BugInjection bug) {
+  switch (bug) {
+    case BugInjection::kNone:
+      return "none";
+    case BugInjection::kRaftCommitWithoutQuorum:
+      return "raft-no-quorum";
+    case BugInjection::kPbftSkipPrepareQuorum:
+      return "pbft-no-quorum";
+  }
+  return "none";
+}
+
+bool ParseBugName(const std::string& name, BugInjection* out) {
+  for (BugInjection bug :
+       {BugInjection::kNone, BugInjection::kRaftCommitWithoutQuorum,
+        BugInjection::kPbftSkipPrepareQuorum}) {
+    if (name == BugName(bug)) {
+      *out = bug;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<sim::NodeId> MakeIds(uint32_t n) {
+  std::vector<sim::NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+// --- Raft scenarios ---------------------------------------------------------
+
+ScenarioResult RunRaftScenario(const ScenarioOptions& options,
+                               const ScheduleConfig& sched) {
+  ScenarioResult result;
+  sim::Simulator sim(options.seed);
+  sim::SimNetwork net(&sim, sim::NetworkConfig{});
+  sim::CostModel costs;
+
+  consensus::RaftConfig config;
+  config.unsafe_commit_without_quorum =
+      options.bug == BugInjection::kRaftCommitWithoutQuorum;
+
+  RaftInvariantChecker* checker = nullptr;
+  auto cluster = consensus::RaftCluster::Create(
+      &sim, &net, &costs, MakeIds(sched.num_nodes), config,
+      [&checker](sim::NodeId node, uint64_t index, const std::string& cmd) {
+        if (checker != nullptr) checker->OnApply(node, index, cmd);
+      });
+  RaftInvariantChecker check(cluster->all());
+  checker = &check;
+
+  Nemesis::Hooks hooks;
+  hooks.crash = [&](sim::NodeId id) {
+    net.SetNodeDown(id, true);
+    cluster->node(id)->Crash();
+  };
+  hooks.restart = [&](sim::NodeId id) {
+    net.SetNodeDown(id, false);
+    cluster->node(id)->Restart();
+  };
+  Nemesis nemesis(&sim, &net, std::move(hooks));
+  FaultSchedule schedule = GenerateSchedule(options.seed, sched);
+  nemesis.Arm(schedule);
+  cluster->StartAll();
+
+  uint64_t next_cmd = 0;
+  std::function<void()> client = [&] {
+    for (consensus::RaftNode* node : cluster->all()) {
+      if (node->IsLeader()) {
+        node->Propose("cmd-" + std::to_string(next_cmd++),
+                      [](Status, uint64_t) {});
+        break;
+      }
+    }
+    sim.Schedule(50 * sim::kMs, client);
+  };
+  sim.Schedule(10 * sim::kMs, client);
+  std::function<void()> observe = [&] {
+    check.Observe();
+    sim.Schedule(20 * sim::kMs, observe);
+  };
+  sim.Schedule(20 * sim::kMs, observe);
+
+  sim.RunUntil(sched.horizon);
+  check.CheckFinal();
+  result.report = *check.report();
+  result.progress = check.applied_total();
+  if (result.progress == 0) {
+    result.report.Add("liveness",
+                      "no node applied any command over the whole run "
+                      "(schedule guarantees a majority plus a quiet tail)");
+  }
+  result.sim_events = sim.executed_events();
+  result.schedule = schedule.ToString();
+  return result;
+}
+
+// --- PBFT scenarios ---------------------------------------------------------
+
+ScenarioResult RunBftScenario(const ScenarioOptions& options,
+                              const ScheduleConfig& sched,
+                              const std::set<sim::NodeId>& byzantine) {
+  ScenarioResult result;
+  sim::Simulator sim(options.seed);
+  sim::SimNetwork net(&sim, sim::NetworkConfig{});
+  sim::CostModel costs;
+
+  consensus::BftConfig config;
+  config.unsafe_skip_prepare_quorum =
+      options.bug == BugInjection::kPbftSkipPrepareQuorum;
+
+  BftInvariantChecker* checker = nullptr;
+  auto cluster = consensus::BftCluster::Create(
+      &sim, &net, &costs, MakeIds(sched.num_nodes), config,
+      [&checker](sim::NodeId node, uint64_t seq, const std::string& cmd) {
+        if (checker != nullptr) checker->OnApply(node, seq, cmd);
+      });
+  BftInvariantChecker check(cluster->all(), byzantine);
+  checker = &check;
+  for (sim::NodeId evil : byzantine) {
+    cluster->node(evil)->SetByzantineEquivocation(true);
+  }
+
+  Nemesis::Hooks hooks;
+  hooks.crash = [&](sim::NodeId id) {
+    net.SetNodeDown(id, true);
+    cluster->node(id)->Crash();
+  };
+  hooks.restart = [&](sim::NodeId id) {
+    net.SetNodeDown(id, false);
+    cluster->node(id)->Restart();
+  };
+  Nemesis nemesis(&sim, &net, std::move(hooks));
+  FaultSchedule schedule = GenerateSchedule(options.seed, sched);
+  nemesis.Arm(schedule);
+  cluster->StartAll();
+
+  uint64_t next_cmd = 0;
+  std::function<void()> client = [&] {
+    std::string cmd = "op-" + std::to_string(next_cmd++);
+    for (consensus::BftNode* node : cluster->all()) {
+      if (nemesis.IsDown(node->id()) || byzantine.count(node->id()) > 0) {
+        continue;
+      }
+      check.NoteSubmitted(cmd);
+      node->Submit(cmd, [](Status, uint64_t) {});
+      break;
+    }
+    sim.Schedule(60 * sim::kMs, client);
+  };
+  sim.Schedule(10 * sim::kMs, client);
+
+  sim.RunUntil(sched.horizon);
+  check.CheckFinal();
+  result.report = *check.report();
+  result.progress = check.executed_total();
+  if (result.progress == 0) {
+    result.report.Add("liveness",
+                      "no correct replica executed any command over the "
+                      "whole run (schedule keeps >= 2f+1 correct replicas "
+                      "up plus a quiet tail)");
+  }
+  result.sim_events = sim.executed_events();
+  result.schedule = schedule.ToString();
+  return result;
+}
+
+// --- Ledger pipeline --------------------------------------------------------
+
+// Each replica turns its Raft apply stream into hash-linked blocks over an
+// MPT-authenticated state (a miniature order-execute chain, Quorum-style),
+// so the ledger audits get exercised against consensus under faults.
+struct PipelineReplica {
+  uint64_t applied = 0;  // highest Raft index folded in (restart replays skip)
+  std::vector<std::string> buffer;
+  adt::MerklePatriciaTrie state;
+  ledger::Chain chain;
+};
+
+constexpr size_t kPipelineBlockTxns = 5;
+
+void SealPipelineBlock(sim::NodeId id, PipelineReplica* replica,
+                       InvariantReport* report) {
+  ledger::Block block;
+  block.header.number = replica->chain.height();
+  block.header.parent = replica->chain.TipDigest();
+  // Deterministic across replicas (wall-clock stamps would split the chain).
+  block.header.timestamp_us = block.header.number;
+  for (const std::string& cmd : replica->buffer) {
+    ledger::LedgerTxn txn;
+    txn.payload = cmd;
+    size_t eq = cmd.find('=');
+    txn.write_set.emplace_back(cmd.substr(0, eq), cmd.substr(eq + 1));
+    block.txns.push_back(std::move(txn));
+  }
+  replica->buffer.clear();
+  block.SealTxnRoot();
+  for (const auto& txn : block.txns) {
+    for (const auto& [key, value] : txn.write_set) {
+      replica->state.Put(key, value);
+    }
+  }
+  block.header.state_digest = replica->state.RootDigest();
+  Status s = replica->chain.Append(std::move(block));
+  if (!s.ok()) {
+    report->Add("ledger-verify", "node " + std::to_string(id) +
+                                     " failed to append its own block: " +
+                                     s.message());
+  }
+}
+
+ScenarioResult RunLedgerPipelineScenario(const ScenarioOptions& options,
+                                         const ScheduleConfig& sched) {
+  ScenarioResult result;
+  sim::Simulator sim(options.seed);
+  sim::SimNetwork net(&sim, sim::NetworkConfig{});
+  sim::CostModel costs;
+
+  consensus::RaftConfig config;
+  config.unsafe_commit_without_quorum =
+      options.bug == BugInjection::kRaftCommitWithoutQuorum;
+
+  std::map<sim::NodeId, PipelineReplica> replicas;
+  RaftInvariantChecker* checker = nullptr;
+  auto cluster = consensus::RaftCluster::Create(
+      &sim, &net, &costs, MakeIds(sched.num_nodes), config,
+      [&checker, &replicas, &result](sim::NodeId node, uint64_t index,
+                                     const std::string& cmd) {
+        if (checker != nullptr) checker->OnApply(node, index, cmd);
+        PipelineReplica& replica = replicas[node];
+        if (index <= replica.applied) return;  // post-restart replay
+        replica.applied = index;
+        replica.buffer.push_back(cmd);
+        if (replica.buffer.size() >= kPipelineBlockTxns) {
+          SealPipelineBlock(node, &replica, &result.report);
+        }
+      });
+  RaftInvariantChecker check(cluster->all());
+  checker = &check;
+
+  Nemesis::Hooks hooks;
+  hooks.crash = [&](sim::NodeId id) {
+    net.SetNodeDown(id, true);
+    cluster->node(id)->Crash();
+  };
+  hooks.restart = [&](sim::NodeId id) {
+    net.SetNodeDown(id, false);
+    cluster->node(id)->Restart();
+  };
+  Nemesis nemesis(&sim, &net, std::move(hooks));
+  FaultSchedule schedule = GenerateSchedule(options.seed, sched);
+  nemesis.Arm(schedule);
+  cluster->StartAll();
+
+  uint64_t next_cmd = 0;
+  std::function<void()> client = [&] {
+    for (consensus::RaftNode* node : cluster->all()) {
+      if (node->IsLeader()) {
+        std::string cmd = "acct" + std::to_string(next_cmd % 7) + "=v" +
+                          std::to_string(next_cmd);
+        next_cmd++;
+        node->Propose(std::move(cmd), [](Status, uint64_t) {});
+        break;
+      }
+    }
+    sim.Schedule(40 * sim::kMs, client);
+  };
+  sim.Schedule(10 * sim::kMs, client);
+
+  sim.RunUntil(sched.horizon);
+  check.CheckFinal();
+  result.report = *check.report();
+
+  std::vector<const ledger::Chain*> chains;
+  for (auto& [id, replica] : replicas) {
+    ledger_audit::AuditChain(replica.chain, "node " + std::to_string(id),
+                             &result.report);
+    chains.push_back(&replica.chain);
+  }
+  ledger_audit::CheckPrefixAgreement(chains, &result.report);
+  const ledger::Chain* longest = nullptr;
+  for (const ledger::Chain* chain : chains) {
+    if (longest == nullptr || chain->height() > longest->height()) {
+      longest = chain;
+    }
+  }
+  if (longest != nullptr) {
+    ledger_audit::CheckStateDigests(*longest, {}, &result.report);
+  }
+
+  result.progress = check.applied_total();
+  if (result.progress == 0) {
+    result.report.Add("liveness", "no node applied any command");
+  }
+  result.sim_events = sim.executed_events();
+  result.schedule = schedule.ToString();
+  return result;
+}
+
+// --- Full Quorum pipeline ---------------------------------------------------
+
+ScenarioResult RunQuorumScenario(const ScenarioOptions& options,
+                                 const ScheduleConfig& sched) {
+  ScenarioResult result;
+  sim::Simulator sim(options.seed);
+  sim::SimNetwork net(&sim, sim::NetworkConfig{});
+  sim::CostModel costs;
+
+  systems::QuorumConfig config;
+  config.num_nodes = sched.num_nodes;
+  config.consensus = systems::QuorumConsensus::kRaft;
+  config.block_interval = 150 * sim::kMs;
+  config.raft.unsafe_commit_without_quorum =
+      options.bug == BugInjection::kRaftCommitWithoutQuorum;
+  systems::QuorumSystem system(&sim, &net, &costs, config);
+  for (int i = 0; i < 6; i++) {
+    system.Load("acct" + std::to_string(i), "0");
+  }
+  system.Start();
+
+  // Network faults only: the Quorum pipeline does not expose node crashes.
+  Nemesis nemesis(&sim, &net, Nemesis::Hooks{});
+  FaultSchedule schedule = GenerateSchedule(options.seed, sched);
+  nemesis.Arm(schedule);
+
+  uint64_t next_txn = 0;
+  std::function<void()> client = [&] {
+    core::TxnRequest request;
+    request.txn_id = ++next_txn;
+    request.client_id = 7;
+    request.ops.push_back(
+        {core::OpType::kWrite, "acct" + std::to_string(next_txn % 6),
+         "v" + std::to_string(next_txn)});
+    system.Submit(request, [](const core::TxnResult&) {});
+    sim.Schedule(100 * sim::kMs, client);
+  };
+  sim.Schedule(10 * sim::kMs, client);
+
+  sim.RunUntil(sched.horizon);
+
+  std::vector<const ledger::Chain*> chains;
+  for (uint32_t i = 0; i < sched.num_nodes; i++) {
+    ledger_audit::AuditChain(system.chain_of(i), "node " + std::to_string(i),
+                             &result.report);
+    chains.push_back(&system.chain_of(i));
+  }
+  ledger_audit::CheckPrefixAgreement(chains, &result.report);
+
+  result.progress = system.stats().committed;
+  if (result.progress == 0) {
+    result.report.Add("liveness",
+                      "no transaction committed over the whole run "
+                      "(network heals in the quiet tail)");
+  }
+  result.sim_events = sim.executed_events();
+  result.schedule = schedule.ToString();
+  return result;
+}
+
+// --- Transaction serializability --------------------------------------------
+
+ScenarioResult RunTxnScenario(const ScenarioOptions& options) {
+  ScenarioResult result;
+  HistoryConfig config;
+  struct Scheme {
+    const char* name;
+    HistoryResult (*run)(uint64_t, const HistoryConfig&);
+  };
+  const Scheme schemes[] = {{"occ", RunOccHistory},
+                            {"mvcc", RunMvccHistory},
+                            {"lock-table", RunLockTableHistory}};
+  for (const Scheme& scheme : schemes) {
+    HistoryResult history = scheme.run(options.seed, config);
+    for (const std::string& error : history.errors) {
+      result.report.Add("txn-progress",
+                        std::string(scheme.name) + ": " + error);
+    }
+    std::string error;
+    if (!CheckSerialEquivalence({}, history.committed, &error)) {
+      result.report.Add("txn-serializability",
+                        std::string(scheme.name) + ": " + error);
+    }
+    result.progress += history.committed.size();
+  }
+  result.schedule = "(no nemesis: interleavings are drawn from the seed)";
+  return result;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& AllScenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"raft_crash_restart",
+       "5-node Raft under crash/restart faults (<=2 down at once)",
+       [](const ScenarioOptions& options) {
+         ScheduleConfig sched;
+         sched.num_nodes = 5;
+         sched.max_concurrent_down = 2;
+         sched.allow_partition = false;
+         sched.allow_drop = false;
+         sched.allow_jitter = false;
+         sched.horizon = 10 * sim::kSec;
+         return RunRaftScenario(options, sched);
+       }},
+      {"raft_partition",
+       "5-node Raft under the full nemesis menu: crashes, partitions, "
+       "message-drop bursts, jitter spikes",
+       [](const ScenarioOptions& options) {
+         ScheduleConfig sched;
+         sched.num_nodes = 5;
+         sched.max_concurrent_down = 2;
+         sched.horizon = 10 * sim::kSec;
+         return RunRaftScenario(options, sched);
+       }},
+      {"pbft_crash",
+       "4-node PBFT (f=1) under crash/restart, loss bursts and jitter",
+       [](const ScenarioOptions& options) {
+         ScheduleConfig sched;
+         sched.num_nodes = 4;
+         sched.max_concurrent_down = 1;
+         sched.allow_partition = false;
+         sched.max_drop_rate = 0.2;
+         sched.horizon = 8 * sim::kSec;
+         return RunBftScenario(options, sched, {});
+       }},
+      {"pbft_byzantine",
+       "7-node PBFT (f=2) with an equivocating replica 0, plus one "
+       "crash/restart budget and loss bursts",
+       [](const ScenarioOptions& options) {
+         ScheduleConfig sched;
+         sched.num_nodes = 7;
+         sched.max_concurrent_down = 1;
+         sched.allow_partition = false;
+         sched.max_drop_rate = 0.2;
+         sched.horizon = 8 * sim::kSec;
+         return RunBftScenario(options, sched, {0});
+       }},
+      {"ledger_pipeline",
+       "3-node Raft apply stream sealed into per-node hash-linked blocks "
+       "over MPT state; chains audited block by block",
+       [](const ScenarioOptions& options) {
+         ScheduleConfig sched;
+         sched.num_nodes = 3;
+         sched.max_concurrent_down = 1;
+         sched.allow_partition = false;
+         sched.allow_drop = false;
+         sched.allow_jitter = false;
+         sched.horizon = 8 * sim::kSec;
+         return RunLedgerPipelineScenario(options, sched);
+       }},
+      {"quorum_system",
+       "full Quorum (order-execute blockchain on Raft) under partitions, "
+       "loss bursts and jitter; per-node ledgers audited",
+       [](const ScenarioOptions& options) {
+         ScheduleConfig sched;
+         sched.num_nodes = 4;
+         sched.allow_crash = false;
+         sched.max_drop_rate = 0.3;
+         sched.horizon = 8 * sim::kSec;
+         sched.quiet_tail = 0.35;
+         return RunQuorumScenario(options, sched);
+       }},
+      {"txn_serializability",
+       "random OCC / MVCC / lock-table histories checked against a serial "
+       "oracle (final state certified by an audit txn)",
+       [](const ScenarioOptions& options) { return RunTxnScenario(options); }},
+  };
+  return kScenarios;
+}
+
+const Scenario* FindScenario(const std::string& name) {
+  for (const Scenario& scenario : AllScenarios()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+ScenarioResult RunScenario(const Scenario& scenario,
+                           const ScenarioOptions& options) {
+  ScenarioResult result = scenario.run(options);
+  result.scenario = scenario.name;
+  result.seed = options.seed;
+  result.bug = options.bug;
+  return result;
+}
+
+}  // namespace dicho::testing

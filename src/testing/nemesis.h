@@ -1,0 +1,89 @@
+#ifndef DICHO_TESTING_NEMESIS_H_
+#define DICHO_TESTING_NEMESIS_H_
+
+#include <functional>
+#include <set>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "testing/schedule.h"
+
+namespace dicho::testing {
+
+/// Applies a FaultSchedule to a running world: crash/restart go through the
+/// target's hooks (so protocol state is torn down the way the component
+/// models it), partitions/drops/jitter go straight to the SimNetwork. All
+/// actions are scheduled as simulator events, so the nemesis is as
+/// deterministic as everything else in the world.
+class Nemesis {
+ public:
+  struct Hooks {
+    std::function<void(sim::NodeId)> crash;
+    std::function<void(sim::NodeId)> restart;
+  };
+
+  Nemesis(sim::Simulator* sim, sim::SimNetwork* net, Hooks hooks)
+      : sim_(sim),
+        net_(net),
+        hooks_(std::move(hooks)),
+        default_drop_(net->config().drop_rate),
+        default_jitter_(net->config().jitter_us) {}
+
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Schedules every action. Call once, before running the simulator.
+  void Arm(const FaultSchedule& schedule) {
+    for (const auto& action : schedule.actions) {
+      sim_->ScheduleAt(action.at, [this, action] { Apply(action); });
+    }
+  }
+
+  bool IsDown(sim::NodeId node) const { return down_.count(node) > 0; }
+  uint64_t steps_applied() const { return steps_applied_; }
+
+ private:
+  void Apply(const FaultAction& action) {
+    steps_applied_++;
+    switch (action.kind) {
+      case FaultAction::Kind::kCrash:
+        down_.insert(action.node);
+        if (hooks_.crash) hooks_.crash(action.node);
+        break;
+      case FaultAction::Kind::kRestart:
+        down_.erase(action.node);
+        if (hooks_.restart) hooks_.restart(action.node);
+        break;
+      case FaultAction::Kind::kPartition:
+        net_->Partition(action.groups);
+        break;
+      case FaultAction::Kind::kHeal:
+        net_->HealPartition();
+        break;
+      case FaultAction::Kind::kDropStart:
+        net_->set_drop_rate(action.drop_rate);
+        break;
+      case FaultAction::Kind::kDropStop:
+        net_->set_drop_rate(default_drop_);
+        break;
+      case FaultAction::Kind::kJitterSpike:
+        net_->set_jitter(action.jitter_us);
+        break;
+      case FaultAction::Kind::kJitterRestore:
+        net_->set_jitter(default_jitter_);
+        break;
+    }
+  }
+
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  Hooks hooks_;
+  double default_drop_;
+  sim::Time default_jitter_;
+  std::set<sim::NodeId> down_;
+  uint64_t steps_applied_ = 0;
+};
+
+}  // namespace dicho::testing
+
+#endif  // DICHO_TESTING_NEMESIS_H_

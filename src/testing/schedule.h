@@ -1,0 +1,72 @@
+#ifndef DICHO_TESTING_SCHEDULE_H_
+#define DICHO_TESTING_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dicho::testing {
+
+/// One timed nemesis step. Which fields matter depends on `kind`.
+struct FaultAction {
+  enum class Kind {
+    kCrash,          // node
+    kRestart,        // node
+    kPartition,      // groups (replaces any existing partition)
+    kHeal,           //
+    kDropStart,      // drop_rate
+    kDropStop,       //
+    kJitterSpike,    // jitter_us
+    kJitterRestore,  //
+  };
+
+  sim::Time at = 0;
+  Kind kind = Kind::kCrash;
+  sim::NodeId node = 0;
+  std::vector<std::vector<sim::NodeId>> groups;
+  double drop_rate = 0;
+  sim::Time jitter_us = 0;
+
+  std::string ToString() const;
+};
+
+const char* FaultKindName(FaultAction::Kind kind);
+
+/// Knobs for random schedule generation. The defaults suit a small
+/// consensus group; scenarios tighten the budgets to what their protocol
+/// tolerates (e.g. at most f concurrently-crashed BFT replicas).
+struct ScheduleConfig {
+  uint32_t num_nodes = 5;
+  sim::Time horizon = 10 * sim::kSec;
+  /// Mean virtual-time gap between nemesis steps (exponential).
+  sim::Time mean_step_gap = 400 * sim::kMs;
+  /// Safety budget: never more than this many nodes down at once.
+  uint32_t max_concurrent_down = 2;
+  bool allow_crash = true;
+  bool allow_partition = true;
+  bool allow_drop = true;
+  bool allow_jitter = true;
+  double max_drop_rate = 0.4;
+  sim::Time max_jitter_us = 20 * sim::kMs;
+  /// Fraction of the horizon reserved at the end with every fault lifted
+  /// (crashed nodes restarted, partitions healed, drops/jitter restored) so
+  /// the system can quiesce before final invariant checks.
+  double quiet_tail = 0.3;
+};
+
+/// A seed-determined sequence of fault actions sorted by time. Same
+/// (seed, config) always yields the same schedule — the repro guarantee
+/// sim_fuzz prints violating seeds under.
+struct FaultSchedule {
+  std::vector<FaultAction> actions;
+  std::string ToString() const;
+};
+
+FaultSchedule GenerateSchedule(uint64_t seed, const ScheduleConfig& config);
+
+}  // namespace dicho::testing
+
+#endif  // DICHO_TESTING_SCHEDULE_H_

@@ -1,0 +1,431 @@
+#include "testing/serializability.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "common/random.h"
+#include "txn/lock_table.h"
+#include "txn/mvcc.h"
+#include "txn/occ.h"
+
+namespace dicho::testing {
+
+namespace {
+
+std::string KeyName(uint64_t i) { return "key" + std::to_string(i); }
+
+std::string ValueOf(uint64_t txn_id, uint64_t op) {
+  return "t" + std::to_string(txn_id) + "o" + std::to_string(op);
+}
+
+/// 1..max_ops distinct random keys.
+std::vector<std::string> PickKeys(Rng* rng, const HistoryConfig& config) {
+  uint32_t count = static_cast<uint32_t>(
+      1 + rng->Uniform(std::min(config.max_ops, config.num_keys)));
+  std::set<uint64_t> picked;
+  while (picked.size() < count) picked.insert(rng->Uniform(config.num_keys));
+  std::vector<std::string> keys;
+  for (uint64_t k : picked) keys.push_back(KeyName(k));
+  // Random acquisition/read order (std::set iteration is sorted; shuffle).
+  for (size_t i = keys.size(); i > 1; i--) {
+    std::swap(keys[i - 1], keys[rng->Uniform(i)]);
+  }
+  return keys;
+}
+
+/// Reads every key in the universe from `get` and appends the result as a
+/// final audit transaction, so CheckSerialEquivalence also certifies the
+/// final state of the store.
+template <typename GetFn>
+void AppendFinalAudit(const HistoryConfig& config, uint64_t order, GetFn get,
+                      HistoryResult* result) {
+  RecordedTxn audit;
+  audit.id = UINT64_MAX;
+  audit.serial_order = order;
+  for (uint64_t k = 0; k < config.num_keys; k++) {
+    audit.reads.emplace_back(KeyName(k), get(KeyName(k)));
+  }
+  result->committed.push_back(std::move(audit));
+}
+
+}  // namespace
+
+bool CheckSerialEquivalence(const std::map<std::string, std::string>& initial,
+                            std::vector<RecordedTxn> committed,
+                            std::string* error) {
+  std::stable_sort(committed.begin(), committed.end(),
+                   [](const RecordedTxn& a, const RecordedTxn& b) {
+                     return a.serial_order < b.serial_order;
+                   });
+  for (size_t i = 1; i < committed.size(); i++) {
+    if (committed[i].serial_order == committed[i - 1].serial_order) {
+      if (error) {
+        *error = "duplicate serial order " +
+                 std::to_string(committed[i].serial_order) + " (txns " +
+                 std::to_string(committed[i - 1].id) + ", " +
+                 std::to_string(committed[i].id) + ")";
+      }
+      return false;
+    }
+  }
+  std::map<std::string, std::string> oracle = initial;
+  for (const RecordedTxn& txn : committed) {
+    for (const auto& [key, seen] : txn.reads) {
+      auto it = oracle.find(key);
+      const std::string& expected = it == oracle.end() ? std::string() : it->second;
+      if (seen != expected) {
+        if (error) {
+          *error = "txn " + std::to_string(txn.id) + " (serial position " +
+                   std::to_string(txn.serial_order) + ") read '" + seen +
+                   "' from " + key + " but the serial oracle holds '" +
+                   expected + "'";
+        }
+        return false;
+      }
+    }
+    for (const auto& [key, value] : txn.writes) oracle[key] = value;
+  }
+  return true;
+}
+
+// --- OCC -------------------------------------------------------------------
+
+HistoryResult RunOccHistory(uint64_t seed, const HistoryConfig& config) {
+  Rng rng(seed ^ 0x0CCull);
+  txn::VersionedState state;
+  HistoryResult result;
+
+  struct OccTxn {
+    uint64_t id;
+    std::vector<std::string> read_keys;
+    std::vector<std::pair<std::string, std::string>> writes;
+    // Execution state.
+    size_t next_read = 0;
+    std::vector<std::pair<std::string, uint64_t>> version_set;
+    std::vector<std::pair<std::string, std::string>> observed;
+  };
+
+  // Pre-generate the workload so interleaving choices don't change it.
+  std::deque<OccTxn> pending;
+  for (uint64_t id = 0; id < config.num_txns; id++) {
+    OccTxn txn;
+    txn.id = id;
+    txn.read_keys = PickKeys(&rng, config);
+    if (!rng.Bernoulli(config.read_only_prob)) {
+      uint64_t op = 0;
+      for (const std::string& key : PickKeys(&rng, config)) {
+        txn.writes.emplace_back(key, ValueOf(id, op++));
+      }
+    }
+    pending.push_back(std::move(txn));
+  }
+  result.attempted = pending.size();
+
+  uint64_t commit_counter = 0;
+  std::vector<OccTxn> active;
+  while (!pending.empty() || !active.empty()) {
+    while (active.size() < config.max_concurrent && !pending.empty()) {
+      active.push_back(std::move(pending.front()));
+      pending.pop_front();
+    }
+    size_t pick = rng.Uniform(active.size());
+    OccTxn& txn = active[pick];
+    if (txn.next_read < txn.read_keys.size()) {
+      const std::string& key = txn.read_keys[txn.next_read++];
+      std::string value;
+      uint64_t version = 0;
+      state.Get(key, &value, &version);
+      txn.version_set.emplace_back(key, version);
+      txn.observed.emplace_back(key, value);
+    } else {
+      // Commit step: optimistic validation against current versions.
+      std::string conflict;
+      if (state.Validate(txn.version_set, &conflict)) {
+        commit_counter++;
+        state.Apply(txn.writes, commit_counter);
+        RecordedTxn record;
+        record.id = txn.id;
+        record.serial_order = commit_counter;
+        record.reads = std::move(txn.observed);
+        record.writes = std::move(txn.writes);
+        result.committed.push_back(std::move(record));
+      } else {
+        result.aborted++;
+      }
+      active.erase(active.begin() + pick);
+    }
+  }
+
+  AppendFinalAudit(config, commit_counter + 1,
+                   [&state](const std::string& key) {
+                     std::string value;
+                     uint64_t version = 0;
+                     state.Get(key, &value, &version);
+                     return value;
+                   },
+                   &result);
+  return result;
+}
+
+// --- MVCC (Percolator two-phase) -------------------------------------------
+
+HistoryResult RunMvccHistory(uint64_t seed, const HistoryConfig& config) {
+  Rng rng(seed ^ 0x3FCCull);
+  txn::MvccStore store;
+  HistoryResult result;
+
+  // Writers are read-modify-write (write set == read set): under snapshot
+  // isolation with Percolator's first-committer-wins, RMW histories are
+  // serializable in commit_ts order, and read-only snapshots serialize at
+  // their start_ts. (Allowing reads outside the write set would admit write
+  // skew, which SI permits and a serializability check would rightly flag.)
+  struct MvccTxn {
+    uint64_t id;
+    std::vector<std::string> keys;
+    bool read_only;
+    enum class Phase { kStart, kRead, kPrewrite, kCommit } phase = Phase::kStart;
+    uint64_t start_ts = 0;
+    size_t next_read = 0;
+    uint64_t read_retries = 0;
+    std::vector<std::pair<std::string, std::string>> observed;
+  };
+
+  std::deque<MvccTxn> pending;
+  for (uint64_t id = 0; id < config.num_txns; id++) {
+    MvccTxn txn;
+    txn.id = id;
+    txn.keys = PickKeys(&rng, config);
+    txn.read_only = rng.Bernoulli(config.read_only_prob);
+    pending.push_back(std::move(txn));
+  }
+  result.attempted = pending.size();
+
+  uint64_t ts = 0;
+  constexpr uint64_t kMaxRetries = 1000;
+  std::vector<MvccTxn> active;
+  while (!pending.empty() || !active.empty()) {
+    while (active.size() < config.max_concurrent && !pending.empty()) {
+      active.push_back(std::move(pending.front()));
+      pending.pop_front();
+    }
+    size_t pick = rng.Uniform(active.size());
+    MvccTxn& txn = active[pick];
+    bool finished = false;
+    bool aborted = false;
+    switch (txn.phase) {
+      case MvccTxn::Phase::kStart:
+        txn.start_ts = ++ts;
+        txn.phase = MvccTxn::Phase::kRead;
+        break;
+      case MvccTxn::Phase::kRead: {
+        const std::string& key = txn.keys[txn.next_read];
+        std::string value;
+        Status s = store.GetSnapshot(key, txn.start_ts, &value);
+        if (s.IsConflict()) {
+          // Blocked by a lock from an older transaction; retry after other
+          // transactions get to run (they resolve the lock).
+          if (++txn.read_retries > kMaxRetries) {
+            result.errors.push_back("mvcc txn " + std::to_string(txn.id) +
+                                    " stuck behind a lock on " + key);
+            aborted = true;
+          }
+          break;
+        }
+        txn.observed.emplace_back(key, s.ok() ? value : "");
+        if (++txn.next_read >= txn.keys.size()) {
+          txn.phase = txn.read_only ? MvccTxn::Phase::kCommit
+                                    : MvccTxn::Phase::kPrewrite;
+        }
+        break;
+      }
+      case MvccTxn::Phase::kPrewrite: {
+        // Primary-first prewrite over the sorted write set; any conflict
+        // aborts the whole transaction (Percolator's abort-fast choice).
+        std::vector<std::string> sorted = txn.keys;
+        std::sort(sorted.begin(), sorted.end());
+        const std::string& primary = sorted[0];
+        bool failed = false;
+        size_t placed = 0;
+        for (const std::string& key : sorted) {
+          Status s = store.Prewrite(key, ValueOf(txn.id, placed), txn.start_ts,
+                                    primary, txn.id);
+          if (!s.ok()) {
+            failed = true;
+            break;
+          }
+          placed++;
+        }
+        if (failed) {
+          for (size_t i = 0; i < placed; i++) {
+            store.Rollback(sorted[i], txn.start_ts);
+          }
+          aborted = true;
+        } else {
+          txn.phase = MvccTxn::Phase::kCommit;
+        }
+        break;
+      }
+      case MvccTxn::Phase::kCommit: {
+        RecordedTxn record;
+        record.id = txn.id;
+        record.reads = std::move(txn.observed);
+        if (txn.read_only) {
+          record.serial_order = txn.start_ts;
+        } else {
+          uint64_t commit_ts = ++ts;
+          std::vector<std::string> sorted = txn.keys;
+          std::sort(sorted.begin(), sorted.end());
+          size_t op = 0;
+          for (const std::string& key : sorted) {
+            store.Commit(key, txn.start_ts, commit_ts);
+            record.writes.emplace_back(key, ValueOf(txn.id, op++));
+          }
+          record.serial_order = commit_ts;
+        }
+        result.committed.push_back(std::move(record));
+        finished = true;
+        break;
+      }
+    }
+    if (aborted) result.aborted++;
+    if (finished || aborted) active.erase(active.begin() + pick);
+  }
+
+  uint64_t audit_ts = ++ts;
+  AppendFinalAudit(config, audit_ts,
+                   [&store, audit_ts](const std::string& key) {
+                     std::string value;
+                     Status s = store.GetSnapshot(key, audit_ts, &value);
+                     return s.ok() ? value : std::string();
+                   },
+                   &result);
+  return result;
+}
+
+// --- Lock table (wound-wait strict 2PL) ------------------------------------
+
+HistoryResult RunLockTableHistory(uint64_t seed, const HistoryConfig& config) {
+  Rng rng(seed ^ 0x10CCull);
+  txn::LockTable locks;
+  std::map<std::string, std::string> state;
+  HistoryResult result;
+
+  struct LockTxn {
+    uint64_t id;
+    std::vector<std::string> keys;  // random order — exercises wound-wait
+    bool read_only;
+    size_t next_key = 0;
+    bool waiting = false;
+    bool wounded = false;
+    std::vector<std::pair<std::string, std::string>> observed;
+  };
+
+  std::deque<LockTxn> pending;
+  for (uint64_t id = 0; id < config.num_txns; id++) {
+    LockTxn txn;
+    txn.id = id;
+    txn.keys = PickKeys(&rng, config);
+    txn.read_only = rng.Bernoulli(config.read_only_prob);
+    pending.push_back(std::move(txn));
+  }
+  result.attempted = pending.size();
+
+  uint64_t commit_counter = 0;
+  std::vector<LockTxn*> active;  // stable pointers — grant callbacks capture
+  std::vector<std::unique_ptr<LockTxn>> storage;
+  uint64_t safety_steps = 0;
+  const uint64_t max_steps = 1000ull * config.num_txns * config.max_ops + 10000;
+
+  auto finish = [&](LockTxn* txn, bool commit) {
+    if (commit) {
+      RecordedTxn record;
+      record.id = txn->id;
+      record.serial_order = ++commit_counter;
+      record.reads = std::move(txn->observed);
+      if (!txn->read_only) {
+        uint64_t op = 0;
+        for (const std::string& key : txn->keys) {
+          record.writes.emplace_back(key, ValueOf(txn->id, op));
+          state[key] = ValueOf(txn->id, op);
+          op++;
+        }
+      }
+      result.committed.push_back(std::move(record));
+    } else {
+      result.aborted++;
+    }
+    locks.ReleaseAll(txn->id);  // strict 2PL: all locks drop at the end
+    active.erase(std::find(active.begin(), active.end(), txn));
+  };
+
+  while (!pending.empty() || !active.empty()) {
+    if (++safety_steps > max_steps) {
+      result.errors.push_back("lock-table scheduler exceeded its step budget "
+                              "(wound-wait should be deadlock-free)");
+      break;
+    }
+    while (active.size() < config.max_concurrent && !pending.empty()) {
+      storage.push_back(std::make_unique<LockTxn>(std::move(pending.front())));
+      pending.pop_front();
+      LockTxn* txn = storage.back().get();
+      active.push_back(txn);
+      // Priority = admission order: earlier transactions are older.
+      locks.RegisterTxn(txn->id, txn->id, [txn] { txn->wounded = true; });
+    }
+    // Step a runnable transaction: wounded ones abort; waiters are parked
+    // until their grant callback fires.
+    std::vector<LockTxn*> runnable;
+    for (LockTxn* txn : active) {
+      if (txn->wounded || !txn->waiting) runnable.push_back(txn);
+    }
+    if (runnable.empty()) {
+      std::string dump =
+          "lock-table scheduler stalled: every active transaction is waiting:";
+      for (LockTxn* t : active) {
+        dump += " txn" + std::to_string(t->id) + "(next_key=" +
+                std::to_string(t->next_key) + "/" +
+                std::to_string(t->keys.size()) + " wants=" +
+                (t->next_key < t->keys.size() ? t->keys[t->next_key] : "-") +
+                " holds=";
+        for (size_t i = 0; i < t->next_key; i++) {
+          dump += t->keys[i] + (locks.IsHeldBy(t->keys[i], t->id) ? "+" : "!");
+        }
+        dump += ")";
+      }
+      result.errors.push_back(dump);
+      break;
+    }
+    LockTxn* txn = runnable[rng.Uniform(runnable.size())];
+    if (txn->wounded) {
+      finish(txn, /*commit=*/false);
+      continue;
+    }
+    if (txn->next_key < txn->keys.size()) {
+      const std::string& key = txn->keys[txn->next_key];
+      txn->waiting = true;
+      locks.Acquire(txn->id, key, [txn, key, &state] {
+        txn->waiting = false;
+        txn->next_key++;
+        // Read under the exclusive lock: the value is pinned until release,
+        // so it is the value as of this transaction's commit point.
+        auto it = state.find(key);
+        txn->observed.emplace_back(
+            key, it == state.end() ? std::string() : it->second);
+      });
+      continue;
+    }
+    finish(txn, /*commit=*/true);
+  }
+
+  AppendFinalAudit(config, commit_counter + 1,
+                   [&state](const std::string& key) {
+                     auto it = state.find(key);
+                     return it == state.end() ? std::string() : it->second;
+                   },
+                   &result);
+  return result;
+}
+
+}  // namespace dicho::testing

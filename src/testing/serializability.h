@@ -1,0 +1,62 @@
+#ifndef DICHO_TESTING_SERIALIZABILITY_H_
+#define DICHO_TESTING_SERIALIZABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dicho::testing {
+
+/// What a committed transaction observed and wrote, plus its position in the
+/// candidate serial order the executor claims is equivalent:
+///   OCC        — commit (validation) order
+///   MVCC       — commit_ts (writers) / start_ts (read-only snapshots)
+///   lock table — strict-2PL commit order
+struct RecordedTxn {
+  uint64_t id = 0;
+  uint64_t serial_order = 0;
+  std::vector<std::pair<std::string, std::string>> reads;   // key -> seen value
+  std::vector<std::pair<std::string, std::string>> writes;  // key -> new value
+};
+
+/// Replays `committed` in serial_order against a fresh oracle map: every
+/// recorded read must equal the oracle's value at that point (missing keys
+/// read as ""), then the writes apply. If the replay reproduces every read,
+/// the history is serializable in that order — the certificate the txn-layer
+/// property tests and the sim_fuzz scenario rely on. Returns false and fills
+/// `error` with the first divergence otherwise.
+bool CheckSerialEquivalence(
+    const std::map<std::string, std::string>& initial,
+    std::vector<RecordedTxn> committed, std::string* error);
+
+struct HistoryConfig {
+  uint32_t num_txns = 48;
+  uint32_t num_keys = 10;
+  /// Keys touched per transaction (1..max_ops).
+  uint32_t max_ops = 4;
+  /// Concurrently active transactions the interleaver juggles.
+  uint32_t max_concurrent = 6;
+  double read_only_prob = 0.25;
+};
+
+struct HistoryResult {
+  std::vector<RecordedTxn> committed;  // includes a final audit read of all keys
+  uint64_t attempted = 0;
+  uint64_t aborted = 0;
+  /// Executor-internal progress violations (stuck scheduler, impossible
+  /// grant states). Empty on a healthy run.
+  std::vector<std::string> errors;
+};
+
+/// Random interleaved histories through each concurrency-control scheme.
+/// Deterministic per (seed, config). Every executor appends a final
+/// audit transaction reading the whole key universe, so the serial check
+/// also certifies the final state.
+HistoryResult RunOccHistory(uint64_t seed, const HistoryConfig& config);
+HistoryResult RunMvccHistory(uint64_t seed, const HistoryConfig& config);
+HistoryResult RunLockTableHistory(uint64_t seed, const HistoryConfig& config);
+
+}  // namespace dicho::testing
+
+#endif  // DICHO_TESTING_SERIALIZABILITY_H_

@@ -35,7 +35,7 @@ void LockTable::Acquire(uint64_t txn_id, const std::string& key,
     holder.wounded = true;
     wounds_++;
     WoundFn wound = holder.wound;
-    queues_[key].push_front({txn_id, std::move(granted)});
+    queues_[key].push_back({txn_id, std::move(granted)});
     waits_++;
     if (wound) wound();
     return;
@@ -71,18 +71,34 @@ void LockTable::ReleaseAll(uint64_t txn_id) {
 void LockTable::GrantNext(const std::string& key) {
   auto queue_it = queues_.find(key);
   if (queue_it == queues_.end()) return;
-  while (!queue_it->second.empty()) {
-    Waiter waiter = std::move(queue_it->second.front());
-    queue_it->second.pop_front();
-    auto txn_it = txns_.find(waiter.txn_id);
+  auto& queue = queue_it->second;
+  // Grant the oldest (highest-priority) waiter, not the FIFO front. The
+  // wound check runs only at Acquire time against the holder of that moment;
+  // handing the lock to a younger front waiter would leave any older
+  // transaction queued behind it waiting on a younger holder it never got
+  // the chance to wound — an edge wound-wait's deadlock-freedom argument
+  // forbids, and a real deadlock once that younger holder blocks on a lock
+  // the older one holds. Priority-ordered handoff keeps every handoff edge
+  // young-waits-on-old.
+  auto best = queue.end();
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    auto txn_it = txns_.find(it->txn_id);
     if (txn_it == txns_.end()) continue;  // waiter already gone
-    holders_[key] = waiter.txn_id;
-    txn_it->second.held.insert(key);
-    if (queue_it->second.empty()) queues_.erase(queue_it);
-    waiter.granted();
+    if (best == queue.end() ||
+        txn_it->second.priority_ts < txns_.at(best->txn_id).priority_ts) {
+      best = it;
+    }
+  }
+  if (best == queue.end()) {
+    queues_.erase(queue_it);
     return;
   }
-  queues_.erase(queue_it);
+  Waiter waiter = std::move(*best);
+  queue.erase(best);
+  holders_[key] = waiter.txn_id;
+  txns_.at(waiter.txn_id).held.insert(key);
+  if (queue.empty()) queues_.erase(queue_it);
+  waiter.granted();
 }
 
 bool LockTable::IsHeldBy(const std::string& key, uint64_t txn_id) const {

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adt/mbt.h"
+#include "adt/mpt.h"
+#include "common/random.h"
+#include "crypto/sha256.h"
+#include "storage/memkv.h"
+
+namespace dicho::adt {
+namespace {
+
+// Model-based differential tests: drive the authenticated structures and a
+// plain MemKv model with the same random operation streams, then check that
+//   (a) every lookup agrees with the model,
+//   (b) the root digest is a pure function of the final state — rebuilding
+//       from the model in a different insertion order reproduces it, and
+//   (c) membership proofs verify against the root.
+// Random streams are seed-deterministic, so any failure reproduces exactly.
+
+std::string RandomKey(Rng* rng, int universe) {
+  return "key" + std::to_string(rng->Uniform(universe));
+}
+
+std::string RandomValue(Rng* rng, uint64_t step) {
+  return "v" + std::to_string(step) + "-" + std::to_string(rng->Uniform(1000));
+}
+
+std::map<std::string, std::string> ModelContents(storage::MemKv* model) {
+  std::map<std::string, std::string> contents;
+  auto it = model->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    contents[it->key().ToString()] = it->value().ToString();
+  }
+  return contents;
+}
+
+TEST(MptModelDiffTest, MatchesModelUnderRandomPuts) {
+  // MPT supports puts/overwrites only (insert-only state store).
+  Rng rng(20240811);
+  MerklePatriciaTrie mpt;
+  storage::MemKv model;
+  const int kUniverse = 200;  // small universe forces overwrites
+
+  for (uint64_t step = 0; step < 2000; step++) {
+    std::string key = RandomKey(&rng, kUniverse);
+    std::string value = RandomValue(&rng, step);
+    ASSERT_TRUE(mpt.Put(key, value).ok());
+    ASSERT_TRUE(model.Put(key, value).ok());
+
+    if (step % 250 == 0) {
+      // Full sweep: every model key must read back identically.
+      for (const auto& [k, v] : ModelContents(&model)) {
+        std::string got;
+        ASSERT_TRUE(mpt.Get(k, &got).ok()) << "missing " << k;
+        EXPECT_EQ(got, v) << "divergence at " << k;
+      }
+    }
+  }
+
+  std::map<std::string, std::string> final_state = ModelContents(&model);
+  crypto::Digest root = mpt.RootDigest();
+
+  // Root digests are canonical: rebuilding the final state in sorted,
+  // reverse-sorted, and seeded-shuffle orders all reproduce the same root.
+  std::vector<std::pair<std::string, std::string>> entries(final_state.begin(),
+                                                           final_state.end());
+  auto rebuild = [&](const auto& ordered) {
+    MerklePatriciaTrie fresh;
+    for (const auto& [k, v] : ordered) EXPECT_TRUE(fresh.Put(k, v).ok());
+    return fresh.RootDigest();
+  };
+  EXPECT_EQ(crypto::DigestBytes(rebuild(entries)), crypto::DigestBytes(root));
+  std::reverse(entries.begin(), entries.end());
+  EXPECT_EQ(crypto::DigestBytes(rebuild(entries)), crypto::DigestBytes(root));
+  Rng shuffle_rng(99);
+  for (size_t i = entries.size(); i > 1; i--) {
+    std::swap(entries[i - 1], entries[shuffle_rng.Uniform(i)]);
+  }
+  EXPECT_EQ(crypto::DigestBytes(rebuild(entries)), crypto::DigestBytes(root));
+
+  // Proof spot-checks: every 10th key proves membership against the root.
+  size_t checked = 0;
+  for (const auto& [k, v] : final_state) {
+    if (checked++ % 10 != 0) continue;
+    MerklePatriciaTrie::Proof proof;
+    ASSERT_TRUE(mpt.Prove(k, &proof).ok());
+    EXPECT_TRUE(VerifyMptProof(root, k, v, proof)) << "proof fails for " << k;
+    // A tampered value must not verify.
+    EXPECT_FALSE(VerifyMptProof(root, k, v + "!", proof));
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(MbtModelDiffTest, MatchesModelUnderRandomPutsAndDeletes) {
+  Rng rng(20240812);
+  MerkleBucketTree mbt(/*num_buckets=*/64, /*fanout=*/4);
+  storage::MemKv model;
+  const int kUniverse = 150;
+
+  for (uint64_t step = 0; step < 3000; step++) {
+    std::string key = RandomKey(&rng, kUniverse);
+    if (rng.Bernoulli(0.3)) {
+      // Delete of an absent key is NotFound on both sides of the diff.
+      std::string present;
+      bool exists = model.Get(key, &present).ok();
+      EXPECT_EQ(mbt.Delete(key).ok(), exists) << "step " << step;
+      if (exists) ASSERT_TRUE(model.Delete(key).ok());
+    } else {
+      std::string value = RandomValue(&rng, step);
+      ASSERT_TRUE(mbt.Put(key, value).ok());
+      ASSERT_TRUE(model.Put(key, value).ok());
+    }
+
+    if (step % 300 == 0) {
+      std::map<std::string, std::string> contents = ModelContents(&model);
+      EXPECT_EQ(mbt.size(), contents.size());
+      for (const auto& [k, v] : contents) {
+        std::string got;
+        ASSERT_TRUE(mbt.Get(k, &got).ok()) << "missing " << k;
+        EXPECT_EQ(got, v) << "divergence at " << k;
+      }
+      // Deleted keys must be absent.
+      for (int i = 0; i < kUniverse; i++) {
+        std::string k = "key" + std::to_string(i);
+        if (contents.count(k) > 0) continue;
+        std::string got;
+        EXPECT_FALSE(mbt.Get(k, &got).ok()) << "ghost key " << k;
+      }
+    }
+  }
+
+  std::map<std::string, std::string> final_state = ModelContents(&model);
+  crypto::Digest root = mbt.RootDigest();
+
+  // Canonical root: a fresh tree loaded with only the surviving entries (no
+  // delete history), in forward and reverse orders, reproduces the digest.
+  std::vector<std::pair<std::string, std::string>> entries(final_state.begin(),
+                                                           final_state.end());
+  auto rebuild = [&](const auto& ordered) {
+    MerkleBucketTree fresh(64, 4);
+    for (const auto& [k, v] : ordered) EXPECT_TRUE(fresh.Put(k, v).ok());
+    return fresh.RootDigest();
+  };
+  EXPECT_EQ(crypto::DigestBytes(rebuild(entries)), crypto::DigestBytes(root));
+  std::reverse(entries.begin(), entries.end());
+  EXPECT_EQ(crypto::DigestBytes(rebuild(entries)), crypto::DigestBytes(root));
+
+  // Proof spot-checks against the final root.
+  size_t checked = 0;
+  for (const auto& [k, v] : final_state) {
+    if (checked++ % 10 != 0) continue;
+    MerkleBucketTree::Proof proof;
+    ASSERT_TRUE(mbt.Prove(k, &proof).ok());
+    EXPECT_TRUE(VerifyMbtProof(root, k, v, proof)) << "proof fails for " << k;
+    EXPECT_FALSE(VerifyMbtProof(root, k, v + "!", proof));
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+}  // namespace
+}  // namespace dicho::adt

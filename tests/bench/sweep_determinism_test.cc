@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/parallel.h"
+#include "testing/harness.h"
+
+namespace dicho::bench {
+namespace {
+
+// Cross-thread determinism: RunSweep promises results in config order that
+// are bit-identical to the serial loop, regardless of worker count. Every
+// figure sweep and the sim_fuzz seed sweep lean on that promise, so pin it
+// with a real workload — full scenario runs through the harness — executed
+// under DICHO_BENCH_THREADS = 1, 2, and unset (hardware concurrency).
+
+struct Cell {
+  std::string scenario;
+  uint64_t seed;
+};
+
+// Serializes everything observable about a scenario run. Any scheduling
+// nondeterminism leaking into the worlds would show up here.
+std::string SweepFingerprint(const std::vector<Cell>& cells) {
+  auto results = RunSweep(cells, [](const Cell& cell) {
+    const dicho::testing::Scenario* scenario =
+        dicho::testing::FindScenario(cell.scenario);
+    if (scenario == nullptr) return std::string("missing:") + cell.scenario;
+    dicho::testing::ScenarioResult result = dicho::testing::RunScenario(
+        *scenario, dicho::testing::ScenarioOptions{cell.seed});
+    std::ostringstream out;
+    out << result.scenario << "#" << result.seed << " progress="
+        << result.progress << " events=" << result.sim_events
+        << " ok=" << result.ok() << "\n"
+        << result.schedule << result.report.Summary();
+    return out.str();
+  });
+  std::string joined;
+  for (const std::string& r : results) joined += r + "\n---\n";
+  return joined;
+}
+
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("DICHO_BENCH_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      setenv("DICHO_BENCH_THREADS", value, /*overwrite=*/1);
+    } else {
+      unsetenv("DICHO_BENCH_THREADS");
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      setenv("DICHO_BENCH_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("DICHO_BENCH_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(SweepDeterminismTest, ScenarioSweepIsByteIdenticalAcrossThreadCounts) {
+  // Mixed scenarios and seeds so cells finish out of order under contention.
+  std::vector<Cell> cells;
+  for (uint64_t seed = 1; seed <= 4; seed++) {
+    cells.push_back({"raft_crash_restart", seed});
+    cells.push_back({"txn_serializability", seed});
+  }
+  cells.push_back({"ledger_pipeline", 2});
+  cells.push_back({"pbft_crash", 3});
+
+  std::string serial;
+  {
+    ScopedThreadsEnv env("1");
+    ASSERT_EQ(SweepThreads(), 1u);
+    serial = SweepFingerprint(cells);
+  }
+  ASSERT_FALSE(serial.empty());
+
+  {
+    ScopedThreadsEnv env("2");
+    ASSERT_EQ(SweepThreads(), 2u);
+    EXPECT_EQ(SweepFingerprint(cells), serial)
+        << "2-thread sweep diverged from serial loop";
+  }
+  {
+    ScopedThreadsEnv env(nullptr);  // hardware concurrency
+    EXPECT_EQ(SweepFingerprint(cells), serial)
+        << "hardware-thread sweep diverged from serial loop";
+  }
+}
+
+TEST(SweepDeterminismTest, RepeatedSweepsAreStableAtFixedThreadCount) {
+  std::vector<Cell> cells = {{"raft_partition", 5},
+                             {"quorum_system", 1},
+                             {"txn_serializability", 9}};
+  ScopedThreadsEnv env("2");
+  std::string first = SweepFingerprint(cells);
+  EXPECT_EQ(SweepFingerprint(cells), first);
+}
+
+}  // namespace
+}  // namespace dicho::bench
