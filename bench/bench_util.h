@@ -24,6 +24,7 @@
 #include "systems/etcd.h"
 #include "systems/fabric.h"
 #include "systems/quorum.h"
+#include "systems/runtime/registry.h"
 #include "systems/spannerlike.h"
 #include "systems/tidb.h"
 #include "workload/driver.h"
@@ -41,51 +42,55 @@ struct World {
   sim::CostModel costs;
 };
 
-inline std::unique_ptr<systems::EtcdSystem> MakeEtcd(World* w, uint32_t nodes) {
-  systems::EtcdConfig config;
-  config.num_nodes = nodes;
-  auto system = std::make_unique<systems::EtcdSystem>(&w->sim, &w->net,
-                                                      &w->costs, config);
+/// Registry-driven construction + the consensus warm-up the benches share:
+/// Start() then one virtual second for elections to settle.
+template <typename System>
+std::unique_ptr<System> MakeStarted(
+    World* w, const std::string& name,
+    const systems::runtime::SystemOverrides& overrides) {
+  auto system = systems::runtime::MakeSystemAs<System>(name, &w->sim, &w->net,
+                                                       &w->costs, overrides);
   system->Start();
   w->sim.RunFor(1 * sim::kSec);
   return system;
+}
+
+inline std::unique_ptr<systems::EtcdSystem> MakeEtcd(World* w, uint32_t nodes) {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = nodes;
+  return MakeStarted<systems::EtcdSystem>(w, "etcd", overrides);
 }
 
 inline std::unique_ptr<systems::QuorumSystem> MakeQuorum(
     World* w, uint32_t nodes,
     systems::QuorumConsensus consensus = systems::QuorumConsensus::kRaft) {
-  systems::QuorumConfig config;
-  config.num_nodes = nodes;
-  config.consensus = consensus;
-  auto system = std::make_unique<systems::QuorumSystem>(&w->sim, &w->net,
-                                                        &w->costs, config);
-  system->Start();
-  w->sim.RunFor(1 * sim::kSec);
-  return system;
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = nodes;
+  return MakeStarted<systems::QuorumSystem>(
+      w, consensus == systems::QuorumConsensus::kRaft ? "quorum-raft"
+                                                      : "quorum-ibft",
+      overrides);
 }
 
 inline std::unique_ptr<systems::FabricSystem> MakeFabric(
     World* w, uint32_t peers, uint32_t validation_parallelism = 1) {
-  systems::FabricConfig config;
-  config.num_peers = peers;
-  config.validation_parallelism = validation_parallelism;
-  auto system = std::make_unique<systems::FabricSystem>(&w->sim, &w->net,
-                                                        &w->costs, config);
-  system->Start();
-  w->sim.RunFor(1 * sim::kSec);
-  return system;
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = peers;
+  overrides.validation_parallelism = validation_parallelism;
+  return MakeStarted<systems::FabricSystem>(w, "fabric", overrides);
 }
 
 inline std::unique_ptr<systems::TidbSystem> MakeTidb(World* w,
                                                      uint32_t servers,
                                                      uint32_t tikv,
                                                      uint32_t replication = 0) {
-  systems::TidbConfig config;
-  config.num_tidb_servers = servers;
-  config.num_tikv_nodes = tikv;
-  config.replication = replication;
-  return std::make_unique<systems::TidbSystem>(&w->sim, &w->net, &w->costs,
-                                               config);
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = servers;
+  overrides.aux_nodes = tikv;
+  overrides.replication = replication;
+  // No Start(): TiDB needs no consensus warm-up (Raft is cost-modeled).
+  return systems::runtime::MakeSystemAs<systems::TidbSystem>(
+      "tidb", &w->sim, &w->net, &w->costs, overrides);
 }
 
 /// Pre-populates any system exposing Load(key, value).

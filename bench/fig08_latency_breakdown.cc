@@ -2,7 +2,10 @@
 // unsaturated vs saturated — validation becomes the bottleneck and blocks
 // pile up once the request rate exceeds capacity; (b) query latency
 // breakdown — Fabric is dominated by client authentication, TiDB by data
-// access.
+// access. Part (c) extends the figure with the same breakdown for Quorum,
+// TiDB, and etcd over the unified phase timeline: every system stamps its
+// pipeline stages into the same typed enum, so one generic printer renders
+// all of them.
 
 #include "bench_util.h"
 
@@ -11,9 +14,9 @@ namespace {
 
 void PhaseRow(const char* label, workload::RunMetrics* m) {
   printf("%-12s execute=%7.1fms order=%7.1fms validate=%8.1fms total=%8.1fms\n",
-         label, m->phase_us["execute"].Mean() / 1000.0,
-         m->phase_us["order"].Mean() / 1000.0,
-         m->phase_us["validate"].Mean() / 1000.0,
+         label, m->phase_us("execute").Mean() / 1000.0,
+         m->phase_us("order").Mean() / 1000.0,
+         m->phase_us("validate").Mean() / 1000.0,
          m->txn_latency_us.Mean() / 1000.0);
 }
 
@@ -53,8 +56,8 @@ void RunQueryBreakdown() {
     auto fabric = MakeFabric(&w, 5);
     auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 1.0, /*arrival=*/200);
     printf("%-8s auth=%6.2fms read+net=%6.2fms total=%6.2fms\n", "fabric",
-           m.phase_us["auth"].Mean() / 1000.0,
-           (m.query_latency_us.Mean() - m.phase_us["auth"].Mean()) / 1000.0,
+           m.phase_us("auth").Mean() / 1000.0,
+           (m.query_latency_us.Mean() - m.phase_us("auth").Mean()) / 1000.0,
            m.query_latency_us.Mean() / 1000.0);
   }
   {
@@ -67,11 +70,60 @@ void RunQueryBreakdown() {
   }
 }
 
+/// Prints every phase the system stamped (count > 0), in timeline enum
+/// order — no per-system format strings needed.
+void UniformPhaseRow(const char* label, const workload::RunMetrics& m) {
+  printf("%-12s", label);
+  for (size_t i = 0; i < core::kNumPhases; i++) {
+    const Histogram& hist = m.phase_hist[i];
+    if (hist.count() == 0) continue;
+    printf(" %s=%.1fms", core::PhaseName(static_cast<core::Phase>(i)),
+           hist.Mean() / 1000.0);
+  }
+  printf(" total=%.1fms\n", m.txn_latency_us.Mean() / 1000.0);
+}
+
+void RunCrossSystemBreakdown() {
+  PrintHeader("Fig 8c: txn phase breakdown across systems (unified timeline)");
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 1000;
+  BenchScale scale;
+  scale.record_count = 5000;
+  scale.measure = 8 * sim::kSec;
+  {
+    World w;
+    auto fabric = MakeFabric(&w, 5);
+    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/500);
+    UniformPhaseRow("fabric", m);
+  }
+  {
+    World w;
+    auto quorum = MakeQuorum(&w, 5);
+    auto m = RunYcsb(&w, quorum.get(), wcfg, scale, 0, /*arrival=*/500);
+    UniformPhaseRow("quorum-raft", m);
+  }
+  {
+    World w;
+    auto tidb = MakeTidb(&w, 5, 5);
+    auto m = RunYcsb(&w, tidb.get(), wcfg, scale, 0, /*arrival=*/500);
+    UniformPhaseRow("tidb", m);
+  }
+  {
+    World w;
+    auto etcd = MakeEtcd(&w, 5);
+    workload::YcsbConfig kv = wcfg;
+    kv.ops_per_txn = 1;  // etcd rejects multi-op requests
+    auto m = RunYcsb(&w, etcd.get(), kv, scale, 0, /*arrival=*/500);
+    UniformPhaseRow("etcd", m);
+  }
+}
+
 }  // namespace
 }  // namespace dicho::bench
 
 int main() {
   dicho::bench::RunFabricBreakdown();
   dicho::bench::RunQueryBreakdown();
+  dicho::bench::RunCrossSystemBreakdown();
   return 0;
 }

@@ -1,0 +1,86 @@
+// Regenerates the golden-equivalence baselines in tests/golden/. Each case
+// in src/testing/golden.cc is a fixed-seed run rendered as canonical JSON;
+// the committed files are the pre-refactor ground truth that
+// golden_equivalence_test compares against byte-for-byte.
+//
+//   golden_gen --out tests/golden          rewrite every baseline file
+//   golden_gen --case fabric               print one case to stdout
+//   golden_gen --list                      list case names
+//
+// Only regenerate baselines for an *intentional* behavior change, and
+// review the diff — a refactor that is supposed to be equivalence-
+// preserving must not need this.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "testing/golden.h"
+
+namespace dicho::bench {
+namespace {
+
+int WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "golden_gen: cannot open %s for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_dir;
+  std::string single_case;
+  bool list = false;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--case" && i + 1 < argc) {
+      single_case = argv[++i];
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: golden_gen [--out DIR] [--case NAME] [--list]\n");
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const auto& c : testing::AllGoldenCases()) {
+      std::printf("%s\n", c.name.c_str());
+    }
+    return 0;
+  }
+  if (!single_case.empty()) {
+    const testing::GoldenCase* c = testing::FindGoldenCase(single_case);
+    if (c == nullptr) {
+      std::fprintf(stderr, "golden_gen: unknown case '%s'\n",
+                   single_case.c_str());
+      return 2;
+    }
+    std::printf("%s", c->run().c_str());
+    return 0;
+  }
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "usage: golden_gen [--out DIR] [--case NAME]\n");
+    return 2;
+  }
+  for (const auto& c : testing::AllGoldenCases()) {
+    std::string path = out_dir + "/" + c.name + ".json";
+    std::string content = c.run();
+    if (WriteFile(path, content) != 0) return 1;
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main(int argc, char** argv) { return dicho::bench::Main(argc, argv); }

@@ -39,14 +39,14 @@ int main() {
       printf("txn %d: %s in %.0f ms (execute %.0f / order %.0f / validate "
              "%.0f ms)\n",
              i, result.status.ToString().c_str(), result.latency() / 1000.0,
-             result.phase_us.count("execute")
-                 ? result.phase_us.at("execute") / 1000.0
+             result.phases.Has(dicho::core::Phase::kExecute)
+                 ? result.phases.Get(dicho::core::Phase::kExecute) / 1000.0
                  : 0.0,
-             result.phase_us.count("order")
-                 ? result.phase_us.at("order") / 1000.0
+             result.phases.Has(dicho::core::Phase::kOrder)
+                 ? result.phases.Get(dicho::core::Phase::kOrder) / 1000.0
                  : 0.0,
-             result.phase_us.count("validate")
-                 ? result.phase_us.at("validate") / 1000.0
+             result.phases.Has(dicho::core::Phase::kValidate)
+                 ? result.phases.Get(dicho::core::Phase::kValidate) / 1000.0
                  : 0.0);
       committed += result.status.ok();
     });

@@ -26,6 +26,57 @@ const char* AbortReasonName(AbortReason reason) {
   return "unknown";
 }
 
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kAuth:
+      return "auth";
+    case Phase::kCommit:
+      return "commit";
+    case Phase::kConsensus:
+      return "consensus";
+    case Phase::kConsensusCommit:
+      return "consensus+commit";
+    case Phase::kEvmRead:
+      return "evm-read";
+    case Phase::kExecute:
+      return "execute";
+    case Phase::kOrder:
+      return "order";
+    case Phase::kParse:
+      return "parse";
+    case Phase::kPrewrite:
+      return "prewrite";
+    case Phase::kProposal:
+      return "proposal";
+    case Phase::kRead:
+      return "read";
+    case Phase::kValidate:
+      return "validate";
+  }
+  return "unknown";
+}
+
+bool ParsePhaseName(const std::string& name, Phase* out) {
+  for (size_t i = 0; i < kNumPhases; i++) {
+    Phase phase = static_cast<Phase>(i);
+    if (name == PhaseName(phase)) {
+      *out = phase;
+      return true;
+    }
+  }
+  return false;
+}
+
+sim::Time TxnResult::phase_us(const std::string& name) const {
+  Phase phase;
+  return ParsePhaseName(name, &phase) ? phases.Get(phase) : 0;
+}
+
+sim::Time ReadResult::phase_us(const std::string& name) const {
+  Phase phase;
+  return ParsePhaseName(name, &phase) ? phases.Get(phase) : 0;
+}
+
 std::string TxnRequest::Serialize() const {
   std::string out;
   PutFixed64(&out, txn_id);

@@ -1,6 +1,7 @@
 #ifndef DICHO_CORE_TYPES_H_
 #define DICHO_CORE_TYPES_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -65,6 +66,71 @@ enum class AbortReason : uint8_t {
 
 const char* AbortReasonName(AbortReason reason);
 
+/// The pipeline stages the benchmarked systems report latency for — the
+/// union of every stage the paper's Fig. 8 breakdowns use. Declared in
+/// *alphabetical* name order so iterating the enum visits phases exactly
+/// like the old per-txn std::map<std::string, Time> did (goldens depend
+/// on that ordering).
+enum class Phase : uint8_t {
+  kAuth = 0,         // "auth"              Fabric query MSP check
+  kCommit,           // "commit"            TiDB 2PC commit wave
+  kConsensus,        // "consensus"         etcd Raft propose->apply
+  kConsensusCommit,  // "consensus+commit"  Quorum consensus + block apply
+  kEvmRead,          // "evm-read"          Quorum query through the VM
+  kExecute,          // "execute"           Fabric endorsement simulation
+  kOrder,            // "order"             Fabric ordering-service wait
+  kParse,            // "parse"             TiDB SQL-layer parse/plan
+  kPrewrite,         // "prewrite"          TiDB Percolator prewrite wave
+  kProposal,         // "proposal"          Quorum mempool wait + proposal
+  kRead,             // "read"              storage point-read service
+  kValidate,         // "validate"          Fabric MVCC validate + commit
+};
+inline constexpr size_t kNumPhases = 12;
+
+const char* PhaseName(Phase phase);
+/// Accepts the names PhaseName produces; returns false on anything else.
+bool ParsePhaseName(const std::string& name, Phase* out);
+
+/// Per-transaction phase-latency breakdown: a flat array indexed by Phase
+/// plus a presence mask — replaces the per-txn heap-allocated string map on
+/// the hot path. Only phases a system explicitly stamped are "present";
+/// aggregation skips the rest (identical to iterating the old map).
+class PhaseTimeline {
+ public:
+  void Set(Phase phase, sim::Time t) {
+    us_[Index(phase)] = t;
+    mask_ |= Bit(phase);
+  }
+  /// Accumulates across retries (TiDB stamps each attempt's waves).
+  void Add(Phase phase, sim::Time t) {
+    us_[Index(phase)] += t;
+    mask_ |= Bit(phase);
+  }
+  bool Has(Phase phase) const { return (mask_ & Bit(phase)) != 0; }
+  /// 0 when the phase was never stamped (matches map::operator[] default).
+  sim::Time Get(Phase phase) const {
+    return Has(phase) ? us_[Index(phase)] : 0;
+  }
+  bool empty() const { return mask_ == 0; }
+
+  /// Visits stamped phases in enum (== alphabetical-name) order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i < kNumPhases; i++) {
+      if ((mask_ & (1u << i)) != 0) {
+        fn(static_cast<Phase>(i), us_[i]);
+      }
+    }
+  }
+
+ private:
+  static size_t Index(Phase phase) { return static_cast<size_t>(phase); }
+  static uint32_t Bit(Phase phase) { return 1u << Index(phase); }
+
+  std::array<sim::Time, kNumPhases> us_{};
+  uint32_t mask_ = 0;
+};
+
 /// Outcome delivered to the client, with the phase-level latency breakdown
 /// used by the Fig. 8 experiments.
 struct TxnResult {
@@ -72,13 +138,15 @@ struct TxnResult {
   AbortReason reason = AbortReason::kNone;
   sim::Time submit_time = 0;
   sim::Time finish_time = 0;
-  /// Phase name -> time spent (e.g. "execute", "order", "validate",
-  /// "commit"; database systems use "parse", "prewrite", "commit").
-  std::map<std::string, sim::Time> phase_us;
+  /// Typed per-phase breakdown (e.g. kExecute/kOrder/kValidate for Fabric;
+  /// kParse/kPrewrite/kCommit for TiDB).
+  PhaseTimeline phases;
   /// Values returned by read operations, keyed by record key.
   std::map<std::string, std::string> reads;
 
   sim::Time latency() const { return finish_time - submit_time; }
+  /// Name-keyed compatibility shim for bench/printf code ("execute", ...).
+  sim::Time phase_us(const std::string& name) const;
 };
 
 using TxnCallback = std::function<void(const TxnResult&)>;
@@ -95,12 +163,25 @@ struct ReadResult {
   std::string value;
   sim::Time submit_time = 0;
   sim::Time finish_time = 0;
-  std::map<std::string, sim::Time> phase_us;
+  PhaseTimeline phases;
 
   sim::Time latency() const { return finish_time - submit_time; }
+  sim::Time phase_us(const std::string& name) const;
 };
 
 using ReadCallback = std::function<void(const ReadResult&)>;
+
+/// Queue-depth / stage-progress gauges the shared runtime layer maintains
+/// for every system (mempool admission, inflight tracking, batch cutting).
+/// Pure observability: updating these never touches the simulator.
+struct StageGauges {
+  uint64_t enqueued = 0;      // txns admitted to the mempool/batch queue
+  uint64_t batches_cut = 0;   // blocks/batches formed from the queue
+  size_t mempool_depth = 0;   // current mempool/batch-queue depth
+  size_t mempool_peak = 0;
+  size_t inflight_depth = 0;  // txns submitted but not yet resolved
+  size_t inflight_peak = 0;
+};
 
 /// Aggregate counters every system maintains.
 struct SystemStats {
@@ -108,6 +189,7 @@ struct SystemStats {
   uint64_t aborted = 0;
   std::map<AbortReason, uint64_t> aborts_by_reason;
   uint64_t queries = 0;
+  StageGauges stages;
 
   double AbortRate() const {
     uint64_t total = committed + aborted;
@@ -126,6 +208,13 @@ class TransactionalSystem {
   virtual void Query(const ReadRequest& request, ReadCallback cb) = 0;
   virtual const SystemStats& stats() const = 0;
   virtual std::string name() const = 0;
+
+  /// Pre-populates one record before the run (bulk seeding). Systems that
+  /// replicate state must seed every replica.
+  virtual void Load(const std::string& key, const std::string& value) = 0;
+  /// Boots background machinery (consensus timers, proposers). Default:
+  /// nothing to start.
+  virtual void Start() {}
 };
 
 }  // namespace dicho::core

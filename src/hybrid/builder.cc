@@ -50,17 +50,39 @@ bool DeserializeBatch(const std::string& data,
 
 }  // namespace
 
+namespace {
+
+using systems::runtime::TransportKind;
+
+/// The taxonomy point (approach x failure model) picks the transport.
+TransportKind SelectTransport(ReplicationApproach approach,
+                              FailureModel failure) {
+  switch (approach) {
+    case ReplicationApproach::kConsensus:
+      if (failure == FailureModel::kCft) return TransportKind::kRaft;
+      if (failure == FailureModel::kBft) return TransportKind::kBft;
+      return TransportKind::kPow;
+    case ReplicationApproach::kSharedLog:
+      return TransportKind::kSharedLog;
+    case ReplicationApproach::kPrimaryBackup:
+      break;
+  }
+  return TransportKind::kPrimaryBackup;
+}
+
+}  // namespace
+
 HybridSystem::HybridSystem(sim::Simulator* sim, sim::SimNetwork* net,
                            const sim::CostModel* costs, HybridConfig config)
     : sim_(sim),
       net_(net),
       costs_(costs),
-      config_(config),
-      contracts_(contract::ContractRegistry::CreateDefault()) {
-  for (uint32_t i = 0; i < config_.num_nodes; i++) {
-    node_ids_.push_back(config_.base_node + i);
-    nodes_.push_back(std::make_unique<Node>(sim));
-  }
+      config_(std::move(config)),
+      nodes_(sim, config_.base_node, config_.num_nodes),
+      contracts_(contract::ContractRegistry::CreateDefault()),
+      batch_queue_(&stats_.stages),
+      inflight_(&stats_.stages),
+      batch_timer_(sim, config_.batch_interval) {
   switch (config_.design.index) {
     case StateIndex::kMpt:
       mpt_ = std::make_unique<adt::MerklePatriciaTrie>();
@@ -72,56 +94,25 @@ HybridSystem::HybridSystem(sim::Simulator* sim, sim::SimNetwork* net,
       break;
   }
 
-  auto apply = [this](size_t node_index, const std::string& batch) {
-    ApplyBatch(node_index, batch);
-  };
-  switch (config_.design.approach) {
-    case ReplicationApproach::kConsensus:
-      if (config_.design.failure == FailureModel::kCft) {
-        raft_ = consensus::RaftCluster::Create(
-            sim, net, costs, node_ids_, config_.raft,
-            [this, apply](NodeId node, uint64_t, const std::string& cmd) {
-              apply(node - config_.base_node, cmd);
-            });
-      } else if (config_.design.failure == FailureModel::kBft) {
-        bft_ = consensus::BftCluster::Create(
-            sim, net, costs, node_ids_, config_.bft,
-            [this, apply](NodeId node, uint64_t, const std::string& cmd) {
-              apply(node - config_.base_node, cmd);
-            });
-      } else {
-        pow_ = std::make_unique<consensus::PowNetwork>(
-            sim, net, node_ids_, config_.pow,
-            [this, apply](NodeId node, uint64_t, const std::string& cmd) {
-              apply(node - config_.base_node, cmd);
-            });
-      }
-      break;
-    case ReplicationApproach::kSharedLog: {
-      NodeId broker = config_.base_node + config_.num_nodes;  // Kafka node
-      shared_log_ = std::make_unique<sharedlog::SharedLog>(sim, net, broker,
-                                                           config_.log);
-      for (uint32_t i = 0; i < config_.num_nodes; i++) {
-        shared_log_->Subscribe(node_ids_[i],
-                               [this, apply, i](uint64_t, const std::string& r) {
-                                 apply(i, r);
-                               });
-      }
-      break;
-    }
-    case ReplicationApproach::kPrimaryBackup:
-      break;  // handled inline in Disseminate
-  }
+  systems::runtime::TransportConfig transport;
+  transport.kind =
+      SelectTransport(config_.design.approach, config_.design.failure);
+  transport.raft = config_.raft;
+  transport.bft = config_.bft;
+  transport.log = config_.log;
+  transport.pow = config_.pow;
+  transport_ = std::make_unique<systems::runtime::Transport>(
+      sim, net, costs, nodes_.ids(), transport,
+      [this](size_t node_index, const std::string& batch) {
+        ApplyBatch(node_index, batch);
+      });
 }
 
-void HybridSystem::Start() {
-  if (raft_ != nullptr) raft_->StartAll();
-  if (bft_ != nullptr) bft_->StartAll();
-  if (pow_ != nullptr) pow_->Start();
-}
+void HybridSystem::Start() { transport_->Start(); }
 
 void HybridSystem::Load(const std::string& key, const std::string& value) {
-  for (auto& node : nodes_) node->state.Apply({{key, value}}, 0);
+  systems::runtime::SeedAllReplicas(
+      &nodes_, [&](Node& node) { node.state.Apply({{key, value}}, 0); });
   if (mpt_ != nullptr) mpt_->Put(key, value);
   if (mbt_ != nullptr) mbt_->Put(key, value);
 }
@@ -155,7 +146,7 @@ ledger::LedgerTxn HybridSystem::MakeEnvelope(const PendingTxn& pending) {
   if (!IsTxnBased()) {
     // Storage-based: execute once at the coordinator (node 0), replicate
     // the effects.
-    VersionedView view(&nodes_[0]->state, &envelope.read_set);
+    VersionedView view(&nodes_.at_index(0).state, &envelope.read_set);
     contract::Contract* contract = contracts_->Lookup(
         pending.request.contract.empty() ? "ycsb" : pending.request.contract);
     contract::WriteSet writes;
@@ -174,10 +165,10 @@ void HybridSystem::Submit(const core::TxnRequest& request,
   pending->request = request;
   pending->cb = std::move(cb);
   pending->submit_time = sim_->Now();
-  inflight_[request.txn_id] = pending;
+  inflight_.Insert(request.txn_id, pending);
 
   // Client -> coordinator/entry node.
-  net_->Send(config_.client_node, node_ids_[0], request.PayloadBytes() + 96,
+  net_->Send(config_.client_node, nodes_.id_of(0), request.PayloadBytes() + 96,
              [this, pending] {
                if (!IsTxnBased()) {
                  // Coordinator-side execution happens concurrently (the
@@ -194,7 +185,7 @@ void HybridSystem::EnqueueForOrdering(std::shared_ptr<PendingTxn> pending) {
   ledger::LedgerTxn envelope = MakeEnvelope(*pending);
   if (!IsTxnBased() && !envelope.valid) {
     // Constraint failure discovered at the coordinator.
-    inflight_.erase(pending->request.txn_id);
+    inflight_.Erase(pending->request.txn_id);
     core::TxnResult result;
     result.status = Status::Aborted("constraint");
     result.reason = core::AbortReason::kConstraint;
@@ -206,67 +197,32 @@ void HybridSystem::EnqueueForOrdering(std::shared_ptr<PendingTxn> pending) {
     return;
   }
 
-  if (shared_log_ != nullptr) {
-    // Shared log: no batching needed; ordering is cheap and decoupled.
-    std::vector<ledger::LedgerTxn> single{std::move(envelope)};
-    shared_log_->Append(node_ids_[0], SerializeBatch(single), nullptr);
-    return;
-  }
-  if (raft_ == nullptr && bft_ == nullptr && pow_ == nullptr) {
+  if (transport_->kind() == TransportKind::kSharedLog ||
+      transport_->kind() == TransportKind::kPrimaryBackup) {
+    // Shared log: ordering is cheap and decoupled, no batch window.
     // Primary-backup: the primary applies immediately, no batch window.
     std::vector<ledger::LedgerTxn> single{std::move(envelope)};
-    Disseminate(SerializeBatch(single));
+    transport_->Disseminate(SerializeBatch(single));
     return;
   }
-  batch_queue_.push_back(std::move(envelope));
+  batch_queue_.Push(std::move(envelope));
   if (batch_queue_.size() >= config_.max_batch) {
     FlushBatch();
-  } else if (!batch_timer_armed_) {
-    batch_timer_armed_ = true;
-    sim_->Schedule(config_.batch_interval, [this] {
-      batch_timer_armed_ = false;
+  } else {
+    batch_timer_.Arm([this] {
       if (!batch_queue_.empty()) FlushBatch();
     });
   }
 }
 
 void HybridSystem::FlushBatch() {
-  std::vector<ledger::LedgerTxn> txns(batch_queue_.begin(), batch_queue_.end());
-  batch_queue_.clear();
-  Disseminate(SerializeBatch(txns));
-}
-
-void HybridSystem::Disseminate(const std::string& batch) {
-  if (raft_ != nullptr) {
-    consensus::RaftNode* leader = raft_->leader();
-    if (leader == nullptr) {
-      // Election in progress; retry shortly.
-      sim_->Schedule(20 * sim::kMs, [this, batch] { Disseminate(batch); });
-      return;
-    }
-    leader->Propose(batch, [](Status, uint64_t) {});
-    return;
-  }
-  if (bft_ != nullptr) {
-    bft_->all()[0]->Submit(batch, [](Status, uint64_t) {});
-    return;
-  }
-  if (pow_ != nullptr) {
-    pow_->Submit(batch, nullptr);
-    return;
-  }
-  // Primary-backup: node 0 is the primary; backups receive the stream.
-  ApplyBatch(0, batch);
-  for (uint32_t i = 1; i < config_.num_nodes; i++) {
-    net_->Send(node_ids_[0], node_ids_[i], 64 + batch.size(),
-               [this, i, batch] { ApplyBatch(i, batch); });
-  }
+  transport_->Disseminate(SerializeBatch(batch_queue_.DrainAll()));
 }
 
 void HybridSystem::ApplyBatch(size_t node_index, const std::string& batch) {
   auto txns = std::make_shared<std::vector<ledger::LedgerTxn>>();
   if (!DeserializeBatch(batch, txns.get())) return;
-  Node* node = nodes_[node_index].get();
+  Node* node = &nodes_.at_index(node_index);
 
   // Cost: execution (txn-based serial designs re-run contracts on the
   // node's serial thread; concurrent designs overlap it with the local
@@ -352,11 +308,9 @@ void HybridSystem::ApplyBatch(size_t node_index, const std::string& batch) {
 
 void HybridSystem::Finish(uint64_t txn_id, bool valid,
                           core::AbortReason reason) {
-  auto it = inflight_.find(txn_id);
-  if (it == inflight_.end()) return;
-  std::shared_ptr<PendingTxn> pending = it->second;
-  inflight_.erase(it);
-  net_->Send(node_ids_[0], config_.client_node, 64, [this, pending, valid,
+  std::shared_ptr<PendingTxn> pending;
+  if (!inflight_.Take(txn_id, &pending)) return;
+  net_->Send(nodes_.id_of(0), config_.client_node, 64, [this, pending, valid,
                                                      reason] {
     core::TxnResult result;
     result.submit_time = pending->submit_time;
@@ -378,7 +332,7 @@ void HybridSystem::Query(const core::ReadRequest& request,
                          core::ReadCallback cb) {
   stats_.queries++;
   Time submit_time = sim_->Now();
-  net_->Send(config_.client_node, node_ids_[0], 64 + request.key.size(),
+  net_->Send(config_.client_node, nodes_.id_of(0), 64 + request.key.size(),
              [this, key = request.key, cb = std::move(cb),
               submit_time]() mutable {
                sim_->Schedule(costs_->lsm_read_us, [this, key,
@@ -386,11 +340,11 @@ void HybridSystem::Query(const core::ReadRequest& request,
                                                     submit_time]() mutable {
                  std::string value;
                  uint64_t version;
-                 nodes_[0]->state.Get(key, &value, &version);
+                 nodes_.at_index(0).state.Get(key, &value, &version);
                  Status s = (value.empty() && version == 0)
                                 ? Status::NotFound()
                                 : Status::Ok();
-                 net_->Send(node_ids_[0], config_.client_node,
+                 net_->Send(nodes_.id_of(0), config_.client_node,
                             64 + value.size(),
                             [this, cb = std::move(cb), submit_time, s,
                              value = std::move(value)] {
@@ -406,7 +360,7 @@ void HybridSystem::Query(const core::ReadRequest& request,
 }
 
 uint64_t HybridSystem::LedgerBytes() const {
-  return nodes_[0]->chain.TotalBytes();
+  return nodes_.at_index(0).chain.TotalBytes();
 }
 
 crypto::Digest HybridSystem::StateDigest() const {

@@ -1,26 +1,23 @@
 #ifndef DICHO_HYBRID_BUILDER_H_
 #define DICHO_HYBRID_BUILDER_H_
 
-#include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "adt/mbt.h"
 #include "adt/mpt.h"
-#include "consensus/pbft.h"
-#include "consensus/pow.h"
-#include "consensus/raft.h"
 #include "contract/contract.h"
 #include "core/types.h"
 #include "hybrid/taxonomy.h"
 #include "ledger/ledger.h"
-#include "sharedlog/shared_log.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/mempool.h"
+#include "systems/runtime/runtime.h"
+#include "systems/runtime/transport.h"
 #include "txn/occ.h"
 
 namespace dicho::hybrid {
@@ -31,8 +28,8 @@ using sim::Time;
 struct HybridConfig {
   SystemDescriptor design;
   uint32_t num_nodes = 4;
-  NodeId client_node = 1000;
-  NodeId base_node = 800;
+  NodeId client_node = systems::runtime::kClientNode;
+  NodeId base_node = systems::runtime::kHybridBase;
   /// Batching for consensus-based transports.
   Time batch_interval = 50 * sim::kMs;
   size_t max_batch = 500;
@@ -64,17 +61,17 @@ class HybridSystem : public core::TransactionalSystem {
   HybridSystem(sim::Simulator* sim, sim::SimNetwork* net,
                const sim::CostModel* costs, HybridConfig config);
 
-  void Start();
+  void Start() override;
 
   void Submit(const core::TxnRequest& request, core::TxnCallback cb) override;
   void Query(const core::ReadRequest& request, core::ReadCallback cb) override;
   const core::SystemStats& stats() const override { return stats_; }
   std::string name() const override { return config_.design.name; }
 
-  void Load(const std::string& key, const std::string& value);
+  void Load(const std::string& key, const std::string& value) override;
 
   const txn::VersionedState& state_of(size_t node_index) const {
-    return nodes_[node_index]->state;
+    return nodes_.at_index(node_index).state;
   }
   /// Ledger bytes on node 0 (0 when the design has no ledger).
   uint64_t LedgerBytes() const;
@@ -106,7 +103,6 @@ class HybridSystem : public core::TransactionalSystem {
   ledger::LedgerTxn MakeEnvelope(const PendingTxn& pending);
   void EnqueueForOrdering(std::shared_ptr<PendingTxn> pending);
   void FlushBatch();
-  void Disseminate(const std::string& batch);
   /// Applies an ordered batch on one node; node 0 completes client waits.
   void ApplyBatch(size_t node_index, const std::string& batch);
   void Finish(uint64_t txn_id, bool valid, core::AbortReason reason);
@@ -115,24 +111,20 @@ class HybridSystem : public core::TransactionalSystem {
   sim::SimNetwork* net_;
   const sim::CostModel* costs_;
   HybridConfig config_;
-  std::vector<NodeId> node_ids_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  core::SystemStats stats_;
+  systems::runtime::NodeSet<Node> nodes_;
   std::unique_ptr<contract::ContractRegistry> contracts_;
 
-  // Transports (exactly one is instantiated).
-  std::unique_ptr<consensus::RaftCluster> raft_;
-  std::unique_ptr<consensus::BftCluster> bft_;
-  std::unique_ptr<sharedlog::SharedLog> shared_log_;
-  std::unique_ptr<consensus::PowNetwork> pow_;
+  /// Shared transport-selection layer (taxonomy approach x failure model).
+  std::unique_ptr<systems::runtime::Transport> transport_;
 
   // Real authenticated index on node 0.
   std::unique_ptr<adt::MerklePatriciaTrie> mpt_;
   std::unique_ptr<adt::MerkleBucketTree> mbt_;
 
-  std::deque<ledger::LedgerTxn> batch_queue_;
-  std::map<uint64_t, std::shared_ptr<PendingTxn>> inflight_;
-  bool batch_timer_armed_ = false;
-  core::SystemStats stats_;
+  systems::runtime::Mempool<ledger::LedgerTxn> batch_queue_;
+  systems::runtime::InflightTable<std::shared_ptr<PendingTxn>> inflight_;
+  systems::runtime::BatchTimer batch_timer_;
 };
 
 }  // namespace dicho::hybrid

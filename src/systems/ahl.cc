@@ -6,8 +6,6 @@ namespace dicho::systems {
 
 namespace {
 
-constexpr NodeId kAhlBase = 700;
-
 class ShardStateView : public contract::StateView {
  public:
   explicit ShardStateView(
@@ -35,31 +33,32 @@ AhlSystem::AhlSystem(sim::Simulator* sim, sim::SimNetwork* net,
       partitioner_(config.num_shards),
       shard_state_(config.num_shards),
       contracts_(contract::ContractRegistry::CreateDefault()) {
-  consensus::BftConfig bft = config_.bft;
-  bft.forced_f = static_cast<int>(config_.forced_f);
-  NodeId next = kAhlBase;
+  runtime::TransportConfig bft_transport;
+  bft_transport.kind = runtime::TransportKind::kBft;
+  bft_transport.bft = config_.bft;
+  bft_transport.bft.forced_f = static_cast<int>(config_.forced_f);
+  NodeId next = runtime::kAhlBase;
+  auto span = [&](uint32_t count) {
+    std::vector<NodeId> ids;
+    for (uint32_t i = 0; i < count; i++) ids.push_back(next++);
+    return ids;
+  };
   // The reference committee (BFT 2PC coordinator shard).
-  {
-    std::vector<NodeId> ids;
-    for (uint32_t i = 0; i < config_.nodes_per_shard; i++) ids.push_back(next++);
-    committee_ = consensus::BftCluster::Create(sim, net, costs, ids, bft,
-                                               nullptr);
-  }
+  committee_ = std::make_unique<runtime::Transport>(
+      sim, net, costs, span(config_.nodes_per_shard), bft_transport, nullptr);
   for (uint32_t s = 0; s < config_.num_shards; s++) {
-    std::vector<NodeId> ids;
-    for (uint32_t i = 0; i < config_.nodes_per_shard; i++) ids.push_back(next++);
-    shard_bft_.push_back(consensus::BftCluster::Create(
-        sim, net, costs, ids, bft,
-        [this, s](NodeId node, uint64_t, const std::string& cmd) {
+    shard_bft_.push_back(std::make_unique<runtime::Transport>(
+        sim, net, costs, span(config_.nodes_per_shard), bft_transport,
+        [this, s](size_t node_index, const std::string& cmd) {
           // Apply once, on the shard's first node (shared state object).
-          if (node == shard_bft_[s]->all()[0]->id()) ApplyShardEntry(s, cmd);
+          if (node_index == 0) ApplyShardEntry(s, cmd);
         }));
   }
 }
 
 void AhlSystem::Start() {
-  committee_->StartAll();
-  for (auto& shard : shard_bft_) shard->StartAll();
+  committee_->Start();
+  for (auto& shard : shard_bft_) shard->Start();
   if (config_.epoch > 0) ScheduleReconfiguration();
 }
 
@@ -126,7 +125,7 @@ void AhlSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
 
 void AhlSystem::SubmitSingleShard(std::shared_ptr<PendingTxn> txn,
                                   uint32_t shard) {
-  consensus::BftNode* entry = shard_bft_[shard]->all()[0];
+  consensus::BftNode* entry = shard_bft_[shard]->bft()->all()[0];
   std::string cmd = txn->request.Serialize();
   net_->Send(config_.client_node, entry->id(), txn->request.PayloadBytes() + 96,
              [this, txn, entry, cmd = std::move(cmd)]() mutable {
@@ -146,7 +145,7 @@ void AhlSystem::SubmitCrossShard(std::shared_ptr<PendingTxn> txn,
   // reaches consensus on the commit decision, (4) shards apply. Steps 2 and
   // 4 are folded into one shard consensus each here; the committee rounds
   // are real BFT instances.
-  consensus::BftNode* committee_entry = committee_->all()[0];
+  consensus::BftNode* committee_entry = committee_->bft()->all()[0];
   std::string cmd = txn->request.Serialize();
   std::string prepare_cmd = "prepare:" + cmd;
 
@@ -163,7 +162,7 @@ void AhlSystem::SubmitCrossShard(std::shared_ptr<PendingTxn> txn,
           // Each shard replicates the staged transaction via its own BFT.
           auto remaining = std::make_shared<size_t>(shards.size());
           for (uint32_t shard : shards) {
-            consensus::BftNode* entry = shard_bft_[shard]->all()[0];
+            consensus::BftNode* entry = shard_bft_[shard]->bft()->all()[0];
             entry->Submit(cmd, [this, txn, remaining](Status vote, uint64_t) {
               if (!vote.ok()) {
                 if (*remaining != 0) {
@@ -174,7 +173,8 @@ void AhlSystem::SubmitCrossShard(std::shared_ptr<PendingTxn> txn,
               }
               if (*remaining == 0 || --(*remaining) != 0) return;
               // Commit decision through the committee.
-              consensus::BftNode* committee_entry2 = committee_->all()[0];
+              consensus::BftNode* committee_entry2 =
+                  committee_->bft()->all()[0];
               committee_entry2->Submit(
                   "commit:" + std::to_string(txn->request.txn_id),
                   [this, txn](Status decision, uint64_t) {
@@ -208,7 +208,7 @@ void AhlSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) {
   stats_.queries++;
   Time submit_time = sim_->Now();
   uint32_t shard = partitioner_.ShardOf(request.key);
-  NodeId target = shard_bft_[shard]->all()[0]->id();
+  NodeId target = shard_bft_[shard]->bft()->all()[0]->id();
   net_->Send(config_.client_node, target, 64 + request.key.size(),
              [this, shard, target, key = request.key, cb = std::move(cb),
               submit_time]() mutable {

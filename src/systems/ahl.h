@@ -13,6 +13,8 @@
 #include "sim/cost_model.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/runtime.h"
+#include "systems/runtime/transport.h"
 
 namespace dicho::systems {
 
@@ -29,7 +31,7 @@ struct AhlConfig {
   /// Set epoch = 0 to disable (the "AHL fixed shards" baseline).
   Time epoch = 10 * sim::kSec;
   Time reconfig_pause = 3 * sim::kSec;
-  NodeId client_node = 1000;
+  NodeId client_node = runtime::kClientNode;
   consensus::BftConfig bft;
 };
 
@@ -46,7 +48,7 @@ class AhlSystem : public core::TransactionalSystem {
   AhlSystem(sim::Simulator* sim, sim::SimNetwork* net,
             const sim::CostModel* costs, AhlConfig config);
 
-  void Start();
+  void Start() override;
 
   void Submit(const core::TxnRequest& request, core::TxnCallback cb) override;
   void Query(const core::ReadRequest& request, core::ReadCallback cb) override;
@@ -55,7 +57,7 @@ class AhlSystem : public core::TransactionalSystem {
     return config_.epoch > 0 ? "ahl" : "ahl-fixed";
   }
 
-  void Load(const std::string& key, const std::string& value) {
+  void Load(const std::string& key, const std::string& value) override {
     shard_state_[partitioner_.ShardOf(key)][key] = value;
   }
   uint64_t reconfigurations() const { return reconfigurations_; }
@@ -81,10 +83,11 @@ class AhlSystem : public core::TransactionalSystem {
   const sim::CostModel* costs_;
   AhlConfig config_;
   sharding::HashPartitioner partitioner_;
-  /// One BFT cluster per shard + the reference committee at index 0 of
-  /// committee_.
-  std::vector<std::unique_ptr<consensus::BftCluster>> shard_bft_;
-  std::unique_ptr<consensus::BftCluster> committee_;
+  /// One BFT transport per shard plus the reference committee, all built
+  /// through the shared transport layer (raw bft() access for entry-node
+  /// submits).
+  std::vector<std::unique_ptr<runtime::Transport>> shard_bft_;
+  std::unique_ptr<runtime::Transport> committee_;
   std::vector<std::map<std::string, std::string>> shard_state_;
   std::unique_ptr<contract::ContractRegistry> contracts_;
   bool reconfiguring_ = false;

@@ -4,46 +4,48 @@ namespace dicho::systems {
 
 EtcdSystem::EtcdSystem(sim::Simulator* sim, sim::SimNetwork* net,
                        const sim::CostModel* costs, EtcdConfig config)
-    : sim_(sim), net_(net), costs_(costs), config_(config) {
-  for (NodeId i = 0; i < config_.num_nodes; i++) node_ids_.push_back(i);
-  raft_ = consensus::RaftCluster::Create(
-      sim, net, costs, node_ids_, config_.raft,
-      [this](NodeId node, uint64_t, const std::string& cmd) {
-        ApplyEntry(node, cmd);
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      config_(config),
+      nodes_(sim, runtime::kReplicaBase, config_.num_nodes) {
+  runtime::TransportConfig transport;
+  transport.kind = runtime::TransportKind::kRaft;
+  transport.raft = config_.raft;
+  transport_ = std::make_unique<runtime::Transport>(
+      sim, net, costs, nodes_.ids(), transport,
+      [this](size_t node_index, const std::string& cmd) {
+        ApplyEntry(nodes_.id_of(node_index), cmd);
       });
-  for (NodeId id : node_ids_) {
-    states_[id] = std::make_unique<storage::btree::BTree>();
-    apply_cpu_[id] = std::make_unique<sim::CpuResource>(sim);
-  }
 }
 
-void EtcdSystem::Start() { raft_->StartAll(); }
+void EtcdSystem::Start() { transport_->Start(); }
 
 void EtcdSystem::ApplyEntry(NodeId node, const std::string& cmd) {
   core::TxnRequest request;
   if (!core::TxnRequest::Deserialize(cmd, &request)) return;
   Time cost = 0;
-  storage::btree::BTree* state = states_.at(node).get();
+  Node* state = &nodes_.at(node);
   for (const auto& op : request.ops) {
     if (op.type != core::OpType::kRead) {
-      state->Put(op.key, op.value);
+      state->state.Put(op.key, op.value);
       cost += costs_->BtreeOpCost(op.key.size() + op.value.size());
     }
   }
   // Apply work is real (above); its time is charged to the node so a slow
   // applier shows up as commit latency.
-  apply_cpu_.at(node)->Submit(cost, [] {});
+  state->cpu.Submit(cost, [] {});
 }
 
 void EtcdSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
   // Rejections are delivered asynchronously (a synchronous callback would
   // let a closed-loop client recurse unboundedly through resubmission).
-  auto reject = [this](core::TxnCallback cb, Status status,
+  auto reject = [this](core::TxnCallback done, Status status,
                        core::AbortReason reason) {
     Time submit_time = sim_->Now();
     stats_.aborted++;
     stats_.aborts_by_reason[reason]++;
-    sim_->Schedule(costs_->msg_handling_us, [cb = std::move(cb), status,
+    sim_->Schedule(costs_->msg_handling_us, [cb = std::move(done), status,
                                              reason, submit_time, this] {
       core::TxnResult result;
       result.status = status;
@@ -64,7 +66,7 @@ void EtcdSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
     return;
   }
 
-  consensus::RaftNode* leader = raft_->leader();
+  consensus::RaftNode* leader = transport_->raft()->leader();
   Time submit_time = sim_->Now();
   if (leader == nullptr) {
     reject(std::move(cb), Status::Unavailable("no leader"),
@@ -90,8 +92,9 @@ void EtcdSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
                                   result.status = s;
                                   result.submit_time = submit_time;
                                   result.finish_time = sim_->Now();
-                                  result.phase_us["consensus"] =
-                                      result.finish_time - submit_time;
+                                  result.phases.Set(
+                                      core::Phase::kConsensus,
+                                      result.finish_time - submit_time);
                                   if (s.ok()) {
                                     stats_.committed++;
                                   } else {
@@ -108,7 +111,7 @@ void EtcdSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
 
 void EtcdSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) {
   stats_.queries++;
-  consensus::RaftNode* leader = raft_->leader();
+  consensus::RaftNode* leader = transport_->raft()->leader();
   Time submit_time = sim_->Now();
   if (leader == nullptr) {
     core::ReadResult result;
@@ -124,11 +127,11 @@ void EtcdSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
              [this, key = request.key, cb = std::move(cb), submit_time,
               leader_id]() mutable {
                Time cost = costs_->BtreeOpCost(key.size());
-               apply_cpu_.at(leader_id)->Submit(
+               nodes_.at(leader_id).cpu.Submit(
                    cost, [this, key, cb = std::move(cb), submit_time,
                           leader_id]() mutable {
                      std::string value;
-                     Status s = states_.at(leader_id)->Get(key, &value);
+                     Status s = nodes_.at(leader_id).state.Get(key, &value);
                      net_->Send(leader_id, config_.client_node,
                                 64 + value.size(),
                                 [this, cb = std::move(cb), submit_time, s,
@@ -138,8 +141,9 @@ void EtcdSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
                                   result.value = value;
                                   result.submit_time = submit_time;
                                   result.finish_time = sim_->Now();
-                                  result.phase_us["read"] =
-                                      result.finish_time - submit_time;
+                                  result.phases.Set(
+                                      core::Phase::kRead,
+                                      result.finish_time - submit_time);
                                   cb(result);
                                 });
                    });
@@ -147,7 +151,7 @@ void EtcdSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
 }
 
 uint64_t EtcdSystem::StateBytes() const {
-  return states_.begin()->second->ApproximateSize();
+  return nodes_.at_index(0).state.ApproximateSize();
 }
 
 }  // namespace dicho::systems

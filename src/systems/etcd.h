@@ -1,18 +1,18 @@
 #ifndef DICHO_SYSTEMS_ETCD_H_
 #define DICHO_SYSTEMS_ETCD_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "consensus/raft.h"
 #include "core/types.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "storage/btree/btree.h"
+#include "systems/runtime/runtime.h"
+#include "systems/runtime/transport.h"
 
 namespace dicho::systems {
 
@@ -23,7 +23,7 @@ struct EtcdConfig {
   uint32_t num_nodes = 5;
   consensus::RaftConfig raft;
   /// Client endpoint node id used as the "source" of requests on the wire.
-  NodeId client_node = 1000;
+  NodeId client_node = runtime::kClientNode;
 };
 
 /// etcd-like NoSQL store (Table 2's etcd row): storage-based replication,
@@ -39,8 +39,8 @@ class EtcdSystem : public core::TransactionalSystem {
              const sim::CostModel* costs, EtcdConfig config);
 
   /// Elects the leader; run the simulator for ~1 virtual second afterwards.
-  void Start();
-  bool HasLeader() const { return raft_->leader() != nullptr; }
+  void Start() override;
+  bool HasLeader() const { return transport_->raft()->leader() != nullptr; }
 
   void Submit(const core::TxnRequest& request, core::TxnCallback cb) override;
   void Query(const core::ReadRequest& request, core::ReadCallback cb) override;
@@ -49,28 +49,33 @@ class EtcdSystem : public core::TransactionalSystem {
 
   /// Pre-populates every replica directly (benchmark setup; bypasses
   /// consensus the way a bulk load would).
-  void Load(const std::string& key, const std::string& value) {
-    for (auto& [id, state] : states_) state->Put(key, value);
+  void Load(const std::string& key, const std::string& value) override {
+    runtime::SeedAllReplicas(&nodes_,
+                             [&](Node& node) { node.state.Put(key, value); });
   }
 
   /// Every node's full copy of the state (full replication).
-  storage::btree::BTree* state_of(NodeId node) {
-    return states_.at(node).get();
-  }
+  storage::btree::BTree* state_of(NodeId node) { return &nodes_.at(node).state; }
   uint64_t StateBytes() const;
 
  private:
+  struct Node {
+    explicit Node(sim::Simulator* sim) : cpu(sim) {}
+    storage::btree::BTree state;
+    sim::CpuResource cpu;  // serial apply thread (BoltDB writer)
+  };
+
   void ApplyEntry(NodeId node, const std::string& cmd);
 
   sim::Simulator* sim_;
   sim::SimNetwork* net_;
   const sim::CostModel* costs_;
   EtcdConfig config_;
-  std::vector<NodeId> node_ids_;
-  std::unique_ptr<consensus::RaftCluster> raft_;
-  std::map<NodeId, std::unique_ptr<storage::btree::BTree>> states_;
-  std::map<NodeId, std::unique_ptr<sim::CpuResource>> apply_cpu_;
   core::SystemStats stats_;
+  runtime::NodeSet<Node> nodes_;
+  /// One Raft group over all nodes; Submit goes through the raw raft()
+  /// accessor because etcd rejects leaderless writes instead of retrying.
+  std::unique_ptr<runtime::Transport> transport_;
 };
 
 }  // namespace dicho::systems

@@ -29,8 +29,6 @@ class EndorseView : public contract::StateView {
   std::vector<std::pair<std::string, uint64_t>>* read_set_;
 };
 
-constexpr NodeId kOrdererBase = 200;
-
 }  // namespace
 
 FabricSystem::FabricSystem(sim::Simulator* sim, sim::SimNetwork* net,
@@ -39,17 +37,16 @@ FabricSystem::FabricSystem(sim::Simulator* sim, sim::SimNetwork* net,
       net_(net),
       costs_(costs),
       config_(config),
-      contracts_(contract::ContractRegistry::CreateDefault()) {
-  for (NodeId i = 0; i < config_.num_peers; i++) {
-    peer_ids_.push_back(i);
-    peers_[i] = std::make_unique<Peer>(sim);
-  }
+      peers_(sim, runtime::kReplicaBase, config_.num_peers),
+      contracts_(contract::ContractRegistry::CreateDefault()),
+      inflight_(&stats_.stages) {
   // The paper fixes three orderers regardless of peer count.
-  std::vector<NodeId> orderers{kOrdererBase, kOrdererBase + 1,
-                               kOrdererBase + 2};
+  std::vector<NodeId> orderers{runtime::kOrdererBase,
+                               runtime::kOrdererBase + 1,
+                               runtime::kOrdererBase + 2};
   ordering_ = std::make_unique<sharedlog::OrderingService>(
       sim, net, costs, orderers, config_.ordering);
-  for (NodeId peer : peer_ids_) {
+  for (NodeId peer : peers_.ids()) {
     ordering_->Subscribe(peer, [this, peer](const sharedlog::OrderedBlock& b) {
       OnBlockDelivered(peer, b);
     });
@@ -69,17 +66,17 @@ void FabricSystem::Submit(const core::TxnRequest& request,
   pending->envelope.payload = request.Serialize();
   pending->envelope.client_signature =
       crypto::Signer(request.client_id).Sign(pending->envelope.payload);
-  inflight_[request.txn_id] = pending;
+  inflight_.Insert(request.txn_id, pending);
 
   // Execute phase: proposal broadcast to every endorsing peer; peers
   // simulate concurrently against their committed state.
   uint32_t required = EndorsersRequired();
   uint64_t proposal_bytes = request.PayloadBytes() + 96;
   for (uint32_t i = 0; i < required; i++) {
-    NodeId peer_id = peer_ids_[i];
+    NodeId peer_id = peers_.id_of(i);
     net_->Send(config_.client_node, peer_id, proposal_bytes,
                [this, peer_id, pending] {
-                 Peer* peer = peers_.at(peer_id).get();
+                 Peer* peer = &peers_.at(peer_id);
                  // Chaincode simulation is concurrent on the peer (its
                  // endorsement executors), so it is a latency, not a queue.
                  Time delay = costs_->sig_verify_us + costs_->fabric_endorse_us +
@@ -153,7 +150,7 @@ void FabricSystem::OnEndorsementsComplete(std::shared_ptr<PendingTxn> pending) {
 
 void FabricSystem::OnBlockDelivered(NodeId peer_id,
                                     const sharedlog::OrderedBlock& block) {
-  Peer* peer = peers_.at(peer_id).get();
+  Peer* peer = &peers_.at(peer_id);
   Time delivered = sim_->Now();
 
   // Validation cost: per transaction, verify the client signature plus one
@@ -189,10 +186,10 @@ void FabricSystem::OnBlockDelivered(NodeId peer_id,
         peer->state.Apply(txn.write_set, version);
       }
       // Aborted transactions stay on the ledger, marked invalid.
-      bool is_completion_peer = peer_id == peer_ids_[0];
+      bool is_completion_peer = peer_id == peers_.id_of(0);
       if (is_completion_peer) {
-        auto it = inflight_.find(txn.txn_id);
-        if (it != inflight_.end()) it->second->ordered_time = delivered;
+        auto* entry = inflight_.Find(txn.txn_id);
+        if (entry != nullptr) (*entry)->ordered_time = delivered;
         FinishTxn(txn.txn_id, valid,
                   valid ? core::AbortReason::kNone
                         : core::AbortReason::kReadConflict);
@@ -206,22 +203,21 @@ void FabricSystem::OnBlockDelivered(NodeId peer_id,
 
 void FabricSystem::FinishTxn(uint64_t txn_id, bool valid,
                              core::AbortReason reason) {
-  auto it = inflight_.find(txn_id);
-  if (it == inflight_.end()) return;
-  std::shared_ptr<PendingTxn> pending = it->second;
-  inflight_.erase(it);
+  std::shared_ptr<PendingTxn> pending;
+  if (!inflight_.Take(txn_id, &pending)) return;
 
-  net_->Send(peer_ids_[0], config_.client_node, 64, [this, pending, valid,
+  net_->Send(peers_.id_of(0), config_.client_node, 64, [this, pending, valid,
                                                      reason] {
     core::TxnResult result;
     result.submit_time = pending->submit_time;
     result.finish_time = sim_->Now();
     Time endorsed = pending->endorsed_time > 0 ? pending->endorsed_time
                                                : result.finish_time;
-    result.phase_us["execute"] = endorsed - pending->submit_time;
+    result.phases.Set(core::Phase::kExecute, endorsed - pending->submit_time);
     if (pending->ordered_time > 0) {
-      result.phase_us["order"] = pending->ordered_time - endorsed;
-      result.phase_us["validate"] = result.finish_time - pending->ordered_time;
+      result.phases.Set(core::Phase::kOrder, pending->ordered_time - endorsed);
+      result.phases.Set(core::Phase::kValidate,
+                        result.finish_time - pending->ordered_time);
     }
     if (valid) {
       result.status = Status::Ok();
@@ -240,7 +236,7 @@ void FabricSystem::Query(const core::ReadRequest& request,
                          core::ReadCallback cb) {
   stats_.queries++;
   Time submit_time = sim_->Now();
-  NodeId target = peer_ids_[request.client_id % peer_ids_.size()];
+  NodeId target = peers_.id_of(request.client_id % peers_.size());
   net_->Send(config_.client_node, target, 64 + request.key.size(),
              [this, target, key = request.key, cb = std::move(cb),
               submit_time]() mutable {
@@ -251,7 +247,7 @@ void FabricSystem::Query(const core::ReadRequest& request,
                                       submit_time]() mutable {
                  std::string value;
                  uint64_t version;
-                 peers_.at(target)->state.Get(key, &value, &version);
+                 peers_.at(target).state.Get(key, &value, &version);
                  Status s = (value.empty() && version == 0)
                                 ? Status::NotFound()
                                 : Status::Ok();
@@ -263,11 +259,12 @@ void FabricSystem::Query(const core::ReadRequest& request,
                               result.value = value;
                               result.submit_time = submit_time;
                               result.finish_time = sim_->Now();
-                              result.phase_us["auth"] =
-                                  costs_->fabric_query_auth_us;
-                              result.phase_us["read"] =
+                              result.phases.Set(core::Phase::kAuth,
+                                                costs_->fabric_query_auth_us);
+                              result.phases.Set(
+                                  core::Phase::kRead,
                                   result.finish_time - submit_time -
-                                  costs_->fabric_query_auth_us;
+                                      costs_->fabric_query_auth_us);
                               cb(result);
                             });
                });

@@ -1,7 +1,6 @@
 #ifndef DICHO_SYSTEMS_FABRIC_H_
 #define DICHO_SYSTEMS_FABRIC_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +13,8 @@
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/mempool.h"
+#include "systems/runtime/runtime.h"
 #include "txn/occ.h"
 
 namespace dicho::systems {
@@ -31,7 +32,7 @@ struct FabricConfig {
   /// validation pool with that many workers (the ablation bench).
   uint32_t validation_parallelism = 1;
   sharedlog::OrderingConfig ordering;
-  NodeId client_node = 1000;
+  NodeId client_node = runtime::kClientNode;
 };
 
 /// Hyperledger Fabric v2.x: an execute-order-validate permissioned
@@ -51,7 +52,7 @@ class FabricSystem : public core::TransactionalSystem {
   FabricSystem(sim::Simulator* sim, sim::SimNetwork* net,
                const sim::CostModel* costs, FabricConfig config);
 
-  void Start();
+  void Start() override;
   bool Ready() const { return ordering_->HasLeader(); }
 
   void Submit(const core::TxnRequest& request, core::TxnCallback cb) override;
@@ -60,21 +61,22 @@ class FabricSystem : public core::TransactionalSystem {
   std::string name() const override { return "fabric"; }
 
   /// Pre-populates every peer's world state directly (benchmark setup).
-  void Load(const std::string& key, const std::string& value) {
-    for (auto& [id, peer] : peers_) peer->state.Apply({{key, value}}, 0);
+  void Load(const std::string& key, const std::string& value) override {
+    runtime::SeedAllReplicas(
+        &peers_, [&](Peer& peer) { peer.state.Apply({{key, value}}, 0); });
   }
 
   const txn::VersionedState& state_of(NodeId peer) const {
-    return peers_.at(peer)->state;
+    return peers_.at(peer).state;
   }
   const ledger::Chain& chain_of(NodeId peer) const {
-    return peers_.at(peer)->chain;
+    return peers_.at(peer).chain;
   }
-  uint64_t LedgerBytes() const { return peers_.at(0)->chain.TotalBytes(); }
-  uint64_t StateBytes() const { return peers_.at(0)->state.DataBytes(); }
+  uint64_t LedgerBytes() const { return peers_.at_index(0).chain.TotalBytes(); }
+  uint64_t StateBytes() const { return peers_.at_index(0).state.DataBytes(); }
   /// Validation backlog on a peer (saturation diagnostics, Fig. 8a).
   Time ValidationBacklog(NodeId peer) const {
-    return peers_.at(peer)->validate_cpu.backlog();
+    return peers_.at(peer).validate_cpu.backlog();
   }
 
  private:
@@ -108,12 +110,11 @@ class FabricSystem : public core::TransactionalSystem {
   sim::SimNetwork* net_;
   const sim::CostModel* costs_;
   FabricConfig config_;
-  std::vector<NodeId> peer_ids_;
-  std::map<NodeId, std::unique_ptr<Peer>> peers_;
+  core::SystemStats stats_;
+  runtime::NodeSet<Peer> peers_;
   std::unique_ptr<sharedlog::OrderingService> ordering_;
   std::unique_ptr<contract::ContractRegistry> contracts_;
-  std::map<uint64_t, std::shared_ptr<PendingTxn>> inflight_;
-  core::SystemStats stats_;
+  runtime::InflightTable<std::shared_ptr<PendingTxn>> inflight_;
 };
 
 }  // namespace dicho::systems

@@ -28,46 +28,44 @@ QuorumSystem::QuorumSystem(sim::Simulator* sim, sim::SimNetwork* net,
       net_(net),
       costs_(costs),
       config_(config),
-      contracts_(contract::ContractRegistry::CreateDefault()) {
-  for (NodeId i = 0; i < config_.num_nodes; i++) node_ids_.push_back(i);
-  for (NodeId id : node_ids_) {
-    nodes_[id] = std::make_unique<Node>(sim);
-  }
-  auto on_apply = [this](NodeId node, uint64_t, const std::string& cmd) {
-    OnBlockCommitted(node, cmd);
-  };
-  if (config_.consensus == QuorumConsensus::kRaft) {
-    raft_ = consensus::RaftCluster::Create(sim, net, costs, node_ids_,
-                                           config_.raft, on_apply);
-  } else {
-    ibft_ = consensus::BftCluster::Create(sim, net, costs, node_ids_,
-                                          config_.ibft, on_apply);
-  }
+      nodes_(sim, runtime::kReplicaBase, config_.num_nodes),
+      contracts_(contract::ContractRegistry::CreateDefault()),
+      mempool_(&stats_.stages),
+      inflight_(&stats_.stages) {
+  runtime::TransportConfig transport;
+  transport.kind = config_.consensus == QuorumConsensus::kRaft
+                       ? runtime::TransportKind::kRaft
+                       : runtime::TransportKind::kBft;
+  transport.raft = config_.raft;
+  transport.bft = config_.ibft;
+  transport_ = std::make_unique<runtime::Transport>(
+      sim, net, costs, nodes_.ids(), transport,
+      [this](size_t node_index, const std::string& cmd) {
+        OnBlockCommitted(nodes_.id_of(node_index), cmd);
+      });
 }
 
 void QuorumSystem::Start() {
-  if (raft_ != nullptr) {
-    raft_->StartAll();
-  } else {
-    ibft_->StartAll();
-  }
+  transport_->Start();
   sim_->Schedule(config_.block_interval, [this] { ProposerTick(); });
 }
 
 bool QuorumSystem::HasProposer() const {
-  if (raft_ != nullptr) {
-    return const_cast<consensus::RaftCluster*>(raft_.get())->leader() != nullptr;
+  auto* transport = const_cast<runtime::Transport*>(transport_.get());
+  if (transport->raft() != nullptr) {
+    return transport->raft()->leader() != nullptr;
   }
-  return const_cast<consensus::BftCluster*>(ibft_.get())->primary() != nullptr;
+  return transport->bft()->primary() != nullptr;
 }
 
 NodeId QuorumSystem::ProposerId() const {
-  if (raft_ != nullptr) {
-    auto* leader = const_cast<consensus::RaftCluster*>(raft_.get())->leader();
-    return leader != nullptr ? leader->id() : node_ids_[0];
+  auto* transport = const_cast<runtime::Transport*>(transport_.get());
+  if (transport->raft() != nullptr) {
+    auto* leader = transport->raft()->leader();
+    return leader != nullptr ? leader->id() : nodes_.id_of(0);
   }
-  auto* primary = const_cast<consensus::BftCluster*>(ibft_.get())->primary();
-  return primary != nullptr ? primary->id() : node_ids_[0];
+  auto* primary = transport->bft()->primary();
+  return primary != nullptr ? primary->id() : nodes_.id_of(0);
 }
 
 void QuorumSystem::ProposerTick() {
@@ -118,7 +116,7 @@ Time QuorumSystem::ExecuteTxn(Node* node, const core::TxnRequest& request,
 
 void QuorumSystem::CutAndProposeBlock() {
   NodeId proposer_id = ProposerId();
-  Node* proposer = nodes_.at(proposer_id).get();
+  Node* proposer = &nodes_.at(proposer_id);
 
   ledger::Block block;
   block.header.number = next_block_number_;
@@ -126,11 +124,10 @@ void QuorumSystem::CutAndProposeBlock() {
   block.header.timestamp_us = static_cast<uint64_t>(sim_->Now());
 
   Time exec_cost = 0;
-  uint64_t bytes = 0;
-  while (!mempool_.empty() && block.txns.size() < config_.max_block_txns &&
-         bytes < config_.max_block_bytes) {
-    PendingTxn pending = std::move(mempool_.front());
-    mempool_.pop_front();
+  runtime::BatchPolicy policy;
+  policy.max_txns = config_.max_block_txns;
+  policy.max_bytes = config_.max_block_bytes;
+  mempool_.Cut(policy, [&](PendingTxn pending) {
     pending.proposed_time = sim_->Now();
 
     ledger::LedgerTxn txn;
@@ -143,10 +140,12 @@ void QuorumSystem::CutAndProposeBlock() {
     // proposer's chain head advances as it builds).
     exec_cost += ExecuteTxn(proposer, pending.request, &txn,
                             /*apply_writes=*/true);
-    bytes += txn.ByteSize();
+    uint64_t bytes = txn.ByteSize();
     block.txns.push_back(std::move(txn));
-    inflight_[pending.request.txn_id] = std::move(pending);
-  }
+    uint64_t txn_id = pending.request.txn_id;
+    inflight_.Insert(txn_id, std::move(pending));
+    return bytes;
+  });
   if (block.txns.empty()) return;
   next_block_number_++;
   block.header.state_digest = proposer->state.RootDigest();
@@ -162,12 +161,12 @@ void QuorumSystem::CutAndProposeBlock() {
   // goes to consensus when it finishes.
   proposer->cpu.Submit(exec_cost, [this, proposer_id,
                                    serialized = std::move(serialized)] {
-    if (raft_ != nullptr) {
-      consensus::RaftNode* leader = raft_->leader();
+    if (transport_->raft() != nullptr) {
+      consensus::RaftNode* leader = transport_->raft()->leader();
       if (leader == nullptr || leader->id() != proposer_id) return;
       leader->Propose(serialized, [](Status, uint64_t) {});
     } else {
-      consensus::BftNode* primary = ibft_->primary();
+      consensus::BftNode* primary = transport_->bft()->primary();
       if (primary == nullptr) return;
       primary->Submit(serialized, [](Status, uint64_t) {});
     }
@@ -177,7 +176,7 @@ void QuorumSystem::CutAndProposeBlock() {
 void QuorumSystem::OnBlockCommitted(NodeId node_id, const std::string& cmd) {
   ledger::Block block;
   if (!ledger::Block::Deserialize(cmd, &block)) return;
-  Node* node = nodes_.at(node_id).get();
+  Node* node = &nodes_.at(node_id);
 
   // The proposer already executed this block while building it; skip its
   // re-execution.
@@ -217,26 +216,26 @@ void QuorumSystem::OnBlockCommitted(NodeId node_id, const std::string& cmd) {
     // A fixed non-proposer node acts as the client's local peer: completion
     // fires when it has committed, so the latency includes the
     // re-execution (commit) phase like a real client observes.
-    NodeId completion = node_ids_.back();
-    if (completion == ProposerId() && node_ids_.size() > 1) {
-      completion = node_ids_[node_ids_.size() - 2];
+    NodeId completion = nodes_.ids().back();
+    if (completion == ProposerId() && nodes_.size() > 1) {
+      completion = nodes_.id_of(nodes_.size() - 2);
     }
     if (node_id != completion) return;
     for (const auto& txn : shared->txns) {
-      auto it = inflight_.find(txn.txn_id);
-      if (it == inflight_.end()) continue;
-      PendingTxn pending = std::move(it->second);
-      inflight_.erase(it);
+      PendingTxn pending;
+      if (!inflight_.Take(txn.txn_id, &pending)) continue;
       net_->Send(node_id, config_.client_node, 64,
                  [this, pending = std::move(pending),
                   valid = txn.valid]() mutable {
                    core::TxnResult result;
                    result.submit_time = pending.submit_time;
                    result.finish_time = sim_->Now();
-                   result.phase_us["proposal"] =
-                       pending.proposed_time - pending.submit_time;
-                   result.phase_us["consensus+commit"] =
-                       result.finish_time - pending.proposed_time;
+                   result.phases.Set(core::Phase::kProposal,
+                                     pending.proposed_time -
+                                         pending.submit_time);
+                   result.phases.Set(core::Phase::kConsensusCommit,
+                                     result.finish_time -
+                                         pending.proposed_time);
                    if (valid) {
                      result.status = Status::Ok();
                      stats_.committed++;
@@ -261,7 +260,7 @@ void QuorumSystem::Submit(const core::TxnRequest& request,
   // Client sends the signed transaction to the proposer's mempool.
   net_->Send(config_.client_node, ProposerId(), request.PayloadBytes() + 96,
              [this, pending = std::move(pending)]() mutable {
-               mempool_.push_back(std::move(pending));
+               mempool_.Push(std::move(pending));
              });
 }
 
@@ -269,7 +268,7 @@ void QuorumSystem::Query(const core::ReadRequest& request,
                          core::ReadCallback cb) {
   stats_.queries++;
   Time submit_time = sim_->Now();
-  NodeId target = node_ids_[request.client_id % node_ids_.size()];
+  NodeId target = nodes_.id_of(request.client_id % nodes_.size());
   net_->Send(config_.client_node, target, 64 + request.key.size(),
              [this, target, key = request.key, cb = std::move(cb),
               submit_time]() mutable {
@@ -278,7 +277,7 @@ void QuorumSystem::Query(const core::ReadRequest& request,
                                                         cb = std::move(cb),
                                                         submit_time]() mutable {
                  std::string value;
-                 Status s = nodes_.at(target)->state.Get(key, &value);
+                 Status s = nodes_.at(target).state.Get(key, &value);
                  net_->Send(target, config_.client_node, 64 + value.size(),
                             [this, cb = std::move(cb), submit_time, s,
                              value = std::move(value)] {
@@ -287,8 +286,9 @@ void QuorumSystem::Query(const core::ReadRequest& request,
                               result.value = value;
                               result.submit_time = submit_time;
                               result.finish_time = sim_->Now();
-                              result.phase_us["evm-read"] =
-                                  result.finish_time - submit_time;
+                              result.phases.Set(core::Phase::kEvmRead,
+                                                result.finish_time -
+                                                    submit_time);
                               cb(result);
                             });
                });

@@ -1,7 +1,6 @@
 #ifndef DICHO_SYSTEMS_QUORUM_H_
 #define DICHO_SYSTEMS_QUORUM_H_
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -9,8 +8,6 @@
 #include <vector>
 
 #include "adt/mpt.h"
-#include "consensus/pbft.h"
-#include "consensus/raft.h"
 #include "contract/contract.h"
 #include "core/types.h"
 #include "ledger/ledger.h"
@@ -18,6 +15,9 @@
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/mempool.h"
+#include "systems/runtime/runtime.h"
+#include "systems/runtime/transport.h"
 
 namespace dicho::systems {
 
@@ -34,7 +34,7 @@ struct QuorumConfig {
   Time block_interval = 250 * sim::kMs;
   size_t max_block_txns = 500;
   uint64_t max_block_bytes = 1ull << 20;  // the gas-limit analog
-  NodeId client_node = 1000;
+  NodeId client_node = runtime::kClientNode;
   consensus::RaftConfig raft;
   consensus::BftConfig ibft;
 };
@@ -54,7 +54,7 @@ class QuorumSystem : public core::TransactionalSystem {
   QuorumSystem(sim::Simulator* sim, sim::SimNetwork* net,
                const sim::CostModel* costs, QuorumConfig config);
 
-  void Start();
+  void Start() override;
   bool HasProposer() const;
 
   void Submit(const core::TxnRequest& request, core::TxnCallback cb) override;
@@ -66,20 +66,23 @@ class QuorumSystem : public core::TransactionalSystem {
   }
 
   /// Pre-populates every node's state trie directly (benchmark setup).
-  void Load(const std::string& key, const std::string& value) {
-    for (auto& [id, node] : nodes_) node->state.Put(key, value);
+  void Load(const std::string& key, const std::string& value) override {
+    runtime::SeedAllReplicas(&nodes_,
+                             [&](Node& node) { node.state.Put(key, value); });
   }
 
   /// Per-node authenticated state and ledger (full replication).
   const adt::MerklePatriciaTrie& state_of(NodeId node) const {
-    return nodes_.at(node)->state;
+    return nodes_.at(node).state;
   }
   const ledger::Chain& chain_of(NodeId node) const {
-    return nodes_.at(node)->chain;
+    return nodes_.at(node).chain;
   }
   /// Ledger + archival state bytes on one node (Fig. 12-style accounting).
-  uint64_t LedgerBytes() const { return nodes_.at(0)->chain.TotalBytes(); }
-  uint64_t StateBytes() const { return nodes_.at(0)->state.TotalNodeBytes(); }
+  uint64_t LedgerBytes() const { return nodes_.at_index(0).chain.TotalBytes(); }
+  uint64_t StateBytes() const {
+    return nodes_.at_index(0).state.TotalNodeBytes();
+  }
   size_t mempool_depth() const { return mempool_.size(); }
 
  private:
@@ -109,18 +112,19 @@ class QuorumSystem : public core::TransactionalSystem {
   sim::SimNetwork* net_;
   const sim::CostModel* costs_;
   QuorumConfig config_;
-  std::vector<NodeId> node_ids_;
-  std::map<NodeId, std::unique_ptr<Node>> nodes_;
-  std::unique_ptr<consensus::RaftCluster> raft_;
-  std::unique_ptr<consensus::BftCluster> ibft_;
+  core::SystemStats stats_;
+  runtime::NodeSet<Node> nodes_;
+  /// Raft or IBFT via the shared transport layer; block routing goes
+  /// through the raw accessors (the proposer must be the current
+  /// leader/primary, not a generic entry node).
+  std::unique_ptr<runtime::Transport> transport_;
   std::unique_ptr<contract::ContractRegistry> contracts_;
 
-  std::deque<PendingTxn> mempool_;
-  std::map<uint64_t, PendingTxn> inflight_;  // txn_id -> waiting client
+  runtime::Mempool<PendingTxn> mempool_;
+  runtime::InflightTable<PendingTxn> inflight_;  // txn_id -> waiting client
   // node -> txn roots of blocks that node built (skip re-execution).
   std::map<NodeId, std::set<std::string>> locally_built_;
   uint64_t next_block_number_ = 0;
-  core::SystemStats stats_;
 };
 
 }  // namespace dicho::systems

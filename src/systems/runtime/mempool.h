@@ -1,0 +1,162 @@
+#ifndef DICHO_SYSTEMS_RUNTIME_MEMPOOL_H_
+#define DICHO_SYSTEMS_RUNTIME_MEMPOOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/simulator.h"
+
+namespace dicho::systems::runtime {
+
+/// Block/batch cutting limits (Quorum's gas-limit analog, Hybrid's
+/// max_batch): a cut stops at whichever cap is hit first.
+struct BatchPolicy {
+  size_t max_txns = 500;
+  uint64_t max_bytes = ~0ull;
+};
+
+/// FIFO admission queue in front of ordering — Quorum's proposer mempool,
+/// HybridSystem's pre-consensus batch queue. Maintains the queue-depth
+/// gauges in SystemStats as a side effect; gauge updates never touch the
+/// simulator, so adding them is observability-only.
+template <typename Item>
+class Mempool {
+ public:
+  explicit Mempool(core::StageGauges* gauges = nullptr) : gauges_(gauges) {}
+
+  void Push(Item item) {
+    queue_.push_back(std::move(item));
+    if (gauges_ != nullptr) {
+      gauges_->enqueued++;
+      gauges_->mempool_depth = queue_.size();
+      if (queue_.size() > gauges_->mempool_peak) {
+        gauges_->mempool_peak = queue_.size();
+      }
+    }
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+
+  /// Cuts one block: pops items in FIFO order until the queue drains or a
+  /// policy cap trips. consume(item) admits the item to the block under
+  /// construction and returns its byte size (counted against max_bytes,
+  /// checked before the *next* pop — a single oversized item still cuts).
+  template <typename ConsumeFn>
+  size_t Cut(const BatchPolicy& policy, ConsumeFn consume) {
+    size_t count = 0;
+    uint64_t bytes = 0;
+    while (!queue_.empty() && count < policy.max_txns &&
+           bytes < policy.max_bytes) {
+      Item item = std::move(queue_.front());
+      queue_.pop_front();
+      bytes += consume(std::move(item));
+      count++;
+    }
+    DidCut(count);
+    return count;
+  }
+
+  /// Drains the whole queue as one batch (Hybrid's timer flush).
+  std::vector<Item> DrainAll() {
+    std::vector<Item> items(std::make_move_iterator(queue_.begin()),
+                            std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    DidCut(items.size());
+    return items;
+  }
+
+ private:
+  void DidCut(size_t count) {
+    if (gauges_ == nullptr) return;
+    if (count > 0) gauges_->batches_cut++;
+    gauges_->mempool_depth = queue_.size();
+  }
+
+  std::deque<Item> queue_;
+  core::StageGauges* gauges_;
+};
+
+/// One-shot flush timer armed on first enqueue (HybridSystem's batching
+/// discipline): Arm() is a no-op while a flush is already scheduled, and
+/// the timer disarms itself before firing so the flush can re-arm.
+class BatchTimer {
+ public:
+  BatchTimer(sim::Simulator* sim, sim::Time interval)
+      : sim_(sim), interval_(interval) {}
+
+  template <typename Fn>
+  void Arm(Fn fire) {
+    if (armed_) return;
+    armed_ = true;
+    sim_->Schedule(interval_, [this, fire = std::move(fire)] {
+      armed_ = false;
+      fire();
+    });
+  }
+
+  bool armed() const { return armed_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Time interval_;
+  bool armed_ = false;
+};
+
+/// Submitted-but-unresolved transactions keyed by txn id — the table every
+/// system kept privately to route ordered/validated outcomes back to the
+/// waiting client callback. Insert overwrites (map::operator[] semantics,
+/// what every system relied on for client retries reusing an id).
+template <typename TxnState>
+class InflightTable {
+ public:
+  explicit InflightTable(core::StageGauges* gauges = nullptr)
+      : gauges_(gauges) {}
+
+  void Insert(uint64_t txn_id, TxnState state) {
+    map_[txn_id] = std::move(state);
+    if (gauges_ != nullptr) {
+      gauges_->inflight_depth = map_.size();
+      if (map_.size() > gauges_->inflight_peak) {
+        gauges_->inflight_peak = map_.size();
+      }
+    }
+  }
+
+  TxnState* Find(uint64_t txn_id) {
+    auto it = map_.find(txn_id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Removes the entry, moving it into *out. Returns false when absent
+  /// (already resolved — e.g. a block replaying on a non-completion node).
+  bool Take(uint64_t txn_id, TxnState* out) {
+    auto it = map_.find(txn_id);
+    if (it == map_.end()) return false;
+    *out = std::move(it->second);
+    map_.erase(it);
+    if (gauges_ != nullptr) gauges_->inflight_depth = map_.size();
+    return true;
+  }
+
+  void Erase(uint64_t txn_id) {
+    map_.erase(txn_id);
+    if (gauges_ != nullptr) gauges_->inflight_depth = map_.size();
+  }
+
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::map<uint64_t, TxnState> map_;
+  core::StageGauges* gauges_;
+};
+
+}  // namespace dicho::systems::runtime
+
+#endif  // DICHO_SYSTEMS_RUNTIME_MEMPOOL_H_

@@ -1,0 +1,91 @@
+#ifndef DICHO_SYSTEMS_RUNTIME_RUNTIME_H_
+#define DICHO_SYSTEMS_RUNTIME_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dicho::systems::runtime {
+
+/// Canonical node-id spans of the simulated topology. Every system draws
+/// its ids from one of these blocks (disjoint, so a network trace names the
+/// subsystem), and every client request enters the wire at kClientNode —
+/// these used to be per-system magic numbers.
+inline constexpr sim::NodeId kClientNode = 1000;
+inline constexpr sim::NodeId kReplicaBase = 0;      // quorum/fabric/etcd replicas
+inline constexpr sim::NodeId kOrdererBase = 200;    // Fabric ordering service
+inline constexpr sim::NodeId kTidbServerBase = 300; // stateless SQL servers
+inline constexpr sim::NodeId kTikvBase = 400;       // TiKV storage nodes
+inline constexpr sim::NodeId kPdNode = 500;         // TiDB placement driver
+inline constexpr sim::NodeId kSpannerBase = 600;    // Spanner-like Paxos groups
+inline constexpr sim::NodeId kAhlBase = 700;        // AHL committee + shards
+inline constexpr sim::NodeId kHybridBase = 800;     // fusion-builder nodes
+
+/// The per-node bundle of one replica set: a contiguous id span plus one
+/// NodeState per id. NodeState is each system's node composition (state +
+/// ledger slot + serial CPU thread) and must be constructible from
+/// sim::Simulator*. Replaces the hand-rolled id-vector + map-of-unique-ptr
+/// pairs every system carried.
+template <typename NodeState>
+class NodeSet {
+ public:
+  NodeSet(sim::Simulator* sim, sim::NodeId base, uint32_t count)
+      : base_(base) {
+    for (uint32_t i = 0; i < count; i++) {
+      ids_.push_back(base + static_cast<sim::NodeId>(i));
+      nodes_.push_back(std::make_unique<NodeState>(sim));
+    }
+  }
+
+  size_t size() const { return nodes_.size(); }
+  const std::vector<sim::NodeId>& ids() const { return ids_; }
+  sim::NodeId id_of(size_t index) const { return ids_[index]; }
+  size_t index_of(sim::NodeId id) const {
+    return static_cast<size_t>(id - base_);
+  }
+
+  NodeState& at_index(size_t index) { return *nodes_[index]; }
+  const NodeState& at_index(size_t index) const { return *nodes_[index]; }
+  NodeState& at(sim::NodeId id) { return at_index(index_of(id)); }
+  const NodeState& at(sim::NodeId id) const { return at_index(index_of(id)); }
+
+  /// Visits every node in id order: fn(node) or fn(id, node).
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    for (size_t i = 0; i < nodes_.size(); i++) {
+      if constexpr (std::is_invocable_v<Fn, sim::NodeId, NodeState&>) {
+        fn(ids_[i], *nodes_[i]);
+      } else {
+        fn(*nodes_[i]);
+      }
+    }
+  }
+
+ private:
+  sim::NodeId base_;
+  std::vector<sim::NodeId> ids_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+};
+
+/// Bulk-seeds one record into EVERY replica of a full-replication system —
+/// the canonical Load() body. Seeding all replicas (not just node 0) is
+/// required for correctness: queries and re-execution read any node's
+/// local state. fn(node) applies the write to one node's state.
+template <typename NodeState, typename Fn>
+void SeedAllReplicas(NodeSet<NodeState>* nodes, Fn fn) {
+  nodes->ForEach([&](NodeState& node) { fn(node); });
+}
+
+/// A per-node serial CPU slot with no other state — the node bundle for
+/// stateless tiers (TiDB SQL servers, TiKV apply threads).
+struct CpuSlot {
+  explicit CpuSlot(sim::Simulator* sim) : cpu(sim) {}
+  sim::CpuResource cpu;
+};
+
+}  // namespace dicho::systems::runtime
+
+#endif  // DICHO_SYSTEMS_RUNTIME_RUNTIME_H_

@@ -1,0 +1,108 @@
+#include "systems/runtime/transport.h"
+
+namespace dicho::systems::runtime {
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kRaft:
+      return "raft";
+    case TransportKind::kBft:
+      return "bft";
+    case TransportKind::kSharedLog:
+      return "shared-log";
+    case TransportKind::kPow:
+      return "pow";
+    case TransportKind::kPrimaryBackup:
+      return "primary-backup";
+  }
+  return "unknown";
+}
+
+Transport::Transport(sim::Simulator* sim, sim::SimNetwork* net,
+                     const sim::CostModel* costs,
+                     std::vector<sim::NodeId> node_ids, TransportConfig config,
+                     ApplyFn apply)
+    : sim_(sim),
+      net_(net),
+      node_ids_(std::move(node_ids)),
+      config_(std::move(config)),
+      apply_(std::move(apply)) {
+  const sim::NodeId base = node_ids_.front();
+  // Protocol delivery hands (node_id, seq, payload); replica code indexes
+  // nodes by position in the span.
+  auto deliver = [this, base](sim::NodeId node, uint64_t,
+                              const std::string& payload) {
+    if (apply_ != nullptr) apply_(static_cast<size_t>(node - base), payload);
+  };
+  switch (config_.kind) {
+    case TransportKind::kRaft:
+      raft_ = consensus::RaftCluster::Create(sim, net, costs, node_ids_,
+                                             config_.raft, deliver);
+      break;
+    case TransportKind::kBft:
+      bft_ = consensus::BftCluster::Create(sim, net, costs, node_ids_,
+                                           config_.bft, deliver);
+      break;
+    case TransportKind::kSharedLog: {
+      sim::NodeId broker = node_ids_.back() + 1;  // Kafka-style broker node
+      shared_log_ =
+          std::make_unique<sharedlog::SharedLog>(sim, net, broker, config_.log);
+      for (size_t i = 0; i < node_ids_.size(); i++) {
+        shared_log_->Subscribe(node_ids_[i],
+                               [this, i](uint64_t, const std::string& record) {
+                                 if (apply_ != nullptr) apply_(i, record);
+                               });
+      }
+      break;
+    }
+    case TransportKind::kPow:
+      pow_ = std::make_unique<consensus::PowNetwork>(sim, net, node_ids_,
+                                                     config_.pow, deliver);
+      break;
+    case TransportKind::kPrimaryBackup:
+      break;  // handled inline in Disseminate
+  }
+}
+
+void Transport::Start() {
+  if (raft_ != nullptr) raft_->StartAll();
+  if (bft_ != nullptr) bft_->StartAll();
+  if (pow_ != nullptr) pow_->Start();
+}
+
+void Transport::Disseminate(const std::string& payload) {
+  if (raft_ != nullptr) {
+    consensus::RaftNode* leader = raft_->leader();
+    if (leader == nullptr) {
+      // Election in progress; retry shortly.
+      sim_->Schedule(config_.raft_retry_interval,
+                     [this, payload] { Disseminate(payload); });
+      return;
+    }
+    leader->Propose(payload, [](Status, uint64_t) {});
+    return;
+  }
+  if (bft_ != nullptr) {
+    bft_->all()[0]->Submit(payload, [](Status, uint64_t) {});
+    return;
+  }
+  if (pow_ != nullptr) {
+    pow_->Submit(payload, nullptr);
+    return;
+  }
+  if (shared_log_ != nullptr) {
+    shared_log_->Append(node_ids_[0], payload, nullptr);
+    return;
+  }
+  // Primary-backup: the first replica is the primary; backups receive the
+  // stream over the wire.
+  if (apply_ != nullptr) apply_(0, payload);
+  for (size_t i = 1; i < node_ids_.size(); i++) {
+    net_->Send(node_ids_[0], node_ids_[i], 64 + payload.size(),
+               [this, i, payload] {
+                 if (apply_ != nullptr) apply_(i, payload);
+               });
+  }
+}
+
+}  // namespace dicho::systems::runtime

@@ -1,0 +1,99 @@
+#ifndef DICHO_SYSTEMS_RUNTIME_TRANSPORT_H_
+#define DICHO_SYSTEMS_RUNTIME_TRANSPORT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/pbft.h"
+#include "consensus/pow.h"
+#include "consensus/raft.h"
+#include "sharedlog/shared_log.h"
+#include "sim/cost_model.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dicho::systems::runtime {
+
+/// The replication transports of the paper's taxonomy (approach x failure
+/// model, Section 3.1): consensus (CFT Raft / BFT PBFT-IBFT / open PoW),
+/// an external shared log, or primary-backup.
+enum class TransportKind {
+  kRaft,
+  kBft,
+  kSharedLog,
+  kPow,
+  kPrimaryBackup,
+};
+
+const char* TransportKindName(TransportKind kind);
+
+struct TransportConfig {
+  TransportKind kind = TransportKind::kRaft;
+  consensus::RaftConfig raft;
+  consensus::BftConfig bft;
+  sharedlog::SharedLogConfig log;
+  consensus::PowConfig pow;
+  /// Disseminate() retries on this cadence while a Raft election is in
+  /// progress.
+  sim::Time raft_retry_interval = 20 * sim::kMs;
+};
+
+/// One ordered dissemination substrate over a contiguous replica span —
+/// the transport-selection switch HybridSystem used to keep privately, now
+/// shared by the concrete systems. Constructs exactly one protocol
+/// instance for `kind` and delivers committed payloads through
+/// apply(node_index, payload) on every replica in the agreed order.
+///
+/// Systems with protocol-specific submit policies (Quorum routes blocks
+/// through the current proposer; etcd rejects writes leaderlessly instead
+/// of retrying) use the raw accessors; Disseminate() is the generic
+/// fire-and-forget policy.
+class Transport {
+ public:
+  using ApplyFn = std::function<void(size_t node_index, const std::string&)>;
+
+  /// node_ids must be a contiguous ascending span. For kSharedLog the
+  /// broker takes the id one past the last replica. apply may be null
+  /// (a caller wiring delivery through protocol-level hooks instead).
+  Transport(sim::Simulator* sim, sim::SimNetwork* net,
+            const sim::CostModel* costs, std::vector<sim::NodeId> node_ids,
+            TransportConfig config, ApplyFn apply);
+
+  /// Boots the protocol (elections, mining, delivery timers).
+  void Start();
+
+  /// Generic dissemination: Raft leader propose (retrying through
+  /// elections), PBFT submit via replica 0, shared-log append from the
+  /// entry node, PoW submit, or primary-backup apply-at-0 + broadcast.
+  void Disseminate(const std::string& payload);
+
+  TransportKind kind() const { return config_.kind; }
+  const std::vector<sim::NodeId>& node_ids() const { return node_ids_; }
+
+  // Raw protocol access (null unless `kind` selected that protocol).
+  consensus::RaftCluster* raft() { return raft_.get(); }
+  const consensus::RaftCluster* raft() const { return raft_.get(); }
+  consensus::BftCluster* bft() { return bft_.get(); }
+  const consensus::BftCluster* bft() const { return bft_.get(); }
+  sharedlog::SharedLog* shared_log() { return shared_log_.get(); }
+  consensus::PowNetwork* pow() { return pow_.get(); }
+
+ private:
+  sim::Simulator* sim_;
+  sim::SimNetwork* net_;
+  std::vector<sim::NodeId> node_ids_;
+  TransportConfig config_;
+  ApplyFn apply_;
+
+  // Exactly one is instantiated (none for primary-backup).
+  std::unique_ptr<consensus::RaftCluster> raft_;
+  std::unique_ptr<consensus::BftCluster> bft_;
+  std::unique_ptr<sharedlog::SharedLog> shared_log_;
+  std::unique_ptr<consensus::PowNetwork> pow_;
+};
+
+}  // namespace dicho::systems::runtime
+
+#endif  // DICHO_SYSTEMS_RUNTIME_TRANSPORT_H_

@@ -6,8 +6,6 @@ namespace dicho::systems {
 
 namespace {
 
-constexpr NodeId kShardBase = 600;
-
 class MapStateView : public contract::StateView {
  public:
   explicit MapStateView(
@@ -37,7 +35,8 @@ SpannerLikeSystem::SpannerLikeSystem(sim::Simulator* sim, sim::SimNetwork* net,
       contracts_(contract::ContractRegistry::CreateDefault()) {
   for (uint32_t s = 0; s < config_.num_shards; s++) {
     auto shard = std::make_unique<Shard>();
-    shard->leader = kShardBase + s * config_.nodes_per_shard;
+    shard->leader =
+        systems::runtime::kSpannerBase + s * config_.nodes_per_shard;
     node_cpu_[shard->leader] = std::make_unique<sim::CpuResource>(sim);
     shards_.push_back(std::move(shard));
   }

@@ -11,6 +11,7 @@
 #include "sharding/partition.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
+#include "systems/runtime/runtime.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "txn/lock_table.h"
@@ -25,7 +26,7 @@ struct SpannerConfig {
   uint32_t nodes_per_shard = 3;  // Paxos group size (paper Fig. 14 uses 3)
   int max_retries = 3;
   Time retry_backoff = 3 * sim::kMs;
-  NodeId client_node = 1000;
+  NodeId client_node = runtime::kClientNode;
 };
 
 /// Spanner-like NewSQL database: sharded, Paxos-replicated groups,
@@ -44,7 +45,7 @@ class SpannerLikeSystem : public core::TransactionalSystem {
   const core::SystemStats& stats() const override { return stats_; }
   std::string name() const override { return "spanner-like"; }
 
-  void Load(const std::string& key, const std::string& value) {
+  void Load(const std::string& key, const std::string& value) override {
     shards_[partitioner_.ShardOf(key)]->state[key] = value;
   }
   uint64_t lock_waits() const;

@@ -6,10 +6,6 @@ namespace dicho::systems {
 
 namespace {
 
-constexpr NodeId kServerBase = 300;
-constexpr NodeId kTikvBase = 400;
-constexpr NodeId kPdNode = 500;
-
 /// Contract view over a transaction's prefetched snapshot.
 class SnapshotView : public contract::StateView {
  public:
@@ -37,22 +33,14 @@ TidbSystem::TidbSystem(sim::Simulator* sim, sim::SimNetwork* net,
       costs_(costs),
       config_(config),
       partitioner_(config.num_regions),
-      pd_node_(kPdNode),
+      servers_(sim, runtime::kTidbServerBase, config.num_tidb_servers),
+      tikvs_(sim, runtime::kTikvBase, config.num_tikv_nodes),
+      pd_node_(runtime::kPdNode),
       contracts_(contract::ContractRegistry::CreateDefault()) {
-  for (uint32_t i = 0; i < config_.num_tidb_servers; i++) {
-    NodeId id = kServerBase + i;
-    server_ids_.push_back(id);
-    server_cpu_[id] = std::make_unique<sim::CpuResource>(sim);
-  }
-  for (uint32_t i = 0; i < config_.num_tikv_nodes; i++) {
-    NodeId id = kTikvBase + i;
-    tikv_ids_.push_back(id);
-    tikv_cpu_[id] = std::make_unique<sim::CpuResource>(sim);
-  }
   pd_cpu_ = std::make_unique<sim::CpuResource>(sim);
   for (uint32_t r = 0; r < config_.num_regions; r++) {
     auto region = std::make_unique<Region>();
-    region->leader = tikv_ids_[r % tikv_ids_.size()];
+    region->leader = tikvs_.id_of(r % tikvs_.size());
     regions_.push_back(std::move(region));
   }
 }
@@ -70,12 +58,12 @@ Time TidbSystem::RegionWriteCost(uint64_t bytes) const {
 void TidbSystem::ChargeFollowerApplies(NodeId leader, uint64_t bytes) {
   uint32_t replicas = ReplicationFactor();
   uint32_t charged = 0;
-  for (NodeId node : tikv_ids_) {
+  for (NodeId node : tikvs_.ids()) {
     if (node == leader) continue;
     if (++charged >= replicas) break;
     // Replication traffic occupies the leader's NIC and the follower's CPU.
     net_->Send(leader, node, 64 + bytes, [this, node, bytes] {
-      tikv_cpu_.at(node)->Submit(
+      tikvs_.at(node).cpu.Submit(
           costs_->tikv_follower_apply_us + costs_->LsmWriteCost(bytes), [] {});
     });
   }
@@ -103,7 +91,7 @@ void TidbSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
   txn->request = request;
   txn->cb = std::move(cb);
   txn->submit_time = sim_->Now();
-  txn->server = server_ids_[next_server_++ % server_ids_.size()];
+  txn->server = servers_.id_of(next_server_++ % servers_.size());
   txn->keys = contract::StaticKeySet(request);
 
   net_->Send(config_.client_node, txn->server, request.PayloadBytes() + 64,
@@ -117,10 +105,10 @@ void TidbSystem::StartAttempt(TxnPtr txn) {
   txn->failed = false;
   Time parse_start = sim_->Now();
   // SQL layer work on the (stateless) server.
-  server_cpu_.at(txn->server)
-      ->Submit(costs_->sql_parse_us + costs_->sql_execute_us, [this, txn,
-                                                               parse_start] {
-        txn->result.phase_us["parse"] += sim_->Now() - parse_start;
+  servers_.at(txn->server)
+      .cpu.Submit(costs_->sql_parse_us + costs_->sql_execute_us, [this, txn,
+                                                                  parse_start] {
+        txn->result.phases.Add(core::Phase::kParse, sim_->Now() - parse_start);
         FetchTimestamp(txn->server, [this, txn](uint64_t ts) {
           txn->start_ts = ts;
           ReadKeys(txn, [this, txn] { ExecuteAndWrite(txn); });
@@ -150,7 +138,7 @@ void TidbSystem::ReadOneKey(TxnPtr txn, const std::string& key,
   net_->Send(txn->server, leader, 64 + key.size(), [this, txn, key, leader,
                                                     region, retries_left,
                                                     done]() mutable {
-    tikv_cpu_.at(leader)->Submit(
+    tikvs_.at(leader).cpu.Submit(
         costs_->lsm_read_us, [this, txn, key, leader, region, retries_left,
                               done]() mutable {
           std::string value;
@@ -224,7 +212,7 @@ void TidbSystem::PrewriteAll(TxnPtr txn) {
                                             txn->primary, txn->request.txn_id);
           Time cost = RegionWriteCost(key.size() + value.size());
           if (s.ok()) ChargeFollowerApplies(leader, key.size() + value.size());
-          tikv_cpu_.at(leader)->Submit(cost, [this, txn, key, leader, s,
+          tikvs_.at(leader).cpu.Submit(cost, [this, txn, key, leader, s,
                                               remaining, prewrite_start] {
             sim_->Schedule(ReplicationDelay(), [this, txn, key, leader, s,
                                                 remaining, prewrite_start] {
@@ -246,8 +234,8 @@ void TidbSystem::PrewriteAll(TxnPtr txn) {
                   return;
                 }
                 if (--(*remaining) == 0) {
-                  txn->result.phase_us["prewrite"] +=
-                      sim_->Now() - prewrite_start;
+                  txn->result.phases.Add(core::Phase::kPrewrite,
+                                          sim_->Now() - prewrite_start);
                   CommitPrimary(txn);
                 }
               });
@@ -268,7 +256,7 @@ void TidbSystem::CommitPrimary(TxnPtr txn) {
       Status s = region->store.Commit(txn->primary, txn->start_ts, commit_ts);
       Time cost = RegionWriteCost(txn->primary.size() + 16);
       if (s.ok()) ChargeFollowerApplies(leader, txn->primary.size() + 16);
-      tikv_cpu_.at(leader)->Submit(cost, [this, txn, leader, s, commit_ts,
+      tikvs_.at(leader).cpu.Submit(cost, [this, txn, leader, s, commit_ts,
                                           commit_start] {
         sim_->Schedule(ReplicationDelay(), [this, txn, leader, s, commit_ts,
                                             commit_start] {
@@ -280,7 +268,7 @@ void TidbSystem::CommitPrimary(TxnPtr txn) {
                 key, txn->start_ts, commit_ts);
           }
           net_->Send(leader, txn->server, 64, [this, txn, s, commit_start] {
-            txn->result.phase_us["commit"] += sim_->Now() - commit_start;
+            txn->result.phases.Add(core::Phase::kCommit, sim_->Now() - commit_start);
             if (!s.ok()) {
               Finish(txn, Status::Aborted("primary commit failed"),
                      core::AbortReason::kWriteConflict);
@@ -326,11 +314,11 @@ void TidbSystem::Finish(TxnPtr txn, Status status, core::AbortReason reason) {
 void TidbSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) {
   stats_.queries++;
   Time submit_time = sim_->Now();
-  NodeId server = server_ids_[request.client_id % server_ids_.size()];
+  NodeId server = servers_.id_of(request.client_id % servers_.size());
   net_->Send(config_.client_node, server, 64 + request.key.size(),
              [this, server, key = request.key, cb = std::move(cb),
               submit_time]() mutable {
-               server_cpu_.at(server)->Submit(
+               servers_.at(server).cpu.Submit(
                    costs_->sql_parse_us, [this, server, key,
                                           cb = std::move(cb),
                                           submit_time]() mutable {
@@ -340,7 +328,7 @@ void TidbSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
                      net_->Send(server, leader, 64, [this, server, key, region,
                                                      leader, cb = std::move(cb),
                                                      submit_time]() mutable {
-                       tikv_cpu_.at(leader)->Submit(
+                       tikvs_.at(leader).cpu.Submit(
                            costs_->lsm_read_us,
                            [this, server, key, region, leader,
                             cb = std::move(cb), submit_time]() mutable {
@@ -357,8 +345,9 @@ void TidbSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
                                    result.value = value;
                                    result.submit_time = submit_time;
                                    result.finish_time = sim_->Now();
-                                   result.phase_us["read"] =
-                                       result.finish_time - submit_time;
+                                   result.phases.Set(
+                                       core::Phase::kRead,
+                                       result.finish_time - submit_time);
                                    cb(result);
                                  });
                            });
@@ -376,7 +365,7 @@ void TidbSystem::RawPut(const std::string& key, const std::string& value,
              [this, key, value, region, leader, cb = std::move(cb)]() mutable {
                Time cost = costs_->tikv_grpc_us +
                            RegionWriteCost(key.size() + value.size());
-               tikv_cpu_.at(leader)->Submit(
+               tikvs_.at(leader).cpu.Submit(
                    cost, [this, key, value, region, leader,
                           cb = std::move(cb)]() mutable {
                      // Raw mode bypasses the transaction layer entirely.
@@ -400,7 +389,7 @@ void TidbSystem::RawGet(const std::string& key, core::ReadCallback cb) {
   net_->Send(config_.client_node, leader, 64 + key.size(),
              [this, key, region, leader, cb = std::move(cb),
               submit_time]() mutable {
-               tikv_cpu_.at(leader)->Submit(
+               tikvs_.at(leader).cpu.Submit(
                    costs_->lsm_read_us, [this, key, region, leader,
                                          cb = std::move(cb),
                                          submit_time]() mutable {

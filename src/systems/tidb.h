@@ -13,6 +13,7 @@
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/runtime.h"
 #include "txn/mvcc.h"
 
 namespace dicho::systems {
@@ -30,7 +31,7 @@ struct TidbConfig {
   int max_write_retries = 6;
   int max_read_retries = 5;
   Time retry_backoff = 3 * sim::kMs;
-  NodeId client_node = 1000;
+  NodeId client_node = runtime::kClientNode;
 };
 
 /// TiDB: a NewSQL database. Stateless SQL servers parse/plan and coordinate
@@ -64,7 +65,7 @@ class TidbSystem : public core::TransactionalSystem {
   void RawGet(const std::string& key, core::ReadCallback cb);
 
   /// Pre-populates the region stores directly (benchmark setup).
-  void Load(const std::string& key, const std::string& value) {
+  void Load(const std::string& key, const std::string& value) override {
     Region* region = regions_[partitioner_.ShardOf(key)].get();
     uint64_t ts = next_ts_++;
     region->store.Prewrite(key, value, ts, key, 0);
@@ -127,11 +128,10 @@ class TidbSystem : public core::TransactionalSystem {
   const sim::CostModel* costs_;
   TidbConfig config_;
   sharding::HashPartitioner partitioner_;
-  std::vector<NodeId> server_ids_;
-  std::vector<NodeId> tikv_ids_;
+  /// Stateless SQL tier and TiKV apply threads: per-node serial CPU slots.
+  runtime::NodeSet<runtime::CpuSlot> servers_;
+  runtime::NodeSet<runtime::CpuSlot> tikvs_;
   NodeId pd_node_;
-  std::map<NodeId, std::unique_ptr<sim::CpuResource>> server_cpu_;
-  std::map<NodeId, std::unique_ptr<sim::CpuResource>> tikv_cpu_;
   std::unique_ptr<sim::CpuResource> pd_cpu_;
   std::vector<std::unique_ptr<Region>> regions_;
   std::unique_ptr<contract::ContractRegistry> contracts_;

@@ -1,0 +1,341 @@
+#include "testing/golden.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hybrid/builder.h"
+#include "sim/cost_model.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "systems/ahl.h"
+#include "systems/etcd.h"
+#include "systems/fabric.h"
+#include "systems/quorum.h"
+#include "systems/runtime/registry.h"
+#include "systems/spannerlike.h"
+#include "systems/tidb.h"
+#include "testing/harness.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace dicho::testing {
+namespace {
+
+// Pinned knobs. Changing ANY of these invalidates the committed baselines
+// in tests/golden/ — regenerate with bench/golden_gen and inspect the diff.
+constexpr uint64_t kWorldSeed = 42;
+constexpr uint64_t kWorkloadSeed = 7;
+constexpr uint64_t kRecordCount = 400;
+constexpr size_t kRecordSize = 100;
+constexpr size_t kClients = 32;
+constexpr double kQueryFraction = 0.25;
+
+struct GoldenWorld {
+  explicit GoldenWorld(uint64_t seed)
+      : sim(seed), net(&sim, sim::NetworkConfig{}) {}
+  sim::Simulator sim;
+  sim::SimNetwork net;
+  sim::CostModel costs;
+};
+
+// %.17g round-trips doubles exactly, so equal samples render to equal bytes.
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FmtU64(uint64_t v) { return std::to_string(v); }
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HistogramJson(const Histogram& h) {
+  return "{\"count\": " + FmtU64(h.count()) +
+         ", \"mean_us\": " + FmtDouble(h.Mean()) + "}";
+}
+
+/// Canonical render: fixed field order, std::map iteration gives sorted
+/// phase / abort-reason keys, %.17g doubles. Byte-stable iff the run is.
+std::string RenderRun(const std::string& case_name,
+                      const workload::RunMetrics& m,
+                      const core::SystemStats& stats, uint64_t sim_events,
+                      uint64_t messages_sent) {
+  std::string out = "{\n";
+  out += "  \"case\": \"" + JsonEscape(case_name) + "\",\n";
+  out += "  \"committed\": " + FmtU64(m.committed) + ",\n";
+  out += "  \"aborted\": " + FmtU64(m.aborted) + ",\n";
+  out += "  \"aborts_by_reason\": {";
+  bool first = true;
+  for (const auto& [reason, count] : m.aborts_by_reason) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + std::string(core::AbortReasonName(reason)) +
+           "\": " + FmtU64(count);
+  }
+  out += "},\n";
+  out += "  \"txn_latency\": " + HistogramJson(m.txn_latency_us) + ",\n";
+  out += "  \"query_latency\": " + HistogramJson(m.query_latency_us) + ",\n";
+  out += "  \"phases\": {";
+  first = true;
+  // Enum order == alphabetical name order; skipping never-stamped phases
+  // reproduces the old string-map iteration byte-for-byte.
+  for (size_t i = 0; i < core::kNumPhases; i++) {
+    const Histogram& hist = m.phase_hist[i];
+    if (hist.count() == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" +
+           std::string(core::PhaseName(static_cast<core::Phase>(i))) +
+           "\": " + HistogramJson(hist);
+  }
+  out += "},\n";
+  out += "  \"system_committed\": " + FmtU64(stats.committed) + ",\n";
+  out += "  \"system_aborted\": " + FmtU64(stats.aborted) + ",\n";
+  out += "  \"system_queries\": " + FmtU64(stats.queries) + ",\n";
+  out += "  \"sim_events\": " + FmtU64(sim_events) + ",\n";
+  out += "  \"messages_sent\": " + FmtU64(messages_sent) + "\n";
+  out += "}\n";
+  return out;
+}
+
+/// Loads the pinned YCSB population and drives the standard short mix
+/// (closed loop, 25% point queries) against an already-started system.
+template <typename System>
+std::string DriveYcsb(const std::string& case_name, GoldenWorld* w,
+                      System* system) {
+  workload::YcsbConfig wcfg;
+  wcfg.record_count = kRecordCount;
+  wcfg.record_size = kRecordSize;
+  workload::YcsbWorkload workload(wcfg, kWorkloadSeed);
+  for (uint64_t i = 0; i < kRecordCount; i++) {
+    system->Load(workload.KeyAt(i), workload.RandomValue());
+  }
+  workload::DriverConfig dcfg;
+  dcfg.num_clients = kClients;
+  dcfg.warmup = 1 * sim::kSec;
+  dcfg.measure = 2 * sim::kSec;
+  dcfg.query_fraction = kQueryFraction;
+  workload::Driver driver(
+      &w->sim, system, [&workload] { return workload.NextTxn(); },
+      [&workload] { return workload.NextRead(); }, dcfg);
+  workload::RunMetrics m = driver.Run();
+  return RenderRun(case_name, m, system->stats(), w->sim.executed_events(),
+                   w->net.messages_sent());
+}
+
+/// All system recipes route through the shared registry — the same factory
+/// the benches and the fuzz harness use — so the goldens pin the registry's
+/// construction path too. `start` is false for systems with no consensus
+/// warm-up (TiDB, Spanner: replication is cost-modeled).
+std::string RunRegistered(const std::string& registry_name,
+                          const std::string& case_name,
+                          systems::runtime::SystemOverrides overrides,
+                          bool start = true) {
+  GoldenWorld w(kWorldSeed);
+  auto system = systems::runtime::MakeSystem(registry_name, &w.sim, &w.net,
+                                             &w.costs, overrides);
+  if (start) {
+    system->Start();
+    w.sim.RunFor(1 * sim::kSec);
+  }
+  return DriveYcsb(case_name, &w, system.get());
+}
+
+std::string RunQuorum(systems::QuorumConsensus consensus,
+                      const std::string& case_name) {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = 4;
+  return RunRegistered(consensus == systems::QuorumConsensus::kRaft
+                           ? "quorum-raft"
+                           : "quorum-ibft",
+                       case_name, overrides);
+}
+
+std::string RunFabric() {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = 4;
+  return RunRegistered("fabric", "fabric", overrides);
+}
+
+std::string RunTidb() {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = 2;
+  overrides.aux_nodes = 3;
+  return RunRegistered("tidb", "tidb", overrides, /*start=*/false);
+}
+
+std::string RunEtcd() {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = 3;
+  return RunRegistered("etcd", "etcd", overrides);
+}
+
+std::string RunAhl() {
+  // Defaults: 2 shards x 3 nodes; epoch beyond the golden horizon.
+  return RunRegistered("ahl", "ahl", {});
+}
+
+std::string RunSpanner() {
+  // Defaults: 2 shards x 3-node Paxos groups.
+  return RunRegistered("spannerlike", "spannerlike", {}, /*start=*/false);
+}
+
+std::string RunHybrid(const hybrid::SystemDescriptor& design,
+                      const std::string& case_name) {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = 4;
+  // PoW at its 10s default never commits inside the golden horizon.
+  overrides.pow_mean_block_interval = 1 * sim::kSec;
+  overrides.hybrid_design = &design;
+  return RunRegistered("hybrid", case_name, overrides);
+}
+
+hybrid::SystemDescriptor HybridDesign(const std::string& name,
+                                      hybrid::ReplicationModel replication,
+                                      hybrid::ReplicationApproach approach,
+                                      hybrid::FailureModel failure,
+                                      hybrid::ConcurrencyModel concurrency,
+                                      hybrid::LedgerAbstraction ledger,
+                                      hybrid::StateIndex index) {
+  hybrid::SystemDescriptor d;
+  d.name = name;
+  d.replication = replication;
+  d.approach = approach;
+  d.failure = failure;
+  d.concurrency = concurrency;
+  d.ledger = ledger;
+  d.index = index;
+  return d;
+}
+
+std::string RunHybridRaft() {
+  return RunHybrid(
+      HybridDesign("hybrid-raft", hybrid::ReplicationModel::kStorageBased,
+                   hybrid::ReplicationApproach::kConsensus,
+                   hybrid::FailureModel::kCft,
+                   hybrid::ConcurrencyModel::kOccCommit,
+                   hybrid::LedgerAbstraction::kChain, hybrid::StateIndex::kMpt),
+      "hybrid-raft");
+}
+
+std::string RunHybridBft() {
+  return RunHybrid(
+      HybridDesign("hybrid-bft", hybrid::ReplicationModel::kTxnBased,
+                   hybrid::ReplicationApproach::kConsensus,
+                   hybrid::FailureModel::kBft, hybrid::ConcurrencyModel::kSerial,
+                   hybrid::LedgerAbstraction::kChain,
+                   hybrid::StateIndex::kPlain),
+      "hybrid-bft");
+}
+
+std::string RunHybridSharedLog() {
+  return RunHybrid(
+      HybridDesign("hybrid-sharedlog", hybrid::ReplicationModel::kStorageBased,
+                   hybrid::ReplicationApproach::kSharedLog,
+                   hybrid::FailureModel::kCft,
+                   hybrid::ConcurrencyModel::kOccCommit,
+                   hybrid::LedgerAbstraction::kChain,
+                   hybrid::StateIndex::kPlain),
+      "hybrid-sharedlog");
+}
+
+std::string RunHybridPrimaryBackup() {
+  return RunHybrid(
+      HybridDesign("hybrid-primarybackup",
+                   hybrid::ReplicationModel::kStorageBased,
+                   hybrid::ReplicationApproach::kPrimaryBackup,
+                   hybrid::FailureModel::kCft,
+                   hybrid::ConcurrencyModel::kOccCommit,
+                   hybrid::LedgerAbstraction::kNone,
+                   hybrid::StateIndex::kPlain),
+      "hybrid-primarybackup");
+}
+
+std::string RunHybridPow() {
+  return RunHybrid(
+      HybridDesign("hybrid-pow", hybrid::ReplicationModel::kTxnBased,
+                   hybrid::ReplicationApproach::kConsensus,
+                   hybrid::FailureModel::kPow, hybrid::ConcurrencyModel::kSerial,
+                   hybrid::LedgerAbstraction::kChain,
+                   hybrid::StateIndex::kPlain),
+      "hybrid-pow");
+}
+
+/// Digests every sim-fuzz scenario at two fixed seeds: the nemesis schedule
+/// text plus progress/event counters. Byte-identical replay here proves the
+/// whole testing harness (world construction, schedules, invariants) sees
+/// the same event stream after the refactor.
+std::string RunFuzzDigests() {
+  std::string out = "{\n  \"case\": \"sim-fuzz\",\n  \"runs\": [\n";
+  bool first = true;
+  for (const Scenario& scenario : AllScenarios()) {
+    for (uint64_t seed = 1; seed <= 2; seed++) {
+      ScenarioResult result = RunScenario(scenario, ScenarioOptions{seed, {}});
+      if (!first) out += ",\n";
+      first = false;
+      out += "    {\"scenario\": \"" + JsonEscape(result.scenario) +
+             "\", \"seed\": " + FmtU64(result.seed) +
+             ", \"violations\": " + FmtU64(result.report.violations().size()) +
+             ", \"progress\": " + FmtU64(result.progress) +
+             ", \"sim_events\": " + FmtU64(result.sim_events) +
+             ", \"schedule\": \"" + JsonEscape(result.schedule) + "\"}";
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+const std::vector<GoldenCase>& AllGoldenCases() {
+  static const std::vector<GoldenCase> kCases = {
+      {"quorum-raft",
+       [] { return RunQuorum(systems::QuorumConsensus::kRaft, "quorum-raft"); }},
+      {"quorum-ibft",
+       [] { return RunQuorum(systems::QuorumConsensus::kIbft, "quorum-ibft"); }},
+      {"fabric", [] { return RunFabric(); }},
+      {"tidb", [] { return RunTidb(); }},
+      {"etcd", [] { return RunEtcd(); }},
+      {"ahl", [] { return RunAhl(); }},
+      {"spannerlike", [] { return RunSpanner(); }},
+      {"hybrid-raft", [] { return RunHybridRaft(); }},
+      {"hybrid-bft", [] { return RunHybridBft(); }},
+      {"hybrid-sharedlog", [] { return RunHybridSharedLog(); }},
+      {"hybrid-primarybackup", [] { return RunHybridPrimaryBackup(); }},
+      {"hybrid-pow", [] { return RunHybridPow(); }},
+      {"sim-fuzz", [] { return RunFuzzDigests(); }},
+  };
+  return kCases;
+}
+
+const GoldenCase* FindGoldenCase(const std::string& name) {
+  for (const GoldenCase& c : AllGoldenCases()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace dicho::testing

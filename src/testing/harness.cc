@@ -13,6 +13,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "systems/quorum.h"
+#include "systems/runtime/registry.h"
 #include "testing/nemesis.h"
 #include "testing/serializability.h"
 
@@ -329,13 +330,14 @@ ScenarioResult RunQuorumScenario(const ScenarioOptions& options,
   sim::SimNetwork net(&sim, sim::NetworkConfig{});
   sim::CostModel costs;
 
-  systems::QuorumConfig config;
-  config.num_nodes = sched.num_nodes;
-  config.consensus = systems::QuorumConsensus::kRaft;
-  config.block_interval = 150 * sim::kMs;
-  config.raft.unsafe_commit_without_quorum =
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = sched.num_nodes;
+  overrides.block_interval = 150 * sim::kMs;
+  overrides.raft_unsafe_commit_without_quorum =
       options.bug == BugInjection::kRaftCommitWithoutQuorum;
-  systems::QuorumSystem system(&sim, &net, &costs, config);
+  auto system_ptr = systems::runtime::MakeSystemAs<systems::QuorumSystem>(
+      "quorum-raft", &sim, &net, &costs, overrides);
+  systems::QuorumSystem& system = *system_ptr;
   for (int i = 0; i < 6; i++) {
     system.Load("acct" + std::to_string(i), "0");
   }

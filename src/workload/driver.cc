@@ -4,6 +4,13 @@
 
 namespace dicho::workload {
 
+const Histogram& RunMetrics::phase_us(const std::string& name) const {
+  core::Phase phase;
+  if (core::ParsePhaseName(name, &phase)) return phase_hist[static_cast<size_t>(phase)];
+  static const Histogram kEmpty;
+  return kEmpty;
+}
+
 std::string RunMetrics::Summary() {
   char buf[256];
   snprintf(buf, sizeof(buf),
@@ -84,9 +91,8 @@ void Driver::OnTxnDone(size_t client, const core::TxnResult& result) {
       metrics_.aborts_by_reason[result.reason]++;
     }
     metrics_.txn_latency_us.Add(result.latency());
-    for (const auto& [phase, t] : result.phase_us) {
-      metrics_.phase_us[phase].Add(t);
-    }
+    result.phases.ForEach(
+        [this](core::Phase phase, sim::Time t) { metrics_.phase(phase).Add(t); });
   }
   if (config_.arrival_rate_tps == 0 && !stopping_) IssueNext(client);
 }
@@ -94,9 +100,8 @@ void Driver::OnTxnDone(size_t client, const core::TxnResult& result) {
 void Driver::OnReadDone(size_t client, const core::ReadResult& result) {
   if (InWindow(result.finish_time)) {
     metrics_.query_latency_us.Add(result.latency());
-    for (const auto& [phase, t] : result.phase_us) {
-      metrics_.phase_us[phase].Add(t);
-    }
+    result.phases.ForEach(
+        [this](core::Phase phase, sim::Time t) { metrics_.phase(phase).Add(t); });
   }
   if (config_.arrival_rate_tps == 0 && !stopping_) IssueNext(client);
 }

@@ -1,6 +1,7 @@
 #ifndef DICHO_WORKLOAD_DRIVER_H_
 #define DICHO_WORKLOAD_DRIVER_H_
 
+#include <array>
 #include <functional>
 #include <map>
 #include <string>
@@ -35,7 +36,19 @@ struct RunMetrics {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   std::map<core::AbortReason, uint64_t> aborts_by_reason;
-  std::map<std::string, Histogram> phase_us;
+  /// Per-phase latency histograms, indexed by core::Phase. A phase a system
+  /// never stamps has count() == 0.
+  std::array<Histogram, core::kNumPhases> phase_hist;
+
+  Histogram& phase(core::Phase p) {
+    return phase_hist[static_cast<size_t>(p)];
+  }
+  const Histogram& phase(core::Phase p) const {
+    return phase_hist[static_cast<size_t>(p)];
+  }
+  /// Name-keyed shim ("execute", "order", ...) so bench printf code stays
+  /// readable; unknown names map to a shared empty histogram.
+  const Histogram& phase_us(const std::string& name) const;
 
   double AbortRate() const {
     uint64_t total = committed + aborted;

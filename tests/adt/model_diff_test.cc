@@ -109,7 +109,9 @@ TEST(MbtModelDiffTest, MatchesModelUnderRandomPutsAndDeletes) {
       std::string present;
       bool exists = model.Get(key, &present).ok();
       EXPECT_EQ(mbt.Delete(key).ok(), exists) << "step " << step;
-      if (exists) ASSERT_TRUE(model.Delete(key).ok());
+      if (exists) {
+        ASSERT_TRUE(model.Delete(key).ok());
+      }
     } else {
       std::string value = RandomValue(&rng, step);
       ASSERT_TRUE(mbt.Put(key, value).ok());

@@ -113,8 +113,8 @@ TEST_P(EnvSuite, LsmDbWorksOnThisEnv) {
 }
 
 INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvSuite, ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Posix" : "Mem";
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "Posix" : "Mem";
                          });
 
 }  // namespace

@@ -1,0 +1,54 @@
+// Golden-equivalence suite (ctest -L golden): every fixed-seed case in
+// src/testing/golden.cc must render byte-identically to the committed
+// baseline in tests/golden/. The baselines were recorded BEFORE the systems
+// were retargeted onto the shared runtime layer, so these tests prove the
+// refactor preserved event ordering, costs, phase stamping, and stats for
+// all seven system models plus the sim-fuzz harness. Regenerate with
+// `golden_gen --out tests/golden` only for intentional behavior changes.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testing/golden.h"
+
+namespace dicho::testing {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class GoldenEquivalenceTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenEquivalenceTest, MatchesCommittedBaseline) {
+  const GoldenCase& c = GetParam();
+  const std::string path =
+      std::string(DICHO_GOLDEN_DIR) + "/" + c.name + ".json";
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing baseline " << path
+      << " — regenerate with: golden_gen --out tests/golden";
+  EXPECT_EQ(expected, c.run())
+      << "fixed-seed run for '" << c.name
+      << "' diverged from the committed baseline " << path;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<GoldenCase>& info) {
+  std::string name = info.param.name;
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, GoldenEquivalenceTest,
+                         ::testing::ValuesIn(AllGoldenCases()), CaseName);
+
+}  // namespace
+}  // namespace dicho::testing

@@ -1,0 +1,103 @@
+#include "systems/runtime/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "hybrid/builder.h"
+#include "systems/etcd.h"
+#include "systems/quorum.h"
+#include "systems/runtime/transport.h"
+
+namespace dicho {
+namespace {
+
+using systems::runtime::MakeSystem;
+using systems::runtime::MakeSystemAs;
+using systems::runtime::SystemOverrides;
+
+struct RegistryWorld {
+  RegistryWorld() : sim(1), net(&sim, sim::NetworkConfig{}) {}
+  sim::Simulator sim;
+  sim::SimNetwork net;
+  sim::CostModel costs;
+};
+
+TEST(SystemRegistryTest, ListsAllSevenSystemModels) {
+  auto names = systems::runtime::RegisteredSystems();
+  ASSERT_EQ(names.size(), 8u);  // quorum twice (raft + ibft), hybrid once
+  EXPECT_EQ(names.front(), "quorum-raft");
+  EXPECT_EQ(names.back(), "hybrid");
+}
+
+TEST(SystemRegistryTest, UnknownNameReturnsNull) {
+  RegistryWorld w;
+  EXPECT_EQ(MakeSystem("cockroach", &w.sim, &w.net, &w.costs), nullptr);
+}
+
+TEST(SystemRegistryTest, HybridRequiresDesign) {
+  RegistryWorld w;
+  EXPECT_EQ(MakeSystem("hybrid", &w.sim, &w.net, &w.costs), nullptr);
+}
+
+TEST(SystemRegistryTest, EveryConcreteSystemConstructsAndReportsItsName) {
+  const std::pair<const char*, const char*> kExpected[] = {
+      {"quorum-raft", "quorum-raft"}, {"quorum-ibft", "quorum-ibft"},
+      {"fabric", "fabric"},           {"tidb", "tidb"},
+      {"etcd", "etcd"},               {"ahl", "ahl"},
+      {"spannerlike", "spanner-like"},
+  };
+  for (const auto& [registry_name, system_name] : kExpected) {
+    RegistryWorld w;
+    auto system = MakeSystem(registry_name, &w.sim, &w.net, &w.costs);
+    ASSERT_NE(system, nullptr) << registry_name;
+    EXPECT_EQ(system->name(), system_name);
+  }
+}
+
+TEST(SystemRegistryTest, OverridesReachTheConcreteConfig) {
+  RegistryWorld w;
+  SystemOverrides overrides;
+  overrides.nodes = 7;
+  overrides.block_interval = 123 * sim::kMs;
+  auto quorum = MakeSystemAs<systems::QuorumSystem>("quorum-raft", &w.sim,
+                                                    &w.net, &w.costs,
+                                                    overrides);
+  ASSERT_NE(quorum, nullptr);
+  // 7 replicas elect and the system runs: submit through the full pipeline.
+  quorum->Start();
+  w.sim.RunFor(1 * sim::kSec);
+  EXPECT_TRUE(quorum->HasProposer());
+}
+
+TEST(SystemRegistryTest, HybridDesignFlowsThrough) {
+  RegistryWorld w;
+  hybrid::SystemDescriptor design;
+  design.name = "registry-hybrid";
+  design.replication = hybrid::ReplicationModel::kStorageBased;
+  design.approach = hybrid::ReplicationApproach::kPrimaryBackup;
+  design.failure = hybrid::FailureModel::kCft;
+  design.concurrency = hybrid::ConcurrencyModel::kOccCommit;
+  design.ledger = hybrid::LedgerAbstraction::kNone;
+  design.index = hybrid::StateIndex::kPlain;
+  SystemOverrides overrides;
+  overrides.nodes = 3;
+  overrides.hybrid_design = &design;
+  auto system = MakeSystemAs<hybrid::HybridSystem>("hybrid", &w.sim, &w.net,
+                                                   &w.costs, overrides);
+  ASSERT_NE(system, nullptr);
+  EXPECT_EQ(system->name(), "registry-hybrid");
+  EXPECT_EQ(system->config().num_nodes, 3u);
+}
+
+TEST(TransportKindNameTest, CoversEveryKind) {
+  using systems::runtime::TransportKind;
+  using systems::runtime::TransportKindName;
+  EXPECT_STREQ(TransportKindName(TransportKind::kRaft), "raft");
+  EXPECT_STREQ(TransportKindName(TransportKind::kBft), "bft");
+  EXPECT_STREQ(TransportKindName(TransportKind::kSharedLog), "shared-log");
+  EXPECT_STREQ(TransportKindName(TransportKind::kPow), "pow");
+  EXPECT_STREQ(TransportKindName(TransportKind::kPrimaryBackup),
+               "primary-backup");
+}
+
+}  // namespace
+}  // namespace dicho

@@ -211,9 +211,9 @@ TEST(FabricSystemTest, ExecuteOrderValidateCommit) {
   h.sim.RunFor(3 * sim::kSec);
   ASSERT_TRUE(result.status.ok()) << result.status.ToString();
   // All three phases measured.
-  EXPECT_GT(result.phase_us["execute"], 0);
-  EXPECT_GT(result.phase_us["order"], 0);
-  EXPECT_GT(result.phase_us["validate"], 0);
+  EXPECT_GT(result.phases.Get(core::Phase::kExecute), 0);
+  EXPECT_GT(result.phases.Get(core::Phase::kOrder), 0);
+  EXPECT_GT(result.phases.Get(core::Phase::kValidate), 0);
   // Replicated to every peer; ledgers verify.
   for (NodeId p = 0; p < 5; p++) {
     std::string value;
@@ -255,7 +255,8 @@ TEST(FabricSystemTest, QueryDominatedByAuth) {
   ASSERT_TRUE(result.status.ok());
   // ~9ms query dominated by client authentication (paper Fig. 8b).
   EXPECT_GT(result.latency(), 5 * sim::kMs);
-  EXPECT_GT(result.phase_us["auth"], result.phase_us["read"]);
+  EXPECT_GT(result.phases.Get(core::Phase::kAuth),
+            result.phases.Get(core::Phase::kRead));
 }
 
 TEST(FabricSystemTest, EndorsementsGrowWithPeerCount) {
@@ -300,8 +301,8 @@ TEST(TidbSystemTest, CommitsReadModifyWrite) {
   h.sim.RunFor(2 * sim::kSec);
   ASSERT_TRUE(result.status.ok()) << result.status.ToString();
   EXPECT_EQ(result.reads["k"], "1");
-  EXPECT_GT(result.phase_us["prewrite"], 0);
-  EXPECT_GT(result.phase_us["commit"], 0);
+  EXPECT_GT(result.phases.Get(core::Phase::kPrewrite), 0);
+  EXPECT_GT(result.phases.Get(core::Phase::kCommit), 0);
   // Milliseconds, not blockchain-scale latency.
   EXPECT_LT(result.latency(), 50 * sim::kMs);
 }
