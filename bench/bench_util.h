@@ -17,6 +17,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -34,12 +36,93 @@ namespace dicho::bench {
 
 using sim::Time;
 
-/// One simulated world: simulator + LAN + cost model.
+/// One simulated world: simulator + LAN + cost model, plus an (initially
+/// detached) observability pair.
 struct World {
   explicit World(uint64_t seed = 42) : sim(seed), net(&sim, sim::NetworkConfig{}) {}
   sim::Simulator sim;
   sim::SimNetwork net;
   sim::CostModel costs;
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+
+  /// Attaches the trace sink + metrics registry to the simulator. Call
+  /// BEFORE constructing systems: they resolve instruments and register
+  /// gauges in their constructors.
+  void EnableObservability() {
+    sim.set_trace_sink(&trace);
+    sim.set_metrics(&metrics);
+  }
+};
+
+/// Rebuilds the driver's RunMetrics from the trace layer: replays the
+/// recorded client completions through exactly the window filter and
+/// accumulation order the in-driver accounting uses, so every derived
+/// aggregate (counts, FP sums, percentiles) is bit-identical to what
+/// Driver::Run() returned. The phase-breakdown benches print from this path
+/// to keep the figures honest against the exported traces.
+inline workload::RunMetrics DeriveRunMetrics(const obs::TraceSink& sink) {
+  workload::RunMetrics m;
+  const Time start = sink.window_start();
+  const Time end = sink.window_end();
+  for (const auto& ev : sink.events()) {
+    if (ev.kind == obs::TraceSink::Kind::kSpan) continue;
+    const Time finish = ev.span.t1;
+    if (!(finish >= start && finish < end)) continue;
+    if (ev.kind == obs::TraceSink::Kind::kTxn) {
+      if (ev.ok) {
+        m.committed++;
+      } else {
+        m.aborted++;
+        m.aborts_by_reason[ev.reason]++;
+      }
+      m.txn_latency_us.Add(ev.span.t1 - ev.span.t0);
+    } else {
+      m.query_latency_us.Add(ev.span.t1 - ev.span.t0);
+    }
+    ev.phases.ForEach(
+        [&m](core::Phase phase, Time t) { m.phase(phase).Add(t); });
+  }
+  const double measure_sec = (end - start) / sim::kSec;
+  if (measure_sec > 0) {
+    m.throughput_tps = static_cast<double>(m.committed) / measure_sec;
+    m.query_throughput_tps =
+        static_cast<double>(m.query_latency_us.count()) / measure_sec;
+  }
+  return m;
+}
+
+/// `--trace=<prefix>` support for the bench mains: when the flag was parsed,
+/// Dump(world, tag) writes `<prefix>.<tag>.trace.json` (Chrome trace_event,
+/// Perfetto-loadable) and `<prefix>.<tag>.metrics.json`. Paths go to stderr
+/// so figure stdout stays byte-comparable across traced/untraced runs.
+class TraceExport {
+ public:
+  static bool ParseArg(const std::string& arg) {
+    const std::string flag = "--trace=";
+    if (arg.rfind(flag, 0) != 0) return false;
+    prefix() = arg.substr(flag.size());
+    return true;
+  }
+  static bool enabled() { return !prefix().empty(); }
+  static void Dump(const World& w, const std::string& tag) {
+    if (!enabled()) return;
+    const std::string trace_path = prefix() + "." + tag + ".trace.json";
+    const std::string metrics_path = prefix() + "." + tag + ".metrics.json";
+    if (!obs::WriteChromeTrace(w.trace, trace_path) ||
+        !obs::WriteMetricsJson(w.metrics, metrics_path)) {
+      fprintf(stderr, "trace export failed: %s\n", trace_path.c_str());
+      return;
+    }
+    fprintf(stderr, "trace: %s\nmetrics: %s\n", trace_path.c_str(),
+            metrics_path.c_str());
+  }
+
+ private:
+  static std::string& prefix() {
+    static std::string p;
+    return p;
+  }
 };
 
 /// Registry-driven construction + the consensus warm-up the benches share:

@@ -20,20 +20,28 @@ void Run() {
 
   printf("%-8s %14s %14s\n", "system", "update p50", "query p50");
 
+  // Both rows print from the trace-derived metrics (identical to the
+  // driver's inline accounting — see DeriveRunMetrics).
   auto row = [&](const char* name, auto make, double update_rate) {
     // Update latency.
     double update_ms, query_ms;
     {
       World w;
+      w.EnableObservability();
       auto system = make(&w);
-      auto m = RunYcsb(&w, system.get(), wcfg, scale, 0, update_rate);
+      RunYcsb(&w, system.get(), wcfg, scale, 0, update_rate);
+      auto m = DeriveRunMetrics(w.trace);
       update_ms = m.txn_latency_us.Percentile(50) / 1000.0;
+      TraceExport::Dump(w, std::string("fig5_") + name + "_update");
     }
     {
       World w;
+      w.EnableObservability();
       auto system = make(&w);
-      auto m = RunYcsb(&w, system.get(), wcfg, scale, 1.0, 200);
+      RunYcsb(&w, system.get(), wcfg, scale, 1.0, 200);
+      auto m = DeriveRunMetrics(w.trace);
       query_ms = m.query_latency_us.Percentile(50) / 1000.0;
+      TraceExport::Dump(w, std::string("fig5_") + name + "_query");
     }
     printf("%-8s %12.1fms %12.2fms\n", name, update_ms, query_ms);
   };
@@ -47,7 +55,10 @@ void Run() {
 }  // namespace
 }  // namespace dicho::bench
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    dicho::bench::TraceExport::ParseArg(argv[i]);
+  }
   dicho::bench::Run();
   return 0;
 }

@@ -6,11 +6,33 @@
 // TiDB, and etcd over the unified phase timeline: every system stamps its
 // pipeline stages into the same typed enum, so one generic printer renders
 // all of them.
+//
+// Every run here is traced: the printed rows are re-derived from the
+// src/obs trace layer (DeriveRunMetrics), not from the driver's inline
+// accounting — the figure and an exported trace can never disagree. Pass
+// --trace=<prefix> to also dump the Chrome trace_event + metrics JSON per
+// run.
 
 #include "bench_util.h"
 
 namespace dicho::bench {
 namespace {
+
+/// Traced variant of RunYcsb: attaches the world's sink/registry (must run
+/// before system construction — callers pass a factory), drives the
+/// workload, optionally exports, and returns the trace-derived metrics.
+template <typename MakeSystemFn>
+workload::RunMetrics RunTraced(World* w, MakeSystemFn make,
+                               workload::YcsbConfig wcfg, BenchScale scale,
+                               const std::string& tag, double query_fraction,
+                               double arrival) {
+  w->EnableObservability();
+  auto system = make(w);
+  RunYcsb(w, system.get(), wcfg, scale, query_fraction, arrival);
+  workload::RunMetrics m = DeriveRunMetrics(w->trace);
+  TraceExport::Dump(*w, tag);
+  return m;
+}
 
 void PhaseRow(const char* label, workload::RunMetrics* m) {
   printf("%-12s execute=%7.1fms order=%7.1fms validate=%8.1fms total=%8.1fms\n",
@@ -30,17 +52,21 @@ void RunFabricBreakdown() {
 
   {
     World w;
-    auto fabric = MakeFabric(&w, 5);
-    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/500);
+    auto m = RunTraced(
+        &w, [](World* world) { return MakeFabric(world, 5); }, wcfg, scale,
+        "fig8a_unsaturated", 0, /*arrival=*/500);
     PhaseRow("unsaturated", &m);
   }
   {
     World w;
+    w.EnableObservability();
     auto fabric = MakeFabric(&w, 5);
-    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/1800);
+    RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/1800);
+    auto m = DeriveRunMetrics(w.trace);
     PhaseRow("saturated", &m);
     printf("  (validation queue at a peer after the run: %.0f ms of backlog)\n",
            fabric->ValidationBacklog(1) / 1000.0);
+    TraceExport::Dump(w, "fig8a_saturated");
   }
 }
 
@@ -53,8 +79,9 @@ void RunQueryBreakdown() {
   scale.measure = 8 * sim::kSec;
   {
     World w;
-    auto fabric = MakeFabric(&w, 5);
-    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 1.0, /*arrival=*/200);
+    auto m = RunTraced(
+        &w, [](World* world) { return MakeFabric(world, 5); }, wcfg, scale,
+        "fig8b_fabric", 1.0, /*arrival=*/200);
     printf("%-8s auth=%6.2fms read+net=%6.2fms total=%6.2fms\n", "fabric",
            m.phase_us("auth").Mean() / 1000.0,
            (m.query_latency_us.Mean() - m.phase_us("auth").Mean()) / 1000.0,
@@ -62,8 +89,9 @@ void RunQueryBreakdown() {
   }
   {
     World w;
-    auto tidb = MakeTidb(&w, 5, 5);
-    auto m = RunYcsb(&w, tidb.get(), wcfg, scale, 1.0, /*arrival=*/200);
+    auto m = RunTraced(
+        &w, [](World* world) { return MakeTidb(world, 5, 5); }, wcfg, scale,
+        "fig8b_tidb", 1.0, /*arrival=*/200);
     printf("%-8s auth=%6.2fms read+net=%6.2fms total=%6.2fms\n", "tidb", 0.0,
            m.query_latency_us.Mean() / 1000.0,
            m.query_latency_us.Mean() / 1000.0);
@@ -92,28 +120,32 @@ void RunCrossSystemBreakdown() {
   scale.measure = 8 * sim::kSec;
   {
     World w;
-    auto fabric = MakeFabric(&w, 5);
-    auto m = RunYcsb(&w, fabric.get(), wcfg, scale, 0, /*arrival=*/500);
+    auto m = RunTraced(
+        &w, [](World* world) { return MakeFabric(world, 5); }, wcfg, scale,
+        "fig8c_fabric", 0, /*arrival=*/500);
     UniformPhaseRow("fabric", m);
   }
   {
     World w;
-    auto quorum = MakeQuorum(&w, 5);
-    auto m = RunYcsb(&w, quorum.get(), wcfg, scale, 0, /*arrival=*/500);
+    auto m = RunTraced(
+        &w, [](World* world) { return MakeQuorum(world, 5); }, wcfg, scale,
+        "fig8c_quorum_raft", 0, /*arrival=*/500);
     UniformPhaseRow("quorum-raft", m);
   }
   {
     World w;
-    auto tidb = MakeTidb(&w, 5, 5);
-    auto m = RunYcsb(&w, tidb.get(), wcfg, scale, 0, /*arrival=*/500);
+    auto m = RunTraced(
+        &w, [](World* world) { return MakeTidb(world, 5, 5); }, wcfg, scale,
+        "fig8c_tidb", 0, /*arrival=*/500);
     UniformPhaseRow("tidb", m);
   }
   {
     World w;
-    auto etcd = MakeEtcd(&w, 5);
     workload::YcsbConfig kv = wcfg;
     kv.ops_per_txn = 1;  // etcd rejects multi-op requests
-    auto m = RunYcsb(&w, etcd.get(), kv, scale, 0, /*arrival=*/500);
+    auto m = RunTraced(
+        &w, [](World* world) { return MakeEtcd(world, 5); }, kv, scale, "fig8c_etcd",
+        0, /*arrival=*/500);
     UniformPhaseRow("etcd", m);
   }
 }
@@ -121,7 +153,10 @@ void RunCrossSystemBreakdown() {
 }  // namespace
 }  // namespace dicho::bench
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    dicho::bench::TraceExport::ParseArg(argv[i]);
+  }
   dicho::bench::RunFabricBreakdown();
   dicho::bench::RunQueryBreakdown();
   dicho::bench::RunCrossSystemBreakdown();

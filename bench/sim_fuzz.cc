@@ -122,7 +122,15 @@ int RunSingle(const Args& args) {
     return 2;
   }
   ScenarioOptions options{args.seed, args.bug};
+  // Single-seed replay is the serial context where tracing a scenario is
+  // safe; the parallel sweep below never consults this hook.
+  if (const char* trace_path = std::getenv("DICHO_TRACE")) {
+    options.trace_path = trace_path;
+  }
   ScenarioResult result = RunScenario(*scenario, options);
+  if (!options.trace_path.empty()) {
+    std::fprintf(stderr, "trace: %s\n", options.trace_path.c_str());
+  }
   std::printf("scenario %s seed %llu bug %s\n", result.scenario.c_str(),
               static_cast<unsigned long long>(result.seed),
               BugName(result.bug));

@@ -13,4 +13,93 @@ std::string Histogram::Summary() {
   return buf;
 }
 
+LogLinearHistogram::LogLinearHistogram(uint32_t sub_buckets, uint64_t max_value)
+    : sub_buckets_(sub_buckets), max_value_(max_value) {
+  buckets_.resize(BucketIndex(max_value, sub_buckets) + 1, 0);
+}
+
+size_t LogLinearHistogram::BucketIndex(uint64_t value, uint32_t sub_buckets) {
+  if (value < sub_buckets) return static_cast<size_t>(value);
+  // Octave o covers [sub_buckets * 2^(o-1), sub_buckets * 2^o) with
+  // sub_buckets sub-buckets of width 2^(o-1).
+  const uint32_t log_sub = std::countr_zero(sub_buckets);
+  const uint32_t octave = std::bit_width(value) - log_sub;
+  return static_cast<size_t>(octave) * sub_buckets +
+         static_cast<size_t>(value >> (octave - 1)) - sub_buckets;
+}
+
+uint64_t LogLinearHistogram::BucketLowerBound(size_t index,
+                                              uint32_t sub_buckets) {
+  if (index < sub_buckets) return index;
+  const uint64_t octave = index / sub_buckets;
+  const uint64_t sub = index % sub_buckets;
+  return (sub_buckets + sub) << (octave - 1);
+}
+
+void LogLinearHistogram::Add(double value, uint64_t count) {
+  if (count == 0) return;
+  const uint64_t v =
+      value <= 0 ? 0 : static_cast<uint64_t>(std::llround(value));
+  count_ += count;
+  sum_ += value * static_cast<double>(count);
+  if (count_ == count || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  if (v > max_value_) {
+    overflow_ += count;
+    return;
+  }
+  buckets_[BucketIndex(v, sub_buckets_)] += count;
+}
+
+void LogLinearHistogram::Merge(const LogLinearHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); i++) buckets_[i] += other.buckets_[i];
+}
+
+void LogLinearHistogram::Clear() {
+  count_ = overflow_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double LogLinearHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  // Rank of the target sample, 0-based, matching the exact Histogram's
+  // convention rank = p/100 * (n-1).
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  double seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    if (buckets_[i] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (rank < seen + in_bucket) {
+      const uint64_t lower = BucketLowerBound(i, sub_buckets_);
+      const uint64_t upper = BucketLowerBound(i + 1, sub_buckets_);
+      const double frac = in_bucket <= 1 ? 0 : (rank - seen) / (in_bucket - 1);
+      double estimate = static_cast<double>(lower) +
+                        frac * static_cast<double>(upper - 1 - lower);
+      // Exact extrema beat bucket resolution at the ends.
+      return std::clamp(estimate, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    seen += in_bucket;
+  }
+  // Remaining mass overflowed: report the clamp point.
+  return static_cast<double>(std::min<uint64_t>(max_, max_value_));
+}
+
+std::string LogLinearHistogram::Summary() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+           static_cast<unsigned long long>(count_), Mean(), Percentile(50),
+           Percentile(95), Percentile(99), Max());
+  return buf;
+}
+
 }  // namespace dicho

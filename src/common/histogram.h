@@ -2,6 +2,7 @@
 #define DICHO_COMMON_HISTOGRAM_H_
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -79,6 +80,65 @@ class Histogram {
 
   std::vector<double> samples_;
   bool sorted_ = false;
+};
+
+/// Fixed-memory log-linear histogram: the metrics-registry companion to the
+/// exact (sample-storing) Histogram above. Values are rounded to integer
+/// units (microseconds by convention) and bucketed HdrHistogram-style —
+/// values below `sub_buckets` get unit-width buckets, and every power-of-two
+/// octave above that is split into `sub_buckets` equal sub-buckets, so the
+/// relative quantile error is bounded by 1/sub_buckets. Two histograms with
+/// the same layout merge by bucket-count addition, which makes Merge
+/// associative and commutative — the property the per-node registries rely
+/// on when a sweep folds worker results together.
+class LogLinearHistogram {
+ public:
+  /// `sub_buckets` must be a power of two >= 2. Values above `max_value`
+  /// land in a dedicated overflow bucket (counted, clamped in quantiles).
+  explicit LogLinearHistogram(uint32_t sub_buckets = 32,
+                              uint64_t max_value = uint64_t{1} << 40);
+
+  void Add(double value, uint64_t count = 1);
+  /// Requires identical (sub_buckets, max_value) layout.
+  void Merge(const LogLinearHistogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t overflow_count() const { return overflow_; }
+  double sum() const { return sum_; }
+  double Mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+  /// Exact extrema (tracked alongside the buckets).
+  double Min() const { return count_ == 0 ? 0 : static_cast<double>(min_); }
+  double Max() const { return count_ == 0 ? 0 : static_cast<double>(max_); }
+
+  /// p in [0, 100]; interpolates linearly within the selected bucket.
+  /// Overflowed mass reports max_value.
+  double Percentile(double p) const;
+
+  uint32_t sub_buckets() const { return sub_buckets_; }
+  uint64_t max_value() const { return max_value_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t bucket_count(size_t index) const { return buckets_[index]; }
+
+  /// Bucket layout, exposed for the boundary unit tests: the index a value
+  /// maps to and the half-open value range [lower, upper) of a bucket.
+  static size_t BucketIndex(uint64_t value, uint32_t sub_buckets);
+  static uint64_t BucketLowerBound(size_t index, uint32_t sub_buckets);
+
+  /// "count=... p50=... p99=... max=..." summary line.
+  std::string Summary() const;
+
+ private:
+  uint32_t sub_buckets_;
+  uint64_t max_value_;
+  uint64_t count_ = 0;
+  uint64_t overflow_ = 0;
+  double sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  std::vector<uint64_t> buckets_;
 };
 
 }  // namespace dicho

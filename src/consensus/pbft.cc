@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace dicho::consensus {
 
 namespace {
@@ -152,6 +154,7 @@ void BftNode::HandlePrePrepare(NodeId from, uint64_t view, uint64_t seq,
   inst.cmd = cmd;
   inst.digest = digest;
   inst.view = view;
+  inst.started = sim_->Now();
 
   std::string vote_digest = digest;
   if (equivocate_) vote_digest = DigestOf(digest + "#garbage");
@@ -210,6 +213,10 @@ void BftNode::MaybeExecute() {
     last_executed_ = seq;
     executed_log_[seq] = inst.cmd;
     prepared_backlog_.erase(seq);
+    if (inst.started > 0) {
+      obs::EmitSpan(sim_, "pbft.seq", "consensus", id_, seq, inst.started,
+                    sim_->Now());
+    }
     if (inst.cmd.empty()) continue;  // null fill: advances seq, applies nothing
     executed_digests_.insert(DigestOf(inst.cmd));
     if (apply_) apply_(seq, inst.cmd);

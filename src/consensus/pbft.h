@@ -106,6 +106,9 @@ class BftNode {
   struct Instance {
     std::string cmd;
     std::string digest;          // accepted pre-prepare digest (this view)
+    /// When this replica accepted the pre-prepare — start of the "pbft.seq"
+    /// trace span (0 = never accepted one, e.g. commit-quorum fast path).
+    Time started = 0;
     uint64_t view = 0;
     std::map<std::string, std::set<NodeId>> prepares;  // digest -> voters
     std::map<std::string, std::set<NodeId>> commits;

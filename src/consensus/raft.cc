@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace dicho::consensus {
 
 namespace {
@@ -153,6 +155,9 @@ void RaftNode::Propose(std::string cmd, CommitCallback cb) {
   log_.push_back({current_term_, std::move(cmd)});
   uint64_t index = log_.size();
   pending_[index] = std::move(cb);
+  // Propose timestamps only accumulate while a trace sink is attached: the
+  // commit span covers leader propose -> local apply for this index.
+  if (sim_->trace_sink() != nullptr) propose_times_[index] = sim_->Now();
   ScheduleFlush();
   if (peers_.empty() || config_.unsafe_commit_without_quorum) {
     commit_index_ = log_.size();
@@ -342,6 +347,14 @@ void RaftNode::ApplyCommitted() {
   while (last_applied_ < commit_index_) {
     last_applied_++;
     if (apply_) apply_(last_applied_, log_[last_applied_ - 1].cmd);
+    if (!propose_times_.empty()) {
+      auto span = propose_times_.find(last_applied_);
+      if (span != propose_times_.end()) {
+        obs::EmitSpan(sim_, "raft.commit", "consensus", id_, last_applied_,
+                      span->second, sim_->Now());
+        propose_times_.erase(span);
+      }
+    }
     auto it = pending_.find(last_applied_);
     if (it != pending_.end()) {
       it->second(Status::Ok(), last_applied_);
@@ -358,6 +371,7 @@ void RaftNode::Crash() {
     cb(Status::Unavailable("node crashed"), index);
   }
   pending_.clear();
+  propose_times_.clear();
   cpu_.ResetBacklog();
 }
 

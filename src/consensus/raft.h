@@ -171,6 +171,10 @@ class RaftNode {
   };
   std::map<NodeId, Inflight> inflight_;
   std::map<uint64_t, CommitCallback> pending_;  // log index -> callback
+  /// Leader-side propose times for the "raft.commit" trace span; populated
+  /// only while the simulator carries a trace sink, so untraced runs never
+  /// touch it.
+  std::map<uint64_t, Time> propose_times_;
   bool flush_scheduled_ = false;
   uint64_t flush_processed_ = 0;  // entries whose base CPU cost was charged
 };

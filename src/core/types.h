@@ -113,6 +113,15 @@ class PhaseTimeline {
   }
   bool empty() const { return mask_ == 0; }
 
+  /// Drops every stamp. Retrying systems reset at the start of each attempt
+  /// so the delivered timeline describes the *final* attempt only —
+  /// otherwise per-phase aggregation double-counts abandoned attempts'
+  /// phase time (the retry-accounting bug fixed alongside src/obs).
+  void Reset() {
+    us_.fill(0);
+    mask_ = 0;
+  }
+
   /// Visits stamped phases in enum (== alphabetical-name) order.
   template <typename Fn>
   void ForEach(Fn fn) const {

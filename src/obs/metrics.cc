@@ -1,0 +1,84 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace dicho::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  ForEachCounter([&](const std::string& name, const Counter& c) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    char buf[32];
+    snprintf(buf, sizeof(buf), "\": %llu",
+             static_cast<unsigned long long>(c.value()));
+    out += buf;
+  });
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  ForEachGauge([&](const std::string& name, const Gauge& g) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    out += "\": ";
+    AppendDouble(&out, g.value());
+  });
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  ForEachHistogram([&](const std::string& name, const LogLinearHistogram& h) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    char buf[32];
+    snprintf(buf, sizeof(buf), "\": {\"count\": %llu",
+             static_cast<unsigned long long>(h.count()));
+    out += buf;
+    out += ", \"mean\": ";
+    AppendDouble(&out, h.Mean());
+    out += ", \"p50\": ";
+    AppendDouble(&out, h.Percentile(50));
+    out += ", \"p95\": ";
+    AppendDouble(&out, h.Percentile(95));
+    out += ", \"p99\": ";
+    AppendDouble(&out, h.Percentile(99));
+    out += ", \"max\": ";
+    AppendDouble(&out, h.Max());
+    out += "}";
+  });
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool WriteMetricsJson(const MetricsRegistry& registry,
+                      const std::string& path) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = registry.ToJson();
+  const size_t written = fwrite(json.data(), 1, json.size(), f);
+  fclose(f);
+  return written == json.size();
+}
+
+}  // namespace dicho::obs

@@ -1,0 +1,109 @@
+#ifndef DICHO_OBS_METRICS_H_
+#define DICHO_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace dicho::obs {
+
+/// Monotonic event counter. Instruments are arena-stable: the registry
+/// hands out raw pointers that stay valid for its lifetime, so hot paths
+/// resolve the name once at construction and increment through the pointer.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time value, either pushed (Set/Add) or pulled through a
+/// callback registered at construction (for components that already keep
+/// the quantity, e.g. CpuResource::total_busy or StageGauges depths).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  void SetCallback(std::function<double()> fn) { callback_ = std::move(fn); }
+  double value() const { return callback_ ? callback_() : value_; }
+
+ private:
+  double value_ = 0;
+  std::function<double()> callback_;
+};
+
+/// Named-instrument registry: one per simulated world (attach with
+/// sim::Simulator::set_metrics), holding typed counters, gauges, and
+/// log-linear histograms keyed by dotted names ("quorum.mempool.enqueued",
+/// "raft.node3.cpu_busy_us"). Lookup is registration-or-fetch, so every
+/// layer can name the same instrument without coordination. Iteration and
+/// the JSON snapshot are name-ordered — deterministic across runs and
+/// thread counts.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name) {
+    auto& slot = counters_[name];
+    if (slot == nullptr) slot = std::make_unique<Counter>();
+    return slot.get();
+  }
+
+  Gauge* GetGauge(const std::string& name) {
+    auto& slot = gauges_[name];
+    if (slot == nullptr) slot = std::make_unique<Gauge>();
+    return slot.get();
+  }
+
+  /// Registers (or replaces) a pull-mode gauge.
+  Gauge* GetCallbackGauge(const std::string& name,
+                          std::function<double()> fn) {
+    Gauge* gauge = GetGauge(name);
+    gauge->SetCallback(std::move(fn));
+    return gauge;
+  }
+
+  LogLinearHistogram* GetHistogram(const std::string& name) {
+    auto& slot = histograms_[name];
+    if (slot == nullptr) slot = std::make_unique<LogLinearHistogram>();
+    return slot.get();
+  }
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  template <typename Fn>
+  void ForEachCounter(Fn fn) const {
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  template <typename Fn>
+  void ForEachGauge(Fn fn) const {
+    for (const auto& [name, g] : gauges_) fn(name, *g);
+  }
+  template <typename Fn>
+  void ForEachHistogram(Fn fn) const {
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+  }
+
+  /// Flat JSON snapshot: {"counters":{...},"gauges":{...},"histograms":
+  /// {name:{count,mean,p50,p95,p99,max},...}}. Name-ordered and
+  /// byte-deterministic.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogLinearHistogram>> histograms_;
+};
+
+/// Writes registry.ToJson() to `path`; returns false on I/O failure.
+bool WriteMetricsJson(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace dicho::obs
+
+#endif  // DICHO_OBS_METRICS_H_

@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace dicho::obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), fmt, v);
+  *out += buf;
+}
+
+void AppendU(std::string* out, uint64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string TraceSink::ToChromeJson() const {
+  std::string out;
+  out.reserve(events_.size() * 128 + 128);
+  out += "{\"displayTimeUnit\":\"ms\",";
+  out += "\"otherData\":{\"generator\":\"dicho-obs\"},";
+  out += "\"traceEvents\":[";
+  bool first = true;
+  for (const Event& ev : events_) {
+    if (!first) out += ",";
+    first = false;
+    const TraceSpan& s = ev.span;
+    out += "\n{\"name\":\"";
+    out += s.name;
+    out += "\",\"cat\":\"";
+    out += s.cat;
+    out += "\",\"ph\":\"X\",\"ts\":";
+    AppendF(&out, "%.3f", s.t0);
+    out += ",\"dur\":";
+    AppendF(&out, "%.3f", s.t1 >= s.t0 ? s.t1 - s.t0 : 0);
+    out += ",\"pid\":0,\"tid\":";
+    AppendU(&out, s.node);
+    out += ",\"args\":{\"id\":";
+    AppendU(&out, s.id);
+    if (s.attempt > 0) {
+      out += ",\"attempt\":";
+      AppendU(&out, s.attempt);
+    }
+    if (ev.kind != Kind::kSpan) {
+      out += ",\"ok\":";
+      out += ev.ok ? "true" : "false";
+      if (ev.reason != core::AbortReason::kNone) {
+        out += ",\"reason\":\"";
+        out += core::AbortReasonName(ev.reason);
+        out += "\"";
+      }
+      ev.phases.ForEach([&out](core::Phase phase, sim::Time t) {
+        out += ",\"";
+        out += core::PhaseName(phase);
+        out += "_us\":";
+        AppendF(&out, "%.3f", t);
+      });
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const TraceSink& sink, const std::string& path) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = sink.ToChromeJson();
+  const size_t written = fwrite(json.data(), 1, json.size(), f);
+  fclose(f);
+  return written == json.size();
+}
+
+}  // namespace dicho::obs

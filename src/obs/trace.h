@@ -1,0 +1,145 @@
+#ifndef DICHO_OBS_TRACE_H_
+#define DICHO_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dicho::obs {
+
+/// One timed interval on the virtual clock: a pipeline phase on a node, a
+/// consensus instance's propose->apply round, a 2PC vote wave. `name`/`cat`
+/// must point at static strings — emission sites pass literals (or
+/// core::PhaseName) so recording a span allocates nothing but the vector
+/// slot.
+struct TraceSpan {
+  const char* name = "";
+  const char* cat = "";
+  sim::NodeId node = 0;
+  /// Correlation id: txn id, log index, consensus sequence number.
+  uint64_t id = 0;
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  /// Retrying systems stamp which attempt produced the span (1-based);
+  /// 0 for single-shot pipelines.
+  uint32_t attempt = 0;
+};
+
+/// Per-simulation trace collector. Everything observable about a run flows
+/// here in emission order (which the deterministic simulator makes
+/// reproducible): raw spans from the instrumented hot paths, plus the
+/// client-visible transaction/query completions the workload driver
+/// delivers. Recording never touches the simulator — attaching a sink is
+/// side-effect-free on the model, which tests/obs pins with the golden
+/// suite.
+class TraceSink {
+ public:
+  enum class Kind : uint8_t { kSpan, kTxn, kQuery };
+
+  /// One recorded trace event. kSpan uses the TraceSpan fields only;
+  /// kTxn/kQuery completions additionally carry the outcome and the final
+  /// per-phase timeline (what RunMetrics aggregation consumes).
+  struct Event {
+    Kind kind = Kind::kSpan;
+    TraceSpan span;
+    bool ok = false;
+    core::AbortReason reason = core::AbortReason::kNone;
+    core::PhaseTimeline phases;
+  };
+
+  void Emit(const TraceSpan& span) {
+    events_.push_back(Event{Kind::kSpan, span, false,
+                            core::AbortReason::kNone, core::PhaseTimeline{}});
+  }
+
+  void RecordTxn(const core::TxnResult& result) {
+    Event ev;
+    ev.kind = Kind::kTxn;
+    ev.span.name = "txn";
+    ev.span.cat = "client";
+    ev.span.id = next_completion_++;
+    ev.span.t0 = result.submit_time;
+    ev.span.t1 = result.finish_time;
+    ev.ok = result.status.ok();
+    ev.reason = result.reason;
+    ev.phases = result.phases;
+    events_.push_back(std::move(ev));
+  }
+
+  void RecordQuery(const core::ReadResult& result) {
+    Event ev;
+    ev.kind = Kind::kQuery;
+    ev.span.name = "query";
+    ev.span.cat = "client";
+    ev.span.id = next_completion_++;
+    ev.span.t0 = result.submit_time;
+    ev.span.t1 = result.finish_time;
+    ev.ok = result.status.ok();
+    ev.phases = result.phases;
+    events_.push_back(std::move(ev));
+  }
+
+  /// The workload driver stamps its measurement window so metric derivation
+  /// (DeriveRunMetrics) filters completions exactly like the in-driver
+  /// accounting does.
+  void NoteWindow(sim::Time start, sim::Time end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+  sim::Time window_start() const { return window_start_; }
+  sim::Time window_end() const { return window_end_; }
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  void Clear() {
+    events_.clear();
+    next_completion_ = 0;
+    window_start_ = window_end_ = 0;
+  }
+
+  /// Chrome trace_event JSON (the "JSON Array with metadata" flavor):
+  /// loadable in chrome://tracing and Perfetto. One complete ("X") event per
+  /// span/completion, tid = simulated node id, ts/dur in virtual
+  /// microseconds. Byte-deterministic for a given event stream.
+  std::string ToChromeJson() const;
+
+ private:
+  std::vector<Event> events_;
+  uint64_t next_completion_ = 0;
+  sim::Time window_start_ = 0;
+  sim::Time window_end_ = 0;
+};
+
+/// Writes sink.ToChromeJson() to `path`; returns false on I/O failure.
+bool WriteChromeTrace(const TraceSink& sink, const std::string& path);
+
+/// Zero-overhead-when-disabled emission helper: every instrumentation site
+/// funnels through here, so a simulation without an attached sink pays one
+/// pointer load + branch per site.
+inline void EmitSpan(sim::Simulator* sim, const char* name, const char* cat,
+                     sim::NodeId node, uint64_t id, sim::Time t0, sim::Time t1,
+                     uint32_t attempt = 0) {
+  TraceSink* sink = sim->trace_sink();
+  if (sink == nullptr) return;
+  sink->Emit(TraceSpan{name, cat, node, id, t0, t1, attempt});
+}
+
+/// Phase-timeline span: named by the unified core::Phase vocabulary.
+inline void EmitPhaseSpan(sim::Simulator* sim, core::Phase phase,
+                          sim::NodeId node, uint64_t txn_id, sim::Time t0,
+                          sim::Time t1, uint32_t attempt = 0) {
+  TraceSink* sink = sim->trace_sink();
+  if (sink == nullptr) return;
+  sink->Emit(
+      TraceSpan{core::PhaseName(phase), "phase", node, txn_id, t0, t1, attempt});
+}
+
+}  // namespace dicho::obs
+
+#endif  // DICHO_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace dicho::sharding {
 
 namespace {
@@ -15,6 +17,7 @@ void TwoPcCoordinator::Run(uint64_t txn_id,
   auto pending = std::make_shared<Pending>();
   pending->participants = participants;
   pending->cb = std::move(cb);
+  pending->started = sim_->Now();
   pending_[txn_id] = pending;
 
   size_t total = participants.size();
@@ -31,7 +34,12 @@ void TwoPcCoordinator::Run(uint64_t txn_id,
                                     pending->votes_received++;
                                     pending->all_yes &= vote;
                                     if (pending->votes_received < total) return;
-                                    // Decision point.
+                                    // Decision point: the prepare span covers
+                                    // PREPARE fan-out through last vote.
+                                    obs::EmitSpan(sim_, "2pc.prepare", "commit",
+                                                  node_, txn_id,
+                                                  pending->started,
+                                                  sim_->Now());
                                     if (crash_before_decision_) {
                                       blocked_++;
                                       return;  // participants stay prepared
@@ -42,10 +50,17 @@ void TwoPcCoordinator::Run(uint64_t txn_id,
                                     } else {
                                       aborted_++;
                                     }
+                                    const sim::Time decided = sim_->Now();
                                     for (const auto& p :
                                          pending->participants) {
                                       net_->Send(node_, p.node, kCtrlBytes,
-                                                 [p, txn_id, commit] {
+                                                 [this, p, txn_id, commit,
+                                                  decided] {
+                                                   obs::EmitSpan(
+                                                       sim_, "2pc.decide",
+                                                       "commit", p.node,
+                                                       txn_id, decided,
+                                                       sim_->Now());
                                                    p.finish(txn_id, commit);
                                                  });
                                     }

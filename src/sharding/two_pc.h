@@ -59,6 +59,7 @@ class TwoPcCoordinator {
     std::function<void(Status)> cb;
     size_t votes_received = 0;
     bool all_yes = true;
+    sim::Time started = 0;  // Run() entry, for the 2pc trace spans
   };
 
   sim::Simulator* sim_;

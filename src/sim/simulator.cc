@@ -2,6 +2,8 @@
 
 namespace dicho::sim {
 
+obs::TraceSink* Simulator::default_trace_sink_ = nullptr;
+
 uint64_t Simulator::RunUntil(Time t) {
   uint64_t n = 0;
   while (!queue_.empty() && queue_.top().time <= t) {

@@ -8,6 +8,11 @@
 
 #include "common/random.h"
 
+namespace dicho::obs {
+class TraceSink;
+class MetricsRegistry;
+}  // namespace dicho::obs
+
 namespace dicho::sim {
 
 /// Virtual time in microseconds.
@@ -24,13 +29,32 @@ constexpr Time kSec = 1000000.0;
 /// safety property tests enumerate failure schedules.
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 42) : rng_(seed) {}
+  explicit Simulator(uint64_t seed = 42)
+      : rng_(seed), trace_sink_(default_trace_sink_) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time Now() const { return now_; }
   Rng* rng() { return &rng_; }
+
+  /// Observability hooks (src/obs). Null by default: components guard every
+  /// use with a pointer check, so a simulation without observers pays one
+  /// predictable branch per instrumentation site and nothing else. Attaching
+  /// either hook never feeds back into scheduling — observers only read the
+  /// virtual clock.
+  obs::TraceSink* trace_sink() const { return trace_sink_; }
+  void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Sink inherited by every Simulator constructed afterwards — for code
+  /// paths that build their worlds internally (golden cases, sim-fuzz
+  /// scenario replays). Serial contexts only: do not set while a parallel
+  /// sweep is constructing worlds on other threads.
+  static void SetDefaultTraceSink(obs::TraceSink* sink) {
+    default_trace_sink_ = sink;
+  }
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to 0.
   void Schedule(Time delay, std::function<void()> fn) {
@@ -73,6 +97,9 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   Rng rng_;
+  obs::TraceSink* trace_sink_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  static obs::TraceSink* default_trace_sink_;
   std::priority_queue<Event, std::vector<Event>, EventGreater> queue_;
 };
 

@@ -62,6 +62,23 @@ Status LsmDb::Open(const LsmOptions& options, std::unique_ptr<LsmDb>* db) {
   if (!s.ok()) return s;
   s = d->Recover();
   if (!s.ok()) return s;
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry* registry = options.metrics;
+    const std::string& prefix = d->options_.metrics_prefix;
+    const LsmStats* stats = &d->stats_;
+    auto pull = [&](const char* name, auto getter) {
+      registry->GetCallbackGauge(prefix + name, [stats, getter] {
+        return static_cast<double>(getter(*stats));
+      });
+    };
+    pull(".flushes", [](const LsmStats& st) { return st.flushes; });
+    pull(".compactions", [](const LsmStats& st) { return st.compactions; });
+    pull(".bytes_written", [](const LsmStats& st) { return st.bytes_written; });
+    pull(".bytes_ingested", [](const LsmStats& st) { return st.bytes_ingested; });
+    pull(".gets", [](const LsmStats& st) { return st.gets; });
+    pull(".table_probes", [](const LsmStats& st) { return st.table_probes; });
+    pull(".bloom_skips", [](const LsmStats& st) { return st.bloom_skips; });
+  }
   *db = std::move(d);
   return Status::Ok();
 }

@@ -8,6 +8,7 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "storage/kv.h"
 #include "storage/lsm/format.h"
@@ -27,6 +28,12 @@ struct LsmOptions {
   uint64_t level_base_bytes = 4ull << 20;  // L1 size target; 10x per level
   uint64_t max_output_file_bytes = 2ull << 20;
   bool sync_wal = false;
+  /// Optional: mirrors LsmStats into pull-mode gauges under
+  /// `<metrics_prefix>.` at Open (no per-operation cost — the registry reads
+  /// the stats struct only at snapshot time, so the DB must outlive any
+  /// registry snapshot).
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "lsm";
 };
 
 /// Metadata for one on-disk table.

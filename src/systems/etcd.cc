@@ -1,5 +1,7 @@
 #include "systems/etcd.h"
 
+#include "obs/trace.h"
+
 namespace dicho::systems {
 
 EtcdSystem::EtcdSystem(sim::Simulator* sim, sim::SimNetwork* net,
@@ -17,6 +19,11 @@ EtcdSystem::EtcdSystem(sim::Simulator* sim, sim::SimNetwork* net,
       [this](size_t node_index, const std::string& cmd) {
         ApplyEntry(nodes_.id_of(node_index), cmd);
       });
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    runtime::RegisterSystemStats(registry, "etcd", &stats_);
+    runtime::RegisterNodeCpuGauges(registry, "etcd", &nodes_,
+                                   [](Node& node) { return &node.cpu; });
+  }
 }
 
 void EtcdSystem::Start() { transport_->Start(); }
@@ -87,7 +94,8 @@ void EtcdSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
                     leader_id](Status s, uint64_t) mutable {
                      // Reply flows back over the network.
                      net_->Send(leader_id, config_.client_node, 64,
-                                [this, cb = std::move(cb), submit_time, s] {
+                                [this, cb = std::move(cb), submit_time, s,
+                                 leader_id] {
                                   core::TxnResult result;
                                   result.status = s;
                                   result.submit_time = submit_time;
@@ -95,6 +103,9 @@ void EtcdSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
                                   result.phases.Set(
                                       core::Phase::kConsensus,
                                       result.finish_time - submit_time);
+                                  obs::EmitPhaseSpan(
+                                      sim_, core::Phase::kConsensus, leader_id,
+                                      0, submit_time, result.finish_time);
                                   if (s.ok()) {
                                     stats_.committed++;
                                   } else {
@@ -135,7 +146,7 @@ void EtcdSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
                      net_->Send(leader_id, config_.client_node,
                                 64 + value.size(),
                                 [this, cb = std::move(cb), submit_time, s,
-                                 value = std::move(value)] {
+                                 value = std::move(value), leader_id] {
                                   core::ReadResult result;
                                   result.status = s;
                                   result.value = value;
@@ -144,6 +155,9 @@ void EtcdSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
                                   result.phases.Set(
                                       core::Phase::kRead,
                                       result.finish_time - submit_time);
+                                  obs::EmitPhaseSpan(
+                                      sim_, core::Phase::kRead, leader_id, 0,
+                                      submit_time, result.finish_time);
                                   cb(result);
                                 });
                    });

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/signature.h"
+#include "obs/trace.h"
 
 namespace dicho::systems {
 
@@ -50,6 +51,13 @@ FabricSystem::FabricSystem(sim::Simulator* sim, sim::SimNetwork* net,
     ordering_->Subscribe(peer, [this, peer](const sharedlog::OrderedBlock& b) {
       OnBlockDelivered(peer, b);
     });
+  }
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    runtime::RegisterSystemStats(registry, "fabric", &stats_);
+    inflight_.AttachMetrics(registry, "fabric.inflight");
+    runtime::RegisterNodeCpuGauges(
+        registry, "fabric", &peers_,
+        [](Peer& peer) { return &peer.validate_cpu; });
   }
 }
 
@@ -219,6 +227,17 @@ void FabricSystem::FinishTxn(uint64_t txn_id, bool valid,
       result.phases.Set(core::Phase::kValidate,
                         result.finish_time - pending->ordered_time);
     }
+    const NodeId completion_peer = peers_.id_of(0);
+    obs::EmitPhaseSpan(sim_, core::Phase::kExecute, completion_peer,
+                       pending->request.txn_id, pending->submit_time, endorsed);
+    if (pending->ordered_time > 0) {
+      obs::EmitPhaseSpan(sim_, core::Phase::kOrder, completion_peer,
+                         pending->request.txn_id, endorsed,
+                         pending->ordered_time);
+      obs::EmitPhaseSpan(sim_, core::Phase::kValidate, completion_peer,
+                         pending->request.txn_id, pending->ordered_time,
+                         result.finish_time);
+    }
     if (valid) {
       result.status = Status::Ok();
       stats_.committed++;
@@ -242,6 +261,13 @@ void FabricSystem::Query(const core::ReadRequest& request,
               submit_time]() mutable {
                // Client authentication dominates the Fabric query path
                // (paper Fig. 8b): x509 chain + channel ACL evaluation.
+               Time arrive = sim_->Now();
+               obs::EmitPhaseSpan(sim_, core::Phase::kAuth, target, 0, arrive,
+                                  arrive + costs_->fabric_query_auth_us);
+               obs::EmitPhaseSpan(
+                   sim_, core::Phase::kRead, target, 0,
+                   arrive + costs_->fabric_query_auth_us,
+                   arrive + costs_->fabric_query_auth_us + costs_->lsm_read_us);
                Time delay = costs_->fabric_query_auth_us + costs_->lsm_read_us;
                sim_->Schedule(delay, [this, target, key, cb = std::move(cb),
                                       submit_time]() mutable {

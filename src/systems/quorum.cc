@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "crypto/signature.h"
+#include "obs/trace.h"
 
 namespace dicho::systems {
 
@@ -43,6 +44,13 @@ QuorumSystem::QuorumSystem(sim::Simulator* sim, sim::SimNetwork* net,
       [this](size_t node_index, const std::string& cmd) {
         OnBlockCommitted(nodes_.id_of(node_index), cmd);
       });
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    runtime::RegisterSystemStats(registry, "quorum", &stats_);
+    mempool_.AttachMetrics(registry, "quorum.mempool");
+    inflight_.AttachMetrics(registry, "quorum.inflight");
+    runtime::RegisterNodeCpuGauges(registry, "quorum", &nodes_,
+                                   [](Node& node) { return &node.cpu; });
+  }
 }
 
 void QuorumSystem::Start() {
@@ -225,7 +233,7 @@ void QuorumSystem::OnBlockCommitted(NodeId node_id, const std::string& cmd) {
       PendingTxn pending;
       if (!inflight_.Take(txn.txn_id, &pending)) continue;
       net_->Send(node_id, config_.client_node, 64,
-                 [this, pending = std::move(pending),
+                 [this, node_id, pending = std::move(pending),
                   valid = txn.valid]() mutable {
                    core::TxnResult result;
                    result.submit_time = pending.submit_time;
@@ -236,6 +244,14 @@ void QuorumSystem::OnBlockCommitted(NodeId node_id, const std::string& cmd) {
                    result.phases.Set(core::Phase::kConsensusCommit,
                                      result.finish_time -
                                          pending.proposed_time);
+                   obs::EmitPhaseSpan(sim_, core::Phase::kProposal, node_id,
+                                      pending.request.txn_id,
+                                      pending.submit_time,
+                                      pending.proposed_time);
+                   obs::EmitPhaseSpan(sim_, core::Phase::kConsensusCommit,
+                                      node_id, pending.request.txn_id,
+                                      pending.proposed_time,
+                                      result.finish_time);
                    if (valid) {
                      result.status = Status::Ok();
                      stats_.committed++;
@@ -279,7 +295,7 @@ void QuorumSystem::Query(const core::ReadRequest& request,
                  std::string value;
                  Status s = nodes_.at(target).state.Get(key, &value);
                  net_->Send(target, config_.client_node, 64 + value.size(),
-                            [this, cb = std::move(cb), submit_time, s,
+                            [this, target, cb = std::move(cb), submit_time, s,
                              value = std::move(value)] {
                               core::ReadResult result;
                               result.status = s;
@@ -289,6 +305,9 @@ void QuorumSystem::Query(const core::ReadRequest& request,
                               result.phases.Set(core::Phase::kEvmRead,
                                                 result.finish_time -
                                                     submit_time);
+                              obs::EmitPhaseSpan(sim_, core::Phase::kEvmRead,
+                                                 target, 0, submit_time,
+                                                 result.finish_time);
                               cb(result);
                             });
                });

@@ -5,10 +5,12 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/types.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace dicho::systems::runtime {
@@ -28,6 +30,18 @@ template <typename Item>
 class Mempool {
  public:
   explicit Mempool(core::StageGauges* gauges = nullptr) : gauges_(gauges) {}
+
+  /// Wires this queue into a metrics registry: a pull-mode depth gauge plus
+  /// a batch-size histogram fed on every cut. No-op registry → no
+  /// instruments, no per-push cost beyond one null check.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) {
+    if (registry == nullptr) return;
+    registry->GetCallbackGauge(prefix + ".depth", [this] {
+      return static_cast<double>(queue_.size());
+    });
+    batch_txns_ = registry->GetHistogram(prefix + ".batch_txns");
+  }
 
   void Push(Item item) {
     queue_.push_back(std::move(item));
@@ -73,6 +87,9 @@ class Mempool {
 
  private:
   void DidCut(size_t count) {
+    if (batch_txns_ != nullptr && count > 0) {
+      batch_txns_->Add(static_cast<double>(count));
+    }
     if (gauges_ == nullptr) return;
     if (count > 0) gauges_->batches_cut++;
     gauges_->mempool_depth = queue_.size();
@@ -80,6 +97,7 @@ class Mempool {
 
   std::deque<Item> queue_;
   core::StageGauges* gauges_;
+  LogLinearHistogram* batch_txns_ = nullptr;
 };
 
 /// One-shot flush timer armed on first enqueue (HybridSystem's batching
@@ -117,6 +135,15 @@ class InflightTable {
  public:
   explicit InflightTable(core::StageGauges* gauges = nullptr)
       : gauges_(gauges) {}
+
+  /// Pull-mode depth gauge mirroring the inflight_depth stage gauge.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) {
+    if (registry == nullptr) return;
+    registry->GetCallbackGauge(prefix + ".depth", [this] {
+      return static_cast<double>(map_.size());
+    });
+  }
 
   void Insert(uint64_t txn_id, TxnState state) {
     map_[txn_id] = std::move(state);

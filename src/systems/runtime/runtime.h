@@ -2,8 +2,11 @@
 #define DICHO_SYSTEMS_RUNTIME_RUNTIME_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/types.h"
+#include "obs/metrics.h"
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -85,6 +88,68 @@ struct CpuSlot {
   explicit CpuSlot(sim::Simulator* sim) : cpu(sim) {}
   sim::CpuResource cpu;
 };
+
+/// Registers pull-mode gauges over the runtime-maintained queue gauges
+/// (`<prefix>.mempool.enqueued`, `.depth`, `.peak`, `.batches_cut`,
+/// `<prefix>.inflight.depth`, `.peak`). The StageGauges struct stays the
+/// canonical store; the registry just reads it at snapshot time, so systems
+/// without an attached registry pay nothing.
+inline void RegisterStageGauges(obs::MetricsRegistry* registry,
+                                const std::string& prefix,
+                                const core::StageGauges* stages) {
+  if (registry == nullptr) return;
+  auto pull = [&](const char* name, auto getter) {
+    registry->GetCallbackGauge(prefix + name, [stages, getter] {
+      return static_cast<double>(getter(*stages));
+    });
+  };
+  pull(".mempool.enqueued",
+       [](const core::StageGauges& s) { return s.enqueued; });
+  pull(".mempool.batches_cut",
+       [](const core::StageGauges& s) { return s.batches_cut; });
+  pull(".mempool.depth",
+       [](const core::StageGauges& s) { return s.mempool_depth; });
+  pull(".mempool.peak",
+       [](const core::StageGauges& s) { return s.mempool_peak; });
+  pull(".inflight.depth",
+       [](const core::StageGauges& s) { return s.inflight_depth; });
+  pull(".inflight.peak",
+       [](const core::StageGauges& s) { return s.inflight_peak; });
+}
+
+/// Registers the system-level outcome counters plus the stage gauges above
+/// under `<prefix>.` — one call in each system's constructor wires the whole
+/// SystemStats block into the registry.
+inline void RegisterSystemStats(obs::MetricsRegistry* registry,
+                                const std::string& prefix,
+                                const core::SystemStats* stats) {
+  if (registry == nullptr) return;
+  registry->GetCallbackGauge(prefix + ".committed", [stats] {
+    return static_cast<double>(stats->committed);
+  });
+  registry->GetCallbackGauge(prefix + ".aborted", [stats] {
+    return static_cast<double>(stats->aborted);
+  });
+  registry->GetCallbackGauge(prefix + ".queries", [stats] {
+    return static_cast<double>(stats->queries);
+  });
+  RegisterStageGauges(registry, prefix, &stats->stages);
+}
+
+/// Per-node CPU busy-time gauges (`<prefix>.n<id>.cpu_busy_us`): cpu_of maps
+/// a node bundle to its sim::CpuResource.
+template <typename NodeState, typename CpuOf>
+void RegisterNodeCpuGauges(obs::MetricsRegistry* registry,
+                           const std::string& prefix,
+                           NodeSet<NodeState>* nodes, CpuOf cpu_of) {
+  if (registry == nullptr) return;
+  nodes->ForEach([&](sim::NodeId id, NodeState& node) {
+    const sim::CpuResource* cpu = cpu_of(node);
+    registry->GetCallbackGauge(
+        prefix + ".n" + std::to_string(id) + ".cpu_busy_us",
+        [cpu] { return cpu->total_busy(); });
+  });
+}
 
 }  // namespace dicho::systems::runtime
 

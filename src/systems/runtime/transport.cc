@@ -28,6 +28,13 @@ Transport::Transport(sim::Simulator* sim, sim::SimNetwork* net,
       config_(std::move(config)),
       apply_(std::move(apply)) {
   const sim::NodeId base = node_ids_.front();
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    const std::string prefix = std::string("transport.") +
+                               TransportKindName(config_.kind) + ".n" +
+                               std::to_string(base);
+    disseminations_ = registry->GetCounter(prefix + ".disseminations");
+    payload_bytes_ = registry->GetCounter(prefix + ".payload_bytes");
+  }
   // Protocol delivery hands (node_id, seq, payload); replica code indexes
   // nodes by position in the span.
   auto deliver = [this, base](sim::NodeId node, uint64_t,
@@ -71,6 +78,10 @@ void Transport::Start() {
 }
 
 void Transport::Disseminate(const std::string& payload) {
+  if (disseminations_ != nullptr) {
+    disseminations_->Inc();
+    payload_bytes_->Inc(payload.size());
+  }
   if (raft_ != nullptr) {
     consensus::RaftNode* leader = raft_->leader();
     if (leader == nullptr) {

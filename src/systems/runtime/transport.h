@@ -9,6 +9,7 @@
 #include "consensus/pbft.h"
 #include "consensus/pow.h"
 #include "consensus/raft.h"
+#include "obs/metrics.h"
 #include "sharedlog/shared_log.h"
 #include "sim/cost_model.h"
 #include "sim/network.h"
@@ -86,6 +87,11 @@ class Transport {
   std::vector<sim::NodeId> node_ids_;
   TransportConfig config_;
   ApplyFn apply_;
+
+  // Resolved once at construction when the simulator carries a registry;
+  // Disseminate() counts attempts (election retries re-count) and bytes.
+  obs::Counter* disseminations_ = nullptr;
+  obs::Counter* payload_bytes_ = nullptr;
 
   // Exactly one is instantiated (none for primary-backup).
   std::unique_ptr<consensus::RaftCluster> raft_;

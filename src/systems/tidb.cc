@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dicho::systems {
 
 namespace {
@@ -42,6 +44,16 @@ TidbSystem::TidbSystem(sim::Simulator* sim, sim::SimNetwork* net,
     auto region = std::make_unique<Region>();
     region->leader = tikvs_.id_of(r % tikvs_.size());
     regions_.push_back(std::move(region));
+  }
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    runtime::RegisterSystemStats(registry, "tidb", &stats_);
+    runtime::RegisterNodeCpuGauges(
+        registry, "tidb.server", &servers_,
+        [](runtime::CpuSlot& node) { return &node.cpu; });
+    runtime::RegisterNodeCpuGauges(
+        registry, "tidb.tikv", &tikvs_,
+        [](runtime::CpuSlot& node) { return &node.cpu; });
+    retries_ = registry->GetCounter("tidb.txn_retries");
   }
 }
 
@@ -103,12 +115,21 @@ void TidbSystem::StartAttempt(TxnPtr txn) {
   txn->snapshot.clear();
   txn->writes.clear();
   txn->failed = false;
+  // Each attempt restarts the pipeline, so drop the abandoned attempt's
+  // stamps: the delivered breakdown describes the final attempt only.
+  // (Without this, Add() accumulated parse/prewrite/commit time across every
+  // retry and the per-phase aggregates double-counted retried txns.)
+  txn->result.phases.Reset();
+  if (txn->attempt > 1 && retries_ != nullptr) retries_->Inc();
   Time parse_start = sim_->Now();
   // SQL layer work on the (stateless) server.
   servers_.at(txn->server)
       .cpu.Submit(costs_->sql_parse_us + costs_->sql_execute_us, [this, txn,
                                                                   parse_start] {
         txn->result.phases.Add(core::Phase::kParse, sim_->Now() - parse_start);
+        obs::EmitPhaseSpan(sim_, core::Phase::kParse, txn->server,
+                           txn->request.txn_id, parse_start, sim_->Now(),
+                           txn->attempt);
         FetchTimestamp(txn->server, [this, txn](uint64_t ts) {
           txn->start_ts = ts;
           ReadKeys(txn, [this, txn] { ExecuteAndWrite(txn); });
@@ -236,6 +257,9 @@ void TidbSystem::PrewriteAll(TxnPtr txn) {
                 if (--(*remaining) == 0) {
                   txn->result.phases.Add(core::Phase::kPrewrite,
                                           sim_->Now() - prewrite_start);
+                  obs::EmitPhaseSpan(sim_, core::Phase::kPrewrite, txn->server,
+                                     txn->request.txn_id, prewrite_start,
+                                     sim_->Now(), txn->attempt);
                   CommitPrimary(txn);
                 }
               });
@@ -269,6 +293,9 @@ void TidbSystem::CommitPrimary(TxnPtr txn) {
           }
           net_->Send(leader, txn->server, 64, [this, txn, s, commit_start] {
             txn->result.phases.Add(core::Phase::kCommit, sim_->Now() - commit_start);
+            obs::EmitPhaseSpan(sim_, core::Phase::kCommit, txn->server,
+                               txn->request.txn_id, commit_start, sim_->Now(),
+                               txn->attempt);
             if (!s.ok()) {
               Finish(txn, Status::Aborted("primary commit failed"),
                      core::AbortReason::kWriteConflict);
@@ -338,8 +365,8 @@ void TidbSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
                              net_->Send(
                                  leader, config_.client_node,
                                  64 + value.size(),
-                                 [this, cb = std::move(cb), submit_time, s,
-                                  value = std::move(value)] {
+                                 [this, leader, cb = std::move(cb), submit_time,
+                                  s, value = std::move(value)] {
                                    core::ReadResult result;
                                    result.status = s;
                                    result.value = value;
@@ -348,6 +375,9 @@ void TidbSystem::Query(const core::ReadRequest& request, core::ReadCallback cb) 
                                    result.phases.Set(
                                        core::Phase::kRead,
                                        result.finish_time - submit_time);
+                                   obs::EmitPhaseSpan(sim_, core::Phase::kRead,
+                                                      leader, 0, submit_time,
+                                                      result.finish_time);
                                    cb(result);
                                  });
                            });

@@ -138,6 +138,9 @@ class TidbSystem : public core::TransactionalSystem {
   uint64_t next_ts_ = 1;
   uint64_t next_server_ = 0;
   core::SystemStats stats_;
+  /// Counts StartAttempt re-entries past the first try (null without a
+  /// registry attached).
+  obs::Counter* retries_ = nullptr;
 };
 
 }  // namespace dicho::systems

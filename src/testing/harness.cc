@@ -8,6 +8,7 @@
 #include "consensus/pbft.h"
 #include "consensus/raft.h"
 #include "core/types.h"
+#include "obs/trace.h"
 #include "ledger/ledger.h"
 #include "sim/cost_model.h"
 #include "sim/network.h"
@@ -502,7 +503,18 @@ const Scenario* FindScenario(const std::string& name) {
 
 ScenarioResult RunScenario(const Scenario& scenario,
                            const ScenarioOptions& options) {
+  // Scenarios construct their simulators internally, so tracing rides in on
+  // the process-default sink (serial replay contexts only — see the
+  // trace_path doc comment).
+  obs::TraceSink sink;
+  if (!options.trace_path.empty()) {
+    sim::Simulator::SetDefaultTraceSink(&sink);
+  }
   ScenarioResult result = scenario.run(options);
+  if (!options.trace_path.empty()) {
+    sim::Simulator::SetDefaultTraceSink(nullptr);
+    obs::WriteChromeTrace(sink, options.trace_path);
+  }
   result.scenario = scenario.name;
   result.seed = options.seed;
   result.bug = options.bug;

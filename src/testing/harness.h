@@ -31,6 +31,12 @@ bool ParseBugName(const std::string& name, BugInjection* out);
 struct ScenarioOptions {
   uint64_t seed = 1;
   BugInjection bug = BugInjection::kNone;
+  /// Non-empty: RunScenario installs a process-default trace sink around the
+  /// run and writes the Chrome trace JSON here afterwards. Scenarios build
+  /// their simulators internally, so the default-sink hook is the only way
+  /// in; serial (single-seed replay) contexts only — never set this in the
+  /// parallel sweep.
+  std::string trace_path = {};
 };
 
 struct ScenarioResult {

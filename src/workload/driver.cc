@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/trace.h"
+
 namespace dicho::workload {
 
 const Histogram& RunMetrics::phase_us(const std::string& name) const {
@@ -34,6 +36,9 @@ RunMetrics Driver::Run() {
   window_start_ = sim_->Now() + config_.warmup;
   window_end_ = window_start_ + config_.measure;
   stopping_ = false;
+  if (obs::TraceSink* sink = sim_->trace_sink()) {
+    sink->NoteWindow(window_start_, window_end_);
+  }
 
   if (config_.arrival_rate_tps > 0) {
     ScheduleArrival();
@@ -83,6 +88,7 @@ void Driver::Dispatch(size_t client) {
 }
 
 void Driver::OnTxnDone(size_t client, const core::TxnResult& result) {
+  if (obs::TraceSink* sink = sim_->trace_sink()) sink->RecordTxn(result);
   if (InWindow(result.finish_time)) {
     if (result.status.ok()) {
       metrics_.committed++;
@@ -98,6 +104,7 @@ void Driver::OnTxnDone(size_t client, const core::TxnResult& result) {
 }
 
 void Driver::OnReadDone(size_t client, const core::ReadResult& result) {
+  if (obs::TraceSink* sink = sim_->trace_sink()) sink->RecordQuery(result);
   if (InWindow(result.finish_time)) {
     metrics_.query_latency_us.Add(result.latency());
     result.phases.ForEach(

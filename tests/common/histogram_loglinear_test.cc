@@ -1,0 +1,202 @@
+// LogLinearHistogram unit tests: bucket-layout invariants, merge
+// associativity, quantile accuracy against the exact (sample-storing)
+// Histogram as oracle, and overflow-bucket behavior. These pin the
+// properties the obs metrics registry depends on — bounded relative
+// quantile error (1/sub_buckets) and order-independent merging.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+
+namespace dicho {
+namespace {
+
+using Buckets = LogLinearHistogram;
+
+TEST(LogLinearBucketsTest, LinearRegionHasUnitBuckets) {
+  // Values below sub_buckets map to their own unit-width bucket.
+  for (uint64_t v = 0; v < 32; v++) {
+    EXPECT_EQ(Buckets::BucketIndex(v, 32), v);
+    EXPECT_EQ(Buckets::BucketLowerBound(v, 32), v);
+  }
+}
+
+TEST(LogLinearBucketsTest, EveryValueLandsInsideItsBucket) {
+  // [BucketLowerBound(i), BucketLowerBound(i+1)) must contain every value
+  // that maps to index i — checked densely through several octaves and at
+  // power-of-two edges far up the range.
+  const uint32_t kSub = 32;
+  std::vector<uint64_t> values;
+  for (uint64_t v = 0; v < 4096; v++) values.push_back(v);
+  for (int shift = 12; shift < 40; shift++) {
+    values.push_back((uint64_t{1} << shift) - 1);
+    values.push_back(uint64_t{1} << shift);
+    values.push_back((uint64_t{1} << shift) + 1);
+    values.push_back((uint64_t{1} << shift) + (uint64_t{1} << (shift - 2)));
+  }
+  for (uint64_t v : values) {
+    const size_t idx = Buckets::BucketIndex(v, kSub);
+    EXPECT_LE(Buckets::BucketLowerBound(idx, kSub), v) << "value " << v;
+    EXPECT_GT(Buckets::BucketLowerBound(idx + 1, kSub), v) << "value " << v;
+  }
+}
+
+TEST(LogLinearBucketsTest, IndicesAreMonotonicWithBoundedWidth) {
+  const uint32_t kSub = 32;
+  size_t prev = 0;
+  for (uint64_t v = 0; v < 300000; v++) {
+    const size_t idx = Buckets::BucketIndex(v, kSub);
+    EXPECT_GE(idx, prev) << "index not monotonic at value " << v;
+    prev = idx;
+  }
+  // Width of any bucket at or past the linear region is at most lower/kSub:
+  // that is the 1/sub_buckets relative-error bound.
+  for (size_t idx = kSub; idx < Buckets::BucketIndex(uint64_t{1} << 38, kSub);
+       idx++) {
+    const uint64_t lower = Buckets::BucketLowerBound(idx, kSub);
+    const uint64_t width = Buckets::BucketLowerBound(idx + 1, kSub) - lower;
+    EXPECT_LE(width * kSub, lower) << "bucket " << idx << " too wide";
+  }
+}
+
+TEST(LogLinearBucketsTest, SubBucketCountScalesPrecision) {
+  // Doubling sub_buckets halves the worst-case bucket width.
+  for (uint64_t v : {100u, 1000u, 54321u, 1u << 20}) {
+    for (uint32_t sub : {4u, 16u, 64u}) {
+      const size_t idx = Buckets::BucketIndex(v, sub);
+      const uint64_t width =
+          Buckets::BucketLowerBound(idx + 1, sub) - Buckets::BucketLowerBound(idx, sub);
+      EXPECT_LE(width * sub, std::max<uint64_t>(v, sub)) << "v=" << v << " sub=" << sub;
+    }
+  }
+}
+
+std::vector<double> MixedSamples(uint64_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> uniform(1, 100000);
+  std::exponential_distribution<double> expo(1.0 / 5000.0);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    // Integer-valued so the histogram's llround is lossless and the oracle
+    // comparison is about bucketing, not rounding.
+    const double v = (i % 2 == 0) ? static_cast<double>(uniform(rng))
+                                  : std::floor(expo(rng));
+    out.push_back(v);
+  }
+  return out;
+}
+
+TEST(LogLinearHistogramTest, MergeEqualsPooledAddsAndIsAssociative) {
+  const auto sa = MixedSamples(11, 4000);
+  const auto sb = MixedSamples(22, 3000);
+  const auto sc = MixedSamples(33, 5000);
+
+  LogLinearHistogram a, b, c, pooled;
+  for (double v : sa) { a.Add(v); pooled.Add(v); }
+  for (double v : sb) { b.Add(v); pooled.Add(v); }
+  for (double v : sc) { c.Add(v); pooled.Add(v); }
+
+  // (a + b) + c
+  LogLinearHistogram left;
+  left.Merge(a);
+  left.Merge(b);
+  left.Merge(c);
+  // a + (b + c)
+  LogLinearHistogram bc;
+  bc.Merge(b);
+  bc.Merge(c);
+  LogLinearHistogram right;
+  right.Merge(a);
+  right.Merge(bc);
+
+  for (const LogLinearHistogram* h : {&left, &right}) {
+    EXPECT_EQ(h->count(), pooled.count());
+    EXPECT_EQ(h->overflow_count(), pooled.overflow_count());
+    EXPECT_DOUBLE_EQ(h->sum(), pooled.sum());
+    EXPECT_DOUBLE_EQ(h->Min(), pooled.Min());
+    EXPECT_DOUBLE_EQ(h->Max(), pooled.Max());
+    ASSERT_EQ(h->num_buckets(), pooled.num_buckets());
+    for (size_t i = 0; i < pooled.num_buckets(); i++) {
+      EXPECT_EQ(h->bucket_count(i), pooled.bucket_count(i)) << "bucket " << i;
+    }
+    for (double p : {50.0, 95.0, 99.0}) {
+      EXPECT_DOUBLE_EQ(h->Percentile(p), pooled.Percentile(p)) << "p" << p;
+    }
+  }
+}
+
+TEST(LogLinearHistogramTest, QuantilesTrackSortedVectorOracle) {
+  // The exact Histogram stores raw samples; the log-linear estimate must be
+  // within the documented relative bound (1/sub_buckets, plus one unit of
+  // integer slack) of the oracle for p50/p95/p99 across distributions.
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    const auto samples = MixedSamples(seed, 10000);
+    LogLinearHistogram ll;  // sub_buckets = 32
+    Histogram oracle;
+    for (double v : samples) {
+      ll.Add(v);
+      oracle.Add(v);
+    }
+    for (double p : {50.0, 90.0, 95.0, 99.0}) {
+      const double expected = oracle.Percentile(p);
+      const double actual = ll.Percentile(p);
+      EXPECT_NEAR(actual, expected, expected / 32.0 + 1.0)
+          << "seed " << seed << " p" << p;
+    }
+  }
+}
+
+TEST(LogLinearHistogramTest, QuantilesExactInLinearRegion) {
+  // Below sub_buckets every bucket is unit-width, so integer quantiles are
+  // recovered exactly.
+  LogLinearHistogram h(64);
+  for (int v = 0; v < 64; v++) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 63);
+  EXPECT_NEAR(h.Percentile(50), 31.5, 1.0);
+}
+
+TEST(LogLinearHistogramTest, OverflowBucketCountsAndClamps) {
+  LogLinearHistogram h(32, /*max_value=*/1000);
+  for (int i = 0; i < 50; i++) h.Add(100);
+  for (int i = 0; i < 50; i++) h.Add(5000);  // above max_value
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.overflow_count(), 50u);
+  // Extrema are tracked exactly even for overflowed samples...
+  EXPECT_DOUBLE_EQ(h.Max(), 5000);
+  // ...but quantiles that land in the overflow mass report max_value.
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 1000);
+  // Quantiles in the in-range mass are unaffected by the overflow tail.
+  EXPECT_NEAR(h.Percentile(25), 100, 100 / 32.0 + 1.0);
+}
+
+TEST(LogLinearHistogramTest, EmptyAndSingleValueEdgeCases) {
+  LogLinearHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);
+  h.Add(777);
+  for (double p : {0.0, 50.0, 100.0}) {
+    // Estimates are clamped to the exact extrema, so a single sample is
+    // reported exactly at every percentile.
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 777) << "p" << p;
+  }
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);
+}
+
+TEST(LogLinearHistogramTest, NegativeValuesClampToZero) {
+  LogLinearHistogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0);
+}
+
+}  // namespace
+}  // namespace dicho

@@ -1,0 +1,98 @@
+// MetricsRegistry unit tests: get-or-create identity (arena-stable
+// pointers), push vs pull gauges, and the byte-deterministic name-ordered
+// JSON snapshot the bench exporters rely on.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace dicho::obs {
+namespace {
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("txn.committed");
+  Counter* c2 = registry.GetCounter("txn.committed");
+  EXPECT_EQ(c1, c2);
+  c1->Inc();
+  c2->Inc(4);
+  EXPECT_EQ(c1->value(), 5u);
+
+  Gauge* g1 = registry.GetGauge("queue.depth");
+  Gauge* g2 = registry.GetGauge("queue.depth");
+  EXPECT_EQ(g1, g2);
+
+  LogLinearHistogram* h1 = registry.GetHistogram("latency");
+  LogLinearHistogram* h2 = registry.GetHistogram("latency");
+  EXPECT_EQ(h1, h2);
+  h1->Add(100);
+  EXPECT_EQ(h2->count(), 1u);
+
+  // Same name, different type -> distinct instruments (separate maps).
+  EXPECT_EQ(registry.size(), 3u);
+  registry.GetCounter("latency");
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(MetricsRegistryTest, GaugePushAndPullModes) {
+  MetricsRegistry registry;
+  Gauge* push = registry.GetGauge("push");
+  push->Set(2.5);
+  push->Add(0.5);
+  EXPECT_DOUBLE_EQ(push->value(), 3.0);
+
+  double backing = 7;
+  Gauge* pull = registry.GetCallbackGauge("pull", [&backing] { return backing; });
+  EXPECT_DOUBLE_EQ(pull->value(), 7);
+  backing = 11;  // pull gauges read the live quantity at snapshot time
+  EXPECT_DOUBLE_EQ(pull->value(), 11);
+
+  // Re-registering replaces the callback on the same instrument.
+  Gauge* pull2 = registry.GetCallbackGauge("pull", [] { return 1.0; });
+  EXPECT_EQ(pull, pull2);
+  EXPECT_DOUBLE_EQ(pull->value(), 1.0);
+}
+
+TEST(MetricsRegistryTest, IterationAndJsonAreNameOrdered) {
+  MetricsRegistry registry;
+  // Register deliberately out of order.
+  registry.GetCounter("zeta")->Inc(3);
+  registry.GetCounter("alpha")->Inc(1);
+  registry.GetCounter("mid.dle")->Inc(2);
+  registry.GetGauge("g2")->Set(2);
+  registry.GetGauge("g1")->Set(1);
+  registry.GetHistogram("h")->Add(50);
+
+  std::vector<std::string> names;
+  registry.ForEachCounter(
+      [&](const std::string& name, const Counter&) { names.push_back(name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid.dle", "zeta"}));
+
+  const std::string json = registry.ToJson();
+  // Name-ordered within each section.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"mid.dle\""));
+  EXPECT_LT(json.find("\"mid.dle\""), json.find("\"zeta\""));
+  EXPECT_LT(json.find("\"g1\""), json.find("\"g2\""));
+  // All three sections present.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Snapshotting is repeatable byte-for-byte.
+  EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotsPullGaugesAtCallTime) {
+  MetricsRegistry registry;
+  double depth = 4;
+  registry.GetCallbackGauge("depth", [&depth] { return depth; });
+  const std::string before = registry.ToJson();
+  depth = 9;
+  const std::string after = registry.ToJson();
+  EXPECT_NE(before, after);
+  EXPECT_NE(after.find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dicho::obs

@@ -1,0 +1,108 @@
+// Trace determinism (the property that makes traces diffable and the
+// golden suite meaningful): the same seed must produce a byte-identical
+// Chrome trace JSON on every run, and running traced worlds through the
+// parallel sweep harness at any DICHO_BENCH_THREADS must produce exactly
+// the serial bytes — each world is sealed, so emission order is a pure
+// function of the seed.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "bench/parallel.h"
+
+namespace dicho::bench {
+namespace {
+
+/// Builds a sealed traced world, drives a short mixed YCSB run on etcd, and
+/// returns the rendered trace. Everything (sim seed, workload seed, config)
+/// is pinned, so this is a pure function of `seed`.
+std::string TraceJsonFor(uint64_t seed) {
+  World w(seed);
+  w.EnableObservability();
+  auto system = MakeEtcd(&w, 3);
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 100;
+  wcfg.ops_per_txn = 1;  // etcd rejects multi-op requests
+  BenchScale scale;
+  scale.record_count = 200;
+  scale.warmup = 0.5 * sim::kSec;
+  scale.measure = 1.5 * sim::kSec;
+  scale.clients = 8;
+  RunYcsb(&w, system.get(), wcfg, scale, /*query_fraction=*/0.25,
+          /*arrival_rate=*/300);
+  return w.trace.ToChromeJson();
+}
+
+/// Scoped override of DICHO_BENCH_THREADS (same helper pattern as the sweep
+/// determinism suite; restores the previous value on scope exit).
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("DICHO_BENCH_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      setenv("DICHO_BENCH_THREADS", value, /*overwrite=*/1);
+    } else {
+      unsetenv("DICHO_BENCH_THREADS");
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      setenv("DICHO_BENCH_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("DICHO_BENCH_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(TraceDeterminismTest, SameSeedProducesByteIdenticalTrace) {
+  const std::string first = TraceJsonFor(42);
+  const std::string second = TraceJsonFor(42);
+  ASSERT_GT(first.size(), 100u) << "trace suspiciously empty";
+  EXPECT_EQ(first, second);
+}
+
+TEST(TraceDeterminismTest, DifferentSeedsProduceDifferentTraces) {
+  // Sanity check that the byte comparison above is not vacuous.
+  EXPECT_NE(TraceJsonFor(42), TraceJsonFor(43));
+}
+
+TEST(TraceDeterminismTest, ByteIdenticalAcrossSweepThreadCounts) {
+  const std::vector<uint64_t> seeds = {1, 2, 3, 4};
+  auto run = [](const uint64_t& seed) { return TraceJsonFor(seed); };
+
+  std::vector<std::string> serial;
+  std::vector<std::string> threaded;
+  std::vector<std::string> inherited;
+  {
+    ScopedThreadsEnv env("1");
+    serial = RunSweep(seeds, run);
+  }
+  {
+    ScopedThreadsEnv env("3");
+    threaded = RunSweep(seeds, run);
+  }
+  {
+    ScopedThreadsEnv env(nullptr);  // harness default
+    inherited = RunSweep(seeds, run);
+  }
+  ASSERT_EQ(serial.size(), seeds.size());
+  EXPECT_EQ(serial, threaded);
+  EXPECT_EQ(serial, inherited);
+  // And the sweep result equals the plain serial loop.
+  for (size_t i = 0; i < seeds.size(); i++) {
+    EXPECT_EQ(serial[i], TraceJsonFor(seeds[i])) << "seed " << seeds[i];
+  }
+}
+
+}  // namespace
+}  // namespace dicho::bench

@@ -1,0 +1,149 @@
+// TraceSink unit + integration tests: recording semantics, the Chrome
+// trace_event JSON shape, zero-overhead no-sink emission, and the
+// load-bearing equivalence — DeriveRunMetrics over a recorded trace must
+// reproduce the driver's inline RunMetrics bit-for-bit (counts, FP sums,
+// percentiles), since the fig05/fig08 benches print from the derived path.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "core/types.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace dicho::bench {
+namespace {
+
+TEST(TraceSinkTest, EmitHelpersNoOpWithoutSink) {
+  sim::Simulator sim(1);
+  ASSERT_EQ(sim.trace_sink(), nullptr);
+  // Both helpers must be safe (and free) with no sink attached.
+  obs::EmitSpan(&sim, "x", "test", 0, 1, 0, 10);
+  obs::EmitPhaseSpan(&sim, core::Phase::kExecute, 0, 1, 0, 10);
+}
+
+TEST(TraceSinkTest, RecordsSpansAndCompletionsInOrder) {
+  obs::TraceSink sink;
+  sink.Emit(obs::TraceSpan{"raft.commit", "consensus", 3, 17, 100, 250, 0});
+
+  core::TxnResult txn;
+  txn.status = Status::Ok();
+  txn.submit_time = 50;
+  txn.finish_time = 300;
+  txn.phases.Add(core::Phase::kExecute, 40);
+  sink.RecordTxn(txn);
+
+  core::ReadResult query;
+  query.status = Status::Ok();
+  query.submit_time = 60;
+  query.finish_time = 90;
+  sink.RecordQuery(query);
+
+  ASSERT_EQ(sink.size(), 3u);
+  const auto& events = sink.events();
+  EXPECT_EQ(events[0].kind, obs::TraceSink::Kind::kSpan);
+  EXPECT_STREQ(events[0].span.name, "raft.commit");
+  EXPECT_EQ(events[0].span.node, 3u);
+  EXPECT_EQ(events[0].span.id, 17u);
+
+  EXPECT_EQ(events[1].kind, obs::TraceSink::Kind::kTxn);
+  EXPECT_TRUE(events[1].ok);
+  EXPECT_DOUBLE_EQ(events[1].span.t0, 50);
+  EXPECT_DOUBLE_EQ(events[1].span.t1, 300);
+  EXPECT_DOUBLE_EQ(events[1].phases.Get(core::Phase::kExecute), 40);
+
+  EXPECT_EQ(events[2].kind, obs::TraceSink::Kind::kQuery);
+  // Completion ids are a per-sink sequence.
+  EXPECT_EQ(events[1].span.id, 0u);
+  EXPECT_EQ(events[2].span.id, 1u);
+
+  sink.Clear();
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(TraceSinkTest, ChromeJsonShapeAndDeterminism) {
+  obs::TraceSink sink;
+  sink.Emit(obs::TraceSpan{"pbft.seq", "consensus", 2, 5, 1000, 2500.5, 0});
+  core::TxnResult txn;
+  txn.status = Status::Aborted("conflict");
+  txn.reason = core::AbortReason::kWriteConflict;
+  txn.submit_time = 10;
+  txn.finish_time = 20;
+  sink.RecordTxn(txn);
+
+  const std::string json = sink.ToChromeJson();
+  // trace_event "JSON Array with metadata" flavor: complete events with
+  // microsecond ts/dur, tid = node.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pbft.seq\""), std::string::npos);
+  EXPECT_NE(json.find("\"consensus\""), std::string::npos);
+  // Aborted completions carry the outcome for trace-viewer filtering.
+  EXPECT_NE(json.find("write-conflict"), std::string::npos)
+      << "abort reason missing from completion args in:\n" << json;
+  // Rendering is repeatable byte-for-byte.
+  EXPECT_EQ(json, sink.ToChromeJson());
+}
+
+void ExpectHistogramsEqual(Histogram& a, Histogram& b, const char* what) {
+  ASSERT_EQ(a.count(), b.count()) << what;
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean()) << what;
+  EXPECT_DOUBLE_EQ(a.Min(), b.Min()) << what;
+  EXPECT_DOUBLE_EQ(a.Max(), b.Max()) << what;
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), b.Percentile(p)) << what << " p" << p;
+  }
+}
+
+TEST(TraceDeriveTest, DerivedMetricsMatchDriverInlineBitForBit) {
+  World w;
+  w.EnableObservability();
+  auto system = MakeEtcd(&w, 3);
+
+  workload::YcsbConfig wcfg;
+  wcfg.record_size = 100;
+  wcfg.ops_per_txn = 1;  // etcd rejects multi-op requests
+  BenchScale scale;
+  scale.record_count = 200;
+  scale.warmup = 0.5 * sim::kSec;
+  scale.measure = 2 * sim::kSec;
+  scale.clients = 16;
+
+  workload::RunMetrics inline_m =
+      RunYcsb(&w, system.get(), wcfg, scale, /*query_fraction=*/0.3,
+              /*arrival_rate=*/400);
+  workload::RunMetrics derived = DeriveRunMetrics(w.trace);
+
+  ASSERT_GT(inline_m.committed, 0u);
+  ASSERT_GT(derived.query_latency_us.count(), 0u);
+
+  EXPECT_EQ(derived.committed, inline_m.committed);
+  EXPECT_EQ(derived.aborted, inline_m.aborted);
+  EXPECT_EQ(derived.aborts_by_reason, inline_m.aborts_by_reason);
+  EXPECT_DOUBLE_EQ(derived.throughput_tps, inline_m.throughput_tps);
+  EXPECT_DOUBLE_EQ(derived.query_throughput_tps,
+                   inline_m.query_throughput_tps);
+  ExpectHistogramsEqual(derived.txn_latency_us, inline_m.txn_latency_us,
+                        "txn latency");
+  ExpectHistogramsEqual(derived.query_latency_us, inline_m.query_latency_us,
+                        "query latency");
+  for (size_t i = 0; i < core::kNumPhases; i++) {
+    ExpectHistogramsEqual(derived.phase_hist[i], inline_m.phase_hist[i],
+                          core::PhaseName(static_cast<core::Phase>(i)));
+  }
+
+  // The sink saw completions outside the measurement window too (warmup +
+  // drain); the window filter is what reconciles the two.
+  uint64_t completions = 0;
+  for (const auto& ev : w.trace.events()) {
+    if (ev.kind != obs::TraceSink::Kind::kSpan) completions++;
+  }
+  EXPECT_GT(completions,
+            inline_m.committed + inline_m.aborted +
+                static_cast<uint64_t>(inline_m.query_latency_us.count()));
+}
+
+}  // namespace
+}  // namespace dicho::bench

@@ -1,0 +1,113 @@
+// Regression test for per-phase accounting under retries: a retried
+// transaction's delivered PhaseTimeline must describe the FINAL attempt
+// only. Before the fix, TidbSystem::StartAttempt kept stamping into the
+// same timeline across attempts, so a txn that retried k times reported
+// (k+1)x its parse/prewrite/commit time and the per-phase aggregates
+// double-counted every retried transaction.
+//
+// The oracle is the trace layer: each attempt emits its own kParse span
+// (stamped with the attempt number), so the final result's kParse value
+// must equal the duration of the highest-attempt span — not the sum.
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+#include "obs/trace.h"
+#include "sim/cost_model.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "systems/tidb.h"
+
+namespace dicho::systems {
+namespace {
+
+struct ParseSpan {
+  uint32_t attempt = 0;
+  sim::Time duration = 0;
+};
+
+TEST(PhaseRetryDedupeTest, TimelineDescribesFinalAttemptOnly) {
+  sim::Simulator sim(7);
+  sim::SimNetwork net(&sim, sim::NetworkConfig{});
+  sim::CostModel costs;
+  obs::TraceSink sink;
+  sim.set_trace_sink(&sink);
+
+  TidbConfig cfg;
+  cfg.num_tidb_servers = 2;
+  cfg.num_tikv_nodes = 2;
+  cfg.max_write_retries = 2;  // small budget so some txns exhaust it
+  cfg.retry_backoff = 500;    // 0.5 ms: retries collide with live locks
+  TidbSystem tidb(&sim, &net, &costs, cfg);
+  tidb.Load("hot", "v0");
+
+  // A burst of single-record RMW transactions on one hot key: Percolator
+  // serializes them on the primary lock, so all but the winner hit lock
+  // conflicts, retry, and (deep in the queue) run out of retries.
+  const uint64_t kTxns = 40;
+  std::map<uint64_t, core::TxnResult> results;
+  for (uint64_t i = 1; i <= kTxns; i++) {
+    core::TxnRequest req;
+    req.txn_id = i;
+    req.client_id = i;
+    req.contract = "ycsb";
+    core::Op op;
+    op.type = core::OpType::kReadModifyWrite;
+    op.key = "hot";
+    op.value = "v" + std::to_string(i);
+    req.ops.push_back(op);
+    tidb.Submit(req, [&results, i](const core::TxnResult& r) {
+      results[i] = r;
+    });
+  }
+  sim.RunFor(120 * sim::kSec);
+  ASSERT_EQ(results.size(), kTxns) << "some transactions never finished";
+
+  // Collect the per-attempt kParse spans, keyed by txn id.
+  std::map<uint64_t, std::vector<ParseSpan>> parse_spans;
+  const char* parse_name = core::PhaseName(core::Phase::kParse);
+  for (const auto& ev : sink.events()) {
+    if (ev.kind != obs::TraceSink::Kind::kSpan) continue;
+    if (std::strcmp(ev.span.cat, "phase") != 0) continue;
+    if (std::strcmp(ev.span.name, parse_name) != 0) continue;
+    parse_spans[ev.span.id].push_back(
+        ParseSpan{ev.span.attempt, ev.span.t1 - ev.span.t0});
+  }
+
+  uint64_t retried = 0;
+  uint64_t aborted = 0;
+  for (const auto& [txn_id, result] : results) {
+    const auto it = parse_spans.find(txn_id);
+    ASSERT_NE(it, parse_spans.end()) << "txn " << txn_id << " has no spans";
+    const std::vector<ParseSpan>& spans = it->second;
+    // One span per attempt, stamped 1..n in order.
+    for (size_t k = 0; k < spans.size(); k++) {
+      EXPECT_EQ(spans[k].attempt, k + 1) << "txn " << txn_id;
+    }
+    if (spans.size() > 1) retried++;
+    if (!result.status.ok()) {
+      aborted++;
+      EXPECT_NE(result.reason, core::AbortReason::kNone);
+    }
+    // THE regression assertion: the delivered timeline equals the final
+    // attempt's span exactly — pre-fix it was the sum over all attempts.
+    EXPECT_DOUBLE_EQ(result.phases.Get(core::Phase::kParse),
+                     spans.back().duration)
+        << "txn " << txn_id << " (" << spans.size()
+        << " attempts): timeline must not accumulate across retries";
+  }
+
+  // The workload must actually exercise the retry path, and exhaust it for
+  // some transactions, or the assertions above are vacuous.
+  EXPECT_GT(retried, 0u) << "no transaction ever retried";
+  EXPECT_GT(aborted, 0u) << "no transaction exhausted its retry budget";
+  EXPECT_LT(aborted, kTxns) << "nothing committed";
+}
+
+}  // namespace
+}  // namespace dicho::systems

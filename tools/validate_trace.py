@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace_event JSON files produced by the obs layer.
+
+Checks the subset of the trace_event spec our exporter emits (and that
+Perfetto / chrome://tracing require to load a file): top-level object with
+a `traceEvents` list, every event carrying name/cat/ph/ts/pid/tid, and
+complete ("X") events carrying a non-negative `dur`. Stdlib only.
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Exits non-zero on the first invalid file.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: INVALID: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot parse: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object (JSON-with-metadata flavor)")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "missing traceEvents list")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(path, f"event {i} is not an object")
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(path, f"event {i} missing '{key}'")
+        if not isinstance(ev["name"], str) or not isinstance(ev["cat"], str):
+            fail(path, f"event {i}: name/cat must be strings")
+        if not isinstance(ev["ts"], (int, float)):
+            fail(path, f"event {i}: ts must be a number")
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(path, f"event {i}: complete event needs dur >= 0")
+
+    print(f"{path}: OK ({len(events)} events)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
