@@ -25,6 +25,7 @@
 #include "systems/ahl.h"
 #include "systems/etcd.h"
 #include "systems/fabric.h"
+#include "systems/harmonylike.h"
 #include "systems/quorum.h"
 #include "systems/runtime/registry.h"
 #include "systems/spannerlike.h"
@@ -153,6 +154,13 @@ inline std::unique_ptr<systems::QuorumSystem> MakeQuorum(
       w, consensus == systems::QuorumConsensus::kRaft ? "quorum-raft"
                                                       : "quorum-ibft",
       overrides);
+}
+
+inline std::unique_ptr<systems::HarmonySystem> MakeHarmony(World* w,
+                                                           uint32_t nodes) {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = nodes;
+  return MakeStarted<systems::HarmonySystem>(w, "harmonylike", overrides);
 }
 
 inline std::unique_ptr<systems::FabricSystem> MakeFabric(

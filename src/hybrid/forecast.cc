@@ -40,6 +40,9 @@ Forecast ThroughputForecaster::Predict(const SystemDescriptor& system) const {
     case ConcurrencyModel::kConcurrent:
       tps *= factors_.concurrent_factor;
       break;
+    case ConcurrencyModel::kDeterministic:
+      tps *= factors_.deterministic_factor;
+      break;
   }
   if (system.ledger == LedgerAbstraction::kChain) {
     tps *= factors_.ledger_factor;

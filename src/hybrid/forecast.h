@@ -34,6 +34,11 @@ struct ForecastFactors {
   double serial_factor = 0.35;
   double occ_commit_factor = 0.8;
   double concurrent_factor = 1.0;
+  /// Order-then-deterministic-execute (harmonylike): multi-lane native
+  /// execution with zero concurrency aborts beats OCC's validate-and-retry
+  /// and serial's single lane. Calibrated against the measured harmonylike
+  /// peak (bench/ablation_deterministic).
+  double deterministic_factor = 1.6;
   double ledger_factor = 0.85;
 };
 

@@ -46,6 +46,8 @@ const char* ToString(ConcurrencyModel v) {
       return "concurrent-exec/serial-commit";
     case ConcurrencyModel::kConcurrent:
       return "concurrent";
+    case ConcurrencyModel::kDeterministic:
+      return "deterministic";
   }
   return "?";
 }
@@ -147,6 +149,20 @@ std::vector<SystemDescriptor> Figure15Hybrids() {
     if (row.reported_tps > 0) hybrids.push_back(row);
   }
   return hybrids;
+}
+
+SystemDescriptor HarmonylikeDescriptor() {
+  SystemDescriptor d;
+  d.name = "harmonylike";
+  d.category = "Fused (order-then-deterministic-execute)";
+  d.replication = ReplicationModel::kTxnBased;
+  d.approach = ReplicationApproach::kConsensus;
+  d.failure = FailureModel::kCft;
+  d.protocol = "Raft";
+  d.concurrency = ConcurrencyModel::kDeterministic;
+  d.ledger = LedgerAbstraction::kChain;
+  d.index = StateIndex::kMpt;
+  return d;
 }
 
 std::string RenderTaxonomyTable(const std::vector<SystemDescriptor>& rows) {

@@ -34,6 +34,10 @@ enum class ConcurrencyModel {
   kSerial,      // one at a time, deterministic (most blockchains)
   kOccCommit,   // concurrent execution, optimistic serial commit (Fabric)
   kConcurrent,  // full database concurrency control
+  /// Pre-ordered epochs executed with a deterministic conflict schedule —
+  /// zero concurrency aborts (Calvin / harmony fusion; src/txn/
+  /// deterministic.h).
+  kDeterministic,
 };
 
 /// Storage model (Section 3.3.1).
@@ -80,6 +84,12 @@ std::vector<SystemDescriptor> Table2Systems();
 /// The six hybrid systems of Fig. 15 (subset of Table 2 with reported
 /// numbers).
 std::vector<SystemDescriptor> Figure15Hybrids();
+
+/// Taxonomy point of this library's harmony-style fused model
+/// (src/systems/harmonylike.h): consensus-ordered epochs, deterministic
+/// multi-lane execution, ledger + MPT state. Shared by the forecast bench
+/// and tests so the descriptor can't drift from the implementation.
+SystemDescriptor HarmonylikeDescriptor();
 
 /// Renders descriptors as an aligned text table (bench table2_taxonomy).
 std::string RenderTaxonomyTable(const std::vector<SystemDescriptor>& rows);

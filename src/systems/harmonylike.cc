@@ -1,0 +1,304 @@
+#include "systems/harmonylike.h"
+
+#include <utility>
+
+#include "crypto/signature.h"
+#include "obs/trace.h"
+
+namespace dicho::systems {
+
+namespace {
+
+/// Read view over a replica's committed MPT state.
+class MptView : public contract::StateView {
+ public:
+  explicit MptView(const adt::MerklePatriciaTrie* state) : state_(state) {}
+  Status Get(const Slice& key, std::string* value) override {
+    return state_->Get(key, value);
+  }
+
+ private:
+  const adt::MerklePatriciaTrie* state_;
+};
+
+}  // namespace
+
+HarmonySystem::HarmonySystem(sim::Simulator* sim, sim::SimNetwork* net,
+                             const sim::CostModel* costs, HarmonyConfig config)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      config_(config),
+      nodes_(sim, runtime::kHarmonyBase, config_.num_nodes),
+      contracts_(contract::ContractRegistry::CreateDefault()),
+      executor_(contracts_.get(), costs, config_.exec_lanes),
+      mempool_(&stats_.stages),
+      inflight_(&stats_.stages) {
+  runtime::TransportConfig transport;
+  transport.kind = config_.consensus == HarmonyConsensus::kRaft
+                       ? runtime::TransportKind::kRaft
+                       : runtime::TransportKind::kBft;
+  transport.raft = config_.raft;
+  transport.bft = config_.bft;
+  transport_ = std::make_unique<runtime::Transport>(
+      sim, net, costs, nodes_.ids(), transport,
+      [this](size_t node_index, const std::string& cmd) {
+        OnEpochCommitted(nodes_.id_of(node_index), cmd);
+      });
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    runtime::RegisterSystemStats(registry, "harmony", &stats_);
+    mempool_.AttachMetrics(registry, "harmony.mempool");
+    inflight_.AttachMetrics(registry, "harmony.inflight");
+    runtime::RegisterNodeCpuGauges(registry, "harmony", &nodes_,
+                                   [](Node& node) { return &node.cpu; });
+    registry->GetCallbackGauge("harmony.epochs", [this] {
+      return static_cast<double>(epoch_stats_.epochs);
+    });
+    registry->GetCallbackGauge("harmony.conflict_edges", [this] {
+      return static_cast<double>(epoch_stats_.conflict_edges);
+    });
+    registry->GetCallbackGauge("harmony.lane_speedup", [this] {
+      return epoch_stats_.LaneSpeedup();
+    });
+  }
+}
+
+void HarmonySystem::Start() {
+  transport_->Start();
+  sim_->Schedule(config_.epoch_interval, [this] { SequencerTick(); });
+}
+
+bool HarmonySystem::HasSequencer() const {
+  auto* transport = const_cast<runtime::Transport*>(transport_.get());
+  if (transport->raft() != nullptr) {
+    return transport->raft()->leader() != nullptr;
+  }
+  return transport->bft()->primary() != nullptr;
+}
+
+sim::NodeId HarmonySystem::SequencerId() const {
+  auto* transport = const_cast<runtime::Transport*>(transport_.get());
+  if (transport->raft() != nullptr) {
+    auto* leader = transport->raft()->leader();
+    return leader != nullptr ? leader->id() : nodes_.id_of(0);
+  }
+  auto* primary = transport->bft()->primary();
+  return primary != nullptr ? primary->id() : nodes_.id_of(0);
+}
+
+sim::NodeId HarmonySystem::CompletionId() const {
+  // A fixed non-sequencer replica acts as the client's local peer, so the
+  // observed latency includes the deterministic-execution (commit) phase.
+  sim::NodeId completion = nodes_.ids().back();
+  if (completion == SequencerId() && nodes_.size() > 1) {
+    completion = nodes_.id_of(nodes_.size() - 2);
+  }
+  return completion;
+}
+
+void HarmonySystem::SequencerTick() {
+  if (!mempool_.empty() && HasSequencer()) {
+    CutAndOrderEpoch();
+  }
+  sim_->Schedule(config_.epoch_interval, [this] { SequencerTick(); });
+}
+
+void HarmonySystem::CutAndOrderEpoch() {
+  sim::NodeId sequencer_id = SequencerId();
+  Node* sequencer = &nodes_.at(sequencer_id);
+
+  ledger::Block block;
+  block.header.number = next_epoch_number_;
+  block.header.timestamp_us = static_cast<uint64_t>(sim_->Now());
+
+  // The epoch goes to consensus UNEXECUTED: the sequencer only assembles
+  // and signs — no pre-execution, so epoch cutting costs per-txn message
+  // handling instead of Quorum's serial EVM pass.
+  sim::Time cut_cost = 0;
+  runtime::BatchPolicy policy;
+  policy.max_txns = config_.max_epoch_txns;
+  policy.max_bytes = config_.max_epoch_bytes;
+  mempool_.Cut(policy, [&](PendingTxn pending) {
+    pending.proposed_time = sim_->Now();
+
+    ledger::LedgerTxn txn;
+    txn.txn_id = pending.request.txn_id;
+    txn.client_id = pending.request.client_id;
+    txn.payload = pending.request.Serialize();
+    txn.client_signature =
+        crypto::Signer(pending.request.client_id).Sign(txn.payload);
+    cut_cost += costs_->msg_handling_us + costs_->sig_verify_us;
+    uint64_t bytes = txn.ByteSize();
+    block.txns.push_back(std::move(txn));
+    uint64_t txn_id = pending.request.txn_id;
+    inflight_.Insert(txn_id, std::move(pending));
+    return bytes;
+  });
+  if (block.txns.empty()) return;
+  next_epoch_number_++;
+  block.SealTxnRoot();
+
+  std::string serialized = block.Serialize();
+  sequencer->cpu.Submit(cut_cost, [this, sequencer_id,
+                                   serialized = std::move(serialized)] {
+    if (transport_->raft() != nullptr) {
+      consensus::RaftNode* leader = transport_->raft()->leader();
+      if (leader == nullptr || leader->id() != sequencer_id) return;
+      leader->Propose(serialized, [](Status, uint64_t) {});
+    } else {
+      consensus::BftNode* primary = transport_->bft()->primary();
+      if (primary == nullptr) return;
+      primary->Submit(serialized, [](Status, uint64_t) {});
+    }
+  });
+}
+
+void HarmonySystem::OnEpochCommitted(sim::NodeId node_id,
+                                     const std::string& cmd) {
+  ledger::Block block;
+  if (!ledger::Block::Deserialize(cmd, &block)) return;
+  Node* node = &nodes_.at(node_id);
+  sim::Time ordered_time = sim_->Now();
+
+  // Every replica (sequencer included — it never pre-executed) runs the
+  // same deterministic schedule against its committed state. Blocks are
+  // delivered in commit order and writes apply synchronously here, so each
+  // epoch reads its predecessor's effects even while the modeled CPU is
+  // still draining earlier epochs.
+  std::vector<core::TxnRequest> batch;
+  batch.reserve(block.txns.size());
+  for (const auto& txn : block.txns) {
+    core::TxnRequest request;
+    if (core::TxnRequest::Deserialize(txn.payload, &request)) {
+      batch.push_back(std::move(request));
+    }
+  }
+  MptView view(&node->state);
+  txn::EpochOutcome outcome = executor_.ExecuteEpoch(batch, &view);
+  for (size_t i = 0; i < outcome.results.size() && i < block.txns.size();
+       i++) {
+    const txn::EpochTxnResult& result = outcome.results[i];
+    block.txns[i].valid = result.valid;
+    block.txns[i].write_set.assign(result.writes.begin(),
+                                   result.writes.end());
+    for (const auto& [key, value] : result.writes) {
+      node->state.Put(key, value);  // real MPT hashing work, epoch order
+    }
+  }
+  block.header.state_digest = node->state.RootDigest();
+
+  // One replica (a fixed one, so the count is once per epoch) accumulates
+  // the schedule statistics the ablation bench reports.
+  if (node_id == nodes_.ids().back()) {
+    epoch_stats_.epochs++;
+    epoch_stats_.scheduled_txns += outcome.results.size();
+    epoch_stats_.conflict_edges += outcome.schedule.conflict_edges;
+    epoch_stats_.total_layers += outcome.schedule.num_layers;
+    epoch_stats_.makespan_us += outcome.makespan_us;
+    epoch_stats_.serial_us += outcome.serial_us;
+  }
+
+  // The replica's engine is busy for the *multi-lane makespan*, not the
+  // serial sum — this is where deterministic execution buys its headroom.
+  auto shared = std::make_shared<ledger::Block>(std::move(block));
+  node->cpu.Submit(outcome.makespan_us, [this, node_id, node, shared,
+                                         ordered_time] {
+    ledger::Block to_append = *shared;
+    to_append.header.number = node->chain.height();
+    to_append.header.parent = node->chain.TipDigest();
+    to_append.SealTxnRoot();
+    node->chain.Append(std::move(to_append));
+
+    if (node_id != CompletionId()) return;
+    for (const auto& txn : shared->txns) {
+      PendingTxn pending;
+      if (!inflight_.Take(txn.txn_id, &pending)) continue;
+      net_->Send(node_id, config_.client_node, 64,
+                 [this, node_id, pending = std::move(pending),
+                  valid = txn.valid, ordered_time]() mutable {
+                   core::TxnResult result;
+                   result.submit_time = pending.submit_time;
+                   result.finish_time = sim_->Now();
+                   result.phases.Set(core::Phase::kProposal,
+                                     pending.proposed_time -
+                                         pending.submit_time);
+                   result.phases.Set(core::Phase::kOrder,
+                                     ordered_time - pending.proposed_time);
+                   result.phases.Set(core::Phase::kExecute,
+                                     result.finish_time - ordered_time);
+                   obs::EmitPhaseSpan(sim_, core::Phase::kProposal, node_id,
+                                      pending.request.txn_id,
+                                      pending.submit_time,
+                                      pending.proposed_time);
+                   obs::EmitPhaseSpan(sim_, core::Phase::kOrder, node_id,
+                                      pending.request.txn_id,
+                                      pending.proposed_time, ordered_time);
+                   obs::EmitPhaseSpan(sim_, core::Phase::kExecute, node_id,
+                                      pending.request.txn_id, ordered_time,
+                                      result.finish_time);
+                   if (valid) {
+                     result.status = Status::Ok();
+                     stats_.committed++;
+                   } else {
+                     // The only abort class deterministic execution admits:
+                     // an application constraint, identical on all replicas.
+                     result.status = Status::Aborted("contract aborted");
+                     result.reason = core::AbortReason::kConstraint;
+                     stats_.aborted++;
+                     stats_.aborts_by_reason[result.reason]++;
+                   }
+                   pending.cb(result);
+                 });
+    }
+  });
+}
+
+void HarmonySystem::Submit(const core::TxnRequest& request,
+                           core::TxnCallback cb) {
+  PendingTxn pending;
+  pending.request = request;
+  pending.cb = std::move(cb);
+  pending.submit_time = sim_->Now();
+  // Client sends the signed transaction to the sequencer's mempool.
+  net_->Send(config_.client_node, SequencerId(), request.PayloadBytes() + 96,
+             [this, pending = std::move(pending)]() mutable {
+               mempool_.Push(std::move(pending));
+             });
+}
+
+void HarmonySystem::Query(const core::ReadRequest& request,
+                          core::ReadCallback cb) {
+  stats_.queries++;
+  sim::Time submit_time = sim_->Now();
+  sim::NodeId target = nodes_.id_of(request.client_id % nodes_.size());
+  net_->Send(config_.client_node, target, 64 + request.key.size(),
+             [this, target, key = request.key, cb = std::move(cb),
+              submit_time]() mutable {
+               // Native read path — no VM between the RPC layer and the
+               // storage engine (contrast quorum_query_us).
+               sim::Time cost = costs_->native_op_us + costs_->lsm_read_us;
+               sim_->Schedule(cost, [this, target, key, cb = std::move(cb),
+                                     submit_time]() mutable {
+                 std::string value;
+                 Status s = nodes_.at(target).state.Get(key, &value);
+                 net_->Send(target, config_.client_node, 64 + value.size(),
+                            [this, target, cb = std::move(cb), submit_time, s,
+                             value = std::move(value)] {
+                              core::ReadResult result;
+                              result.status = s;
+                              result.value = value;
+                              result.submit_time = submit_time;
+                              result.finish_time = sim_->Now();
+                              result.phases.Set(core::Phase::kRead,
+                                                result.finish_time -
+                                                    submit_time);
+                              obs::EmitPhaseSpan(sim_, core::Phase::kRead,
+                                                 target, 0, submit_time,
+                                                 result.finish_time);
+                              cb(result);
+                            });
+               });
+             });
+}
+
+}  // namespace dicho::systems

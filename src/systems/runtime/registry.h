@@ -40,8 +40,9 @@ struct SystemOverrides {
 };
 
 /// Constructs a system by registry name: "quorum-raft", "quorum-ibft",
-/// "fabric", "tidb", "etcd", "ahl", "spannerlike", or "hybrid" (which
-/// requires overrides.hybrid_design). Construction only — callers decide
+/// "fabric", "tidb", "etcd", "ahl", "spannerlike", "harmonylike", or
+/// "hybrid" (which requires overrides.hybrid_design). Construction only
+/// — callers decide
 /// when to Start() and how long to warm up. Returns nullptr for unknown
 /// names.
 std::unique_ptr<core::TransactionalSystem> MakeSystem(

@@ -203,6 +203,12 @@ std::string RunSpanner() {
   return RunRegistered("spannerlike", "spannerlike", {}, /*start=*/false);
 }
 
+std::string RunHarmony() {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = 4;
+  return RunRegistered("harmonylike", "harmonylike", overrides);
+}
+
 std::string RunHybrid(const hybrid::SystemDescriptor& design,
                       const std::string& case_name) {
   systems::runtime::SystemOverrides overrides;
@@ -321,6 +327,7 @@ const std::vector<GoldenCase>& AllGoldenCases() {
       {"etcd", [] { return RunEtcd(); }},
       {"ahl", [] { return RunAhl(); }},
       {"spannerlike", [] { return RunSpanner(); }},
+      {"harmonylike", [] { return RunHarmony(); }},
       {"hybrid-raft", [] { return RunHybridRaft(); }},
       {"hybrid-bft", [] { return RunHybridBft(); }},
       {"hybrid-sharedlog", [] { return RunHybridSharedLog(); }},

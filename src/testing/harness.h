@@ -71,6 +71,9 @@ struct Scenario {
 ///   pbft_byzantine        7-node PBFT (f=2) with an equivocating replica
 ///   ledger_pipeline       3-node Raft driving per-node chain + MPT blocks
 ///   quorum_system         full Quorum pipeline under network faults
+///   harmony_system        fused order-then-deterministic-execute pipeline
+///                         under network faults; ledgers + state digests
+///                         audited
 ///   txn_serializability   OCC / MVCC / lock-table histories vs serial oracle
 const std::vector<Scenario>& AllScenarios();
 const Scenario* FindScenario(const std::string& name);

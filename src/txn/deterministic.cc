@@ -1,0 +1,155 @@
+#include "txn/deterministic.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dicho::txn {
+
+namespace {
+
+/// Overlay view: reads see the epoch's accumulated writes first, then fall
+/// through to the replica's committed state — the serial-replay semantics
+/// every replica reproduces identically.
+class OverlayView : public contract::StateView {
+ public:
+  explicit OverlayView(contract::StateView* base) : base_(base) {}
+
+  Status Get(const Slice& key, std::string* value) override {
+    auto it = overlay_.find(std::string(key.data(), key.size()));
+    if (it != overlay_.end()) {
+      *value = it->second;
+      return Status::Ok();
+    }
+    return base_->Get(key, value);
+  }
+
+  void Apply(const contract::WriteSet& writes) {
+    for (const auto& [key, value] : writes) overlay_[key] = value;
+  }
+
+ private:
+  contract::StateView* base_;
+  std::unordered_map<std::string, std::string> overlay_;
+};
+
+}  // namespace
+
+EpochSchedule BuildSchedule(
+    const std::vector<std::vector<std::string>>& key_sets) {
+  EpochSchedule schedule;
+  schedule.txns.resize(key_sets.size());
+  // Last writer index per key — each transaction conflicts with the most
+  // recent predecessor touching any of its keys, and that predecessor's
+  // layer dominates all earlier ones on the same key (layers grow
+  // monotonically along a key's access chain), so tracking only the last
+  // toucher computes the exact longest-path layer in O(total keys).
+  std::unordered_map<std::string, uint32_t> last_touch;
+  for (size_t i = 0; i < key_sets.size(); i++) {
+    uint32_t layer = 0;
+    bool conflicted = false;
+    for (const std::string& key : key_sets[i]) {
+      auto it = last_touch.find(key);
+      if (it != last_touch.end()) {
+        conflicted = true;
+        layer = std::max(layer, schedule.txns[it->second].layer + 1);
+      }
+    }
+    schedule.txns[i].layer = layer;
+    if (conflicted) schedule.conflict_edges++;
+    schedule.num_layers = std::max(schedule.num_layers, layer + 1);
+    for (const std::string& key : key_sets[i]) {
+      last_touch[key] = static_cast<uint32_t>(i);
+    }
+  }
+  return schedule;
+}
+
+sim::Time ScheduledMakespan(EpochSchedule* schedule,
+                            const std::vector<sim::Time>& costs_us,
+                            uint32_t lanes) {
+  if (lanes == 0) lanes = 1;
+  // lane_load[layer][lane]; filled in epoch order so the least-loaded pick
+  // (ties -> lowest lane index) is deterministic.
+  std::vector<std::vector<sim::Time>> lane_load(
+      schedule->num_layers, std::vector<sim::Time>(lanes, 0));
+  for (size_t i = 0; i < schedule->txns.size(); i++) {
+    std::vector<sim::Time>& loads = lane_load[schedule->txns[i].layer];
+    size_t lane = 0;
+    for (size_t l = 1; l < loads.size(); l++) {
+      if (loads[l] < loads[lane]) lane = l;
+    }
+    loads[lane] += costs_us[i];
+    schedule->txns[i].lane = static_cast<uint32_t>(lane);
+  }
+  sim::Time makespan = 0;
+  for (const auto& loads : lane_load) {
+    makespan += *std::max_element(loads.begin(), loads.end());
+  }
+  return makespan;
+}
+
+EpochOutcome DeterministicExecutor::ExecuteEpoch(
+    const std::vector<core::TxnRequest>& batch,
+    contract::StateView* base) const {
+  EpochOutcome outcome;
+  outcome.results.resize(batch.size());
+
+  // Schedule from static key sets — derivable by every replica from the
+  // ordered batch alone, before touching any state.
+  std::vector<std::vector<std::string>> key_sets;
+  key_sets.reserve(batch.size());
+  for (const auto& request : batch) {
+    key_sets.push_back(contract::StaticKeySet(request));
+  }
+  outcome.schedule = BuildSchedule(key_sets);
+
+  // Serial replay in epoch order against the overlay — the state outcome.
+  // Layered execution of conflict-free transactions produces byte-identical
+  // results, so the replay doubles as the correctness oracle input.
+  OverlayView view(base);
+  std::vector<sim::Time> costs_us(batch.size(), 0);
+  for (size_t i = 0; i < batch.size(); i++) {
+    const core::TxnRequest& request = batch[i];
+    EpochTxnResult& result = outcome.results[i];
+    contract::Contract* contract = contracts_->Lookup(
+        request.contract.empty() ? "ycsb" : request.contract);
+    sim::Time cost = costs_->sig_verify_us;
+    if (contract == nullptr) {
+      result.valid = false;
+      outcome.constraint_aborts++;
+      costs_us[i] = cost;
+      outcome.serial_us += cost;
+      continue;
+    }
+    Status s = contract->Execute(request, &view, &result.writes,
+                                 &result.reads);
+    // Native stored-procedure pricing: reads hit the storage engine, writes
+    // rebuild the authenticated-state path. No EVM interpretation term —
+    // deterministic execution of pre-ordered batches runs compiled code.
+    for (const auto& op : request.ops) {
+      cost += costs_->native_op_us;
+      if (op.type != core::OpType::kWrite) cost += costs_->lsm_read_us;
+    }
+    for (const auto& [key, value] : result.writes) {
+      cost += costs_->MptUpdateCost(key.size() + value.size());
+    }
+    if (request.ops.empty()) {
+      cost += contract->ExecCost(request, *costs_);
+    }
+    result.valid = s.ok();
+    if (!s.ok()) {
+      // Application constraint abort: deterministic, identical on every
+      // replica, and its (empty) effect still occupies the schedule slot.
+      result.writes.clear();
+      outcome.constraint_aborts++;
+    }
+    view.Apply(result.writes);
+    costs_us[i] = cost;
+    outcome.serial_us += cost;
+  }
+
+  outcome.makespan_us = ScheduledMakespan(&outcome.schedule, costs_us, lanes_);
+  return outcome;
+}
+
+}  // namespace dicho::txn

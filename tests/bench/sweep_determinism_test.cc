@@ -77,6 +77,8 @@ TEST(SweepDeterminismTest, ScenarioSweepIsByteIdenticalAcrossThreadCounts) {
   }
   cells.push_back({"ledger_pipeline", 2});
   cells.push_back({"pbft_crash", 3});
+  cells.push_back({"harmony_system", 1});
+  cells.push_back({"harmony_system", 2});
 
   std::string serial;
   {

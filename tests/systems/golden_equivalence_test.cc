@@ -3,7 +3,7 @@
 // baseline in tests/golden/. The baselines were recorded BEFORE the systems
 // were retargeted onto the shared runtime layer, so these tests prove the
 // refactor preserved event ordering, costs, phase stamping, and stats for
-// all seven system models plus the sim-fuzz harness. Regenerate with
+// every registered system model plus the sim-fuzz harness. Regenerate with
 // `golden_gen --out tests/golden` only for intentional behavior changes.
 
 #include <algorithm>

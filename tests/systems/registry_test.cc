@@ -21,11 +21,12 @@ struct RegistryWorld {
   sim::CostModel costs;
 };
 
-TEST(SystemRegistryTest, ListsAllSevenSystemModels) {
+TEST(SystemRegistryTest, ListsAllEightSystemModels) {
   auto names = systems::runtime::RegisteredSystems();
-  ASSERT_EQ(names.size(), 8u);  // quorum twice (raft + ibft), hybrid once
+  ASSERT_EQ(names.size(), 9u);  // quorum twice (raft + ibft), hybrid once
   EXPECT_EQ(names.front(), "quorum-raft");
   EXPECT_EQ(names.back(), "hybrid");
+  EXPECT_EQ(names[names.size() - 2], "harmonylike");
 }
 
 TEST(SystemRegistryTest, UnknownNameReturnsNull) {
@@ -43,7 +44,7 @@ TEST(SystemRegistryTest, EveryConcreteSystemConstructsAndReportsItsName) {
       {"quorum-raft", "quorum-raft"}, {"quorum-ibft", "quorum-ibft"},
       {"fabric", "fabric"},           {"tidb", "tidb"},
       {"etcd", "etcd"},               {"ahl", "ahl"},
-      {"spannerlike", "spanner-like"},
+      {"spannerlike", "spanner-like"}, {"harmonylike", "harmonylike"},
   };
   for (const auto& [registry_name, system_name] : kExpected) {
     RegistryWorld w;

@@ -1,0 +1,260 @@
+#include "txn/deterministic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "testing/serializability.h"
+
+namespace dicho::txn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Conflict-layer scheduling
+// ---------------------------------------------------------------------------
+
+TEST(BuildScheduleTest, DisjointKeySetsFormOneLayer) {
+  EpochSchedule s = BuildSchedule({{"a"}, {"b"}, {"c"}, {"d"}});
+  EXPECT_EQ(s.num_layers, 1u);
+  EXPECT_EQ(s.conflict_edges, 0u);
+  for (const auto& t : s.txns) EXPECT_EQ(t.layer, 0u);
+}
+
+TEST(BuildScheduleTest, HotKeyChainLayersSequentially) {
+  // Every transaction touches "hot": the schedule is forced serial, and the
+  // layer count equals the chain depth — the quantity that bounds epoch
+  // makespan under skew.
+  EpochSchedule s = BuildSchedule({{"hot"}, {"hot"}, {"hot"}, {"hot"}});
+  EXPECT_EQ(s.num_layers, 4u);
+  EXPECT_EQ(s.conflict_edges, 3u);
+  for (size_t i = 0; i < s.txns.size(); i++) {
+    EXPECT_EQ(s.txns[i].layer, i);
+  }
+}
+
+TEST(BuildScheduleTest, LayerIsOnePastLatestConflictingPredecessor) {
+  // t0{a} t1{b} t2{a,b} t3{c} t4{c,a}: t2 conflicts with both t0 and t1
+  // (layer 1); t3 free (layer 0); t4 conflicts with t3 and t2 -> layer 2.
+  EpochSchedule s = BuildSchedule({{"a"}, {"b"}, {"a", "b"}, {"c"},
+                                   {"c", "a"}});
+  ASSERT_EQ(s.txns.size(), 5u);
+  EXPECT_EQ(s.txns[0].layer, 0u);
+  EXPECT_EQ(s.txns[1].layer, 0u);
+  EXPECT_EQ(s.txns[2].layer, 1u);
+  EXPECT_EQ(s.txns[3].layer, 0u);
+  EXPECT_EQ(s.txns[4].layer, 2u);
+  EXPECT_EQ(s.num_layers, 3u);
+}
+
+TEST(ScheduledMakespanTest, ConflictFreeEpochDividesAcrossLanes) {
+  EpochSchedule s = BuildSchedule({{"a"}, {"b"}, {"c"}, {"d"}});
+  std::vector<sim::Time> costs(4, 100.0);
+  EXPECT_DOUBLE_EQ(ScheduledMakespan(&s, costs, 4), 100.0);
+  EXPECT_DOUBLE_EQ(ScheduledMakespan(&s, costs, 2), 200.0);
+  EXPECT_DOUBLE_EQ(ScheduledMakespan(&s, costs, 1), 400.0);
+}
+
+TEST(ScheduledMakespanTest, SerialChainIgnoresLaneCount) {
+  EpochSchedule s = BuildSchedule({{"hot"}, {"hot"}, {"hot"}});
+  std::vector<sim::Time> costs(3, 100.0);
+  EXPECT_DOUBLE_EQ(ScheduledMakespan(&s, costs, 8), 300.0);
+}
+
+TEST(ScheduledMakespanTest, LaneAssignmentIsDeterministic) {
+  auto keys = std::vector<std::vector<std::string>>{
+      {"a"}, {"b"}, {"c"}, {"d"}, {"e"}};
+  std::vector<sim::Time> costs = {50, 10, 40, 10, 30};
+  EpochSchedule s1 = BuildSchedule(keys);
+  EpochSchedule s2 = BuildSchedule(keys);
+  sim::Time m1 = ScheduledMakespan(&s1, costs, 2);
+  sim::Time m2 = ScheduledMakespan(&s2, costs, 2);
+  EXPECT_DOUBLE_EQ(m1, m2);
+  for (size_t i = 0; i < s1.txns.size(); i++) {
+    EXPECT_EQ(s1.txns[i].lane, s2.txns[i].lane) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch execution vs the serial oracle
+// ---------------------------------------------------------------------------
+
+/// StateView over a plain map (the test's committed state).
+class MapView : public contract::StateView {
+ public:
+  explicit MapView(const std::map<std::string, std::string>* state)
+      : state_(state) {}
+  Status Get(const Slice& key, std::string* value) override {
+    auto it = state_->find(std::string(key.data(), key.size()));
+    if (it == state_->end()) return Status::NotFound("missing");
+    *value = it->second;
+    return Status::Ok();
+  }
+
+ private:
+  const std::map<std::string, std::string>* state_;
+};
+
+core::TxnRequest RmwTxn(uint64_t id, std::vector<std::string> keys) {
+  core::TxnRequest req;
+  req.txn_id = id;
+  req.client_id = id;
+  req.contract = "ycsb";
+  for (auto& key : keys) {
+    req.ops.push_back({core::OpType::kReadModifyWrite, std::move(key),
+                       "w" + std::to_string(id)});
+  }
+  return req;
+}
+
+/// Randomized conflict patterns: epoch execution must be serial-equivalent
+/// in epoch order, certified by the same oracle the txn-layer tests use.
+TEST(DeterministicExecutorTest, EpochOutputEqualsSerialOracle) {
+  auto contracts = contract::ContractRegistry::CreateDefault();
+  sim::CostModel costs;
+  DeterministicExecutor executor(contracts.get(), &costs, 4);
+
+  for (uint64_t seed = 1; seed <= 20; seed++) {
+    Rng rng(seed);
+    std::map<std::string, std::string> initial;
+    const uint32_t num_keys = 1 + static_cast<uint32_t>(rng.Uniform(8));
+    for (uint32_t k = 0; k < num_keys; k++) {
+      initial["key" + std::to_string(k)] = "init" + std::to_string(k);
+    }
+    std::vector<core::TxnRequest> batch;
+    const uint32_t num_txns = 16 + static_cast<uint32_t>(rng.Uniform(32));
+    for (uint64_t i = 0; i < num_txns; i++) {
+      std::vector<std::string> keys;
+      uint32_t ops = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      for (uint32_t o = 0; o < ops; o++) {
+        keys.push_back("key" + std::to_string(rng.Uniform(num_keys)));
+      }
+      batch.push_back(RmwTxn(i + 1, std::move(keys)));
+    }
+
+    MapView view(&initial);
+    EpochOutcome outcome = executor.ExecuteEpoch(batch, &view);
+    ASSERT_EQ(outcome.results.size(), batch.size());
+    EXPECT_EQ(outcome.constraint_aborts, 0u) << "seed " << seed;
+
+    std::vector<testing::RecordedTxn> recorded;
+    for (size_t i = 0; i < batch.size(); i++) {
+      testing::RecordedTxn txn;
+      txn.id = batch[i].txn_id;
+      txn.serial_order = i;
+      for (const auto& [key, value] : outcome.results[i].reads) {
+        txn.reads.emplace_back(key, value);
+      }
+      txn.writes = outcome.results[i].writes;
+      recorded.push_back(std::move(txn));
+    }
+    std::string error;
+    // The oracle reads missing keys as "", so seed every key it will see.
+    EXPECT_TRUE(testing::CheckSerialEquivalence(initial, recorded, &error))
+        << "seed " << seed << ": " << error;
+  }
+}
+
+TEST(DeterministicExecutorTest, ReExecutionIsBitIdentical) {
+  auto contracts = contract::ContractRegistry::CreateDefault();
+  sim::CostModel costs;
+  DeterministicExecutor executor(contracts.get(), &costs, 4);
+
+  std::map<std::string, std::string> initial = {{"a", "1"}, {"b", "2"}};
+  std::vector<core::TxnRequest> batch = {
+      RmwTxn(1, {"a"}), RmwTxn(2, {"b", "a"}), RmwTxn(3, {"a"}),
+      RmwTxn(4, {"b"})};
+  MapView v1(&initial);
+  MapView v2(&initial);
+  EpochOutcome o1 = executor.ExecuteEpoch(batch, &v1);
+  EpochOutcome o2 = executor.ExecuteEpoch(batch, &v2);
+  ASSERT_EQ(o1.results.size(), o2.results.size());
+  for (size_t i = 0; i < o1.results.size(); i++) {
+    EXPECT_EQ(o1.results[i].writes, o2.results[i].writes) << i;
+    EXPECT_EQ(o1.results[i].reads, o2.results[i].reads) << i;
+  }
+  EXPECT_DOUBLE_EQ(o1.makespan_us, o2.makespan_us);
+  EXPECT_DOUBLE_EQ(o1.serial_us, o2.serial_us);
+}
+
+TEST(DeterministicExecutorTest, LaterTxnsSeeEarlierWritesInEpoch) {
+  auto contracts = contract::ContractRegistry::CreateDefault();
+  sim::CostModel costs;
+  DeterministicExecutor executor(contracts.get(), &costs, 2);
+
+  std::map<std::string, std::string> initial = {{"k", "orig"}};
+  std::vector<core::TxnRequest> batch = {RmwTxn(1, {"k"}), RmwTxn(2, {"k"})};
+  MapView view(&initial);
+  EpochOutcome outcome = executor.ExecuteEpoch(batch, &view);
+  ASSERT_EQ(outcome.results.size(), 2u);
+  // Txn 2's RMW read must observe txn 1's write, not the initial value.
+  ASSERT_EQ(outcome.results[1].reads.count("k"), 1u);
+  EXPECT_EQ(outcome.results[1].reads.at("k"), "w1");
+  EXPECT_EQ(outcome.schedule.num_layers, 2u);
+}
+
+TEST(DeterministicExecutorTest, ConstraintAbortsAreDeterministicNotConcurrency) {
+  auto contracts = contract::ContractRegistry::CreateDefault();
+  sim::CostModel costs;
+  DeterministicExecutor executor(contracts.get(), &costs, 4);
+
+  // Smallbank send_payment with insufficient funds: an application-level
+  // abort. It must be flagged invalid with no writes, and a re-run must
+  // reproduce it exactly (the replica-agreement requirement).
+  std::map<std::string, std::string> initial = {
+      {contract::SmallbankContract::CheckingKey("alice"), "10"},
+      {contract::SmallbankContract::SavingsKey("alice"), "0"},
+      {contract::SmallbankContract::CheckingKey("bob"), "50"},
+      {contract::SmallbankContract::SavingsKey("bob"), "0"},
+  };
+  core::TxnRequest payment;
+  payment.txn_id = 1;
+  payment.client_id = 1;
+  payment.contract = "smallbank";
+  payment.method = "send_payment";
+  payment.args = {"alice", "bob", "5000"};
+
+  MapView view(&initial);
+  EpochOutcome outcome = executor.ExecuteEpoch({payment}, &view);
+  ASSERT_EQ(outcome.results.size(), 1u);
+  EXPECT_FALSE(outcome.results[0].valid);
+  EXPECT_TRUE(outcome.results[0].writes.empty());
+  EXPECT_EQ(outcome.constraint_aborts, 1u);
+
+  MapView view2(&initial);
+  EpochOutcome replay = executor.ExecuteEpoch({payment}, &view2);
+  EXPECT_EQ(replay.constraint_aborts, 1u);
+}
+
+TEST(DeterministicExecutorTest, MakespanNeverExceedsSerialWork) {
+  auto contracts = contract::ContractRegistry::CreateDefault();
+  sim::CostModel costs;
+  DeterministicExecutor parallel4(contracts.get(), &costs, 4);
+  DeterministicExecutor serial1(contracts.get(), &costs, 1);
+
+  Rng rng(99);
+  std::map<std::string, std::string> initial;
+  for (int k = 0; k < 16; k++) {
+    initial["k" + std::to_string(k)] = "v";
+  }
+  std::vector<core::TxnRequest> batch;
+  for (uint64_t i = 0; i < 64; i++) {
+    batch.push_back(RmwTxn(i + 1, {"k" + std::to_string(rng.Uniform(16))}));
+  }
+  MapView v1(&initial);
+  MapView v2(&initial);
+  EpochOutcome o4 = parallel4.ExecuteEpoch(batch, &v1);
+  EpochOutcome o1 = serial1.ExecuteEpoch(batch, &v2);
+  EXPECT_LE(o4.makespan_us, o4.serial_us);
+  EXPECT_DOUBLE_EQ(o1.makespan_us, o1.serial_us);
+  // Lanes must not change the state outcome.
+  for (size_t i = 0; i < o4.results.size(); i++) {
+    EXPECT_EQ(o4.results[i].writes, o1.results[i].writes) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dicho::txn

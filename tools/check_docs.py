@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Doc-drift checker: docs may only reference things that exist.
+
+Run from anywhere inside the repo (CI runs it from the root):
+
+    python3 tools/check_docs.py
+
+Checks, stdlib only:
+
+1. Every repo path referenced in backticks in the checked markdown files
+   (README.md, DESIGN.md, EXPERIMENTS.md, docs/*.md) must exist. Accepted
+   span shapes: `src/txn/deterministic.h`, `bench/parallel.h`,
+   `hybrid/taxonomy.cc` (resolved under src/ as the docs do),
+   `src/systems/harmonylike.cc:42` (path:line — the line must be inside
+   the file), `tools/check_docs.py`. Spans that are clearly not repo paths
+   (URLs, globs, C++ expressions, generated output files) are skipped.
+
+2. Every bench binary named in EXPERIMENTS.md must have a matching
+   bench/<name>.cc source (the CMake glob makes each .cc one target), and
+   every bench target must be mentioned in EXPERIMENTS.md — a new bench
+   without a documented figure/section fails CI, as does a section whose
+   binary was renamed away.
+
+Exit code 0 = docs and code agree; 1 = drift (each problem printed).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CHECKED_DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
+# Known first path segments of repo-relative references.
+PATH_ROOTS = {"src", "tests", "bench", "tools", "docs", "examples", ".github"}
+# Bare (slash-free) spans are only treated as paths with these extensions.
+BARE_EXTENSIONS = (".md", ".txt", ".py")
+
+SPAN_RE = re.compile(r"`([^`\n]+)`")
+PATHLIKE_RE = re.compile(r"^[A-Za-z0-9_.][A-Za-z0-9_./-]*(:\d+)?$")
+BENCH_NAME_RE = re.compile(
+    r"\b((?:fig|table)\d+[a-z0-9_]*|ablation_[a-z0-9_]+|sim_fuzz|"
+    r"micro_hotpath|golden_gen)\b"
+)
+
+
+def list_docs():
+    docs = [d for d in CHECKED_DOCS if os.path.exists(os.path.join(REPO, d))]
+    docs_dir = os.path.join(REPO, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                docs.append(os.path.join("docs", name))
+    return docs
+
+
+def resolve(path):
+    """Repo-relative resolution, mirroring how the docs abbreviate paths."""
+    candidates = [path, os.path.join("src", path)]
+    if path.startswith("build/"):
+        # Docs name binaries as build/bench/<name>; the source is the truth.
+        path = path[len("build/"):]
+        candidates = [path]
+    if path.startswith(("bench/", "examples/")):
+        # Docs name binaries by target (`bench/fig09_skew`); the source .cc
+        # is the thing that must exist. Example targets are example_<src>.
+        candidates.append(path + ".cc")
+        candidates.append(re.sub(r"^examples/example_", "examples/", path)
+                          + ".cc")
+    for candidate in candidates:
+        if os.path.exists(os.path.join(REPO, candidate)):
+            return candidate
+    return None
+
+
+def check_path_span(span, doc, lineno, errors):
+    line_ref = None
+    if re.search(r":\d+$", span):
+        span, _, line_ref = span.rpartition(":")
+        line_ref = int(line_ref)
+    if "/" in span:
+        root = span.split("/", 1)[0]
+        if root not in PATH_ROOTS and root != "build" and \
+                resolve(span) is None and not os.path.exists(
+                    os.path.join(REPO, "src", span)):
+            return  # not a repo path (e.g. ui.perfetto.dev, a/b in prose)
+    elif not span.endswith(BARE_EXTENSIONS):
+        return
+    resolved = resolve(span)
+    if resolved is None:
+        errors.append(f"{doc}:{lineno}: referenced path does not exist: "
+                      f"`{span}`")
+        return
+    if line_ref is not None:
+        full = os.path.join(REPO, resolved)
+        if os.path.isfile(full):
+            with open(full, "rb") as f:
+                num_lines = sum(1 for _ in f)
+            if line_ref > num_lines:
+                errors.append(
+                    f"{doc}:{lineno}: `{span}:{line_ref}` points past the "
+                    f"end of {resolved} ({num_lines} lines)")
+
+
+def span_is_checkable(span):
+    if not PATHLIKE_RE.match(span):
+        return False
+    if "://" in span or span.startswith(("/", "~", "http")):
+        return False
+    if any(ch in span for ch in "*<>$ ") or ".." in span:
+        return False
+    # Require either a directory separator or a doc-ish extension; plain
+    # identifiers (`RunSweep`, `fig8a_saturated.trace.json`) are not paths.
+    return "/" in span or span.endswith(BARE_EXTENSIONS)
+
+
+def check_doc_paths(errors):
+    for doc in list_docs():
+        with open(os.path.join(REPO, doc), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                for span in SPAN_RE.findall(line):
+                    span = span.strip().rstrip("/")
+                    if span.startswith("./"):
+                        span = span[2:]
+                    if span_is_checkable(span):
+                        check_path_span(span, doc, lineno, errors)
+
+
+def check_bench_targets(errors):
+    bench_dir = os.path.join(REPO, "bench")
+    targets = {
+        name[:-3]
+        for name in os.listdir(bench_dir)
+        if name.endswith(".cc")
+    }
+    experiments = os.path.join(REPO, "EXPERIMENTS.md")
+    with open(experiments, encoding="utf-8") as f:
+        text = f.read()
+    mentioned = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        # Binary names count only as whole backtick spans (`fig09_skew`) or
+        # build-path references — prose shorthand like "the fig08 rows" is
+        # not a target reference.
+        names = [s for s in SPAN_RE.findall(line) if BENCH_NAME_RE.fullmatch(s)]
+        # Negative lookahead: `build/bench/fig*`-style globs are not names.
+        names += re.findall(r"build/bench/([a-z0-9_]+)(?![a-z0-9_*])", line)
+        for name in names:
+            mentioned.add(name)
+            if name not in targets:
+                errors.append(
+                    f"EXPERIMENTS.md:{lineno}: names bench binary `{name}` "
+                    f"but bench/{name}.cc does not exist")
+    for target in sorted(targets - mentioned):
+        errors.append(
+            f"bench/{target}.cc builds a target EXPERIMENTS.md never "
+            f"mentions — document it or remove it")
+
+
+def main():
+    errors = []
+    check_doc_paths(errors)
+    check_bench_targets(errors)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(list_docs())} docs, paths and bench "
+          f"targets verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
