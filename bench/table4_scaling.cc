@@ -58,6 +58,23 @@ void Run() {
     fflush(stdout);
   }
   printf("\n");
+
+  // Beyond the paper's table: a 256-node point, parallel-engine territory
+  // (EXPERIMENTS.md has the 256-1024 recipes). etcd only — its O(n)
+  // replication fan-out keeps wall-clock sane at this size; the BFT systems'
+  // O(n^2) 256-node runs live in micro_sim's partitioned thread sweep.
+  PrintHeader("256-node extension: etcd, full replication");
+  {
+    World w;
+    BenchScale big = scale;
+    big.record_count = 2000;
+    big.warmup = 1 * sim::kSec;
+    big.measure = 3 * sim::kSec;
+    big.clients = 64;
+    auto etcd = MakeEtcd(&w, 256);
+    auto m = RunYcsb(&w, etcd.get(), wcfg, big);
+    printf("%-8s%8u nodes %10.0f tps\n", "etcd", 256u, m.throughput_tps);
+  }
 }
 
 }  // namespace

@@ -467,6 +467,7 @@ std::unique_ptr<BftCluster> BftCluster::Create(
     const std::vector<NodeId>& ids, BftConfig config,
     std::function<void(NodeId, uint64_t, const std::string&)> apply) {
   auto cluster = std::unique_ptr<BftCluster>(new BftCluster());
+  cluster->sim_ = sim;
   for (NodeId id : ids) {
     BftNode::ApplyFn node_apply;
     if (apply) {
@@ -474,6 +475,9 @@ std::unique_ptr<BftCluster> BftCluster::Create(
         apply(id, seq, cmd);
       };
     }
+    // Construct on the node's partition (per-partition RNG/queue when the
+    // world is partitioned; behavior-neutral otherwise).
+    dicho::sim::Simulator::PartitionScope scope(sim, sim->PartitionOfNode(id));
     cluster->nodes_[id] = std::make_unique<BftNode>(
         sim, net, costs, id, ids, config, std::move(node_apply));
   }
@@ -497,7 +501,11 @@ std::vector<BftNode*> BftCluster::all() {
 }
 
 void BftCluster::StartAll() {
-  for (auto& [id, node] : nodes_) node->Start();
+  for (auto& [id, node] : nodes_) {
+    dicho::sim::Simulator::PartitionScope scope(sim_,
+                                                sim_->PartitionOfNode(id));
+    node->Start();
+  }
 }
 
 }  // namespace dicho::consensus

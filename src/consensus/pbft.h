@@ -210,10 +210,13 @@ class BftCluster {
   BftNode* node(NodeId id) { return nodes_.at(id).get(); }
   BftNode* primary();
   std::vector<BftNode*> all();
+  /// Starts every node under its partition's scope (per-partition RNG and
+  /// event queue in partitioned worlds).
   void StartAll();
 
  private:
   BftCluster() = default;
+  sim::Simulator* sim_ = nullptr;
   std::map<NodeId, std::unique_ptr<BftNode>> nodes_;
 };
 

@@ -393,6 +393,7 @@ std::unique_ptr<RaftCluster> RaftCluster::Create(
     const std::vector<NodeId>& ids, RaftConfig config,
     std::function<void(NodeId, uint64_t, const std::string&)> apply) {
   auto cluster = std::unique_ptr<RaftCluster>(new RaftCluster());
+  cluster->sim_ = sim;
   for (NodeId id : ids) {
     std::vector<NodeId> peers;
     for (NodeId other : ids) {
@@ -404,6 +405,9 @@ std::unique_ptr<RaftCluster> RaftCluster::Create(
         apply(id, index, cmd);
       };
     }
+    // Construct on the node's partition: in a partitioned world each node's
+    // setup-time scheduling and RNG use its own partition stream.
+    dicho::sim::Simulator::PartitionScope scope(sim, sim->PartitionOfNode(id));
     cluster->nodes_[id] = std::make_unique<RaftNode>(
         sim, net, costs, id, std::move(peers), config, std::move(node_apply));
   }
@@ -427,7 +431,11 @@ std::vector<RaftNode*> RaftCluster::all() {
 }
 
 void RaftCluster::StartAll() {
-  for (auto& [id, node] : nodes_) node->Start();
+  for (auto& [id, node] : nodes_) {
+    dicho::sim::Simulator::PartitionScope scope(sim_,
+                                                sim_->PartitionOfNode(id));
+    node->Start();
+  }
 }
 
 }  // namespace dicho::consensus

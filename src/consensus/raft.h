@@ -193,10 +193,13 @@ class RaftCluster {
   /// The current leader, or nullptr if none (unstable period).
   RaftNode* leader();
   std::vector<RaftNode*> all();
+  /// Starts every node under its partition's scope, so election timers in a
+  /// partitioned world draw from per-partition RNG streams.
   void StartAll();
 
  private:
   RaftCluster() = default;
+  sim::Simulator* sim_ = nullptr;
   std::map<NodeId, std::unique_ptr<RaftNode>> nodes_;
 };
 

@@ -83,6 +83,15 @@ class TraceSink {
     events_.push_back(std::move(ev));
   }
 
+  /// Appends an event recorded in a partition-local buffer (the engine's
+  /// deterministic trace merge). Client completion ids are reassigned in
+  /// merged order so the root sink numbers them exactly as a serial run
+  /// recording straight into it would.
+  void Append(const Event& ev) {
+    events_.push_back(ev);
+    if (ev.kind != Kind::kSpan) events_.back().span.id = next_completion_++;
+  }
+
   /// The workload driver stamps its measurement window so metric derivation
   /// (DeriveRunMetrics) filters completions exactly like the in-driver
   /// accounting does.

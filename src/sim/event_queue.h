@@ -1,0 +1,424 @@
+#ifndef DICHO_SIM_EVENT_QUEUE_H_
+#define DICHO_SIM_EVENT_QUEUE_H_
+
+// Pooled event representation + calendar pending-event set for the
+// discrete-event engine. Replaces the seed's `std::function` +
+// `std::priority_queue<Event>` hot loop:
+//
+//   * EventFn is a move-only type-erased callable with 48 bytes of inline
+//     storage — nearly every closure the engine schedules (captured pointers,
+//     a few ids/doubles, one std::string) fits without touching the heap.
+//   * EventPool arena-allocates fixed 64-byte slots and recycles them through
+//     a free list, so steady-state scheduling allocates nothing.
+//   * CalendarQueue keeps the pending set ordered by a 16-byte POD key
+//     (TimeKey, seq-key): a bucketed calendar over the near future (O(1)
+//     amortized push, buckets sorted lazily when the drain front reaches
+//     them) with a 4-ary heap of PODs as the far-future overflow. Sorting and
+//     sifting move 24-byte PODs, never closures.
+//
+// Ordering contract (shared with Simulator): events are totally ordered by
+// (TimeKey(time), seq_key) compared as unsigned integers. TimeKey is the
+// raw bit pattern of the non-negative IEEE double timestamp, which preserves
+// order exactly (for a, b >= 0: a < b  <=>  bits(a) < bits(b)) — the hot
+// comparator never does floating-point comparison, so merge order across
+// logical partitions cannot diverge by FP-compare subtleties, and the key
+// doubles as a hash-stable integer representation of the timestamp.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dicho::sim {
+
+/// Order-preserving integer image of a non-negative finite double. The
+/// engine clamps all schedule times to >= 0 and virtual time never reaches
+/// infinity, so the sign bit is always clear and the IEEE ordering of the
+/// raw bits equals the numeric ordering.
+inline uint64_t TimeKeyOf(double t) {
+  assert(t >= 0.0);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(t));
+  std::memcpy(&bits, &t, sizeof(bits));
+  return bits;
+}
+
+inline double TimeOfKey(uint64_t key) {
+  double t;
+  std::memcpy(&t, &key, sizeof(t));
+  return t;
+}
+
+/// Move-only type-erased nullary callable with small-buffer optimization.
+/// sizeof(EventFn) == 64: two function pointers + 48-byte inline buffer.
+/// Captures larger than the buffer fall back to one heap allocation.
+class EventFn {
+ public:
+  static constexpr size_t kInline = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInline &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* self) { (*static_cast<Fn*>(self))(); };
+      manage_ = [](Op op, void* self, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            static_cast<Fn*>(self)->~Fn();
+            break;
+          case Op::kMove:
+            ::new (self) Fn(std::move(*static_cast<Fn*>(other)));
+            static_cast<Fn*>(other)->~Fn();
+            break;
+        }
+      };
+    } else {
+      auto* heap = new Fn(std::forward<F>(f));
+      std::memcpy(buf_, &heap, sizeof(heap));
+      invoke_ = [](void* self) {
+        Fn* p;
+        std::memcpy(&p, self, sizeof(p));
+        (*p)();
+      };
+      manage_ = [](Op op, void* self, void* other) {
+        switch (op) {
+          case Op::kDestroy: {
+            Fn* p;
+            std::memcpy(&p, self, sizeof(p));
+            delete p;
+            break;
+          }
+          case Op::kMove:
+            std::memcpy(self, other, sizeof(Fn*));
+            break;
+        }
+      };
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  void operator()() { invoke_(buf_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void Reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kMove };
+
+  void MoveFrom(EventFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(Op::kMove, buf_, other.buf_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void (*invoke_)(void*) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInline];
+};
+
+/// Chunked arena of EventFn slots addressed by dense uint32 index, recycled
+/// through a free list. Indices stay valid until Free (chunks never move).
+class EventPool {
+ public:
+  static constexpr size_t kChunkShift = 10;  // 1024 slots = 64 KiB per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+
+  uint32_t Alloc(EventFn fn) {
+    uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      idx = static_cast<uint32_t>(next_++);
+      if ((idx >> kChunkShift) >= chunks_.size()) {
+        chunks_.push_back(std::make_unique<EventFn[]>(kChunkSize));
+      }
+    }
+    At(idx) = std::move(fn);
+    return idx;
+  }
+
+  /// Moves the callable out and recycles the slot.
+  EventFn Take(uint32_t idx) {
+    EventFn fn = std::move(At(idx));
+    free_.push_back(idx);
+    return fn;
+  }
+
+  size_t live() const { return next_ - free_.size(); }
+
+ private:
+  EventFn& At(uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  std::vector<std::unique_ptr<EventFn[]>> chunks_;
+  std::vector<uint32_t> free_;
+  size_t next_ = 0;
+};
+
+/// Pending-event set ordered by (tkey, skey) as pure integers. Entries are
+/// 24-byte PODs pointing into an external EventPool.
+///
+/// Structure: a calendar of `kBuckets` equal-width time buckets covering
+/// [origin, horizon) plus a 4-ary min-heap holding everything at or past the
+/// horizon. Pushes into the window are O(1) bucket appends; buckets are
+/// sorted only when the drain front reaches them. Same-bucket arrivals after
+/// that sort (zero/short-delay self-schedules) go to a small `late` heap that
+/// is merged entry-by-entry at pop — pops still come out in exact global
+/// (tkey, skey) order, which the oracle test pins against a reference heap.
+/// The bucket width adapts to the observed event spacing; degenerate spacing
+/// simply routes everything through the overflow heap, which is the plain
+/// d-ary-heap behavior.
+///
+/// Invariant relied on throughout: a push is never earlier than the last
+/// popped key (the simulator clamps schedule times to `now`, and
+/// cross-partition arrivals are bounded below by the conservative lookahead
+/// horizon), so passed buckets never receive entries.
+class CalendarQueue {
+ public:
+  struct Entry {
+    uint64_t tkey;
+    uint64_t skey;
+    uint32_t slot;
+  };
+
+  static constexpr size_t kBuckets = 256;  // power of two
+  static constexpr double kDefaultWidthUs = 20.0;
+
+  CalendarQueue() : buckets_(kBuckets) { ResetWindow(0.0, kDefaultWidthUs); }
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+
+  void Push(uint64_t tkey, uint64_t skey, uint32_t slot) {
+    Entry e{tkey, skey, slot};
+    count_++;
+    const double t = TimeOfKey(tkey);
+    if (t >= horizon_) {
+      HeapPush(&overflow_, e);
+      return;
+    }
+    const size_t b = BucketOf(t);
+    // Below the drain front (a window re-base can jump the origin past the
+    // engine clock, so later pushes may precede bucket cur_), or into the
+    // already-sorted current bucket: the `late` heap is a front overlay that
+    // Peek/Pop merge entry-by-entry, so order stays exact either way.
+    if (b < cur_ || (b == cur_ && cur_sorted_)) {
+      HeapPush(&late_, e);
+    } else {
+      buckets_[b].push_back(e);
+    }
+  }
+
+  /// Smallest pending key. Pre-condition: !empty(). Mutating-const-free by
+  /// design: peeking settles the drain front (sorts the reached bucket,
+  /// refills the window from overflow) but never changes the pop sequence.
+  const Entry& Peek() {
+    assert(count_ > 0);
+    Settle();
+    const Entry* bucket_front = BucketFront();
+    if (!late_.empty() &&
+        (bucket_front == nullptr || Less(late_[0], *bucket_front))) {
+      return late_[0];
+    }
+    return *bucket_front;
+  }
+
+  Entry Pop() {
+    assert(count_ > 0);
+    Settle();
+    count_--;
+    pops_since_adapt_++;
+    const Entry* bucket_front = BucketFront();
+    if (!late_.empty() &&
+        (bucket_front == nullptr || Less(late_[0], *bucket_front))) {
+      return HeapPop(&late_);
+    }
+    Entry e = *bucket_front;
+    cur_pos_++;
+    return e;
+  }
+
+ private:
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.tkey != b.tkey) return a.tkey < b.tkey;
+    return a.skey < b.skey;
+  }
+
+  size_t BucketOf(double t) const {
+    const double x = (t - origin_) * inv_width_;
+    if (!(x > 0)) return 0;  // at or before the origin (negative cast is UB)
+    auto idx = static_cast<size_t>(x);
+    return idx >= kBuckets ? kBuckets - 1 : idx;
+  }
+
+  const Entry* BucketFront() const {
+    const std::vector<Entry>& b = buckets_[cur_];
+    return cur_pos_ < b.size() ? &b[cur_pos_] : nullptr;
+  }
+
+  /// Advances the drain front to the next pending entry: drains exhausted
+  /// buckets, sorts the newly reached one, and re-bases the window on the
+  /// overflow heap once the calendar is dry.
+  void Settle() {
+    for (;;) {
+      if (!late_.empty()) return;  // late entries belong to bucket cur_
+      std::vector<Entry>& b = buckets_[cur_];
+      if (cur_pos_ < b.size()) {
+        if (!cur_sorted_) {
+          std::sort(b.begin() + static_cast<ptrdiff_t>(cur_pos_), b.end(),
+                    Less);
+          cur_sorted_ = true;
+        }
+        return;
+      }
+      b.clear();
+      cur_pos_ = 0;
+      cur_sorted_ = false;
+      if (cur_ + 1 < kBuckets) {
+        cur_++;
+        cur_sorted_ = false;
+        // Sort on first contact happens on the next loop iteration.
+        if (!buckets_[cur_].empty()) {
+          std::sort(buckets_[cur_].begin(), buckets_[cur_].end(), Less);
+          cur_sorted_ = true;
+        }
+        continue;
+      }
+      // Window exhausted: every pending entry is in the overflow heap
+      // (buckets and late are drained), so re-base on it or go idle.
+      if (overflow_.empty()) {
+        assert(count_ == 0);
+        // Keep the window rooted where it ended so the next Push lands
+        // either in a bucket or in overflow with a consistent horizon.
+        ResetWindow(horizon_, width_);
+        return;
+      }
+      MaybeAdaptWidth();
+      ResetWindow(TimeOfKey(overflow_[0].tkey), width_);
+      RefillFromOverflow();
+    }
+  }
+
+  void ResetWindow(double origin, double width) {
+    origin_ = origin;
+    width_ = width;
+    inv_width_ = 1.0 / width;
+    horizon_ = origin_ + width_ * static_cast<double>(kBuckets);
+    cur_ = 0;
+    cur_pos_ = 0;
+    cur_sorted_ = false;
+  }
+
+  void RefillFromOverflow() {
+    while (!overflow_.empty() && TimeOfKey(overflow_[0].tkey) < horizon_) {
+      Entry e = HeapPop(&overflow_);
+      buckets_[BucketOf(TimeOfKey(e.tkey))].push_back(e);
+    }
+    if (!buckets_[cur_].empty()) {
+      std::sort(buckets_[cur_].begin(), buckets_[cur_].end(), Less);
+      cur_sorted_ = true;
+    }
+  }
+
+  /// Adapts bucket width toward ~4 events per bucket based on the spacing
+  /// observed over the last window's pops. Only consulted at window
+  /// re-base, so the pop order is unaffected.
+  void MaybeAdaptWidth() {
+    if (pops_since_adapt_ < kBuckets) return;
+    const double last_popped = origin_ + width_ * static_cast<double>(kBuckets);
+    const double span = last_popped - adapt_mark_;
+    if (span > 0 && pops_since_adapt_ > 0) {
+      double gap = span / static_cast<double>(pops_since_adapt_);
+      double target = std::max(1e-3, std::min(gap * 4.0, 1e9));
+      if (target > width_ * 2.0 || target < width_ * 0.5) width_ = target;
+    }
+    adapt_mark_ = last_popped;
+    pops_since_adapt_ = 0;
+  }
+
+  // 4-ary min-heap over PODs.
+  static void HeapPush(std::vector<Entry>* h, Entry e) {
+    h->push_back(e);
+    size_t i = h->size() - 1;
+    while (i > 0) {
+      size_t parent = (i - 1) >> 2;
+      if (!Less((*h)[i], (*h)[parent])) break;
+      std::swap((*h)[i], (*h)[parent]);
+      i = parent;
+    }
+  }
+
+  static Entry HeapPop(std::vector<Entry>* h) {
+    Entry top = (*h)[0];
+    Entry last = h->back();
+    h->pop_back();
+    if (!h->empty()) {
+      size_t i = 0;
+      const size_t n = h->size();
+      for (;;) {
+        size_t first_child = (i << 2) + 1;
+        if (first_child >= n) break;
+        size_t best = first_child;
+        size_t end = std::min(first_child + 4, n);
+        for (size_t c = first_child + 1; c < end; c++) {
+          if (Less((*h)[c], (*h)[best])) best = c;
+        }
+        if (!Less((*h)[best], last)) break;
+        (*h)[i] = (*h)[best];
+        i = best;
+      }
+      (*h)[i] = last;
+    }
+    return top;
+  }
+
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Entry> overflow_;  // 4-ary heap: keys >= horizon_
+  std::vector<Entry> late_;      // 4-ary heap: arrivals into sorted cur_
+  double origin_ = 0;
+  double width_ = kDefaultWidthUs;
+  double inv_width_ = 1.0 / kDefaultWidthUs;
+  double horizon_ = 0;
+  size_t cur_ = 0;
+  size_t cur_pos_ = 0;
+  bool cur_sorted_ = false;
+  size_t count_ = 0;
+  size_t pops_since_adapt_ = 0;
+  double adapt_mark_ = 0;
+};
+
+}  // namespace dicho::sim
+
+#endif  // DICHO_SIM_EVENT_QUEUE_H_

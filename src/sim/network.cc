@@ -6,11 +6,18 @@ namespace {
 constexpr int kNoGroup = -1;
 }
 
+void SimNetwork::SyncPartitions() {
+  while (shards_.size() < sim_->num_partitions()) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
 void SimNetwork::Send(NodeId from, NodeId to, uint64_t size_bytes,
-                      std::function<void()> handler) {
-  messages_sent_++;
-  bytes_sent_ += size_bytes;
-  bytes_by_sender_[from] += size_bytes;
+                      EventFn handler) {
+  Shard& shard = ShardForNode(from);
+  shard.messages_sent++;
+  shard.bytes_sent += size_bytes;
+  shard.bytes_by_sender[from] += size_bytes;
 
   if (IsDown(from)) return;  // sender crashed mid-send: message lost
   if (config_.drop_rate > 0 && sim_->rng()->Bernoulli(config_.drop_rate)) {
@@ -19,23 +26,28 @@ void SimNetwork::Send(NodeId from, NodeId to, uint64_t size_bytes,
 
   // Serialize on the sender's NIC: transmission begins when the uplink
   // frees up and occupies it for size/bandwidth.
+  const Time now = sim_->Now();
   Time transmit = static_cast<Time>(size_bytes) / config_.bandwidth_bytes_per_us;
-  Time& egress = egress_busy_until_[from];
-  Time start = egress > sim_->Now() ? egress : sim_->Now();
+  Time& egress = shard.egress_busy_until[from];
+  Time start = egress > now ? egress : now;
   egress = start + transmit;
-  Time delay = (egress - sim_->Now()) + config_.base_latency_us;
+  Time delay = (egress - now) + config_.base_latency_us;
   if (config_.jitter_us > 0) {
     delay += sim_->rng()->NextDouble() * config_.jitter_us;
   }
 
   // Partition and crash state are re-checked at delivery time so that messages
-  // in flight when a failure is injected are affected too.
-  sim_->Schedule(delay, [this, from, to, handler = std::move(handler)]() {
-    if (IsDown(to)) return;
-    if (!CanCommunicate(from, to)) return;
-    messages_delivered_++;
-    handler();
-  });
+  // in flight when a failure is injected are affected too. The arrival runs on
+  // the destination node's partition; base_latency_us keeps it at or past the
+  // conservative lookahead horizon.
+  sim_->ScheduleOnPartitionAt(
+      sim_->PartitionOfNode(to), now + delay,
+      [this, from, to, handler = std::move(handler)]() mutable {
+        if (IsDown(to)) return;
+        if (!CanCommunicate(from, to)) return;
+        ShardForNode(to).messages_delivered++;
+        handler();
+      });
 }
 
 void SimNetwork::SetNodeDown(NodeId node, bool down) {
@@ -62,9 +74,39 @@ void SimNetwork::HealPartition() {
   group_of_.clear();
 }
 
+uint64_t SimNetwork::messages_sent() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->messages_sent;
+  return n;
+}
+
+uint64_t SimNetwork::messages_delivered() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->messages_delivered;
+  return n;
+}
+
+uint64_t SimNetwork::bytes_sent() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->bytes_sent;
+  return n;
+}
+
+std::map<NodeId, uint64_t> SimNetwork::bytes_by_sender() const {
+  std::map<NodeId, uint64_t> out;
+  for (const auto& s : shards_) {
+    for (const auto& [node, bytes] : s->bytes_by_sender) out[node] += bytes;
+  }
+  return out;
+}
+
 Time SimNetwork::EgressBacklog(NodeId node) const {
-  auto it = egress_busy_until_.find(node);
-  if (it == egress_busy_until_.end() || it->second <= sim_->Now()) return 0;
+  const Shard* shard = ShardOfNode(node);
+  if (shard == nullptr) return 0;
+  auto it = shard->egress_busy_until.find(node);
+  if (it == shard->egress_busy_until.end() || it->second <= sim_->Now()) {
+    return 0;
+  }
   return it->second - sim_->Now();
 }
 

@@ -2,8 +2,8 @@
 #define DICHO_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -33,10 +33,20 @@ struct NetworkConfig {
 /// (its NIC): a node broadcasting a 1 KB write to 18 followers occupies its
 /// own uplink for 18 transmissions. On the paper's 1 Gb Ethernet this is
 /// the mechanism that bends etcd's scaling curve in Table 4.
+///
+/// In a partitioned world the network is the conservative-lookahead channel:
+/// construction registers base_latency_us as the simulator's minimum
+/// cross-partition delay, deliveries are scheduled onto the destination
+/// node's partition, and egress/traffic state is sharded by partition so
+/// senders on different worker threads never touch the same bookkeeping.
+/// Create all partitions before the network (or call SyncPartitions()
+/// afterwards, before running).
 class SimNetwork {
  public:
-  SimNetwork(Simulator* sim, NetworkConfig config)
-      : sim_(sim), config_(config) {}
+  SimNetwork(Simulator* sim, NetworkConfig config) : sim_(sim), config_(config) {
+    sim_->NoteMinCrossDelay(config_.base_latency_us);
+    SyncPartitions();
+  }
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
@@ -44,10 +54,17 @@ class SimNetwork {
   /// Delivers `handler` at the destination after the modeled delay, unless
   /// the message is dropped (partition, crash, loss). `size_bytes` drives the
   /// bandwidth term and the traffic statistics.
-  void Send(NodeId from, NodeId to, uint64_t size_bytes,
-            std::function<void()> handler);
+  void Send(NodeId from, NodeId to, uint64_t size_bytes, EventFn handler);
+
+  /// Sizes the per-partition bookkeeping to the simulator's current
+  /// partition count. Must run before the first event executes; never call
+  /// while the engine is running.
+  void SyncPartitions();
 
   /// Failure injection ------------------------------------------------------
+  /// In partitioned worlds, mutate only from global events
+  /// (Simulator::ScheduleGlobal) — the injection state is shared by every
+  /// partition and globals run with all of them parked.
   void SetNodeDown(NodeId node, bool down);
   bool IsDown(NodeId node) const { return down_.count(node) > 0; }
 
@@ -61,16 +78,19 @@ class SimNetwork {
   /// Jitter/latency spikes (nemesis fault injection): applies to messages
   /// sent after the change; in-flight messages keep their sampled delay.
   void set_jitter(Time jitter_us) { config_.jitter_us = jitter_us; }
-  void set_base_latency(Time latency_us) { config_.base_latency_us = latency_us; }
+  void set_base_latency(Time latency_us) {
+    config_.base_latency_us = latency_us;
+    sim_->NoteMinCrossDelay(latency_us);
+  }
 
   /// Statistics --------------------------------------------------------------
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_delivered() const { return messages_delivered_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Summed across partition shards; read between runs, not from handlers
+  /// racing on worker threads.
+  uint64_t messages_sent() const;
+  uint64_t messages_delivered() const;
+  uint64_t bytes_sent() const;
   /// Per-sender traffic (diagnostics).
-  const std::map<NodeId, uint64_t>& bytes_by_sender() const {
-    return bytes_by_sender_;
-  }
+  std::map<NodeId, uint64_t> bytes_by_sender() const;
 
   const NetworkConfig& config() const { return config_; }
 
@@ -78,19 +98,35 @@ class SimNetwork {
   Time EgressBacklog(NodeId node) const;
 
  private:
+  /// Per-partition slice of the mutable bookkeeping: a sender's NIC state
+  /// and the traffic counters it bumps live on the sender's partition, so
+  /// parallel rounds never share a map. Delivered counts land on the
+  /// receiver's shard.
+  struct Shard {
+    std::map<NodeId, Time> egress_busy_until;
+    std::map<NodeId, uint64_t> bytes_by_sender;
+    uint64_t messages_sent = 0;
+    uint64_t messages_delivered = 0;
+    uint64_t bytes_sent = 0;
+  };
+
+  Shard& ShardForNode(NodeId node) {
+    return *shards_[sim_->PartitionOfNode(node)];
+  }
+  const Shard* ShardOfNode(NodeId node) const {
+    const uint32_t lp = sim_->PartitionOfNode(node);
+    return lp < shards_.size() ? shards_[lp].get() : nullptr;
+  }
+
   bool CanCommunicate(NodeId a, NodeId b) const;
 
   Simulator* sim_;
   NetworkConfig config_;
-  std::map<NodeId, Time> egress_busy_until_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::set<NodeId> down_;
   bool partitioned_ = false;
   // group index per node; nodes not listed get kNoGroup.
   std::vector<int> group_of_;
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_delivered_ = 0;
-  uint64_t bytes_sent_ = 0;
-  std::map<NodeId, uint64_t> bytes_by_sender_;
 };
 
 }  // namespace dicho::sim

@@ -1,36 +1,618 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "obs/trace.h"
+
 namespace dicho::sim {
 
-obs::TraceSink* Simulator::default_trace_sink_ = nullptr;
+namespace {
 
-uint64_t Simulator::RunUntil(Time t) {
-  uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= t) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the closure handle (cheap shared state) then pop.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
-    n++;
-    executed_++;
+constexpr uint64_t kMaxKey = ~0ull;
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+/// Sequence field of merge keys for trace events emitted inside a
+/// PartitionScope (outside event execution): sorts after every real event
+/// scheduled by the partition at the same timestamp.
+constexpr uint64_t kScopeSeq = (uint64_t{1} << 40) - 1;
+
+unsigned ThreadsFromEnv() {
+  const char* e = std::getenv("DICHO_SIM_THREADS");
+  if (e == nullptr || *e == '\0') return 1;
+  if (std::strcmp(e, "hw") == 0 || std::strcmp(e, "0") == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
   }
-  if (now_ < t) now_ = t;
+  long v = std::strtol(e, nullptr, 10);
+  return v < 1 ? 1 : static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+thread_local Simulator::ExecContext Simulator::exec_tls_;
+thread_local obs::TraceSink* Simulator::default_trace_sink_ = nullptr;
+
+/// One logical partition: a private event queue, clock, sequence counter,
+/// RNG stream, trace buffer, and per-destination outboxes for messages
+/// produced during a parallel round.
+struct Simulator::Lp {
+  CalendarQueue queue;
+  EventPool pool;
+  Time now = 0;
+  uint64_t next_seq = 0;
+  uint64_t executed = 0;
+  uint32_t index = 0;
+  Rng* rng_ptr = nullptr;
+  std::unique_ptr<Rng> owned_rng;         // null for partition 0 (sim rng_)
+  std::unique_ptr<obs::TraceSink> buffer; // multi-partition traced runs only
+  std::vector<MergeKey> keys;
+  size_t keyed_upto = 0;    // buffer events [0, keyed_upto) already have keys
+  uint32_t scope_intra = 0; // emission counter for PartitionScope keying
+  std::vector<std::vector<OutMsg>> outbox;
+  // Serial-merged outer-heap bookkeeping: the key currently registered in
+  // the heap for this partition, and the stamp that validates it.
+  uint64_t outer_stamp = 0;
+  uint64_t reg_tkey = kMaxKey;
+  uint64_t reg_skey = kMaxKey;
+};
+
+/// Parked worker threads for conservative parallel rounds. The coordinator
+/// publishes a round (active partition list + horizon) under `mu`, bumps
+/// `gen`, and helps claim partitions itself; workers wake, drain the claim
+/// counter, and report back through `pending`. The mutex hand-off orders all
+/// partition state between coordinator and workers.
+struct Simulator::WorkerPool {
+  WorkerPool(Simulator* sim, unsigned n) : sim_(sim) {
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; i++) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void RunRound() {
+    next_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      gen_++;
+      pending_ = static_cast<unsigned>(threads_.size());
+    }
+    cv_work_.notify_all();
+    Claim();
+    std::unique_lock<std::mutex> l(mu_);
+    cv_done_.wait(l, [this] { return pending_ == 0; });
+  }
+
+  size_t size() const { return threads_.size(); }
+
+ private:
+  void Claim() {
+    for (;;) {
+      size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sim_->round_active_.size()) return;
+      sim_->ExecuteLpRound(sim_->round_active_[i], sim_->round_hkey_,
+                           sim_->round_limit_key_);
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> l(mu_);
+        cv_work_.wait(l, [&] { return stop_ || gen_ != seen; });
+        if (stop_) return;
+        seen = gen_;
+      }
+      Claim();
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        pending_--;
+        if (pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  Simulator* sim_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t gen_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  std::atomic<size_t> next_{0};
+  std::vector<std::thread> threads_;
+};
+
+Simulator::Simulator(uint64_t seed)
+    : rng_(seed),
+      global_rng_(seed ^ 0xD1CE5EEDF00Dull),
+      seed_(seed),
+      trace_sink_(default_trace_sink_),
+      threads_(ThreadsFromEnv()) {
+  auto lp = std::make_unique<Lp>();
+  lp->index = 0;
+  lp->rng_ptr = &rng_;
+  lps_.push_back(std::move(lp));
+}
+
+Simulator::~Simulator() {
+  pool_.reset();
+  if (exec_tls_.sim == this) exec_tls_ = ExecContext{};
+}
+
+void Simulator::SetDefaultTraceSink(obs::TraceSink* sink) {
+  default_trace_sink_ = sink;
+}
+
+uint32_t Simulator::AddPartition() {
+  auto lp = std::make_unique<Lp>();
+  lp->index = static_cast<uint32_t>(lps_.size());
+  lp->owned_rng =
+      std::make_unique<Rng>(seed_ + 0x9E3779B97F4A7C15ull * lp->index);
+  lp->rng_ptr = lp->owned_rng.get();
+  lps_.push_back(std::move(lp));
+  return lps_.back()->index;
+}
+
+void Simulator::AssignNode(uint32_t node, uint32_t partition) {
+  if (lp_of_node_.size() <= node) lp_of_node_.resize(node + 1, 0);
+  lp_of_node_[node] = partition;
+}
+
+uint32_t Simulator::current_partition() const {
+  const ExecContext& c = exec_tls_;
+  return (c.sim == this && c.lp != nullptr) ? c.lp->index : 0;
+}
+
+void Simulator::NoteMinCrossDelay(Time d) {
+  if (d > 0 && (lookahead_ == 0 || d < lookahead_)) lookahead_ = d;
+}
+
+Simulator::Lp* Simulator::CallerLp() {
+  const ExecContext& c = exec_tls_;
+  return (c.sim == this && c.lp != nullptr) ? c.lp : lps_[0].get();
+}
+
+void Simulator::PushEvent(Lp* src, Lp* dst, Time t, EventFn fn) {
+  const uint64_t skey =
+      (static_cast<uint64_t>(src->index) << 40) | src->next_seq++;
+  const uint64_t tkey = TimeKeyOf(t);
+  if (parallel_phase_ && dst != src && exec_tls_.sim == this &&
+      exec_tls_.lp == src) {
+    src->outbox[dst->index].push_back(OutMsg{tkey, skey, std::move(fn)});
+    return;
+  }
+  dst->queue.Push(tkey, skey, dst->pool.Alloc(std::move(fn)));
+  if (merged_active_) MaybeRegisterOuter(dst, tkey, skey);
+}
+
+void Simulator::Schedule(Time delay, EventFn fn) {
+  ScheduleAt(CallerNow() + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+void Simulator::ScheduleAt(Time t, EventFn fn) {
+  Lp* lp = CallerLp();
+  const Time base = CallerNow();
+  if (t < base) t = base;
+  PushEvent(lp, lp, t, std::move(fn));
+}
+
+void Simulator::ScheduleOnPartitionAt(uint32_t partition, Time t, EventFn fn) {
+  Lp* src = CallerLp();
+  Lp* dst = lps_[partition].get();
+  const Time base = CallerNow();
+  if (t < base) t = base;
+  if (dst != src && running_ && !in_global_) {
+    // Conservative synchronization depends on every cross-partition arrival
+    // being at least `lookahead_` in the future; anything closer could land
+    // inside a round another thread already executed.
+    if (lookahead_ <= 0 || t < base + lookahead_) LookaheadViolation(t, base);
+  }
+  PushEvent(src, dst, t, std::move(fn));
+}
+
+void Simulator::ScheduleGlobal(Time delay, EventFn fn) {
+  ScheduleGlobalAt(CallerNow() + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+void Simulator::ScheduleGlobalAt(Time t, EventFn fn) {
+  if (lps_.size() == 1) {
+    ScheduleAt(t, std::move(fn));
+    return;
+  }
+  const Time base = CallerNow();
+  if (t < base) t = base;
+  global_queue_.push_back(GlobalEvent{TimeKeyOf(t), global_seq_++,
+                                      std::move(fn)});
+  std::push_heap(global_queue_.begin(), global_queue_.end(),
+                 [](const GlobalEvent& a, const GlobalEvent& b) {
+                   if (a.tkey != b.tkey) return a.tkey > b.tkey;
+                   return a.seq > b.seq;
+                 });
+}
+
+void Simulator::EnsureBuffers() {
+  for (auto& up : lps_) {
+    if (up->outbox.size() != lps_.size()) up->outbox.resize(lps_.size());
+    if (trace_sink_ != nullptr && up->buffer == nullptr) {
+      up->buffer = std::make_unique<obs::TraceSink>();
+    }
+  }
+}
+
+void Simulator::ExecuteOne(Lp* lp, uint64_t tkey, uint64_t skey,
+                           uint32_t slot) {
+  lp->now = TimeOfKey(tkey);
+  EventFn fn = lp->pool.Take(slot);
+  fn();
+  lp->executed++;
+  if (lp->buffer != nullptr) AppendMergeKeys(lp, tkey, skey);
+}
+
+void Simulator::AppendMergeKeys(Lp* lp, uint64_t tkey, uint64_t skey) {
+  const auto& evs = lp->buffer->events();
+  uint32_t intra = 0;
+  for (size_t i = lp->keyed_upto; i < evs.size(); i++) {
+    lp->keys.push_back(MergeKey{tkey, skey, intra++,
+                                static_cast<uint32_t>(i)});
+  }
+  lp->keyed_upto = evs.size();
+}
+
+void Simulator::RunGlobalTop() {
+  std::pop_heap(global_queue_.begin(), global_queue_.end(),
+                [](const GlobalEvent& a, const GlobalEvent& b) {
+                  if (a.tkey != b.tkey) return a.tkey > b.tkey;
+                  return a.seq > b.seq;
+                });
+  GlobalEvent g = std::move(global_queue_.back());
+  global_queue_.pop_back();
+  const Time t = TimeOfKey(g.tkey);
+  if (t > global_now_) global_now_ = t;
+  ExecContext saved = exec_tls_;
+  exec_tls_ = ExecContext{this, nullptr, &global_now_, &global_rng_, nullptr};
+  in_global_ = true;
+  g.fn();
+  in_global_ = false;
+  exec_tls_ = saved;
+  global_executed_++;
+}
+
+uint64_t Simulator::TotalExecuted() const {
+  uint64_t n = global_executed_;
+  for (const auto& up : lps_) n += up->executed;
   return n;
 }
 
-uint64_t Simulator::Run(uint64_t max_events) {
-  uint64_t n = 0;
-  while (!queue_.empty() && n < max_events) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
-    n++;
-    executed_++;
-  }
+size_t Simulator::pending_events() const {
+  size_t n = global_queue_.size();
+  for (const auto& up : lps_) n += up->queue.size();
   return n;
+}
+
+uint64_t Simulator::executed_events() const { return TotalExecuted(); }
+
+uint64_t Simulator::RunSingle(Time t_limit, uint64_t max_events) {
+  Lp* lp = lps_[0].get();
+  const uint64_t limit_key = TimeKeyOf(t_limit);
+  ExecContext saved = exec_tls_;
+  exec_tls_ = ExecContext{this, lp, &lp->now, lp->rng_ptr, nullptr};
+  uint64_t n = 0;
+  while (n < max_events && !lp->queue.empty()) {
+    if (lp->queue.Peek().tkey > limit_key) break;
+    CalendarQueue::Entry ev = lp->queue.Pop();
+    ExecuteOne(lp, ev.tkey, ev.skey, ev.slot);
+    n++;
+  }
+  exec_tls_ = saved;
+  if (t_limit != kInf && lp->now < t_limit) lp->now = t_limit;
+  now_ = lp->now;
+  return n;
+}
+
+void Simulator::RegisterOuter(Lp* lp) {
+  lp->outer_stamp++;
+  if (lp->queue.empty()) {
+    lp->reg_tkey = lp->reg_skey = kMaxKey;
+    return;
+  }
+  const CalendarQueue::Entry& p = lp->queue.Peek();
+  lp->reg_tkey = p.tkey;
+  lp->reg_skey = p.skey;
+  outer_heap_.push_back(OuterEntry{p.tkey, p.skey, lp->index, lp->outer_stamp});
+  std::push_heap(outer_heap_.begin(), outer_heap_.end(),
+                 [](const OuterEntry& a, const OuterEntry& b) {
+                   if (a.tkey != b.tkey) return a.tkey > b.tkey;
+                   return a.skey > b.skey;
+                 });
+}
+
+void Simulator::MaybeRegisterOuter(Lp* lp, uint64_t tkey, uint64_t skey) {
+  if (tkey < lp->reg_tkey ||
+      (tkey == lp->reg_tkey && skey < lp->reg_skey)) {
+    // The push lowered this partition's minimum below its registered heap
+    // entry; register the new minimum (the old entry goes stale by stamp).
+    lp->outer_stamp++;
+    lp->reg_tkey = tkey;
+    lp->reg_skey = skey;
+    outer_heap_.push_back(OuterEntry{tkey, skey, lp->index, lp->outer_stamp});
+    std::push_heap(outer_heap_.begin(), outer_heap_.end(),
+                   [](const OuterEntry& a, const OuterEntry& b) {
+                     if (a.tkey != b.tkey) return a.tkey > b.tkey;
+                     return a.skey > b.skey;
+                   });
+  }
+}
+
+void Simulator::RunMerged(Time t_limit, uint64_t max_events) {
+  EnsureBuffers();
+  const auto greater = [](const OuterEntry& a, const OuterEntry& b) {
+    if (a.tkey != b.tkey) return a.tkey > b.tkey;
+    return a.skey > b.skey;
+  };
+  merged_active_ = true;
+  outer_heap_.clear();
+  for (auto& up : lps_) {
+    Lp* lp = up.get();
+    lp->outer_stamp++;
+    if (lp->queue.empty()) {
+      lp->reg_tkey = lp->reg_skey = kMaxKey;
+      continue;
+    }
+    const CalendarQueue::Entry& p = lp->queue.Peek();
+    lp->reg_tkey = p.tkey;
+    lp->reg_skey = p.skey;
+    outer_heap_.push_back(
+        OuterEntry{p.tkey, p.skey, lp->index, lp->outer_stamp});
+  }
+  std::make_heap(outer_heap_.begin(), outer_heap_.end(), greater);
+  const uint64_t limit_key = TimeKeyOf(t_limit);
+  uint64_t n = 0;
+  while (n < max_events) {
+    while (!outer_heap_.empty() &&
+           outer_heap_.front().stamp !=
+               lps_[outer_heap_.front().lp]->outer_stamp) {
+      std::pop_heap(outer_heap_.begin(), outer_heap_.end(), greater);
+      outer_heap_.pop_back();
+    }
+    const bool have = !outer_heap_.empty();
+    const uint64_t lp_tkey = have ? outer_heap_.front().tkey : kMaxKey;
+    if (!global_queue_.empty() && global_queue_.front().tkey <= lp_tkey) {
+      if (global_queue_.front().tkey > limit_key) break;
+      RunGlobalTop();
+      n++;
+      continue;
+    }
+    if (!have || lp_tkey > limit_key) break;
+    OuterEntry e = outer_heap_.front();
+    std::pop_heap(outer_heap_.begin(), outer_heap_.end(), greater);
+    outer_heap_.pop_back();
+    Lp* lp = lps_[e.lp].get();
+    CalendarQueue::Entry ev = lp->queue.Pop();
+    ExecContext saved = exec_tls_;
+    exec_tls_ = ExecContext{this, lp, &lp->now, lp->rng_ptr,
+                            lp->buffer.get()};
+    ExecuteOne(lp, ev.tkey, ev.skey, ev.slot);
+    exec_tls_ = saved;
+    n++;
+    RegisterOuter(lp);
+  }
+  merged_active_ = false;
+}
+
+void Simulator::ExecuteLpRound(Lp* lp, uint64_t h_key, uint64_t limit_key) {
+  ExecContext saved = exec_tls_;
+  exec_tls_ = ExecContext{this, lp, &lp->now, lp->rng_ptr, lp->buffer.get()};
+  while (!lp->queue.empty()) {
+    const CalendarQueue::Entry& p = lp->queue.Peek();
+    if (p.tkey >= h_key || p.tkey > limit_key) break;
+    CalendarQueue::Entry ev = lp->queue.Pop();
+    ExecuteOne(lp, ev.tkey, ev.skey, ev.slot);
+  }
+  exec_tls_ = saved;
+}
+
+void Simulator::DrainOutboxes() {
+  for (auto& sup : lps_) {
+    Lp* src = sup.get();
+    for (size_t d = 0; d < src->outbox.size(); d++) {
+      std::vector<OutMsg>& box = src->outbox[d];
+      if (box.empty()) continue;
+      Lp* dst = lps_[d].get();
+      for (OutMsg& m : box) {
+        dst->queue.Push(m.tkey, m.skey, dst->pool.Alloc(std::move(m.fn)));
+      }
+      box.clear();
+    }
+  }
+}
+
+void Simulator::EnsurePool() {
+  const unsigned workers = threads_ - 1;
+  if (pool_ != nullptr && pool_->size() != workers) pool_.reset();
+  if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(this, workers);
+}
+
+void Simulator::RunParallel(Time t_limit) {
+  EnsureBuffers();
+  EnsurePool();
+  const uint64_t limit_key = TimeKeyOf(t_limit);
+  for (;;) {
+    uint64_t floor_tkey = kMaxKey;
+    for (auto& up : lps_) {
+      Lp* lp = up.get();
+      if (lp->queue.empty()) continue;
+      const uint64_t k = lp->queue.Peek().tkey;
+      if (k < floor_tkey) floor_tkey = k;
+    }
+    const uint64_t g_tkey =
+        global_queue_.empty() ? kMaxKey : global_queue_.front().tkey;
+    if (floor_tkey == kMaxKey && g_tkey == kMaxKey) break;
+    if (g_tkey <= floor_tkey) {
+      // Global events run first at their timestamp, with every partition
+      // parked at or before it — the same rule the serial merge applies.
+      if (g_tkey > limit_key) break;
+      RunGlobalTop();
+      continue;
+    }
+    if (floor_tkey > limit_key) break;
+    uint64_t h_key = TimeKeyOf(TimeOfKey(floor_tkey) + lookahead_);
+    if (g_tkey < h_key) h_key = g_tkey;
+    round_active_.clear();
+    for (auto& up : lps_) {
+      Lp* lp = up.get();
+      if (lp->queue.empty()) continue;
+      const uint64_t k = lp->queue.Peek().tkey;
+      if (k < h_key && k <= limit_key) round_active_.push_back(lp);
+    }
+    rounds_++;
+    round_hkey_ = h_key;
+    round_limit_key_ = limit_key;
+    if (round_active_.size() == 1) {
+      // Not worth a barrier; cross-partition pushes go straight to the
+      // destination queues (no other thread is touching them).
+      ExecuteLpRound(round_active_[0], h_key, limit_key);
+    } else {
+      parallel_phase_ = true;
+      pool_->RunRound();
+      parallel_phase_ = false;
+      DrainOutboxes();
+    }
+  }
+}
+
+void Simulator::FinishRun(Time t_limit) {
+  Time max_now = global_now_;
+  for (auto& up : lps_) {
+    if (t_limit != kInf && up->now < t_limit) up->now = t_limit;
+    if (up->now > max_now) max_now = up->now;
+  }
+  if (t_limit != kInf) {
+    if (global_now_ < t_limit) global_now_ = t_limit;
+    if (now_ < t_limit) now_ = t_limit;
+  } else if (max_now > now_) {
+    now_ = max_now;
+  }
+  MergeTraces();
+}
+
+void Simulator::MergeTraces() {
+  if (trace_sink_ == nullptr) return;
+  struct Item {
+    MergeKey k;
+    uint32_t lp;
+  };
+  size_t total = 0;
+  for (const auto& up : lps_) total += up->keys.size();
+  if (total == 0) return;
+  std::vector<Item> items;
+  items.reserve(total);
+  for (const auto& up : lps_) {
+    for (const MergeKey& k : up->keys) items.push_back(Item{k, up->index});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.k.tkey != b.k.tkey) return a.k.tkey < b.k.tkey;
+    if (a.k.skey != b.k.skey) return a.k.skey < b.k.skey;
+    if (a.k.intra != b.k.intra) return a.k.intra < b.k.intra;
+    if (a.lp != b.lp) return a.lp < b.lp;
+    return a.k.idx < b.k.idx;
+  });
+  for (const Item& it : items) {
+    trace_sink_->Append(lps_[it.lp]->buffer->events()[it.k.idx]);
+  }
+  for (auto& up : lps_) {
+    if (up->buffer != nullptr) up->buffer->Clear();
+    up->keys.clear();
+    up->keyed_upto = 0;
+  }
+}
+
+uint64_t Simulator::RunUntil(Time t) {
+  if (lps_.size() == 1) return RunSingle(t, UINT64_MAX);
+  const uint64_t before = TotalExecuted();
+  running_ = true;
+  if (threads_ >= 2 && lookahead_ > 0) {
+    RunParallel(t);
+  } else {
+    RunMerged(t, UINT64_MAX);
+  }
+  running_ = false;
+  FinishRun(t);
+  return TotalExecuted() - before;
+}
+
+uint64_t Simulator::Run(uint64_t max_events) {
+  if (lps_.size() == 1) return RunSingle(kInf, max_events);
+  const uint64_t before = TotalExecuted();
+  running_ = true;
+  if (max_events == UINT64_MAX && threads_ >= 2 && lookahead_ > 0) {
+    RunParallel(kInf);
+  } else {
+    // A finite cap needs an exact global event count, which only the serial
+    // merge provides.
+    RunMerged(kInf, max_events);
+  }
+  running_ = false;
+  FinishRun(kInf);
+  return TotalExecuted() - before;
+}
+
+void Simulator::LookaheadViolation(Time t, Time base) const {
+  std::fprintf(stderr,
+               "sim: cross-partition schedule at t=%.6f from clock %.6f "
+               "violates the conservative lookahead %.6f; route the message "
+               "through SimNetwork (or a delay >= lookahead)\n",
+               t, base, lookahead_);
+  std::abort();
+}
+
+Simulator::PartitionScope::PartitionScope(Simulator* sim, uint32_t partition)
+    : sim_(sim), saved_(exec_tls_) {
+  Lp* lp = sim->lps_[partition].get();
+  ExecContext c;
+  c.sim = sim;
+  c.lp = lp;
+  // Keep the enclosing logical clock when one is active (a global event
+  // acting on a node); otherwise the partition's own clock.
+  c.now = (saved_.sim == sim && saved_.now != nullptr) ? saved_.now : &lp->now;
+  c.rng = lp->rng_ptr;
+  c.sink = lp->buffer != nullptr ? lp->buffer.get() : nullptr;
+  exec_tls_ = c;
+}
+
+Simulator::PartitionScope::~PartitionScope() {
+  const ExecContext& c = exec_tls_;
+  if (c.sim == sim_ && c.lp != nullptr && c.sink != nullptr) {
+    Lp* lp = c.lp;
+    const auto& evs = lp->buffer->events();
+    if (lp->keyed_upto < evs.size()) {
+      const uint64_t tkey = TimeKeyOf(*c.now);
+      const uint64_t skey =
+          (static_cast<uint64_t>(lp->index) << 40) | kScopeSeq;
+      for (size_t i = lp->keyed_upto; i < evs.size(); i++) {
+        lp->keys.push_back(MergeKey{tkey, skey, lp->scope_intra++,
+                                    static_cast<uint32_t>(i)});
+      }
+      lp->keyed_upto = evs.size();
+    }
+  }
+  exec_tls_ = saved_;
 }
 
 }  // namespace dicho::sim

@@ -28,6 +28,14 @@ Transport::Transport(sim::Simulator* sim, sim::SimNetwork* net,
       config_(std::move(config)),
       apply_(std::move(apply)) {
   const sim::NodeId base = node_ids_.front();
+  if (config_.partition_replicas) {
+    for (sim::NodeId id : node_ids_) {
+      if (sim_->PartitionOfNode(id) == 0) {
+        sim_->AssignNode(id, sim_->AddPartition());
+      }
+    }
+    net_->SyncPartitions();
+  }
   if (obs::MetricsRegistry* registry = sim_->metrics()) {
     const std::string prefix = std::string("transport.") +
                                TransportKindName(config_.kind) + ".n" +

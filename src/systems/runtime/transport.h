@@ -39,6 +39,14 @@ struct TransportConfig {
   /// Disseminate() retries on this cadence while a Raft election is in
   /// progress.
   sim::Time raft_retry_interval = 20 * sim::kMs;
+  /// Places every replica on its own simulator partition (logical process),
+  /// letting partitioned worlds run on the conservative parallel engine.
+  /// Only protocol-internal traffic (network messages, timers) crosses
+  /// partitions safely; drive such a world through network sends and
+  /// Simulator::ScheduleGlobal — direct cross-object calls into replicas
+  /// (Disseminate's leader lookup, raw accessors) are only safe from global
+  /// events or with DICHO_SIM_THREADS=1.
+  bool partition_replicas = false;
 };
 
 /// One ordered dissemination substrate over a contiguous replica span —

@@ -121,6 +121,123 @@ ScenarioResult RunRaftScenario(const ScenarioOptions& options,
   return result;
 }
 
+// --- Partitioned-engine scenario (conservative parallel sync) ---------------
+
+// One world: N-node Raft with every replica on its own simulator partition,
+// run at `threads` worker threads. Faults and the proposing client are
+// injected as global events (all partitions parked); node-local side effects
+// run under the node's PartitionScope. Per-node applied logs are the
+// outcome the safety and determinism checks run over.
+struct PartitionedRaftOutcome {
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> applied;
+  uint64_t sim_events = 0;
+};
+
+PartitionedRaftOutcome RunPartitionedRaftWorld(const ScenarioOptions& options,
+                                               const ScheduleConfig& sched,
+                                               const FaultSchedule& schedule,
+                                               unsigned threads) {
+  PartitionedRaftOutcome out;
+  sim::Simulator sim(options.seed);
+  sim.set_threads(threads);
+  std::vector<sim::NodeId> ids = MakeIds(sched.num_nodes);
+  for (sim::NodeId id : ids) sim.AssignNode(id, sim.AddPartition());
+  sim::SimNetwork net(&sim, sim::NetworkConfig{});
+  sim::CostModel costs;
+
+  consensus::RaftConfig config;
+  config.unsafe_commit_without_quorum =
+      options.bug == BugInjection::kRaftCommitWithoutQuorum;
+
+  out.applied.resize(sched.num_nodes);
+  auto cluster = consensus::RaftCluster::Create(
+      &sim, &net, &costs, ids, config,
+      [&out](sim::NodeId node, uint64_t index, const std::string& cmd) {
+        // Node-confined slot: only ever touched from the node's partition.
+        out.applied[node].emplace_back(index, cmd);
+      });
+
+  Nemesis::Hooks hooks;
+  hooks.crash = [&](sim::NodeId id) {
+    net.SetNodeDown(id, true);
+    sim::Simulator::PartitionScope scope(&sim, sim.PartitionOfNode(id));
+    cluster->node(id)->Crash();
+  };
+  hooks.restart = [&](sim::NodeId id) {
+    net.SetNodeDown(id, false);
+    sim::Simulator::PartitionScope scope(&sim, sim.PartitionOfNode(id));
+    cluster->node(id)->Restart();
+  };
+  Nemesis nemesis(&sim, &net, std::move(hooks));
+  nemesis.ArmGlobal(schedule);
+  cluster->StartAll();
+
+  uint64_t next_cmd = 0;
+  std::function<void()> client = [&] {
+    for (consensus::RaftNode* node : cluster->all()) {
+      if (node->IsLeader()) {
+        sim::Simulator::PartitionScope scope(&sim,
+                                             sim.PartitionOfNode(node->id()));
+        node->Propose("cmd-" + std::to_string(next_cmd++),
+                      [](Status, uint64_t) {});
+        break;
+      }
+    }
+    sim.ScheduleGlobal(50 * sim::kMs, client);
+  };
+  sim.ScheduleGlobal(10 * sim::kMs, client);
+
+  sim.RunUntil(sched.horizon);
+  out.sim_events = sim.executed_events();
+  return out;
+}
+
+ScenarioResult RunPartitionedRaftScenario(const ScenarioOptions& options,
+                                          const ScheduleConfig& sched) {
+  ScenarioResult result;
+  FaultSchedule schedule = GenerateSchedule(options.seed, sched);
+  PartitionedRaftOutcome serial =
+      RunPartitionedRaftWorld(options, sched, schedule, 1);
+  PartitionedRaftOutcome parallel =
+      RunPartitionedRaftWorld(options, sched, schedule, 2);
+
+  // The conservative parallel engine must replay the serial merge exactly:
+  // same per-node apply sequences, same event total.
+  if (serial.sim_events != parallel.sim_events ||
+      serial.applied != parallel.applied) {
+    result.report.Add("parallel-determinism",
+                      "threads=2 run diverged from threads=1 (events " +
+                          std::to_string(serial.sim_events) + " vs " +
+                          std::to_string(parallel.sim_events) + ")");
+  }
+
+  // State-machine safety across the cluster: no two applies may disagree on
+  // the command at an index (restart re-application must replay the same
+  // commands too).
+  std::map<uint64_t, std::string> canon;
+  for (size_t n = 0; n < serial.applied.size(); n++) {
+    for (const auto& [index, cmd] : serial.applied[n]) {
+      auto [it, inserted] = canon.emplace(index, cmd);
+      if (!inserted && it->second != cmd) {
+        result.report.Add(
+            "raft-state-machine",
+            "node " + std::to_string(n) + " applied '" + cmd + "' at index " +
+                std::to_string(index) + " where '" + it->second +
+                "' was already applied");
+      }
+    }
+  }
+  for (const auto& log : serial.applied) result.progress += log.size();
+  if (result.progress == 0) {
+    result.report.Add("liveness",
+                      "no node applied any command over the whole run "
+                      "(schedule guarantees a majority plus a quiet tail)");
+  }
+  result.sim_events = serial.sim_events;
+  result.schedule = schedule.ToString();
+  return result;
+}
+
 // --- PBFT scenarios ---------------------------------------------------------
 
 ScenarioResult RunBftScenario(const ScenarioOptions& options,
@@ -521,6 +638,18 @@ const std::vector<Scenario>& AllScenarios() {
          sched.max_concurrent_down = 2;
          sched.horizon = 10 * sim::kSec;
          return RunRaftScenario(options, sched);
+       }},
+      {"raft_parallel",
+       "5-node Raft with one simulator partition per replica, faults and "
+       "client injected via global events; the same seed runs at 1 and 2 "
+       "worker threads and must produce identical apply logs and event "
+       "totals (conservative parallel engine determinism)",
+       [](const ScenarioOptions& options) {
+         ScheduleConfig sched;
+         sched.num_nodes = 5;
+         sched.max_concurrent_down = 2;
+         sched.horizon = 5 * sim::kSec;
+         return RunPartitionedRaftScenario(options, sched);
        }},
       {"pbft_crash",
        "4-node PBFT (f=1) under crash/restart, loss bursts and jitter",

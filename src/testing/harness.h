@@ -67,6 +67,8 @@ struct Scenario {
 /// Registry of every scenario sim_fuzz sweeps:
 ///   raft_crash_restart    5-node Raft, crash/restart faults only
 ///   raft_partition        5-node Raft, full nemesis menu
+///   raft_parallel         5-node Raft on per-replica partitions, replayed
+///                         at 1 and 2 worker threads (must be identical)
 ///   pbft_crash            4-node PBFT (f=1), crash + loss + jitter
 ///   pbft_byzantine        7-node PBFT (f=2) with an equivocating replica
 ///   ledger_pipeline       3-node Raft driving per-node chain + MPT blocks

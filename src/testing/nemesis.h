@@ -39,6 +39,18 @@ class Nemesis {
     }
   }
 
+  /// Partitioned-world variant: every action runs as a global event
+  /// (Simulator::ScheduleGlobalAt), i.e. with all partitions parked — the
+  /// only safe way to mutate world-shared fault state (crash flags, network
+  /// partitions, drop/jitter knobs) under the parallel engine. Hooks that
+  /// touch node-local state should wrap themselves in the node's
+  /// PartitionScope so timers and RNG draws stay on the node's own stream.
+  void ArmGlobal(const FaultSchedule& schedule) {
+    for (const auto& action : schedule.actions) {
+      sim_->ScheduleGlobalAt(action.at, [this, action] { Apply(action); });
+    }
+  }
+
   bool IsDown(sim::NodeId node) const { return down_.count(node) > 0; }
   uint64_t steps_applied() const { return steps_applied_; }
 

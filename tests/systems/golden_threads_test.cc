@@ -1,0 +1,76 @@
+// Thread-count invariance of the golden suite (ctest -L golden): every
+// fixed-seed golden case must render byte-identically to its committed
+// baseline under DICHO_SIM_THREADS in {1, 2, hw}. Unpartitioned worlds take
+// the engine's serial fast path at any thread count, and partitioned worlds
+// are bit-identical by the conservative-synchronization determinism
+// contract — either way, the thread knob must never change a single byte.
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testing/golden.h"
+
+namespace dicho::testing {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("DICHO_SIM_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    setenv("DICHO_SIM_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      setenv("DICHO_SIM_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("DICHO_SIM_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+class GoldenThreadsTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenThreadsTest, ByteIdenticalUnderThreadSweep) {
+  const GoldenCase& c = GetParam();
+  const std::string path =
+      std::string(DICHO_GOLDEN_DIR) + "/" + c.name + ".json";
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty()) << "missing baseline " << path;
+  for (const char* threads : {"1", "2", "hw"}) {
+    ScopedThreadsEnv env(threads);
+    EXPECT_EQ(expected, c.run())
+        << "'" << c.name << "' diverged from " << path
+        << " with DICHO_SIM_THREADS=" << threads;
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<GoldenCase>& info) {
+  std::string name = info.param.name;
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenThreads, GoldenThreadsTest,
+                         ::testing::ValuesIn(AllGoldenCases()), CaseName);
+
+}  // namespace
+}  // namespace dicho::testing

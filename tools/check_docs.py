@@ -40,7 +40,7 @@ SPAN_RE = re.compile(r"`([^`\n]+)`")
 PATHLIKE_RE = re.compile(r"^[A-Za-z0-9_.][A-Za-z0-9_./-]*(:\d+)?$")
 BENCH_NAME_RE = re.compile(
     r"\b((?:fig|table)\d+[a-z0-9_]*|ablation_[a-z0-9_]+|sim_fuzz|"
-    r"micro_hotpath|golden_gen)\b"
+    r"micro_[a-z0-9_]+|golden_gen)\b"
 )
 
 
