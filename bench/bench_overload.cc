@@ -1,0 +1,351 @@
+// Metastable-overload sweep: the first bench where the paper's dichotomy
+// shows up as an *operational* property (graceful shedding vs. metastable
+// collapse) instead of a throughput curve.
+//
+// For each system model the bench first measures the closed-loop saturation
+// point (the classic peak-throughput mode), then drives seed-deterministic
+// *open-loop* arrivals (workload::ArrivalEngine — Poisson thinning, drifting
+// Zipf hot set, two-tenant fee mix) at 0.5x/1x/1.5x/2x that rate, with the
+// mempool admission gate off and on (target-delay policy through
+// systems::runtime::SystemOverrides::admission). Closed-loop clients
+// self-throttle and can never exhibit overload collapse; open-loop clients
+// do not wait, so a system whose effective service rate *drops* under
+// queueing (e.g. Fabric, whose MVCC validate-time staleness window widens
+// with the order-queue depth) enters the metastable regime: goodput falls
+// as offered load rises. The admission gate bounds the queueing delay, which
+// bounds the staleness window, which preserves goodput — the measurable
+// claim BENCH_overload.json records.
+//
+// Emits BENCH_overload.json in the working directory; the copy at the repo
+// root is refreshed when the numbers move (see EXPERIMENTS.md). Output is
+// byte-identical across reruns and DICHO_BENCH_THREADS settings: every cell
+// runs in its own seeded world and the arrival plan comes from the engine's
+// private Rng.
+//
+// Usage: bench_overload [--quick] [--trace=<prefix>]
+//   --quick   2 systems, shorter windows; the CI smoke + sweep-determinism
+//             mode.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "parallel.h"
+#include "systems/runtime/mempool.h"
+#include "workload/arrival.h"
+
+namespace dicho::bench {
+namespace {
+
+using systems::runtime::AdmissionPolicy;
+using systems::runtime::SystemOverrides;
+
+// Workload shape shared by calibration and overload cells: single-record
+// read-modify-write, mild skew, 100-byte values (small enough that 2x
+// overload backlogs stay cheap to simulate).
+// Small keyspace on purpose: with ~1000 RMW-updated records, every key is
+// rewritten a few times per second near saturation, so a system whose
+// conflict window scales with queueing delay (Fabric's endorse-to-validate
+// staleness) sees its commit probability fall like exp(-rewrite_rate x
+// delay) once the backlog grows — the metastable spiral this bench exists
+// to expose. Systems that lock or order before executing only queue.
+constexpr uint64_t kRecords = 1000;
+constexpr double kTheta = 0.6;
+constexpr size_t kValueBytes = 100;
+
+struct Windows {
+  sim::Time warmup;
+  sim::Time measure;
+};
+
+Windows CalibrationWindows(bool quick) {
+  return quick ? Windows{1 * sim::kSec, 3 * sim::kSec}
+               : Windows{2 * sim::kSec, 6 * sim::kSec};
+}
+
+Windows CellWindows(bool quick) {
+  return quick ? Windows{1 * sim::kSec, 4 * sim::kSec}
+               : Windows{2 * sim::kSec, 8 * sim::kSec};
+}
+
+std::vector<std::string> Systems(bool quick) {
+  if (quick) return {"fabric", "quorum-raft"};
+  return {"quorum-raft", "quorum-ibft", "fabric",       "tidb",
+          "etcd",        "ahl",         "spannerlike",  "harmonylike"};
+}
+
+workload::YcsbConfig WorkloadShape() {
+  workload::YcsbConfig wcfg;
+  wcfg.record_count = kRecords;
+  wcfg.record_size = kValueBytes;
+  wcfg.theta = kTheta;
+  wcfg.ops_per_txn = 1;
+  wcfg.read_modify_write = true;
+  return wcfg;
+}
+
+/// Closed-loop saturation point: peak *resolved* (committed + aborted) tps
+/// with a fixed client fleet keeping one request outstanding each. Resolved
+/// rate — not goodput — is the service capacity: offered load above it is
+/// what makes the queue grow, regardless of how many of the resolved txns
+/// lost their conflict check.
+double MeasureSaturation(const std::string& name, bool quick) {
+  World world(/*seed=*/42);
+  SystemOverrides overrides;
+  auto system =
+      systems::runtime::MakeSystem(name, &world.sim, &world.net, &world.costs,
+                                   overrides);
+  system->Start();
+  world.sim.RunFor(1 * sim::kSec);
+
+  workload::YcsbWorkload workload(WorkloadShape(), /*seed=*/7);
+  LoadYcsb(system.get(), &workload, kRecords);
+
+  Windows win = CalibrationWindows(quick);
+  workload::DriverConfig dcfg;
+  // Big enough that throughput is capacity-limited, not client-limited:
+  // these models run at a few hundred ms latency near saturation, so a
+  // small fleet would cap out at fleet/latency tps instead.
+  dcfg.num_clients = 1024;
+  dcfg.warmup = win.warmup;
+  dcfg.measure = win.measure;
+  workload::Driver driver(
+      &world.sim, system.get(), [&workload] { return workload.NextTxn(); },
+      dcfg);
+  workload::RunMetrics metrics = driver.Run();
+  return static_cast<double>(metrics.committed + metrics.aborted) /
+         (win.measure / sim::kSec);
+}
+
+struct CellConfig {
+  std::string system;
+  double saturation_tps = 0;
+  double multiplier = 0;
+  bool admission = false;
+};
+
+struct CellResult {
+  double offered_tps = 0;
+  double goodput_tps = 0;
+  double reject_rate = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t rejected = 0;
+};
+
+/// One open-loop overload cell in its own seeded world.
+CellResult RunCell(const CellConfig& cell, bool quick) {
+  World world(/*seed=*/42);
+  world.EnableObservability();  // log-linear driver histogram for the tails
+
+  SystemOverrides overrides;
+  if (cell.admission) {
+    overrides.admission.policy = AdmissionPolicy::kTargetDelay;
+    overrides.admission.target_delay = 250 * sim::kMs;
+    overrides.admission.max_inflight = std::max<size_t>(
+        256, static_cast<size_t>(2.0 * cell.saturation_tps));
+    overrides.admission.min_backlog = 16;
+  }
+  auto system =
+      systems::runtime::MakeSystem(cell.system, &world.sim, &world.net,
+                                   &world.costs, overrides);
+  system->Start();
+  world.sim.RunFor(1 * sim::kSec);
+
+  workload::YcsbWorkload workload(WorkloadShape(), /*seed=*/7);
+  LoadYcsb(system.get(), &workload, kRecords);
+
+  // The arrival plan: Poisson at multiplier x saturation, hot set rotating
+  // a sixteenth of the keyspace every 5 virtual seconds, two tenants
+  // (retail bids fee 1.0, batch bids 0.5).
+  workload::ArrivalConfig acfg;
+  acfg.base_rate_tps = cell.multiplier * cell.saturation_tps;
+  acfg.record_count = kRecords;
+  acfg.zipf_theta = kTheta;
+  acfg.hot_rotation_period = 5 * sim::kSec;
+  acfg.tenants = {{"retail", "ycsb", 3.0, 1.0}, {"batch", "ycsb", 1.0, 0.5}};
+  workload::ArrivalEngine engine(acfg, /*seed=*/99);
+
+  uint64_t next_txn_id = 1;
+  Rng value_rng(/*seed=*/500);
+
+  Windows win = CellWindows(quick);
+  workload::DriverConfig dcfg;
+  dcfg.warmup = win.warmup;
+  dcfg.measure = win.measure;
+  dcfg.arrival = &engine;
+  dcfg.arrival_txn = [&](const workload::Arrival& arrival) {
+    core::TxnRequest req;
+    req.txn_id = next_txn_id++;
+    req.client_id = arrival.tenant;
+    req.contract = "ycsb";
+    req.tenant = arrival.tenant;
+    req.fee = arrival.fee;
+    core::Op op;
+    op.type = core::OpType::kReadModifyWrite;
+    op.key = workload.KeyAt(arrival.key_index);
+    op.value = value_rng.Bytes(kValueBytes);
+    req.ops.push_back(std::move(op));
+    return req;
+  };
+  workload::Driver driver(
+      &world.sim, system.get(), [] { return core::TxnRequest{}; }, dcfg);
+  workload::RunMetrics metrics = driver.Run();
+
+  CellResult result;
+  result.offered_tps = cell.multiplier * cell.saturation_tps;
+  result.goodput_tps = metrics.throughput_tps;
+  result.reject_rate = metrics.RejectRate();
+  result.committed = metrics.committed;
+  result.aborted = metrics.aborted;
+  result.rejected = metrics.rejected;
+  // Tails from the obs layer's log-linear histogram, as the paper-repo
+  // convention: benches report p99/p99.9 through src/obs, not raw vectors.
+  const LogLinearHistogram* hist =
+      world.metrics.GetHistogram("driver.txn_latency_us");
+  if (hist->count() > 0) {
+    result.p50_ms = hist->Percentile(50) / sim::kMs;
+    result.p99_ms = hist->Percentile(99) / sim::kMs;
+    result.p999_ms = hist->Percentile(99.9) / sim::kMs;
+  }
+  if (TraceExport::enabled()) {
+    char tag[96];
+    snprintf(tag, sizeof(tag), "%s_%.1fx_%s", cell.system.c_str(),
+             cell.multiplier, cell.admission ? "ac" : "noac");
+    TraceExport::Dump(world, tag);
+  }
+  return result;
+}
+
+constexpr double kMultipliers[] = {0.5, 1.0, 1.5, 2.0};
+
+void WriteJson(const char* path, bool quick,
+               const std::vector<std::string>& systems,
+               const std::vector<double>& saturations,
+               const std::vector<CellConfig>& cells,
+               const std::vector<CellResult>& results) {
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"overload\",\n");
+  fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  fprintf(f, "  \"workload\": {\"records\": %llu, \"zipf_theta\": %.2f, "
+             "\"value_bytes\": %zu},\n",
+          static_cast<unsigned long long>(kRecords), kTheta, kValueBytes);
+  fprintf(f, "  \"admission\": {\"policy\": \"target-delay\", "
+             "\"target_delay_ms\": 1000},\n");
+  fprintf(f, "  \"systems\": [\n");
+  size_t cell_index = 0;
+  for (size_t s = 0; s < systems.size(); s++) {
+    fprintf(f, "    {\"system\": \"%s\", \"saturation_tps\": %.1f, "
+               "\"cells\": [\n",
+            systems[s].c_str(), saturations[s]);
+    for (size_t m = 0; m < std::size(kMultipliers) * 2; m++, cell_index++) {
+      const CellConfig& cell = cells[cell_index];
+      const CellResult& r = results[cell_index];
+      fprintf(f,
+              "      {\"multiplier\": %.1f, \"admission\": \"%s\", "
+              "\"offered_tps\": %.1f, \"goodput_tps\": %.1f, "
+              "\"reject_rate\": %.4f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+              "\"p999_ms\": %.3f, \"committed\": %llu, \"aborted\": %llu, "
+              "\"rejected\": %llu}%s\n",
+              cell.multiplier, cell.admission ? "on" : "off", r.offered_tps,
+              r.goodput_tps, r.reject_rate, r.p50_ms, r.p99_ms, r.p999_ms,
+              static_cast<unsigned long long>(r.committed),
+              static_cast<unsigned long long>(r.aborted),
+              static_cast<unsigned long long>(r.rejected),
+              m + 1 < std::size(kMultipliers) * 2 ? "," : "");
+    }
+    fprintf(f, "    ]}%s\n", s + 1 < systems.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("wrote %s\n", path);
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--quick") == 0) quick = true;
+    TraceExport::ParseArg(argv[i]);
+  }
+
+  const std::vector<std::string> systems = Systems(quick);
+
+  PrintHeader("overload: closed-loop saturation calibration");
+  std::vector<double> saturations = RunSweep(
+      systems, [quick](const std::string& name) {
+        return MeasureSaturation(name, quick);
+      });
+  for (size_t s = 0; s < systems.size(); s++) {
+    printf("%-12s saturation %.0f tps\n", systems[s].c_str(), saturations[s]);
+  }
+
+  std::vector<CellConfig> cells;
+  for (size_t s = 0; s < systems.size(); s++) {
+    for (double mult : kMultipliers) {
+      for (bool admission : {false, true}) {
+        cells.push_back({systems[s], saturations[s], mult, admission});
+      }
+    }
+  }
+
+  PrintHeader("overload: open-loop sweep (0.5x/1x/1.5x/2x, admission off/on)");
+  std::vector<CellResult> results = RunSweep(
+      cells, [quick](const CellConfig& cell) { return RunCell(cell, quick); });
+
+  printf("%-12s %5s %3s %9s %9s %7s %9s %9s\n", "system", "mult", "ac",
+         "offered", "goodput", "reject", "p99ms", "p99.9ms");
+  for (size_t i = 0; i < cells.size(); i++) {
+    const CellConfig& cell = cells[i];
+    const CellResult& r = results[i];
+    printf("%-12s %4.1fx %3s %9.0f %9.0f %6.1f%% %9.1f %9.1f\n",
+           cell.system.c_str(), cell.multiplier, cell.admission ? "on" : "off",
+           r.offered_tps, r.goodput_tps, r.reject_rate * 100, r.p99_ms,
+           r.p999_ms);
+  }
+
+  // The acceptance read-out: a system "collapses" when its 2x goodput
+  // without admission control falls under half its no-admission peak, and
+  // "holds" when the gated 2x run keeps >= 80% of that same peak.
+  PrintHeader("overload: metastability verdicts");
+  for (size_t s = 0; s < systems.size(); s++) {
+    double peak_off = 0, at2x_off = 0, at2x_on = 0;
+    for (size_t i = 0; i < cells.size(); i++) {
+      if (cells[i].system != systems[s]) continue;
+      if (!cells[i].admission) {
+        peak_off = std::max(peak_off, results[i].goodput_tps);
+        if (cells[i].multiplier == 2.0) at2x_off = results[i].goodput_tps;
+      } else if (cells[i].multiplier == 2.0) {
+        at2x_on = results[i].goodput_tps;
+      }
+    }
+    bool collapses = peak_off > 0 && at2x_off < 0.5 * peak_off;
+    bool holds = peak_off > 0 && at2x_on >= 0.8 * peak_off;
+    printf("%-12s peak %6.0f | 2x no-ac %6.0f (%3.0f%%) %s | 2x ac %6.0f "
+           "(%3.0f%%) %s\n",
+           systems[s].c_str(), peak_off, at2x_off,
+           peak_off > 0 ? 100 * at2x_off / peak_off : 0,
+           collapses ? "COLLAPSES" : "degrades ", at2x_on,
+           peak_off > 0 ? 100 * at2x_on / peak_off : 0,
+           holds ? "HOLDS" : "sags ");
+  }
+
+  WriteJson("BENCH_overload.json", quick, systems, saturations, cells,
+            results);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main(int argc, char** argv) { return dicho::bench::Main(argc, argv); }

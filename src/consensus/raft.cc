@@ -134,6 +134,10 @@ void RaftNode::BecomeLeader() {
     next_index_[peer] = log_.size() + 1;
     match_index_[peer] = 0;
   }
+  if (config_.leader_noop) {
+    // Raft §8 no-op; an empty command is ignored by every state machine.
+    Propose("", [](Status, uint64_t) {});
+  }
   SendHeartbeats();
 }
 

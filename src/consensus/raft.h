@@ -36,6 +36,13 @@ struct RaftConfig {
   /// that its invariant checkers catch real safety bugs (state-machine
   /// divergence after partitions/crashes). Never enable outside tests.
   bool unsafe_commit_without_quorum = false;
+  /// Raft §8: a fresh leader appends a no-op entry of its own term, making
+  /// prior-term entries committable without waiting for client traffic
+  /// (§5.4.2 forbids counting replicas of old-term entries toward commit).
+  /// Without it, a cluster whose clients are all blocked behind those very
+  /// entries livelocks after leadership churn. Opt-in: the extra entry
+  /// perturbs the message/log trace of existing calibrated runs.
+  bool leader_noop = false;
 };
 
 enum class RaftRole { kFollower, kCandidate, kLeader };

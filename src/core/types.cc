@@ -22,6 +22,8 @@ const char* AbortReasonName(AbortReason reason) {
       return "unavailable";
     case AbortReason::kOther:
       return "other";
+    case AbortReason::kAdmissionReject:
+      return "admission-reject";
   }
   return "unknown";
 }

@@ -38,6 +38,12 @@ struct TxnRequest {
   std::string method;
   std::vector<std::string> args;
   std::vector<Op> ops;
+  /// Multi-tenant admission metadata (open-loop arrival engine): which
+  /// tenant mix the request came from and the fee it bid. Client-side only
+  /// — excluded from Serialize()/PayloadBytes() so ledger bytes and network
+  /// costs are unchanged whether or not an admission policy inspects them.
+  uint32_t tenant = 0;
+  double fee = 1.0;
 
   /// Approximate wire size (drives the network model).
   uint64_t PayloadBytes() const {
@@ -62,6 +68,7 @@ enum class AbortReason : uint8_t {
   kConstraint,              // application logic abort (e.g. overdraft)
   kUnavailable,             // no leader / node down
   kOther,
+  kAdmissionReject,         // shed at the mempool admission gate
 };
 
 const char* AbortReasonName(AbortReason reason);
@@ -190,6 +197,7 @@ struct StageGauges {
   size_t mempool_peak = 0;
   size_t inflight_depth = 0;  // txns submitted but not yet resolved
   size_t inflight_peak = 0;
+  uint64_t rejected = 0;      // txns shed by the admission gate
 };
 
 /// Aggregate counters every system maintains.

@@ -77,10 +77,22 @@ NodeId QuorumSystem::ProposerId() const {
 }
 
 void QuorumSystem::ProposerTick() {
+  if (config_.reproposal_timeout > 0) RequeueExpiredProposals();
   if (!mempool_.empty() && HasProposer()) {
     CutAndProposeBlock();
   }
   sim_->Schedule(config_.block_interval, [this] { ProposerTick(); });
+}
+
+void QuorumSystem::RequeueExpiredProposals() {
+  Time cutoff = sim_->Now() - config_.reproposal_timeout;
+  std::vector<PendingTxn> stale = inflight_.ExtractIf(
+      [cutoff](uint64_t, const PendingTxn& pending) {
+        return pending.proposed_time <= cutoff;
+      });
+  for (PendingTxn& pending : stale) {
+    mempool_.Push(std::move(pending));
+  }
 }
 
 Time QuorumSystem::ExecuteTxn(Node* node, const core::TxnRequest& request,

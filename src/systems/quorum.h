@@ -34,6 +34,13 @@ struct QuorumConfig {
   Time block_interval = 250 * sim::kMs;
   size_t max_block_txns = 500;
   uint64_t max_block_bytes = 1ull << 20;  // the gas-limit analog
+  /// Re-mint timeout (geth-raft minter idiom): a txn whose block has not
+  /// committed after this long returns to the mempool for the next cut —
+  /// proposals lost to leadership churn would otherwise strand their txns
+  /// in the inflight table forever. A late commit of the original block is
+  /// harmless: the first commit resolves the client, replays are skipped.
+  /// 0 (default) disables re-proposal.
+  Time reproposal_timeout = 0;
   NodeId client_node = runtime::kClientNode;
   consensus::RaftConfig raft;
   consensus::BftConfig ibft;
@@ -101,6 +108,7 @@ class QuorumSystem : public core::TransactionalSystem {
 
   NodeId ProposerId() const;
   void ProposerTick();
+  void RequeueExpiredProposals();
   void CutAndProposeBlock();
   /// Executes `request` against node's MPT for real; returns modeled cost
   /// and fills the ledger transaction's write set / status.

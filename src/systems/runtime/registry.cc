@@ -29,6 +29,8 @@ std::unique_ptr<core::TransactionalSystem> MakeQuorum(
   if (o.block_interval > 0) config.block_interval = o.block_interval;
   config.raft.unsafe_commit_without_quorum =
       o.raft_unsafe_commit_without_quorum;
+  config.raft.leader_noop = o.raft_leader_noop;
+  config.reproposal_timeout = o.quorum_reproposal_timeout;
   return std::make_unique<QuorumSystem>(sim, net, costs, config);
 }
 
@@ -118,11 +120,31 @@ const std::pair<const char*, Factory> kRegistry[] = {
 
 }  // namespace
 
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kNone:
+      return "none";
+    case AdmissionPolicy::kRejectNewest:
+      return "reject-newest";
+    case AdmissionPolicy::kFeePriority:
+      return "fee-priority";
+    case AdmissionPolicy::kTargetDelay:
+      return "target-delay";
+  }
+  return "unknown";
+}
+
 std::unique_ptr<core::TransactionalSystem> MakeSystem(
     const std::string& name, sim::Simulator* sim, sim::SimNetwork* net,
     const sim::CostModel* costs, const SystemOverrides& overrides) {
   for (const auto& [entry_name, factory] : kRegistry) {
-    if (name == entry_name) return factory(sim, net, costs, overrides);
+    if (name != entry_name) continue;
+    auto system = factory(sim, net, costs, overrides);
+    if (system != nullptr && overrides.admission.enabled()) {
+      return std::make_unique<AdmissionGate>(sim, std::move(system),
+                                             overrides.admission);
+    }
+    return system;
   }
   return nullptr;
 }

@@ -10,6 +10,7 @@
 #include "sim/cost_model.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/mempool.h"
 
 namespace dicho::systems::runtime {
 
@@ -30,13 +31,24 @@ struct SystemOverrides {
   uint32_t validation_parallelism = 0;
   /// Quorum block-cutting cadence (0 = default 250 ms).
   sim::Time block_interval = 0;
+  /// Quorum re-mint timeout (see QuorumConfig::reproposal_timeout; 0 = off).
+  sim::Time quorum_reproposal_timeout = 0;
   /// Simulated-PoW mean block interval for hybrid designs (0 = default).
   sim::Time pow_mean_block_interval = 0;
   /// Raft fault-injection flag (simulation testing harness).
   bool raft_unsafe_commit_without_quorum = false;
+  /// Raft §8 leader no-op on election (see RaftConfig::leader_noop).
+  bool raft_leader_noop = false;
   /// Taxonomy point for the "hybrid" entry; ignored elsewhere. Must stay
   /// alive through the call (the descriptor is copied into the config).
   const hybrid::SystemDescriptor* hybrid_design = nullptr;
+  /// Mempool admission control, applied uniformly to every registry name by
+  /// wrapping the constructed system in an AdmissionGate. Default policy
+  /// kNone builds the bare system — byte-identical to pre-admission runs.
+  /// NOTE: with a non-kNone policy MakeSystem returns the gate, so
+  /// MakeSystemAs<T> (which static_casts to the concrete type) must only be
+  /// used with admission disabled.
+  AdmissionConfig admission;
 };
 
 /// Constructs a system by registry name: "quorum-raft", "quorum-ibft",

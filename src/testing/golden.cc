@@ -295,9 +295,19 @@ std::string RunHybridPow() {
 /// whole testing harness (world construction, schedules, invariants) sees
 /// the same event stream after the refactor.
 std::string RunFuzzDigests() {
+  // The digest list is pinned to the scenarios that existed when the
+  // sim-fuzz baseline was frozen: newer scenarios (overload_shed, ...) are
+  // swept by sim_fuzz and ctest but deliberately excluded here, so adding
+  // one never invalidates tests/golden/sim-fuzz.json.
+  static const char* kFrozenScenarios[] = {
+      "raft_crash_restart", "raft_partition",  "raft_parallel",
+      "pbft_crash",         "pbft_byzantine",  "ledger_pipeline",
+      "quorum_system",      "harmony_system",  "txn_serializability",
+  };
   std::string out = "{\n  \"case\": \"sim-fuzz\",\n  \"runs\": [\n";
   bool first = true;
-  for (const Scenario& scenario : AllScenarios()) {
+  for (const char* name : kFrozenScenarios) {
+    const Scenario& scenario = *FindScenario(name);
     for (uint64_t seed = 1; seed <= 2; seed++) {
       ScenarioResult result = RunScenario(scenario, ScenarioOptions{seed, {}});
       if (!first) out += ",\n";

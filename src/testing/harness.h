@@ -77,6 +77,9 @@ struct Scenario {
 ///                         under network faults; ledgers + state digests
 ///                         audited
 ///   txn_serializability   OCC / MVCC / lock-table histories vs serial oracle
+///   overload_shed         flash crowd past Quorum capacity behind a bounded
+///                         admission gate, under partitions; shed accounting
+///                         and conservation audited
 const std::vector<Scenario>& AllScenarios();
 const Scenario* FindScenario(const std::string& name);
 

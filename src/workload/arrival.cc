@@ -1,0 +1,119 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dicho::workload {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+ArrivalEngine::ArrivalEngine(const ArrivalConfig& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      zipf_(config.record_count == 0 ? 1 : config.record_count,
+            config.zipf_theta) {
+  if (config_.record_count == 0) config_.record_count = 1;
+  if (config_.hot_rotation_step == 0) {
+    config_.hot_rotation_step = std::max<uint64_t>(1, config_.record_count / 16);
+  }
+  crowds_ = config_.flash_crowds;
+  if (crowds_.empty() && config_.flash_count > 0) {
+    // Draw burst windows from the engine seed. Starts are uniform over the
+    // horizon minus the burst so every crowd fits; draws happen in a fixed
+    // order so the schedule is a pure function of (config, seed).
+    sim::Time span = std::max<sim::Time>(config_.horizon - config_.flash_duration, 0);
+    for (uint32_t i = 0; i < config_.flash_count; i++) {
+      FlashCrowd crowd;
+      crowd.start = rng_.NextDouble() * span;
+      crowd.duration = config_.flash_duration;
+      crowd.amplitude = config_.flash_amplitude;
+      crowds_.push_back(crowd);
+    }
+    std::sort(crowds_.begin(), crowds_.end(),
+              [](const FlashCrowd& a, const FlashCrowd& b) {
+                return a.start < b.start;
+              });
+  }
+  if (config_.tenants.empty()) config_.tenants.push_back(TenantSpec{});
+  for (const TenantSpec& tenant : config_.tenants) {
+    tenant_total_weight_ += std::max(tenant.weight, 0.0);
+    tenant_cumweight_.push_back(tenant_total_weight_);
+  }
+  if (tenant_total_weight_ <= 0) {
+    tenant_total_weight_ = 1.0;
+    tenant_cumweight_.assign(1, 1.0);
+  }
+
+  // Thinning envelope: the diurnal peak times the worst-case product of
+  // overlapping flash amplitudes (exact because both factors are bounded).
+  double diurnal_peak = 1.0 + std::max(config_.diurnal_amplitude, 0.0);
+  double flash_peak = 1.0;
+  for (const FlashCrowd& a : crowds_) {
+    double overlap = 1.0;
+    for (const FlashCrowd& b : crowds_) {
+      if (b.start < a.start + a.duration && a.start < b.start + b.duration) {
+        overlap *= std::max(b.amplitude, 1.0);
+      }
+    }
+    flash_peak = std::max(flash_peak, overlap);
+  }
+  max_rate_ = config_.base_rate_tps * diurnal_peak * flash_peak;
+}
+
+double ArrivalEngine::RateAt(sim::Time t) const {
+  double rate = config_.base_rate_tps;
+  if (config_.diurnal_amplitude > 0 && config_.diurnal_period > 0) {
+    rate *= 1.0 + config_.diurnal_amplitude *
+                      std::sin(2.0 * kPi * t / config_.diurnal_period);
+  }
+  for (const FlashCrowd& crowd : crowds_) {
+    if (t >= crowd.start && t < crowd.start + crowd.duration) {
+      rate *= crowd.amplitude;
+    }
+  }
+  return rate;
+}
+
+double ArrivalEngine::MaxRate() const { return max_rate_; }
+
+Arrival ArrivalEngine::Next(sim::Time now) {
+  // Lewis-Shedler thinning: candidate gaps at the envelope rate, accepted
+  // with probability rate(t)/envelope. Two Rng draws per candidate, in a
+  // fixed order — the arrival sequence replays bit-identically.
+  sim::Time t = now;
+  while (true) {
+    t += rng_.Exponential(sim::kSec / max_rate_);
+    if (rng_.NextDouble() * max_rate_ <= RateAt(t)) break;
+  }
+  Arrival arrival;
+  arrival.time = t;
+  arrival.tenant = SampleTenant();
+  arrival.fee = config_.tenants[arrival.tenant].fee;
+  arrival.key_index = SampleKeyIndex(t);
+  return arrival;
+}
+
+uint64_t ArrivalEngine::HotOffset(sim::Time t) const {
+  if (config_.hot_rotation_period <= 0 || t <= 0) return 0;
+  uint64_t rotations = static_cast<uint64_t>(t / config_.hot_rotation_period);
+  return (rotations * config_.hot_rotation_step) % config_.record_count;
+}
+
+uint64_t ArrivalEngine::SampleKeyIndex(sim::Time t) {
+  uint64_t rank = zipf_.Next(&rng_);
+  if (rank >= config_.record_count) rank = config_.record_count - 1;
+  return (rank + HotOffset(t)) % config_.record_count;
+}
+
+uint32_t ArrivalEngine::SampleTenant() {
+  if (tenant_cumweight_.size() == 1) return 0;
+  double u = rng_.NextDouble() * tenant_total_weight_;
+  auto it = std::upper_bound(tenant_cumweight_.begin(), tenant_cumweight_.end(), u);
+  size_t index = static_cast<size_t>(it - tenant_cumweight_.begin());
+  if (index >= tenant_cumweight_.size()) index = tenant_cumweight_.size() - 1;
+  return static_cast<uint32_t>(index);
+}
+
+}  // namespace dicho::workload

@@ -1,0 +1,114 @@
+#ifndef DICHO_WORKLOAD_ARRIVAL_H_
+#define DICHO_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace dicho::workload {
+
+/// One tenant in a multi-tenant contract mix: picked by weight, stamps its
+/// fee bid and contract name onto every request it originates.
+struct TenantSpec {
+  std::string name = "default";
+  std::string contract = "ycsb";
+  double weight = 1.0;
+  double fee = 1.0;
+};
+
+/// One flash-crowd burst: the arrival rate is multiplied by `amplitude`
+/// over [start, start + duration).
+struct FlashCrowd {
+  sim::Time start = 0;
+  sim::Time duration = 0;
+  double amplitude = 1.0;
+};
+
+/// Open-loop arrival plan. The instantaneous rate is
+///
+///   rate(t) = base_rate_tps × diurnal(t) × flash(t)
+///
+/// where diurnal(t) = 1 + diurnal_amplitude × sin(2π t / diurnal_period)
+/// (mass-conserving: it integrates to 1× over any whole period) and
+/// flash(t) is the product of the amplitudes of the active flash crowds.
+/// Flash-crowd windows are drawn from the engine seed over [0, horizon)
+/// when `flash_count > 0` and `flash_crowds` is empty; explicit windows in
+/// `flash_crowds` are used verbatim (and flash_count is ignored).
+struct ArrivalConfig {
+  double base_rate_tps = 100.0;
+
+  double diurnal_amplitude = 0.0;  // in [0, 1); 0 disables the curve
+  sim::Time diurnal_period = 60 * sim::kSec;
+
+  uint32_t flash_count = 0;
+  double flash_amplitude = 8.0;
+  sim::Time flash_duration = 2 * sim::kSec;
+  std::vector<FlashCrowd> flash_crowds;
+  /// Window flash crowds are drawn from; also the default drift horizon.
+  sim::Time horizon = 60 * sim::kSec;
+
+  /// Key popularity: Zipf(theta) over record_count keys, with the hot set
+  /// rotating by hot_rotation_step records every hot_rotation_period of
+  /// virtual time (0 period = static hot set; 0 step = record_count / 16).
+  uint64_t record_count = 10000;
+  double zipf_theta = 0.8;
+  sim::Time hot_rotation_period = 0;
+  uint64_t hot_rotation_step = 0;
+
+  /// Tenant mix; empty means a single default tenant.
+  std::vector<TenantSpec> tenants;
+};
+
+/// One generated arrival.
+struct Arrival {
+  sim::Time time = 0;     // absolute virtual time
+  uint32_t tenant = 0;    // index into config().tenants (0 when empty)
+  double fee = 1.0;       // the tenant's fee bid
+  uint64_t key_index = 0; // drifted-Zipf record index in [0, record_count)
+};
+
+/// Seed-deterministic open-loop arrival engine. All randomness comes from
+/// one private Rng seeded at construction — never from the simulator's
+/// partition streams — so the generated sequence is byte-identical across
+/// reruns and DICHO_SIM_THREADS settings; callers replay it as timestamped
+/// sim events. Arrivals are sampled by Lewis thinning against MaxRate(),
+/// which is exact for the piecewise-smooth rate(t) above.
+class ArrivalEngine {
+ public:
+  ArrivalEngine(const ArrivalConfig& config, uint64_t seed);
+
+  /// Instantaneous offered rate at virtual time t, in txn/sec.
+  double RateAt(sim::Time t) const;
+  /// Tight upper bound on RateAt over all t (the thinning envelope).
+  double MaxRate() const;
+
+  /// Next arrival strictly after `now`. Advances the engine's Rng: call it
+  /// exactly once per dispatched arrival, in arrival order.
+  Arrival Next(sim::Time now);
+
+  /// How far the hot set has rotated at time t (record-index offset).
+  uint64_t HotOffset(sim::Time t) const;
+  /// Drifted-Zipf key draw at time t (Zipf rank shifted by HotOffset).
+  uint64_t SampleKeyIndex(sim::Time t);
+
+  const ArrivalConfig& config() const { return config_; }
+  const std::vector<FlashCrowd>& flash_crowds() const { return crowds_; }
+
+ private:
+  uint32_t SampleTenant();
+
+  ArrivalConfig config_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  std::vector<FlashCrowd> crowds_;
+  std::vector<double> tenant_cumweight_;
+  double tenant_total_weight_ = 0;
+  double max_rate_ = 0;
+};
+
+}  // namespace dicho::workload
+
+#endif  // DICHO_WORKLOAD_ARRIVAL_H_

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace dicho::workload {
@@ -39,8 +40,13 @@ RunMetrics Driver::Run() {
   if (obs::TraceSink* sink = sim_->trace_sink()) {
     sink->NoteWindow(window_start_, window_end_);
   }
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    txn_latency_ll_ = registry->GetHistogram("driver.txn_latency_us");
+  }
 
-  if (config_.arrival_rate_tps > 0) {
+  if (config_.arrival != nullptr) {
+    ScheduleEngineArrival();
+  } else if (config_.arrival_rate_tps > 0) {
     ScheduleArrival();
   } else {
     for (size_t c = 0; c < config_.num_clients; c++) {
@@ -72,6 +78,24 @@ void Driver::ScheduleArrival() {
   });
 }
 
+void Driver::ScheduleEngineArrival() {
+  // The engine's Rng is private to it (never the simulator's partition
+  // streams), so the timestamped plan — and therefore the whole run — is
+  // byte-identical across DICHO_SIM_THREADS settings.
+  Arrival arrival = config_.arrival->Next(sim_->Now());
+  if (arrival.time >= window_end_) return;
+  sim_->ScheduleAt(arrival.time, [this, arrival] {
+    DispatchArrival(arrival);
+    ScheduleEngineArrival();
+  });
+}
+
+void Driver::DispatchArrival(const Arrival& arrival) {
+  if (InWindow(sim_->Now())) metrics_.offered++;
+  system_->Submit(config_.arrival_txn(arrival),
+                  [this](const core::TxnResult& r) { OnTxnDone(0, r); });
+}
+
 void Driver::Dispatch(size_t client) {
   if (sim_->Now() >= window_end_) return;
   bool query = read_gen_ != nullptr &&
@@ -89,18 +113,32 @@ void Driver::Dispatch(size_t client) {
 
 void Driver::OnTxnDone(size_t client, const core::TxnResult& result) {
   if (obs::TraceSink* sink = sim_->trace_sink()) sink->RecordTxn(result);
+  bool shed = result.reason == core::AbortReason::kAdmissionReject;
   if (InWindow(result.finish_time)) {
-    if (result.status.ok()) {
+    if (shed) {
+      // A gate rejection is neither goodput nor a conflict abort; its
+      // ~zero latency would also skew the latency tail.
+      metrics_.rejected++;
+    } else if (result.status.ok()) {
       metrics_.committed++;
     } else {
       metrics_.aborted++;
       metrics_.aborts_by_reason[result.reason]++;
     }
-    metrics_.txn_latency_us.Add(result.latency());
-    result.phases.ForEach(
-        [this](core::Phase phase, sim::Time t) { metrics_.phase(phase).Add(t); });
+    if (!shed) {
+      metrics_.txn_latency_us.Add(result.latency());
+      if (txn_latency_ll_ != nullptr) txn_latency_ll_->Add(result.latency());
+      result.phases.ForEach([this](core::Phase phase, sim::Time t) {
+        metrics_.phase(phase).Add(t);
+      });
+    }
   }
-  if (config_.arrival_rate_tps == 0 && !stopping_) IssueNext(client);
+  // Closed-loop clients re-issue after every outcome (including a shed —
+  // the client retries); open-loop modes never re-issue.
+  if (config_.arrival_rate_tps == 0 && config_.arrival == nullptr &&
+      !stopping_) {
+    IssueNext(client);
+  }
 }
 
 void Driver::OnReadDone(size_t client, const core::ReadResult& result) {

@@ -4,6 +4,8 @@
 // properties the obs metrics registry depends on — bounded relative
 // quantile error (1/sub_buckets) and order-independent merging.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -196,6 +198,105 @@ TEST(LogLinearHistogramTest, NegativeValuesClampToZero) {
   h.Add(-5.0);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_DOUBLE_EQ(h.Min(), 0);
+}
+
+// --- Deep-tail accuracy (bench_overload reports p99/p99.9 from these) ------
+
+std::vector<double> LognormalSamples(uint64_t seed, size_t n) {
+  // Box-Muller lognormal: exp(mu + sigma * z). mu = ln(2000 us),
+  // sigma = 1.0 gives a latency-shaped body with a multi-decade tail.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(1e-12, 1.0);
+  std::vector<double> out;
+  out.reserve(n);
+  const double mu = std::log(2000.0), sigma = 1.0;
+  for (size_t i = 0; i < n; i += 2) {
+    const double r = std::sqrt(-2.0 * std::log(unit(rng)));
+    const double theta = 2.0 * 3.14159265358979323846 * unit(rng);
+    out.push_back(std::floor(std::exp(mu + sigma * r * std::cos(theta))));
+    if (out.size() < n) {
+      out.push_back(std::floor(std::exp(mu + sigma * r * std::sin(theta))));
+    }
+  }
+  return out;
+}
+
+std::vector<double> BimodalOverloadSamples(uint64_t seed, size_t n) {
+  // Overload-shaped mix: 85% fast commits around 1-3 ms, 15% stuck behind
+  // the queue at 200-800 ms — the shape the metastable bench produces, where
+  // p99/p99.9 land inside the sparse far mode.
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> fast(1000, 3000);
+  std::uniform_int_distribution<uint64_t> slow(200000, 800000);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    out.push_back(static_cast<double>(coin(rng) < 0.85 ? fast(rng) : slow(rng)));
+  }
+  return out;
+}
+
+double SortedVectorQuantile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[std::min(rank == 0 ? 0 : rank - 1, samples.size() - 1)];
+}
+
+TEST(LogLinearTailTest, LognormalDeepTailTracksSortedOracle) {
+  // 120k samples leave ~12 above p99.99 — enough for a stable oracle rank.
+  const auto samples = LognormalSamples(17, 120000);
+  LogLinearHistogram ll;
+  for (double v : samples) ll.Add(v);
+  for (double p : {99.0, 99.9, 99.99}) {
+    const double expected = SortedVectorQuantile(samples, p);
+    EXPECT_NEAR(ll.Percentile(p), expected, expected / 32.0 + 1.0) << "p" << p;
+  }
+}
+
+TEST(LogLinearTailTest, BimodalOverloadTailTracksSortedOracle) {
+  const auto samples = BimodalOverloadSamples(23, 120000);
+  LogLinearHistogram ll;
+  Histogram oracle;
+  for (double v : samples) {
+    ll.Add(v);
+    oracle.Add(v);
+  }
+  // p50 sits in the fast mode, p99/p99.9 deep inside the sparse slow mode;
+  // the estimator must not smear mass across the two-decade gap between
+  // them. Checked against both the exact Histogram and a sorted vector.
+  for (double p : {50.0, 99.0, 99.9, 99.99}) {
+    const double expected = SortedVectorQuantile(samples, p);
+    EXPECT_NEAR(ll.Percentile(p), expected, expected / 32.0 + 1.0) << "p" << p;
+    EXPECT_NEAR(oracle.Percentile(p), expected, expected / 32.0 + 1.0)
+        << "oracle drifted at p" << p;
+  }
+  EXPECT_LT(ll.Percentile(50), 4000.0);
+  EXPECT_GT(ll.Percentile(99), 150000.0);
+}
+
+TEST(LogLinearTailTest, OverflowBucketAbsorbsTheDeepTail) {
+  // With max_value below the slow mode, the whole slow mode overflows: deep
+  // quantiles clamp to max_value while the fast mode stays accurate —
+  // exactly how a mis-sized histogram fails, pinned so the benches size
+  // theirs generously.
+  const auto samples = BimodalOverloadSamples(29, 50000);
+  LogLinearHistogram h(32, /*max_value=*/100000);
+  uint64_t above = 0;
+  for (double v : samples) {
+    h.Add(v);
+    if (v > 100000) above++;
+  }
+  EXPECT_EQ(h.overflow_count(), above);
+  // count() includes overflowed samples; overflow_count() is a subset tally.
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 100000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.9), 100000.0);
+  const double p50 = SortedVectorQuantile(samples, 50.0);
+  EXPECT_NEAR(h.Percentile(50), p50, p50 / 32.0 + 1.0);
+  // Max is still exact: overflow only affects quantile resolution.
+  EXPECT_GT(h.Max(), 100000.0);
 }
 
 }  // namespace

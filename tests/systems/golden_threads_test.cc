@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "testing/golden.h"
+#include "workload/arrival.h"
 
 namespace dicho::testing {
 namespace {
@@ -61,6 +62,34 @@ TEST_P(GoldenThreadsTest, ByteIdenticalUnderThreadSweep) {
         << "'" << c.name << "' diverged from " << path
         << " with DICHO_SIM_THREADS=" << threads;
   }
+}
+
+TEST(GoldenArrivalCompatTest, InertArrivalMachineryLeavesGoldensByteIdentical) {
+  // The open-loop arrival engine and the admission gate are compiled into
+  // the same binary as every golden run, and both default OFF. Guard the
+  // compat contract: churning an arrival engine (whose Rng is private to
+  // it) between two renders of a golden case must not move a byte of the
+  // render, because the engine never touches the simulator's partition
+  // streams.
+  const GoldenCase* c = FindGoldenCase("etcd");
+  ASSERT_NE(c, nullptr);
+  const std::string path = std::string(DICHO_GOLDEN_DIR) + "/etcd.json";
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty()) << "missing baseline " << path;
+  EXPECT_EQ(expected, c->run());
+
+  workload::ArrivalConfig acfg;
+  acfg.base_rate_tps = 500.0;
+  acfg.flash_count = 2;
+  acfg.diurnal_amplitude = 0.4;
+  acfg.hot_rotation_period = 1 * sim::kSec;
+  workload::ArrivalEngine engine(acfg, 4242);
+  sim::Time now = 0;
+  for (int i = 0; i < 500; i++) now = engine.Next(now).time;
+  ASSERT_GT(now, 0.0);
+
+  EXPECT_EQ(expected, c->run())
+      << "an arrival engine running beside a golden world changed its bytes";
 }
 
 std::string CaseName(const ::testing::TestParamInfo<GoldenCase>& info) {

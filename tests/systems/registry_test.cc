@@ -89,6 +89,46 @@ TEST(SystemRegistryTest, HybridDesignFlowsThrough) {
   EXPECT_EQ(system->config().num_nodes, 3u);
 }
 
+TEST(SystemRegistryTest, DefaultAdmissionBuildsTheBareSystem) {
+  // kNone must return the concrete system itself — no decorator in the
+  // object graph, so pre-admission behavior (and every golden baseline) is
+  // structurally unchanged, and MakeSystemAs' static_cast stays valid.
+  RegistryWorld w;
+  auto system = MakeSystem("etcd", &w.sim, &w.net, &w.costs);
+  ASSERT_NE(system, nullptr);
+  EXPECT_EQ(dynamic_cast<systems::runtime::AdmissionGate*>(system.get()),
+            nullptr);
+}
+
+TEST(SystemRegistryTest, AdmissionPolicyWrapsAnyRegistryName) {
+  for (const char* name : {"quorum-raft", "fabric", "etcd"}) {
+    RegistryWorld w;
+    SystemOverrides overrides;
+    overrides.admission.policy =
+        systems::runtime::AdmissionPolicy::kRejectNewest;
+    overrides.admission.max_inflight = 4;
+    auto system = MakeSystem(name, &w.sim, &w.net, &w.costs, overrides);
+    ASSERT_NE(system, nullptr) << name;
+    auto* gate = dynamic_cast<systems::runtime::AdmissionGate*>(system.get());
+    ASSERT_NE(gate, nullptr) << name;
+    // The gate is transparent for identity: name() forwards to the inner
+    // system so benches and metrics keep their labels.
+    EXPECT_EQ(system->name(), gate->inner()->name());
+  }
+}
+
+TEST(AdmissionPolicyNameTest, CoversEveryPolicy) {
+  using systems::runtime::AdmissionPolicy;
+  using systems::runtime::AdmissionPolicyName;
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicy::kNone), "none");
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicy::kRejectNewest),
+               "reject-newest");
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicy::kFeePriority),
+               "fee-priority");
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicy::kTargetDelay),
+               "target-delay");
+}
+
 TEST(TransportKindNameTest, CoversEveryKind) {
   using systems::runtime::TransportKind;
   using systems::runtime::TransportKindName;

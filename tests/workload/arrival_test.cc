@@ -1,0 +1,248 @@
+// Property tests for the open-loop arrival engine: Poisson interarrival
+// statistics, diurnal mass conservation, flash-crowd placement and
+// amplitude, hot-set drift coverage, tenant-mix proportions, and the
+// determinism contract (byte-identical sequences across reruns and
+// DICHO_SIM_THREADS settings).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/arrival.h"
+
+namespace dicho::workload {
+namespace {
+
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("DICHO_SIM_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    setenv("DICHO_SIM_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      setenv("DICHO_SIM_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("DICHO_SIM_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// Renders the first `n` arrivals as one string — the byte-identity probe.
+std::string RenderArrivals(const ArrivalConfig& config, uint64_t seed,
+                           size_t n) {
+  ArrivalEngine engine(config, seed);
+  std::string out;
+  sim::Time now = 0;
+  char buf[128];
+  for (size_t i = 0; i < n; i++) {
+    Arrival arrival = engine.Next(now);
+    snprintf(buf, sizeof(buf), "%.17g|%u|%.17g|%llu\n", arrival.time,
+             arrival.tenant, arrival.fee,
+             static_cast<unsigned long long>(arrival.key_index));
+    out += buf;
+    now = arrival.time;
+  }
+  return out;
+}
+
+TEST(ArrivalPoissonTest, InterarrivalMeanAndVarianceMatchRate) {
+  ArrivalConfig config;
+  config.base_rate_tps = 1000.0;  // homogeneous: no diurnal, no crowds
+  ArrivalEngine engine(config, 7);
+
+  const size_t kSamples = 50000;
+  std::vector<double> gaps;
+  gaps.reserve(kSamples);
+  sim::Time now = 0;
+  for (size_t i = 0; i < kSamples; i++) {
+    Arrival arrival = engine.Next(now);
+    gaps.push_back(arrival.time - now);
+    now = arrival.time;
+  }
+  double mean = 0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+
+  // Exponential(1/rate): mean = 1000 us, variance = mean^2 (CV = 1).
+  const double expected_mean = sim::kSec / config.base_rate_tps;
+  EXPECT_NEAR(mean, expected_mean, 0.03 * expected_mean);
+  double cv2 = var / (mean * mean);
+  EXPECT_NEAR(cv2, 1.0, 0.05);
+}
+
+TEST(ArrivalDiurnalTest, CurveConservesMassOverWholePeriods) {
+  ArrivalConfig config;
+  config.base_rate_tps = 500.0;
+  config.diurnal_amplitude = 0.6;
+  config.diurnal_period = 10 * sim::kSec;
+  ArrivalEngine engine(config, 1);
+
+  // Numerically integrate rate(t) over one full period: the sinusoid must
+  // contribute zero net mass, leaving exactly base_rate x period.
+  const int kSteps = 100000;
+  const double dt = config.diurnal_period / kSteps;
+  double mass = 0;
+  for (int i = 0; i < kSteps; i++) {
+    mass += engine.RateAt((i + 0.5) * dt) * dt / sim::kSec;
+  }
+  const double expected =
+      config.base_rate_tps * (config.diurnal_period / sim::kSec);
+  EXPECT_NEAR(mass, expected, 1e-6 * expected);
+
+  // The curve actually modulates: peak and trough hit base x (1 +/- A).
+  EXPECT_NEAR(engine.RateAt(config.diurnal_period / 4),
+              config.base_rate_tps * 1.6, 1e-6);
+  EXPECT_NEAR(engine.RateAt(3 * config.diurnal_period / 4),
+              config.base_rate_tps * 0.4, 1e-6);
+  EXPECT_LE(engine.RateAt(config.diurnal_period / 4),
+            engine.MaxRate() + 1e-9);
+}
+
+TEST(ArrivalFlashCrowdTest, SeedDrawnCrowdsLandInHorizonWithAmplitude) {
+  ArrivalConfig config;
+  config.base_rate_tps = 200.0;
+  config.flash_count = 3;
+  config.flash_amplitude = 5.0;
+  config.flash_duration = 1 * sim::kSec;
+  config.horizon = 30 * sim::kSec;
+  ArrivalEngine engine(config, 21);
+
+  const auto& crowds = engine.flash_crowds();
+  ASSERT_EQ(crowds.size(), 3u);
+  sim::Time prev_start = -1;
+  for (const FlashCrowd& crowd : crowds) {
+    EXPECT_GE(crowd.start, 0.0);
+    EXPECT_LT(crowd.start, config.horizon);
+    EXPECT_EQ(crowd.duration, config.flash_duration);
+    EXPECT_EQ(crowd.amplitude, config.flash_amplitude);
+    EXPECT_GE(crowd.start, prev_start) << "crowds must be sorted by start";
+    prev_start = crowd.start;
+  }
+
+  // Inside a crowd (and away from the others) the rate is base x amplitude;
+  // far from every crowd it is the base rate.
+  const FlashCrowd& first = crowds.front();
+  double in_crowd = engine.RateAt(first.start + first.duration / 2);
+  EXPECT_GE(in_crowd, config.base_rate_tps * config.flash_amplitude - 1e-6);
+
+  sim::Time calm = config.horizon;  // crowds are drawn strictly inside
+  for (const FlashCrowd& crowd : crowds) {
+    EXPECT_GT(calm, crowd.start + crowd.duration);
+  }
+  EXPECT_NEAR(engine.RateAt(calm + 1), config.base_rate_tps, 1e-6);
+}
+
+TEST(ArrivalFlashCrowdTest, ArrivalCountSurgesInsideTheCrowd) {
+  ArrivalConfig config;
+  config.base_rate_tps = 300.0;
+  config.flash_crowds = {{5 * sim::kSec, 2 * sim::kSec, 6.0}};
+  ArrivalEngine engine(config, 33);
+
+  uint64_t inside = 0, before = 0;
+  sim::Time now = 0;
+  while (now < 7 * sim::kSec) {
+    Arrival arrival = engine.Next(now);
+    now = arrival.time;
+    if (now >= 5 * sim::kSec && now < 7 * sim::kSec) inside++;
+    if (now < 5 * sim::kSec) before++;
+  }
+  // Expected: 5 s x 300 tps = 1500 before, 2 s x 1800 tps = 3600 inside.
+  EXPECT_NEAR(static_cast<double>(before), 1500.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(inside), 3600.0, 300.0);
+}
+
+TEST(ArrivalDriftTest, HotSetRotatesAndCoversTheKeyspace) {
+  ArrivalConfig config;
+  config.record_count = 64;
+  config.zipf_theta = 0.99;  // sharply skewed: rank 0 dominates
+  config.hot_rotation_period = 1 * sim::kSec;
+  config.hot_rotation_step = 16;
+  ArrivalEngine engine(config, 5);
+
+  EXPECT_EQ(engine.HotOffset(0), 0u);
+  EXPECT_EQ(engine.HotOffset(1.5 * sim::kSec), 16u);
+  EXPECT_EQ(engine.HotOffset(3.2 * sim::kSec), 48u);
+  // The offset wraps modulo record_count.
+  EXPECT_EQ(engine.HotOffset(4.5 * sim::kSec), 0u);
+
+  // Sampling across 4 rotation epochs must spread the hot mass onto all 4
+  // rotated hot heads; a static hot set concentrates on one.
+  std::set<uint64_t> hot_heads_hit;
+  for (int epoch = 0; epoch < 4; epoch++) {
+    sim::Time t = (epoch + 0.5) * sim::kSec;
+    for (int i = 0; i < 200; i++) {
+      uint64_t key = engine.SampleKeyIndex(t);
+      ASSERT_LT(key, config.record_count);
+      if (key == engine.HotOffset(t)) hot_heads_hit.insert(key);
+    }
+  }
+  EXPECT_EQ(hot_heads_hit.size(), 4u)
+      << "each epoch's rotated head must receive traffic";
+}
+
+TEST(ArrivalTenantTest, MixFollowsWeightsAndStampsFees) {
+  ArrivalConfig config;
+  config.base_rate_tps = 2000.0;
+  config.tenants = {{"retail", "ycsb", 3.0, 2.5}, {"batch", "ycsb", 1.0, 0.5}};
+  ArrivalEngine engine(config, 11);
+
+  uint64_t counts[2] = {0, 0};
+  sim::Time now = 0;
+  const size_t kSamples = 20000;
+  for (size_t i = 0; i < kSamples; i++) {
+    Arrival arrival = engine.Next(now);
+    now = arrival.time;
+    ASSERT_LT(arrival.tenant, 2u);
+    counts[arrival.tenant]++;
+    EXPECT_EQ(arrival.fee, arrival.tenant == 0 ? 2.5 : 0.5);
+  }
+  double retail_share =
+      static_cast<double>(counts[0]) / static_cast<double>(kSamples);
+  EXPECT_NEAR(retail_share, 0.75, 0.02);
+}
+
+TEST(ArrivalDeterminismTest, ByteIdenticalAcrossRerunsAndThreadSettings) {
+  ArrivalConfig config;
+  config.base_rate_tps = 400.0;
+  config.diurnal_amplitude = 0.3;
+  config.diurnal_period = 5 * sim::kSec;
+  config.flash_count = 2;
+  config.flash_amplitude = 4.0;
+  config.flash_duration = 500 * sim::kMs;
+  config.horizon = 20 * sim::kSec;
+  config.record_count = 128;
+  config.hot_rotation_period = 2 * sim::kSec;
+  config.tenants = {{"a", "ycsb", 1.0, 1.0}, {"b", "ycsb", 1.0, 2.0}};
+
+  const std::string baseline = RenderArrivals(config, 99, 2000);
+  ASSERT_FALSE(baseline.empty());
+  // Rerun identity: the engine owns all of its randomness.
+  EXPECT_EQ(baseline, RenderArrivals(config, 99, 2000));
+  // A different seed must actually change the plan.
+  EXPECT_NE(baseline, RenderArrivals(config, 100, 2000));
+  // Thread-count invariance: the engine never touches the simulator's
+  // partition streams, so the env knob must not change a byte.
+  for (const char* threads : {"1", "2", "hw"}) {
+    ScopedThreadsEnv env(threads);
+    EXPECT_EQ(baseline, RenderArrivals(config, 99, 2000))
+        << "arrival plan diverged with DICHO_SIM_THREADS=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dicho::workload
