@@ -26,6 +26,7 @@
 #include "systems/etcd.h"
 #include "systems/fabric.h"
 #include "systems/harmonylike.h"
+#include "systems/harmonyshard.h"
 #include "systems/quorum.h"
 #include "systems/runtime/registry.h"
 #include "systems/spannerlike.h"
@@ -171,6 +172,20 @@ inline std::unique_ptr<systems::FabricSystem> MakeFabric(
   return MakeStarted<systems::FabricSystem>(w, "fabric", overrides);
 }
 
+/// The Fig 14 --scale harmonyshard configuration: `shards` shards of 3
+/// replicas behind a 3-node global sequencer. 20ms epochs — the 50ms
+/// default is a latency default; at a saturating client count the epoch
+/// cut must not be the artificial throughput ceiling.
+inline std::unique_ptr<systems::HarmonyShardSystem> MakeHarmonyShard(
+    World* w, uint32_t shards) {
+  systems::runtime::SystemOverrides overrides;
+  overrides.nodes = shards;  // shard count
+  overrides.aux_nodes = 3;   // replicas per shard
+  overrides.block_interval = 20 * sim::kMs;
+  return MakeStarted<systems::HarmonyShardSystem>(w, "harmonyshard",
+                                                  overrides);
+}
+
 inline std::unique_ptr<systems::TidbSystem> MakeTidb(World* w,
                                                      uint32_t servers,
                                                      uint32_t tikv,
@@ -234,6 +249,93 @@ workload::RunMetrics RunYcsb(World* w, System* system,
   workload::Driver driver(
       &w->sim, system, [&workload] { return workload.NextTxn(); },
       [&workload] { return workload.NextRead(); }, dcfg);
+  return driver.Run();
+}
+
+/// Two-record RMW workload with an exact cross-shard-ratio knob: every txn
+/// touches two distinct records — in two different shards with probability
+/// `cross_ratio`, in the same shard otherwise. Key->shard assignment is the
+/// same hash partitioning every sharded system under test uses, so "20%
+/// cross-shard" means the same fraction of distributed transactions for
+/// each. Shared between the Fig 14 --scale comparison and the Fig 15
+/// out-of-sample forecast row (same recipe => the number being predicted is
+/// the number the sharding bench records).
+class CrossRatioWorkload {
+ public:
+  static constexpr uint64_t kRecordCount = 10000;
+
+  CrossRatioWorkload(uint32_t num_shards, double cross_ratio, uint64_t seed)
+      : partitioner_(num_shards),
+        cross_ratio_(cross_ratio),
+        rng_(seed),
+        by_shard_(num_shards) {
+    for (uint64_t i = 0; i < kRecordCount; i++) {
+      by_shard_[partitioner_.ShardOf(KeyAt(i))].push_back(i);
+    }
+  }
+
+  static std::string KeyAt(uint64_t index) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "user%010llu",
+             static_cast<unsigned long long>(index));
+    return buf;
+  }
+
+  std::string RandomValue() { return rng_.Bytes(1000); }
+
+  core::TxnRequest NextTxn() {
+    core::TxnRequest req;
+    req.txn_id = next_txn_id_++;
+    req.client_id = rng_.Uniform(64);
+    req.contract = "ycsb";
+    uint32_t s1 = static_cast<uint32_t>(rng_.Uniform(by_shard_.size()));
+    uint32_t s2 = s1;
+    if (by_shard_.size() > 1 && rng_.NextDouble() < cross_ratio_) {
+      while (s2 == s1) {
+        s2 = static_cast<uint32_t>(rng_.Uniform(by_shard_.size()));
+      }
+    }
+    uint64_t k1 = Pick(s1);
+    uint64_t k2 = Pick(s2);
+    while (k2 == k1) k2 = Pick(s2);
+    for (uint64_t k : {k1, k2}) {
+      core::Op op;
+      op.type = core::OpType::kReadModifyWrite;
+      op.key = KeyAt(k);
+      op.value = RandomValue();
+      req.ops.push_back(std::move(op));
+    }
+    return req;
+  }
+
+ private:
+  uint64_t Pick(uint32_t shard) {
+    const std::vector<uint64_t>& bucket = by_shard_[shard];
+    return bucket[rng_.Uniform(bucket.size())];
+  }
+
+  sharding::HashPartitioner partitioner_;
+  double cross_ratio_;
+  Rng rng_;
+  std::vector<std::vector<uint64_t>> by_shard_;
+  uint64_t next_txn_id_ = 1;
+};
+
+/// One Fig 14 --scale cell: load, then drive `clients` closed-loop clients
+/// of the cross-ratio workload for 1s warmup + 5s measurement.
+template <typename System>
+workload::RunMetrics RunCrossRatio(World* w, System* system, uint32_t shards,
+                                   double cross_ratio, size_t clients) {
+  CrossRatioWorkload workload(shards, cross_ratio, /*seed=*/7);
+  for (uint64_t i = 0; i < CrossRatioWorkload::kRecordCount; i++) {
+    system->Load(CrossRatioWorkload::KeyAt(i), workload.RandomValue());
+  }
+  workload::DriverConfig dcfg;
+  dcfg.num_clients = clients;
+  dcfg.warmup = 1 * sim::kSec;
+  dcfg.measure = 5 * sim::kSec;
+  workload::Driver driver(&w->sim, system,
+                          [&workload] { return workload.NextTxn(); }, dcfg);
   return driver.Run();
 }
 

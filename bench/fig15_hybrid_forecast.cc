@@ -9,6 +9,10 @@
 //      order-then-deterministic-execute model sits outside the paper's six
 //      hybrids, so its taxonomy-only prediction vs the measured saturation
 //      peak is an out-of-sample check of the framework.
+//   4. Forecast accuracy on the harmonyshard design point: the sharded
+//      fusion adds the shard_scaling / cross_shard_forward_penalty factors;
+//      the prediction is checked against the exact Fig 14 --scale cell
+//      (4 shards, 20% cross-shard) that BENCH_sharding.json records.
 
 #include <algorithm>
 
@@ -133,7 +137,7 @@ void Run() {
     fflush(stdout);
   }
 
-  PrintHeader("Fig 15 (3/3): forecast accuracy on the harmonylike design point");
+  PrintHeader("Fig 15 (3/4): forecast accuracy on the harmonylike design point");
   // Measured under the ablation_deterministic peak setup: uniform keys,
   // open-loop arrival far above capacity so the epoch pipeline saturates.
   World hw;
@@ -151,6 +155,30 @@ void Run() {
       measured > 0 ? (f.expected_tps - measured) / measured * 100 : 0;
   printf("%-20s %9.0f tps %9.0f tps  (error %+.1f%%)\n", "harmonylike",
          measured, f.expected_tps, err_pct);
+
+  PrintHeader(
+      "Fig 15 (4/4): forecast accuracy on the harmonyshard design point");
+  // The exact Fig 14 --scale cell BENCH_sharding.json records: 4 shards,
+  // 20% cross-shard transactions, 1024 saturating closed-loop clients.
+  const uint32_t kShards = 4;
+  const double kCrossRatio = 0.2;
+  World sw;
+  auto harmonyshard = MakeHarmonyShard(&sw, kShards);
+  double shard_measured =
+      RunCrossRatio(&sw, harmonyshard.get(), kShards, kCrossRatio,
+                    /*clients=*/1024)
+          .throughput_tps;
+  hybrid::Forecast sf = forecaster.Predict(
+      hybrid::HarmonyshardDescriptor(kShards, kCrossRatio));
+  const double shard_err_pct =
+      shard_measured > 0 ? (sf.expected_tps - shard_measured) /
+                               shard_measured * 100
+                         : 0;
+  printf("%-20s %9.0f tps %9.0f tps  (error %+.1f%%)%s\n", "harmonyshard",
+         shard_measured, sf.expected_tps, shard_err_pct,
+         shard_err_pct > 10 || shard_err_pct < -10
+             ? "  ** outside +-10% **"
+             : "");
 }
 
 }  // namespace

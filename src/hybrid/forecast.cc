@@ -1,5 +1,6 @@
 #include "hybrid/forecast.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace dicho::hybrid {
@@ -46,6 +47,12 @@ Forecast ThroughputForecaster::Predict(const SystemDescriptor& system) const {
   }
   if (system.ledger == LedgerAbstraction::kChain) {
     tps *= factors_.ledger_factor;
+  }
+  if (system.sharding && system.shards > 1) {
+    tps *= std::pow(static_cast<double>(system.shards),
+                    factors_.shard_scaling);
+    tps /= 1 + factors_.cross_shard_forward_penalty *
+                   system.cross_shard_fraction;
   }
   Forecast f;
   f.expected_tps = tps;

@@ -40,6 +40,16 @@ struct ForecastFactors {
   /// peak (bench/ablation_deterministic).
   double deterministic_factor = 1.6;
   double ledger_factor = 0.85;
+  /// Sharded deployments (descriptor.shards > 1): throughput grows as
+  /// shards^shard_scaling — sublinear because the global sequencing round
+  /// and the epoch dissemination bytes don't shard — and every cross-shard
+  /// transaction pays a one-shot ReadForward wave, modeled as dividing by
+  /// (1 + penalty x cross_shard_fraction). Calibrated against the measured
+  /// Fig 14 --scale sweep (BENCH_sharding.json): sqrt scaling plus a 1.5
+  /// forward penalty lands within +-10% of harmonyshard's measured 4-shard
+  /// 20%-cross cell.
+  double shard_scaling = 0.5;
+  double cross_shard_forward_penalty = 1.5;
 };
 
 struct Forecast {

@@ -165,6 +165,17 @@ SystemDescriptor HarmonylikeDescriptor() {
   return d;
 }
 
+SystemDescriptor HarmonyshardDescriptor(uint32_t shards,
+                                        double cross_shard_fraction) {
+  SystemDescriptor d = HarmonylikeDescriptor();
+  d.name = "harmonyshard";
+  d.category = "Fused (sharded, epoch-sequenced)";
+  d.sharding = true;
+  d.shards = shards;
+  d.cross_shard_fraction = cross_shard_fraction;
+  return d;
+}
+
 std::string RenderTaxonomyTable(const std::vector<SystemDescriptor>& rows) {
   std::string out;
   char buf[512];

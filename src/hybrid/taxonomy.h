@@ -1,6 +1,7 @@
 #ifndef DICHO_HYBRID_TAXONOMY_H_
 #define DICHO_HYBRID_TAXONOMY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,15 @@ struct SystemDescriptor {
   /// Throughput reported in its paper (tps), 0 if unknown — used to check
   /// the forecaster's ranking (Fig. 15).
   double reported_tps = 0;
+  /// Sharded deployment shape, for designs forecast at a concrete scale:
+  /// number of shards (0 = unsharded / unknown, leaves the forecast
+  /// untouched) and the fraction of transactions touching more than one
+  /// shard. Declared after reported_tps so Table 2's positional
+  /// initializers keep their meaning; those rows keep the defaults — only
+  /// design points being predicted against a measured sharded run set
+  /// these.
+  uint32_t shards = 0;
+  double cross_shard_fraction = 0;
 };
 
 /// The full Table 2: every system the paper classifies, as data.
@@ -90,6 +100,12 @@ std::vector<SystemDescriptor> Figure15Hybrids();
 /// multi-lane execution, ledger + MPT state. Shared by the forecast bench
 /// and tests so the descriptor can't drift from the implementation.
 SystemDescriptor HarmonylikeDescriptor();
+
+/// Taxonomy point of the sharded fusion (src/systems/harmonyshard.h):
+/// harmonylike's column choices plus hash sharding without 2PC, pinned at a
+/// concrete deployment shape for the Fig 15 out-of-sample accuracy row.
+SystemDescriptor HarmonyshardDescriptor(uint32_t shards,
+                                        double cross_shard_fraction);
 
 /// Renders descriptors as an aligned text table (bench table2_taxonomy).
 std::string RenderTaxonomyTable(const std::vector<SystemDescriptor>& rows);

@@ -31,6 +31,7 @@ AhlSystem::AhlSystem(sim::Simulator* sim, sim::SimNetwork* net,
       costs_(costs),
       config_(config),
       partitioner_(config.num_shards),
+      planner_(&partitioner_),
       shard_state_(config.num_shards),
       contracts_(contract::ContractRegistry::CreateDefault()) {
   runtime::TransportConfig bft_transport;
@@ -110,16 +111,15 @@ void AhlSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {
     return;
   }
 
-  std::set<uint32_t> shard_set;
-  for (const auto& key : contract::StaticKeySet(request)) {
-    shard_set.insert(partitioner_.ShardOf(key));
-  }
-  if (shard_set.empty()) shard_set.insert(0);
-  if (shard_set.size() == 1) {
-    SubmitSingleShard(txn, *shard_set.begin());
+  // Routing via the shared layered planner: plan.shards is the sorted
+  // distinct shard list the old per-system std::set computed.
+  sharding::TxnShardPlan plan = planner_.Plan(txn->request);
+  if (!plan.cross_shard()) {
+    shard_stats_.single_shard_txns++;
+    SubmitSingleShard(txn, plan.home());
   } else {
-    SubmitCrossShard(txn,
-                     std::vector<uint32_t>(shard_set.begin(), shard_set.end()));
+    shard_stats_.cross_shard_txns++;
+    SubmitCrossShard(txn, plan.shards);
   }
 }
 
@@ -153,6 +153,7 @@ void AhlSystem::SubmitCrossShard(std::shared_ptr<PendingTxn> txn,
       config_.client_node, committee_entry->id(),
       txn->request.PayloadBytes() + 96,
       [this, txn, committee_entry, cmd, prepare_cmd, shards]() mutable {
+        shard_stats_.two_pc_rounds++;  // committee prepare consensus
         committee_entry->Submit(prepare_cmd, [this, txn, cmd, shards](
                                                  Status s, uint64_t) {
           if (!s.ok()) {
@@ -175,6 +176,7 @@ void AhlSystem::SubmitCrossShard(std::shared_ptr<PendingTxn> txn,
               // Commit decision through the committee.
               consensus::BftNode* committee_entry2 =
                   committee_->bft()->all()[0];
+              shard_stats_.two_pc_rounds++;  // committee commit consensus
               committee_entry2->Submit(
                   "commit:" + std::to_string(txn->request.txn_id),
                   [this, txn](Status decision, uint64_t) {

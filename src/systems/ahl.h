@@ -10,6 +10,7 @@
 #include "contract/contract.h"
 #include "core/types.h"
 #include "sharding/partition.h"
+#include "sharding/runtime.h"
 #include "sim/cost_model.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -62,6 +63,9 @@ class AhlSystem : public core::TransactionalSystem {
   }
   uint64_t reconfigurations() const { return reconfigurations_; }
   bool InReconfiguration() const { return reconfiguring_; }
+  const sharding::ShardingStats& sharding_stats() const {
+    return shard_stats_;
+  }
 
  private:
   struct PendingTxn {
@@ -83,6 +87,10 @@ class AhlSystem : public core::TransactionalSystem {
   const sim::CostModel* costs_;
   AhlConfig config_;
   sharding::HashPartitioner partitioner_;
+  /// Routing through the shared layered API; BFT 2PC is this system's
+  /// coordination strategy behind it.
+  sharding::ShardPlanner planner_;
+  sharding::ShardingStats shard_stats_;
   /// One BFT transport per shard plus the reference committee, all built
   /// through the shared transport layer (raw bft() access for entry-node
   /// submits).

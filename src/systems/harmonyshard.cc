@@ -1,0 +1,250 @@
+#include "systems/harmonyshard.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace dicho::systems {
+
+HarmonyShardSystem::HarmonyShardSystem(sim::Simulator* sim,
+                                       sim::SimNetwork* net,
+                                       const sim::CostModel* costs,
+                                       HarmonyShardConfig config)
+    : sim_(sim),
+      net_(net),
+      costs_(costs),
+      config_(config),
+      partitioner_(config_.num_shards == 0 ? 1 : config_.num_shards),
+      planner_(&partitioner_),
+      contracts_(contract::ContractRegistry::CreateDefault()),
+      inflight_(&stats_.stages) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+
+  sharding::EpochSequencer::Config seq;
+  seq.base = runtime::kHarmonyShardBase;
+  seq.num_nodes = config_.sequencer_nodes;
+  seq.bft = config_.bft;
+  seq.epoch_interval = config_.epoch_interval;
+  seq.max_epoch_txns = config_.max_epoch_txns;
+  seq.max_epoch_bytes = config_.max_epoch_bytes;
+  seq.raft = config_.raft;
+  seq.bft_config = config_.bft_config;
+  sequencer_ = std::make_unique<sharding::EpochSequencer>(
+      sim, net, costs, seq, &stats_.stages,
+      [this](const core::TxnRequest& request) {
+        if (PendingTxn* pending = inflight_.Find(request.txn_id)) {
+          pending->proposed_time = sim_->Now();
+        }
+      },
+      [this](sharding::EpochBatch batch) {
+        OnEpochOrdered(std::move(batch));
+      });
+
+  for (uint32_t s = 0; s < config_.num_shards; s++) {
+    sharding::ShardExecutor::Config shard;
+    shard.shard = s;
+    shard.base = runtime::kHarmonyShardBase + config_.sequencer_nodes +
+                 s * config_.nodes_per_shard;
+    shard.num_nodes = config_.nodes_per_shard;
+    shard.bft = config_.bft;
+    shard.exec_lanes = config_.exec_lanes;
+    shard.raft = config_.raft;
+    shard.bft_config = config_.bft_config;
+    shard.record_payloads = config_.record_payloads;
+    shards_.push_back(std::make_unique<sharding::ShardExecutor>(
+        sim, net, costs, &planner_, contracts_.get(), shard, &shard_stats_,
+        [this](uint32_t shard_id, const sharding::EpochBatch& batch,
+               const txn::EpochOutcome& outcome, sim::Time ordered_time) {
+          OnShardApplied(shard_id, batch, outcome, ordered_time);
+        }));
+  }
+  std::vector<sharding::ShardExecutor*> peers;
+  for (auto& shard : shards_) peers.push_back(shard.get());
+  for (auto& shard : shards_) shard->ConnectPeers(peers);
+
+  // Epoch dissemination tree: the sequencer's fixed distributor replica
+  // feeds shard 0, and each shard's entry replica relays the payload to
+  // shards 2i+1 / 2i+2 on receipt. Exactly-once per link (partitions delay
+  // a link's retransmits, they cannot lose an epoch); a severed interior
+  // shard delays its subtree until the partition heals, which the
+  // shard_epoch fuzz scenario exercises.
+  for (uint32_t s = 0; s < config_.num_shards; s++) {
+    sim::NodeId from = s == 0 ? sequencer_->DistributorId()
+                              : shards_[(s - 1) / 2]->EntryId();
+    epoch_links_.push_back(std::make_unique<sharding::ReliableLink>(
+        sim, net, from, shards_[s]->EntryId(),
+        [this, s](uint64_t, const std::string& payload) {
+          OnEpochRelay(s, payload);
+        }));
+  }
+
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    runtime::RegisterSystemStats(registry, "harmonyshard", &stats_);
+    inflight_.AttachMetrics(registry, "harmonyshard.inflight");
+    registry->GetCallbackGauge("harmonyshard.epochs_ordered", [this] {
+      return static_cast<double>(shard_stats_.epochs_ordered);
+    });
+    registry->GetCallbackGauge("harmonyshard.cross_shard_txns", [this] {
+      return static_cast<double>(shard_stats_.cross_shard_txns);
+    });
+    registry->GetCallbackGauge("harmonyshard.read_forwards", [this] {
+      return static_cast<double>(shard_stats_.read_forwards);
+    });
+    registry->GetCallbackGauge("harmonyshard.two_pc_rounds", [this] {
+      return static_cast<double>(shard_stats_.two_pc_rounds);
+    });
+  }
+}
+
+void HarmonyShardSystem::Start() {
+  sequencer_->Start();
+  for (auto& shard : shards_) shard->Start();
+}
+
+uint64_t HarmonyShardSystem::ForwardRetransmits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->ForwardRetransmits();
+  for (const auto& link : epoch_links_) total += link->retransmits();
+  return total;
+}
+
+std::vector<sim::NodeId> HarmonyShardSystem::AllNodeIds() const {
+  std::vector<sim::NodeId> ids = sequencer_->node_ids();
+  for (const auto& shard : shards_) {
+    ids.insert(ids.end(), shard->node_ids().begin(), shard->node_ids().end());
+  }
+  return ids;
+}
+
+void HarmonyShardSystem::OnEpochOrdered(sharding::EpochBatch batch) {
+  shard_stats_.epochs_ordered++;
+  epoch_links_[0]->Send(batch.Serialize());
+}
+
+void HarmonyShardSystem::OnEpochRelay(uint32_t shard,
+                                      const std::string& payload) {
+  for (uint32_t child : {2 * shard + 1, 2 * shard + 2}) {
+    if (child < config_.num_shards) epoch_links_[child]->Send(payload);
+  }
+  shards_[shard]->DeliverEpoch(payload);
+}
+
+void HarmonyShardSystem::OnShardApplied(uint32_t shard,
+                                        const sharding::EpochBatch& batch,
+                                        const txn::EpochOutcome& outcome,
+                                        sim::Time ordered_time) {
+  // Runs on the shard's entry replica once the slice makespan has drained.
+  // Each transaction completes from its *home* shard (the lowest involved
+  // shard id), so every outcome reaches the client exactly once even though
+  // all active shards execute the full batch.
+  sim::NodeId entry = shards_[shard]->EntryId();
+  for (size_t i = 0; i < batch.txns.size(); i++) {
+    PendingTxn* found = inflight_.Find(batch.txns[i].txn_id);
+    if (found == nullptr || found->home_shard != shard) continue;
+    PendingTxn pending;
+    if (!inflight_.Take(batch.txns[i].txn_id, &pending)) continue;
+    bool valid = i < outcome.results.size() ? outcome.results[i].valid : true;
+    net_->Send(
+        entry, config_.client_node, 64,
+        [this, entry, pending = std::move(pending), valid,
+         ordered_time]() mutable {
+          core::TxnResult result;
+          result.submit_time = pending.submit_time;
+          result.finish_time = sim_->Now();
+          if (pending.proposed_time == 0) {
+            pending.proposed_time = pending.submit_time;
+          }
+          result.phases.Set(core::Phase::kProposal,
+                            pending.proposed_time - pending.submit_time);
+          result.phases.Set(core::Phase::kOrder,
+                            ordered_time - pending.proposed_time);
+          result.phases.Set(core::Phase::kExecute,
+                            result.finish_time - ordered_time);
+          obs::EmitPhaseSpan(sim_, core::Phase::kProposal, entry,
+                             pending.request.txn_id, pending.submit_time,
+                             pending.proposed_time);
+          obs::EmitPhaseSpan(sim_, core::Phase::kOrder, entry,
+                             pending.request.txn_id, pending.proposed_time,
+                             ordered_time);
+          obs::EmitPhaseSpan(sim_, core::Phase::kExecute, entry,
+                             pending.request.txn_id, ordered_time,
+                             result.finish_time);
+          if (valid) {
+            result.status = Status::Ok();
+            stats_.committed++;
+          } else {
+            // The only abort class deterministic execution admits: an
+            // application constraint, identical on every shard.
+            result.status = Status::Aborted("contract aborted");
+            result.reason = core::AbortReason::kConstraint;
+            stats_.aborted++;
+            stats_.aborts_by_reason[result.reason]++;
+          }
+          pending.cb(result);
+        });
+  }
+}
+
+void HarmonyShardSystem::Submit(const core::TxnRequest& request,
+                                core::TxnCallback cb) {
+  sharding::TxnShardPlan plan = planner_.Plan(request);
+  if (plan.cross_shard()) {
+    shard_stats_.cross_shard_txns++;
+  } else {
+    shard_stats_.single_shard_txns++;
+  }
+  PendingTxn pending;
+  pending.request = request;
+  pending.cb = std::move(cb);
+  pending.submit_time = sim_->Now();
+  pending.home_shard = plan.home();
+  // Client sends the signed transaction to the global sequencer's mempool;
+  // routing needs no shard round-trip (planning is pure).
+  net_->Send(config_.client_node, sequencer_->EntryId(),
+             request.PayloadBytes() + 96,
+             [this, pending = std::move(pending)]() mutable {
+               core::TxnRequest request_copy = pending.request;
+               uint64_t txn_id = request_copy.txn_id;
+               inflight_.Insert(txn_id, std::move(pending));
+               sequencer_->Enqueue(std::move(request_copy));
+             });
+}
+
+void HarmonyShardSystem::Query(const core::ReadRequest& request,
+                               core::ReadCallback cb) {
+  stats_.queries++;
+  sim::Time submit_time = sim_->Now();
+  uint32_t shard = partitioner_.ShardOf(request.key);
+  sim::NodeId target = shards_[shard]->EntryId();
+  net_->Send(config_.client_node, target, 64 + request.key.size(),
+             [this, shard, target, key = request.key, cb = std::move(cb),
+              submit_time]() mutable {
+               // Native read against the owning shard's slice — single-shard
+               // reads never touch another shard.
+               sim::Time cost = costs_->native_op_us + costs_->lsm_read_us;
+               sim_->Schedule(cost, [this, shard, target, key,
+                                     cb = std::move(cb),
+                                     submit_time]() mutable {
+                 std::string value;
+                 Status s = shards_[shard]->state().Get(key, &value);
+                 net_->Send(target, config_.client_node, 64 + value.size(),
+                            [this, target, cb = std::move(cb), submit_time, s,
+                             value = std::move(value)] {
+                              core::ReadResult result;
+                              result.status = s;
+                              result.value = value;
+                              result.submit_time = submit_time;
+                              result.finish_time = sim_->Now();
+                              result.phases.Set(core::Phase::kRead,
+                                                result.finish_time -
+                                                    submit_time);
+                              obs::EmitPhaseSpan(sim_, core::Phase::kRead,
+                                                 target, 0, submit_time,
+                                                 result.finish_time);
+                              cb(result);
+                            });
+               });
+             });
+}
+
+}  // namespace dicho::systems

@@ -8,6 +8,7 @@
 #include "systems/etcd.h"
 #include "systems/fabric.h"
 #include "systems/harmonylike.h"
+#include "systems/harmonyshard.h"
 #include "systems/quorum.h"
 #include "systems/spannerlike.h"
 #include "systems/tidb.h"
@@ -102,6 +103,18 @@ const std::pair<const char*, Factory> kRegistry[] = {
        config.raft.unsafe_commit_without_quorum =
            o.raft_unsafe_commit_without_quorum;
        return std::make_unique<HarmonySystem>(sim, net, costs, config);
+     }},
+    {"harmonyshard",
+     [](sim::Simulator* sim, sim::SimNetwork* net, const sim::CostModel* costs,
+        const SystemOverrides& o)
+         -> std::unique_ptr<core::TransactionalSystem> {
+       HarmonyShardConfig config;
+       if (o.nodes > 0) config.num_shards = o.nodes;
+       if (o.aux_nodes > 0) config.nodes_per_shard = o.aux_nodes;
+       if (o.block_interval > 0) config.epoch_interval = o.block_interval;
+       config.raft.unsafe_commit_without_quorum =
+           o.raft_unsafe_commit_without_quorum;
+       return std::make_unique<HarmonyShardSystem>(sim, net, costs, config);
      }},
     {"hybrid",
      [](sim::Simulator* sim, sim::SimNetwork* net, const sim::CostModel* costs,

@@ -52,7 +52,8 @@ struct SystemOverrides {
 };
 
 /// Constructs a system by registry name: "quorum-raft", "quorum-ibft",
-/// "fabric", "tidb", "etcd", "ahl", "spannerlike", "harmonylike", or
+/// "fabric", "tidb", "etcd", "ahl", "spannerlike", "harmonylike",
+/// "harmonyshard", or
 /// "hybrid" (which requires overrides.hybrid_design). Construction only
 /// — callers decide
 /// when to Start() and how long to warm up. Returns nullptr for unknown

@@ -27,6 +27,7 @@ inline constexpr sim::NodeId kSpannerBase = 600;    // Spanner-like Paxos groups
 inline constexpr sim::NodeId kAhlBase = 700;        // AHL committee + shards
 inline constexpr sim::NodeId kHybridBase = 800;     // fusion-builder nodes
 inline constexpr sim::NodeId kHarmonyBase = 900;    // harmonylike replicas
+inline constexpr sim::NodeId kHarmonyShardBase = 1100;  // harmonyshard sequencer + shards
 
 /// The per-node bundle of one replica set: a contiguous id span plus one
 /// NodeState per id. NodeState is each system's node composition (state +

@@ -32,6 +32,7 @@ SpannerLikeSystem::SpannerLikeSystem(sim::Simulator* sim, sim::SimNetwork* net,
       costs_(costs),
       config_(config),
       partitioner_(config.num_shards),
+      planner_(&partitioner_),
       contracts_(contract::ContractRegistry::CreateDefault()) {
   for (uint32_t s = 0; s < config_.num_shards; s++) {
     auto shard = std::make_unique<Shard>();
@@ -60,12 +61,15 @@ void SpannerLikeSystem::Submit(const core::TxnRequest& request,
   txn->request = request;
   txn->cb = std::move(cb);
   txn->submit_time = sim_->Now();
-  txn->keys = contract::StaticKeySet(request);
-  std::sort(txn->keys.begin(), txn->keys.end());
-  txn->keys.erase(std::unique(txn->keys.begin(), txn->keys.end()),
-                  txn->keys.end());
-  for (const auto& key : txn->keys) {
-    txn->keys_by_shard[partitioner_.ShardOf(key)].push_back(key);
+  // Routing via the shared layered planner: sorted de-duplicated key set
+  // grouped per shard, exactly what the private sort/unique loop built.
+  sharding::TxnShardPlan plan = planner_.Plan(request);
+  txn->keys = std::move(plan.keys);
+  txn->keys_by_shard = std::move(plan.keys_by_shard);
+  if (txn->keys_by_shard.size() > 1) {
+    shard_stats_.cross_shard_txns++;
+  } else {
+    shard_stats_.single_shard_txns++;
   }
   NodeId coord = shards_[0]->leader;
   net_->Send(config_.client_node, coord, request.PayloadBytes() + 64,
@@ -150,6 +154,9 @@ void SpannerLikeSystem::ExecuteAndCommit(TxnPtr txn) {
     return;
   }
 
+  if (writes_by_shard.size() > 1) {
+    shard_stats_.two_pc_rounds += 2;  // cross-shard prepare + commit waves
+  }
   auto phases_left = std::make_shared<size_t>(writes_by_shard.size());
   auto all_writes = std::make_shared<decltype(writes_by_shard)>(
       std::move(writes_by_shard));

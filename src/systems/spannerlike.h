@@ -9,6 +9,7 @@
 #include "contract/contract.h"
 #include "core/types.h"
 #include "sharding/partition.h"
+#include "sharding/runtime.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "systems/runtime/runtime.h"
@@ -49,6 +50,9 @@ class SpannerLikeSystem : public core::TransactionalSystem {
     shards_[partitioner_.ShardOf(key)]->state[key] = value;
   }
   uint64_t lock_waits() const;
+  const sharding::ShardingStats& sharding_stats() const {
+    return shard_stats_;
+  }
 
  private:
   struct Shard {
@@ -84,6 +88,10 @@ class SpannerLikeSystem : public core::TransactionalSystem {
   const sim::CostModel* costs_;
   SpannerConfig config_;
   sharding::HashPartitioner partitioner_;
+  /// Routing through the shared layered API; lock-based 2PC is this
+  /// system's coordination strategy behind it.
+  sharding::ShardPlanner planner_;
+  sharding::ShardingStats shard_stats_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::map<NodeId, std::unique_ptr<sim::CpuResource>> node_cpu_;
   std::unique_ptr<contract::ContractRegistry> contracts_;

@@ -209,6 +209,11 @@ std::string RunHarmony() {
   return RunRegistered("harmonylike", "harmonylike", overrides);
 }
 
+std::string RunHarmonyShard() {
+  // Defaults: 2 shards x 3 nodes + a 3-node global sequencer, 50ms epochs.
+  return RunRegistered("harmonyshard", "harmonyshard", {});
+}
+
 std::string RunHybrid(const hybrid::SystemDescriptor& design,
                       const std::string& case_name) {
   systems::runtime::SystemOverrides overrides;
@@ -338,6 +343,7 @@ const std::vector<GoldenCase>& AllGoldenCases() {
       {"ahl", [] { return RunAhl(); }},
       {"spannerlike", [] { return RunSpanner(); }},
       {"harmonylike", [] { return RunHarmony(); }},
+      {"harmonyshard", [] { return RunHarmonyShard(); }},
       {"hybrid-raft", [] { return RunHybridRaft(); }},
       {"hybrid-bft", [] { return RunHybridBft(); }},
       {"hybrid-sharedlog", [] { return RunHybridSharedLog(); }},

@@ -14,6 +14,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "systems/harmonylike.h"
+#include "systems/harmonyshard.h"
 #include "systems/quorum.h"
 #include "systems/runtime/registry.h"
 #include "testing/nemesis.h"
@@ -778,6 +779,203 @@ ScenarioResult RunTxnScenario(const ScenarioOptions& options) {
   return result;
 }
 
+// --- Cross-shard epoch fusion (harmonyshard) --------------------------------
+
+// Raft shards plus a Raft sequencer group under partitions that sever whole
+// shards mid-epoch (the generated virtual partition over {0..num_shards-1}
+// is mapped onto the real shard node spans; the sequencer and the client
+// ride with shard 0's side), drop bursts, and jitter spikes that lag
+// individual shards' consensus. A two-key RMW stream over a small hot set
+// makes a steady fraction of transactions cross-shard. Invariants:
+//   * epoch atomicity + order agreement — every shard applies exactly the
+//     epoch sequence the sequencer ordered (per-shard digest streams equal
+//     in content and length: an epoch lands on all shards or none);
+//   * zero aborts (deterministic execution, abort-free workload) and zero
+//     2PC rounds (the epoch path has no prepare/decide to count);
+//   * at-most-once completion per transaction;
+//   * replay oracle — re-executing the applied epoch stream on a fresh
+//     global state must reproduce every live shard's MPT root digest;
+//   * liveness — the healed tail must commit transactions.
+ScenarioResult RunShardEpochScenario(const ScenarioOptions& options,
+                                     const ScheduleConfig& sched) {
+  ScenarioResult result;
+  sim::Simulator sim(options.seed);
+  sim::SimNetwork net(&sim, sim::NetworkConfig{});
+  sim::CostModel costs;
+
+  systems::HarmonyShardConfig config;
+  config.num_shards = sched.num_nodes;  // one virtual nemesis node per shard
+  config.nodes_per_shard = 3;
+  config.sequencer_nodes = 3;
+  config.record_payloads = true;  // replay oracle input
+  config.raft.unsafe_commit_without_quorum =
+      options.bug == BugInjection::kRaftCommitWithoutQuorum;
+  systems::HarmonyShardSystem system(&sim, &net, &costs, config);
+  std::vector<std::pair<std::string, std::string>> initial;
+  for (int i = 0; i < 4; i++) {
+    initial.emplace_back("acct" + std::to_string(i), "0");
+    system.Load(initial.back().first, initial.back().second);
+  }
+  system.Start();
+
+  // The generated schedule partitions virtual nodes {0..num_shards-1}; each
+  // virtual node is one whole shard's real id span, so a partition severs
+  // shards from each other (and from the sequencer) without ever splitting
+  // a replication group internally.
+  Nemesis nemesis(&sim, &net, Nemesis::Hooks{});
+  FaultSchedule schedule = GenerateSchedule(options.seed, sched);
+  for (FaultAction& action : schedule.actions) {
+    if (action.kind != FaultAction::Kind::kPartition) continue;
+    std::vector<std::vector<sim::NodeId>> groups;
+    for (const auto& group : action.groups) {
+      std::vector<sim::NodeId> real;
+      bool has_shard0 = false;
+      for (sim::NodeId virtual_id : group) {
+        uint32_t s = static_cast<uint32_t>(virtual_id);
+        if (s >= system.num_shards()) continue;
+        if (s == 0) has_shard0 = true;
+        const auto& ids = system.shard(s).node_ids();
+        real.insert(real.end(), ids.begin(), ids.end());
+      }
+      if (has_shard0) {
+        const auto& seq = system.sequencer().node_ids();
+        real.insert(real.end(), seq.begin(), seq.end());
+        real.push_back(config.client_node);
+      }
+      groups.push_back(std::move(real));
+    }
+    action.groups = std::move(groups);
+  }
+  nemesis.Arm(schedule);
+
+  // Two-key hot-set RMW stream: the keys hash across the shards, so a
+  // steady fraction of transactions touches two shards and exercises the
+  // ReadForward path. The client stops at the quiet tail so every ordered
+  // epoch can settle before the final checks.
+  const sim::Time stop_time =
+      static_cast<sim::Time>(sched.horizon * (1.0 - sched.quiet_tail));
+  uint64_t next_txn = 0;
+  std::map<uint64_t, int> outcomes;
+  std::function<void()> client = [&] {
+    if (sim.Now() >= stop_time) return;
+    core::TxnRequest request;
+    request.txn_id = ++next_txn;
+    request.client_id = 7;
+    request.contract = "ycsb";
+    request.ops.push_back(
+        {core::OpType::kReadModifyWrite, "acct" + std::to_string(next_txn % 4),
+         "v" + std::to_string(next_txn)});
+    request.ops.push_back({core::OpType::kReadModifyWrite,
+                           "acct" + std::to_string((next_txn + 1) % 4),
+                           "w" + std::to_string(next_txn)});
+    uint64_t id = request.txn_id;
+    system.Submit(request, [&result, &outcomes, id](const core::TxnResult&) {
+      if (++outcomes[id] > 1) {
+        result.report.Add("exactly-once", "txn " + std::to_string(id) +
+                                              " resolved more than once");
+      }
+    });
+    sim.Schedule(80 * sim::kMs, client);
+  };
+  sim.Schedule(10 * sim::kMs, client);
+
+  sim.RunUntil(sched.horizon);
+
+  // Epoch atomicity + order agreement: every shard's applied digest stream
+  // must equal shard 0's and count exactly what the sequencer ordered.
+  const uint64_t ordered = system.sequencer().epochs_cut();
+  const auto& digests0 = system.shard(0).epoch_digests();
+  for (uint32_t s = 0; s < system.num_shards(); s++) {
+    const auto& digests = system.shard(s).epoch_digests();
+    if (digests.size() != ordered) {
+      result.report.Add(
+          "epoch-atomicity",
+          "shard " + std::to_string(s) + " applied " +
+              std::to_string(digests.size()) + " epochs but the sequencer " +
+              "ordered " + std::to_string(ordered));
+    }
+    if (s > 0 && digests != digests0) {
+      result.report.Add("epoch-agreement",
+                        "shard " + std::to_string(s) +
+                            " epoch digest stream diverges from shard 0");
+    }
+  }
+
+  if (system.stats().aborted != 0) {
+    result.report.Add("det-aborts",
+                      "deterministic execution reported " +
+                          std::to_string(system.stats().aborted) +
+                          " aborts on an abort-free workload");
+  }
+  if (system.sharding_stats().two_pc_rounds != 0) {
+    result.report.Add("no-2pc",
+                      "epoch path reported " +
+                          std::to_string(system.sharding_stats().two_pc_rounds) +
+                          " 2PC rounds; it must never coordinate");
+  }
+
+  // Replay oracle: re-execute shard 0's applied epoch stream serially on a
+  // fresh global key-value world; rebuilding each shard's MPT from the
+  // final world must reproduce every live shard's root digest (the MPT root
+  // is insertion-order independent, so content equality is exact).
+  {
+    class WorldView : public contract::StateView {
+     public:
+      explicit WorldView(const std::map<std::string, std::string>* world)
+          : world_(world) {}
+      Status Get(const Slice& key, std::string* value) override {
+        auto it = world_->find(key.ToString());
+        if (it == world_->end()) return Status::NotFound();
+        *value = it->second;
+        return Status::Ok();
+      }
+
+     private:
+      const std::map<std::string, std::string>* world_;
+    };
+    std::map<std::string, std::string> world(initial.begin(), initial.end());
+    auto contracts = contract::ContractRegistry::CreateDefault();
+    txn::DeterministicExecutor executor(contracts.get(), &costs,
+                                        config.exec_lanes);
+    for (const std::string& payload : system.shard(0).applied_payloads()) {
+      sharding::EpochBatch batch;
+      if (!sharding::EpochBatch::Deserialize(payload, &batch)) {
+        result.report.Add("replay", "undecodable applied epoch payload");
+        continue;
+      }
+      WorldView view(&world);
+      txn::EpochOutcome outcome = executor.ExecuteEpoch(batch.txns, &view);
+      for (const auto& txn_result : outcome.results) {
+        for (const auto& [key, value] : txn_result.writes) {
+          world[key] = value;
+        }
+      }
+    }
+    for (uint32_t s = 0; s < system.num_shards(); s++) {
+      adt::MerklePatriciaTrie rebuilt;
+      for (const auto& [key, value] : world) {
+        if (system.partitioner().ShardOf(key) == s) rebuilt.Put(key, value);
+      }
+      if (!(rebuilt.RootDigest() == system.shard(s).StateDigest())) {
+        result.report.Add(
+            "state-digest",
+            "shard " + std::to_string(s) +
+                " live MPT root differs from the replay oracle's rebuild");
+      }
+    }
+  }
+
+  result.progress = system.stats().committed;
+  if (result.progress == 0) {
+    result.report.Add("liveness",
+                      "no transaction committed over the whole run "
+                      "(network heals in the quiet tail)");
+  }
+  result.sim_events = sim.executed_events();
+  result.schedule = schedule.ToString();
+  return result;
+}
+
 }  // namespace
 
 const std::vector<Scenario>& AllScenarios() {
@@ -899,6 +1097,20 @@ const std::vector<Scenario>& AllScenarios() {
          sched.horizon = 8 * sim::kSec;
          sched.quiet_tail = 0.35;
          return RunOverloadShedScenario(options, sched);
+       }},
+      {"shard_epoch",
+       "harmonyshard (global sequencer + 3 Raft shards) under partitions "
+       "that sever whole shards mid-epoch, drop bursts and jitter; epoch "
+       "atomicity, digest agreement, zero 2PC rounds, at-most-once "
+       "completions and a global replay oracle checked",
+       [](const ScenarioOptions& options) {
+         ScheduleConfig sched;
+         sched.num_nodes = 3;  // virtual nodes = shards
+         sched.allow_crash = false;
+         sched.max_drop_rate = 0.3;
+         sched.horizon = 8 * sim::kSec;
+         sched.quiet_tail = 0.35;
+         return RunShardEpochScenario(options, sched);
        }},
   };
   return kScenarios;

@@ -80,6 +80,9 @@ struct Scenario {
 ///   overload_shed         flash crowd past Quorum capacity behind a bounded
 ///                         admission gate, under partitions; shed accounting
 ///                         and conservation audited
+///   shard_epoch           harmonyshard cross-shard epochs under partitions
+///                         that sever whole shards mid-epoch; atomicity,
+///                         digest agreement and a replay oracle audited
 const std::vector<Scenario>& AllScenarios();
 const Scenario* FindScenario(const std::string& name);
 

@@ -149,6 +149,7 @@ EpochOutcome DeterministicExecutor::ExecuteEpoch(
   }
 
   outcome.makespan_us = ScheduledMakespan(&outcome.schedule, costs_us, lanes_);
+  outcome.costs_us = std::move(costs_us);
   return outcome;
 }
 

@@ -84,6 +84,10 @@ struct EpochOutcome {
   /// Application constraint aborts (valid == false count). Concurrency
   /// aborts are structurally impossible and have no counter to report.
   uint64_t constraint_aborts = 0;
+  /// Per-transaction service time, parallel to `results`. Lets a sharded
+  /// caller re-derive the makespan of any *slice* of the epoch (the
+  /// transactions touching one shard) without re-pricing the contracts.
+  std::vector<sim::Time> costs_us;
 };
 
 /// Executes one ordered epoch deterministically. State effects are

@@ -21,12 +21,13 @@ struct RegistryWorld {
   sim::CostModel costs;
 };
 
-TEST(SystemRegistryTest, ListsAllEightSystemModels) {
+TEST(SystemRegistryTest, ListsAllRegisteredSystemModels) {
   auto names = systems::runtime::RegisteredSystems();
-  ASSERT_EQ(names.size(), 9u);  // quorum twice (raft + ibft), hybrid once
+  ASSERT_EQ(names.size(), 10u);  // quorum twice (raft + ibft), hybrid once
   EXPECT_EQ(names.front(), "quorum-raft");
   EXPECT_EQ(names.back(), "hybrid");
-  EXPECT_EQ(names[names.size() - 2], "harmonylike");
+  EXPECT_EQ(names[names.size() - 2], "harmonyshard");
+  EXPECT_EQ(names[names.size() - 3], "harmonylike");
 }
 
 TEST(SystemRegistryTest, UnknownNameReturnsNull) {
@@ -45,6 +46,7 @@ TEST(SystemRegistryTest, EveryConcreteSystemConstructsAndReportsItsName) {
       {"fabric", "fabric"},           {"tidb", "tidb"},
       {"etcd", "etcd"},               {"ahl", "ahl"},
       {"spannerlike", "spanner-like"}, {"harmonylike", "harmonylike"},
+      {"harmonyshard", "harmonyshard"},
   };
   for (const auto& [registry_name, system_name] : kExpected) {
     RegistryWorld w;
