@@ -1,0 +1,369 @@
+// Replica-elasticity sweep: what a mid-flash-crowd scale-out costs, per
+// system model, as a function of the snapshot-fold interval.
+//
+// Each cell builds one system with the replica-lifecycle layer enabled,
+// drives a fixed-rate open-loop write crowd, and grows the replica set by
+// one at t=3s — snapshot + delta catch-up transfer, then consensus-level
+// admission (Raft §6 single-server change where the group is Raft-backed).
+// The cell reports the pre-join steady-state throughput, the deepest
+// throughput bin while the join was in flight (the "dip"), the end-to-end
+// catch-up time, the transfer byte/chunk economics, and whether the joiner
+// converged to the elders' state digest once traffic quiesced — the same
+// catch-up-correctness oracle the elasticity fuzz scenarios check.
+//
+// The sweep axis is ElasticityConfig::snapshot_every: longer fold intervals
+// mean a staler snapshot anchor, a longer log tail per transfer, and more
+// rescue rounds when the group compacts past the joiner during admission.
+//
+// Emits BENCH_elasticity.json in the working directory; the copy at the
+// repo root is refreshed when the numbers move (see EXPERIMENTS.md).
+// Output is deterministic across reruns and DICHO_BENCH_THREADS settings:
+// every cell runs in its own seeded world.
+//
+// Usage: bench_elasticity [--quick]
+//   --quick   2 systems, one interval; the CI smoke mode.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "parallel.h"
+
+namespace dicho::bench {
+namespace {
+
+// Traffic shape: blind single-key writes over a small keyspace, so every
+// snapshot interval sees real chunk churn (hot keys rewrite whole buckets)
+// while MVCC systems (fabric) still commit nearly everything.
+constexpr int kKeys = 200;
+constexpr size_t kValueBytes = 100;
+constexpr sim::Time kGap = 2 * sim::kMs;          // 500 tps offered
+constexpr sim::Time kTrafficStart = 1 * sim::kSec;
+constexpr sim::Time kJoinAt = 3 * sim::kSec;
+constexpr sim::Time kBin = 250 * sim::kMs;
+
+struct CellConfig {
+  std::string system;
+  uint64_t snapshot_every = 0;
+};
+
+struct CellResult {
+  bool join_ok = false;
+  bool digest_match = false;
+  double steady_tps = 0;
+  double dip_tps = 0;
+  double dip_ratio = 0;
+  double catchup_ms = 0;
+  uint64_t transfer_bytes = 0;
+  uint64_t chunks_fetched = 0;
+  uint64_t chunks_reused = 0;
+  uint64_t log_entries = 0;
+  uint64_t anchor = 0;
+  uint64_t committed = 0;
+};
+
+core::TxnRequest WriteTxn(uint64_t id) {
+  core::TxnRequest req;
+  req.txn_id = id;
+  req.client_id = id;
+  req.contract = "ycsb";
+  core::Op op;
+  op.type = core::OpType::kWrite;
+  op.key = "key" + std::to_string(id % kKeys);
+  op.value = std::string(kValueBytes, 'a' + static_cast<char>(id % 26));
+  req.ops.push_back(std::move(op));
+  return req;
+}
+
+systems::runtime::ElasticityConfig Elasticity(uint64_t snapshot_every) {
+  systems::runtime::ElasticityConfig elasticity;
+  elasticity.enabled = true;
+  elasticity.snapshot_every = snapshot_every;
+  return elasticity;
+}
+
+/// The per-system hooks the shared traffic loop drives. The concrete
+/// system object lives in the closures.
+struct Adapter {
+  core::TransactionalSystem* system = nullptr;
+  /// Kicks off the replica join; fires `done` once admitted (or failed).
+  std::function<void(std::function<void(const systems::runtime::JoinReport&)>)>
+      add;
+  /// Catch-up-correctness oracle, evaluated after traffic quiesces.
+  std::function<bool()> digest_match;
+  std::function<void()> own;  // keeps the concrete system alive
+};
+
+/// One join-under-load run. The adapter owns the system; the loop owns the
+/// clock: traffic from kTrafficStart, join at kJoinAt, quiesce, verdicts.
+CellResult DriveCell(World* world, const Adapter& adapter, bool quick) {
+  sim::Simulator& sim = world->sim;
+  const sim::Time traffic_end = (quick ? 6 : 9) * sim::kSec;
+  const sim::Time horizon = traffic_end + 3 * sim::kSec;
+  const int total = static_cast<int>((traffic_end - kTrafficStart) / kGap);
+
+  std::vector<uint64_t> bins(static_cast<size_t>(horizon / kBin) + 1, 0);
+  uint64_t committed = 0;
+  for (int i = 0; i < total; i++) {
+    sim.Schedule(kTrafficStart + static_cast<sim::Time>(i) * kGap,
+                 [&sim, &bins, &committed, &adapter, i] {
+                   adapter.system->Submit(
+                       WriteTxn(static_cast<uint64_t>(i + 1)),
+                       [&sim, &bins, &committed](const core::TxnResult& r) {
+                         if (!r.status.ok()) return;
+                         committed++;
+                         bins[static_cast<size_t>(sim.Now() / kBin)]++;
+                       });
+                 });
+  }
+
+  systems::runtime::JoinReport report;
+  bool reported = false;
+  sim.Schedule(kJoinAt, [&adapter, &report, &reported] {
+    adapter.add([&report, &reported](const systems::runtime::JoinReport& r) {
+      report = r;
+      reported = true;
+    });
+  });
+  sim.RunFor(horizon);
+
+  CellResult result;
+  result.join_ok = reported && report.ok;
+  result.committed = committed;
+  result.anchor = report.anchor;
+  result.catchup_ms = (report.finished - report.started) / sim::kMs;
+  result.transfer_bytes = report.stats.TotalBytes();
+  result.chunks_fetched = report.stats.chunks_fetched;
+  result.chunks_reused = report.stats.chunks_reused;
+  result.log_entries = report.stats.log_entries;
+  result.digest_match = adapter.digest_match();
+
+  // Pre-join steady state: full bins in [kTrafficStart + one bin, kJoinAt).
+  auto bin_tps = [&bins](size_t b) {
+    return static_cast<double>(bins[b]) / (kBin / sim::kSec);
+  };
+  size_t steady_lo = static_cast<size_t>(kTrafficStart / kBin) + 1;
+  size_t steady_hi = static_cast<size_t>(kJoinAt / kBin);
+  double steady = 0;
+  for (size_t b = steady_lo; b < steady_hi; b++) steady += bin_tps(b);
+  result.steady_tps = steady / static_cast<double>(steady_hi - steady_lo);
+
+  // Dip: the worst bin while the join was in flight (at least two bins so
+  // a sub-bin join still reads a real window), clipped to active traffic.
+  size_t dip_lo = static_cast<size_t>(kJoinAt / kBin);
+  size_t dip_hi = std::max(
+      dip_lo + 2, static_cast<size_t>(
+                      (reported ? report.finished : kJoinAt) / kBin) +
+                      1);
+  dip_hi = std::min(dip_hi, static_cast<size_t>(traffic_end / kBin));
+  double dip = bin_tps(dip_lo);
+  for (size_t b = dip_lo; b < dip_hi; b++) dip = std::min(dip, bin_tps(b));
+  result.dip_tps = dip;
+  result.dip_ratio = result.steady_tps > 0 ? dip / result.steady_tps : 0;
+  return result;
+}
+
+CellResult RunCell(const CellConfig& cell, bool quick) {
+  World world(/*seed=*/42);
+  Adapter adapter;
+
+  if (cell.system == "etcd") {
+    systems::EtcdConfig config;
+    config.num_nodes = 3;
+    config.elasticity = Elasticity(cell.snapshot_every);
+    auto system = std::make_shared<systems::EtcdSystem>(
+        &world.sim, &world.net, &world.costs, config);
+    auto joiner = std::make_shared<sim::NodeId>(0);
+    adapter.system = system.get();
+    adapter.add = [system, joiner](auto done) {
+      *joiner = system->AddReplica(std::move(done));
+    };
+    adapter.digest_match = [system, joiner] {
+      return system->tracker(*joiner) != nullptr &&
+             system->tracker(*joiner)->Digest() ==
+                 system->tracker(0)->Digest();
+    };
+    adapter.own = [system] {};
+  } else if (cell.system == "fabric") {
+    systems::FabricConfig config;
+    config.num_peers = 4;
+    config.elasticity = Elasticity(cell.snapshot_every);
+    auto system = std::make_shared<systems::FabricSystem>(
+        &world.sim, &world.net, &world.costs, config);
+    auto joiner = std::make_shared<sim::NodeId>(0);
+    adapter.system = system.get();
+    adapter.add = [system, joiner](auto done) {
+      *joiner = system->AddPeer(std::move(done));
+    };
+    adapter.digest_match = [system, joiner] {
+      return system->tracker(*joiner) != nullptr &&
+             system->tracker(*joiner)->Digest() ==
+                 system->tracker(systems::runtime::kReplicaBase)->Digest();
+    };
+    adapter.own = [system] {};
+  } else if (cell.system == "harmonylike") {
+    systems::HarmonyConfig config;
+    config.num_nodes = 3;
+    config.elasticity = Elasticity(cell.snapshot_every);
+    auto system = std::make_shared<systems::HarmonySystem>(
+        &world.sim, &world.net, &world.costs, config);
+    auto joiner = std::make_shared<sim::NodeId>(0);
+    adapter.system = system.get();
+    adapter.add = [system, joiner](auto done) {
+      *joiner = system->AddReplica(std::move(done));
+    };
+    adapter.digest_match = [system, joiner] {
+      // Deterministic execution's stronger oracle: the authenticated MPT
+      // root, not just the shadow digest.
+      return system->tracker(*joiner) != nullptr &&
+             system->state_of(*joiner).RootDigest() ==
+                 system->state_of(system->node_ids()[0]).RootDigest();
+    };
+    adapter.own = [system] {};
+  } else {  // harmonyshard
+    systems::HarmonyShardConfig config;
+    config.num_shards = 2;
+    config.nodes_per_shard = 3;
+    config.elasticity = Elasticity(cell.snapshot_every);
+    auto system = std::make_shared<systems::HarmonyShardSystem>(
+        &world.sim, &world.net, &world.costs, config);
+    adapter.system = system.get();
+    adapter.add = [system](auto done) {
+      system->AddShardReplica(0, std::move(done));
+    };
+    adapter.digest_match = [system] {
+      // Shard state is materialized once per group, so the group-level
+      // oracle is the tracker's fold history covering the joiner's anchor
+      // — plus the fusion claim that growth never buys a 2PC round.
+      sharding::ShardExecutor* shard = system->mutable_shard(0);
+      return shard->tracker() != nullptr &&
+             system->sharding_stats().two_pc_rounds == 0;
+    };
+    adapter.own = [system] {};
+  }
+
+  adapter.system->Start();
+  world.sim.RunFor(500 * sim::kMs);
+  for (int i = 0; i < kKeys; i++) {
+    adapter.system->Load("key" + std::to_string(i), std::string(kValueBytes, 'x'));
+  }
+  return DriveCell(&world, adapter, quick);
+}
+
+void WriteJson(const char* path, bool quick,
+               const std::vector<std::string>& systems,
+               const std::vector<uint64_t>& intervals,
+               const std::vector<CellConfig>& cells,
+               const std::vector<CellResult>& results) {
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"elasticity\",\n");
+  fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  fprintf(f,
+          "  \"traffic\": {\"keys\": %d, \"value_bytes\": %zu, "
+          "\"offered_tps\": %.0f, \"join_at_ms\": %.0f},\n",
+          kKeys, kValueBytes, sim::kSec / kGap,
+          kJoinAt / sim::kMs);
+  fprintf(f, "  \"systems\": [\n");
+  size_t cell_index = 0;
+  for (size_t s = 0; s < systems.size(); s++) {
+    fprintf(f, "    {\"system\": \"%s\", \"cells\": [\n", systems[s].c_str());
+    for (size_t m = 0; m < intervals.size(); m++, cell_index++) {
+      const CellConfig& cell = cells[cell_index];
+      const CellResult& r = results[cell_index];
+      fprintf(f,
+              "      {\"snapshot_every\": %llu, \"join_ok\": %s, "
+              "\"digest_match\": %s, \"steady_tps\": %.1f, "
+              "\"dip_tps\": %.1f, \"dip_ratio\": %.3f, "
+              "\"catchup_ms\": %.3f, \"transfer_bytes\": %llu, "
+              "\"chunks_fetched\": %llu, \"chunks_reused\": %llu, "
+              "\"log_entries\": %llu, \"anchor\": %llu, "
+              "\"committed\": %llu}%s\n",
+              static_cast<unsigned long long>(cell.snapshot_every),
+              r.join_ok ? "true" : "false",
+              r.digest_match ? "true" : "false", r.steady_tps, r.dip_tps,
+              r.dip_ratio, r.catchup_ms,
+              static_cast<unsigned long long>(r.transfer_bytes),
+              static_cast<unsigned long long>(r.chunks_fetched),
+              static_cast<unsigned long long>(r.chunks_reused),
+              static_cast<unsigned long long>(r.log_entries),
+              static_cast<unsigned long long>(r.anchor),
+              static_cast<unsigned long long>(r.committed),
+              m + 1 < intervals.size() ? "," : "");
+    }
+    fprintf(f, "    ]}%s\n", s + 1 < systems.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("wrote %s\n", path);
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::vector<std::string> systems =
+      quick ? std::vector<std::string>{"etcd", "harmonyshard"}
+            : std::vector<std::string>{"etcd", "fabric", "harmonylike",
+                                       "harmonyshard"};
+  const std::vector<uint64_t> intervals =
+      quick ? std::vector<uint64_t>{16} : std::vector<uint64_t>{16, 64, 256};
+
+  std::vector<CellConfig> cells;
+  for (const std::string& system : systems) {
+    for (uint64_t interval : intervals) cells.push_back({system, interval});
+  }
+
+  PrintHeader("elasticity: join under flash crowd, snapshot-interval sweep");
+  std::vector<CellResult> results = RunSweep(
+      cells, [quick](const CellConfig& cell) { return RunCell(cell, quick); });
+
+  printf("%-14s %9s %8s %8s %6s %9s %9s %7s %7s %6s\n", "system", "interval",
+         "steady", "dip", "ratio", "catchup", "bytes", "fetch", "reuse",
+         "digest");
+  for (size_t i = 0; i < cells.size(); i++) {
+    const CellResult& r = results[i];
+    printf("%-14s %9llu %8.0f %8.0f %5.0f%% %7.1fms %9llu %7llu %7llu %6s\n",
+           cells[i].system.c_str(),
+           static_cast<unsigned long long>(cells[i].snapshot_every),
+           r.steady_tps, r.dip_tps, 100 * r.dip_ratio, r.catchup_ms,
+           static_cast<unsigned long long>(r.transfer_bytes),
+           static_cast<unsigned long long>(r.chunks_fetched),
+           static_cast<unsigned long long>(r.chunks_reused),
+           r.digest_match ? "match" : "DIFF");
+  }
+
+  // Acceptance read-out: a join "absorbs" when the group kept >= 50% of
+  // its pre-join steady state through the whole admission window and the
+  // joiner reached digest equality.
+  PrintHeader("elasticity: verdicts");
+  int failures = 0;
+  for (size_t i = 0; i < cells.size(); i++) {
+    const CellResult& r = results[i];
+    bool ok = r.join_ok && r.digest_match && r.dip_ratio >= 0.5;
+    if (!ok) failures++;
+    printf("%-14s interval %4llu  %s\n", cells[i].system.c_str(),
+           static_cast<unsigned long long>(cells[i].snapshot_every),
+           ok ? "ABSORBS (>=50% kept, digests equal)" : "FAILS");
+  }
+
+  WriteJson("BENCH_elasticity.json", quick, systems, intervals, cells,
+            results);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dicho::bench
+
+int main(int argc, char** argv) { return dicho::bench::Main(argc, argv); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "lifecycle/catchup.h"
 #include "obs/trace.h"
 
 namespace dicho::consensus {
@@ -12,6 +13,22 @@ constexpr uint64_t kCtrlMsgBytes = 160;  // header + digest + signature
 
 std::string DigestOf(const std::string& cmd) {
   return crypto::DigestBytes(crypto::Sha256Of(cmd));
+}
+
+// Fixed-width big-endian sequence key: chunk entries sort in seq order.
+std::string SeqKey(uint64_t seq) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(seq & 0xff);
+    seq >>= 8;
+  }
+  return std::string(buf, 8);
+}
+
+uint64_t SeqFromKey(const std::string& key) {
+  uint64_t seq = 0;
+  for (char c : key) seq = (seq << 8) | static_cast<unsigned char>(c);
+  return seq;
 }
 }  // namespace
 
@@ -52,8 +69,34 @@ void BftNode::Broadcast(uint64_t bytes,
   deliver(this);  // self-delivery, no network or signature cost
 }
 
+lifecycle::MembershipView BftNode::membership() const {
+  lifecycle::MembershipView view;
+  view.version = membership_version_;
+  view.members = all_;
+  return view;
+}
+
+void BftNode::SubmitConfigChange(const lifecycle::ConfigChange& cc,
+                                 SubmitCallback cb) {
+  if (crashed_ || retired_) {
+    cb(Status::Unavailable("node unavailable"), 0);
+    return;
+  }
+  bool present = std::binary_search(all_.begin(), all_.end(), cc.node);
+  if ((cc.kind == lifecycle::ConfigChangeKind::kAddNode && present) ||
+      (cc.kind == lifecycle::ConfigChangeKind::kRemoveNode && !present)) {
+    cb(Status::InvalidArgument("config change is a no-op"), 0);
+    return;
+  }
+  // Tag with the epoch so the primary's digest dedup never confuses a
+  // re-add with an earlier identical change (add 5 / rm 5 / add 5).
+  std::string cmd = lifecycle::FormatConfigChange(cc) + " @" +
+                    std::to_string(membership_version_);
+  Submit(std::move(cmd), std::move(cb));
+}
+
 void BftNode::Submit(std::string cmd, SubmitCallback cb) {
-  if (crashed_) {
+  if (crashed_ || retired_) {
     cb(Status::Unavailable("node crashed"), 0);
     return;
   }
@@ -75,6 +118,7 @@ void BftNode::Submit(std::string cmd, SubmitCallback cb) {
 }
 
 void BftNode::NoteRequest(const std::string& cmd) {
+  if (retired_) return;
   std::string digest = DigestOf(cmd);
   if (executed_digests_.count(digest) > 0) return;
   if (pending_subs_.count(digest) > 0) return;
@@ -99,6 +143,7 @@ void BftNode::ForwardToPrimary(std::string cmd) {
 }
 
 void BftNode::PrimaryPropose(std::string cmd) {
+  if (retired_) return;
   std::string cmd_digest = DigestOf(cmd);
   if (proposed_digests_.count(cmd_digest) > 0 ||
       executed_digests_.count(cmd_digest) > 0) {
@@ -204,56 +249,257 @@ void BftNode::HandleCommit(NodeId from, uint64_t view, uint64_t seq,
   CheckProgress(view, seq);
 }
 
+void BftNode::ExecuteCommand(uint64_t seq, const std::string& cmd) {
+  executed_log_[seq] = cmd;
+  prepared_backlog_.erase(seq);
+  if (cmd.empty()) return;  // null fill: advances seq, applies nothing
+  if (lifecycle::IsConfigChangeCommand(cmd)) ApplyReconfig(cmd);
+  std::string digest = DigestOf(cmd);
+  executed_digests_.insert(digest);
+  if (apply_) apply_(seq, cmd);
+  auto sub = pending_subs_.find(digest);
+  if (sub != pending_subs_.end()) {
+    if (sub->second.cb) sub->second.cb(Status::Ok(), seq);
+    pending_subs_.erase(sub);
+  }
+}
+
 void BftNode::MaybeExecute() {
   while (true) {
     auto it = instances_.find(last_executed_ + 1);
-    if (it == instances_.end() || !it->second.committed) return;
+    if (it == instances_.end() || !it->second.committed) break;
     uint64_t seq = it->first;
     Instance& inst = it->second;
     last_executed_ = seq;
-    executed_log_[seq] = inst.cmd;
-    prepared_backlog_.erase(seq);
     if (inst.started > 0) {
       obs::EmitSpan(sim_, "pbft.seq", "consensus", id_, seq, inst.started,
                     sim_->Now());
     }
-    if (inst.cmd.empty()) continue;  // null fill: advances seq, applies nothing
-    executed_digests_.insert(DigestOf(inst.cmd));
-    if (apply_) apply_(seq, inst.cmd);
-    auto sub = pending_subs_.find(inst.digest);
-    if (sub != pending_subs_.end()) {
-      if (sub->second.cb) sub->second.cb(Status::Ok(), seq);
-      pending_subs_.erase(sub);
+    ExecuteCommand(seq, inst.cmd);
+  }
+  MaybeCheckpoint();
+}
+
+void BftNode::MaybeCheckpoint() {
+  if (config_.checkpoint_interval == 0) return;
+  while (last_checkpoint_.anchor + config_.checkpoint_interval <=
+         last_executed_) {
+    uint64_t lo = last_checkpoint_.anchor + 1;
+    uint64_t hi = last_checkpoint_.anchor + config_.checkpoint_interval;
+    std::vector<std::pair<std::string, std::string>> entries;
+    entries.reserve(static_cast<size_t>(hi - lo + 1));
+    for (uint64_t seq = lo; seq <= hi; seq++) {
+      auto it = executed_log_.find(seq);
+      if (it == executed_log_.end()) return;  // defensive: execution is
+                                              // sequential, gaps can't occur
+      entries.emplace_back(SeqKey(seq), it->second);
+    }
+    std::string bytes = lifecycle::EncodeChunk(entries);
+    crypto::Digest digest = crypto::Sha256Of(bytes);
+    checkpoint_chunks_.Put(digest, std::move(bytes));
+    last_checkpoint_.chunks.push_back(digest);
+    last_checkpoint_.anchor = hi;
+    last_checkpoint_.root = lifecycle::ManifestRoot(last_checkpoint_);
+  }
+}
+
+void BftNode::ApplyReconfig(const std::string& cmd) {
+  lifecycle::ConfigChange cc;
+  if (!lifecycle::ParseConfigChange(cmd, &cc)) return;
+  if (cc.kind == lifecycle::ConfigChangeKind::kAddNode) {
+    if (!std::binary_search(all_.begin(), all_.end(), cc.node)) {
+      all_.insert(std::lower_bound(all_.begin(), all_.end(), cc.node),
+                  cc.node);
+    }
+  } else {
+    auto it = std::lower_bound(all_.begin(), all_.end(), cc.node);
+    if (it != all_.end() && *it == cc.node) all_.erase(it);
+    if (cc.node == id_) {
+      // Removed: retire. Keep the executed log + checkpoints to answer
+      // catch-up requests, but never propose, vote, or time out again.
+      retired_ = true;
+      timer_epoch_++;
+      timer_armed_ = false;
+      in_view_change_ = false;
+      for (auto& [digest, sub] : pending_subs_) {
+        if (sub.cb) sub.cb(Status::Unavailable("removed from group"), 0);
+      }
+      pending_subs_.clear();
     }
   }
+  membership_version_++;
+  if (on_config_change_) on_config_change_(membership());
 }
 
-void BftNode::RequestStateTransfer() {
+void BftNode::RequestCatchup() {
+  if (crashed_) return;
   uint64_t after = last_executed_;
   Broadcast(kCtrlMsgBytes, [me = id_, after](BftNode* n) {
-    n->HandleStateRequest(me, after);
+    n->HandleCatchupRequest(me, after);
   });
 }
 
-void BftNode::HandleStateRequest(NodeId from, uint64_t after_seq) {
+void BftNode::HandleCatchupRequest(NodeId from, uint64_t after_seq) {
   if (crashed_ || from == id_ || last_executed_ <= after_seq) return;
-  std::map<uint64_t, std::string> chunk;
-  uint64_t bytes = kCtrlMsgBytes;
-  for (uint64_t seq = after_seq + 1; seq <= last_executed_; seq++) {
+  auto target_it = group_.find(from);
+  if (target_it == group_.end()) return;
+  // Everything at or below our checkpoint anchor travels as digest-verified
+  // chunks; only the tail past max(requester frontier, anchor) is shipped
+  // as per-entry votes.
+  std::map<uint64_t, std::string> tail;
+  uint64_t bytes = kCtrlMsgBytes + last_checkpoint_.WireBytes();
+  uint64_t start = std::max(after_seq, last_checkpoint_.anchor);
+  for (uint64_t seq = start + 1; seq <= last_executed_; seq++) {
     auto it = executed_log_.find(seq);
-    if (it == executed_log_.end() || chunk.size() >= 64) break;
-    chunk[seq] = it->second;
+    if (it == executed_log_.end() || tail.size() >= 64) break;
+    tail[seq] = it->second;
     bytes += 16 + it->second.size();
   }
-  BftNode* target = group_.at(from);
-  net_->Send(id_, from, bytes, [target, me = id_, chunk] {
-    target->Charge([target, me, chunk] { target->HandleStateReply(me, chunk); });
+  BftNode* target = target_it->second;
+  net_->Send(id_, from, bytes,
+             [target, me = id_, view = view_, manifest = last_checkpoint_,
+              tail] {
+               target->Charge([target, me, view, manifest, tail] {
+                 target->HandleCatchupReply(me, view, manifest, tail);
+               });
+             });
+}
+
+void BftNode::HandleCatchupReply(NodeId from, uint64_t peer_view,
+                                 const lifecycle::SnapshotManifest& manifest,
+                                 const std::map<uint64_t, std::string>& entries) {
+  if (crashed_) return;
+  // View adoption (a joiner starts at view 0): f+1 replicas claiming a
+  // higher view prove at least one correct replica is there.
+  if (peer_view > view_) {
+    view_claims_[peer_view].insert(from);
+    for (auto it = view_claims_.rbegin(); it != view_claims_.rend(); ++it) {
+      if (it->first > view_ && it->second.size() >= f() + 1) {
+        view_ = it->first;
+        in_view_change_ = false;
+        timer_epoch_++;
+        timer_armed_ = false;
+        if (!pending_subs_.empty()) ArmViewChangeTimer();
+        break;
+      }
+    }
+    view_claims_.erase(view_claims_.begin(),
+                       view_claims_.upper_bound(view_));
+  }
+  // Checkpoint adoption: f+1 matching (anchor, root) votes make the
+  // manifest trustworthy; chunk bodies then verify against its digests.
+  if (manifest.anchor > last_executed_ && !manifest.chunks.empty()) {
+    auto& vote =
+        checkpoint_votes_[manifest.anchor][crypto::DigestBytes(manifest.root)];
+    vote.voters.insert(from);
+    vote.manifest = manifest;
+    if (vote.voters.size() >= f() + 1 &&
+        manifest.anchor > pending_checkpoint_.anchor) {
+      pending_checkpoint_ = vote.manifest;
+      pending_checkpoint_source_ = *vote.voters.begin();
+      lifecycle::DeltaPlan plan =
+          lifecycle::ComputeDelta(pending_checkpoint_, checkpoint_chunks_);
+      catchup_chunks_reused_ += plan.reused;
+      if (plan.need.empty()) {
+        AdoptCheckpoint();
+      } else {
+        auto target_it = group_.find(pending_checkpoint_source_);
+        if (target_it != group_.end()) {
+          BftNode* target = target_it->second;
+          uint64_t bytes = kCtrlMsgBytes + 32ull * plan.need.size();
+          net_->Send(id_, pending_checkpoint_source_, bytes,
+                     [target, me = id_, need = std::move(plan.need)] {
+                       target->Charge([target, me, need] {
+                         target->HandleChunkRequest(me, need);
+                       });
+                     });
+        }
+      }
+    }
+  }
+  AdoptTailEntries(from, entries);
+}
+
+void BftNode::HandleChunkRequest(NodeId from,
+                                 const std::vector<crypto::Digest>& digests) {
+  if (crashed_ || from == id_) return;
+  auto target_it = group_.find(from);
+  if (target_it == group_.end()) return;
+  std::vector<std::pair<crypto::Digest, std::string>> chunks;
+  uint64_t bytes = kCtrlMsgBytes;
+  for (const auto& d : digests) {
+    const std::string* body = checkpoint_chunks_.Get(d);
+    if (body == nullptr) continue;
+    bytes += 32 + body->size();
+    chunks.emplace_back(d, *body);
+  }
+  if (chunks.empty()) return;
+  BftNode* target = target_it->second;
+  net_->Send(id_, from, bytes, [target, me = id_, chunks] {
+    target->Charge(
+        [target, me, chunks] { target->HandleChunkReply(me, chunks); });
   });
 }
 
-void BftNode::HandleStateReply(NodeId from,
-                               const std::map<uint64_t, std::string>& entries) {
+void BftNode::HandleChunkReply(
+    NodeId /*from*/,
+    const std::vector<std::pair<crypto::Digest, std::string>>& chunks) {
   if (crashed_) return;
+  for (const auto& [digest, body] : chunks) {
+    if (crypto::Sha256Of(body) != digest) continue;  // Byzantine sender
+    if (checkpoint_chunks_.Put(digest, body)) catchup_chunks_fetched_++;
+  }
+  if (pending_checkpoint_.anchor > last_executed_) {
+    lifecycle::DeltaPlan plan =
+        lifecycle::ComputeDelta(pending_checkpoint_, checkpoint_chunks_);
+    if (plan.need.empty()) AdoptCheckpoint();
+  }
+}
+
+void BftNode::AdoptCheckpoint() {
+  const lifecycle::SnapshotManifest m = pending_checkpoint_;
+  if (m.anchor <= last_executed_) return;
+  std::map<uint64_t, std::string> entries;
+  for (const auto& d : m.chunks) {
+    const std::string* body = checkpoint_chunks_.Get(d);
+    if (body == nullptr) return;  // still incomplete
+    std::vector<std::pair<std::string, std::string>> pairs;
+    if (!lifecycle::DecodeChunk(*body, &pairs)) return;
+    for (auto& [key, cmd] : pairs) entries[SeqFromKey(key)] = std::move(cmd);
+  }
+  for (uint64_t seq = last_executed_ + 1; seq <= m.anchor; seq++) {
+    if (entries.find(seq) == entries.end()) return;  // malformed: refuse
+  }
+  for (uint64_t seq = last_executed_ + 1; seq <= m.anchor; seq++) {
+    last_executed_ = seq;
+    ++catchup_entries_adopted_;
+    ExecuteCommand(seq, entries[seq]);
+  }
+  last_checkpoint_ = m;
+  transfer_votes_.erase(transfer_votes_.begin(),
+                        transfer_votes_.upper_bound(last_executed_));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(last_executed_));
+  // The gap may have closed onto locally-committed instances.
+  MaybeExecute();
+}
+
+bool BftNode::InstallCheckpoint(const lifecycle::SnapshotManifest& manifest,
+                                const lifecycle::ChunkStore& chunks) {
+  if (crashed_) return false;
+  if (manifest.anchor <= last_executed_) return true;
+  for (const auto& d : manifest.chunks) {
+    const std::string* body = chunks.Get(d);
+    if (body == nullptr || crypto::Sha256Of(*body) != d) return false;
+    checkpoint_chunks_.Put(d, *body);
+  }
+  pending_checkpoint_ = manifest;
+  AdoptCheckpoint();
+  return last_executed_ >= manifest.anchor;
+}
+
+void BftNode::AdoptTailEntries(NodeId from,
+                               const std::map<uint64_t, std::string>& entries) {
   transfer_votes_.erase(transfer_votes_.begin(),
                         transfer_votes_.upper_bound(last_executed_));
   for (const auto& [seq, cmd] : entries) {
@@ -275,18 +521,9 @@ void BftNode::HandleStateReply(NodeId from,
     std::string cmd = *winner;
     transfer_votes_.erase(it);
     last_executed_ = seq;
-    executed_log_[seq] = cmd;
-    prepared_backlog_.erase(seq);
+    ++catchup_entries_adopted_;
     advanced = true;
-    if (cmd.empty()) continue;  // adopted null fill
-    std::string digest = DigestOf(cmd);
-    executed_digests_.insert(digest);
-    if (apply_) apply_(seq, cmd);
-    auto sub = pending_subs_.find(digest);
-    if (sub != pending_subs_.end()) {
-      if (sub->second.cb) sub->second.cb(Status::Ok(), seq);
-      pending_subs_.erase(sub);
-    }
+    ExecuteCommand(seq, cmd);
   }
   // The gap may have closed onto locally-committed instances.
   if (advanced) MaybeExecute();
@@ -314,7 +551,7 @@ void BftNode::ArmViewChangeTimer() {
     // We may be stalled on a sequence gap the rest of the group already
     // executed past (missed new-view pre-prepare) rather than on a faulty
     // primary — try to catch up while also rotating the view.
-    RequestStateTransfer();
+    RequestCatchup();
     StartViewChange(view_ + 1);
   });
 }
@@ -468,6 +705,10 @@ std::unique_ptr<BftCluster> BftCluster::Create(
     std::function<void(NodeId, uint64_t, const std::string&)> apply) {
   auto cluster = std::unique_ptr<BftCluster>(new BftCluster());
   cluster->sim_ = sim;
+  cluster->net_ = net;
+  cluster->costs_ = costs;
+  cluster->config_ = config;
+  cluster->apply_ = apply;
   for (NodeId id : ids) {
     BftNode::ApplyFn node_apply;
     if (apply) {
@@ -485,6 +726,31 @@ std::unique_ptr<BftCluster> BftCluster::Create(
   for (auto& [id, node] : cluster->nodes_) group[id] = node.get();
   for (auto& [id, node] : cluster->nodes_) node->SetGroup(group);
   return cluster;
+}
+
+BftNode* BftCluster::AddNode(NodeId id, const std::vector<NodeId>& all_ids) {
+  auto existing = nodes_.find(id);
+  if (existing != nodes_.end()) return existing->second.get();
+  BftNode::ApplyFn node_apply;
+  if (apply_) {
+    auto apply = apply_;
+    node_apply = [apply, id](uint64_t seq, const std::string& cmd) {
+      apply(id, seq, cmd);
+    };
+  }
+  {
+    dicho::sim::Simulator::PartitionScope scope(sim_,
+                                                sim_->PartitionOfNode(id));
+    nodes_[id] = std::make_unique<BftNode>(sim_, net_, costs_, id, all_ids,
+                                           config_, std::move(node_apply));
+  }
+  // Rewire every node's delivery map so peers can answer the joiner and
+  // the joiner can reach the group. The new node is NOT started: callers
+  // drive catch-up (and the committed "#cfg add" change) explicitly.
+  std::map<NodeId, BftNode*> group;
+  for (auto& [nid, node] : nodes_) group[nid] = node.get();
+  for (auto& [nid, node] : nodes_) node->SetGroup(group);
+  return nodes_[id].get();
 }
 
 BftNode* BftCluster::primary() {

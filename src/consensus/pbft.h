@@ -12,6 +12,8 @@
 
 #include "common/status.h"
 #include "crypto/sha256.h"
+#include "lifecycle/membership.h"
+#include "lifecycle/snapshot.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/network.h"
@@ -46,6 +48,12 @@ struct BftConfig {
   /// and validity checkers catch real safety bugs. Never enable outside
   /// tests.
   bool unsafe_skip_prepare_quorum = false;
+  /// Every `checkpoint_interval` executed sequences a replica folds the
+  /// window into a content-addressed chunk and extends its checkpoint
+  /// manifest (the lifecycle layer's snapshot format). Checkpointing is
+  /// pure local bookkeeping — no messages — so it never perturbs traces;
+  /// the chunks back the catch-up protocol stragglers and joiners use.
+  uint64_t checkpoint_interval = 128;
 };
 
 /// Practical Byzantine Fault Tolerance (Castro & Liskov) replica for a group
@@ -82,6 +90,28 @@ class BftNode {
   /// As replica: votes for garbage digests.
   void SetByzantineEquivocation(bool on) { equivocate_ = on; }
 
+  // Lifecycle ----------------------------------------------------------------
+  /// Replicates a membership change through the normal three-phase path
+  /// ("#cfg add/rm <id>" request). The change takes effect on each replica
+  /// when the command executes — a view-config epoch: from that sequence on,
+  /// `all_`, f and the primary rotation reflect the new membership.
+  void SubmitConfigChange(const lifecycle::ConfigChange& cc, SubmitCallback cb);
+  /// Installs checkpoint state transferred out-of-band (a joining replica):
+  /// adopts the manifest + chunks as executed history through the anchor.
+  /// Returns false if chunks are missing/corrupt.
+  bool InstallCheckpoint(const lifecycle::SnapshotManifest& manifest,
+                         const lifecycle::ChunkStore& chunks);
+  /// Asks the group for anything past our execution frontier (manifest
+  /// agreement at f+1, digest-verified chunk fetch, per-entry f+1 tail).
+  /// Fired automatically by the stall timer; joiners call it after
+  /// InstallCheckpoint or cold start.
+  void RequestCatchup();
+
+  using ConfigChangeFn = std::function<void(const lifecycle::MembershipView&)>;
+  void set_on_config_change(ConfigChangeFn fn) {
+    on_config_change_ = std::move(fn);
+  }
+
   // Introspection ------------------------------------------------------------
   NodeId id() const { return id_; }
   uint64_t view() const { return view_; }
@@ -101,6 +131,22 @@ class BftNode {
   /// Whether seq has executed on this node (invariant checkers probe this
   /// before ExecutedEntry so a gap reports instead of throwing).
   bool HasExecuted(uint64_t seq) const { return executed_log_.count(seq) > 0; }
+  /// True once a committed config change removed this replica: it stops
+  /// proposing/voting but keeps answering catch-up requests.
+  bool retired() const { return retired_; }
+  /// This replica's current view of the group, stamped with the number of
+  /// config changes applied.
+  lifecycle::MembershipView membership() const;
+  uint64_t membership_version() const { return membership_version_; }
+  const lifecycle::SnapshotManifest& last_checkpoint() const {
+    return last_checkpoint_;
+  }
+  const lifecycle::ChunkStore& checkpoint_chunks() const {
+    return checkpoint_chunks_;
+  }
+  uint64_t catchup_chunks_fetched() const { return catchup_chunks_fetched_; }
+  uint64_t catchup_chunks_reused() const { return catchup_chunks_reused_; }
+  uint64_t catchup_entries_adopted() const { return catchup_entries_adopted_; }
 
  private:
   struct Instance {
@@ -138,18 +184,33 @@ class BftNode {
   void HandleCommit(NodeId from, uint64_t view, uint64_t seq,
                     const std::string& digest);
   void MaybeExecute();
-  // State transfer (PBFT checkpoint/catch-up, simplified): a replica that is
-  // stalled behind the cluster asks peers for executed entries above its own
-  // last_executed and adopts a slot once f+1 replies agree on it — at least
-  // one of any f+1 replicas is correct, so the matching value is the
-  // committed one. Without this, a replica that misses a new-view
+  // Catch-up (the lifecycle checkpoint protocol; replaced PR 2's ad-hoc
+  // per-entry state transfer): a stalled replica broadcasts a catch-up
+  // request; peers reply with their checkpoint manifest plus a bounded
+  // per-entry tail. The straggler adopts a manifest once f+1 replies agree
+  // on (anchor, root) — at least one of any f+1 replicas is correct — then
+  // fetches only the chunk bodies its own store lacks (delta catch-up;
+  // bodies verify against the agreed digests, so one honest sender
+  // suffices). Tail entries above the anchor still adopt at f+1 matching
+  // votes per sequence. Without catch-up, a replica that misses a new-view
   // pre-prepare can never execute past the gap (execution is strictly
   // sequential), and f+1 such stragglers keep timing out and drag the whole
   // group through endless view changes.
-  void RequestStateTransfer();
-  void HandleStateRequest(NodeId from, uint64_t after_seq);
-  void HandleStateReply(NodeId from,
+  void HandleCatchupRequest(NodeId from, uint64_t after_seq);
+  void HandleCatchupReply(NodeId from, uint64_t peer_view,
+                          const lifecycle::SnapshotManifest& manifest,
+                          const std::map<uint64_t, std::string>& entries);
+  void HandleChunkRequest(NodeId from,
+                          const std::vector<crypto::Digest>& digests);
+  void HandleChunkReply(
+      NodeId from,
+      const std::vector<std::pair<crypto::Digest, std::string>>& chunks);
+  void AdoptCheckpoint();
+  void AdoptTailEntries(NodeId from,
                         const std::map<uint64_t, std::string>& entries);
+  void MaybeCheckpoint();
+  void ApplyReconfig(const std::string& cmd);
+  void ExecuteCommand(uint64_t seq, const std::string& cmd);
   void ArmViewChangeTimer();
   void StartViewChange(uint64_t new_view);
   void HandleViewChange(NodeId from, uint64_t new_view,
@@ -185,8 +246,30 @@ class BftNode {
   // requests and breaks agreement.
   std::map<uint64_t, std::string> prepared_backlog_;
   std::map<uint64_t, std::string> executed_log_;  // seq -> cmd
-  // State-transfer tally: seq -> claimed cmd -> replicas claiming it.
+  // Catch-up tail tally: seq -> claimed cmd -> replicas claiming it.
   std::map<uint64_t, std::map<std::string, std::set<NodeId>>> transfer_votes_;
+  // Checkpoint state: sequential chunks over the executed log, one per
+  // `checkpoint_interval` window; the manifest anchors at the last folded
+  // window's end. ChunkStore dedup makes repeated catch-ups cheap.
+  lifecycle::ChunkStore checkpoint_chunks_;
+  lifecycle::SnapshotManifest last_checkpoint_;
+  // Catch-up manifest tally: anchor -> root bytes -> (voters, manifest).
+  struct CheckpointVote {
+    std::set<NodeId> voters;
+    lifecycle::SnapshotManifest manifest;
+  };
+  std::map<uint64_t, std::map<std::string, CheckpointVote>> checkpoint_votes_;
+  // View adoption tally for joiners: claimed view -> voters.
+  std::map<uint64_t, std::set<NodeId>> view_claims_;
+  // Manifest agreed at f+1 whose chunks are still being fetched.
+  lifecycle::SnapshotManifest pending_checkpoint_;
+  NodeId pending_checkpoint_source_ = 0;
+  uint64_t membership_version_ = 0;
+  bool retired_ = false;
+  ConfigChangeFn on_config_change_;
+  uint64_t catchup_chunks_fetched_ = 0;
+  uint64_t catchup_chunks_reused_ = 0;
+  uint64_t catchup_entries_adopted_ = 0;
   // digest -> submission waiting to execute on this node.
   std::map<std::string, PendingSubmission> pending_subs_;
   std::set<std::string> proposed_digests_;  // primary dedup (this node)
@@ -207,16 +290,30 @@ class BftCluster {
       const std::vector<NodeId>& ids, BftConfig config,
       std::function<void(NodeId, uint64_t, const std::string&)> apply);
 
-  BftNode* node(NodeId id) { return nodes_.at(id).get(); }
+  BftNode* node(NodeId id) {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : it->second.get();
+  }
   BftNode* primary();
   std::vector<BftNode*> all();
   /// Starts every node under its partition's scope (per-partition RNG and
   /// event queue in partitioned worlds).
   void StartAll();
 
+  /// Lifecycle: constructs a replica joining an existing group. `all_ids` is
+  /// the membership the joiner believes in (including itself). Wired into
+  /// every group map but not started; the caller typically follows with
+  /// InstallCheckpoint + RequestCatchup, then a "#cfg add" through a live
+  /// replica. Returns the existing node if `id` is already present.
+  BftNode* AddNode(NodeId id, const std::vector<NodeId>& all_ids);
+
  private:
   BftCluster() = default;
   sim::Simulator* sim_ = nullptr;
+  sim::SimNetwork* net_ = nullptr;
+  const sim::CostModel* costs_ = nullptr;
+  BftConfig config_{};
+  std::function<void(NodeId, uint64_t, const std::string&)> apply_;
   std::map<NodeId, std::unique_ptr<BftNode>> nodes_;
 };
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "lifecycle/membership.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/network.h"
@@ -43,6 +44,12 @@ struct RaftConfig {
   /// entries livelocks after leadership churn. Opt-in: the extra entry
   /// perturbs the message/log trace of existing calibrated runs.
   bool leader_noop = false;
+  /// On a failed consistency probe, jump nextIndex straight to the
+  /// follower's reported log end instead of walking back one entry per RTT.
+  /// Essential for lifecycle joins (a snapshotted joiner starts its log at
+  /// the anchor, potentially thousands of entries behind the probe), but
+  /// opt-in: the skipped round trips perturb existing calibrated traces.
+  bool fast_backtrack = false;
 };
 
 enum class RaftRole { kFollower, kCandidate, kLeader };
@@ -54,6 +61,17 @@ enum class RaftRole { kFollower, kCandidate, kLeader };
 /// work are charged to the node's CpuResource from the CostModel, which is
 /// what makes the leader the throughput bottleneck as the group grows
 /// (paper Table 4, etcd row).
+///
+/// Lifecycle extensions (all inert until used, so pre-lifecycle worlds are
+/// byte-identical):
+///   * Log-prefix compaction: InstallSnapshot() anchors the log at a
+///     snapshot index/term pair; the replicated suffix lives above it.
+///   * Single-server membership change (Raft §6): "#cfg add/rm <id>"
+///     commands travel the log like any entry and re-shape `peers_` when
+///     applied. One change may be in flight at a time, which keeps
+///     adjacent configurations quorum-intersecting.
+///   * Leader transfer: drain a leader before removal by pushing its
+///     backlog to a target and sending it a TimeoutNow.
 class RaftNode {
  public:
   /// Applied exactly once per committed entry, in log order, on every
@@ -62,6 +80,8 @@ class RaftNode {
   /// Completion for Propose: Ok + log index once committed, or an error
   /// (leadership lost, not leader).
   using CommitCallback = std::function<void(Status, uint64_t index)>;
+  /// Fired when a committed config change re-shapes this node's view.
+  using ConfigChangeFn = std::function<void(const lifecycle::MembershipView&)>;
 
   RaftNode(sim::Simulator* sim, sim::SimNetwork* net,
            const sim::CostModel* costs, NodeId id, std::vector<NodeId> peers,
@@ -84,24 +104,81 @@ class RaftNode {
   void Crash();
   void Restart();
 
+  // Lifecycle ----------------------------------------------------------------
+  /// Compacts this node's log below (last_index, last_term): the caller has
+  /// installed a state snapshot covering that prefix, so the entries are
+  /// discarded and commit/apply cursors jump to the anchor. A suffix that
+  /// extends past the anchor with a matching anchor term is retained.
+  /// No-op when the node already committed past `last_index`.
+  void InstallSnapshot(uint64_t last_index, uint64_t last_term);
+  /// Snapshot install that also adopts the source's membership view (a
+  /// snapshot's history includes every config change up to its anchor, so a
+  /// joiner must take the member set and version along with the state —
+  /// otherwise its config version numbering drifts from the group's).
+  void InstallSnapshot(uint64_t last_index, uint64_t last_term,
+                       const lifecycle::MembershipView& view);
+
+  /// Marks this node as a joiner that is not yet part of the group: its
+  /// reported membership() excludes itself until a committed config change
+  /// (or an adopted snapshot view) admits it. Without this a joiner
+  /// replaying config entries that predate its own admission would report
+  /// views containing itself at versions where the group does not — a false
+  /// membership-agreement violation. RaftCluster::AddNode sets it.
+  void MarkJoining() { member_ = false; }
+
+  /// Leader-only, single in flight: replicate a membership change. The
+  /// callback fires when the change commits (it takes effect on each
+  /// replica as the entry is applied).
+  void ProposeConfigChange(const lifecycle::ConfigChange& cc,
+                           CommitCallback cb);
+
+  /// Leader-only: push our backlog to `target` and hand it leadership via
+  /// TimeoutNow once caught up (the §6 drain used before removing a
+  /// leader). Returns false when not leader or target unknown.
+  bool TransferLeadership(NodeId target);
+
+  /// Observer for committed membership changes (testing / lifecycle
+  /// managers).
+  void set_on_config_change(ConfigChangeFn fn) {
+    on_config_change_ = std::move(fn);
+  }
+
   // Introspection ------------------------------------------------------------
   NodeId id() const { return id_; }
   RaftRole role() const { return role_; }
   bool IsLeader() const { return role_ == RaftRole::kLeader && !crashed_; }
   bool crashed() const { return crashed_; }
+  /// True once a committed config change removed this node: it stops
+  /// campaigning and voting but keeps answering catch-up reads.
+  bool retired() const { return retired_; }
   uint64_t current_term() const { return current_term_; }
   uint64_t commit_index() const { return commit_index_; }
-  uint64_t log_size() const { return log_.size(); }
+  uint64_t last_applied() const { return last_applied_; }
+  /// Absolute index of the last log entry (compaction-aware).
+  uint64_t log_size() const { return snapshot_index_ + log_.size(); }
+  uint64_t snapshot_index() const { return snapshot_index_; }
+  uint64_t snapshot_term() const { return snapshot_term_; }
   NodeId leader_hint() const { return leader_hint_; }
   sim::CpuResource* cpu() { return &cpu_; }
   const RaftConfig& config() const { return config_; }
+  /// This node's current view of the group (self + peers, sorted), stamped
+  /// with the number of config changes applied.
+  lifecycle::MembershipView membership() const;
+  uint64_t membership_version() const { return membership_version_; }
+  /// Leader-side replication progress for `peer` (0 when unknown) — the
+  /// laggard detector's input.
+  uint64_t match_index_of(NodeId peer) const;
 
-  /// Committed command at 1-based log index (test oracle).
+  /// Committed command at 1-based absolute log index (test oracle).
+  /// Precondition: index > snapshot_index() — compacted entries are gone.
   const std::string& CommittedEntry(uint64_t index) const {
-    return log_[index - 1].cmd;
+    return log_[index - snapshot_index_ - 1].cmd;
   }
-  /// Term of the entry at 1-based log index (invariant checkers).
-  uint64_t EntryTerm(uint64_t index) const { return log_[index - 1].term; }
+  /// Term of the entry at 1-based absolute index (invariant checkers).
+  /// Precondition: index > snapshot_index().
+  uint64_t EntryTerm(uint64_t index) const {
+    return log_[index - snapshot_index_ - 1].term;
+  }
 
  private:
   struct LogEntry {
@@ -128,15 +205,29 @@ class RaftNode {
   void SendAppendTo(NodeId peer);
   void AdvanceCommit();
   void ApplyCommitted();
+  void ApplyConfigEntry(const std::string& cmd);
+  void HandleTimeoutNow(uint64_t term);
+  void MaybeCompleteTransfer(NodeId from);
 
   void HandleRequestVote(NodeId from, uint64_t term, uint64_t last_log_index,
                          uint64_t last_log_term);
   void HandleVoteResponse(NodeId from, uint64_t term, bool granted);
   void HandleAppendEntries(const AppendEntriesArgs& args);
   void HandleAppendResponse(NodeId from, uint64_t term, bool success,
-                            uint64_t match_index);
+                            uint64_t match_index, uint64_t hint);
 
-  uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
+  /// Term of the entry at absolute `index`; snapshot_term_ at the anchor, 0
+  /// at index 0. Precondition: index >= snapshot_index_.
+  uint64_t TermAt(uint64_t index) const {
+    if (index == snapshot_index_) return snapshot_term_;
+    return index == 0 ? 0 : log_[index - snapshot_index_ - 1].term;
+  }
+  const LogEntry& EntryAt(uint64_t index) const {
+    return log_[index - snapshot_index_ - 1];
+  }
+  uint64_t LastLogTerm() const {
+    return log_.empty() ? snapshot_term_ : log_.back().term;
+  }
   size_t MajoritySize() const { return (peers_.size() + 1) / 2 + 1; }
   void SendTo(NodeId peer, uint64_t bytes, std::function<void()> handler);
 
@@ -144,7 +235,7 @@ class RaftNode {
   sim::SimNetwork* net_;
   const sim::CostModel* costs_;
   NodeId id_;
-  std::vector<NodeId> peers_;  // excluding self
+  std::vector<NodeId> peers_;  // excluding self; re-shaped by config changes
   RaftConfig config_;
   ApplyFn apply_;
   std::map<NodeId, RaftNode*> group_;
@@ -153,7 +244,12 @@ class RaftNode {
   // Persistent state (survives Crash/Restart).
   uint64_t current_term_ = 0;
   int64_t voted_for_ = -1;
-  std::vector<LogEntry> log_;  // 1-based indexing: log_[i-1]
+  std::vector<LogEntry> log_;  // absolute index i lives at log_[i-snap-1]
+  uint64_t snapshot_index_ = 0;  // log compacted through this absolute index
+  uint64_t snapshot_term_ = 0;
+  uint64_t membership_version_ = 0;  // committed config changes applied
+  bool retired_ = false;             // removed from the group by config
+  bool member_ = true;               // false for a joiner pre-admission
 
   // Volatile state.
   RaftRole role_ = RaftRole::kFollower;
@@ -163,6 +259,7 @@ class RaftNode {
   NodeId leader_hint_ = 0;
   uint64_t election_epoch_ = 0;  // invalidates stale timers
   size_t votes_ = 0;
+  ConfigChangeFn on_config_change_;
 
   // Leader state.
   std::map<NodeId, uint64_t> next_index_;
@@ -178,6 +275,11 @@ class RaftNode {
   };
   std::map<NodeId, Inflight> inflight_;
   std::map<uint64_t, CommitCallback> pending_;  // log index -> callback
+  /// Absolute log index of the uncommitted config-change entry this leader
+  /// knows about (0 = none). Enforces the single-in-flight §6 rule.
+  uint64_t config_change_inflight_ = 0;
+  /// Leader-transfer target awaiting catch-up + TimeoutNow (0 = none).
+  NodeId transfer_target_ = 0;
   /// Leader-side propose times for the "raft.commit" trace span; populated
   /// only while the simulator carries a trace sink, so untraced runs never
   /// touch it.
@@ -196,7 +298,10 @@ class RaftCluster {
       const std::vector<NodeId>& ids, RaftConfig config,
       std::function<void(NodeId, uint64_t, const std::string&)> apply);
 
-  RaftNode* node(NodeId id) { return nodes_.at(id).get(); }
+  RaftNode* node(NodeId id) {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : it->second.get();
+  }
   /// The current leader, or nullptr if none (unstable period).
   RaftNode* leader();
   std::vector<RaftNode*> all();
@@ -204,9 +309,20 @@ class RaftCluster {
   /// partitioned world draw from per-partition RNG streams.
   void StartAll();
 
+  /// Lifecycle: constructs a node joining an existing group. `peers` is the
+  /// membership the joiner believes in (typically the current view minus
+  /// itself). The node is wired into every group map but NOT started —
+  /// callers install a snapshot first, then Start() it under its partition
+  /// scope. Returns the existing node if `id` is already present.
+  RaftNode* AddNode(NodeId id, const std::vector<NodeId>& peers);
+
  private:
   RaftCluster() = default;
   sim::Simulator* sim_ = nullptr;
+  sim::SimNetwork* net_ = nullptr;
+  const sim::CostModel* costs_ = nullptr;
+  RaftConfig config_{};
+  std::function<void(NodeId, uint64_t, const std::string&)> apply_;
   std::map<NodeId, std::unique_ptr<RaftNode>> nodes_;
 };
 

@@ -103,7 +103,7 @@ HybridSystem::HybridSystem(sim::Simulator* sim, sim::SimNetwork* net,
   transport.pow = config_.pow;
   transport_ = std::make_unique<systems::runtime::Transport>(
       sim, net, costs, nodes_.ids(), transport,
-      [this](size_t node_index, const std::string& batch) {
+      [this](size_t node_index, uint64_t, const std::string& batch) {
         ApplyBatch(node_index, batch);
       });
 }

@@ -1,0 +1,200 @@
+#include "lifecycle/catchup.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace dicho::lifecycle {
+
+DeltaPlan ComputeDelta(const SnapshotManifest& target, const ChunkStore& have) {
+  DeltaPlan plan;
+  for (const auto& d : target.chunks) {
+    if (have.Has(d)) {
+      ++plan.reused;
+    } else {
+      plan.need.push_back(d);
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+struct ChunkPayload {
+  std::vector<std::pair<crypto::Digest, std::string>> chunks;
+  LogSuffix suffix;
+};
+
+struct TransferState : std::enable_shared_from_this<TransferState> {
+  sim::Simulator* sim = nullptr;
+  sim::SimNetwork* net = nullptr;
+  NodeId source = 0;
+  NodeId joiner = 0;
+  SnapshotTransfer::Source src;
+  ChunkStore* store = nullptr;
+  SnapshotTransfer::AlivePredicate alive;
+  TransferConfig cfg;
+  SnapshotTransfer::DoneFn done;
+
+  enum Phase { kManifest, kChunks, kFinished };
+  Phase phase = kManifest;
+  int attempts = 0;
+  DeltaPlan plan;
+  TransferResult result;
+
+  // All methods below run on the joiner's partition (message deliveries to
+  // the joiner, or timers scheduled from them); source accessors only ever
+  // execute inside deliveries to the source.
+
+  void ScheduleOnJoiner(Time delay, std::function<void()> fn) {
+    uint32_t p = sim->PartitionOfNode(joiner);
+    if (sim->current_partition() == p) {
+      sim->Schedule(delay, std::move(fn));
+    } else {
+      Time t = sim->Now() + std::max(delay, sim->lookahead());
+      sim->ScheduleOnPartitionAt(p, t, std::move(fn));
+    }
+  }
+
+  Time BackoffTimeout() const {
+    int shift = std::min(attempts - 1, 3);
+    return cfg.retry_timeout * static_cast<Time>(1 << shift);
+  }
+
+  void ArmTimer() {
+    auto self = shared_from_this();
+    Phase armed_phase = phase;
+    int armed_attempts = attempts;
+    ScheduleOnJoiner(BackoffTimeout(), [self, armed_phase, armed_attempts] {
+      if (self->phase != armed_phase || self->attempts != armed_attempts)
+        return;  // round advanced or a newer attempt owns the timer
+      if (self->alive && !self->alive()) return self->Fail();
+      if (self->attempts >= self->cfg.max_attempts) return self->Fail();
+      ++self->result.stats.retries;
+      self->SendCurrentRequest();
+    });
+  }
+
+  void SendCurrentRequest() {
+    ++attempts;
+    if (phase == kManifest) {
+      SendManifestRequest();
+    } else {
+      SendChunkRequest();
+    }
+    ArmTimer();
+  }
+
+  void SendManifestRequest() {
+    auto self = shared_from_this();
+    result.stats.control_bytes += cfg.request_bytes;
+    net->Send(joiner, source, cfg.request_bytes, [self] {
+      // Source partition.
+      if (self->src.available && !self->src.available()) return;
+      SnapshotManifest m = self->src.manifest();
+      uint64_t bytes = m.WireBytes();
+      self->net->Send(self->source, self->joiner, bytes,
+                      [self, m = std::move(m), bytes] {
+                        self->OnManifest(m, bytes);
+                      });
+    });
+  }
+
+  void OnManifest(const SnapshotManifest& m, uint64_t bytes) {
+    if (phase != kManifest) return;  // duplicate from a retried request
+    result.stats.manifest_bytes += bytes;
+    result.manifest = m;
+    plan = ComputeDelta(m, *store);
+    result.stats.chunks_reused = plan.reused;
+    phase = kChunks;
+    attempts = 0;
+    SendCurrentRequest();
+  }
+
+  void SendChunkRequest() {
+    auto self = shared_from_this();
+    uint64_t req_bytes = cfg.request_bytes + 32ull * plan.need.size();
+    result.stats.control_bytes += req_bytes;
+    // The need list re-derives on the source from captured digests; chunks
+    // are content-addressed, so a retried request is naturally idempotent.
+    auto need = plan.need;
+    uint64_t after = result.manifest.anchor;
+    net->Send(joiner, source, req_bytes, [self, need = std::move(need), after] {
+      // Source partition.
+      if (self->src.available && !self->src.available()) return;
+      const ChunkStore* chunks = self->src.chunks();
+      ChunkPayload payload;
+      uint64_t bytes = self->cfg.request_bytes;
+      for (const auto& d : need) {
+        const std::string* body = chunks ? chunks->Get(d) : nullptr;
+        if (body == nullptr) continue;  // joiner notices the gap and retries
+        bytes += body->size() + 32;
+        payload.chunks.emplace_back(d, *body);
+      }
+      payload.suffix = self->src.log_suffix(after);
+      for (const auto& e : payload.suffix.entries)
+        bytes += e.cmd.size() + self->cfg.entry_overhead_bytes;
+      self->net->Send(self->source, self->joiner, bytes,
+                      [self, payload = std::move(payload), bytes] {
+                        self->OnChunks(payload, bytes);
+                      });
+    });
+  }
+
+  void OnChunks(const ChunkPayload& payload, uint64_t bytes) {
+    (void)bytes;
+    if (phase != kChunks) return;
+    for (const auto& [digest, body] : payload.chunks) {
+      if (crypto::Sha256Of(body) != digest) continue;  // corrupt: leave a gap
+      if (store->Put(digest, body)) {
+        ++result.stats.chunks_fetched;
+        result.stats.chunk_bytes += body.size();
+      }
+    }
+    // The transfer only completes once every chunk of the manifest is
+    // locally present; otherwise keep the round open and let the timer
+    // re-request the remainder.
+    plan = ComputeDelta(result.manifest, *store);
+    if (!plan.need.empty()) return;
+    result.stats.log_entries = payload.suffix.entries.size();
+    for (const auto& e : payload.suffix.entries)
+      result.stats.log_bytes += e.cmd.size() + cfg.entry_overhead_bytes;
+    result.suffix = payload.suffix;
+    result.ok = true;
+    Finish();
+  }
+
+  void Fail() {
+    if (phase == kFinished) return;
+    result.ok = false;
+    Finish();
+  }
+
+  void Finish() {
+    phase = kFinished;
+    if (done) done(std::move(result));
+    done = nullptr;
+  }
+};
+
+}  // namespace
+
+void SnapshotTransfer::Start(sim::Simulator* sim, sim::SimNetwork* net,
+                             NodeId source, NodeId joiner, Source src,
+                             ChunkStore* joiner_store,
+                             AlivePredicate joiner_alive, TransferConfig config,
+                             DoneFn done) {
+  auto state = std::make_shared<TransferState>();
+  state->sim = sim;
+  state->net = net;
+  state->source = source;
+  state->joiner = joiner;
+  state->src = std::move(src);
+  state->store = joiner_store;
+  state->alive = std::move(joiner_alive);
+  state->cfg = config;
+  state->done = std::move(done);
+  state->SendCurrentRequest();
+}
+
+}  // namespace dicho::lifecycle

@@ -1,0 +1,85 @@
+#include "lifecycle/membership.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dicho::lifecycle {
+
+namespace {
+constexpr char kPrefix[] = "#cfg ";
+}  // namespace
+
+bool MembershipView::Contains(NodeId id) const {
+  return std::binary_search(members.begin(), members.end(), id);
+}
+
+std::string FormatConfigChange(const ConfigChange& cc) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%s %u", kPrefix,
+                cc.kind == ConfigChangeKind::kAddNode ? "add" : "rm",
+                static_cast<unsigned>(cc.node));
+  return buf;
+}
+
+bool IsConfigChangeCommand(const std::string& cmd) {
+  return cmd.compare(0, sizeof(kPrefix) - 1, kPrefix) == 0;
+}
+
+bool ParseConfigChange(const std::string& cmd, ConfigChange* out) {
+  if (!IsConfigChangeCommand(cmd)) return false;
+  const char* rest = cmd.c_str() + sizeof(kPrefix) - 1;
+  unsigned node = 0;
+  if (std::sscanf(rest, "add %u", &node) == 1) {
+    out->kind = ConfigChangeKind::kAddNode;
+  } else if (std::sscanf(rest, "rm %u", &node) == 1) {
+    out->kind = ConfigChangeKind::kRemoveNode;
+  } else {
+    return false;
+  }
+  out->node = static_cast<NodeId>(node);
+  return true;
+}
+
+bool ApplyConfigChange(const ConfigChange& cc, std::vector<NodeId>* members) {
+  auto it = std::lower_bound(members->begin(), members->end(), cc.node);
+  bool present = it != members->end() && *it == cc.node;
+  if (cc.kind == ConfigChangeKind::kAddNode) {
+    if (present) return false;
+    members->insert(it, cc.node);
+  } else {
+    if (!present) return false;
+    members->erase(it);
+  }
+  return true;
+}
+
+bool IsSingleServerChange(const std::vector<NodeId>& from,
+                          const std::vector<NodeId>& to) {
+  // Both sorted: symmetric difference must be exactly one element.
+  std::vector<NodeId> diff;
+  std::set_symmetric_difference(from.begin(), from.end(), to.begin(), to.end(),
+                                std::back_inserter(diff));
+  return diff.size() == 1;
+}
+
+bool DisjointQuorumsPossible(const std::vector<NodeId>& a,
+                             const std::vector<NodeId>& b) {
+  std::vector<NodeId> inter, only_a, only_b;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(only_a));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(only_b));
+  size_t ma = a.size() / 2 + 1;
+  size_t mb = b.size() / 2 + 1;
+  // Seat each majority out of its exclusive members first; the remainder
+  // must come from the shared pool, without overlap.
+  size_t need_a = ma > only_a.size() ? ma - only_a.size() : 0;
+  size_t need_b = mb > only_b.size() ? mb - only_b.size() : 0;
+  if (a.empty() || b.empty()) return false;
+  return need_a + need_b <= inter.size();
+}
+
+}  // namespace dicho::lifecycle

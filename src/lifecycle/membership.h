@@ -1,0 +1,64 @@
+#ifndef DICHO_LIFECYCLE_MEMBERSHIP_H_
+#define DICHO_LIFECYCLE_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace dicho::lifecycle {
+
+using sim::NodeId;
+
+/// A versioned membership view: the set of replica ids that constitutes the
+/// replication group after `version` committed configuration changes.
+/// Members are kept sorted so views compare structurally.
+struct MembershipView {
+  uint64_t version = 0;
+  std::vector<NodeId> members;
+
+  bool Contains(NodeId id) const;
+  size_t QuorumSize() const { return members.size() / 2 + 1; }
+  bool operator==(const MembershipView& o) const {
+    return version == o.version && members == o.members;
+  }
+};
+
+enum class ConfigChangeKind { kAddNode, kRemoveNode };
+
+struct ConfigChange {
+  ConfigChangeKind kind = ConfigChangeKind::kAddNode;
+  NodeId node = 0;
+};
+
+/// Config changes travel through the replicated log as commands with a
+/// reserved prefix ("#cfg ..."). System state machines that deserialize
+/// structured requests fail the parse and ignore them; consensus layers
+/// intercept them before apply.
+std::string FormatConfigChange(const ConfigChange& cc);
+bool IsConfigChangeCommand(const std::string& cmd);
+bool ParseConfigChange(const std::string& cmd, ConfigChange* out);
+
+/// Applies a change to a sorted member vector. Returns false for a no-op
+/// (adding a present member / removing an absent one); the vector is
+/// untouched in that case.
+bool ApplyConfigChange(const ConfigChange& cc, std::vector<NodeId>* members);
+
+/// Raft §6 single-server rule: adjacent configurations must differ by at
+/// most one member, which guarantees their majority quorums intersect.
+bool IsSingleServerChange(const std::vector<NodeId>& from,
+                          const std::vector<NodeId>& to);
+
+/// Whether configurations `a` and `b` admit two *disjoint* majority quorums
+/// (the membership-change safety violation: each quorum could commit a
+/// different value with no common voter). With ma = |a|/2+1 and mb = |b|/2+1
+/// majorities, disjoint quorums exist iff the members exclusive to each side
+/// plus the shared pool can seat both majorities without overlap:
+///   max(0, ma - |a\b|) + max(0, mb - |b\a|) <= |a ∩ b|
+bool DisjointQuorumsPossible(const std::vector<NodeId>& a,
+                             const std::vector<NodeId>& b);
+
+}  // namespace dicho::lifecycle
+
+#endif  // DICHO_LIFECYCLE_MEMBERSHIP_H_

@@ -1,0 +1,48 @@
+#ifndef DICHO_LIFECYCLE_METRICS_H_
+#define DICHO_LIFECYCLE_METRICS_H_
+
+#include <string>
+
+#include "lifecycle/catchup.h"
+#include "obs/metrics.h"
+
+namespace dicho::lifecycle {
+
+/// Lifecycle observability bundle. All pointers are null when no registry
+/// is attached (the default), so instrumented code guards with `if`.
+struct LifecycleMetrics {
+  obs::Counter* snapshot_bytes = nullptr;     // new chunk bytes stored
+  obs::Counter* snapshot_chunks = nullptr;    // chunks written (post-dedup)
+  obs::Counter* snapshots_taken = nullptr;
+  obs::Counter* catchup_bytes = nullptr;      // wire bytes of transfers
+  obs::Counter* catchup_chunks_reused = nullptr;  // delta-sync savings
+  obs::Counter* catchups_completed = nullptr;
+  obs::Counter* catchups_failed = nullptr;
+  obs::Counter* config_changes = nullptr;     // committed membership changes
+
+  static LifecycleMetrics For(obs::MetricsRegistry* reg,
+                              const std::string& prefix) {
+    LifecycleMetrics m;
+    if (reg == nullptr) return m;
+    m.snapshot_bytes = reg->GetCounter(prefix + ".snapshot.bytes");
+    m.snapshot_chunks = reg->GetCounter(prefix + ".snapshot.chunks");
+    m.snapshots_taken = reg->GetCounter(prefix + ".snapshot.taken");
+    m.catchup_bytes = reg->GetCounter(prefix + ".catchup.bytes");
+    m.catchup_chunks_reused = reg->GetCounter(prefix + ".catchup.chunks_reused");
+    m.catchups_completed = reg->GetCounter(prefix + ".catchup.completed");
+    m.catchups_failed = reg->GetCounter(prefix + ".catchup.failed");
+    m.config_changes = reg->GetCounter(prefix + ".config.changes");
+    return m;
+  }
+
+  void RecordTransfer(const CatchupStats& stats, bool ok) {
+    if (catchup_bytes) catchup_bytes->Inc(stats.TotalBytes());
+    if (catchup_chunks_reused) catchup_chunks_reused->Inc(stats.chunks_reused);
+    if (ok && catchups_completed) catchups_completed->Inc();
+    if (!ok && catchups_failed) catchups_failed->Inc();
+  }
+};
+
+}  // namespace dicho::lifecycle
+
+#endif  // DICHO_LIFECYCLE_METRICS_H_

@@ -1,0 +1,144 @@
+#include "lifecycle/snapshot.h"
+
+#include <cstring>
+
+namespace dicho::lifecycle {
+
+bool ChunkStore::Put(const crypto::Digest& digest, std::string bytes) {
+  auto key = crypto::DigestBytes(digest);
+  auto it = chunks_.find(key);
+  if (it != chunks_.end()) {
+    ++dedup_hits_;
+    return false;
+  }
+  bytes_stored_ += bytes.size();
+  chunks_.emplace(std::move(key), std::move(bytes));
+  return true;
+}
+
+const std::string* ChunkStore::Get(const crypto::Digest& digest) const {
+  auto it = chunks_.find(crypto::DigestBytes(digest));
+  return it == chunks_.end() ? nullptr : &it->second;
+}
+
+bool ChunkStore::Has(const crypto::Digest& digest) const {
+  return chunks_.count(crypto::DigestBytes(digest)) > 0;
+}
+
+crypto::Digest ManifestRoot(const SnapshotManifest& m) {
+  crypto::Sha256 h;
+  uint8_t anchor[8];
+  for (int i = 0; i < 8; ++i) anchor[i] = (m.anchor >> (8 * i)) & 0xff;
+  h.Update(anchor, sizeof(anchor));
+  for (const auto& d : m.chunks) h.Update(d.data(), d.size());
+  return h.Finish();
+}
+
+size_t BucketOf(const std::string& key, size_t buckets) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return buckets == 0 ? 0 : static_cast<size_t>(hash % buckets);
+}
+
+namespace {
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+bool ReadU32(Slice* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i)
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  in->RemovePrefix(4);
+  return true;
+}
+}  // namespace
+
+std::string EncodeChunk(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(entries.size()));
+  for (const auto& [k, v] : entries) {
+    AppendU32(&out, static_cast<uint32_t>(k.size()));
+    out.append(k);
+    AppendU32(&out, static_cast<uint32_t>(v.size()));
+    out.append(v);
+  }
+  return out;
+}
+
+bool DecodeChunk(const Slice& bytes,
+                 std::vector<std::pair<std::string, std::string>>* out) {
+  Slice in = bytes;
+  uint32_t count = 0;
+  if (!ReadU32(&in, &count)) return false;
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t klen = 0, vlen = 0;
+    if (!ReadU32(&in, &klen) || in.size() < klen) return false;
+    std::string k(in.data(), klen);
+    in.RemovePrefix(klen);
+    if (!ReadU32(&in, &vlen) || in.size() < vlen) return false;
+    std::string v(in.data(), vlen);
+    in.RemovePrefix(vlen);
+    out->emplace_back(std::move(k), std::move(v));
+  }
+  return in.empty();
+}
+
+SnapshotManifest BuildSnapshot(const std::map<std::string, std::string>& state,
+                               uint64_t anchor, const SnapshotConfig& config,
+                               ChunkStore* store) {
+  std::vector<std::vector<std::pair<std::string, std::string>>> buckets(
+      config.buckets == 0 ? 1 : config.buckets);
+  for (const auto& [k, v] : state)
+    buckets[BucketOf(k, buckets.size())].emplace_back(k, v);
+
+  SnapshotManifest m;
+  m.anchor = anchor;
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;  // state map iterates sorted, so this is
+                                   // deterministic per bucket population
+    std::string bytes = EncodeChunk(bucket);
+    crypto::Digest d = crypto::Sha256Of(bytes);
+    store->Put(d, std::move(bytes));
+    m.chunks.push_back(d);
+  }
+  m.root = ManifestRoot(m);
+  return m;
+}
+
+bool RestoreSnapshot(const SnapshotManifest& m, const ChunkStore& store,
+                     std::map<std::string, std::string>* out) {
+  out->clear();
+  for (const auto& d : m.chunks) {
+    const std::string* bytes = store.Get(d);
+    if (bytes == nullptr) return false;
+    if (crypto::Sha256Of(*bytes) != d) return false;
+    std::vector<std::pair<std::string, std::string>> entries;
+    if (!DecodeChunk(*bytes, &entries)) return false;
+    for (auto& [k, v] : entries) (*out)[std::move(k)] = std::move(v);
+  }
+  return true;
+}
+
+crypto::Digest StateDigest(const std::map<std::string, std::string>& state) {
+  crypto::Sha256 h;
+  for (const auto& [k, v] : state) {
+    uint32_t klen = static_cast<uint32_t>(k.size());
+    uint32_t vlen = static_cast<uint32_t>(v.size());
+    h.Update(reinterpret_cast<const uint8_t*>(&klen), sizeof(klen));
+    h.Update(k);
+    h.Update(reinterpret_cast<const uint8_t*>(&vlen), sizeof(vlen));
+    h.Update(v);
+  }
+  return h.Finish();
+}
+
+}  // namespace dicho::lifecycle

@@ -1,0 +1,93 @@
+#ifndef DICHO_LIFECYCLE_SNAPSHOT_H_
+#define DICHO_LIFECYCLE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace dicho::lifecycle {
+
+/// Content-addressed chunk store: raw digest bytes -> chunk payload. Every
+/// snapshot a replica takes inserts its chunks here; buckets whose contents
+/// did not change between two snapshots hash to the same digest and
+/// deduplicate, which is what makes periodic snapshots cheap and delta
+/// catch-up ("send only what the joiner lacks") possible.
+class ChunkStore {
+ public:
+  /// Returns true when the chunk is new, false when it deduplicated against
+  /// an existing identical chunk.
+  bool Put(const crypto::Digest& digest, std::string bytes);
+  const std::string* Get(const crypto::Digest& digest) const;
+  bool Has(const crypto::Digest& digest) const;
+
+  size_t chunk_count() const { return chunks_.size(); }
+  uint64_t bytes_stored() const { return bytes_stored_; }
+  /// Put() calls that found an identical chunk already present.
+  uint64_t dedup_hits() const { return dedup_hits_; }
+
+ private:
+  std::map<std::string, std::string> chunks_;
+  uint64_t bytes_stored_ = 0;
+  uint64_t dedup_hits_ = 0;
+};
+
+/// A snapshot is an anchor (the last replicated-log index / sequence the
+/// state reflects) plus the ordered digests of its content chunks. The
+/// manifest root commits to both, so two replicas agreeing on a root agree
+/// on the exact state bytes at that anchor.
+struct SnapshotManifest {
+  uint64_t anchor = 0;
+  crypto::Digest root = crypto::ZeroDigest();
+  std::vector<crypto::Digest> chunks;
+
+  bool empty() const { return anchor == 0 && chunks.empty(); }
+  /// Modeled wire size: anchor + root + one digest per chunk.
+  uint64_t WireBytes() const { return 8 + 32 + 32 * chunks.size(); }
+};
+
+/// Recomputes the manifest root over (anchor, chunk digests).
+crypto::Digest ManifestRoot(const SnapshotManifest& m);
+
+struct SnapshotConfig {
+  /// Fixed bucket count for key->chunk assignment. Stability matters more
+  /// than balance: a key always lands in the same bucket, so a write dirties
+  /// exactly one chunk and every other chunk dedups against the previous
+  /// snapshot. Changing this value re-chunks the world.
+  size_t buckets = 64;
+};
+
+/// Deterministic key->bucket assignment (FNV-1a; stable across platforms so
+/// committed bench snapshots reproduce everywhere).
+size_t BucketOf(const std::string& key, size_t buckets);
+
+/// Chunks `state` into bucket chunks, inserts them into `store`, and returns
+/// the manifest. Empty buckets are omitted (their absence is part of the
+/// manifest, so the root still commits to the full state).
+SnapshotManifest BuildSnapshot(const std::map<std::string, std::string>& state,
+                               uint64_t anchor, const SnapshotConfig& config,
+                               ChunkStore* store);
+
+/// Rebuilds the state a manifest describes from `store`. Fails (returns
+/// false) if a chunk is missing or its bytes do not hash to its digest.
+bool RestoreSnapshot(const SnapshotManifest& m, const ChunkStore& store,
+                     std::map<std::string, std::string>* out);
+
+/// Canonical digest of a whole state map — the catch-up-correctness oracle:
+/// a joined replica is "caught up at anchor A" iff its StateDigest equals
+/// the digest of a full replay of the committed log through A.
+crypto::Digest StateDigest(const std::map<std::string, std::string>& state);
+
+/// Serializes one chunk's key/value pairs (length-prefixed, sorted order).
+std::string EncodeChunk(
+    const std::vector<std::pair<std::string, std::string>>& entries);
+/// Decodes chunk bytes back into pairs; false on malformed input.
+bool DecodeChunk(const Slice& bytes,
+                 std::vector<std::pair<std::string, std::string>>* out);
+
+}  // namespace dicho::lifecycle
+
+#endif  // DICHO_LIFECYCLE_SNAPSHOT_H_

@@ -190,7 +190,7 @@ EpochSequencer::EpochSequencer(sim::Simulator* sim, sim::SimNetwork* net,
   transport.bft = config_.bft_config;
   transport_ = std::make_unique<systems::runtime::Transport>(
       sim, net, costs, nodes_.ids(), transport,
-      [this](size_t node_index, const std::string& cmd) {
+      [this](size_t node_index, uint64_t, const std::string& cmd) {
         OnCommitted(node_index, cmd);
       });
 }
@@ -287,12 +287,68 @@ ShardExecutor::ShardExecutor(sim::Simulator* sim, sim::SimNetwork* net,
   transport.bft = config_.bft_config;
   transport_ = std::make_unique<systems::runtime::Transport>(
       sim, net, costs, nodes_.ids(), transport,
-      [this](size_t node_index, const std::string& cmd) {
+      [this](size_t node_index, uint64_t seq, const std::string& cmd) {
         // The shard group replicates the epoch order; the shard's state is
         // materialized once, on the entry replica (deterministic execution
         // makes every replica's copy bit-identical by construction).
-        if (node_index == 0) OnOrdered(cmd);
+        if (node_index != 0) return;
+        uint64_t term = 0;
+        if (tracker_ != nullptr && transport_->raft() != nullptr) {
+          term = transport_->raft()->node(nodes_.id_of(0))->EntryTerm(seq);
+        }
+        OnOrdered(seq, term, cmd);
       });
+  if (config_.elasticity.enabled) {
+    tracker_ = std::make_unique<systems::runtime::ReplicaTracker>(
+        &config_.elasticity,
+        lifecycle::LifecycleMetrics::For(sim_->metrics(), "lifecycle.shard"));
+    // One fold compacts the whole group at the entry replica's anchor:
+    // nodes applied past it self-compact, committed-but-unapplied nodes
+    // skip (their entries still flow through apply), and laggards jump
+    // forward — harmless here because only the entry replica materializes
+    // state.
+    tracker_->set_on_fold([this](uint64_t anchor, uint64_t term) {
+      if (transport_->raft() == nullptr) return;
+      for (consensus::RaftNode* node : transport_->raft()->all()) {
+        node->InstallSnapshot(anchor, term);
+      }
+    });
+  }
+}
+
+sim::NodeId ShardExecutor::AddReplica(
+    std::function<void(const systems::runtime::JoinReport&)> done) {
+  sim::NodeId id = nodes_.Grow(sim_);
+  joiner_trackers_.push_back(
+      std::make_unique<systems::runtime::ReplicaTracker>(
+          &config_.elasticity,
+          lifecycle::LifecycleMetrics::For(sim_->metrics(),
+                                           "lifecycle.shard")));
+  systems::runtime::StartElasticRaftJoin(
+      sim_, net_, transport_.get(), nodes_.id_of(0), id, tracker_.get(),
+      joiner_trackers_.back().get(), config_.elasticity,
+      [](const std::map<std::string, std::string>&) {
+        // Shard state is materialized once per group; the joiner only
+        // contributes a consensus vote.
+      },
+      std::move(done));
+  return id;
+}
+
+void ShardExecutor::TrackEpoch(
+    const PendingEpoch& pending,
+    std::vector<std::pair<std::string, std::string>> writes) {
+  if (tracker_ == nullptr) return;
+  if (pending.seq > tracker_->applied_seq()) {
+    tracker_->OnEntry(pending.seq, pending.term, writes);
+  } else {
+    // The group committed this epoch at a lower slot than an
+    // already-tracked one (epochs order by sequencer number, commits by
+    // group slot — they can cross under churn). Keep the shadow state
+    // right without rewinding the anchor; these writes ride in the next
+    // fold's chunks instead of the log tail.
+    for (const auto& [key, value] : writes) tracker_->OnLoad(key, value);
+  }
 }
 
 void ShardExecutor::ConnectPeers(const std::vector<ShardExecutor*>& peers) {
@@ -332,7 +388,8 @@ void ShardExecutor::ProposeRetry(uint64_t number) {
                  [this, number] { ProposeRetry(number); });
 }
 
-void ShardExecutor::OnOrdered(const std::string& payload) {
+void ShardExecutor::OnOrdered(uint64_t seq, uint64_t term,
+                              const std::string& payload) {
   EpochBatch batch;
   if (!EpochBatch::Deserialize(payload, &batch)) return;
   if (batch.number < next_epoch_ || ordered_.count(batch.number) > 0) {
@@ -342,6 +399,8 @@ void ShardExecutor::OnOrdered(const std::string& payload) {
   PendingEpoch pending;
   pending.serialized = payload;
   pending.ordered_time = sim_->Now();
+  pending.seq = seq;
+  pending.term = term;
   uint64_t number = batch.number;
   pending.batch = std::move(batch);
   ordered_.emplace(number, std::move(pending));
@@ -433,6 +492,7 @@ void ShardExecutor::TryAdvance() {
     sim::Time ordered_time = pending.ordered_time;
     auto shared = std::make_shared<std::pair<EpochBatch, txn::EpochOutcome>>();
     shared->first = batch;
+    std::vector<std::pair<std::string, std::string>> tracked_writes;
     if (mine) {
       std::map<std::string, std::string> remote;
       for (const auto& [from, values] : forwards_[batch.number]) {
@@ -447,6 +507,7 @@ void ShardExecutor::TryAdvance() {
         for (const auto& [key, value] : result.writes) {
           if (planner_->partitioner()->ShardOf(key) == config_.shard) {
             state_.Put(key, value);
+            if (tracker_ != nullptr) tracked_writes.emplace_back(key, value);
           }
         }
       }
@@ -478,6 +539,7 @@ void ShardExecutor::TryAdvance() {
       });
     }
 
+    TrackEpoch(pending, std::move(tracked_writes));
     epoch_digests_.push_back(batch.Digest());
     if (config_.record_payloads) {
       applied_payloads_.push_back(pending.serialized);

@@ -18,6 +18,7 @@
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/elasticity.h"
 #include "systems/runtime/mempool.h"
 #include "systems/runtime/runtime.h"
 #include "systems/runtime/transport.h"
@@ -245,6 +246,9 @@ class ShardExecutor {
     sim::Time propose_retry_interval = 200 * sim::kMs;
     /// Keep serialized batches of applied epochs (replay oracle; fuzz only).
     bool record_payloads = false;
+    /// Replica-lifecycle support (default-off; enables AddReplica — Raft
+    /// groups only).
+    systems::runtime::ElasticityConfig elasticity;
   };
 
   /// Fired on the shard's entry replica after the epoch's writes are in the
@@ -273,6 +277,7 @@ class ShardExecutor {
 
   void Load(const std::string& key, const std::string& value) {
     state_.Put(key, value);
+    if (tracker_ != nullptr) tracker_->OnLoad(key, value);
   }
 
   uint32_t shard() const { return config_.shard; }
@@ -300,6 +305,18 @@ class ShardExecutor {
     return total;
   }
 
+  /// Lifecycle (requires config.elasticity.enabled and a Raft group):
+  /// scales this shard's replication group out by one. Shard state is
+  /// materialized once per group, so the joiner's data plane is just the
+  /// group tracker's snapshot + log-tail transfer (install is a no-op);
+  /// what the joiner really gains is a consensus vote — Raft §6
+  /// single-server admission with a snapshot anchored at the group's last
+  /// fold.
+  sim::NodeId AddReplica(
+      std::function<void(const systems::runtime::JoinReport&)> done);
+  /// The shard group's lifecycle tracker (null when elasticity is off).
+  systems::runtime::ReplicaTracker* tracker() { return tracker_.get(); }
+
  private:
   /// Buffered, not-yet-executed epoch.
   struct PendingEpoch {
@@ -307,9 +324,16 @@ class ShardExecutor {
     std::string serialized;
     sim::Time ordered_time = 0;
     bool forwards_sent = false;
+    /// Consensus slot (raft log index / BFT sequence) and term the group
+    /// committed this epoch at — the tracker's snapshot anchor currency.
+    uint64_t seq = 0;
+    uint64_t term = 0;
   };
 
-  void OnOrdered(const std::string& payload);
+  void OnOrdered(uint64_t seq, uint64_t term, const std::string& payload);
+  /// Feeds one applied epoch's own-slice writes into the group tracker.
+  void TrackEpoch(const PendingEpoch& pending,
+                  std::vector<std::pair<std::string, std::string>> writes);
   void OnForward(uint32_t from_shard, const std::string& payload);
   void ProposeRetry(uint64_t number);
   /// Executes every ready epoch in order; returns when the next epoch is
@@ -331,6 +355,12 @@ class ShardExecutor {
   /// Shard state, materialized once per shard (replicas agree bit-for-bit
   /// by the deterministic-execution contract; the group replicates order).
   adt::MerklePatriciaTrie state_;
+  /// One lifecycle tracker per shard *group* (state is materialized once);
+  /// null when elasticity is disabled. Joiner-side sinks live in
+  /// joiner_trackers_ for the duration of their transfers.
+  std::unique_ptr<systems::runtime::ReplicaTracker> tracker_;
+  std::vector<std::unique_ptr<systems::runtime::ReplicaTracker>>
+      joiner_trackers_;
 
   uint64_t next_epoch_ = 0;                    // next epoch number to apply
   std::map<uint64_t, PendingEpoch> ordered_;   // ordered, not yet applied

@@ -50,7 +50,7 @@ AhlSystem::AhlSystem(sim::Simulator* sim, sim::SimNetwork* net,
   for (uint32_t s = 0; s < config_.num_shards; s++) {
     shard_bft_.push_back(std::make_unique<runtime::Transport>(
         sim, net, costs, span(config_.nodes_per_shard), bft_transport,
-        [this, s](size_t node_index, const std::string& cmd) {
+        [this, s](size_t node_index, uint64_t, const std::string& cmd) {
           // Apply once, on the shard's first node (shared state object).
           if (node_index == 0) ApplyShardEntry(s, cmd);
         }));

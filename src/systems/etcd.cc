@@ -16,9 +16,12 @@ EtcdSystem::EtcdSystem(sim::Simulator* sim, sim::SimNetwork* net,
   transport.raft = config_.raft;
   transport_ = std::make_unique<runtime::Transport>(
       sim, net, costs, nodes_.ids(), transport,
-      [this](size_t node_index, const std::string& cmd) {
-        ApplyEntry(nodes_.id_of(node_index), cmd);
+      [this](size_t node_index, uint64_t seq, const std::string& cmd) {
+        ApplyEntry(nodes_.id_of(node_index), seq, cmd);
       });
+  if (config_.elasticity.enabled) {
+    for (NodeId id : nodes_.ids()) MakeTracker(id);
+  }
   if (obs::MetricsRegistry* registry = sim_->metrics()) {
     runtime::RegisterSystemStats(registry, "etcd", &stats_);
     runtime::RegisterNodeCpuGauges(registry, "etcd", &nodes_,
@@ -28,20 +31,57 @@ EtcdSystem::EtcdSystem(sim::Simulator* sim, sim::SimNetwork* net,
 
 void EtcdSystem::Start() { transport_->Start(); }
 
-void EtcdSystem::ApplyEntry(NodeId node, const std::string& cmd) {
+runtime::ReplicaTracker* EtcdSystem::MakeTracker(NodeId node) {
+  auto tracker = std::make_unique<runtime::ReplicaTracker>(
+      &config_.elasticity,
+      lifecycle::LifecycleMetrics::For(sim_->metrics(), "lifecycle.etcd"));
+  // Each replica compacts its own raft log at its fold anchors — that is
+  // what makes the lifecycle transfer (not log back-fill) the only way a
+  // joiner can cross an anchor.
+  tracker->set_on_fold([this, node](uint64_t anchor, uint64_t term) {
+    transport_->raft()->node(node)->InstallSnapshot(anchor, term);
+  });
+  trackers_.push_back(std::move(tracker));
+  return trackers_.back().get();
+}
+
+void EtcdSystem::ApplyEntry(NodeId node, uint64_t seq, const std::string& cmd) {
   core::TxnRequest request;
   if (!core::TxnRequest::Deserialize(cmd, &request)) return;
   Time cost = 0;
   Node* state = &nodes_.at(node);
+  std::vector<std::pair<std::string, std::string>> writes;
   for (const auto& op : request.ops) {
     if (op.type != core::OpType::kRead) {
       state->state.Put(op.key, op.value);
       cost += costs_->BtreeOpCost(op.key.size() + op.value.size());
+      if (!trackers_.empty()) writes.emplace_back(op.key, op.value);
     }
+  }
+  if (runtime::ReplicaTracker* t = tracker(node)) {
+    consensus::RaftNode* raft = transport_->raft()->node(node);
+    t->OnEntry(seq, raft != nullptr ? raft->EntryTerm(seq) : 0, writes);
   }
   // Apply work is real (above); its time is charged to the node so a slow
   // applier shows up as commit latency.
   state->cpu.Submit(cost, [] {});
+}
+
+NodeId EtcdSystem::AddReplica(
+    std::function<void(const runtime::JoinReport&)> done) {
+  NodeId id = nodes_.Grow(sim_);
+  runtime::ReplicaTracker* joiner = MakeTracker(id);
+  consensus::RaftNode* leader = transport_->raft()->leader();
+  NodeId source = leader != nullptr ? leader->id() : nodes_.id_of(0);
+  runtime::StartElasticRaftJoin(
+      sim_, net_, transport_.get(), source, id, tracker(source), joiner,
+      config_.elasticity,
+      [this, id](const std::map<std::string, std::string>& state) {
+        Node* node = &nodes_.at(id);
+        for (const auto& [key, value] : state) node->state.Put(key, value);
+      },
+      std::move(done));
+  return id;
 }
 
 void EtcdSystem::Submit(const core::TxnRequest& request, core::TxnCallback cb) {

@@ -11,6 +11,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "storage/btree/btree.h"
+#include "systems/runtime/elasticity.h"
 #include "systems/runtime/runtime.h"
 #include "systems/runtime/transport.h"
 
@@ -24,6 +25,8 @@ struct EtcdConfig {
   consensus::RaftConfig raft;
   /// Client endpoint node id used as the "source" of requests on the wire.
   NodeId client_node = runtime::kClientNode;
+  /// Replica-lifecycle support (default-off; enables AddReplica).
+  runtime::ElasticityConfig elasticity;
 };
 
 /// etcd-like NoSQL store (Table 2's etcd row): storage-based replication,
@@ -50,13 +53,27 @@ class EtcdSystem : public core::TransactionalSystem {
   /// Pre-populates every replica directly (benchmark setup; bypasses
   /// consensus the way a bulk load would).
   void Load(const std::string& key, const std::string& value) override {
-    runtime::SeedAllReplicas(&nodes_,
-                             [&](Node& node) { node.state.Put(key, value); });
+    nodes_.ForEach([&](NodeId id, Node& node) {
+      node.state.Put(key, value);
+      if (runtime::ReplicaTracker* t = tracker(id)) t->OnLoad(key, value);
+    });
   }
 
   /// Every node's full copy of the state (full replication).
   storage::btree::BTree* state_of(NodeId node) { return &nodes_.at(node).state; }
   uint64_t StateBytes() const;
+
+  /// Lifecycle (requires config.elasticity.enabled): scales the group out
+  /// by one replica — content-addressed snapshot + log-tail transfer from
+  /// the leader, then Raft §6 single-server admission — all under live
+  /// traffic. `done` fires once the replica is admitted. Returns the new
+  /// replica's id.
+  NodeId AddReplica(std::function<void(const runtime::JoinReport&)> done);
+  /// The replica's lifecycle tracker (null when elasticity is disabled).
+  runtime::ReplicaTracker* tracker(NodeId node) {
+    size_t index = nodes_.index_of(node);
+    return index < trackers_.size() ? trackers_[index].get() : nullptr;
+  }
 
  private:
   struct Node {
@@ -65,7 +82,8 @@ class EtcdSystem : public core::TransactionalSystem {
     sim::CpuResource cpu;  // serial apply thread (BoltDB writer)
   };
 
-  void ApplyEntry(NodeId node, const std::string& cmd);
+  runtime::ReplicaTracker* MakeTracker(NodeId node);
+  void ApplyEntry(NodeId node, uint64_t seq, const std::string& cmd);
 
   sim::Simulator* sim_;
   sim::SimNetwork* net_;
@@ -73,6 +91,9 @@ class EtcdSystem : public core::TransactionalSystem {
   EtcdConfig config_;
   core::SystemStats stats_;
   runtime::NodeSet<Node> nodes_;
+  /// One lifecycle tracker per replica, parallel to nodes_ (empty when
+  /// elasticity is disabled — the default, so goldens are untouched).
+  std::vector<std::unique_ptr<runtime::ReplicaTracker>> trackers_;
   /// One Raft group over all nodes; Submit goes through the raw raft()
   /// accessor because etcd rejects leaderless writes instead of retrying.
   std::unique_ptr<runtime::Transport> transport_;

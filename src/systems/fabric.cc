@@ -52,6 +52,9 @@ FabricSystem::FabricSystem(sim::Simulator* sim, sim::SimNetwork* net,
       OnBlockDelivered(peer, b);
     });
   }
+  if (config_.elasticity.enabled) {
+    for (NodeId peer : peers_.ids()) MakeTracker(peer);
+  }
   if (obs::MetricsRegistry* registry = sim_->metrics()) {
     runtime::RegisterSystemStats(registry, "fabric", &stats_);
     inflight_.AttachMetrics(registry, "fabric.inflight");
@@ -62,6 +65,66 @@ FabricSystem::FabricSystem(sim::Simulator* sim, sim::SimNetwork* net,
 }
 
 void FabricSystem::Start() { ordering_->Start(); }
+
+runtime::ReplicaTracker* FabricSystem::MakeTracker(NodeId peer) {
+  // No fold hook: peers have no consensus log to compact — the ordering
+  // service keeps the block log, folds just roll the snapshot anchor.
+  trackers_.push_back(std::make_unique<runtime::ReplicaTracker>(
+      &config_.elasticity,
+      lifecycle::LifecycleMetrics::For(sim_->metrics(), "lifecycle.fabric")));
+  (void)peer;
+  return trackers_.back().get();
+}
+
+NodeId FabricSystem::AddPeer(
+    std::function<void(const runtime::JoinReport&)> done) {
+  NodeId joiner = peers_.Grow(sim_);
+  peers_.at(joiner).catching_up = true;
+  runtime::ReplicaTracker* sink = MakeTracker(joiner);
+  // Subscribe before the transfer starts: blocks ordered during catch-up
+  // land in the backlog, so nothing is lost between the snapshot anchor
+  // and live delivery.
+  ordering_->Subscribe(joiner,
+                       [this, joiner](const sharedlog::OrderedBlock& b) {
+                         OnBlockDelivered(joiner, b);
+                       });
+  NodeId source = peers_.id_of(0);
+  runtime::StartReplicaJoin(
+      sim_, net_, source, joiner, tracker(source), sink, config_.elasticity,
+      nullptr,
+      [this, joiner, done = std::move(done)](
+          const runtime::JoinReport& report,
+          const std::map<std::string, std::string>& state) {
+        if (!report.ok) {
+          done(report);
+          return;
+        }
+        Peer* peer = &peers_.at(joiner);
+        for (const auto& [key, encoded] : state) {
+          // Decode "value@version": MVCC versions are block heights and
+          // all peers apply all blocks, so the source's versions are
+          // exactly what this peer's own validation would have written.
+          size_t at = encoded.rfind('@');
+          uint64_t version = 0;
+          std::string value = encoded;
+          if (at != std::string::npos) {
+            version = std::stoull(encoded.substr(at + 1));
+            value = encoded.substr(0, at);
+          }
+          peer->state.Apply({{key, value}}, version);
+        }
+        peer->catching_up = false;
+        std::vector<sharedlog::OrderedBlock> backlog;
+        backlog.swap(peer->backlog);
+        for (const auto& block : backlog) {
+          // Tracker seqs are 1-based block numbers; anything at or below
+          // the transferred anchor is already in the restored state.
+          if (block.number + 1 > report.anchor) OnBlockDelivered(joiner, block);
+        }
+        done(report);
+      });
+  return joiner;
+}
 
 void FabricSystem::Submit(const core::TxnRequest& request,
                           core::TxnCallback cb) {
@@ -160,6 +223,10 @@ void FabricSystem::OnBlockDelivered(NodeId peer_id,
                                     const sharedlog::OrderedBlock& block) {
   Peer* peer = &peers_.at(peer_id);
   Time delivered = sim_->Now();
+  if (peer->catching_up) {
+    peer->backlog.push_back(block);
+    return;
+  }
 
   // Validation cost: per transaction, verify the client signature plus one
   // signature per endorsement (42% of validation time in the paper's
@@ -175,14 +242,19 @@ void FabricSystem::OnBlockDelivered(NodeId peer_id,
   cost /= static_cast<Time>(config_.validation_parallelism);
 
   auto envelopes = std::make_shared<std::vector<std::string>>(block.envelopes);
-  peer->validate_cpu.Submit(cost, [this, peer_id, peer, envelopes,
-                                   delivered] {
+  uint64_t block_seq = block.number + 1;  // tracker seqs are 1-based
+  peer->validate_cpu.Submit(cost, [this, peer_id, peer, envelopes, delivered,
+                                   block_seq] {
     ledger::Block ledger_block;
     ledger_block.header.number = peer->chain.height();
     ledger_block.header.parent = peer->chain.TipDigest();
     ledger_block.header.timestamp_us = static_cast<uint64_t>(sim_->Now());
-    uint64_t version = peer->chain.height() + 1;
+    // MVCC versions are global block heights, not local chain positions: a
+    // joined peer's own ledger starts at its transfer anchor, but its
+    // versions must match what the elders stamped for the same block.
+    uint64_t version = block_seq;
 
+    std::vector<std::pair<std::string, std::string>> writes;
     for (const auto& env : *envelopes) {
       ledger::LedgerTxn txn;
       if (!ledger::LedgerTxn::Deserialize(env, &txn)) continue;
@@ -192,6 +264,11 @@ void FabricSystem::OnBlockDelivered(NodeId peer_id,
       txn.valid = valid;
       if (valid) {
         peer->state.Apply(txn.write_set, version);
+        if (!trackers_.empty()) {
+          for (const auto& [k, v] : txn.write_set) {
+            writes.emplace_back(k, v + "@" + std::to_string(version));
+          }
+        }
       }
       // Aborted transactions stay on the ledger, marked invalid.
       bool is_completion_peer = peer_id == peers_.id_of(0);
@@ -206,6 +283,9 @@ void FabricSystem::OnBlockDelivered(NodeId peer_id,
     }
     ledger_block.SealTxnRoot();
     peer->chain.Append(std::move(ledger_block));
+    if (runtime::ReplicaTracker* t = tracker(peer_id)) {
+      t->OnEntry(block_seq, 0, writes);
+    }
   });
 }
 
@@ -255,7 +335,9 @@ void FabricSystem::Query(const core::ReadRequest& request,
                          core::ReadCallback cb) {
   stats_.queries++;
   Time submit_time = sim_->Now();
-  NodeId target = peers_.id_of(request.client_id % peers_.size());
+  // Reads route over the construction-time span only — a joiner still
+  // catching up must not serve stale reads.
+  NodeId target = peers_.id_of(request.client_id % config_.num_peers);
   net_->Send(config_.client_node, target, 64 + request.key.size(),
              [this, target, key = request.key, cb = std::move(cb),
               submit_time]() mutable {

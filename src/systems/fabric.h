@@ -13,6 +13,7 @@
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/elasticity.h"
 #include "systems/runtime/mempool.h"
 #include "systems/runtime/runtime.h"
 #include "txn/occ.h"
@@ -33,6 +34,8 @@ struct FabricConfig {
   uint32_t validation_parallelism = 1;
   sharedlog::OrderingConfig ordering;
   NodeId client_node = runtime::kClientNode;
+  /// Replica-lifecycle support (default-off; enables AddPeer).
+  runtime::ElasticityConfig elasticity;
 };
 
 /// Hyperledger Fabric v2.x: an execute-order-validate permissioned
@@ -62,8 +65,13 @@ class FabricSystem : public core::TransactionalSystem {
 
   /// Pre-populates every peer's world state directly (benchmark setup).
   void Load(const std::string& key, const std::string& value) override {
-    runtime::SeedAllReplicas(
-        &peers_, [&](Peer& peer) { peer.state.Apply({{key, value}}, 0); });
+    peers_.ForEach([&](NodeId id, Peer& peer) {
+      peer.state.Apply({{key, value}}, 0);
+      // Tracker values carry the MVCC version ("value@version") so a
+      // transferred snapshot restores versions the joiner's later
+      // validation can compare against.
+      if (runtime::ReplicaTracker* t = tracker(id)) t->OnLoad(key, value + "@0");
+    });
   }
 
   const txn::VersionedState& state_of(NodeId peer) const {
@@ -79,12 +87,31 @@ class FabricSystem : public core::TransactionalSystem {
     return peers_.at(peer).validate_cpu.backlog();
   }
 
+  /// Lifecycle (requires config.elasticity.enabled): adds one peer via a
+  /// world-state snapshot transfer from peer 0 — Fabric v2.4's
+  /// ledger-snapshot join: the new peer gets state (with MVCC versions,
+  /// so later validation matches its elders) but no historical blocks; it
+  /// validates ordered blocks past the snapshot anchor itself. Peers are
+  /// not consensus members, so no config change is needed — admission is a
+  /// delivery subscription. `done` fires once the buffered block backlog
+  /// has drained into the peer.
+  NodeId AddPeer(std::function<void(const runtime::JoinReport&)> done);
+  runtime::ReplicaTracker* tracker(NodeId peer) {
+    size_t index = peers_.index_of(peer);
+    return index < trackers_.size() ? trackers_[index].get() : nullptr;
+  }
+
  private:
   struct Peer {
     explicit Peer(sim::Simulator* sim) : validate_cpu(sim) {}
     txn::VersionedState state;
     ledger::Chain chain;
     sim::CpuResource validate_cpu;  // the serial validate/commit thread
+    /// True between AddPeer and snapshot install: delivered blocks are
+    /// buffered in `backlog` instead of validated (the subscription starts
+    /// before the transfer so no block is lost in between).
+    bool catching_up = false;
+    std::vector<sharedlog::OrderedBlock> backlog;
   };
   struct PendingTxn {
     core::TxnRequest request;
@@ -102,6 +129,7 @@ class FabricSystem : public core::TransactionalSystem {
     return config_.endorsers_required == 0 ? config_.num_peers
                                            : config_.endorsers_required;
   }
+  runtime::ReplicaTracker* MakeTracker(NodeId peer);
   void OnEndorsementsComplete(std::shared_ptr<PendingTxn> pending);
   void OnBlockDelivered(NodeId peer, const sharedlog::OrderedBlock& block);
   void FinishTxn(uint64_t txn_id, bool valid, core::AbortReason reason);
@@ -112,6 +140,8 @@ class FabricSystem : public core::TransactionalSystem {
   FabricConfig config_;
   core::SystemStats stats_;
   runtime::NodeSet<Peer> peers_;
+  /// Parallel to peers_; empty when elasticity is disabled (the default).
+  std::vector<std::unique_ptr<runtime::ReplicaTracker>> trackers_;
   std::unique_ptr<sharedlog::OrderingService> ordering_;
   std::unique_ptr<contract::ContractRegistry> contracts_;
   runtime::InflightTable<std::shared_ptr<PendingTxn>> inflight_;

@@ -42,9 +42,12 @@ HarmonySystem::HarmonySystem(sim::Simulator* sim, sim::SimNetwork* net,
   transport.bft = config_.bft;
   transport_ = std::make_unique<runtime::Transport>(
       sim, net, costs, nodes_.ids(), transport,
-      [this](size_t node_index, const std::string& cmd) {
-        OnEpochCommitted(nodes_.id_of(node_index), cmd);
+      [this](size_t node_index, uint64_t seq, const std::string& cmd) {
+        OnEpochCommitted(nodes_.id_of(node_index), seq, cmd);
       });
+  if (config_.elasticity.enabled) {
+    for (sim::NodeId id : nodes_.ids()) MakeTracker(id);
+  }
   if (obs::MetricsRegistry* registry = sim_->metrics()) {
     runtime::RegisterSystemStats(registry, "harmony", &stats_);
     mempool_.AttachMetrics(registry, "harmony.mempool");
@@ -89,11 +92,43 @@ sim::NodeId HarmonySystem::SequencerId() const {
 sim::NodeId HarmonySystem::CompletionId() const {
   // A fixed non-sequencer replica acts as the client's local peer, so the
   // observed latency includes the deterministic-execution (commit) phase.
-  sim::NodeId completion = nodes_.ids().back();
-  if (completion == SequencerId() && nodes_.size() > 1) {
-    completion = nodes_.id_of(nodes_.size() - 2);
+  // Pinned to the construction-time span: a replica joining later must not
+  // inherit completion duty while it is still catching up.
+  sim::NodeId completion = nodes_.id_of(config_.num_nodes - 1);
+  if (completion == SequencerId() && config_.num_nodes > 1) {
+    completion = nodes_.id_of(config_.num_nodes - 2);
   }
   return completion;
+}
+
+runtime::ReplicaTracker* HarmonySystem::MakeTracker(sim::NodeId node) {
+  auto tracker = std::make_unique<runtime::ReplicaTracker>(
+      &config_.elasticity,
+      lifecycle::LifecycleMetrics::For(sim_->metrics(), "lifecycle.harmony"));
+  if (config_.consensus == HarmonyConsensus::kRaft) {
+    tracker->set_on_fold([this, node](uint64_t anchor, uint64_t term) {
+      transport_->raft()->node(node)->InstallSnapshot(anchor, term);
+    });
+  }
+  trackers_.push_back(std::move(tracker));
+  return trackers_.back().get();
+}
+
+sim::NodeId HarmonySystem::AddReplica(
+    std::function<void(const runtime::JoinReport&)> done) {
+  sim::NodeId id = nodes_.Grow(sim_);
+  runtime::ReplicaTracker* joiner = MakeTracker(id);
+  consensus::RaftNode* leader = transport_->raft()->leader();
+  sim::NodeId source = leader != nullptr ? leader->id() : nodes_.id_of(0);
+  runtime::StartElasticRaftJoin(
+      sim_, net_, transport_.get(), source, id, tracker(source), joiner,
+      config_.elasticity,
+      [this, id](const std::map<std::string, std::string>& state) {
+        Node* node = &nodes_.at(id);
+        for (const auto& [key, value] : state) node->state.Put(key, value);
+      },
+      std::move(done));
+  return id;
 }
 
 void HarmonySystem::SequencerTick() {
@@ -153,7 +188,7 @@ void HarmonySystem::CutAndOrderEpoch() {
   });
 }
 
-void HarmonySystem::OnEpochCommitted(sim::NodeId node_id,
+void HarmonySystem::OnEpochCommitted(sim::NodeId node_id, uint64_t seq,
                                      const std::string& cmd) {
   ledger::Block block;
   if (!ledger::Block::Deserialize(cmd, &block)) return;
@@ -187,9 +222,25 @@ void HarmonySystem::OnEpochCommitted(sim::NodeId node_id,
   }
   block.header.state_digest = node->state.RootDigest();
 
+  if (runtime::ReplicaTracker* t = tracker(node_id)) {
+    std::vector<std::pair<std::string, std::string>> writes;
+    for (const auto& result : outcome.results) {
+      for (const auto& [key, value] : result.writes) {
+        writes.emplace_back(key, value);
+      }
+    }
+    uint64_t term = 0;
+    if (config_.consensus == HarmonyConsensus::kRaft) {
+      consensus::RaftNode* raft = transport_->raft()->node(node_id);
+      if (raft != nullptr) term = raft->EntryTerm(seq);
+    }
+    t->OnEntry(seq, term, writes);
+  }
+
   // One replica (a fixed one, so the count is once per epoch) accumulates
-  // the schedule statistics the ablation bench reports.
-  if (node_id == nodes_.ids().back()) {
+  // the schedule statistics the ablation bench reports. Pinned to the
+  // construction-time span so a joining replica doesn't skew the counts.
+  if (node_id == nodes_.id_of(config_.num_nodes - 1)) {
     epoch_stats_.epochs++;
     epoch_stats_.scheduled_txns += outcome.results.size();
     epoch_stats_.conflict_edges += outcome.schedule.conflict_edges;
@@ -270,7 +321,9 @@ void HarmonySystem::Query(const core::ReadRequest& request,
                           core::ReadCallback cb) {
   stats_.queries++;
   sim::Time submit_time = sim_->Now();
-  sim::NodeId target = nodes_.id_of(request.client_id % nodes_.size());
+  // Reads route over the construction-time span only — a joiner still
+  // catching up must not serve stale reads.
+  sim::NodeId target = nodes_.id_of(request.client_id % config_.num_nodes);
   net_->Send(config_.client_node, target, 64 + request.key.size(),
              [this, target, key = request.key, cb = std::move(cb),
               submit_time]() mutable {

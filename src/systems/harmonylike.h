@@ -13,6 +13,7 @@
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "systems/runtime/elasticity.h"
 #include "systems/runtime/mempool.h"
 #include "systems/runtime/runtime.h"
 #include "systems/runtime/transport.h"
@@ -34,6 +35,9 @@ struct HarmonyConfig {
   sim::NodeId client_node = runtime::kClientNode;
   consensus::RaftConfig raft;
   consensus::BftConfig bft;
+  /// Replica-lifecycle support (default-off; enables AddReplica — Raft
+  /// consensus only).
+  runtime::ElasticityConfig elasticity;
 };
 
 /// Cumulative deterministic-scheduling statistics (ablation reporting).
@@ -85,8 +89,22 @@ class HarmonySystem : public core::TransactionalSystem {
   std::string name() const override { return "harmonylike"; }
 
   void Load(const std::string& key, const std::string& value) override {
-    runtime::SeedAllReplicas(&nodes_,
-                             [&](Node& node) { node.state.Put(key, value); });
+    nodes_.ForEach([&](sim::NodeId id, Node& node) {
+      node.state.Put(key, value);
+      if (runtime::ReplicaTracker* t = tracker(id)) t->OnLoad(key, value);
+    });
+  }
+
+  /// Lifecycle (requires config.elasticity.enabled and Raft consensus):
+  /// scales the replica set out by one — snapshot + log-tail transfer from
+  /// a live replica, then Raft single-server admission. Because execution
+  /// is deterministic, catch-up is a pure data transfer: the joiner
+  /// replays ordered epochs past the anchor and lands byte-identical
+  /// (PAPERS.md, "When Private Blockchain Meets Deterministic Database").
+  sim::NodeId AddReplica(std::function<void(const runtime::JoinReport&)> done);
+  runtime::ReplicaTracker* tracker(sim::NodeId node) {
+    size_t index = nodes_.index_of(node);
+    return index < trackers_.size() ? trackers_[index].get() : nullptr;
   }
 
   const adt::MerklePatriciaTrie& state_of(sim::NodeId node) const {
@@ -115,9 +133,11 @@ class HarmonySystem : public core::TransactionalSystem {
 
   sim::NodeId SequencerId() const;
   sim::NodeId CompletionId() const;
+  runtime::ReplicaTracker* MakeTracker(sim::NodeId node);
   void SequencerTick();
   void CutAndOrderEpoch();
-  void OnEpochCommitted(sim::NodeId node, const std::string& serialized);
+  void OnEpochCommitted(sim::NodeId node, uint64_t seq,
+                        const std::string& serialized);
 
   sim::Simulator* sim_;
   sim::SimNetwork* net_;
@@ -126,6 +146,8 @@ class HarmonySystem : public core::TransactionalSystem {
   core::SystemStats stats_;
   HarmonyEpochStats epoch_stats_;
   runtime::NodeSet<Node> nodes_;
+  /// Parallel to nodes_; empty when elasticity is disabled (the default).
+  std::vector<std::unique_ptr<runtime::ReplicaTracker>> trackers_;
   std::unique_ptr<runtime::Transport> transport_;
   std::unique_ptr<contract::ContractRegistry> contracts_;
   txn::DeterministicExecutor executor_;

@@ -40,17 +40,22 @@ HarmonyShardSystem::HarmonyShardSystem(sim::Simulator* sim,
         OnEpochOrdered(std::move(batch));
       });
 
+  // With elasticity on, each shard's id span gets headroom for joins so a
+  // grown group never collides with the next shard's base. Zero when off —
+  // node ids (and therefore the golden baselines) are unchanged.
+  const uint32_t headroom = config_.elasticity.enabled ? 8 : 0;
   for (uint32_t s = 0; s < config_.num_shards; s++) {
     sharding::ShardExecutor::Config shard;
     shard.shard = s;
     shard.base = runtime::kHarmonyShardBase + config_.sequencer_nodes +
-                 s * config_.nodes_per_shard;
+                 s * (config_.nodes_per_shard + headroom);
     shard.num_nodes = config_.nodes_per_shard;
     shard.bft = config_.bft;
     shard.exec_lanes = config_.exec_lanes;
     shard.raft = config_.raft;
     shard.bft_config = config_.bft_config;
     shard.record_payloads = config_.record_payloads;
+    shard.elasticity = config_.elasticity;
     shards_.push_back(std::make_unique<sharding::ShardExecutor>(
         sim, net, costs, &planner_, contracts_.get(), shard, &shard_stats_,
         [this](uint32_t shard_id, const sharding::EpochBatch& batch,

@@ -33,6 +33,10 @@ struct HarmonyShardConfig {
   consensus::BftConfig bft_config;
   /// Keep serialized applied epochs on every shard (fuzz replay oracle).
   bool record_payloads = false;
+  /// Replica-lifecycle support (default-off; enables AddShardReplica).
+  /// When enabled, each shard group's node-id span is padded with growth
+  /// headroom so joins never collide with the next shard's span.
+  runtime::ElasticityConfig elasticity;
 };
 
 /// Sharded order-then-deterministic-execute fusion (the ROADMAP's
@@ -80,6 +84,17 @@ class HarmonyShardSystem : public core::TransactionalSystem {
   uint64_t ForwardRetransmits() const;
   /// Every node id in the topology: sequencer group then shard groups.
   std::vector<sim::NodeId> AllNodeIds() const;
+
+  /// Lifecycle (requires config.elasticity.enabled and Raft groups): grows
+  /// shard `shard`'s replication group by one replica via the group's
+  /// snapshot + log-tail transfer and Raft §6 admission.
+  sim::NodeId AddShardReplica(
+      uint32_t shard, std::function<void(const runtime::JoinReport&)> done) {
+    return shards_[shard]->AddReplica(std::move(done));
+  }
+  sharding::ShardExecutor* mutable_shard(uint32_t s) {
+    return shards_[s].get();
+  }
 
  private:
   struct PendingTxn {

@@ -41,7 +41,7 @@ QuorumSystem::QuorumSystem(sim::Simulator* sim, sim::SimNetwork* net,
   transport.bft = config_.ibft;
   transport_ = std::make_unique<runtime::Transport>(
       sim, net, costs, nodes_.ids(), transport,
-      [this](size_t node_index, const std::string& cmd) {
+      [this](size_t node_index, uint64_t, const std::string& cmd) {
         OnBlockCommitted(nodes_.id_of(node_index), cmd);
       });
   if (obs::MetricsRegistry* registry = sim_->metrics()) {

@@ -1,0 +1,300 @@
+#include "systems/runtime/elasticity.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "consensus/raft.h"
+#include "lifecycle/membership.h"
+
+namespace dicho::systems::runtime {
+
+ReplicaTracker::ReplicaTracker(const ElasticityConfig* config,
+                               lifecycle::LifecycleMetrics metrics)
+    : config_(config), metrics_(metrics) {}
+
+void ReplicaTracker::OnLoad(const std::string& key, const std::string& value) {
+  state_[key] = value;
+  loads_pending_ = true;
+}
+
+void ReplicaTracker::OnEntry(
+    uint64_t seq, uint64_t term,
+    const std::vector<std::pair<std::string, std::string>>& writes) {
+  for (const auto& [key, value] : writes) state_[key] = value;
+  applied_seq_ = seq;
+  last_term_ = term;
+  suffix_.push_back({seq, term, lifecycle::EncodeChunk(writes)});
+  MaybeFold();
+}
+
+void ReplicaTracker::MaybeFold() {
+  if (applied_seq_ - manifest_.anchor < config_->snapshot_every) return;
+  Fold();
+}
+
+void ReplicaTracker::Fold() {
+  uint64_t bytes_before = store_.bytes_stored();
+  size_t chunks_before = store_.chunk_count();
+  manifest_ =
+      lifecycle::BuildSnapshot(state_, applied_seq_, config_->snapshot,
+                               &store_);
+  anchor_term_ = last_term_;
+  suffix_.clear();
+  loads_pending_ = false;
+  snapshots_taken_++;
+  if (metrics_.snapshots_taken) metrics_.snapshots_taken->Inc();
+  if (metrics_.snapshot_bytes) {
+    metrics_.snapshot_bytes->Inc(store_.bytes_stored() - bytes_before);
+  }
+  if (metrics_.snapshot_chunks) {
+    metrics_.snapshot_chunks->Inc(store_.chunk_count() - chunks_before);
+  }
+  if (on_fold_) on_fold_(manifest_.anchor, anchor_term_);
+}
+
+void ReplicaTracker::Seed(std::map<std::string, std::string> state,
+                          uint64_t anchor, uint64_t term) {
+  state_ = std::move(state);
+  applied_seq_ = anchor;
+  last_term_ = term;
+  anchor_term_ = term;
+  suffix_.clear();
+  loads_pending_ = false;
+  // Fold now: unchanged buckets dedup against any chunks this store already
+  // holds (the delta-rejoin win), and the replica can serve joins itself.
+  manifest_ =
+      lifecycle::BuildSnapshot(state_, anchor, config_->snapshot, &store_);
+  snapshots_taken_++;
+  if (metrics_.snapshots_taken) metrics_.snapshots_taken->Inc();
+}
+
+lifecycle::SnapshotTransfer::Source ReplicaTracker::AsSource(
+    std::function<bool()> available) {
+  lifecycle::SnapshotTransfer::Source src;
+  src.available =
+      available != nullptr ? std::move(available) : [] { return true; };
+  src.manifest = [this] {
+    // Loads since the last fold live only in the shadow state; fold now so
+    // the manifest + suffix the joiner sees reconstruct state_ exactly.
+    if (loads_pending_) Fold();
+    return manifest_;
+  };
+  src.chunks = [this]() -> const lifecycle::ChunkStore* { return &store_; };
+  src.log_suffix = [this](uint64_t after) {
+    lifecycle::LogSuffix out;
+    out.anchor_term = anchor_term_;
+    for (const SuffixEntry& entry : suffix_) {
+      if (entry.seq > after) {
+        out.entries.push_back({entry.seq, entry.term, entry.encoded});
+      } else {
+        out.anchor_term = entry.term;
+      }
+    }
+    return out;
+  };
+  return src;
+}
+
+void StartReplicaJoin(
+    sim::Simulator* sim, sim::SimNetwork* net, sim::NodeId source_id,
+    sim::NodeId joiner_id, ReplicaTracker* source, ReplicaTracker* joiner,
+    const ElasticityConfig& config, std::function<bool()> source_available,
+    std::function<void(const JoinReport&,
+                       const std::map<std::string, std::string>& state)>
+        install) {
+  sim::Time started = sim->Now();
+  lifecycle::SnapshotTransfer::Start(
+      sim, net, source_id, joiner_id,
+      source->AsSource(std::move(source_available)), joiner->store(),
+      /*joiner_alive=*/[] { return true; }, config.transfer,
+      [sim, joiner, install = std::move(install),
+       started](lifecycle::TransferResult result) {
+        JoinReport report;
+        report.started = started;
+        report.finished = sim->Now();
+        report.stats = result.stats;
+        std::map<std::string, std::string> state;
+        if (!result.ok ||
+            !lifecycle::RestoreSnapshot(result.manifest, *joiner->store(),
+                                        &state)) {
+          joiner->RecordTransfer(result.stats, false);
+          install(report, {});
+          return;
+        }
+        uint64_t anchor = result.manifest.anchor;
+        uint64_t term = result.suffix.anchor_term;
+        for (const lifecycle::CatchupEntry& entry : result.suffix.entries) {
+          std::vector<std::pair<std::string, std::string>> writes;
+          if (lifecycle::DecodeChunk(entry.cmd, &writes)) {
+            for (const auto& [key, value] : writes) state[key] = value;
+          }
+          anchor = entry.index;
+          term = entry.term;
+        }
+        report.ok = true;
+        report.anchor = anchor;
+        report.anchor_term = term;
+        joiner->RecordTransfer(result.stats, true);
+        joiner->Seed(state, anchor, term);
+        install(report, joiner->state());
+      });
+}
+
+namespace {
+
+/// Drives the Raft §6 add-node admission of an already-caught-up joiner:
+/// polls for a leader, proposes the single-server add, and re-polls until
+/// the leader's membership contains the joiner (elections and an in-flight
+/// config change just delay the next attempt).
+void DriveAdmission(sim::Simulator* sim, Transport* transport,
+                    sim::NodeId joiner_id, JoinReport report,
+                    std::function<void(const JoinReport&)> done) {
+  consensus::RaftCluster* cluster = transport->raft();
+  consensus::RaftNode* leader = cluster->leader();
+  if (leader != nullptr && leader->membership().Contains(joiner_id)) {
+    report.finished = sim->Now();
+    done(report);
+    return;
+  }
+  if (leader != nullptr) {
+    lifecycle::ConfigChange cc;
+    cc.kind = lifecycle::ConfigChangeKind::kAddNode;
+    cc.node = joiner_id;
+    // Rejected while another change is in flight — the re-poll retries.
+    leader->ProposeConfigChange(cc, [](Status, uint64_t) {});
+  }
+  sim->Schedule(100 * sim::kMs, [sim, transport, joiner_id,
+                                 report = std::move(report),
+                                 done = std::move(done)]() mutable {
+    DriveAdmission(sim, transport, joiner_id, std::move(report),
+                   std::move(done));
+  });
+}
+
+void MergeStats(const lifecycle::CatchupStats& round,
+                lifecycle::CatchupStats* total) {
+  total->control_bytes += round.control_bytes;
+  total->manifest_bytes += round.manifest_bytes;
+  total->chunk_bytes += round.chunk_bytes;
+  total->chunks_fetched += round.chunks_fetched;
+  total->chunks_reused += round.chunks_reused;
+  total->log_entries += round.log_entries;
+  total->log_bytes += round.log_bytes;
+  total->retries += round.retries;
+}
+
+/// The straggler rescue: an admitted joiner whose log end sits below the
+/// leader's snapshot anchor can never be back-filled by AppendEntries (the
+/// leader compacted those entries away), and under sustained traffic the
+/// group folds faster than the admission round-trip — so without this loop
+/// the joiner starves forever at its transfer anchor. Each round re-runs
+/// the lifecycle transfer; the joiner's chunk store already holds the last
+/// round's chunks, so only the buckets dirtied since then ship (the delta
+/// win), which makes a round much faster than the fold interval and the
+/// loop converge.
+void DriveCatchup(
+    sim::Simulator* sim, sim::SimNetwork* net, Transport* transport,
+    sim::NodeId source_id, sim::NodeId joiner_id, ReplicaTracker* source,
+    ReplicaTracker* joiner, ElasticityConfig config,
+    std::function<void(const std::map<std::string, std::string>& state)>
+        install_state,
+    JoinReport report, std::function<void(const JoinReport&)> done) {
+  consensus::RaftCluster* cluster = transport->raft();
+  consensus::RaftNode* raft = cluster->node(joiner_id);
+  consensus::RaftNode* leader = cluster->leader();
+  if (leader == nullptr) {
+    // Election in progress; the next leader's anchor decides.
+    sim->Schedule(100 * sim::kMs,
+                  [sim, net, transport, source_id, joiner_id, source, joiner,
+                   config, install_state = std::move(install_state),
+                   report = std::move(report), done = std::move(done)]() mutable {
+                    DriveCatchup(sim, net, transport, source_id, joiner_id,
+                                 source, joiner, config,
+                                 std::move(install_state), std::move(report),
+                                 std::move(done));
+                  });
+    return;
+  }
+  if (leader->snapshot_index() <= raft->log_size()) {
+    // Back inside the leader's retained log: normal AppendEntries
+    // replication finishes the job from here.
+    report.finished = sim->Now();
+    done(report);
+    return;
+  }
+  StartReplicaJoin(
+      sim, net, source_id, joiner_id, source, joiner, config,
+      /*source_available=*/nullptr,
+      [sim, net, transport, source_id, joiner_id, source, joiner, config,
+       raft, install_state = std::move(install_state),
+       report = std::move(report), done = std::move(done)](
+          const JoinReport& round,
+          const std::map<std::string, std::string>& state) mutable {
+        JoinReport merged = report;
+        MergeStats(round.stats, &merged.stats);
+        if (round.ok) {
+          merged.anchor = round.anchor;
+          merged.anchor_term = round.anchor_term;
+          install_state(state);
+          raft->InstallSnapshot(round.anchor, round.anchor_term);
+        }
+        DriveCatchup(sim, net, transport, source_id, joiner_id, source,
+                     joiner, config, std::move(install_state),
+                     std::move(merged), std::move(done));
+      });
+}
+
+}  // namespace
+
+void StartElasticRaftJoin(
+    sim::Simulator* sim, sim::SimNetwork* net, Transport* transport,
+    sim::NodeId source_id, sim::NodeId joiner_id, ReplicaTracker* source,
+    ReplicaTracker* joiner, const ElasticityConfig& config,
+    std::function<void(const std::map<std::string, std::string>& state)>
+        install_state,
+    std::function<void(const JoinReport&)> done) {
+  StartReplicaJoin(
+      sim, net, source_id, joiner_id, source, joiner, config,
+      /*source_available=*/nullptr,
+      [sim, net, transport, source_id, joiner_id, source, joiner, config,
+       install_state = std::move(install_state), done = std::move(done)](
+          const JoinReport& report,
+          const std::map<std::string, std::string>& state) mutable {
+        if (!report.ok) {
+          done(report);
+          return;
+        }
+        consensus::RaftCluster* cluster = transport->raft();
+        consensus::RaftNode* leader = cluster->leader();
+        if (leader != nullptr && leader->snapshot_index() > report.anchor) {
+          // The source folded (and compacted its log) past the anchor we
+          // transferred while the transfer was in flight, so the leader can
+          // no longer back-fill from anchor+1. Re-run the transfer: the
+          // joiner's chunk store already holds this round's chunks, so the
+          // retry ships only the buckets that changed since.
+          StartElasticRaftJoin(sim, net, transport, source_id, joiner_id,
+                               source, joiner, config,
+                               std::move(install_state), std::move(done));
+          return;
+        }
+        install_state(state);
+        consensus::RaftNode* raft = transport->AddRaftReplica(joiner_id);
+        lifecycle::MembershipView view =
+            leader != nullptr ? leader->membership() : raft->membership();
+        raft->InstallSnapshot(report.anchor, report.anchor_term, view);
+        raft->Start();
+        DriveAdmission(
+            sim, transport, joiner_id, report,
+            [sim, net, transport, source_id, joiner_id, source, joiner,
+             config, install_state = std::move(install_state),
+             done = std::move(done)](const JoinReport& admitted) mutable {
+              // Admission can outlast several folds under load; rescue the
+              // joiner if the leader compacted past its log end meanwhile.
+              DriveCatchup(sim, net, transport, source_id, joiner_id, source,
+                           joiner, config, std::move(install_state), admitted,
+                           std::move(done));
+            });
+      });
+}
+
+}  // namespace dicho::systems::runtime

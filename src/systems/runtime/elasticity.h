@@ -1,0 +1,168 @@
+#ifndef DICHO_SYSTEMS_RUNTIME_ELASTICITY_H_
+#define DICHO_SYSTEMS_RUNTIME_ELASTICITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lifecycle/catchup.h"
+#include "lifecycle/metrics.h"
+#include "lifecycle/snapshot.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "systems/runtime/transport.h"
+
+namespace dicho::systems::runtime {
+
+/// Opt-in replica-elasticity settings shared by the concrete systems.
+/// Default-off: with `enabled == false` no tracker is created, no snapshot
+/// is ever folded, and no event is ever scheduled — the golden-compat
+/// contract (all committed baselines are produced with lifecycle disabled).
+struct ElasticityConfig {
+  bool enabled = false;
+  /// Fold a new content-addressed snapshot every this many applied
+  /// consensus entries (raft log entries / ordered blocks / epochs). The
+  /// interval is the bench's sweep axis: longer intervals mean a longer
+  /// log tail per join and a staler delta base for rejoins.
+  uint64_t snapshot_every = 64;
+  lifecycle::SnapshotConfig snapshot;
+  lifecycle::TransferConfig transfer;
+};
+
+/// Per-replica lifecycle state: a shadow copy of the replica's applied
+/// key-value state, a content-addressed chunk store, the latest folded
+/// snapshot manifest, and the log tail since that fold. One tracker per
+/// replica makes any replica a join source, and doubles as the joiner-side
+/// sink (restored state seeds a fresh tracker, so a later laggard rejoin
+/// delta-syncs against the chunks it already holds).
+///
+/// The shadow map is the lifecycle layer's common currency across storage
+/// engines (B-tree, MPT, versioned LSM): it is fed the exact applied
+/// writes, so its StateDigest is the catch-up-correctness oracle the fuzz
+/// invariants use.
+class ReplicaTracker {
+ public:
+  /// Fired after each fold with the new anchor; systems hook consensus-log
+  /// compaction here (RaftNode::InstallSnapshot on the tracked replica).
+  using FoldFn = std::function<void(uint64_t anchor, uint64_t term)>;
+
+  ReplicaTracker(const ElasticityConfig* config,
+                 lifecycle::LifecycleMetrics metrics);
+
+  /// Seeds one pre-genesis record (benchmark Load path): straight into the
+  /// shadow state, no log entry. Loads bypass the consensus log, so they
+  /// can only ever reach a joiner inside snapshot chunks — the manifest is
+  /// marked stale and re-folded lazily the next time this tracker serves
+  /// as a transfer source.
+  void OnLoad(const std::string& key, const std::string& value);
+
+  /// One applied consensus entry: `writes` in apply order, `seq` the
+  /// consensus sequence (raft log index / block number), strictly
+  /// increasing across calls. `term` is consensus-specific (0 where
+  /// meaningless). May fold a snapshot.
+  void OnEntry(uint64_t seq, uint64_t term,
+               const std::vector<std::pair<std::string, std::string>>& writes);
+
+  /// Installs transferred state (joiner side): replaces the shadow state,
+  /// anchors the tracker at (anchor, term), and folds immediately so the
+  /// replica can itself serve future joins. Does not fire the fold hook —
+  /// admission installs the consensus-level snapshot explicitly.
+  void Seed(std::map<std::string, std::string> state, uint64_t anchor,
+            uint64_t term);
+
+  void set_on_fold(FoldFn fn) { on_fold_ = std::move(fn); }
+
+  /// Source hooks for SnapshotTransfer. `available` may be null (always
+  /// reachable).
+  lifecycle::SnapshotTransfer::Source AsSource(std::function<bool()> available);
+
+  void RecordTransfer(const lifecycle::CatchupStats& stats, bool ok) {
+    metrics_.RecordTransfer(stats, ok);
+  }
+
+  uint64_t applied_seq() const { return applied_seq_; }
+  crypto::Digest Digest() const { return lifecycle::StateDigest(state_); }
+  const std::map<std::string, std::string>& state() const { return state_; }
+  const lifecycle::SnapshotManifest& manifest() const { return manifest_; }
+  uint64_t anchor_term() const { return anchor_term_; }
+  lifecycle::ChunkStore* store() { return &store_; }
+  uint64_t snapshots_taken() const { return snapshots_taken_; }
+
+ private:
+  struct SuffixEntry {
+    uint64_t seq = 0;
+    uint64_t term = 0;
+    std::string encoded;  // EncodeChunk of the entry's writes
+  };
+
+  void MaybeFold();
+  void Fold();
+
+  const ElasticityConfig* config_;
+  lifecycle::LifecycleMetrics metrics_;
+  std::map<std::string, std::string> state_;
+  lifecycle::ChunkStore store_;
+  lifecycle::SnapshotManifest manifest_;
+  uint64_t anchor_term_ = 0;
+  uint64_t applied_seq_ = 0;
+  uint64_t last_term_ = 0;
+  std::vector<SuffixEntry> suffix_;
+  uint64_t snapshots_taken_ = 0;
+  /// Loads landed since the last fold: manifest + suffix no longer
+  /// reconstruct state_, so a source-side fold must run before serving.
+  bool loads_pending_ = false;
+  FoldFn on_fold_;
+};
+
+/// Outcome of one replica-join data plane: the lifecycle transfer plus the
+/// suffix replay, ending at `anchor`.
+struct JoinReport {
+  bool ok = false;
+  sim::Time started = 0;
+  sim::Time finished = 0;
+  /// Consensus sequence the restored state reflects (snapshot anchor plus
+  /// the replayed log tail).
+  uint64_t anchor = 0;
+  uint64_t anchor_term = 0;
+  lifecycle::CatchupStats stats;
+};
+
+/// Runs the pull-based lifecycle transfer from `source`'s tracker to
+/// `joiner`'s over the simulated network: manifest diff against the
+/// joiner's chunk store, missing chunks, log tail. On success the restored
+/// + replayed state is seeded into the joiner tracker and handed to
+/// `install`, which writes it into the real storage engine and admits the
+/// replica. On failure `install` fires with report.ok == false and an
+/// empty map.
+void StartReplicaJoin(
+    sim::Simulator* sim, sim::SimNetwork* net, sim::NodeId source_id,
+    sim::NodeId joiner_id, ReplicaTracker* source, ReplicaTracker* joiner,
+    const ElasticityConfig& config, std::function<bool()> source_available,
+    std::function<void(const JoinReport&,
+                       const std::map<std::string, std::string>& state)>
+        install);
+
+/// Full join flow for a raft-backed Transport: lifecycle transfer (retried
+/// if the source compacts past the transferred anchor before admission),
+/// then Raft §6 single-server admission — snapshot + membership view
+/// installed on the joiner's raft node, node started, add-node config
+/// change driven until the leader's membership contains the joiner.
+/// `install_state(state)` writes the restored map into the system's storage
+/// engine before the raft node starts (no-op for shards whose state is
+/// materialized once per group). `done` fires once admitted (report.ok) or
+/// once the transfer permanently fails (report.ok == false).
+void StartElasticRaftJoin(
+    sim::Simulator* sim, sim::SimNetwork* net, Transport* transport,
+    sim::NodeId source_id, sim::NodeId joiner_id, ReplicaTracker* source,
+    ReplicaTracker* joiner, const ElasticityConfig& config,
+    std::function<void(const std::map<std::string, std::string>& state)>
+        install_state,
+    std::function<void(const JoinReport&)> done);
+
+}  // namespace dicho::systems::runtime
+
+#endif  // DICHO_SYSTEMS_RUNTIME_ELASTICITY_H_

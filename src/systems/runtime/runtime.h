@@ -45,6 +45,21 @@ class NodeSet {
     }
   }
 
+  /// Appends one node at the next contiguous id and bumps the membership
+  /// version — the replica-lifecycle growth hook. The new node's state is
+  /// default-constructed; callers install transferred state before wiring
+  /// it into replication.
+  sim::NodeId Grow(sim::Simulator* sim) {
+    sim::NodeId id = base_ + static_cast<sim::NodeId>(nodes_.size());
+    ids_.push_back(id);
+    nodes_.push_back(std::make_unique<NodeState>(sim));
+    version_++;
+    return id;
+  }
+
+  /// Membership version: 0 for the construction-time set, +1 per Grow().
+  uint64_t version() const { return version_; }
+
   size_t size() const { return nodes_.size(); }
   const std::vector<sim::NodeId>& ids() const { return ids_; }
   sim::NodeId id_of(size_t index) const { return ids_[index]; }
@@ -73,6 +88,7 @@ class NodeSet {
   sim::NodeId base_;
   std::vector<sim::NodeId> ids_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
+  uint64_t version_ = 0;
 };
 
 /// Bulk-seeds one record into EVERY replica of a full-replication system —

@@ -1,5 +1,7 @@
 #include "systems/runtime/transport.h"
 
+#include <algorithm>
+
 namespace dicho::systems::runtime {
 
 const char* TransportKindName(TransportKind kind) {
@@ -45,9 +47,11 @@ Transport::Transport(sim::Simulator* sim, sim::SimNetwork* net,
   }
   // Protocol delivery hands (node_id, seq, payload); replica code indexes
   // nodes by position in the span.
-  auto deliver = [this, base](sim::NodeId node, uint64_t,
+  auto deliver = [this, base](sim::NodeId node, uint64_t seq,
                               const std::string& payload) {
-    if (apply_ != nullptr) apply_(static_cast<size_t>(node - base), payload);
+    if (apply_ != nullptr) {
+      apply_(static_cast<size_t>(node - base), seq, payload);
+    }
   };
   switch (config_.kind) {
     case TransportKind::kRaft:
@@ -63,10 +67,10 @@ Transport::Transport(sim::Simulator* sim, sim::SimNetwork* net,
       shared_log_ =
           std::make_unique<sharedlog::SharedLog>(sim, net, broker, config_.log);
       for (size_t i = 0; i < node_ids_.size(); i++) {
-        shared_log_->Subscribe(node_ids_[i],
-                               [this, i](uint64_t, const std::string& record) {
-                                 if (apply_ != nullptr) apply_(i, record);
-                               });
+        shared_log_->Subscribe(
+            node_ids_[i], [this, i](uint64_t seq, const std::string& record) {
+              if (apply_ != nullptr) apply_(i, seq, record);
+            });
       }
       break;
     }
@@ -115,13 +119,27 @@ void Transport::Disseminate(const std::string& payload) {
   }
   // Primary-backup: the first replica is the primary; backups receive the
   // stream over the wire.
-  if (apply_ != nullptr) apply_(0, payload);
+  uint64_t seq = ++pb_seq_;
+  if (apply_ != nullptr) apply_(0, seq, payload);
   for (size_t i = 1; i < node_ids_.size(); i++) {
     net_->Send(node_ids_[0], node_ids_[i], 64 + payload.size(),
-               [this, i, payload] {
-                 if (apply_ != nullptr) apply_(i, payload);
+               [this, i, seq, payload] {
+                 if (apply_ != nullptr) apply_(i, seq, payload);
                });
   }
+}
+
+consensus::RaftNode* Transport::AddRaftReplica(sim::NodeId id) {
+  if (raft_ == nullptr) return nullptr;
+  // Bootstrap config = the construction-time span: a joiner replaying
+  // history from its snapshot reconstructs every later config version from
+  // the log (the adopted snapshot view fast-forwards it).
+  std::vector<sim::NodeId> bootstrap = node_ids_;
+  consensus::RaftNode* node = raft_->AddNode(id, bootstrap);
+  if (std::find(node_ids_.begin(), node_ids_.end(), id) == node_ids_.end()) {
+    node_ids_.push_back(id);
+  }
+  return node;
 }
 
 }  // namespace dicho::systems::runtime

@@ -61,7 +61,12 @@ struct TransportConfig {
 /// fire-and-forget policy.
 class Transport {
  public:
-  using ApplyFn = std::function<void(size_t node_index, const std::string&)>;
+  /// apply(node_index, seq, payload): `seq` is the protocol's commit
+  /// sequence (raft log index, PBFT sequence, shared-log offset; a local
+  /// counter for primary-backup). Lifecycle trackers anchor snapshots on
+  /// it; systems that don't care ignore it.
+  using ApplyFn =
+      std::function<void(size_t node_index, uint64_t seq, const std::string&)>;
 
   /// node_ids must be a contiguous ascending span. For kSharedLog the
   /// broker takes the id one past the last replica. apply may be null
@@ -81,6 +86,14 @@ class Transport {
   TransportKind kind() const { return config_.kind; }
   const std::vector<sim::NodeId>& node_ids() const { return node_ids_; }
 
+  /// Lifecycle (raft transports only): constructs a joiner raft node wired
+  /// into the group's maps with the original span as its bootstrap config,
+  /// and extends the transport's id span. The node is NOT started — the
+  /// caller installs a snapshot + membership view first, then Start()s it
+  /// and drives the add-node config change. Returns null for non-raft
+  /// transports. Ids must stay contiguous (the apply router assumes it).
+  consensus::RaftNode* AddRaftReplica(sim::NodeId id);
+
   // Raw protocol access (null unless `kind` selected that protocol).
   consensus::RaftCluster* raft() { return raft_.get(); }
   const consensus::RaftCluster* raft() const { return raft_.get(); }
@@ -95,6 +108,7 @@ class Transport {
   std::vector<sim::NodeId> node_ids_;
   TransportConfig config_;
   ApplyFn apply_;
+  uint64_t pb_seq_ = 0;  // primary-backup commit sequence
 
   // Resolved once at construction when the simulator carries a registry;
   // Disseminate() counts attempts (election retries re-count) and bytes.

@@ -1,5 +1,6 @@
 #include "testing/harness.h"
 
+#include <algorithm>
 #include <functional>
 #include <numeric>
 #include <set>
@@ -8,6 +9,8 @@
 #include "consensus/pbft.h"
 #include "consensus/raft.h"
 #include "core/types.h"
+#include "lifecycle/catchup.h"
+#include "lifecycle/snapshot.h"
 #include "obs/trace.h"
 #include "ledger/ledger.h"
 #include "sim/cost_model.h"
@@ -976,6 +979,679 @@ ScenarioResult RunShardEpochScenario(const ScenarioOptions& options,
   return result;
 }
 
+// --- Elasticity (replica lifecycle) -----------------------------------------
+
+struct ElasticOptions {
+  uint32_t initial_nodes = 3;
+  /// Ids [0, max_nodes) are pre-assigned simulator partitions at world
+  /// construction, so joiners never add partitions mid-run (the parallel
+  /// engine's partition set is fixed once running).
+  uint32_t max_nodes = 5;
+  bool partitioned = false;  // one simulator partition per replica
+  unsigned threads = 1;
+  sim::Time horizon = 10 * sim::kSec;
+  sim::Time client_gap = 20 * sim::kMs;
+  /// Flash crowd: inside [flash_start, flash_end) the client tightens its
+  /// gap to flash_gap (0 = no flash crowd).
+  sim::Time flash_gap = 0;
+  sim::Time flash_start = 0;
+  sim::Time flash_end = 0;
+  /// The leader folds a snapshot (and compacts its log) once this many
+  /// entries applied past the previous anchor.
+  uint64_t snapshot_every = 48;
+  uint32_t key_space = 48;
+};
+
+/// Drives a replicated key-value Raft group ("k=v" put commands) through the
+/// full lifecycle protocol under nemesis control: periodic content-addressed
+/// snapshots with log compaction on the leader, delta snapshot transfers to
+/// stragglers and joiners (lifecycle::SnapshotTransfer), single-server
+/// membership changes, and leadership drain before leader removal. All
+/// orchestration (client, snapshot folding, laggard rescue, join/leave state
+/// machines) runs as control events — global events in partitioned worlds,
+/// so world-shared state is only touched with every partition parked; node
+/// state (kv map, applied log, membership observations) is only mutated on
+/// the owning node's partition.
+class ElasticRaftGroup {
+ public:
+  ElasticRaftGroup(uint64_t seed, const ElasticOptions& opts, BugInjection bug)
+      : opts_(opts), sim_(seed), net_(&sim_, sim::NetworkConfig{}) {
+    sim_.set_threads(opts_.threads);
+    if (opts_.partitioned) {
+      for (sim::NodeId id = 0; id < opts_.max_nodes; id++) {
+        sim_.AssignNode(id, sim_.AddPartition());
+      }
+      net_.SyncPartitions();  // partitions were added after net_ constructed
+    }
+    kv_.resize(opts_.max_nodes);
+    applied_.resize(opts_.max_nodes);
+    frontier_.assign(opts_.max_nodes, 0);
+    views_.resize(opts_.max_nodes);
+    store_.resize(opts_.max_nodes);
+    folds_.resize(opts_.max_nodes);
+    stats_.resize(opts_.max_nodes);
+    transfer_busy_.assign(opts_.max_nodes, 0);
+    transfers_failed_.assign(opts_.max_nodes, 0);
+    left_.assign(opts_.max_nodes, 0);
+    admitted_.assign(opts_.max_nodes, 0);
+    for (sim::NodeId id = 0; id < opts_.initial_nodes; id++) admitted_[id] = 1;
+    started_.assign(opts_.max_nodes, 0);
+    rescues_.assign(opts_.max_nodes, 0);
+
+    consensus::RaftConfig config;
+    config.unsafe_commit_without_quorum =
+        bug == BugInjection::kRaftCommitWithoutQuorum;
+    // Both lifecycle opt-ins: a drained leader's successor must commit
+    // without waiting for client traffic, and a snapshotted joiner must pull
+    // the leader's probe to its anchor in one round trip.
+    config.leader_noop = true;
+    config.fast_backtrack = true;
+    cluster_ = consensus::RaftCluster::Create(
+        &sim_, &net_, &costs_, MakeIds(opts_.initial_nodes), config,
+        [this](sim::NodeId node, uint64_t index, const std::string& cmd) {
+          frontier_[node] = index;
+          applied_[node].emplace_back(index, cmd);
+          CatchupDigestChecker::ApplyCommand(cmd, &kv_[node]);
+        });
+    for (consensus::RaftNode* node : cluster_->all()) WireNode(node);
+    for (sim::NodeId id = 0; id < opts_.initial_nodes; id++) started_[id] = 1;
+  }
+
+  void Run(const FaultSchedule& schedule) {
+    Nemesis::Hooks hooks;
+    hooks.crash = [this](sim::NodeId id) {
+      consensus::RaftNode* node = cluster_->node(id);
+      if (node == nullptr) return;
+      down_.insert(id);
+      net_.SetNodeDown(id, true);
+      sim::Simulator::PartitionScope scope(&sim_, sim_.PartitionOfNode(id));
+      node->Crash();
+    };
+    hooks.restart = [this](sim::NodeId id) {
+      consensus::RaftNode* node = cluster_->node(id);
+      if (node == nullptr || down_.count(id) == 0) return;
+      down_.erase(id);
+      net_.SetNodeDown(id, false);
+      sim::Simulator::PartitionScope scope(&sim_, sim_.PartitionOfNode(id));
+      node->Restart();
+    };
+    hooks.join = [this](sim::NodeId id) { Join(id); };
+    hooks.leave = [this](sim::NodeId id) { LeaveStep(id, false); };
+    hooks.drain = [this](sim::NodeId id) { LeaveStep(id, true); };
+    Nemesis nemesis(&sim_, &net_, std::move(hooks));
+    if (opts_.partitioned) {
+      nemesis.ArmGlobal(schedule);
+    } else {
+      nemesis.Arm(schedule);
+    }
+    cluster_->StartAll();
+    StartClient();
+    StartMaintenance();
+    sim_.RunUntil(opts_.horizon);
+    sim_events_ = sim_.executed_events();
+  }
+
+  /// Determinism oracle for the parallel engine: two worlds with the same
+  /// (seed, schedule) must agree on every per-node apply log, every
+  /// membership observation, and the event total.
+  bool SameOutcome(const ElasticRaftGroup& other) const {
+    return applied_ == other.applied_ && views_ == other.views_ &&
+           sim_events_ == other.sim_events_;
+  }
+
+  void FinalChecks(const FaultSchedule& schedule, ScenarioResult* result) {
+    // State-machine agreement + canonical committed log.
+    std::map<uint64_t, std::string> canon;
+    for (sim::NodeId id = 0; id < opts_.max_nodes; id++) {
+      for (const auto& [index, cmd] : applied_[id]) {
+        auto [it, inserted] = canon.emplace(index, cmd);
+        if (!inserted && it->second != cmd) {
+          result->report.Add(
+              "raft-state-machine",
+              "node " + std::to_string(id) + " applied '" + cmd +
+                  "' at index " + std::to_string(index) + " where '" +
+                  it->second + "' was already applied");
+        }
+      }
+      result->progress += applied_[id].size();
+    }
+    // Membership-change safety over every observed config.
+    MembershipInvariantChecker mcheck;
+    mcheck.SeedInitial(MakeIds(opts_.initial_nodes));
+    for (sim::NodeId id = 0; id < opts_.max_nodes; id++) {
+      for (const auto& view : views_[id]) mcheck.OnConfigChange(id, view);
+    }
+    mcheck.CheckFinal();
+    result->report.Merge(*mcheck.report());
+    // Catch-up correctness: every replica's materialized state — whether it
+    // got there by normal applies, snapshot install, or delta rescue — must
+    // equal a replay of the canonical log through its frontier.
+    CatchupDigestChecker dcheck;
+    for (const auto& [index, cmd] : canon) dcheck.NoteCommitted(index, cmd);
+    for (sim::NodeId id = 0; id < opts_.max_nodes; id++) {
+      if (cluster_->node(id) == nullptr) continue;
+      dcheck.CheckNode(id, frontier_[id], kv_[id]);
+    }
+    result->report.Merge(*dcheck.report());
+    // Log matching across whatever membership survived (snapshot-aware).
+    RaftInvariantChecker rcheck(cluster_->all());
+    rcheck.CheckFinal();
+    result->report.Merge(*rcheck.report());
+    // Every scheduled join/leave must have finished inside the horizon (the
+    // schedules leave a generous quiet tail).
+    consensus::RaftNode* leader = FindLeader();
+    for (const FaultAction& action : schedule.actions) {
+      if (action.kind == FaultAction::Kind::kJoin && !started_[action.node]) {
+        result->report.Add("join-liveness",
+                           "node " + std::to_string(action.node) +
+                               " never finished joining (transfer + config "
+                               "change + start)");
+      }
+      if ((action.kind == FaultAction::Kind::kLeave ||
+           action.kind == FaultAction::Kind::kDrain) &&
+          leader != nullptr && leader->membership().Contains(action.node)) {
+        result->report.Add("leave-liveness",
+                           "node " + std::to_string(action.node) +
+                               " is still a member after its scheduled leave");
+      }
+    }
+    if (result->progress == 0) {
+      result->report.Add("liveness",
+                         "no node applied any command over the whole run");
+    }
+    result->sim_events = sim_events_;
+  }
+
+  uint32_t rescues(sim::NodeId id) const { return rescues_[id]; }
+  uint64_t frontier(sim::NodeId id) const { return frontier_[id]; }
+  uint64_t snapshots_taken() const { return snapshots_taken_; }
+  uint64_t chunks_reused() const {
+    uint64_t total = 0;
+    for (const auto& s : stats_) total += s.chunks_reused;
+    return total;
+  }
+
+ private:
+  struct Fold {
+    lifecycle::SnapshotManifest manifest;
+    uint64_t term = 0;
+    lifecycle::MembershipView view;
+  };
+
+  /// Control-plane scheduling: global events in partitioned worlds (all
+  /// partitions parked — the only safe context for world-shared state).
+  void Ctl(sim::Time delay, std::function<void()> fn) {
+    if (opts_.partitioned) {
+      sim_.ScheduleGlobal(delay, std::move(fn));
+    } else {
+      sim_.Schedule(delay, std::move(fn));
+    }
+  }
+
+  /// Highest-term claimant wins: a partitioned-away stale leader still
+  /// believes it leads until it hears the new term, and steering the client
+  /// (or a config change) at it would black-hole proposals for the whole
+  /// isolation window.
+  consensus::RaftNode* FindLeader() {
+    consensus::RaftNode* best = nullptr;
+    for (consensus::RaftNode* node : cluster_->all()) {
+      if (!node->IsLeader() || node->retired()) continue;
+      if (best == nullptr || node->current_term() > best->current_term()) {
+        best = node;
+      }
+    }
+    return best;
+  }
+
+  void WireNode(consensus::RaftNode* node) {
+    sim::NodeId id = node->id();
+    node->set_on_config_change(
+        [this, id](const lifecycle::MembershipView& view) {
+          views_[id].push_back(view);
+          // A joiner replaying config entries that predate its own admission
+          // correctly sees views without itself — only a disappearance
+          // *after* admission means it was removed.
+          if (view.Contains(id)) {
+            admitted_[id] = 1;
+          } else if (admitted_[id]) {
+            left_[id] = 1;
+          }
+        });
+  }
+
+  void StartClient() {
+    client_tick_ = [this] {
+      consensus::RaftNode* leader = FindLeader();
+      if (leader != nullptr) {
+        sim::Simulator::PartitionScope scope(&sim_,
+                                             sim_.PartitionOfNode(leader->id()));
+        uint64_t n = next_op_++;
+        leader->Propose("k" + std::to_string(n % opts_.key_space) + "=v" +
+                            std::to_string(n),
+                        [](Status, uint64_t) {});
+      }
+      sim::Time gap = opts_.client_gap;
+      if (opts_.flash_gap > 0 && sim_.Now() >= opts_.flash_start &&
+          sim_.Now() < opts_.flash_end) {
+        gap = opts_.flash_gap;
+      }
+      Ctl(gap, client_tick_);
+    };
+    Ctl(10 * sim::kMs, client_tick_);
+  }
+
+  void StartMaintenance() {
+    maintenance_tick_ = [this] {
+      MaybeFold();
+      RescueLaggards();
+      Ctl(120 * sim::kMs, maintenance_tick_);
+    };
+    Ctl(120 * sim::kMs, maintenance_tick_);
+  }
+
+  /// Periodic snapshot on EVERY live replica (each folds its own applied
+  /// prefix, as real replicas checkpoint independently): chunk the applied
+  /// state, keep the manifest + term + membership for future transfers,
+  /// compact the log. Because followers compact too, a long-isolated
+  /// laggard can never be back-filled from someone's intact log — recovery
+  /// has to go through the delta snapshot transfer path.
+  void MaybeFold() {
+    for (consensus::RaftNode* node : cluster_->all()) {
+      sim::NodeId id = node->id();
+      if (!started_[id] || left_[id] || down_.count(id) > 0 ||
+          node->crashed() || node->retired()) {
+        continue;
+      }
+      if (node->last_applied() <
+          node->snapshot_index() + opts_.snapshot_every) {
+        continue;
+      }
+      uint64_t anchor = node->last_applied();
+      Fold& fold = folds_[id];
+      fold.term = node->EntryTerm(anchor);
+      fold.view = node->membership();
+      fold.manifest =
+          lifecycle::BuildSnapshot(kv_[id], anchor, snap_config_, &store_[id]);
+      {
+        sim::Simulator::PartitionScope scope(&sim_, sim_.PartitionOfNode(id));
+        node->InstallSnapshot(anchor, fold.term);
+      }
+      snapshots_taken_++;
+    }
+  }
+
+  /// A follower whose replication position fell below the leader's snapshot
+  /// anchor can never be back-filled from the log (those entries are
+  /// compacted away) — rescue it with a delta snapshot transfer.
+  void RescueLaggards() {
+    consensus::RaftNode* leader = FindLeader();
+    if (leader == nullptr) return;
+    const Fold& fold = folds_[leader->id()];
+    if (fold.manifest.empty() ||
+        fold.manifest.anchor != leader->snapshot_index()) {
+      return;  // this leader has no fold matching its own anchor yet
+    }
+    for (sim::NodeId id = 0; id < opts_.max_nodes; id++) {
+      if (id == leader->id() || transfer_busy_[id] || left_[id] ||
+          !started_[id] || down_.count(id) > 0) {
+        continue;
+      }
+      consensus::RaftNode* node = cluster_->node(id);
+      if (node == nullptr || node->retired()) continue;
+      if (node->commit_index() >= leader->snapshot_index()) continue;
+      if (leader->match_index_of(id) >= leader->snapshot_index()) continue;
+      StartTransfer(leader->id(), id, fold);
+    }
+  }
+
+  void Join(sim::NodeId id) {
+    if (id >= opts_.max_nodes || cluster_->node(id) != nullptr) return;
+    // The joiner's version-0 view is the BOOTSTRAP config, not the current
+    // membership: if it ends up replaying the log from entry 1 (leader has
+    // not compacted), applying each config entry reconstructs every version
+    // exactly as the original replicas saw it. A snapshot install merely
+    // fast-forwards past that replay.
+    std::vector<sim::NodeId> peers;
+    for (sim::NodeId m : MakeIds(opts_.initial_nodes)) {
+      if (m != id) peers.push_back(m);
+    }
+    WireNode(cluster_->AddNode(id, peers));
+    JoinStep(id);
+  }
+
+  /// Join state machine, advanced by polling (robust against leadership
+  /// churn, duplicate proposals, and transfer failures — every phase simply
+  /// re-runs until its postcondition holds):
+  ///   1. state: pull a verified snapshot if the group compacted past us
+  ///   2. membership: replicate "#cfg add <id>" until we are a member
+  ///   3. start: arm timers once admitted
+  void JoinStep(sim::NodeId id) {
+    if (left_[id]) return;  // removed before the join finished: abandon
+    consensus::RaftNode* node = cluster_->node(id);
+    consensus::RaftNode* leader = FindLeader();
+    if (leader == nullptr) {
+      Ctl(250 * sim::kMs, [this, id] { JoinStep(id); });
+      return;
+    }
+    if (leader->snapshot_index() > node->commit_index()) {
+      const Fold& fold = folds_[leader->id()];
+      if (!transfer_busy_[id] && !fold.manifest.empty() &&
+          fold.manifest.anchor == leader->snapshot_index()) {
+        StartTransfer(leader->id(), id, fold);
+      }
+      Ctl(250 * sim::kMs, [this, id] { JoinStep(id); });
+      return;
+    }
+    if (!leader->membership().Contains(id)) {
+      lifecycle::ConfigChange cc;
+      cc.kind = lifecycle::ConfigChangeKind::kAddNode;
+      cc.node = id;
+      {
+        sim::Simulator::PartitionScope scope(&sim_,
+                                             sim_.PartitionOfNode(leader->id()));
+        leader->ProposeConfigChange(cc, [](Status, uint64_t) {});
+      }
+      Ctl(300 * sim::kMs, [this, id] { JoinStep(id); });
+      return;
+    }
+    if (!started_[id]) {
+      sim::Simulator::PartitionScope scope(&sim_, sim_.PartitionOfNode(id));
+      node->Start();
+      started_[id] = 1;
+      joins_completed_++;
+    }
+  }
+
+  /// Leave state machine: with `drain`, a leader first hands leadership to
+  /// its most caught-up follower (TransferLeadership pushes the backlog and
+  /// sends TimeoutNow), then the removal replicates like any other change.
+  void LeaveStep(sim::NodeId id, bool drain) {
+    consensus::RaftNode* node = cluster_->node(id);
+    if (node == nullptr) return;
+    consensus::RaftNode* leader = FindLeader();
+    if (leader == nullptr) {
+      Ctl(250 * sim::kMs, [this, id, drain] { LeaveStep(id, drain); });
+      return;
+    }
+    if (!leader->membership().Contains(id)) {
+      leaves_completed_++;
+      return;
+    }
+    if (drain && leader->id() == id) {
+      sim::NodeId target = BestDrainTarget(leader);
+      if (target != id) {
+        sim::Simulator::PartitionScope scope(&sim_, sim_.PartitionOfNode(id));
+        leader->TransferLeadership(target);
+      }
+      Ctl(400 * sim::kMs, [this, id, drain] { LeaveStep(id, drain); });
+      return;
+    }
+    lifecycle::ConfigChange cc;
+    cc.kind = lifecycle::ConfigChangeKind::kRemoveNode;
+    cc.node = id;
+    {
+      sim::Simulator::PartitionScope scope(&sim_,
+                                           sim_.PartitionOfNode(leader->id()));
+      leader->ProposeConfigChange(cc, [](Status, uint64_t) {});
+    }
+    Ctl(300 * sim::kMs, [this, id, drain] { LeaveStep(id, drain); });
+  }
+
+  sim::NodeId BestDrainTarget(consensus::RaftNode* leader) {
+    sim::NodeId best = leader->id();
+    uint64_t best_match = 0;
+    bool found = false;
+    for (sim::NodeId m : leader->membership().members) {
+      if (m == leader->id() || left_[m] || down_.count(m) > 0) continue;
+      consensus::RaftNode* node = cluster_->node(m);
+      if (node == nullptr || node->crashed()) continue;
+      uint64_t match = leader->match_index_of(m);
+      if (!found || match > best_match) {
+        best = m;
+        best_match = match;
+        found = true;
+      }
+    }
+    return best;
+  }
+
+  void StartTransfer(sim::NodeId source, sim::NodeId joiner, Fold fold) {
+    transfer_busy_[joiner] = 1;
+    lifecycle::SnapshotTransfer::Source src;
+    src.available = [this, source] {
+      consensus::RaftNode* node = cluster_->node(source);
+      return node != nullptr && !node->crashed();
+    };
+    // The manifest is frozen at transfer start so its (anchor, term, view)
+    // triple stays consistent even if the source folds again mid-transfer;
+    // the chunk store keeps old chunks, so the frozen digests stay servable.
+    src.manifest = [fold] { return fold.manifest; };
+    src.chunks = [this, source] { return &store_[source]; };
+    src.log_suffix = [](uint64_t) { return lifecycle::LogSuffix{}; };
+    sim::Simulator::PartitionScope scope(&sim_, sim_.PartitionOfNode(joiner));
+    lifecycle::SnapshotTransfer::Start(
+        &sim_, &net_, source, joiner, std::move(src), &store_[joiner],
+        [this, joiner] {
+          consensus::RaftNode* node = cluster_->node(joiner);
+          return node != nullptr && !node->crashed() && !left_[joiner];
+        },
+        transfer_config_,
+        [this, joiner, fold](lifecycle::TransferResult result) {
+          // Joiner partition.
+          transfer_busy_[joiner] = 0;
+          lifecycle::CatchupStats& acc = stats_[joiner];
+          acc.control_bytes += result.stats.control_bytes;
+          acc.manifest_bytes += result.stats.manifest_bytes;
+          acc.chunk_bytes += result.stats.chunk_bytes;
+          acc.chunks_fetched += result.stats.chunks_fetched;
+          acc.chunks_reused += result.stats.chunks_reused;
+          acc.retries += result.stats.retries;
+          if (!result.ok) {
+            transfers_failed_[joiner]++;
+            return;
+          }
+          FinishTransfer(joiner, fold);
+        });
+  }
+
+  void FinishTransfer(sim::NodeId joiner, const Fold& fold) {
+    consensus::RaftNode* node = cluster_->node(joiner);
+    // A rescue that raced normal replication past the anchor is stale.
+    if (node == nullptr || fold.manifest.anchor <= node->commit_index()) return;
+    std::map<std::string, std::string> state;
+    if (!lifecycle::RestoreSnapshot(fold.manifest, store_[joiner], &state)) {
+      transfers_failed_[joiner]++;
+      return;
+    }
+    kv_[joiner] = std::move(state);
+    frontier_[joiner] = fold.manifest.anchor;
+    node->InstallSnapshot(fold.manifest.anchor, fold.term, fold.view);
+    folds_[joiner] = fold;  // this node can now source future transfers
+    rescues_[joiner]++;
+  }
+
+  ElasticOptions opts_;
+  sim::Simulator sim_;
+  sim::SimNetwork net_;
+  sim::CostModel costs_;
+  lifecycle::SnapshotConfig snap_config_;
+  /// Fail-fast transfer policy: a transfer aimed at (or from) a node behind
+  /// a network partition is doomed, and while it retries the target's busy
+  /// flag blocks any replacement. Short attempts + the 120ms maintenance
+  /// tick re-initiating with a fresh fold beat long in-place backoff.
+  lifecycle::TransferConfig transfer_config_{/*retry_timeout=*/150 * sim::kMs,
+                                             /*max_attempts=*/4};
+  std::unique_ptr<consensus::RaftCluster> cluster_;
+
+  // Node-confined state (only touched on the owning node's partition).
+  std::vector<std::map<std::string, std::string>> kv_;
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> applied_;
+  std::vector<uint64_t> frontier_;
+  std::vector<std::vector<lifecycle::MembershipView>> views_;
+  std::vector<lifecycle::ChunkStore> store_;
+  std::vector<Fold> folds_;
+  std::vector<lifecycle::CatchupStats> stats_;
+  std::vector<uint8_t> transfer_busy_;
+  std::vector<uint32_t> transfers_failed_;
+  std::vector<uint8_t> left_;
+  std::vector<uint8_t> admitted_;
+  std::vector<uint8_t> started_;
+  std::vector<uint32_t> rescues_;
+
+  // Control-plane state (ctl events only).
+  std::set<sim::NodeId> down_;
+  uint64_t next_op_ = 0;
+  uint64_t snapshots_taken_ = 0;
+  uint64_t joins_completed_ = 0;
+  uint64_t leaves_completed_ = 0;
+  uint64_t sim_events_ = 0;
+  std::function<void()> client_tick_;
+  std::function<void()> maintenance_tick_;
+};
+
+// Scale-out during a flash crowd, on the parallel engine: 3 replicas grow to
+// 5 while the client floods, replayed at 1 and 2 worker threads (identical
+// outcomes required).
+ScenarioResult RunElasticGrowthScenario(const ScenarioOptions& options) {
+  ScenarioResult result;
+  ScheduleConfig sched;
+  sched.num_nodes = 3;
+  sched.horizon = 10 * sim::kSec;
+  sched.allow_crash = false;
+  sched.allow_partition = false;
+  sched.allow_drop = false;
+  sched.max_jitter_us = 10 * sim::kMs;
+  sched.max_joins = 2;
+  FaultSchedule schedule = GenerateSchedule(options.seed, sched);
+
+  ElasticOptions eopts;
+  eopts.initial_nodes = 3;
+  eopts.max_nodes = 5;
+  eopts.partitioned = true;
+  eopts.horizon = sched.horizon;
+  eopts.client_gap = 15 * sim::kMs;
+  eopts.flash_gap = 3 * sim::kMs;
+  eopts.flash_start = 2500 * sim::kMs;
+  eopts.flash_end = 4500 * sim::kMs;
+
+  eopts.threads = 1;
+  ElasticRaftGroup serial(options.seed, eopts, options.bug);
+  serial.Run(schedule);
+  {
+    eopts.threads = 2;
+    ElasticRaftGroup parallel(options.seed, eopts, options.bug);
+    parallel.Run(schedule);
+    if (!serial.SameOutcome(parallel)) {
+      result.report.Add("parallel-determinism",
+                        "threads=2 elastic world diverged from threads=1 "
+                        "(apply logs, membership views, or event totals)");
+    }
+  }
+  serial.FinalChecks(schedule, &result);
+  result.schedule = schedule.ToString();
+  return result;
+}
+
+// Serial drain/replace of every original replica: node i is drained
+// (leadership handed off if it leads), removed, and replaced by fresh node
+// 5+i — a rolling restart where the whole fleet turns over.
+ScenarioResult RunRollingRestartScenario(const ScenarioOptions& options) {
+  ScenarioResult result;
+  ScheduleConfig noise;
+  noise.num_nodes = 5;
+  noise.horizon = 13 * sim::kSec;
+  noise.allow_crash = false;
+  noise.allow_partition = false;
+  noise.allow_drop = false;
+  noise.max_jitter_us = 8 * sim::kMs;
+  FaultSchedule schedule = GenerateSchedule(options.seed, noise);
+  for (uint32_t i = 0; i < 5; i++) {
+    FaultAction drain;
+    drain.at = (400 + 1800 * i) * sim::kMs;
+    drain.kind = FaultAction::Kind::kDrain;
+    drain.node = i;
+    schedule.actions.push_back(drain);
+    FaultAction join;
+    join.at = drain.at + 900 * sim::kMs;
+    join.kind = FaultAction::Kind::kJoin;
+    join.node = 5 + i;
+    schedule.actions.push_back(join);
+  }
+  std::stable_sort(
+      schedule.actions.begin(), schedule.actions.end(),
+      [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+
+  ElasticOptions eopts;
+  eopts.initial_nodes = 5;
+  eopts.max_nodes = 10;
+  eopts.horizon = noise.horizon;
+  eopts.client_gap = 25 * sim::kMs;
+  eopts.snapshot_every = 40;
+  ElasticRaftGroup world(options.seed, eopts, options.bug);
+  world.Run(schedule);
+  world.FinalChecks(schedule, &result);
+  result.schedule = schedule.ToString();
+  return result;
+}
+
+// A replica is partitioned away twice while the leader keeps snapshotting
+// and compacting its log past the laggard's position; each heal must end in
+// a delta snapshot rescue (the second one reusing chunks already fetched).
+ScenarioResult RunLaggardRejoinScenario(const ScenarioOptions& options) {
+  ScenarioResult result;
+  ScheduleConfig noise;
+  noise.num_nodes = 5;
+  noise.horizon = 11 * sim::kSec;
+  noise.allow_crash = false;
+  noise.allow_partition = false;
+  noise.allow_drop = false;
+  noise.max_jitter_us = 8 * sim::kMs;
+  FaultSchedule schedule = GenerateSchedule(options.seed, noise);
+
+  const sim::NodeId laggard = static_cast<sim::NodeId>(options.seed % 5);
+  std::vector<sim::NodeId> rest;
+  for (sim::NodeId id = 0; id < 5; id++) {
+    if (id != laggard) rest.push_back(id);
+  }
+  auto cut = [&](sim::Time at, FaultAction::Kind kind) {
+    FaultAction action;
+    action.at = at;
+    action.kind = kind;
+    if (kind == FaultAction::Kind::kPartition) {
+      action.groups = {{laggard}, rest};
+    }
+    schedule.actions.push_back(action);
+  };
+  cut(800 * sim::kMs, FaultAction::Kind::kPartition);
+  cut(3800 * sim::kMs, FaultAction::Kind::kHeal);
+  cut(5500 * sim::kMs, FaultAction::Kind::kPartition);
+  cut(7500 * sim::kMs, FaultAction::Kind::kHeal);
+  std::stable_sort(
+      schedule.actions.begin(), schedule.actions.end(),
+      [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+
+  ElasticOptions eopts;
+  eopts.initial_nodes = 5;
+  eopts.max_nodes = 5;
+  eopts.horizon = noise.horizon;
+  eopts.client_gap = 18 * sim::kMs;
+  eopts.snapshot_every = 32;
+  ElasticRaftGroup world(options.seed, eopts, options.bug);
+  world.Run(schedule);
+  world.FinalChecks(schedule, &result);
+  // Both isolation windows outlast several snapshot intervals, so log
+  // back-fill is impossible and the laggard's recovery proves the delta
+  // catch-up path ran.
+  if (world.rescues(laggard) == 0 && result.report.ok()) {
+    result.report.Add("catchup-liveness",
+                      "laggard node " + std::to_string(laggard) +
+                          " was never rescued by a snapshot transfer despite "
+                          "the leader compacting past it");
+  }
+  result.schedule = schedule.ToString();
+  return result;
+}
+
 }  // namespace
 
 const std::vector<Scenario>& AllScenarios() {
@@ -1111,6 +1787,29 @@ const std::vector<Scenario>& AllScenarios() {
          sched.horizon = 8 * sim::kSec;
          sched.quiet_tail = 0.35;
          return RunShardEpochScenario(options, sched);
+       }},
+      {"elastic_growth",
+       "3-replica Raft KV group scales out to 5 mid-flash-crowd on the "
+       "parallel engine (snapshot transfer + single-server config changes), "
+       "replayed at 1 and 2 worker threads; membership safety, catch-up "
+       "digests and join liveness checked",
+       [](const ScenarioOptions& options) {
+         return RunElasticGrowthScenario(options);
+       }},
+      {"rolling_restart",
+       "every replica of a 5-node Raft KV group is serially drained "
+       "(leadership hand-off), removed and replaced by a fresh joiner under "
+       "live traffic; membership safety, catch-up digests and join/leave "
+       "liveness checked",
+       [](const ScenarioOptions& options) {
+         return RunRollingRestartScenario(options);
+       }},
+      {"laggard_rejoin",
+       "one replica is partitioned away twice while the leader snapshots and "
+       "compacts past it; each heal must end in a delta snapshot rescue "
+       "(chunk-dedup catch-up), verified by digest against full replay",
+       [](const ScenarioOptions& options) {
+         return RunLaggardRejoinScenario(options);
        }},
   };
   return kScenarios;

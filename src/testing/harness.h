@@ -83,6 +83,15 @@ struct Scenario {
 ///   shard_epoch           harmonyshard cross-shard epochs under partitions
 ///                         that sever whole shards mid-epoch; atomicity,
 ///                         digest agreement and a replay oracle audited
+///   elastic_growth        3-replica Raft KV group scales out to 5 during a
+///                         flash crowd (snapshot transfer + config changes)
+///                         on the parallel engine, replayed at 1 and 2
+///                         worker threads (must be identical)
+///   rolling_restart       serial drain/remove/replace of every replica in
+///                         a 5-node group under live traffic
+///   laggard_rejoin        a replica isolated across multiple snapshot
+///                         intervals must recover via delta catch-up, its
+///                         state digest checked against full replay
 const std::vector<Scenario>& AllScenarios();
 const Scenario* FindScenario(const std::string& name);
 

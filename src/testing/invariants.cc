@@ -54,7 +54,12 @@ void RaftInvariantChecker::CheckFinal() {
       uint64_t common = std::min(
           {na->commit_index(), nb->commit_index(), na->log_size(),
            nb->log_size()});
-      for (uint64_t i = 1; i <= common; i++) {
+      // Entries at or below a snapshot anchor are compacted away — the
+      // anchor itself was committed state, so comparison starts past the
+      // higher of the two anchors.
+      uint64_t start =
+          std::max(na->snapshot_index(), nb->snapshot_index()) + 1;
+      for (uint64_t i = start; i <= common; i++) {
         if (na->EntryTerm(i) != nb->EntryTerm(i) ||
             na->CommittedEntry(i) != nb->CommittedEntry(i)) {
           report_.Add(
@@ -70,6 +75,108 @@ void RaftInvariantChecker::CheckFinal() {
         }
       }
     }
+  }
+}
+
+// --- Membership ------------------------------------------------------------
+
+namespace {
+
+std::string MembersToString(const std::vector<sim::NodeId>& members) {
+  std::string out = "[";
+  for (size_t i = 0; i < members.size(); i++) {
+    if (i > 0) out += ",";
+    out += std::to_string(members[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+void MembershipInvariantChecker::SeedInitial(
+    const std::vector<sim::NodeId>& members) {
+  views_[0] = members;
+}
+
+void MembershipInvariantChecker::OnConfigChange(
+    sim::NodeId node, const lifecycle::MembershipView& view) {
+  changes_observed_++;
+  auto [it, inserted] = views_.emplace(view.version, view.members);
+  if (!inserted && it->second != view.members) {
+    report_.Add("membership-agreement",
+                "node " + std::to_string(node) + " reached config version " +
+                    std::to_string(view.version) + " as " +
+                    MembersToString(view.members) + " but " +
+                    MembersToString(it->second) + " was already recorded");
+  }
+  auto [last, fresh] = last_version_.emplace(node, view.version);
+  if (!fresh) {
+    if (view.version <= last->second) {
+      report_.Add("membership-agreement",
+                  "node " + std::to_string(node) +
+                      " config version went backwards: " +
+                      std::to_string(last->second) + " -> " +
+                      std::to_string(view.version));
+    }
+    last->second = view.version;
+  }
+}
+
+void MembershipInvariantChecker::CheckFinal() {
+  for (auto it = views_.begin(); it != views_.end(); ++it) {
+    auto next = std::next(it);
+    if (next == views_.end()) break;
+    if (next->first != it->first + 1) continue;  // node skipped versions via
+                                                 // snapshot; pair unknown
+    const std::vector<sim::NodeId>& a = it->second;
+    const std::vector<sim::NodeId>& b = next->second;
+    if (!lifecycle::IsSingleServerChange(a, b)) {
+      report_.Add("membership-single-change",
+                  "config " + std::to_string(it->first) + " -> " +
+                      std::to_string(next->first) + " changes " +
+                      MembersToString(a) + " to " + MembersToString(b) +
+                      " (more than one member differs)");
+    }
+    if (lifecycle::DisjointQuorumsPossible(a, b)) {
+      report_.Add("membership-quorum-overlap",
+                  "configs " + std::to_string(it->first) + "/" +
+                      std::to_string(next->first) + " admit disjoint quorums: " +
+                      MembersToString(a) + " vs " + MembersToString(b));
+    }
+  }
+}
+
+// --- Catch-up digest --------------------------------------------------------
+
+void CatchupDigestChecker::NoteCommitted(uint64_t index,
+                                         const std::string& cmd) {
+  canonical_.emplace(index, cmd);
+}
+
+void CatchupDigestChecker::ApplyCommand(
+    const std::string& cmd, std::map<std::string, std::string>* state) {
+  size_t eq = cmd.find('=');
+  if (eq == std::string::npos || eq == 0) return;  // no-op / leader noop
+  (*state)[cmd.substr(0, eq)] = cmd.substr(eq + 1);
+}
+
+void CatchupDigestChecker::CheckNode(
+    sim::NodeId node, uint64_t upto,
+    const std::map<std::string, std::string>& state) {
+  checks_run_++;
+  std::map<std::string, std::string> replay;
+  for (const auto& [index, cmd] : canonical_) {
+    if (index > upto) break;
+    ApplyCommand(cmd, &replay);
+  }
+  crypto::Digest want = lifecycle::StateDigest(replay);
+  crypto::Digest got = lifecycle::StateDigest(state);
+  if (!(want == got)) {
+    report_.Add("catchup-digest",
+                "node " + std::to_string(node) + " state at apply frontier " +
+                    std::to_string(upto) + " diverges from full replay (" +
+                    std::to_string(state.size()) + " vs " +
+                    std::to_string(replay.size()) + " keys)");
   }
 }
 

@@ -10,6 +10,8 @@
 #include "consensus/pbft.h"
 #include "consensus/raft.h"
 #include "ledger/ledger.h"
+#include "lifecycle/membership.h"
+#include "lifecycle/snapshot.h"
 #include "sim/network.h"
 
 namespace dicho::testing {
@@ -106,6 +108,65 @@ class BftInvariantChecker {
   std::set<std::string> submitted_;
   std::map<uint64_t, std::string> executed_;  // seq -> first-seen cmd
   uint64_t executed_total_ = 0;
+  InvariantReport report_;
+};
+
+/// Membership-change safety across a run with config changes:
+///   membership-agreement      every node reaching config version v reports
+///                             the exact same member set for v
+///   membership-single-change  consecutive versions differ by exactly one
+///                             member (the Raft §6 single-server rule the
+///                             quorum-overlap argument rests on)
+///   membership-quorum-overlap no two disjoint majority quorums are possible
+///                             across any adjacent config pair — the
+///                             "no two disjoint quorums across any
+///                             config-change prefix" invariant (adjacent
+///                             pairs suffice: overlap composes transitively
+///                             through the shared intermediate config)
+/// Wire SeedInitial with the bootstrap member set (version 0), then
+/// OnConfigChange into every node's config-change callback.
+class MembershipInvariantChecker {
+ public:
+  void SeedInitial(const std::vector<sim::NodeId>& members);
+  void OnConfigChange(sim::NodeId node, const lifecycle::MembershipView& view);
+  void CheckFinal();
+
+  uint64_t changes_observed() const { return changes_observed_; }
+  InvariantReport* report() { return &report_; }
+
+ private:
+  std::map<uint64_t, std::vector<sim::NodeId>> views_;  // version -> members
+  std::map<sim::NodeId, uint64_t> last_version_;
+  uint64_t changes_observed_ = 0;
+  InvariantReport report_;
+};
+
+/// Catch-up correctness: a node's materialized key-value state must equal a
+/// from-scratch replay of the canonical committed log up to that node's
+/// apply frontier — whether the state came from normal applies, snapshot
+/// install, or delta catch-up ("joined node's state digest equals the
+/// full-replay digest"). Commands are "key=value" puts (the elasticity
+/// scenarios' state-machine format); anything else is ignored by both the
+/// node and the replay, so digests still match.
+class CatchupDigestChecker {
+ public:
+  /// Feed the canonical log (first writer wins; agreement between nodes is
+  /// the Raft checkers' job, not this one's).
+  void NoteCommitted(uint64_t index, const std::string& cmd);
+  /// Compare `state` (the node's live map) against replay of [1, upto].
+  void CheckNode(sim::NodeId node, uint64_t upto,
+                 const std::map<std::string, std::string>& state);
+  /// Applies one command to a replay map (shared with scenario drivers so
+  /// the two sides can never drift).
+  static void ApplyCommand(const std::string& cmd,
+                           std::map<std::string, std::string>* state);
+
+  uint64_t checks_run() const { return checks_run_; }
+  InvariantReport* report() { return &report_; }
+
+ private:
+  std::map<uint64_t, std::string> canonical_;  // index -> cmd
+  uint64_t checks_run_ = 0;
   InvariantReport report_;
 };
 

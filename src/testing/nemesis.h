@@ -20,6 +20,14 @@ class Nemesis {
   struct Hooks {
     std::function<void(sim::NodeId)> crash;
     std::function<void(sim::NodeId)> restart;
+    /// Elasticity (optional; scenarios without a lifecycle layer leave these
+    /// empty and their schedules never emit the matching kinds). The hook
+    /// fires at the action's time; the protocol work it kicks off — snapshot
+    /// transfer, config-change replication, leadership drain — completes
+    /// asynchronously over subsequent simulated round trips.
+    std::function<void(sim::NodeId)> join;
+    std::function<void(sim::NodeId)> leave;
+    std::function<void(sim::NodeId)> drain;
   };
 
   Nemesis(sim::Simulator* sim, sim::SimNetwork* net, Hooks hooks)
@@ -83,6 +91,15 @@ class Nemesis {
         break;
       case FaultAction::Kind::kJitterRestore:
         net_->set_jitter(default_jitter_);
+        break;
+      case FaultAction::Kind::kJoin:
+        if (hooks_.join) hooks_.join(action.node);
+        break;
+      case FaultAction::Kind::kLeave:
+        if (hooks_.leave) hooks_.leave(action.node);
+        break;
+      case FaultAction::Kind::kDrain:
+        if (hooks_.drain) hooks_.drain(action.node);
         break;
     }
   }

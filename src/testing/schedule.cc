@@ -18,6 +18,9 @@ const char* FaultKindName(FaultAction::Kind kind) {
     case FaultAction::Kind::kDropStop: return "drop-stop";
     case FaultAction::Kind::kJitterSpike: return "jitter-spike";
     case FaultAction::Kind::kJitterRestore: return "jitter-restore";
+    case FaultAction::Kind::kJoin: return "join";
+    case FaultAction::Kind::kLeave: return "leave";
+    case FaultAction::Kind::kDrain: return "drain";
   }
   return "?";
 }
@@ -29,6 +32,9 @@ std::string FaultAction::ToString() const {
   switch (kind) {
     case Kind::kCrash:
     case Kind::kRestart:
+    case Kind::kJoin:
+    case Kind::kLeave:
+    case Kind::kDrain:
       out += " node=" + std::to_string(node);
       break;
     case Kind::kPartition: {
@@ -191,6 +197,40 @@ FaultSchedule GenerateSchedule(uint64_t seed, const ScheduleConfig& config) {
     action.at = lift;
     action.kind = FaultAction::Kind::kJitterRestore;
     schedule.actions.push_back(std::move(action));
+  }
+
+  // Elasticity post-pass on a derived stream: the base schedule above is
+  // bit-identical whether or not joins/leaves are enabled, so old seeds
+  // keep their repro guarantee.
+  if (config.max_joins > 0 || config.max_leaves > 0) {
+    Rng erng(seed ^ 0xE1A571C17FE5EEDull);
+    for (uint32_t j = 0; j < config.max_joins; j++) {
+      FaultAction action;
+      // Early-to-mid run: the joiner must finish catch-up inside the
+      // horizon (the quiet tail gives the last join time to converge).
+      action.at = fault_end * (0.15 + 0.55 * erng.NextDouble());
+      action.kind = FaultAction::Kind::kJoin;
+      action.node = config.num_nodes + j;
+      schedule.actions.push_back(std::move(action));
+    }
+    std::set<sim::NodeId> left;
+    for (uint32_t l = 0; l < config.max_leaves; l++) {
+      if (config.num_nodes - left.size() <= config.min_members) break;
+      sim::NodeId victim = static_cast<sim::NodeId>(
+          erng.Uniform(config.num_nodes));
+      if (left.count(victim) > 0) continue;  // skip, keep draws seed-stable
+      left.insert(victim);
+      FaultAction action;
+      action.at = fault_end * (0.2 + 0.55 * erng.NextDouble());
+      action.kind = erng.Bernoulli(0.5) ? FaultAction::Kind::kDrain
+                                        : FaultAction::Kind::kLeave;
+      action.node = victim;
+      schedule.actions.push_back(std::move(action));
+    }
+    std::stable_sort(schedule.actions.begin(), schedule.actions.end(),
+                     [](const FaultAction& a, const FaultAction& b) {
+                       return a.at < b.at;
+                     });
   }
   return schedule;
 }

@@ -21,6 +21,13 @@ struct FaultAction {
     kDropStop,       //
     kJitterSpike,    // jitter_us
     kJitterRestore,  //
+    // Elasticity (lifecycle layer). The scenario's hooks own the mechanics:
+    // join = snapshot transfer + "#cfg add", leave = "#cfg rm", drain =
+    // leadership hand-off first, then leave — so a hook may span many
+    // simulated round trips after the action fires.
+    kJoin,           // node (an id above the initial num_nodes range)
+    kLeave,          // node
+    kDrain,          // node
   };
 
   sim::Time at = 0;
@@ -55,6 +62,16 @@ struct ScheduleConfig {
   /// (crashed nodes restarted, partitions healed, drops/jitter restored) so
   /// the system can quiesce before final invariant checks.
   double quiet_tail = 0.3;
+
+  /// Elasticity budget (all default off — existing seeds replay the exact
+  /// same schedules). Joins/leaves are generated in a post-pass on a
+  /// derived RNG stream, so enabling them never perturbs the base fault
+  /// draws either. Joins introduce fresh ids num_nodes, num_nodes+1, ...;
+  /// leaves only ever pick distinct initial members and keep at least
+  /// `min_members` of them, so a majority of the grown group stays alive.
+  uint32_t max_joins = 0;
+  uint32_t max_leaves = 0;
+  uint32_t min_members = 3;
 };
 
 /// A seed-determined sequence of fault actions sorted by time. Same

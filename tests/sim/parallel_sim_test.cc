@@ -143,7 +143,7 @@ RaftResult RunPartitionedRaft(unsigned threads, Time until) {
   r.applied.assign(ids.size(), 0);
   systems::runtime::Transport transport(
       &sim, &net, &costs, ids, tc,
-      [&r](size_t node_index, const std::string&) { r.applied[node_index]++; });
+      [&r](size_t node_index, uint64_t, const std::string&) { r.applied[node_index]++; });
   EXPECT_EQ(sim.num_partitions(), 6u);  // ambient + one per replica
   transport.Start();
 

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "systems/runtime/elasticity.h"
 #include "testing/golden.h"
 #include "workload/arrival.h"
 
@@ -90,6 +91,47 @@ TEST(GoldenArrivalCompatTest, InertArrivalMachineryLeavesGoldensByteIdentical) {
 
   EXPECT_EQ(expected, c->run())
       << "an arrival engine running beside a golden world changed its bytes";
+}
+
+TEST(GoldenLifecycleCompatTest, DisabledLifecycleLeavesAllBaselinesByteIdentical) {
+  // The replica-lifecycle layer (snapshot folds, delta transfers, config
+  // changes) is compiled into every golden binary and defaults OFF:
+  // ElasticityConfig::enabled == false means no tracker exists, no snapshot
+  // ever folds, and no lifecycle event is ever scheduled. Guard that
+  // contract over the complete committed corpus — every baseline must
+  // render byte-identically — while a live tracker churns snapshot folds
+  // beside the renders (its hashing and chunk stores are private to it, so
+  // it must not perturb a single byte of any golden world).
+  systems::runtime::ElasticityConfig config;
+  config.enabled = true;
+  config.snapshot_every = 8;
+  systems::runtime::ReplicaTracker tracker(&config, {});
+  auto churn = [&tracker](uint64_t rounds) {
+    static uint64_t seq = 0;
+    for (uint64_t i = 0; i < rounds; i++) {
+      seq++;
+      tracker.OnEntry(seq, 1,
+                      {{"key" + std::to_string(seq % 16),
+                        std::string(64, static_cast<char>('a' + seq % 26))}});
+    }
+  };
+  churn(32);
+  ASSERT_GT(tracker.snapshots_taken(), 0u);
+
+  const std::vector<GoldenCase>& cases = AllGoldenCases();
+  ASSERT_EQ(cases.size(), 15u) << "golden corpus changed size; update this "
+                                  "guard and the lifecycle-compat audit";
+  for (const GoldenCase& c : cases) {
+    const std::string path =
+        std::string(DICHO_GOLDEN_DIR) + "/" + c.name + ".json";
+    const std::string expected = ReadFileOrEmpty(path);
+    ASSERT_FALSE(expected.empty()) << "missing baseline " << path;
+    EXPECT_EQ(expected, c.run())
+        << "'" << c.name
+        << "' diverged from its baseline with the lifecycle layer compiled "
+           "in (default-off) and a tracker folding snapshots beside it";
+    churn(16);
+  }
 }
 
 std::string CaseName(const ::testing::TestParamInfo<GoldenCase>& info) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "testing/harness.h"
@@ -126,6 +127,61 @@ TEST(BugInjectionTest, PbftSkippedQuorumIsCaught) {
     }
   }
   EXPECT_TRUE(safety) << again.report.Summary();
+}
+
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("DICHO_SIM_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    setenv("DICHO_SIM_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      setenv("DICHO_SIM_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("DICHO_SIM_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ScenarioTest, ElasticGrowthIsThreadCountInvariant) {
+  // elastic_growth runs the scale-out on the partitioned parallel engine:
+  // the whole run — progress, event count, fault schedule, every invariant
+  // verdict — must be identical under DICHO_SIM_THREADS in {1, 2, hw}, the
+  // conservative-synchronization determinism contract applied to the
+  // lifecycle layer (joins, transfers, config changes included).
+  const Scenario* scenario = FindScenario("elastic_growth");
+  ASSERT_NE(scenario, nullptr);
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    ScenarioResult base;
+    bool first = true;
+    for (const char* threads : {"1", "2", "hw"}) {
+      ScopedThreadsEnv env(threads);
+      ScenarioResult result = RunScenario(*scenario, ScenarioOptions{seed});
+      EXPECT_TRUE(result.ok()) << "seed " << seed << " threads " << threads
+                               << ":\n"
+                               << result.report.Summary();
+      if (first) {
+        base = result;
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(base.progress, result.progress)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(base.sim_events, result.sim_events)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(base.schedule, result.schedule)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(base.report.Summary(), result.report.Summary())
+          << "seed " << seed << " threads " << threads;
+    }
+  }
 }
 
 TEST(BugNameTest, RoundTrips) {
