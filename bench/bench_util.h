@@ -157,18 +157,21 @@ inline std::unique_ptr<systems::QuorumSystem> MakeQuorum(
       overrides);
 }
 
-inline std::unique_ptr<systems::HarmonySystem> MakeHarmony(World* w,
-                                                           uint32_t nodes) {
+inline std::unique_ptr<systems::HarmonySystem> MakeHarmony(
+    World* w, uint32_t nodes, bool fast_storage = false) {
   systems::runtime::SystemOverrides overrides;
   overrides.nodes = nodes;
+  overrides.fast_storage = fast_storage;
   return MakeStarted<systems::HarmonySystem>(w, "harmonylike", overrides);
 }
 
 inline std::unique_ptr<systems::FabricSystem> MakeFabric(
-    World* w, uint32_t peers, uint32_t validation_parallelism = 1) {
+    World* w, uint32_t peers, uint32_t validation_parallelism = 1,
+    bool fast_storage = false) {
   systems::runtime::SystemOverrides overrides;
   overrides.nodes = peers;
   overrides.validation_parallelism = validation_parallelism;
+  overrides.fast_storage = fast_storage;
   return MakeStarted<systems::FabricSystem>(w, "fabric", overrides);
 }
 

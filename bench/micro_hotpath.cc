@@ -17,7 +17,10 @@
 
 #include "adt/mpt.h"
 #include "common/random.h"
+#include "crypto/batch_verify.h"
 #include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "storage/delta/delta.h"
 #include "storage/env.h"
 #include "storage/lsm/db.h"
 
@@ -77,11 +80,18 @@ void BenchSha256(bool quick) {
 void BenchMpt(bool quick) {
   const uint64_t scale = quick ? 1 : 10;
   const uint64_t keys = 5000;
+  // The fast storage path (DESIGN.md §2g): values >= 256 B live out of
+  // line, so path nodes re-hash without the value bytes and repeated values
+  // skip SHA-256 via the digest memo. This is the configuration the
+  // harmonylike fast_storage flag runs; mpt_put_full_* below keeps tracking
+  // the default all-inline path.
+  adt::MptOptions fast_options;
+  fast_options.inline_value_threshold = 256;
   for (size_t size : {size_t(10), size_t(1000), size_t(5000)}) {
     Rng rng(3);
     std::string value = rng.Bytes(size);
     std::string tag = std::to_string(size) + "B";
-    adt::MerklePatriciaTrie trie;
+    adt::MerklePatriciaTrie trie(fast_options);
     Measure("mpt_put_" + tag, 2000 * scale, [&](uint64_t i) {
       trie.Put("acct" + std::to_string(i % keys), value);
     });
@@ -96,8 +106,84 @@ void BenchMpt(bool quick) {
       trie.Prove("acct" + std::to_string(i % 2000), &proof);
       sink = proof.nodes.size();
     });
+    // Batched commit on a *default*-encoding trie: the root stays
+    // byte-identical to sequential Puts; the per-key saving is shared path
+    // nodes hashing once per batch of 64.
+    adt::MerklePatriciaTrie batch_trie;
+    Measure("mpt_batch_put_" + tag, 2000 * scale, [&](uint64_t i) {
+      batch_trie.StagePut("acct" + std::to_string(i % keys), value);
+      if (i % 64 == 63) batch_trie.CommitBatch();
+    });
+    batch_trie.CommitBatch();
     (void)sink;
   }
+  // The default all-inline path at the paper's largest record size — the
+  // before/after anchor for the fast path (EXPERIMENTS.md).
+  {
+    Rng rng(3);
+    std::string value = rng.Bytes(5000);
+    adt::MerklePatriciaTrie full_trie;
+    Measure("mpt_put_full_5000B", 2000 * scale, [&](uint64_t i) {
+      full_trie.Put("acct" + std::to_string(i % keys), value);
+    });
+  }
+}
+
+void BenchDelta(bool quick) {
+  const uint64_t scale = quick ? 1 : 10;
+  Rng rng(13);
+  std::string base = rng.Bytes(5000);
+  // A field update: one 32-byte window differs — the shape DeltaStore
+  // banks on (YcsbConfig::mutate_bytes).
+  std::string target = base;
+  std::string field = rng.Bytes(32);
+  target.replace(2000, field.size(), field);
+  std::string delta;
+  storage::delta::EncodeDelta(base, target, &delta);
+  volatile size_t sink = 0;
+  Measure("delta_encode_5000B", 5000 * scale, [&](uint64_t i) {
+    std::string out;
+    target[0] = static_cast<char>(i);  // keep the encoder honest
+    storage::delta::EncodeDelta(base, target, &out);
+    sink = out.size();
+  });
+  target[0] = base[0];
+  storage::delta::EncodeDelta(base, target, &delta);
+  Measure("delta_apply_5000B", 5000 * scale, [&](uint64_t i) {
+    (void)i;
+    std::string out;
+    sink = storage::delta::ApplyDelta(base, delta, &out).ok() ? out.size() : 0;
+  });
+  (void)sink;
+}
+
+void BenchSignatures(bool quick) {
+  const uint64_t scale = quick ? 1 : 10;
+  std::string message = Rng(17).Bytes(256);
+  std::string signature = crypto::Signer(42).Sign(message);
+  volatile bool ok = false;
+  Measure("sig_verify_1", 20000 * scale, [&](uint64_t i) {
+    message[0] = static_cast<char>(i);
+    std::string sig = crypto::Signer(42).Sign(message);
+    ok = crypto::VerifySignature(42, message, sig);
+  });
+  // One block's worth of client signatures through the thread-pooled batch
+  // path Fabric validation uses; ns/op is per *batch* of 128.
+  std::vector<std::string> messages;
+  std::vector<std::string> signatures;
+  for (uint64_t i = 0; i < 128; i++) {
+    messages.push_back(Rng(100 + i).Bytes(256));
+    signatures.push_back(crypto::Signer(i).Sign(messages.back()));
+  }
+  std::vector<crypto::BatchVerifyItem> items;
+  for (uint64_t i = 0; i < 128; i++) {
+    items.push_back({i, Slice(messages[i]), Slice(signatures[i])});
+  }
+  Measure("sig_batch_verify_128", 500 * scale, [&](uint64_t i) {
+    (void)i;
+    ok = crypto::VerifyBatch(items)[0] != 0;
+  });
+  (void)ok;
 }
 
 void BenchLsm(bool quick) {
@@ -159,6 +245,8 @@ int main(int argc, char** argv) {
          dicho::crypto::Sha256UsesHardwareAcceleration() ? "yes" : "no");
   dicho::bench::BenchSha256(quick);
   dicho::bench::BenchMpt(quick);
+  dicho::bench::BenchDelta(quick);
+  dicho::bench::BenchSignatures(quick);
   dicho::bench::BenchLsm(quick);
   dicho::bench::WriteJson("BENCH_hotpath.json", quick);
   return 0;

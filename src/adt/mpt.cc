@@ -1,5 +1,6 @@
 #include "adt/mpt.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -12,10 +13,16 @@ namespace {
 // than Ethereum's hex-prefix packing but simpler to audit; the storage
 // overhead comparison (Fig. 13) is unaffected in shape. The byte format is
 // frozen: root digests are golden-tested against the original
-// std::map-backed implementation.
+// std::map-backed implementation. The 'V' tag and the branch out-of-line
+// value bit are produced only when out-of-line values are opted into via
+// MptOptions — default-mode bytes are untouched.
 constexpr char kLeafTag = 'L';
 constexpr char kExtTag = 'E';
 constexpr char kBranchTag = 'B';
+constexpr char kVLeafTag = 'V';  // leaf whose value is out of line
+
+constexpr uint32_t kHasValueBit = 1u << 16;
+constexpr uint32_t kValueOutOfLineBit = 1u << 17;
 
 using Digest = crypto::Digest;
 
@@ -25,8 +32,11 @@ using Digest = crypto::Digest;
 struct NodeView {
   char tag = 0;
   Slice path;                 // leaf/ext: nibbles, one per byte
-  Slice value;                // leaf/branch
+  Slice value;                // leaf/branch, inline case
   bool has_value = false;     // branch
+  bool value_out_of_line = false;  // 'V' leaf or branch with bit 17
+  Digest value_digest;        // valid iff value_out_of_line
+  uint64_t value_len = 0;     // valid iff value_out_of_line
   Digest child;               // ext
   Digest children[16];        // branch; valid iff bit set in `bitmap`
   uint32_t bitmap = 0;        // branch: bit i = child i present
@@ -49,34 +59,12 @@ inline Slice DigestSlice(const Digest& d) {
   return Slice(reinterpret_cast<const char*>(d.data()), d.size());
 }
 
-void SerializeLeaf(std::string* out, const uint8_t* path, size_t n,
-                   const Slice& value) {
-  out->clear();
-  out->push_back(kLeafTag);
-  AppendPath(out, path, n);
-  PutLengthPrefixed(out, value);
-}
-
 void SerializeExt(std::string* out, const uint8_t* path, size_t n,
                   const Digest& child) {
   out->clear();
   out->push_back(kExtTag);
   AppendPath(out, path, n);
   PutLengthPrefixed(out, DigestSlice(child));
-}
-
-void SerializeBranch(std::string* out, const Digest children[16],
-                     uint32_t child_bitmap, bool has_value,
-                     const Slice& value) {
-  out->clear();
-  out->push_back(kBranchTag);
-  uint32_t bitmap = child_bitmap;
-  if (has_value) bitmap |= (1u << 16);
-  PutVarint32(out, bitmap);
-  for (int i = 0; i < 16; i++) {
-    if (child_bitmap & (1u << i)) PutLengthPrefixed(out, DigestSlice(children[i]));
-  }
-  if (has_value) PutLengthPrefixed(out, value);
 }
 
 bool ParseNode(const Slice& raw, NodeView* node) {
@@ -89,6 +77,17 @@ bool ParseNode(const Slice& raw, NodeView* node) {
       return false;
     }
     node->has_value = true;
+    return in.empty();
+  }
+  if (node->tag == kVLeafTag) {
+    Slice digest;
+    if (!ParsePath(&in, &node->path) || !GetLengthPrefixed(&in, &digest) ||
+        digest.size() != 32 || !GetVarint64(&in, &node->value_len)) {
+      return false;
+    }
+    node->value_digest = crypto::DigestFromBytes(digest);
+    node->has_value = true;
+    node->value_out_of_line = true;
     return in.empty();
   }
   if (node->tag == kExtTag) {
@@ -113,9 +112,20 @@ bool ParseNode(const Slice& raw, NodeView* node) {
         node->children[i] = crypto::DigestFromBytes(child);
       }
     }
-    node->has_value = (bitmap & (1u << 16)) != 0;
+    node->has_value = (bitmap & kHasValueBit) != 0;
+    node->value_out_of_line = (bitmap & kValueOutOfLineBit) != 0;
+    if (node->value_out_of_line && !node->has_value) return false;
     if (node->has_value) {
-      if (!GetLengthPrefixed(&in, &node->value)) return false;
+      if (node->value_out_of_line) {
+        Slice digest;
+        if (!GetLengthPrefixed(&in, &digest) || digest.size() != 32 ||
+            !GetVarint64(&in, &node->value_len)) {
+          return false;
+        }
+        node->value_digest = crypto::DigestFromBytes(digest);
+      } else if (!GetLengthPrefixed(&in, &node->value)) {
+        return false;
+      }
     }
     return in.empty();
   }
@@ -131,6 +141,100 @@ size_t CommonPrefix(const Slice& a, const uint8_t* b, size_t bn) {
 
 inline const uint8_t* PathBytes(const Slice& s) {
   return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+}  // namespace
+
+/// A node's value: either inline bytes or an out-of-line reference to the
+/// value store. Slices point at staged strings or arena bytes — both stable
+/// for the duration of the Put/CommitBatch that uses the ref.
+struct MerklePatriciaTrie::ValueRef {
+  Slice inline_value;
+  bool out_of_line = false;
+  Digest digest;
+  uint64_t len = 0;
+};
+
+/// One staged key during CommitBatch. `path` is the FULL nibble path from
+/// the root (entries are routed by indexing path[depth]); bytes live in
+/// staged_ strings or batch_path_pool_.
+struct MerklePatriciaTrie::BatchEntry {
+  const uint8_t* path = nullptr;
+  size_t path_len = 0;
+  ValueRef value;
+  size_t order = 0;  // arrival index; last staged value for a key wins
+};
+
+namespace {
+
+/// Leaf serialization that respects the value representation.
+void SerializeLeafRef(std::string* out, const uint8_t* path, size_t n,
+                      const MerklePatriciaTrie::ValueRef& v) {
+  out->clear();
+  if (v.out_of_line) {
+    out->push_back(kVLeafTag);
+    AppendPath(out, path, n);
+    PutLengthPrefixed(out, DigestSlice(v.digest));
+    PutVarint64(out, v.len);
+  } else {
+    out->push_back(kLeafTag);
+    AppendPath(out, path, n);
+    PutLengthPrefixed(out, v.inline_value);
+  }
+}
+
+void SerializeBranchRef(std::string* out, const Digest children[16],
+                        uint32_t child_bitmap, bool has_value,
+                        const MerklePatriciaTrie::ValueRef& v) {
+  out->clear();
+  out->push_back(kBranchTag);
+  uint32_t bitmap = child_bitmap;
+  if (has_value) {
+    bitmap |= kHasValueBit;
+    if (v.out_of_line) bitmap |= kValueOutOfLineBit;
+  }
+  PutVarint32(out, bitmap);
+  for (int i = 0; i < 16; i++) {
+    if (child_bitmap & (1u << i)) {
+      PutLengthPrefixed(out, DigestSlice(children[i]));
+    }
+  }
+  if (has_value) {
+    if (v.out_of_line) {
+      PutLengthPrefixed(out, DigestSlice(v.digest));
+      PutVarint64(out, v.len);
+    } else {
+      PutLengthPrefixed(out, v.inline_value);
+    }
+  }
+}
+
+/// ValueRef for a value already resident in a parsed node — reuses the
+/// out-of-line digest instead of re-storing (and re-hashing) the bytes.
+MerklePatriciaTrie::ValueRef RefFromView(const NodeView& node) {
+  MerklePatriciaTrie::ValueRef ref;
+  ref.inline_value = node.value;
+  ref.out_of_line = node.value_out_of_line;
+  ref.digest = node.value_digest;
+  ref.len = node.value_len;
+  return ref;
+}
+
+/// Lexicographic order on full nibble paths (prefix sorts first), ties by
+/// arrival order so the last staged value for a key wins after dedup.
+bool BatchEntryLess(const MerklePatriciaTrie::BatchEntry& a,
+                    const MerklePatriciaTrie::BatchEntry& b) {
+  const size_t min_len = a.path_len < b.path_len ? a.path_len : b.path_len;
+  int c = min_len == 0 ? 0 : memcmp(a.path, b.path, min_len);
+  if (c != 0) return c < 0;
+  if (a.path_len != b.path_len) return a.path_len < b.path_len;
+  return a.order < b.order;
+}
+
+bool SamePath(const MerklePatriciaTrie::BatchEntry& a,
+              const MerklePatriciaTrie::BatchEntry& b) {
+  return a.path_len == b.path_len &&
+         (a.path_len == 0 || memcmp(a.path, b.path, a.path_len) == 0);
 }
 
 }  // namespace
@@ -154,28 +258,90 @@ MerklePatriciaTrie::Digest MerklePatriciaTrie::Store(const Slice& serialized) {
   return digest;
 }
 
+MerklePatriciaTrie::Digest MerklePatriciaTrie::StoreValue(const Slice& value,
+                                                          bool* newly_stored) {
+  // Quick routing hash: length plus three sampled 8-byte windows. It only
+  // picks the memo slot — a hit is confirmed by full memcmp against the
+  // arena-resident bytes, so collisions cost time, never correctness.
+  uint64_t h = (value.size() + 1) * 0x9E3779B97F4A7C15ull;
+  if (value.size() >= 24) {
+    uint64_t a, b, c;
+    memcpy(&a, value.data(), 8);
+    memcpy(&b, value.data() + value.size() / 2, 8);
+    memcpy(&c, value.data() + value.size() - 8, 8);
+    h ^= a * 0xC2B2AE3D27D4EB4Full;
+    h ^= b * 0x165667B19E3779F9ull;
+    h ^= c * 0x27D4EB2F165667C5ull;
+  } else {
+    for (size_t i = 0; i < value.size(); i++) {
+      h = h * 131 + static_cast<uint8_t>(value[i]);
+    }
+  }
+  h ^= h >> 29;
+  ValueMemo& memo = value_memo_[h & (kValueMemoSlots - 1)];
+  if (memo.data != nullptr && memo.len == value.size() &&
+      memcmp(memo.data, value.data(), value.size()) == 0) {
+    value_dedup_hits_++;
+    *newly_stored = false;
+    return memo.digest;
+  }
+  Digest digest = crypto::Sha256Hash(value);
+  if (values_.Insert(digest, value)) {
+    total_node_bytes_ += 32 + value.size();
+    out_of_line_values_++;
+    *newly_stored = true;
+  } else {
+    value_dedup_hits_++;
+    *newly_stored = false;
+  }
+  // Point the memo at the arena copy — stable for the trie's lifetime,
+  // unlike the caller's buffer.
+  Slice stored;
+  bool found = values_.Find(digest, &stored);
+  assert(found);
+  (void)found;
+  memo.data = stored.data();
+  memo.len = static_cast<uint32_t>(stored.size());
+  memo.digest = digest;
+  return digest;
+}
+
+MerklePatriciaTrie::ValueRef MerklePatriciaTrie::MakeValueRef(
+    const Slice& value) {
+  ValueRef ref;
+  if (value.size() >= options_.inline_value_threshold) {
+    bool newly_stored = false;
+    ref.digest = StoreValue(value, &newly_stored);
+    ref.out_of_line = true;
+    ref.len = value.size();
+  } else {
+    ref.inline_value = value;
+  }
+  return ref;
+}
+
 Status MerklePatriciaTrie::Put(const Slice& key, const Slice& value) {
   ToNibbles(key, &nibbles_scratch_);
   last_update_nodes_ = 0;
   put_replaced_ = false;
+  ValueRef ref = MakeValueRef(value);
   // Copy the root digest: InsertAt must not read through an alias of root_
   // while we overwrite it.
   Digest old_root = root_;
-  root_ = InsertAt(has_root_ ? &old_root : nullptr, nibbles_scratch_, 0, value);
+  root_ = InsertAt(has_root_ ? &old_root : nullptr, nibbles_scratch_, 0, ref);
   has_root_ = true;
   if (!put_replaced_) size_++;
   return Status::Ok();
 }
 
-MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(const Digest* node_digest,
-                                                        const Nibbles& path,
-                                                        size_t depth,
-                                                        const Slice& value) {
+MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(
+    const Digest* node_digest, const Nibbles& path, size_t depth,
+    const ValueRef& value) {
   const uint8_t* rest = path.data() + depth;
   const size_t rest_n = path.size() - depth;
 
   if (node_digest == nullptr) {
-    SerializeLeaf(&node_scratch_, rest, rest_n, value);
+    SerializeLeafRef(&node_scratch_, rest, rest_n, value);
     return Store(node_scratch_);
   }
   Slice raw;
@@ -187,26 +353,27 @@ MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(const Digest* node_diges
   assert(ok);
   (void)ok;
 
-  if (node.tag == kLeafTag) {
+  if (node.tag == kLeafTag || node.tag == kVLeafTag) {
     if (node.path.size() == rest_n &&
         memcmp(node.path.data(), rest, rest_n) == 0) {
       put_replaced_ = true;
-      SerializeLeaf(&node_scratch_, rest, rest_n, value);  // overwrite
+      SerializeLeafRef(&node_scratch_, rest, rest_n, value);  // overwrite
       return Store(node_scratch_);
     }
     size_t cp = CommonPrefix(node.path, rest, rest_n);
     Digest children[16];
     uint32_t bitmap = 0;
     bool branch_has_value = false;
-    Slice branch_value;
-    // Existing leaf's continuation.
+    ValueRef branch_value;
+    // Existing leaf's continuation (value representation carried verbatim:
+    // an out-of-line value is never re-stored or re-hashed here).
     if (node.path.size() == cp) {
       branch_has_value = true;
-      branch_value = node.value;
+      branch_value = RefFromView(node);
     } else {
       uint8_t idx = PathBytes(node.path)[cp];
-      SerializeLeaf(&node_scratch_, PathBytes(node.path) + cp + 1,
-                    node.path.size() - cp - 1, node.value);
+      SerializeLeafRef(&node_scratch_, PathBytes(node.path) + cp + 1,
+                       node.path.size() - cp - 1, RefFromView(node));
       children[idx] = Store(node_scratch_);
       bitmap |= (1u << idx);
     }
@@ -216,12 +383,12 @@ MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(const Digest* node_diges
       branch_value = value;
     } else {
       uint8_t idx = rest[cp];
-      SerializeLeaf(&node_scratch_, rest + cp + 1, rest_n - cp - 1, value);
+      SerializeLeafRef(&node_scratch_, rest + cp + 1, rest_n - cp - 1, value);
       children[idx] = Store(node_scratch_);
       bitmap |= (1u << idx);
     }
-    SerializeBranch(&node_scratch_, children, bitmap, branch_has_value,
-                    branch_value);
+    SerializeBranchRef(&node_scratch_, children, bitmap, branch_has_value,
+                       branch_value);
     Digest branch = Store(node_scratch_);
     if (cp > 0) {
       SerializeExt(&node_scratch_, rest, cp, branch);
@@ -241,7 +408,7 @@ MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(const Digest* node_diges
     Digest children[16];
     uint32_t bitmap = 0;
     bool branch_has_value = false;
-    Slice branch_value;
+    ValueRef branch_value;
     // The extension's remainder.
     {
       uint8_t idx = PathBytes(node.path)[cp];
@@ -260,12 +427,12 @@ MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(const Digest* node_diges
       branch_value = value;
     } else {
       uint8_t idx = rest[cp];
-      SerializeLeaf(&node_scratch_, rest + cp + 1, rest_n - cp - 1, value);
+      SerializeLeafRef(&node_scratch_, rest + cp + 1, rest_n - cp - 1, value);
       children[idx] = Store(node_scratch_);
       bitmap |= (1u << idx);
     }
-    SerializeBranch(&node_scratch_, children, bitmap, branch_has_value,
-                    branch_value);
+    SerializeBranchRef(&node_scratch_, children, bitmap, branch_has_value,
+                       branch_value);
     Digest branch = Store(node_scratch_);
     if (cp > 0) {
       SerializeExt(&node_scratch_, rest, cp, branch);
@@ -277,7 +444,8 @@ MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(const Digest* node_diges
   // Branch.
   if (rest_n == 0) {
     if (node.has_value) put_replaced_ = true;
-    SerializeBranch(&node_scratch_, node.children, node.bitmap, true, value);
+    SerializeBranchRef(&node_scratch_, node.children, node.bitmap, true,
+                       value);
     return Store(node_scratch_);
   }
   uint8_t idx = rest[0];
@@ -285,8 +453,287 @@ MerklePatriciaTrie::Digest MerklePatriciaTrie::InsertAt(const Digest* node_diges
       (node.bitmap & (1u << idx)) ? &node.children[idx] : nullptr;
   node.children[idx] = InsertAt(child, path, depth + 1, value);
   node.bitmap |= (1u << idx);
-  SerializeBranch(&node_scratch_, node.children, node.bitmap, node.has_value,
-                  node.value);
+  SerializeBranchRef(&node_scratch_, node.children, node.bitmap,
+                     node.has_value, RefFromView(node));
+  return Store(node_scratch_);
+}
+
+void MerklePatriciaTrie::StagePut(const Slice& key, const Slice& value) {
+  StagedPut staged;
+  ToNibbles(key, &nibbles_scratch_);
+  staged.nibbles.assign(nibbles_scratch_.begin(), nibbles_scratch_.end());
+  staged.value.assign(value.data(), value.size());
+  staged_.push_back(std::move(staged));
+}
+
+Status MerklePatriciaTrie::CommitBatch(BatchCommitStats* stats_out) {
+  BatchCommitStats stats;
+  last_update_nodes_ = 0;
+  batch_replaced_ = 0;
+  if (!staged_.empty()) {
+    std::vector<BatchEntry> entries;
+    entries.reserve(staged_.size());
+    for (size_t i = 0; i < staged_.size(); i++) {
+      BatchEntry entry;
+      entry.path = reinterpret_cast<const uint8_t*>(staged_[i].nibbles.data());
+      entry.path_len = staged_[i].nibbles.size();
+      entry.value = MakeValueRef(staged_[i].value);
+      entry.order = i;
+      entries.push_back(entry);
+    }
+    std::sort(entries.begin(), entries.end(), BatchEntryLess);
+    // Dedup: within a path run the latest arrival sorts last and wins,
+    // matching the result of sequential Puts in staging order.
+    std::vector<BatchEntry> uniq;
+    uniq.reserve(entries.size());
+    for (const BatchEntry& entry : entries) {
+      if (!uniq.empty() && SamePath(uniq.back(), entry)) {
+        uniq.back() = entry;
+      } else {
+        uniq.push_back(entry);
+      }
+    }
+    Digest old_root = root_;
+    root_ = BatchInsertAt(has_root_ ? &old_root : nullptr, nullptr,
+                          uniq.data(), uniq.data() + uniq.size(), 0, &stats);
+    has_root_ = true;
+    size_ += uniq.size() - batch_replaced_;
+    stats.keys = uniq.size();
+    stats.nodes_written = last_update_nodes_;
+    batch_reuse_hits_ += stats.subtrees_reused;
+    staged_.clear();
+    batch_path_pool_.clear();
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return Status::Ok();
+}
+
+MerklePatriciaTrie::Digest MerklePatriciaTrie::BuildSubtree(
+    BatchEntry* begin, BatchEntry* end, size_t depth,
+    BatchCommitStats* stats) {
+  assert(begin < end);
+  if (end - begin == 1) {
+    SerializeLeafRef(&node_scratch_, begin->path + depth,
+                     begin->path_len - depth, begin->value);
+    return Store(node_scratch_);
+  }
+  // Longest prefix common to all entries = lcp(first, last): sorted order
+  // means every entry between the extremes shares their common prefix.
+  const BatchEntry& first = *begin;
+  const BatchEntry& last = *(end - 1);
+  const size_t max_cp =
+      (first.path_len < last.path_len ? first.path_len : last.path_len) -
+      depth;
+  size_t cp = 0;
+  while (cp < max_cp && first.path[depth + cp] == last.path[depth + cp]) cp++;
+  const size_t d2 = depth + cp;
+
+  Digest children[16];
+  uint32_t bitmap = 0;
+  bool has_value = false;
+  ValueRef branch_value;
+  BatchEntry* it = begin;
+  // At most one entry can terminate at the branch (paths are distinct).
+  if (it->path_len == d2) {
+    has_value = true;
+    branch_value = it->value;
+    it++;
+  }
+  while (it < end) {
+    const uint8_t nib = it->path[d2];
+    BatchEntry* group_end = it;
+    while (group_end < end && group_end->path[d2] == nib) group_end++;
+    children[nib] = BuildSubtree(it, group_end, d2 + 1, stats);
+    bitmap |= (1u << nib);
+    it = group_end;
+  }
+  SerializeBranchRef(&node_scratch_, children, bitmap, has_value,
+                     branch_value);
+  Digest branch = Store(node_scratch_);
+  if (cp > 0) {
+    SerializeExt(&node_scratch_, begin->path + depth, cp, branch);
+    return Store(node_scratch_);
+  }
+  return branch;
+}
+
+MerklePatriciaTrie::Digest MerklePatriciaTrie::BatchInsertAt(
+    const Digest* node_digest, const void* view, BatchEntry* begin,
+    BatchEntry* end, size_t depth, BatchCommitStats* stats) {
+  assert(begin < end);
+  if (node_digest == nullptr && view == nullptr) {
+    return BuildSubtree(begin, end, depth, stats);
+  }
+  NodeView parsed;
+  const NodeView* node;
+  if (view != nullptr) {
+    node = static_cast<const NodeView*>(view);
+  } else {
+    Slice raw;
+    bool found = nodes_.Find(*node_digest, &raw);
+    assert(found);
+    (void)found;
+    bool ok = ParseNode(raw, &parsed);
+    assert(ok);
+    (void)ok;
+    node = &parsed;
+  }
+
+  if (node->tag == kLeafTag || node->tag == kVLeafTag) {
+    // If a staged entry overwrites the leaf's exact path, the leaf just
+    // disappears under the new entries; otherwise it is merged in as one
+    // more entry and the subtree rebuilt around it.
+    const size_t leaf_rest = node->path.size();
+    bool replaced = false;
+    for (BatchEntry* it = begin; it < end; it++) {
+      if (it->path_len - depth == leaf_rest &&
+          memcmp(it->path + depth, node->path.data(), leaf_rest) == 0) {
+        replaced = true;
+        break;
+      }
+    }
+    if (replaced) {
+      batch_replaced_++;
+      return BuildSubtree(begin, end, depth, stats);
+    }
+    // Synthesize the leaf's full path: shared route prefix + leaf rest.
+    // Pooled so the pointer outlives this frame (deque never moves).
+    batch_path_pool_.emplace_back();
+    std::string& full = batch_path_pool_.back();
+    full.assign(reinterpret_cast<const char*>(begin->path), depth);
+    full.append(node->path.data(), leaf_rest);
+    BatchEntry synthetic;
+    synthetic.path = reinterpret_cast<const uint8_t*>(full.data());
+    synthetic.path_len = full.size();
+    synthetic.value = RefFromView(*node);
+    std::vector<BatchEntry> merged(begin, end);
+    merged.insert(
+        std::upper_bound(merged.begin(), merged.end(), synthetic,
+                         BatchEntryLess),
+        synthetic);
+    return BuildSubtree(merged.data(), merged.data() + merged.size(), depth,
+                        stats);
+  }
+
+  if (node->tag == kExtTag) {
+    const Slice ext = node->path;
+    // Shortest lcp between the extension path and any entry — attained at
+    // the sorted extremes.
+    auto lcp_with_ext = [&](const BatchEntry& entry) {
+      const size_t rest_n = entry.path_len - depth;
+      const size_t max = ext.size() < rest_n ? ext.size() : rest_n;
+      size_t n = 0;
+      while (n < max &&
+             static_cast<uint8_t>(ext[n]) == entry.path[depth + n]) {
+        n++;
+      }
+      return n;
+    };
+    const size_t cp =
+        std::min(lcp_with_ext(*begin), lcp_with_ext(*(end - 1)));
+    if (cp == ext.size()) {
+      // Every entry descends through the extension.
+      Digest child =
+          BatchInsertAt(&node->child, nullptr, begin, end, depth + cp, stats);
+      SerializeExt(&node_scratch_, PathBytes(ext), cp, child);
+      return Store(node_scratch_);
+    }
+    // Split at cp: branch over the extension's remainder and the entries.
+    const size_t d2 = depth + cp;
+    const uint8_t ext_nib = PathBytes(ext)[cp];
+    Digest children[16];
+    uint32_t bitmap = 0;
+    bool has_value = false;
+    ValueRef branch_value;
+    BatchEntry* it = begin;
+    if (it->path_len == d2) {
+      has_value = true;
+      branch_value = it->value;
+      it++;
+    }
+    bool ext_merged = false;
+    while (it < end) {
+      const uint8_t nib = it->path[d2];
+      BatchEntry* group_end = it;
+      while (group_end < end && group_end->path[d2] == nib) group_end++;
+      if (nib == ext_nib) {
+        // These entries continue into the extension's remainder.
+        if (ext.size() - cp == 1) {
+          children[nib] = BatchInsertAt(&node->child, nullptr, it, group_end,
+                                        d2 + 1, stats);
+        } else {
+          NodeView remainder;
+          remainder.tag = kExtTag;
+          remainder.path = Slice(ext.data() + cp + 1, ext.size() - cp - 1);
+          remainder.child = node->child;
+          children[nib] = BatchInsertAt(nullptr, &remainder, it, group_end,
+                                        d2 + 1, stats);
+        }
+        ext_merged = true;
+      } else {
+        children[nib] = BuildSubtree(it, group_end, d2 + 1, stats);
+      }
+      bitmap |= (1u << nib);
+      it = group_end;
+    }
+    if (!ext_merged) {
+      // No entry enters the extension's subtree: carried by digest only.
+      if (ext.size() - cp == 1) {
+        children[ext_nib] = node->child;
+      } else {
+        SerializeExt(&node_scratch_, PathBytes(ext) + cp + 1,
+                     ext.size() - cp - 1, node->child);
+        children[ext_nib] = Store(node_scratch_);
+      }
+      stats->subtrees_reused++;
+      bitmap |= (1u << ext_nib);
+    }
+    SerializeBranchRef(&node_scratch_, children, bitmap, has_value,
+                       branch_value);
+    Digest branch = Store(node_scratch_);
+    if (cp > 0) {
+      SerializeExt(&node_scratch_, begin->path + depth, cp, branch);
+      return Store(node_scratch_);
+    }
+    return branch;
+  }
+
+  // Branch.
+  Digest children[16];
+  for (int i = 0; i < 16; i++) {
+    if (node->bitmap & (1u << i)) children[i] = node->children[i];
+  }
+  uint32_t bitmap = node->bitmap;
+  uint32_t touched = 0;
+  bool has_value = node->has_value;
+  ValueRef branch_value = RefFromView(*node);
+  BatchEntry* it = begin;
+  if (it->path_len == depth) {
+    if (node->has_value) batch_replaced_++;
+    has_value = true;
+    branch_value = it->value;
+    it++;
+  }
+  while (it < end) {
+    const uint8_t nib = it->path[depth];
+    BatchEntry* group_end = it;
+    while (group_end < end && group_end->path[depth] == nib) group_end++;
+    if (node->bitmap & (1u << nib)) {
+      children[nib] = BatchInsertAt(&node->children[nib], nullptr, it,
+                                    group_end, depth + 1, stats);
+    } else {
+      children[nib] = BuildSubtree(it, group_end, depth + 1, stats);
+    }
+    bitmap |= (1u << nib);
+    touched |= (1u << nib);
+    it = group_end;
+  }
+  // Untouched present children are memoized: reused by digest, never
+  // re-serialized or re-hashed.
+  stats->subtrees_reused +=
+      static_cast<size_t>(__builtin_popcount(node->bitmap & ~touched));
+  SerializeBranchRef(&node_scratch_, children, bitmap, has_value,
+                     branch_value);
   return Store(node_scratch_);
 }
 
@@ -309,15 +756,27 @@ Status MerklePatriciaTrie::GetAt(const Digest& node_digest,
   NodeView node;
   if (!ParseNode(raw, &node)) return Status::Corruption("bad node");
 
+  auto load_value = [&]() -> Status {
+    if (node.value_out_of_line) {
+      Slice stored;
+      if (!values_.Find(node.value_digest, &stored)) {
+        return Status::Corruption("dangling value digest");
+      }
+      value->assign(stored.data(), stored.size());
+      return Status::Ok();
+    }
+    value->assign(node.value.data(), node.value.size());
+    return Status::Ok();
+  };
+
   const uint8_t* rest = path.data() + depth;
   const size_t rest_n = path.size() - depth;
-  if (node.tag == kLeafTag) {
+  if (node.tag == kLeafTag || node.tag == kVLeafTag) {
     if (node.path.size() != rest_n ||
         memcmp(node.path.data(), rest, rest_n) != 0) {
       return Status::NotFound();
     }
-    value->assign(node.value.data(), node.value.size());
-    return Status::Ok();
+    return load_value();
   }
   if (node.tag == kExtTag) {
     size_t cp = CommonPrefix(node.path, rest, rest_n);
@@ -327,8 +786,7 @@ Status MerklePatriciaTrie::GetAt(const Digest& node_digest,
   // Branch.
   if (rest_n == 0) {
     if (!node.has_value) return Status::NotFound();
-    value->assign(node.value.data(), node.value.size());
-    return Status::Ok();
+    return load_value();
   }
   if (!(node.bitmap & (1u << rest[0]))) return Status::NotFound();
   return GetAt(node.children[rest[0]], path, depth + 1, value, proof_nodes);
@@ -354,6 +812,10 @@ uint64_t MerklePatriciaTrie::ReachableBytesAt(const Digest& node_digest) const {
   NodeView node;
   if (!ParseNode(raw, &node)) return 0;
   uint64_t total = 32 + raw.size();
+  // Out-of-line value bytes (and their digest key) are live state the node
+  // references; shared values are counted once per referencing node, which
+  // over-approximates slightly but keeps the walk single-pass.
+  if (node.value_out_of_line) total += 32 + node.value_len;
   if (node.tag == kExtTag) {
     total += ReachableBytesAt(node.child);
   } else if (node.tag == kBranchTag) {
@@ -376,6 +838,17 @@ bool VerifyMptProof(const crypto::Digest& root, const Slice& key,
     path.push_back(b & 0xF);
   }
 
+  // Out-of-line nodes bind the value through its content digest: the
+  // verifier recomputes SHA-256 over the claimed value, no value store
+  // needed.
+  auto value_matches = [&](const NodeView& node) {
+    if (node.value_out_of_line) {
+      return node.value_len == value.size() &&
+             crypto::Sha256Hash(value) == node.value_digest;
+    }
+    return node.value == value;
+  };
+
   Digest expected = root;
   size_t depth = 0;
   for (size_t n = 0; n < proof.nodes.size(); n++) {
@@ -385,10 +858,10 @@ bool VerifyMptProof(const crypto::Digest& root, const Slice& key,
     if (!ParseNode(raw, &node)) return false;
     const uint8_t* rest = path.data() + depth;
     const size_t rest_n = path.size() - depth;
-    if (node.tag == kLeafTag) {
+    if (node.tag == kLeafTag || node.tag == kVLeafTag) {
       return n == proof.nodes.size() - 1 && node.path.size() == rest_n &&
              memcmp(node.path.data(), rest, rest_n) == 0 &&
-             node.value == value;
+             value_matches(node);
     }
     if (node.tag == kExtTag) {
       size_t cp = CommonPrefix(node.path, rest, rest_n);
@@ -400,7 +873,7 @@ bool VerifyMptProof(const crypto::Digest& root, const Slice& key,
     // Branch.
     if (rest_n == 0) {
       return n == proof.nodes.size() - 1 && node.has_value &&
-             node.value == value;
+             value_matches(node);
     }
     if (!(node.bitmap & (1u << rest[0]))) return false;
     expected = node.children[rest[0]];

@@ -1,7 +1,9 @@
 #ifndef DICHO_ADT_MPT_H_
 #define DICHO_ADT_MPT_H_
 
+#include <cassert>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,23 @@
 #include "crypto/sha256.h"
 
 namespace dicho::adt {
+
+/// Tuning knobs for the fast storage path (docs/STORAGE.md).
+struct MptOptions {
+  /// Values of at least this many bytes are stored *out of line*: the leaf
+  /// (or branch value slot) carries the value's 32-byte content digest and
+  /// length, and the bytes live once in a digest-keyed value store. Path
+  /// nodes then re-serialize and re-hash without touching the value, and
+  /// identical values (common under read-modify-write workloads) are
+  /// deduplicated and never re-hashed thanks to a digest memo cache.
+  ///
+  /// Default SIZE_MAX = everything inline: the wire format and every root
+  /// digest stay byte-identical to the original implementation (golden
+  /// traces depend on this). Opt in (the fast storage path, DESIGN.md §2g)
+  /// and roots legitimately differ — they commit to the same logical state
+  /// through a different node encoding.
+  size_t inline_value_threshold = SIZE_MAX;
+};
 
 /// Merkle Patricia Trie — the authenticated state index of Ethereum and
 /// Quorum. Keys are split into 4-bit nibbles; three node kinds:
@@ -29,16 +48,56 @@ namespace dicho::adt {
 /// parent, so unchanged subtrees are never re-serialized or re-hashed.
 /// The serialized node format and therefore every root digest and proof are
 /// byte-identical to the original std::map-based implementation (golden
-/// tests assert this).
+/// tests assert this) — unless out-of-line values are opted into via
+/// MptOptions, which adds a fourth node kind ('V' leaves) and a
+/// branch-value digest slot.
+///
+/// Two commit APIs:
+///   Put(key, value)            one key, path copy-written immediately.
+///   StagePut + CommitBatch     a block's worth of puts applied in one
+///                              walk: each dirty node is serialized and
+///                              hashed exactly once however many staged
+///                              keys pass through it, and untouched
+///                              sibling subtrees are reused by digest
+///                              (the memoization the hit counter tracks).
+///                              The resulting root is byte-identical to
+///                              sequential Puts of the same batch.
 ///
 /// Deletion is not supported: the benchmarked blockchain state stores are
 /// insert/update-only (documented in DESIGN.md).
 class MerklePatriciaTrie {
  public:
   MerklePatriciaTrie() = default;
+  explicit MerklePatriciaTrie(MptOptions options) : options_(options) {}
+
+  /// Sets options on a still-empty trie — for owners that default-construct
+  /// their tries (NodeSet members) and opt into the fast storage path
+  /// afterwards. Must be called before the first Put/StagePut; the
+  /// representation is part of the root commitment, so flipping it on a
+  /// populated trie would split the state across two encodings.
+  void Configure(MptOptions options) {
+    assert(size_ == 0 && nodes_.size() == 0 && staged_.empty());
+    options_ = options;
+  }
 
   Status Put(const Slice& key, const Slice& value);
   Status Get(const Slice& key, std::string* value) const;
+
+  /// Stages a put for the next CommitBatch. Staged puts are not visible to
+  /// Get/Prove until committed; within a batch the last staged value for a
+  /// key wins (matching sequential Put order).
+  void StagePut(const Slice& key, const Slice& value);
+
+  struct BatchCommitStats {
+    size_t keys = 0;             // distinct keys applied
+    size_t nodes_written = 0;    // nodes serialized + hashed + stored
+    size_t subtrees_reused = 0;  // present subtrees carried by digest only
+  };
+  /// Applies every staged put in one trie walk. The root digest is
+  /// byte-identical to issuing the same puts sequentially; the saving is
+  /// that shared path nodes are written once per batch instead of once per
+  /// key, and every untouched subtree is skipped (memoized by its digest).
+  Status CommitBatch(BatchCommitStats* stats = nullptr);
 
   /// Digest committing to the whole key-value state; ZeroDigest when empty.
   crypto::Digest RootDigest() const { return root_; }
@@ -54,17 +113,35 @@ class MerklePatriciaTrie {
   Status Prove(const Slice& key, Proof* proof) const;
 
   /// Storage accounting ------------------------------------------------------
-  /// Bytes of every node ever written (archival store: all historical
-  /// versions reachable from old roots).
+  /// Bytes of every node (and out-of-line value) ever written (archival
+  /// store: all historical versions reachable from old roots).
   uint64_t TotalNodeBytes() const { return total_node_bytes_; }
   /// Bytes of nodes reachable from the current root (live state), including
-  /// the 32-byte content hash each node is filed under.
+  /// the 32-byte content hash each node is filed under and the out-of-line
+  /// value bytes the reachable nodes reference.
   uint64_t ReachableBytes() const;
   /// Nodes currently stored.
   size_t node_count() const { return nodes_.size(); }
-  /// Nodes written by the most recent Put (path length — proxy for the
-  /// hashing work per update).
+  /// Nodes written by the most recent Put or CommitBatch (hashing work per
+  /// update).
   size_t last_update_nodes() const { return last_update_nodes_; }
+
+  /// Fast-path accounting ----------------------------------------------------
+  /// Out-of-line values stored (0 unless opted in via MptOptions).
+  uint64_t out_of_line_values() const { return out_of_line_values_; }
+  /// Puts whose value bytes were already stored: memo-cache hits (which
+  /// skip SHA-256 over the value entirely) plus value-store hits (digest
+  /// computed, bytes not re-stored).
+  uint64_t value_dedup_hits() const { return value_dedup_hits_; }
+  /// Cumulative CommitBatch subtree reuses (the memoization hit counter).
+  uint64_t batch_reuse_hits() const { return batch_reuse_hits_; }
+
+  /// Implementation detail, public only so mpt.cc's file-local helpers can
+  /// take them as parameters: how a node refers to its value (inline bytes
+  /// or an out-of-line digest+length), and one staged key during
+  /// CommitBatch. Both are defined in mpt.cc; not part of the API.
+  struct ValueRef;
+  struct BatchEntry;
 
  private:
   using Digest = crypto::Digest;
@@ -73,24 +150,74 @@ class MerklePatriciaTrie {
   static void ToNibbles(const Slice& key, Nibbles* out);
 
   Digest Store(const Slice& serialized);
+  /// Files `value` in the value store under its content digest, consulting
+  /// the memo cache first. Returns the digest; `*newly_stored` reports
+  /// whether bytes were written (false on dedup).
+  Digest StoreValue(const Slice& value, bool* newly_stored);
+  /// Inline ref below the threshold, out-of-line (stored) ref at/above it.
+  ValueRef MakeValueRef(const Slice& value);
 
   /// Recursive insert below the node named by `node` (nullptr = empty
   /// subtree): returns the digest of the replacement node.
   Digest InsertAt(const Digest* node, const Nibbles& path, size_t depth,
-                  const Slice& value);
+                  const ValueRef& value);
+  /// Batch counterpart: applies entries[begin, end) (sorted by full nibble
+  /// path, distinct keys, all sharing their first `depth` nibbles) below
+  /// `node`. `view` (a NodeView*) substitutes for a stored node when
+  /// recursing into a synthesized extension remainder.
+  Digest BatchInsertAt(const Digest* node, const void* view,
+                       BatchEntry* begin, BatchEntry* end, size_t depth,
+                       BatchCommitStats* stats);
+  /// Builds a fresh subtree holding exactly entries[begin, end) — the
+  /// no-existing-node case of BatchInsertAt.
+  Digest BuildSubtree(BatchEntry* begin, BatchEntry* end, size_t depth,
+                      BatchCommitStats* stats);
+
   Status GetAt(const Digest& node, const Nibbles& path, size_t depth,
                std::string* value,
                std::vector<std::string>* proof_nodes) const;
   uint64_t ReachableBytesAt(const Digest& node) const;
 
+  MptOptions options_;
   Digest root_ = crypto::ZeroDigest();
   bool has_root_ = false;
   NodeStore nodes_;
+  /// Out-of-line value bytes, digest-keyed (empty unless opted in).
+  NodeStore values_;
   uint64_t total_node_bytes_ = 0;
   size_t size_ = 0;
   size_t last_update_nodes_ = 0;
+  uint64_t out_of_line_values_ = 0;
+  uint64_t value_dedup_hits_ = 0;
+  uint64_t batch_reuse_hits_ = 0;
   /// True after InsertAt when the Put overwrote an existing key.
   bool put_replaced_ = false;
+  /// Replacements observed during the current CommitBatch.
+  size_t batch_replaced_ = 0;
+
+  /// Digest memo for out-of-line values: maps recently stored value bytes
+  /// to their digest so repeated identical values skip SHA-256 entirely.
+  /// Entries point into the value-store arena (stable for the trie's life);
+  /// hits are confirmed by memcmp, the quick hash only routes.
+  struct ValueMemo {
+    const char* data = nullptr;
+    uint32_t len = 0;
+    Digest digest;
+  };
+  static constexpr size_t kValueMemoSlots = 64;  // power of two
+  ValueMemo value_memo_[kValueMemoSlots];
+
+  /// Staged puts awaiting CommitBatch.
+  struct StagedPut {
+    std::string nibbles;
+    std::string value;
+  };
+  std::vector<StagedPut> staged_;
+  /// Full nibble paths synthesized for existing leaves merged during a
+  /// CommitBatch walk; deque so growth never moves earlier strings (batch
+  /// entries hold raw pointers into them).
+  std::deque<std::string> batch_path_pool_;
+
   /// Reused scratch buffers: key nibbles and the node being serialized.
   /// Safe because every Serialize*→Store pair completes before the parent
   /// serializes (the recursion returns digests, not buffers).
@@ -100,7 +227,8 @@ class MerklePatriciaTrie {
 
 /// Verifies an MPT access path: checks that proof.nodes[0] hashes to `root`,
 /// each node links to the next, and the terminal node binds `key` to
-/// `value`.
+/// `value` — either inline or, for out-of-line nodes, through the value's
+/// content digest and length.
 bool VerifyMptProof(const crypto::Digest& root, const Slice& key,
                     const Slice& value, const MerklePatriciaTrie::Proof& proof);
 

@@ -24,6 +24,8 @@ const char* AbortReasonName(AbortReason reason) {
       return "other";
     case AbortReason::kAdmissionReject:
       return "admission-reject";
+    case AbortReason::kBadSignature:
+      return "bad-signature";
   }
   return "unknown";
 }

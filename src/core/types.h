@@ -69,6 +69,7 @@ enum class AbortReason : uint8_t {
   kUnavailable,             // no leader / node down
   kOther,
   kAdmissionReject,         // shed at the mempool admission gate
+  kBadSignature,            // client signature failed block validation
 };
 
 const char* AbortReasonName(AbortReason reason);

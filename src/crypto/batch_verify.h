@@ -1,0 +1,39 @@
+#ifndef DICHO_CRYPTO_BATCH_VERIFY_H_
+#define DICHO_CRYPTO_BATCH_VERIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace dicho::crypto {
+
+/// One signature to check: `message` and `signature` must stay alive until
+/// VerifyBatch returns (they are borrowed, not copied).
+struct BatchVerifyItem {
+  uint64_t signer_id = 0;
+  Slice message;
+  Slice signature;
+};
+
+/// Verifies every item, fanning the work across a thread pool, and returns
+/// one result per item IN INPUT ORDER (1 = valid) — callers that fold the
+/// results into deterministic state (a block validator walking txns in
+/// block order) see exactly what serial verification would have produced,
+/// whatever the thread count.
+///
+/// `threads` <= 0 resolves the pool size from the environment:
+/// DICHO_BENCH_THREADS, then DICHO_SIM_THREADS ("hw" or "0" = all cores),
+/// then hardware_concurrency. Small batches (or threads == 1) verify
+/// serially — an HMAC check is ~1 us, so below a few hundred items the
+/// thread spawn costs more than it saves.
+std::vector<uint8_t> VerifyBatch(const std::vector<BatchVerifyItem>& items,
+                                 int threads = 0);
+
+/// The pool size VerifyBatch(items, 0) would use right now (env-resolved
+/// per call, so tests can flip the variables between calls).
+unsigned BatchVerifyThreads();
+
+}  // namespace dicho::crypto
+
+#endif  // DICHO_CRYPTO_BATCH_VERIFY_H_

@@ -29,6 +29,30 @@ std::string LedgerTxn::Serialize() const {
   return out;
 }
 
+uint64_t LedgerTxn::ByteSize() const {
+  // Mirrors Serialize() field for field; LedgerByteSizeMatchesWireFormat
+  // pins the equivalence.
+  auto lp = [](size_t n) {
+    return static_cast<uint64_t>(VarintLength(n)) + n;
+  };
+  uint64_t total = 8 + 8 + lp(payload.size()) + lp(client_signature.size());
+  total += VarintLength(endorsements.size());
+  for (const auto& [endorser, sig] : endorsements) {
+    (void)endorser;
+    total += 8 + lp(sig.size());
+  }
+  total += VarintLength(read_set.size());
+  for (const auto& [key, version] : read_set) {
+    (void)version;
+    total += lp(key.size()) + 8;
+  }
+  total += VarintLength(write_set.size());
+  for (const auto& [key, value] : write_set) {
+    total += lp(key.size()) + lp(value.size());
+  }
+  return total + 1;  // valid byte
+}
+
 bool LedgerTxn::Deserialize(const std::string& data, LedgerTxn* out) {
   Slice in(data);
   Slice payload, sig;
@@ -96,6 +120,16 @@ std::string Block::Serialize() const {
   PutVarint32(&out, static_cast<uint32_t>(txns.size()));
   for (const auto& txn : txns) PutLengthPrefixed(&out, txn.Serialize());
   return out;
+}
+
+uint64_t Block::ByteSize() const {
+  uint64_t total = 8 + 32 * 3 + 8;  // header
+  total += VarintLength(txns.size());
+  for (const auto& txn : txns) {
+    uint64_t txn_bytes = txn.ByteSize();
+    total += VarintLength(txn_bytes) + txn_bytes;
+  }
+  return total;
 }
 
 bool Block::Deserialize(const std::string& data, Block* out) {

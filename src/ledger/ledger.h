@@ -33,7 +33,10 @@ struct LedgerTxn {
 
   std::string Serialize() const;
   static bool Deserialize(const std::string& data, LedgerTxn* out);
-  uint64_t ByteSize() const { return Serialize().size(); }
+  /// Exact Serialize().size() computed arithmetically — no allocation, no
+  /// byte copying (a hot-path cost on every block append; pinned to the
+  /// wire format by a ledger test).
+  uint64_t ByteSize() const;
 };
 
 struct BlockHeader {
@@ -55,7 +58,8 @@ struct Block {
   void SealTxnRoot();
   std::string Serialize() const;
   static bool Deserialize(const std::string& data, Block* out);
-  uint64_t ByteSize() const { return Serialize().size(); }
+  /// Exact Serialize().size() without serializing (see LedgerTxn::ByteSize).
+  uint64_t ByteSize() const;
 };
 
 /// The append-only hash-linked chain of blocks. Verify() recomputes every

@@ -506,11 +506,14 @@ void ShardExecutor::TryAdvance() {
       for (const txn::EpochTxnResult& result : shared->second.results) {
         for (const auto& [key, value] : result.writes) {
           if (planner_->partitioner()->ShardOf(key) == config_.shard) {
-            state_.Put(key, value);
+            state_.StagePut(key, value);
             if (tracker_ != nullptr) tracked_writes.emplace_back(key, value);
           }
         }
       }
+      // One batched commit for the epoch's slice: root byte-identical to
+      // sequential Puts, shared path nodes hashed once (adt/mpt.h).
+      state_.CommitBatch();
 
       // The shard's engine is busy for its *slice* makespan: the conflict
       // schedule restricted to transactions that touch this shard. This is

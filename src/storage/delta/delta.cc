@@ -1,0 +1,175 @@
+#include "storage/delta/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace dicho::storage::delta {
+namespace {
+
+constexpr uint8_t kInsertOp = 0x00;
+constexpr uint8_t kCopyOp = 0x01;
+constexpr uint8_t kTrailerOp = 0x02;
+
+/// Base blocks of this size are indexed; a candidate match must cover at
+/// least one full block before extension, so no copy op is shorter than
+/// this — below it the varint overhead of the op beats the literal.
+constexpr size_t kBlock = 16;
+
+/// Hash of 16 bytes: two unaligned little-endian loads mixed with 64-bit
+/// odd multipliers. Collisions are resolved by memcmp, so the hash only
+/// needs to spread.
+inline uint64_t BlockHash(const char* p) {
+  uint64_t a, b;
+  memcpy(&a, p, 8);
+  memcpy(&b, p + 8, 8);
+  uint64_t h = a * 0x9E3779B97F4A7C15ull;
+  h ^= (b + 0x9E3779B97F4A7C15ull) * 0xC2B2AE3D27D4EB4Full;
+  return h ^ (h >> 29);
+}
+
+void EmitInsert(std::string* delta, const char* data, size_t len) {
+  if (len == 0) return;
+  delta->push_back(static_cast<char>(kInsertOp));
+  PutVarint64(delta, len);
+  delta->append(data, len);
+}
+
+void EmitCopy(std::string* delta, size_t offset, size_t len) {
+  delta->push_back(static_cast<char>(kCopyOp));
+  PutVarint64(delta, offset);
+  PutVarint64(delta, len);
+}
+
+void EmitTrailer(std::string* delta, const Slice& target) {
+  delta->push_back(static_cast<char>(kTrailerOp));
+  PutFixed32(delta, crc32c::Value(target.data(), target.size()));
+}
+
+}  // namespace
+
+void EncodeDelta(const Slice& base, const Slice& target, std::string* delta) {
+  delta->clear();
+  PutVarint64(delta, target.size());
+
+  const size_t num_blocks = base.size() / kBlock;
+  if (num_blocks == 0 || target.size() < kBlock) {
+    EmitInsert(delta, target.data(), target.size());
+    EmitTrailer(delta, target);
+    return;
+  }
+
+  // Open-addressing index of base block hashes -> block number. Power-of-two
+  // sized at >= 2x blocks; on a full probe run later blocks overwrite
+  // earlier ones, which just biases matches toward the end of the base.
+  size_t table_size = 64;
+  while (table_size < num_blocks * 2) table_size <<= 1;
+  const size_t mask = table_size - 1;
+  std::vector<uint32_t> table(table_size, UINT32_MAX);
+  for (size_t blk = 0; blk < num_blocks; blk++) {
+    uint64_t h = BlockHash(base.data() + blk * kBlock);
+    size_t idx = static_cast<size_t>(h) & mask;
+    for (int probe = 0; probe < 4 && table[idx] != UINT32_MAX; probe++) {
+      idx = (idx + 1) & mask;
+    }
+    table[idx] = static_cast<uint32_t>(blk);
+  }
+
+  size_t literal_start = 0;  // first target byte not yet emitted
+  size_t pos = 0;
+  while (pos + kBlock <= target.size()) {
+    uint64_t h = BlockHash(target.data() + pos);
+    size_t idx = static_cast<size_t>(h) & mask;
+    // Best candidate: target range [pos - best_back, pos + best_fwd)
+    // matches base range starting at best_off - best_back.
+    size_t best_fwd = 0, best_back = 0, best_off = 0;
+    for (int probe = 0; probe < 4 && table[idx] != UINT32_MAX; probe++) {
+      const size_t off = static_cast<size_t>(table[idx]) * kBlock;
+      idx = (idx + 1) & mask;
+      if (memcmp(base.data() + off, target.data() + pos, kBlock) != 0) {
+        continue;
+      }
+      // Extend forward past the verified block.
+      size_t fwd = kBlock;
+      const size_t max_fwd = std::min(base.size() - off, target.size() - pos);
+      while (fwd < max_fwd && base[off + fwd] == target[pos + fwd]) fwd++;
+      // Extend backward into the pending literal run.
+      size_t back = 0;
+      const size_t max_back = std::min(pos - literal_start, off);
+      while (back < max_back &&
+             base[off - back - 1] == target[pos - back - 1]) {
+        back++;
+      }
+      if (fwd + back > best_fwd + best_back) {
+        best_fwd = fwd;
+        best_back = back;
+        best_off = off;
+      }
+    }
+    if (best_fwd >= kBlock) {
+      EmitInsert(delta, target.data() + literal_start,
+                 pos - best_back - literal_start);
+      EmitCopy(delta, best_off - best_back, best_back + best_fwd);
+      pos += best_fwd;
+      literal_start = pos;
+    } else {
+      pos++;
+    }
+  }
+  EmitInsert(delta, target.data() + literal_start,
+             target.size() - literal_start);
+  EmitTrailer(delta, target);
+}
+
+Status ApplyDelta(const Slice& base, const Slice& delta, std::string* target) {
+  target->clear();
+  Slice in = delta;
+  uint64_t expected_len;
+  if (!GetVarint64(&in, &expected_len)) {
+    return Status::Corruption("delta: bad header");
+  }
+  target->reserve(expected_len);
+  while (!in.empty()) {
+    uint8_t op = static_cast<uint8_t>(in[0]);
+    in.RemovePrefix(1);
+    if (op == kInsertOp) {
+      uint64_t len;
+      if (!GetVarint64(&in, &len) || in.size() < len) {
+        return Status::Corruption("delta: truncated insert");
+      }
+      target->append(in.data(), static_cast<size_t>(len));
+      in.RemovePrefix(static_cast<size_t>(len));
+    } else if (op == kCopyOp) {
+      uint64_t offset, len;
+      if (!GetVarint64(&in, &offset) || !GetVarint64(&in, &len) ||
+          offset + len < offset || offset + len > base.size()) {
+        return Status::Corruption("delta: copy out of bounds");
+      }
+      target->append(base.data() + static_cast<size_t>(offset),
+                     static_cast<size_t>(len));
+    } else if (op == kTrailerOp) {
+      uint32_t crc;
+      if (!GetFixed32(&in, &crc) || !in.empty()) {
+        return Status::Corruption("delta: bad trailer");
+      }
+      if (target->size() != expected_len ||
+          crc32c::Value(target->data(), target->size()) != crc) {
+        return Status::Corruption("delta: checksum mismatch");
+      }
+      return Status::Ok();
+    } else {
+      return Status::Corruption("delta: unknown op");
+    }
+  }
+  return Status::Corruption("delta: missing trailer");
+}
+
+bool DeltaTargetSize(const Slice& delta, uint64_t* size) {
+  Slice in = delta;
+  return GetVarint64(&in, size);
+}
+
+}  // namespace dicho::storage::delta

@@ -1,0 +1,45 @@
+#ifndef DICHO_STORAGE_DELTA_DELTA_H_
+#define DICHO_STORAGE_DELTA_DELTA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace dicho::storage::delta {
+
+/// Copy/insert delta encoding (the fossil/rsync family): a delta is a
+/// program that rebuilds `target` from `base` using two ops — COPY a run of
+/// bytes out of the base, or INSERT literal bytes carried in the delta
+/// itself. Encoding indexes the base in fixed-size blocks by hash and scans
+/// the target greedily, extending every block hit in both directions, so a
+/// version that shares most of its bytes with its predecessor (a field
+/// update inside a large record) encodes to a few dozen bytes.
+///
+/// Wire format (all varint32 unless noted):
+///   target_len
+///   ops:  0x00 len <len literal bytes>      insert
+///         0x01 offset len                   copy from base
+///   0x02 crc32c(target) as fixed32          trailer / integrity check
+///
+/// The format is self-delimiting and fully checked on apply: a truncated
+/// delta, an out-of-bounds copy, or a corrupted base all fail with
+/// Status::Corruption instead of producing wrong bytes.
+
+/// Encodes `target` as a delta against `base` into `*delta` (cleared
+/// first). Always succeeds; when base and target share nothing the delta
+/// degenerates to one big INSERT (header + trailer overhead ~10 bytes).
+void EncodeDelta(const Slice& base, const Slice& target, std::string* delta);
+
+/// Rebuilds the target from `base` and `delta` into `*target` (cleared
+/// first). Verifies the trailing checksum.
+Status ApplyDelta(const Slice& base, const Slice& delta, std::string* target);
+
+/// Length the delta will reconstruct to, without applying it (reads the
+/// header only). Returns false on a malformed header.
+bool DeltaTargetSize(const Slice& delta, uint64_t* size);
+
+}  // namespace dicho::storage::delta
+
+#endif  // DICHO_STORAGE_DELTA_DELTA_H_

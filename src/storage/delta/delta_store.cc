@@ -1,0 +1,137 @@
+#include "storage/delta/delta_store.h"
+
+#include "storage/delta/delta.h"
+
+namespace dicho::storage::delta {
+namespace {
+
+constexpr char kFullTag = 'F';
+constexpr char kDeltaTag = 'D';
+
+}  // namespace
+
+PutOutcome DeltaStore::Put(const Slice& key, const Slice& value) {
+  PutOutcome out;
+  out.logical_bytes = value.size();
+  out.digest = crypto::Sha256Hash(value);
+  stats_.puts++;
+  stats_.logical_bytes += value.size();
+
+  auto head_it = heads_.find(std::string(key.data(), key.size()));
+
+  Slice existing;
+  if (records_.Find(out.digest, &existing)) {
+    // Identical content already stored (by this key or any other): the head
+    // pointer is all that moves. A record's own chain depth was fixed under
+    // the cap when it was created, so reconstruction stays bounded; for the
+    // *next* version's accounting, keep the length when the head already
+    // pointed here, treat a full record as a fresh anchor, and price a
+    // foreign delta record conservatively at the cap (the next non-dedup
+    // put then anchors).
+    out.deduped = true;
+    stats_.dedup_hits++;
+    uint32_t chain_len = 0;
+    if (head_it != heads_.end() && head_it->second.digest == out.digest) {
+      chain_len = head_it->second.chain_len;
+    } else if (!existing.empty() && existing[0] == kDeltaTag) {
+      chain_len = options_.max_chain;
+    }
+    heads_[std::string(key.data(), key.size())] = Head{out.digest, chain_len};
+    return out;
+  }
+
+  // Decide the encoding: delta against the current head when the head
+  // exists, both sizes clear the floor, the chain has room, and the delta
+  // actually saves bytes.
+  bool stored_as_delta = false;
+  uint32_t new_chain_len = 0;
+  if (head_it != heads_.end() && value.size() >= options_.min_delta_size) {
+    if (head_it->second.chain_len + 1 > options_.max_chain) {
+      stats_.anchors_forced++;
+    } else {
+      std::string base;
+      if (Reconstruct(head_it->second.digest, &base, 0).ok() &&
+          base.size() >= options_.min_delta_size) {
+        std::string delta;
+        EncodeDelta(base, value, &delta);
+        if (static_cast<double>(delta.size()) <=
+            options_.max_delta_fraction * static_cast<double>(value.size())) {
+          record_scratch_.clear();
+          record_scratch_.push_back(kDeltaTag);
+          record_scratch_.append(
+              reinterpret_cast<const char*>(head_it->second.digest.data()),
+              head_it->second.digest.size());
+          record_scratch_.append(delta);
+          stored_as_delta = true;
+          new_chain_len = head_it->second.chain_len + 1;
+        }
+      }
+    }
+  }
+  if (!stored_as_delta) {
+    record_scratch_.clear();
+    record_scratch_.push_back(kFullTag);
+    record_scratch_.append(value.data(), value.size());
+  }
+
+  records_.Insert(out.digest, record_scratch_);
+  out.stored_bytes = 32 + record_scratch_.size();
+  out.is_delta = stored_as_delta;
+  stats_.physical_bytes += out.stored_bytes;
+  if (stored_as_delta) {
+    stats_.delta_stored++;
+  } else {
+    stats_.full_stored++;
+  }
+  heads_[std::string(key.data(), key.size())] =
+      Head{out.digest, new_chain_len};
+  return out;
+}
+
+Status DeltaStore::Get(const Slice& key, std::string* value) const {
+  auto it = heads_.find(std::string(key.data(), key.size()));
+  if (it == heads_.end()) return Status::NotFound();
+  return Reconstruct(it->second.digest, value, 0);
+}
+
+Status DeltaStore::GetByDigest(const crypto::Digest& digest,
+                               std::string* value) const {
+  return Reconstruct(digest, value, 0);
+}
+
+bool DeltaStore::HeadDigest(const Slice& key, crypto::Digest* digest) const {
+  auto it = heads_.find(std::string(key.data(), key.size()));
+  if (it == heads_.end()) return false;
+  *digest = it->second.digest;
+  return true;
+}
+
+Status DeltaStore::Reconstruct(const crypto::Digest& digest,
+                               std::string* value, uint32_t depth) const {
+  if (depth > options_.max_chain + 1) {
+    return Status::Corruption("delta store: chain exceeds cap");
+  }
+  Slice record;
+  if (!records_.Find(digest, &record)) {
+    return Status::NotFound("delta store: dangling digest");
+  }
+  if (record.empty()) return Status::Corruption("delta store: empty record");
+  const char tag = record[0];
+  record.RemovePrefix(1);
+  if (tag == kFullTag) {
+    value->assign(record.data(), record.size());
+    return Status::Ok();
+  }
+  if (tag != kDeltaTag || record.size() < 32) {
+    return Status::Corruption("delta store: bad record");
+  }
+  crypto::Digest base_digest =
+      crypto::DigestFromBytes(Slice(record.data(), 32));
+  record.RemovePrefix(32);
+  std::string base;
+  Status s = Reconstruct(base_digest, &base, depth + 1);
+  if (!s.ok()) return s;
+  return ApplyDelta(base, record, value);
+}
+
+}  // namespace dicho::storage::delta

@@ -1,0 +1,110 @@
+#ifndef DICHO_STORAGE_DELTA_DELTA_STORE_H_
+#define DICHO_STORAGE_DELTA_DELTA_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "adt/node_store.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+
+namespace dicho::storage::delta {
+
+struct DeltaStoreOptions {
+  /// Values smaller than this are always stored as full objects — at these
+  /// sizes the delta-op overhead and the chain walk cost more than the
+  /// bytes they save.
+  size_t min_delta_size = 256;
+  /// Chain-length cap: after this many consecutive delta versions of a key
+  /// the next version is stored full (an anchor), so reconstructing any
+  /// version reads at most `max_chain` deltas — reads stay O(chain cap).
+  uint32_t max_chain = 8;
+  /// Size cap: a delta bigger than this fraction of the full value is
+  /// discarded and the version stored full (dissimilar versions would
+  /// otherwise pay the chain walk for no byte savings).
+  double max_delta_fraction = 0.5;
+};
+
+/// What Put did with the bytes (feeds storage accounting and cost models).
+struct PutOutcome {
+  crypto::Digest digest;      // content address of the logical value
+  uint64_t logical_bytes = 0; // value size as the caller sees it
+  uint64_t stored_bytes = 0;  // physical bytes newly written (0 on dedup)
+  bool deduped = false;       // identical content was already stored
+  bool is_delta = false;      // stored as a delta against the prior version
+};
+
+struct DeltaStoreStats {
+  uint64_t puts = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t full_stored = 0;   // anchors + small values + failed deltas
+  uint64_t delta_stored = 0;
+  uint64_t anchors_forced = 0;  // full stores forced by the chain cap
+  uint64_t logical_bytes = 0;   // sum of all Put value sizes
+  uint64_t physical_bytes = 0;  // bytes actually resident in the store
+};
+
+/// Content-addressed versioned value store: every logical value is filed
+/// under its SHA-256 digest (so identical content is stored once, whoever
+/// writes it), and successive versions of a key are stored as copy/insert
+/// deltas against their predecessor, with periodic full-value anchors so a
+/// read walks at most `max_chain` delta records.
+///
+/// Object records (digest-keyed in an arena-backed NodeStore):
+///   'F' <value bytes>                      full value
+///   'D' <32B base digest> <delta bytes>    delta against another object
+///
+/// The digest a record is filed under is always the digest of the *logical*
+/// value it reconstructs to, never of the record bytes — readers address
+/// content, not encodings. Records are immutable and never deleted (the
+/// store is archival, like the MPT node store), which is what makes digest
+/// references and arena slices stable forever.
+class DeltaStore {
+ public:
+  explicit DeltaStore(DeltaStoreOptions options = {}) : options_(options) {}
+
+  DeltaStore(const DeltaStore&) = delete;
+  DeltaStore& operator=(const DeltaStore&) = delete;
+
+  /// Stores `value` as the new head version of `key`.
+  PutOutcome Put(const Slice& key, const Slice& value);
+
+  /// Reconstructs the head version of `key`.
+  Status Get(const Slice& key, std::string* value) const;
+
+  /// Reconstructs any stored version by content address (old heads stay
+  /// readable — the store is archival).
+  Status GetByDigest(const crypto::Digest& digest, std::string* value) const;
+
+  /// Content address of the head version of `key` (false if never written).
+  bool HeadDigest(const Slice& key, crypto::Digest* digest) const;
+
+  const DeltaStoreStats& stats() const { return stats_; }
+  size_t keys() const { return heads_.size(); }
+  size_t objects() const { return records_.size(); }
+
+ private:
+  struct Head {
+    crypto::Digest digest;
+    uint32_t chain_len = 0;  // deltas between this version and its anchor
+  };
+
+  /// Walks the record chain below `digest`, reconstructing into `*value`.
+  /// `depth` guards against reference cycles (impossible via Put, which
+  /// only references existing records, but cheap to enforce).
+  Status Reconstruct(const crypto::Digest& digest, std::string* value,
+                     uint32_t depth) const;
+
+  DeltaStoreOptions options_;
+  adt::NodeStore records_;  // digest -> immutable record bytes
+  std::unordered_map<std::string, Head> heads_;
+  DeltaStoreStats stats_;
+  /// Scratch for record assembly (Put is single-threaded per store).
+  mutable std::string record_scratch_;
+};
+
+}  // namespace dicho::storage::delta
+
+#endif  // DICHO_STORAGE_DELTA_DELTA_STORE_H_

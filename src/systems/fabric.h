@@ -36,6 +36,11 @@ struct FabricConfig {
   NodeId client_node = runtime::kClientNode;
   /// Replica-lifecycle support (default-off; enables AddPeer).
   runtime::ElasticityConfig elasticity;
+  /// Fast storage path (DESIGN.md §2g): peer world state is backed by the
+  /// content-addressed delta store (src/storage/delta) and the per-byte
+  /// commit charge drops to the delta-encode rate. Default-off so the
+  /// modeled costs in golden traces are unchanged.
+  bool fast_storage = false;
 };
 
 /// Hyperledger Fabric v2.x: an execute-order-validate permissioned
@@ -82,6 +87,11 @@ class FabricSystem : public core::TransactionalSystem {
   }
   uint64_t LedgerBytes() const { return peers_.at_index(0).chain.TotalBytes(); }
   uint64_t StateBytes() const { return peers_.at_index(0).state.DataBytes(); }
+  /// Physical bytes behind the world state: equals StateBytes() unless
+  /// fast_storage delta-backs it (Fig. 12's fs row).
+  uint64_t StatePhysicalBytes() const {
+    return peers_.at_index(0).state.PhysicalBytes();
+  }
   /// Validation backlog on a peer (saturation diagnostics, Fig. 8a).
   Time ValidationBacklog(NodeId peer) const {
     return peers_.at(peer).validate_cpu.backlog();
@@ -96,6 +106,14 @@ class FabricSystem : public core::TransactionalSystem {
   /// delivery subscription. `done` fires once the buffered block backlog
   /// has drained into the peer.
   NodeId AddPeer(std::function<void(const runtime::JoinReport&)> done);
+
+  /// TESTING ONLY: injects a pre-built envelope straight into ordering,
+  /// bypassing the endorsement path — how a tampered or forged envelope
+  /// would reach block validation (the signature check must catch it).
+  void SubmitRawEnvelopeForTest(const ledger::LedgerTxn& envelope) {
+    ordering_->Submit(config_.client_node, envelope.Serialize(), [](Status) {});
+  }
+
   runtime::ReplicaTracker* tracker(NodeId peer) {
     size_t index = peers_.index_of(peer);
     return index < trackers_.size() ? trackers_[index].get() : nullptr;

@@ -31,9 +31,20 @@ HarmonySystem::HarmonySystem(sim::Simulator* sim, sim::SimNetwork* net,
       config_(config),
       nodes_(sim, runtime::kHarmonyBase, config_.num_nodes),
       contracts_(contract::ContractRegistry::CreateDefault()),
-      executor_(contracts_.get(), costs, config_.exec_lanes),
+      executor_(contracts_.get(), costs, config_.exec_lanes,
+                config_.fast_storage),
       mempool_(&stats_.stages),
       inflight_(&stats_.stages) {
+  if (config_.fast_storage) {
+    // Out-of-line threshold chosen at the record sizes where full-path
+    // re-hashing dominates (Fig. 11's knee); must be set before any state
+    // lands in the tries.
+    adt::MptOptions options;
+    options.inline_value_threshold = 1024;
+    nodes_.ForEach([&](sim::NodeId, Node& node) {
+      node.state.Configure(options);
+    });
+  }
   runtime::TransportConfig transport;
   transport.kind = config_.consensus == HarmonyConsensus::kRaft
                        ? runtime::TransportKind::kRaft
@@ -217,9 +228,13 @@ void HarmonySystem::OnEpochCommitted(sim::NodeId node_id, uint64_t seq,
     block.txns[i].write_set.assign(result.writes.begin(),
                                    result.writes.end());
     for (const auto& [key, value] : result.writes) {
-      node->state.Put(key, value);  // real MPT hashing work, epoch order
+      node->state.StagePut(key, value);  // staged in epoch order
     }
   }
+  // One batched commit per epoch: shared path nodes hash once however many
+  // staged keys pass through them, untouched subtrees are reused by digest,
+  // and the root is byte-identical to per-write Puts (adt/mpt.h).
+  node->state.CommitBatch();
   block.header.state_digest = node->state.RootDigest();
 
   if (runtime::ReplicaTracker* t = tracker(node_id)) {

@@ -38,6 +38,11 @@ struct HarmonyConfig {
   /// Replica-lifecycle support (default-off; enables AddReplica — Raft
   /// consensus only).
   runtime::ElasticityConfig elasticity;
+  /// Fast storage path (DESIGN.md §2g): replica MPTs store large values out
+  /// of line (adt::MptOptions) and per-write execution cost is priced with
+  /// MptUpdateCostFast. Default-off — out-of-line encoding changes state
+  /// digests, so golden traces run with the original layout.
+  bool fast_storage = false;
 };
 
 /// Cumulative deterministic-scheduling statistics (ablation reporting).

@@ -55,6 +55,7 @@ const std::pair<const char*, Factory> kRegistry[] = {
        if (o.validation_parallelism > 0) {
          config.validation_parallelism = o.validation_parallelism;
        }
+       config.fast_storage = o.fast_storage;
        return std::make_unique<FabricSystem>(sim, net, costs, config);
      }},
     {"tidb",
@@ -102,6 +103,7 @@ const std::pair<const char*, Factory> kRegistry[] = {
        if (o.block_interval > 0) config.epoch_interval = o.block_interval;
        config.raft.unsafe_commit_without_quorum =
            o.raft_unsafe_commit_without_quorum;
+       config.fast_storage = o.fast_storage;
        return std::make_unique<HarmonySystem>(sim, net, costs, config);
      }},
     {"harmonyshard",

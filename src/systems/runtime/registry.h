@@ -39,6 +39,10 @@ struct SystemOverrides {
   bool raft_unsafe_commit_without_quorum = false;
   /// Raft §8 leader no-op on election (see RaftConfig::leader_noop).
   bool raft_leader_noop = false;
+  /// Fast storage path (DESIGN.md §2g): fabric delta-backed world state,
+  /// harmonylike out-of-line MPT values + fast per-write pricing. Ignored
+  /// by systems without the flag.
+  bool fast_storage = false;
   /// Taxonomy point for the "hybrid" entry; ignored elsewhere. Must stay
   /// alive through the call (the descriptor is copied into the config).
   const hybrid::SystemDescriptor* hybrid_design = nullptr;

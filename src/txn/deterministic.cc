@@ -131,7 +131,9 @@ EpochOutcome DeterministicExecutor::ExecuteEpoch(
       if (op.type != core::OpType::kWrite) cost += costs_->lsm_read_us;
     }
     for (const auto& [key, value] : result.writes) {
-      cost += costs_->MptUpdateCost(key.size() + value.size());
+      cost += fast_storage_
+                  ? costs_->MptUpdateCostFast(key.size() + value.size())
+                  : costs_->MptUpdateCost(key.size() + value.size());
     }
     if (request.ops.empty()) {
       cost += contract->ExecCost(request, *costs_);

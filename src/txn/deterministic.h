@@ -104,9 +104,16 @@ class DeterministicExecutor {
   /// stored-procedure speed (deterministic databases do not pay the EVM
   /// interpretation tax): sig verify + per-read lsm_read + per-write MPT
   /// rebuild + contract cost for method-based transactions.
+  /// `fast_storage` prices per-write state maintenance with
+  /// MptUpdateCostFast (out-of-line values, DESIGN.md §2g) instead of the
+  /// full MPT path rebuild.
   DeterministicExecutor(const contract::ContractRegistry* contracts,
-                        const sim::CostModel* costs, uint32_t lanes)
-      : contracts_(contracts), costs_(costs), lanes_(lanes == 0 ? 1 : lanes) {}
+                        const sim::CostModel* costs, uint32_t lanes,
+                        bool fast_storage = false)
+      : contracts_(contracts),
+        costs_(costs),
+        lanes_(lanes == 0 ? 1 : lanes),
+        fast_storage_(fast_storage) {}
 
   /// Runs `batch` against `base` (the replica's committed state). Writes
   /// are returned, not applied — the caller applies them in epoch order so
@@ -120,6 +127,7 @@ class DeterministicExecutor {
   const contract::ContractRegistry* contracts_;
   const sim::CostModel* costs_;
   uint32_t lanes_;
+  bool fast_storage_;
 };
 
 }  // namespace dicho::txn

@@ -42,6 +42,17 @@ void VersionedState::Apply(
       it->second.value = value;
       it->second.version = version;
     }
+    if (delta_ != nullptr) delta_->Put(key, value);
+  }
+}
+
+void VersionedState::EnableDeltaBacking(
+    storage::delta::DeltaStoreOptions options) {
+  delta_ = std::make_unique<storage::delta::DeltaStore>(options);
+  // Back-fill anything applied before the switch (Load-time seeding) so
+  // physical accounting covers the whole state.
+  for (const auto& [key, entry] : state_) {
+    delta_->Put(key, entry.value);
   }
 }
 

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "storage/delta/delta_store.h"
 
 namespace dicho::txn {
 
@@ -34,6 +36,24 @@ class VersionedState {
   size_t size() const { return state_.size(); }
   uint64_t DataBytes() const { return data_bytes_; }
 
+  /// Routes every applied write through a content-addressed delta store
+  /// (storage/delta): successive versions of a key are stored as deltas
+  /// against their predecessor with periodic anchors, and identical values
+  /// are deduplicated across keys. The in-memory map stays authoritative
+  /// for reads/validation — the delta store is the modeled durable
+  /// representation, and PhysicalBytes()/delta_stats() report what it
+  /// actually holds. Call before the first Apply.
+  void EnableDeltaBacking(storage::delta::DeltaStoreOptions options = {});
+  bool delta_backed() const { return delta_ != nullptr; }
+  const storage::delta::DeltaStoreStats* delta_stats() const {
+    return delta_ == nullptr ? nullptr : &delta_->stats();
+  }
+  /// Durable bytes: delta-store physical bytes when delta-backed, else the
+  /// logical map bytes (value bytes stored verbatim).
+  uint64_t PhysicalBytes() const {
+    return delta_ == nullptr ? data_bytes_ : delta_->stats().physical_bytes;
+  }
+
  private:
   struct Entry {
     std::string value;
@@ -41,6 +61,7 @@ class VersionedState {
   };
   std::map<std::string, Entry> state_;
   uint64_t data_bytes_ = 0;
+  std::unique_ptr<storage::delta::DeltaStore> delta_;
 };
 
 }  // namespace dicho::txn

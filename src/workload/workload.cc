@@ -20,6 +20,30 @@ std::string YcsbWorkload::RandomValue() {
   return rng_.Bytes(EffectiveRecordSize());
 }
 
+std::string YcsbWorkload::ValueFor(const std::string& key) {
+  size_t size = EffectiveRecordSize();
+  if (config_.mutate_bytes == 0 || config_.mutate_bytes >= size ||
+      size == 0) {
+    // Identical RNG consumption to RandomValue(): goldens depend on the
+    // default stream byte for byte.
+    return rng_.Bytes(size);
+  }
+  // Stable per-key base (FNV-1a seed): every version of a record shares all
+  // bytes outside the mutated field window, so successive versions
+  // delta-encode to ~mutate_bytes bytes.
+  uint64_t seed = 0xcbf29ce484222325ull;
+  for (char c : key) {
+    seed = (seed ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+  }
+  Rng base_rng(seed);
+  std::string value = base_rng.Bytes(size);
+  size_t window = config_.mutate_bytes;
+  size_t offset = rng_.Uniform(size - window + 1);
+  std::string field = rng_.Bytes(window);
+  value.replace(offset, window, field);
+  return value;
+}
+
 core::TxnRequest YcsbWorkload::NextTxn() {
   core::TxnRequest req;
   req.txn_id = next_txn_id_++;
@@ -33,7 +57,7 @@ core::TxnRequest YcsbWorkload::NextTxn() {
     } else {
       op.type = config_.read_modify_write ? core::OpType::kReadModifyWrite
                                           : core::OpType::kWrite;
-      op.value = RandomValue();
+      op.value = ValueFor(op.key);
     }
     req.ops.push_back(std::move(op));
   }

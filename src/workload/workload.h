@@ -25,6 +25,12 @@ struct YcsbConfig {
   /// Divide record_size by ops_per_txn so the transaction payload stays
   /// constant across the op-count sweep (paper 5.3.2).
   bool fix_txn_size = false;
+  /// When > 0, update values mutate only this many bytes of a stable
+  /// per-key base value (a field update, not a fresh record) — the shape
+  /// real YCSB-style workloads have and the one the delta store
+  /// (src/storage/delta) exploits. 0 (default) keeps fully random values
+  /// and a byte-identical RNG stream (golden traces).
+  size_t mutate_bytes = 0;
 };
 
 /// Generates YCSB transactions and point queries.
@@ -38,6 +44,9 @@ class YcsbWorkload {
   /// Keys/values for pre-population.
   std::string KeyAt(uint64_t index) const;
   std::string RandomValue();
+  /// Write value for `key`: RandomValue() unless mutate_bytes > 0, in which
+  /// case it is the key's base value with one randomized field window.
+  std::string ValueFor(const std::string& key);
   const YcsbConfig& config() const { return config_; }
 
  private:

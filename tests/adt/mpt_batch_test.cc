@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adt/mpt.h"
+#include "common/random.h"
+
+namespace dicho::adt {
+namespace {
+
+std::string RandomKey(Rng* rng) {
+  // Mix of shared-prefix account keys (which create branch values: "acct1"
+  // is a prefix of "acct12") and free-form keys.
+  if (rng->Uniform(4) != 0) {
+    return "acct" + std::to_string(rng->Uniform(200));
+  }
+  return rng->Bytes(rng->UniformRange(1, 12));
+}
+
+// The core contract: CommitBatch must land on the exact root sequential
+// Puts produce, for any batch against any pre-existing trie — across 1000
+// randomized batches (including duplicate keys within a batch, overwrites
+// of existing keys, prefix keys, and empty values).
+TEST(MptBatchTest, BatchRootMatchesSequentialAcrossRandomBatches) {
+  Rng rng(2024);
+  MerklePatriciaTrie batched;
+  MerklePatriciaTrie sequential;
+  for (int round = 0; round < 1000; round++) {
+    const int batch_size = 1 + static_cast<int>(rng.Uniform(12));
+    std::vector<std::pair<std::string, std::string>> puts;
+    for (int i = 0; i < batch_size; i++) {
+      puts.emplace_back(RandomKey(&rng),
+                        rng.Bytes(rng.UniformRange(0, 64)));
+    }
+    for (const auto& [key, value] : puts) {
+      batched.StagePut(key, value);
+      ASSERT_TRUE(sequential.Put(key, value).ok());
+    }
+    MerklePatriciaTrie::BatchCommitStats stats;
+    ASSERT_TRUE(batched.CommitBatch(&stats).ok());
+    ASSERT_EQ(batched.RootDigest(), sequential.RootDigest())
+        << "divergence at round " << round;
+    ASSERT_EQ(batched.size(), sequential.size()) << "round " << round;
+    // A batch can never write more nodes than the sequential path does.
+    ASSERT_LE(batched.last_update_nodes(), sequential.node_count());
+  }
+  // The batched trie stored strictly fewer nodes: shared path nodes are
+  // written once per batch, and intermediate per-key roots never exist.
+  EXPECT_LT(batched.node_count(), sequential.node_count());
+}
+
+TEST(MptBatchTest, EmptyBatchIsNoOp) {
+  MerklePatriciaTrie trie;
+  ASSERT_TRUE(trie.Put("k", "v").ok());
+  crypto::Digest before = trie.RootDigest();
+  MerklePatriciaTrie::BatchCommitStats stats;
+  ASSERT_TRUE(trie.CommitBatch(&stats).ok());
+  EXPECT_EQ(trie.RootDigest(), before);
+  EXPECT_EQ(stats.keys, 0u);
+  EXPECT_EQ(stats.nodes_written, 0u);
+}
+
+TEST(MptBatchTest, LastStagedValueWins) {
+  MerklePatriciaTrie batched, sequential;
+  batched.StagePut("key", "first");
+  batched.StagePut("other", "x");
+  batched.StagePut("key", "second");
+  ASSERT_TRUE(batched.CommitBatch(nullptr).ok());
+  ASSERT_TRUE(sequential.Put("key", "second").ok());
+  ASSERT_TRUE(sequential.Put("other", "x").ok());
+  EXPECT_EQ(batched.RootDigest(), sequential.RootDigest());
+  EXPECT_EQ(batched.size(), 2u);
+  std::string value;
+  ASSERT_TRUE(batched.Get("key", &value).ok());
+  EXPECT_EQ(value, "second");
+}
+
+TEST(MptBatchTest, StagedPutsInvisibleUntilCommit) {
+  MerklePatriciaTrie trie;
+  trie.StagePut("key", "value");
+  std::string value;
+  EXPECT_TRUE(trie.Get("key", &value).IsNotFound());
+  EXPECT_EQ(trie.size(), 0u);
+  ASSERT_TRUE(trie.CommitBatch(nullptr).ok());
+  ASSERT_TRUE(trie.Get("key", &value).ok());
+  EXPECT_EQ(value, "value");
+}
+
+// Repeated epochs over the same working set: the second epoch's batch walks
+// must reuse untouched sibling subtrees by digest — the memoization the
+// batched commit exists for.
+TEST(MptBatchTest, MemoizationHitsOnRepeatedEpochs) {
+  Rng rng(7);
+  MerklePatriciaTrie trie;
+  for (int i = 0; i < 500; i++) {
+    trie.StagePut("acct" + std::to_string(i), rng.Bytes(20));
+  }
+  ASSERT_TRUE(trie.CommitBatch(nullptr).ok());
+  const uint64_t hits_after_load = trie.batch_reuse_hits();
+  // Epoch 2: touch a small subset, as a block commit would.
+  MerklePatriciaTrie::BatchCommitStats stats;
+  for (int i = 0; i < 20; i++) {
+    trie.StagePut("acct" + std::to_string(i * 25), rng.Bytes(20));
+  }
+  ASSERT_TRUE(trie.CommitBatch(&stats).ok());
+  EXPECT_GT(stats.subtrees_reused, 0u);
+  EXPECT_GT(trie.batch_reuse_hits(), hits_after_load);
+  // Far fewer nodes rewritten than a full rebuild of 500 keys would take.
+  EXPECT_LT(stats.nodes_written, trie.node_count());
+}
+
+TEST(MptBatchTest, ProofsVerifyAfterBatchCommit) {
+  Rng rng(3);
+  MerklePatriciaTrie trie;
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 100; i++) {
+    std::string key = "acct" + std::to_string(i);
+    std::string value = rng.Bytes(30);
+    trie.StagePut(key, value);
+    model[key] = value;
+  }
+  ASSERT_TRUE(trie.CommitBatch(nullptr).ok());
+  for (const auto& [key, value] : model) {
+    MerklePatriciaTrie::Proof proof;
+    ASSERT_TRUE(trie.Prove(key, &proof).ok());
+    EXPECT_TRUE(VerifyMptProof(trie.RootDigest(), key, value, proof));
+    EXPECT_FALSE(VerifyMptProof(trie.RootDigest(), key, "tampered", proof));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-line values (the opt-in fast storage path, DESIGN.md §2g).
+
+MptOptions FastOptions() {
+  MptOptions options;
+  options.inline_value_threshold = 256;
+  return options;
+}
+
+TEST(MptOutOfLineTest, GetProveVerifyRoundTrip) {
+  Rng rng(21);
+  MerklePatriciaTrie trie(FastOptions());
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 80; i++) {
+    std::string key = "acct" + std::to_string(i);
+    // Straddle the threshold: small values stay inline, large go out of
+    // line, and updates can flip a key between representations.
+    std::string value = rng.Bytes(i % 2 == 0 ? 1000 : 16);
+    ASSERT_TRUE(trie.Put(key, value).ok());
+    model[key] = value;
+  }
+  EXPECT_GT(trie.out_of_line_values(), 0u);
+  for (const auto& [key, value] : model) {
+    std::string got;
+    ASSERT_TRUE(trie.Get(key, &got).ok());
+    ASSERT_EQ(got, value);
+    MerklePatriciaTrie::Proof proof;
+    ASSERT_TRUE(trie.Prove(key, &proof).ok());
+    EXPECT_TRUE(VerifyMptProof(trie.RootDigest(), key, value, proof));
+    // A proof for an out-of-line value binds the content digest: a
+    // same-length forgery must fail.
+    std::string forged = value;
+    forged[0] ^= 1;
+    EXPECT_FALSE(VerifyMptProof(trie.RootDigest(), key, forged, proof));
+  }
+}
+
+TEST(MptOutOfLineTest, RepeatedValueHitsMemoAndDedups) {
+  Rng rng(33);
+  MerklePatriciaTrie trie(FastOptions());
+  std::string value = rng.Bytes(5000);
+  ASSERT_TRUE(trie.Put("a", value).ok());
+  EXPECT_EQ(trie.out_of_line_values(), 1u);
+  EXPECT_EQ(trie.value_dedup_hits(), 0u);
+  // Same bytes under other keys: one stored copy, digest from the memo.
+  ASSERT_TRUE(trie.Put("b", value).ok());
+  ASSERT_TRUE(trie.Put("c", value).ok());
+  EXPECT_EQ(trie.out_of_line_values(), 1u);
+  EXPECT_EQ(trie.value_dedup_hits(), 2u);
+  std::string got;
+  ASSERT_TRUE(trie.Get("c", &got).ok());
+  EXPECT_EQ(got, value);
+}
+
+TEST(MptOutOfLineTest, BatchMatchesSequentialWithFastOptions) {
+  Rng rng(55);
+  MerklePatriciaTrie batched(FastOptions());
+  MerklePatriciaTrie sequential(FastOptions());
+  for (int round = 0; round < 50; round++) {
+    for (int i = 0; i < 8; i++) {
+      std::string key = RandomKey(&rng);
+      std::string value = rng.Bytes(rng.Uniform(2) == 0 ? 600 : 32);
+      batched.StagePut(key, value);
+      ASSERT_TRUE(sequential.Put(key, value).ok());
+    }
+    ASSERT_TRUE(batched.CommitBatch(nullptr).ok());
+    ASSERT_EQ(batched.RootDigest(), sequential.RootDigest())
+        << "round " << round;
+  }
+}
+
+TEST(MptOutOfLineTest, DefaultOptionsNeverGoOutOfLine) {
+  Rng rng(77);
+  MerklePatriciaTrie trie;  // default: inline_value_threshold = SIZE_MAX
+  ASSERT_TRUE(trie.Put("k", rng.Bytes(100000)).ok());
+  EXPECT_EQ(trie.out_of_line_values(), 0u);
+}
+
+// The representation is part of the commitment: the same logical state
+// hashes differently inline vs out-of-line, which is why the fast path is
+// an explicit opt-in (golden traces pin the default).
+TEST(MptOutOfLineTest, RootDiffersFromInlineRepresentation) {
+  Rng rng(88);
+  std::string value = rng.Bytes(2000);
+  MerklePatriciaTrie inline_trie;
+  MerklePatriciaTrie fast_trie(FastOptions());
+  ASSERT_TRUE(inline_trie.Put("k", value).ok());
+  ASSERT_TRUE(fast_trie.Put("k", value).ok());
+  EXPECT_NE(inline_trie.RootDigest(), fast_trie.RootDigest());
+}
+
+}  // namespace
+}  // namespace dicho::adt

@@ -1,0 +1,96 @@
+#include "crypto/batch_verify.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "crypto/signature.h"
+
+namespace dicho::crypto {
+namespace {
+
+struct Signed {
+  uint64_t signer;
+  std::string message;
+  std::string signature;
+};
+
+std::vector<Signed> MakeSigned(size_t n, Rng* rng) {
+  std::vector<Signed> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    Signed s;
+    s.signer = rng->Uniform(64);
+    s.message = rng->Bytes(rng->UniformRange(1, 200));
+    s.signature = Signer(s.signer).Sign(s.message);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<BatchVerifyItem> ToItems(const std::vector<Signed>& batch) {
+  std::vector<BatchVerifyItem> items;
+  items.reserve(batch.size());
+  for (const Signed& s : batch) {
+    items.push_back({s.signer, s.message, s.signature});
+  }
+  return items;
+}
+
+TEST(BatchVerifyTest, AllValidSmallBatch) {
+  Rng rng(1);
+  auto batch = MakeSigned(10, &rng);
+  auto results = VerifyBatch(ToItems(batch));
+  ASSERT_EQ(results.size(), 10u);
+  for (uint8_t r : results) EXPECT_EQ(r, 1);
+}
+
+TEST(BatchVerifyTest, EmptyBatch) {
+  EXPECT_TRUE(VerifyBatch({}).empty());
+}
+
+// Results must land at the index of their input whatever the thread count:
+// tamper with a known subset and check exactly those slots fail, for 1, 2,
+// and 7 threads (7 does not divide the batch, exercising the tail chunk).
+TEST(BatchVerifyTest, ResultsInInputOrderAcrossThreadCounts) {
+  Rng rng(2);
+  auto batch = MakeSigned(1500, &rng);  // above the serial cutoff
+  for (size_t i = 0; i < batch.size(); i += 13) {
+    batch[i].message += "!";  // invalidate every 13th signature
+  }
+  auto items = ToItems(batch);
+  for (int threads : {1, 2, 7}) {
+    auto results = VerifyBatch(items, threads);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < results.size(); i++) {
+      EXPECT_EQ(results[i], i % 13 == 0 ? 0 : 1)
+          << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchVerifyTest, WrongSignerFails) {
+  Rng rng(3);
+  auto batch = MakeSigned(4, &rng);
+  batch[2].signer ^= 1;  // signature was made by someone else
+  auto results = VerifyBatch(ToItems(batch));
+  EXPECT_EQ(results[0], 1);
+  EXPECT_EQ(results[2], 0);
+}
+
+TEST(BatchVerifyTest, EnvResolutionPrefersBenchThreads) {
+  // setenv/getenv in a single-threaded test body is safe; restore after.
+  setenv("DICHO_BENCH_THREADS", "3", 1);
+  EXPECT_EQ(BatchVerifyThreads(), 3u);
+  unsetenv("DICHO_BENCH_THREADS");
+  setenv("DICHO_SIM_THREADS", "2", 1);
+  EXPECT_EQ(BatchVerifyThreads(), 2u);
+  unsetenv("DICHO_SIM_THREADS");
+  EXPECT_GE(BatchVerifyThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace dicho::crypto

@@ -46,6 +46,32 @@ TEST(LedgerTxnTest, SerializationRoundTrip) {
   EXPECT_FALSE(LedgerTxn::Deserialize("junk", &out));
 }
 
+TEST(LedgerTxnTest, LedgerByteSizeMatchesWireFormat) {
+  // ByteSize() is computed arithmetically (no serialization on the block
+  // append hot path); pin it to the actual wire bytes across shapes that
+  // cross varint length boundaries.
+  Rng rng(7);
+  for (int round = 0; round < 50; round++) {
+    LedgerTxn txn = MakeTxn(round, rng.Bytes(rng.Uniform(300)));
+    uint64_t endorsers = rng.Uniform(5);
+    for (uint64_t e = 0; e < endorsers; e++) {
+      txn.endorsements.emplace_back(e, rng.Bytes(32));
+    }
+    uint64_t extra = rng.Uniform(200);  // push lengths past 127 sometimes
+    txn.write_set.emplace_back(rng.Bytes(10), rng.Bytes(extra));
+    txn.valid = round % 2 == 0;
+    EXPECT_EQ(txn.ByteSize(), txn.Serialize().size());
+
+    Block block;
+    block.header.number = round;
+    block.txns.push_back(txn);
+    if (round % 3 == 0) block.txns.push_back(MakeTxn(round + 1000, "p"));
+    block.SealTxnRoot();
+    EXPECT_EQ(block.ByteSize(), block.Serialize().size());
+  }
+  EXPECT_EQ(Block{}.ByteSize(), Block{}.Serialize().size());
+}
+
 TEST(BlockTest, SerializationRoundTrip) {
   Block block = MakeBlock(3, crypto::Sha256Of("parent"), 5);
   Block out;

@@ -1,0 +1,247 @@
+#include "storage/delta/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "storage/delta/delta_store.h"
+
+namespace dicho::storage::delta {
+namespace {
+
+// Applies a random edit script to `base`: overwrite a window, splice bytes
+// in, or chop bytes out — the kinds of version-to-version changes a
+// read-modify-write workload produces.
+std::string Mutate(const std::string& base, Rng* rng, int edits) {
+  std::string out = base;
+  for (int e = 0; e < edits; e++) {
+    switch (rng->Uniform(3)) {
+      case 0: {  // overwrite a window in place
+        if (out.empty()) break;
+        size_t pos = rng->Uniform(out.size());
+        size_t len = std::min<size_t>(out.size() - pos,
+                                      rng->UniformRange(1, 40));
+        for (size_t i = 0; i < len; i++) {
+          out[pos + i] = static_cast<char>('A' + rng->Uniform(26));
+        }
+        break;
+      }
+      case 1: {  // splice new bytes in
+        size_t pos = rng->Uniform(out.size() + 1);
+        out.insert(pos, rng->Bytes(rng->UniformRange(1, 40)));
+        break;
+      }
+      default: {  // chop bytes out
+        if (out.empty()) break;
+        size_t pos = rng->Uniform(out.size());
+        size_t len = std::min<size_t>(out.size() - pos,
+                                      rng->UniformRange(1, 40));
+        out.erase(pos, len);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(DeltaCodecTest, RoundTripIdentical) {
+  std::string base = "the quick brown fox jumps over the lazy dog, twice over";
+  std::string delta, target;
+  EncodeDelta(base, base, &delta);
+  ASSERT_TRUE(ApplyDelta(base, delta, &target).ok());
+  EXPECT_EQ(target, base);
+  // A self-delta should collapse to roughly header + one copy + trailer.
+  EXPECT_LT(delta.size(), 24u);
+}
+
+TEST(DeltaCodecTest, RoundTripDisjoint) {
+  Rng rng(11);
+  std::string base = rng.Bytes(500);
+  std::string tgt(500, 'Z');  // shares nothing with base
+  std::string delta, out;
+  EncodeDelta(base, tgt, &delta);
+  ASSERT_TRUE(ApplyDelta(base, delta, &out).ok());
+  EXPECT_EQ(out, tgt);
+}
+
+TEST(DeltaCodecTest, EmptyEdgeCases) {
+  std::string delta, out;
+  EncodeDelta("", "", &delta);
+  ASSERT_TRUE(ApplyDelta("", delta, &out).ok());
+  EXPECT_EQ(out, "");
+  EncodeDelta("", "abc", &delta);
+  ASSERT_TRUE(ApplyDelta("", delta, &out).ok());
+  EXPECT_EQ(out, "abc");
+  EncodeDelta("abc", "", &delta);
+  ASSERT_TRUE(ApplyDelta("abc", delta, &out).ok());
+  EXPECT_EQ(out, "");
+}
+
+// Oracle: whatever the encoder emits, applying it must reproduce the target
+// byte-for-byte — across many random (base, edit-script) pairs.
+TEST(DeltaCodecTest, RandomEditScriptsRoundTrip) {
+  Rng rng(42);
+  for (int round = 0; round < 200; round++) {
+    std::string base = rng.Bytes(rng.UniformRange(0, 3000));
+    std::string target = Mutate(base, &rng, 1 + rng.Uniform(6));
+    std::string delta, out;
+    EncodeDelta(base, target, &delta);
+    ASSERT_TRUE(ApplyDelta(base, delta, &out).ok()) << "round " << round;
+    ASSERT_EQ(out, target) << "round " << round;
+    uint64_t size;
+    ASSERT_TRUE(DeltaTargetSize(delta, &size));
+    EXPECT_EQ(size, target.size());
+  }
+}
+
+TEST(DeltaCodecTest, SmallEditEncodesSmall) {
+  Rng rng(7);
+  std::string base = rng.Bytes(5000);
+  std::string target = base;
+  target[2500] = 'X';  // one-byte field update in a 5 KB record
+  std::string delta;
+  EncodeDelta(base, target, &delta);
+  // Two copies + one literal byte + framing: far below the full value.
+  EXPECT_LT(delta.size(), 64u);
+  std::string out;
+  ASSERT_TRUE(ApplyDelta(base, delta, &out).ok());
+  EXPECT_EQ(out, target);
+}
+
+TEST(DeltaCodecTest, RejectsCorruptDelta) {
+  std::string base = "base bytes for the corruption test, long enough";
+  std::string delta, out;
+  EncodeDelta(base, "target bytes for the corruption test!", &delta);
+  // Flip a literal byte: the crc32c trailer must catch it.
+  std::string bad = delta;
+  bad[bad.size() / 2] ^= 0x20;
+  EXPECT_FALSE(ApplyDelta(base, bad, &out).ok());
+  // Truncation must fail cleanly too.
+  EXPECT_FALSE(ApplyDelta(base, Slice(delta.data(), delta.size() - 3), &out)
+                   .ok());
+  // Applying against the wrong base is caught by the checksum.
+  EXPECT_FALSE(ApplyDelta("completely different base material..", delta, &out)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// DeltaStore
+
+TEST(DeltaStoreTest, VersionsRoundTripAgainstOracle) {
+  DeltaStoreOptions options;
+  options.min_delta_size = 64;
+  DeltaStore store(options);
+  Rng rng(123);
+  // Oracle: plain map key -> latest value, plus every historical digest.
+  std::map<std::string, std::string> latest;
+  std::map<std::string, std::string> by_digest;
+  std::string current = rng.Bytes(1200);
+  for (int version = 0; version < 60; version++) {
+    std::string key = "obj" + std::to_string(version % 4);
+    auto it = latest.find(key);
+    current = it == latest.end() ? rng.Bytes(1200)
+                                 : Mutate(it->second, &rng, 3);
+    PutOutcome out = store.Put(key, current);
+    latest[key] = current;
+    by_digest[std::string(
+        reinterpret_cast<const char*>(out.digest.data()), 32)] = current;
+    EXPECT_EQ(out.logical_bytes, current.size());
+  }
+  for (const auto& [key, value] : latest) {
+    std::string got;
+    ASSERT_TRUE(store.Get(key, &got).ok());
+    EXPECT_EQ(got, value);
+  }
+  // Every historical version stays readable by content address.
+  for (const auto& [digest_bytes, value] : by_digest) {
+    std::string got;
+    crypto::Digest d = crypto::DigestFromBytes(digest_bytes);
+    ASSERT_TRUE(store.GetByDigest(d, &got).ok());
+    EXPECT_EQ(got, value);
+  }
+  // Similar successive versions must actually compress.
+  EXPECT_GT(store.stats().delta_stored, 0u);
+  EXPECT_LT(store.stats().physical_bytes, store.stats().logical_bytes);
+}
+
+TEST(DeltaStoreTest, ChainCapForcesAnchors) {
+  DeltaStoreOptions options;
+  options.min_delta_size = 32;
+  options.max_chain = 3;
+  DeltaStore store(options);
+  Rng rng(5);
+  std::string value = rng.Bytes(600);
+  ASSERT_FALSE(store.Put("k", value).is_delta);  // first version: full
+  int deltas_since_anchor = 0;
+  for (int version = 0; version < 20; version++) {
+    value = Mutate(value, &rng, 2);
+    PutOutcome out = store.Put("k", value);
+    if (out.is_delta) {
+      deltas_since_anchor++;
+      ASSERT_LE(deltas_since_anchor, 3) << "chain cap not enforced";
+    } else {
+      deltas_since_anchor = 0;
+    }
+    std::string got;
+    ASSERT_TRUE(store.Get("k", &got).ok());
+    ASSERT_EQ(got, value);
+  }
+  EXPECT_GT(store.stats().anchors_forced, 0u);
+}
+
+TEST(DeltaStoreTest, DedupsIdenticalContentAcrossKeys) {
+  DeltaStore store;
+  Rng rng(9);
+  std::string value = rng.Bytes(800);
+  PutOutcome first = store.Put("a", value);
+  EXPECT_FALSE(first.deduped);
+  PutOutcome second = store.Put("b", value);
+  EXPECT_TRUE(second.deduped);
+  EXPECT_EQ(second.stored_bytes, 0u);
+  EXPECT_EQ(second.digest, first.digest);
+  EXPECT_EQ(store.objects(), 1u);
+  EXPECT_EQ(store.keys(), 2u);
+  std::string got;
+  ASSERT_TRUE(store.Get("b", &got).ok());
+  EXPECT_EQ(got, value);
+  // Re-putting a key's current value is also a dedup hit.
+  EXPECT_TRUE(store.Put("a", value).deduped);
+  EXPECT_EQ(store.stats().dedup_hits, 2u);
+}
+
+TEST(DeltaStoreTest, DissimilarVersionStoredFull) {
+  DeltaStoreOptions options;
+  options.min_delta_size = 64;
+  DeltaStore store(options);
+  Rng rng(17);
+  store.Put("k", rng.Bytes(1000));
+  // A completely different value: the max_delta_fraction cap must reject
+  // the delta encoding.
+  PutOutcome out = store.Put("k", rng.Bytes(1000));
+  EXPECT_FALSE(out.is_delta);
+  EXPECT_EQ(store.stats().delta_stored, 0u);
+}
+
+TEST(DeltaStoreTest, SmallValuesAlwaysFull) {
+  DeltaStore store;  // min_delta_size = 256 default
+  store.Put("k", "v1-small");
+  PutOutcome out = store.Put("k", "v2-small");
+  EXPECT_FALSE(out.is_delta);
+  std::string got;
+  ASSERT_TRUE(store.Get("k", &got).ok());
+  EXPECT_EQ(got, "v2-small");
+}
+
+TEST(DeltaStoreTest, MissingKeyAndDigest) {
+  DeltaStore store;
+  std::string got;
+  EXPECT_TRUE(store.Get("nope", &got).IsNotFound());
+  crypto::Digest d{};
+  EXPECT_FALSE(store.GetByDigest(d, &got).ok());
+  EXPECT_FALSE(store.HeadDigest("nope", &d));
+}
+
+}  // namespace
+}  // namespace dicho::storage::delta

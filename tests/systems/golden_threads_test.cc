@@ -65,6 +65,45 @@ TEST_P(GoldenThreadsTest, ByteIdenticalUnderThreadSweep) {
   }
 }
 
+class ScopedBenchThreadsEnv {
+ public:
+  explicit ScopedBenchThreadsEnv(const char* value) {
+    const char* old = std::getenv("DICHO_BENCH_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    setenv("DICHO_BENCH_THREADS", value, 1);
+  }
+  ~ScopedBenchThreadsEnv() {
+    if (had_old_) {
+      setenv("DICHO_BENCH_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("DICHO_BENCH_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(GoldenBenchThreadsTest, ParallelSignatureVerificationIsByteInvariant) {
+  // Fabric's block validation really verifies client signatures in a
+  // thread-pooled batch (crypto/batch_verify.h) whose worker count follows
+  // DICHO_BENCH_THREADS. Results merge in block order, so the worker count
+  // must never move a byte of the fabric golden.
+  const GoldenCase* c = FindGoldenCase("fabric");
+  ASSERT_NE(c, nullptr);
+  const std::string path = std::string(DICHO_GOLDEN_DIR) + "/fabric.json";
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty()) << "missing baseline " << path;
+  for (const char* threads : {"1", "3", "hw"}) {
+    ScopedBenchThreadsEnv env(threads);
+    EXPECT_EQ(expected, c->run())
+        << "fabric diverged from " << path
+        << " with DICHO_BENCH_THREADS=" << threads;
+  }
+}
+
 TEST(GoldenArrivalCompatTest, InertArrivalMachineryLeavesGoldensByteIdentical) {
   // The open-loop arrival engine and the admission gate are compiled into
   // the same binary as every golden run, and both default OFF. Guard the

@@ -34,6 +34,37 @@ TEST(YcsbTest, TxnMatchesConfig) {
   }
 }
 
+TEST(YcsbTest, MutateBytesKeepsVersionsNearIdentical) {
+  YcsbConfig config;
+  config.record_size = 1000;
+  config.mutate_bytes = 16;
+  YcsbWorkload workload(config, 3);
+  std::string v1 = workload.ValueFor("user0000000007");
+  std::string v2 = workload.ValueFor("user0000000007");
+  ASSERT_EQ(v1.size(), 1000u);
+  ASSERT_EQ(v2.size(), 1000u);
+  // Each version differs from the shared per-key base in one 16-byte
+  // window, so two versions differ in at most 32 positions.
+  size_t diff = 0;
+  for (size_t i = 0; i < v1.size(); i++) diff += v1[i] != v2[i];
+  EXPECT_LE(diff, 32u);
+  EXPECT_GT(diff, 0u);
+  // Distinct keys get distinct bases.
+  EXPECT_NE(workload.ValueFor("user0000000008"), v1);
+}
+
+TEST(YcsbTest, MutateBytesZeroMatchesRandomValueStream) {
+  // Default mutate_bytes == 0 must consume the RNG exactly like
+  // RandomValue() — golden traces pin the default byte stream.
+  YcsbConfig config;
+  config.record_size = 100;
+  YcsbWorkload a(config, 9);
+  YcsbWorkload b(config, 9);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(a.RandomValue(), b.ValueFor("user0000000001"));
+  }
+}
+
 TEST(YcsbTest, TxnIdsAreUnique) {
   YcsbWorkload workload(YcsbConfig{}, 3);
   std::set<uint64_t> ids;

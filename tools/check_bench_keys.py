@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Bench key-set stability check for CI.
+
+Compares the set of benchmark names in a freshly generated
+BENCH_hotpath.json against the committed baseline at the repo root:
+
+    python3 tools/check_bench_keys.py build/bench/BENCH_hotpath.json
+
+A bench rename or deletion silently breaks every downstream comparison
+against the committed numbers, so CI fails if the fresh key set is not a
+superset-equal match of the committed one (keys may not disappear or be
+renamed; adding keys is also flagged so the baseline gets regenerated in
+the same PR). Values are NOT compared — CI machines are too noisy for
+that; the committed ns/op numbers are documentation, the key set is the
+contract.
+
+Exit code 0 = key sets identical; 1 = drift (each difference printed).
+"""
+
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def keys_of(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "ns_per_op" not in doc:
+        print(f"check_bench_keys: {path} has no ns_per_op map",
+              file=sys.stderr)
+        sys.exit(1)
+    return set(doc["ns_per_op"])
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh_path = argv[1]
+    committed_path = os.path.join(REPO, "BENCH_hotpath.json")
+    committed = keys_of(committed_path)
+    fresh = keys_of(fresh_path)
+    problems = []
+    for key in sorted(committed - fresh):
+        problems.append(f"committed baseline key `{key}` missing from the "
+                        f"fresh run — renamed or deleted bench?")
+    for key in sorted(fresh - committed):
+        problems.append(f"fresh run emits `{key}` that the committed "
+                        f"baseline lacks — regenerate BENCH_hotpath.json "
+                        f"in this PR")
+    if problems:
+        print(f"check_bench_keys: {len(problems)} problem(s)",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"check_bench_keys: OK ({len(fresh)} keys match the committed "
+          f"baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

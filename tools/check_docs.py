@@ -21,6 +21,15 @@ Checks, stdlib only:
    without a documented figure/section fails CI, as does a section whose
    binary was renamed away.
 
+3. Every markdown link `[text](target)` whose target is a relative path
+   (optionally with a `#fragment`) must resolve from the linking doc's
+   directory — so `docs/STORAGE.md` linked from the README stays alive when
+   files move. External (`scheme://`) and pure-fragment (`#section`)
+   targets are skipped.
+
+4. Every `BENCH_*.json` committed at the repo root must be named in
+   EXPERIMENTS.md — a checked-in baseline nobody documents is drift.
+
 Exit code 0 = docs and code agree; 1 = drift (each problem printed).
 """
 
@@ -156,17 +165,53 @@ def check_bench_targets(errors):
             f"mentions — document it or remove it")
 
 
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_relative_links(errors):
+    """Markdown links to relative paths must resolve from the linking doc."""
+    for doc in list_docs():
+        doc_dir = os.path.dirname(os.path.join(REPO, doc))
+        with open(os.path.join(REPO, doc), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                for target in MD_LINK_RE.findall(line):
+                    if "://" in target or target.startswith(("#", "mailto:")):
+                        continue
+                    path = target.split("#", 1)[0]
+                    if not path:
+                        continue
+                    if not os.path.exists(os.path.normpath(
+                            os.path.join(doc_dir, path))):
+                        errors.append(
+                            f"{doc}:{lineno}: relative link target does not "
+                            f"resolve: ({target})")
+
+
+def check_bench_baselines(errors):
+    """Committed BENCH_*.json baselines must be documented in EXPERIMENTS."""
+    with open(os.path.join(REPO, "EXPERIMENTS.md"), encoding="utf-8") as f:
+        text = f.read()
+    for name in sorted(os.listdir(REPO)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            if name not in text:
+                errors.append(
+                    f"{name} is committed at the repo root but EXPERIMENTS.md "
+                    f"never names it — document the baseline or remove it")
+
+
 def main():
     errors = []
     check_doc_paths(errors)
     check_bench_targets(errors)
+    check_relative_links(errors)
+    check_bench_baselines(errors)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         for error in errors:
             print(f"  {error}", file=sys.stderr)
         return 1
-    print(f"check_docs: OK ({len(list_docs())} docs, paths and bench "
-          f"targets verified)")
+    print(f"check_docs: OK ({len(list_docs())} docs — paths, bench targets, "
+          f"relative links, and BENCH baselines verified)")
     return 0
 
 
